@@ -1,0 +1,84 @@
+// OPEX cost-model ablation (§7.2): per-action-type operator cost weights.
+//
+// "Different sequences of steps could have different costs in terms of
+// human efficiency. Indeed, we are adding a cost model to Klotski which can
+// optimize for OPEX spending." This harness plans the DMAG migration under
+// several OPEX weightings and shows how the optimal sequence restructures:
+// as one action type's crew cost grows, the optimum batches that type into
+// fewer runs, trading extra runs of the cheap types for fewer expensive
+// context switches.
+#include "bench_common.h"
+
+namespace {
+
+// Number of runs (phases) of a given action type in a plan.
+int runs_of_type(const klotski::core::Plan& plan, std::int32_t type) {
+  int runs = 0;
+  for (const klotski::core::Phase& phase : plan.phases()) {
+    if (phase.type == type) ++runs;
+  }
+  return runs;
+}
+
+}  // namespace
+
+int main() {
+  using namespace klotski;
+  bench::print_scale_banner("OPEX ablation — per-type crew cost weights");
+  const topo::PresetScale scale = pipeline::bench_scale_from_env();
+
+  migration::MigrationCase mig =
+      pipeline::build_experiment(pipeline::ExperimentId::kEDmag, scale);
+  migration::MigrationTask& task = mig.task;
+
+  util::Table table({"MA-undrain crew weight", "Optimal OPEX",
+                     "Closed-form floor", "undrain-ma runs", "A* seconds"});
+  table.set_title(
+      "DMAG migration under OPEX weights (drain crews cost 1.0, alpha=0.1)");
+
+  // Closed-form lower bound: each type needs at least one run, and a run of
+  // length x costs w(1 + alpha(x-1)), so OPEX >= sum_t w_t (1+alpha(N_t-1)).
+  const double alpha = 0.1;
+  auto floor_for = [&](const std::vector<double>& weights) {
+    double floor = 0.0;
+    const auto counts = task.actions_per_type();
+    for (std::size_t t = 0; t < counts.size(); ++t) {
+      floor += weights[t] * (1.0 + alpha * (counts[t] - 1));
+    }
+    return floor;
+  };
+
+  bool matches_floor_everywhere = true;
+  for (const double ma_weight : {1.0, 2.0, 4.0, 8.0}) {
+    core::PlannerOptions options;
+    options.alpha = alpha;
+    // Action types: 0 = drain-fauu-eb, 1 = undrain-ma, 2 = drain-fauu-dr.
+    options.type_weights = {1.0, ma_weight, 1.0};
+
+    const bench::PlannerRun run = bench::run_planner(task, "astar", options);
+    if (!run.plan.found) {
+      table.add_row({util::format_double(ma_weight, 1),
+                     "x (" + run.plan.failure + ")", "-", "-", "-"});
+      matches_floor_everywhere = false;
+      continue;
+    }
+    const double floor = floor_for(options.type_weights);
+    if (run.plan.cost > floor + 1e-9) matches_floor_everywhere = false;
+    table.add_row({util::format_double(ma_weight, 1),
+                   util::format_double(run.plan.cost, 2),
+                   util::format_double(floor, 2),
+                   std::to_string(runs_of_type(run.plan, 1)),
+                   util::format_double(run.plan.stats.wall_seconds, 4)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nThe weighted planner stays optimal: on the DMAG task the "
+               "single-run-per-type structure is feasible, so the optimal "
+               "OPEX "
+            << (matches_floor_everywhere ? "meets" : "exceeds")
+            << " the closed-form floor sum_t w_t(1 + alpha(N_t - 1)); when "
+               "constraints force extra runs (e.g. the Figure 11 tight "
+               "configuration) the gap above the floor is exactly the extra "
+               "crew dispatches the safety constraints cost.\n";
+  return 0;
+}

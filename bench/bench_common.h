@@ -1,0 +1,91 @@
+// Shared helpers for the table/figure harnesses.
+//
+// Every harness prints the paper-style rows for its table or figure. By
+// default the reduced-scale experiment set is used so the whole suite
+// (including the slow MRC/Janus baselines, which the paper capped at 24
+// hours) completes in minutes; set KLOTSKI_BENCH_FULL=1 for paper-scale
+// topologies and KLOTSKI_BENCH_DEADLINE=<seconds> to change the per-planner
+// budget.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "klotski/pipeline/audit.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/pipeline/experiments.h"
+#include "klotski/util/string_util.h"
+#include "klotski/util/table.h"
+
+namespace klotski::bench {
+
+inline double bench_deadline_seconds() {
+  if (const char* raw = std::getenv("KLOTSKI_BENCH_DEADLINE")) {
+    const double v = std::atof(raw);
+    if (v > 0) return v;
+  }
+  // Reduced runs finish in well under this; full runs get a generous cap
+  // standing in for the paper's 24 h budget.
+  return pipeline::bench_scale_from_env() == topo::PresetScale::kFull
+             ? 3600.0
+             : 120.0;
+}
+
+struct PlannerRun {
+  std::string planner;
+  core::Plan plan;
+  bool audited_ok = false;
+};
+
+/// Runs one planner on a task with a fresh checker stack, then audits.
+inline PlannerRun run_planner(migration::MigrationTask& task,
+                              const std::string& planner_name,
+                              core::PlannerOptions options = {},
+                              pipeline::CheckerConfig checker_config = {}) {
+  PlannerRun run;
+  run.planner = planner_name;
+  if (options.deadline_seconds <= 0) {
+    options.deadline_seconds = bench_deadline_seconds();
+  }
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(task, checker_config);
+  auto planner = pipeline::make_planner(planner_name);
+  run.plan = planner->plan(task, *bundle.checker, options);
+  if (run.plan.found) {
+    pipeline::CheckerBundle audit_bundle =
+        pipeline::make_standard_checker(task, checker_config);
+    run.audited_ok =
+        pipeline::audit_plan(task, *audit_bundle.checker, run.plan).ok;
+  }
+  return run;
+}
+
+/// "x" marks a planner that cannot plan the task (paper's cross).
+inline std::string cost_cell(const PlannerRun& run, double optimal_cost) {
+  if (!run.plan.found) return "x (" + run.plan.failure + ")";
+  if (optimal_cost <= 0) return util::format_double(run.plan.cost, 2);
+  return util::format_double(run.plan.cost / optimal_cost, 2);
+}
+
+inline std::string time_cell(const PlannerRun& run, double base_seconds) {
+  if (!run.plan.found) return "x";
+  if (base_seconds <= 0) {
+    return util::format_double(run.plan.stats.wall_seconds, 4) + "s";
+  }
+  return util::format_double(run.plan.stats.wall_seconds / base_seconds, 2) +
+         "x";
+}
+
+inline void print_scale_banner(const char* what) {
+  const bool full =
+      pipeline::bench_scale_from_env() == topo::PresetScale::kFull;
+  std::cout << "# " << what << " — scale: " << (full ? "FULL (paper-scale)"
+                                                     : "reduced")
+            << (full ? ""
+                     : "  [set KLOTSKI_BENCH_FULL=1 for paper-scale runs]")
+            << "\n\n";
+}
+
+}  // namespace klotski::bench

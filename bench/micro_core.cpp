@@ -1,0 +1,169 @@
+// Microbenchmarks for the planner's hot paths: ECMP assignment, full
+// satisfiability checks, compact-state hashing, cache lookups, topology
+// state capture/restore, and block application. These are the per-state
+// costs in Theorems 1-2 (Theta(|S| + |C|) per check).
+#include <benchmark/benchmark.h>
+
+#include "klotski/core/sat_cache.h"
+#include "klotski/migration/symmetry.h"
+#include "klotski/topo/diff.h"
+#include "klotski/core/state_evaluator.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/pipeline/experiments.h"
+#include "klotski/topo/presets.h"
+#include "klotski/util/rng.h"
+
+namespace {
+
+using namespace klotski;
+
+migration::MigrationCase& shared_case() {
+  static migration::MigrationCase mig = pipeline::build_experiment(
+      pipeline::ExperimentId::kC, topo::PresetScale::kReduced);
+  return mig;
+}
+
+void BM_EcmpAssignOneDemand(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  traffic::EcmpRouter router(*mig.task.topo);
+  traffic::LoadVector loads;
+  const traffic::Demand& demand = mig.task.demands.front();
+  for (auto _ : state) {
+    loads.assign(mig.task.topo->num_circuits() * 2, 0.0);
+    benchmark::DoNotOptimize(router.assign(demand, loads));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(
+                              mig.task.topo->num_circuits()));
+}
+BENCHMARK(BM_EcmpAssignOneDemand);
+
+void BM_FullSatisfiabilityCheck(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(mig.task, {});
+  mig.task.reset_to_original();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bundle.checker->check(*mig.task.topo));
+  }
+}
+BENCHMARK(BM_FullSatisfiabilityCheck);
+
+void BM_EvaluatorFeasibleCacheMiss(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(mig.task, {});
+  core::StateEvaluator evaluator(mig.task, *bundle.checker,
+                                 /*use_cache=*/false);
+  core::CountVector counts(mig.task.blocks.size(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.feasible(counts));
+  }
+}
+BENCHMARK(BM_EvaluatorFeasibleCacheMiss);
+
+void BM_EvaluatorFeasibleCacheHit(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(mig.task, {});
+  core::StateEvaluator evaluator(mig.task, *bundle.checker,
+                                 /*use_cache=*/true);
+  core::CountVector counts(mig.task.blocks.size(), 0);
+  evaluator.feasible(counts);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.feasible(counts));
+  }
+}
+BENCHMARK(BM_EvaluatorFeasibleCacheHit);
+
+void BM_CompactStateHash(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<core::CountVector> keys;
+  for (int i = 0; i < 1024; ++i) {
+    core::CountVector v(4);
+    for (auto& x : v) x = static_cast<std::int32_t>(rng.uniform_int(0, 200));
+    keys.push_back(std::move(v));
+  }
+  core::CountVectorHash hash;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash(keys[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_CompactStateHash);
+
+void BM_SatCacheLookup(benchmark::State& state) {
+  util::Rng rng(11);
+  core::SatCache cache;
+  std::vector<core::CountVector> keys;
+  for (int i = 0; i < 4096; ++i) {
+    core::CountVector v(4);
+    for (auto& x : v) x = static_cast<std::int32_t>(rng.uniform_int(0, 200));
+    cache.store(v, (i & 1) == 0);
+    keys.push_back(std::move(v));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(keys[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_SatCacheLookup);
+
+void BM_TopologyStateRestore(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  const topo::TopologyState snapshot =
+      topo::TopologyState::capture(*mig.task.topo);
+  for (auto _ : state) {
+    snapshot.restore(*mig.task.topo);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TopologyStateRestore);
+
+void BM_BlockApply(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  const migration::OperationBlock& block = mig.task.blocks[0][0];
+  for (auto _ : state) {
+    block.apply(*mig.task.topo);
+    benchmark::ClobberMemory();
+  }
+  mig.task.reset_to_original();
+}
+BENCHMARK(BM_BlockApply);
+
+
+void BM_SymmetryComputation(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        migration::compute_symmetry(*mig.task.topo).num_blocks());
+  }
+}
+BENCHMARK(BM_SymmetryComputation);
+
+void BM_StateDiff(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topo::diff_states(*mig.task.topo, mig.task.original_state,
+                          mig.task.target_state)
+            .capacity_delta_tbps);
+  }
+}
+BENCHMARK(BM_StateDiff);
+
+void BM_AssignAllDemands(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  traffic::EcmpRouter router(*mig.task.topo);
+  traffic::LoadVector loads;
+  for (auto _ : state) {
+    loads.assign(mig.task.topo->num_circuits() * 2, 0.0);
+    benchmark::DoNotOptimize(router.assign_all(mig.task.demands, loads));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<long long>(mig.task.demands.size()));
+}
+BENCHMARK(BM_AssignAllDemands);
+
+}  // namespace

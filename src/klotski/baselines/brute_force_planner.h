@@ -1,0 +1,26 @@
+// Exhaustive-optimal planner used as a test oracle on tiny tasks.
+//
+// Depth-first enumeration of every action-type sequence (with feasibility
+// pruning but no memoization), keeping the cheapest complete sequence. The
+// search space is the number of distinct permutations of the action-type
+// multiset — super-exponential — so this planner refuses tasks with more
+// than a small number of actions.
+#pragma once
+
+#include "klotski/core/planner.h"
+
+namespace klotski::baselines {
+
+class BruteForcePlanner : public core::Planner {
+ public:
+  /// Tasks above this many total actions are rejected.
+  static constexpr int kMaxActions = 16;
+
+  std::string name() const override { return "BruteForce"; }
+
+  core::Plan plan(migration::MigrationTask& task,
+                  constraints::CompositeChecker& checker,
+                  const core::PlannerOptions& options) override;
+};
+
+}  // namespace klotski::baselines

@@ -1,0 +1,29 @@
+// Janus baseline [4] (§6.1, §8): plans network changes by exploiting the
+// *symmetry* of DCN topologies.
+//
+// Modeled faithfully to the paper's comparison setup:
+//  * Janus's superblocks are defined to be Klotski's operation blocks, so
+//    it searches the same pruned action space;
+//  * Janus assumes the symmetry structure does not change during the
+//    migration, so it rejects migrations that introduce a new switch role
+//    (the DMAG layer);
+//  * it traverses the *entire* search space (no A*-style early return) and
+//    has no ordering-agnostic satisfiability cache: it preprocesses and
+//    re-checks every (state, incoming-action) combination, which is what
+//    makes it 8.4-380.7x slower than Klotski-A* in the paper's evaluation.
+#pragma once
+
+#include "klotski/core/planner.h"
+
+namespace klotski::baselines {
+
+class JanusPlanner : public core::Planner {
+ public:
+  std::string name() const override { return "Janus"; }
+
+  core::Plan plan(migration::MigrationTask& task,
+                  constraints::CompositeChecker& checker,
+                  const core::PlannerOptions& options) override;
+};
+
+}  // namespace klotski::baselines

@@ -1,0 +1,31 @@
+// MRC baseline: a greedy planner that, at every step, picks the feasible
+// next action maximizing the minimum residual capacity across circuits
+// (the strategy of minimal-rewiring-style planners [37], §6.1).
+//
+// MRC predates operation-block planning: it treats every remaining block as
+// a distinct candidate (no compact-state dedup, no satisfiability cache),
+// and evaluates the full ECMP load of each candidate to compute the
+// residual-capacity objective — the "preprocess all available action
+// combinations" cost the paper calls out. It is safe but not cost-optimal
+// (it ignores action-type grouping, Figure 8(a)), and it cannot plan
+// migrations that introduce a new switch role (E-DMAG, Figure 9).
+#pragma once
+
+#include "klotski/core/planner.h"
+
+namespace klotski::baselines {
+
+class MrcPlanner : public core::Planner {
+ public:
+  std::string name() const override { return "MRC"; }
+
+  core::Plan plan(migration::MigrationTask& task,
+                  constraints::CompositeChecker& checker,
+                  const core::PlannerOptions& options) override;
+};
+
+/// True when the task introduces a switch role absent from the original
+/// topology (e.g. the MA layer): the property that defeats MRC and Janus.
+bool task_changes_topology_structure(const migration::MigrationTask& task);
+
+}  // namespace klotski::baselines

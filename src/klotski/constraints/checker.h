@@ -1,0 +1,41 @@
+// Constraint checker interface (the `C*` of Algorithms 1 and 2).
+//
+// A checker examines one intermediate topology and reports whether it is
+// safe. Checkers are stateless with respect to the search (the same topology
+// always yields the same verdict), which is what makes the ordering-agnostic
+// satisfiability cache of §4.2 sound.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "klotski/topo/topology.h"
+
+namespace klotski::constraints {
+
+struct Verdict {
+  bool satisfied = true;
+  /// Human-readable reason for the first violation found (diagnostics for
+  /// the operators' trial-and-error loop, §2.3).
+  std::string violation;
+
+  static Verdict ok() { return Verdict{}; }
+  static Verdict fail(std::string reason) {
+    return Verdict{false, std::move(reason)};
+  }
+};
+
+class Checker {
+ public:
+  virtual ~Checker() = default;
+
+  /// Checks the current element states of `topo`.
+  virtual Verdict check(const topo::Topology& topo) = 0;
+
+  /// Short name for logs and audit reports.
+  virtual std::string name() const = 0;
+};
+
+using CheckerPtr = std::unique_ptr<Checker>;
+
+}  // namespace klotski::constraints

@@ -1,0 +1,18 @@
+#include "klotski/constraints/composite.h"
+
+namespace klotski::constraints {
+
+void CompositeChecker::add(CheckerPtr checker) {
+  checkers_.push_back(std::move(checker));
+}
+
+Verdict CompositeChecker::check(const topo::Topology& topo) {
+  ++checks_performed_;
+  for (const CheckerPtr& checker : checkers_) {
+    Verdict verdict = checker->check(topo);
+    if (!verdict.satisfied) return verdict;
+  }
+  return Verdict::ok();
+}
+
+}  // namespace klotski::constraints

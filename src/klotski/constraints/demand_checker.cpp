@@ -1,0 +1,64 @@
+#include "klotski/constraints/demand_checker.h"
+
+#include <algorithm>
+
+#include "klotski/util/string_util.h"
+
+namespace klotski::constraints {
+
+DemandChecker::DemandChecker(traffic::EcmpRouter& router,
+                             traffic::DemandSet demands,
+                             DemandCheckerParams params)
+    : router_(router), demands_(std::move(demands)), params_(params) {}
+
+Verdict DemandChecker::check(const topo::Topology& topo) {
+  loads_.assign(topo.num_circuits() * 2, 0.0);
+  last_max_utilization_ = 0.0;
+
+  std::string failed_demand;
+  if (!router_.assign_all(demands_, loads_, &failed_demand)) {
+    return Verdict::fail("demand " + failed_demand +
+                         " has no path in this topology");
+  }
+
+  // Funneling inflation: a circuit whose endpoint switch also terminates
+  // drained or absent circuits absorbs the traffic its siblings shed during
+  // the asynchronous drain transient.
+  std::vector<bool> funneled;
+  if (params_.funneling_margin > 0.0) {
+    funneled.assign(topo.num_switches(), false);
+    for (const topo::Circuit& c : topo.circuits()) {
+      if (c.state != topo::ElementState::kActive) {
+        if (c.a < static_cast<topo::SwitchId>(funneled.size())) {
+          funneled[static_cast<std::size_t>(c.a)] = true;
+        }
+        if (c.b < static_cast<topo::SwitchId>(funneled.size())) {
+          funneled[static_cast<std::size_t>(c.b)] = true;
+        }
+      }
+    }
+  }
+
+  for (const topo::Circuit& c : topo.circuits()) {
+    const double load = std::max(loads_[static_cast<std::size_t>(c.id) * 2],
+                                 loads_[static_cast<std::size_t>(c.id) * 2 + 1]);
+    if (load <= 0.0) continue;
+    double util = load / c.capacity_tbps;
+    if (params_.funneling_margin > 0.0 &&
+        (funneled[static_cast<std::size_t>(c.a)] ||
+         funneled[static_cast<std::size_t>(c.b)])) {
+      util *= 1.0 + params_.funneling_margin;
+    }
+    last_max_utilization_ = std::max(last_max_utilization_, util);
+    if (util > params_.max_utilization) {
+      return Verdict::fail(
+          "circuit " + std::to_string(c.id) + " (" + topo.sw(c.a).name +
+          " - " + topo.sw(c.b).name + ") at " +
+          util::format_double(util * 100.0, 1) + "% > theta " +
+          util::format_double(params_.max_utilization * 100.0, 1) + "%");
+    }
+  }
+  return Verdict::ok();
+}
+
+}  // namespace klotski::constraints

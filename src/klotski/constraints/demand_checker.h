@@ -1,0 +1,55 @@
+// Demand constraints (Eq. 4-5): every demand must have a path from source to
+// target in the intermediate topology, and the utilization of every circuit
+// — aggregated over all demands under ECMP — must stay below the bound
+// theta, so the network can survive failures and absorb traffic spikes.
+//
+// The optional funneling margin models the transient congestion of §2.2 /
+// §7.2: circuits adjacent to a switch that neighbors drained equipment see
+// their load inflated by (1 + margin), approximating the window in which
+// sibling circuits have drained but this one has not yet.
+#pragma once
+
+#include <vector>
+
+#include "klotski/constraints/checker.h"
+#include "klotski/traffic/ecmp.h"
+
+namespace klotski::constraints {
+
+struct DemandCheckerParams {
+  /// Maximum utilization rate theta (default 75%, §6.1).
+  double max_utilization = 0.75;
+  /// Funneling inflation for circuits incident to a switch that also has
+  /// drained/absent circuits (0 disables).
+  double funneling_margin = 0.0;
+};
+
+class DemandChecker : public Checker {
+ public:
+  /// The router must outlive the checker and be bound to the same topology
+  /// object that check() will be called with.
+  DemandChecker(traffic::EcmpRouter& router, traffic::DemandSet demands,
+                DemandCheckerParams params = {});
+
+  Verdict check(const topo::Topology& topo) override;
+  std::string name() const override { return "demands"; }
+
+  void set_demands(traffic::DemandSet demands) {
+    demands_ = std::move(demands);
+  }
+  const traffic::DemandSet& demands() const { return demands_; }
+  const DemandCheckerParams& params() const { return params_; }
+  void set_max_utilization(double theta) { params_.max_utilization = theta; }
+
+  /// Peak utilization seen by the most recent check (diagnostics).
+  double last_max_utilization() const { return last_max_utilization_; }
+
+ private:
+  traffic::EcmpRouter& router_;
+  traffic::DemandSet demands_;
+  DemandCheckerParams params_;
+  traffic::LoadVector loads_;  // scratch
+  double last_max_utilization_ = 0.0;
+};
+
+}  // namespace klotski::constraints

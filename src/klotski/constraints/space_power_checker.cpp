@@ -1,0 +1,43 @@
+#include "klotski/constraints/space_power_checker.h"
+
+#include <string>
+#include <vector>
+
+namespace klotski::constraints {
+
+Verdict SpacePowerChecker::check(const topo::Topology& topo) {
+  if (params_.max_present_per_grid > 0) {
+    std::unordered_map<int, int> per_grid;
+    for (const topo::Switch& s : topo.switches()) {
+      if (!s.present() || s.loc.grid < 0) continue;
+      if (s.role != topo::SwitchRole::kFadu &&
+          s.role != topo::SwitchRole::kFauu) {
+        continue;
+      }
+      const int count = ++per_grid[s.loc.grid];
+      if (count > params_.max_present_per_grid) {
+        return Verdict::fail("grid " + std::to_string(s.loc.grid) +
+                             " exceeds space/power budget of " +
+                             std::to_string(params_.max_present_per_grid) +
+                             " switches");
+      }
+    }
+  }
+  if (params_.max_present_per_plane > 0) {
+    std::unordered_map<int, int> per_plane;  // key = dc * 4096 + plane
+    for (const topo::Switch& s : topo.switches()) {
+      if (!s.present() || s.role != topo::SwitchRole::kSsw) continue;
+      const int key = s.loc.dc * 4096 + s.loc.plane;
+      const int count = ++per_plane[key];
+      if (count > params_.max_present_per_plane) {
+        return Verdict::fail(
+            "dc " + std::to_string(s.loc.dc) + " plane " +
+            std::to_string(s.loc.plane) + " exceeds space/power budget of " +
+            std::to_string(params_.max_present_per_plane) + " SSWs");
+      }
+    }
+  }
+  return Verdict::ok();
+}
+
+}  // namespace klotski::constraints

@@ -1,0 +1,33 @@
+// Space & power constraints (§7.2): old and new hardware generations share
+// the same room; a limited amount of extra space/power supports transient
+// states where both are installed. Modeled as a cap on the number of
+// *present* switches per (role, grid-or-dc) location group.
+#pragma once
+
+#include <unordered_map>
+
+#include "klotski/constraints/checker.h"
+#include "klotski/util/hash.h"
+
+namespace klotski::constraints {
+
+struct SpacePowerParams {
+  /// Maximum present switches in one HGRID grid location, across
+  /// generations. 0 disables the grid cap.
+  int max_present_per_grid = 0;
+  /// Maximum present SSWs per (dc, plane). 0 disables.
+  int max_present_per_plane = 0;
+};
+
+class SpacePowerChecker : public Checker {
+ public:
+  explicit SpacePowerChecker(SpacePowerParams params) : params_(params) {}
+
+  Verdict check(const topo::Topology& topo) override;
+  std::string name() const override { return "space-power"; }
+
+ private:
+  SpacePowerParams params_;
+};
+
+}  // namespace klotski::constraints

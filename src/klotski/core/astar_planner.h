@@ -1,0 +1,24 @@
+// The Klotski-A* search planner (§4.4, Algorithm 2).
+//
+// States are (compact representation V, last action type). The priority is
+// f(n) = g(n) + h(n) with the domain-specific admissible heuristic of the
+// cost model; ties are broken toward states with more finished actions
+// (closer to the target). The planner returns as soon as the target state
+// is popped, which is why it typically visits far fewer states than the DP
+// planner (Figure 7).
+#pragma once
+
+#include "klotski/core/planner.h"
+
+namespace klotski::core {
+
+class AStarPlanner : public Planner {
+ public:
+  std::string name() const override { return "Klotski-A*"; }
+
+  Plan plan(migration::MigrationTask& task,
+            constraints::CompositeChecker& checker,
+            const PlannerOptions& options) override;
+};
+
+}  // namespace klotski::core

@@ -1,0 +1,15 @@
+#include "klotski/core/compact_state.h"
+
+namespace klotski::core {
+
+std::int32_t total_actions(const CountVector& counts) {
+  std::int32_t total = 0;
+  for (const std::int32_t v : counts) total += v;
+  return total;
+}
+
+bool is_target(const CountVector& counts, const CountVector& target) {
+  return counts == target;
+}
+
+}  // namespace klotski::core

@@ -1,0 +1,46 @@
+// The ordering-agnostic compact topology representation of §4.2.
+//
+// Two states reached by different action orderings are equivalent whenever
+// they have performed the same *number* of actions of each type, because the
+// i-th executed block of a type is fixed (blocks of one type are
+// interchangeable symmetry-block unions). A topology is therefore
+// represented by the vector V = (v_i) of finished action counts per type —
+// a handful of small integers instead of an O(|S|+|C|) graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "klotski/util/hash.h"
+
+namespace klotski::core {
+
+using CountVector = std::vector<std::int32_t>;
+
+/// Total finished actions.
+std::int32_t total_actions(const CountVector& counts);
+
+/// True iff counts == target componentwise.
+bool is_target(const CountVector& counts, const CountVector& target);
+
+/// Hash functor for cache tables keyed on V.
+using CountVectorHash = util::VectorHash<std::int32_t>;
+
+/// A search state: the compact representation plus the last action type
+/// (needed by the cost function; -1 before any action).
+struct SearchState {
+  CountVector counts;
+  std::int32_t last_type = -1;
+
+  friend bool operator==(const SearchState&, const SearchState&) = default;
+};
+
+struct SearchStateHash {
+  std::size_t operator()(const SearchState& s) const {
+    return static_cast<std::size_t>(util::hash_combine(
+        util::hash_span(s.counts.data(), s.counts.size()),
+        static_cast<std::uint64_t>(s.last_type + 1)));
+  }
+};
+
+}  // namespace klotski::core

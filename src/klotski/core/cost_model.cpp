@@ -1,0 +1,59 @@
+#include "klotski/core/cost_model.h"
+
+#include <stdexcept>
+
+namespace klotski::core {
+
+CostModel::CostModel(double alpha, std::vector<double> type_weights)
+    : alpha_(alpha), type_weights_(std::move(type_weights)) {
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("CostModel: alpha must be in [0, 1]");
+  }
+  for (const double w : type_weights_) {
+    if (w <= 0.0) {
+      throw std::invalid_argument("CostModel: type weights must be > 0");
+    }
+  }
+}
+
+double CostModel::sequence_cost(const std::vector<std::int32_t>& types) const {
+  double cost = 0.0;
+  std::int32_t last = -1;
+  for (const std::int32_t t : types) {
+    cost += transition_cost(last, t);
+    last = t;
+  }
+  return cost;
+}
+
+double CostModel::heuristic(const CountVector& counts,
+                            const CountVector& target,
+                            std::int32_t last_type) const {
+  double h = 0.0;
+  for (std::size_t a = 0; a < counts.size(); ++a) {
+    const std::int32_t remaining = target[a] - counts[a];
+    if (remaining <= 0) continue;
+    const double w = weight(static_cast<std::int32_t>(a));
+    if (static_cast<std::int32_t>(a) == last_type) {
+      // The current run may be extended at alpha * w per action.
+      h += alpha_ * w * remaining;
+    } else {
+      h += w * (1.0 + alpha_ * (remaining - 1));
+    }
+  }
+  return h;
+}
+
+double CostModel::heuristic_paper_literal(const CountVector& counts,
+                                          const CountVector& target) const {
+  double h = 0.0;
+  for (std::size_t a = 0; a < counts.size(); ++a) {
+    const std::int32_t remaining = target[a] - counts[a];
+    if (remaining <= 0) continue;
+    h += weight(static_cast<std::int32_t>(a)) *
+         (1.0 + alpha_ * (remaining - 1));
+  }
+  return h;
+}
+
+}  // namespace klotski::core

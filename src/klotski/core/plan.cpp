@@ -1,0 +1,26 @@
+#include "klotski/core/plan.h"
+
+#include "klotski/core/cost_model.h"
+
+namespace klotski::core {
+
+std::vector<Phase> Plan::phases() const {
+  std::vector<Phase> out;
+  for (const PlannedAction& action : actions) {
+    if (out.empty() || out.back().type != action.type) {
+      out.push_back(Phase{action.type, {}});
+    }
+    out.back().block_indices.push_back(action.block_index);
+  }
+  return out;
+}
+
+double Plan::recompute_cost(double alpha) const {
+  CostModel model(alpha);
+  std::vector<std::int32_t> types;
+  types.reserve(actions.size());
+  for (const PlannedAction& action : actions) types.push_back(action.type);
+  return model.sequence_cost(types);
+}
+
+}  // namespace klotski::core

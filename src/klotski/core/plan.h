@@ -1,0 +1,65 @@
+// Migration plans: the planner output (ordered actions + cost + search
+// statistics) and the phase view the EDP pipeline exports (one phase = one
+// maximal run of same-type actions, executed in parallel by the field
+// crews).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "klotski/migration/task.h"
+
+namespace klotski::core {
+
+struct PlannedAction {
+  migration::ActionTypeId type = migration::kNoAction;
+  /// Index into task.blocks[type]; the planner always emits the blocks of a
+  /// type in their fixed order, so this is the running count - 1.
+  std::int32_t block_index = -1;
+
+  friend bool operator==(const PlannedAction&, const PlannedAction&) = default;
+};
+
+struct Phase {
+  migration::ActionTypeId type = migration::kNoAction;
+  std::vector<std::int32_t> block_indices;
+};
+
+struct PlannerStats {
+  long long visited_states = 0;    // states expanded / DP cells filled
+  long long generated_states = 0;  // successor candidates examined
+  long long sat_checks = 0;        // actual constraint evaluations
+  long long cache_hits = 0;        // §4.2 cache hits
+  double wall_seconds = 0.0;
+};
+
+/// One A* expansion, recorded when PlannerOptions::record_trace is set —
+/// the Figure 6 search-process view: which state was popped, its priority
+/// decomposition, and whether it ended up on the returned plan.
+struct TraceEntry {
+  std::vector<std::int32_t> counts;
+  std::int32_t last_type = -1;
+  double g = 0.0;
+  double h = 0.0;
+  bool on_final_path = false;
+};
+
+struct Plan {
+  bool found = false;
+  std::string failure;  // reason when !found ("timeout", "infeasible", ...)
+  std::string planner;  // which planner produced it
+  std::vector<PlannedAction> actions;
+  double cost = 0.0;
+  PlannerStats stats;
+  /// Non-empty only when the search ran with record_trace (A* planner).
+  std::vector<TraceEntry> trace;
+
+  /// Groups consecutive same-type actions into phases.
+  std::vector<Phase> phases() const;
+
+  /// Recomputes the cost of `actions` under alpha (cross-check for tests).
+  double recompute_cost(double alpha) const;
+};
+
+}  // namespace klotski::core

@@ -1,0 +1,51 @@
+// Planner interface shared by Klotski-A*, Klotski-DP and the baselines.
+#pragma once
+
+#include <string>
+
+#include "klotski/constraints/composite.h"
+#include "klotski/core/plan.h"
+#include "klotski/migration/task.h"
+
+namespace klotski::core {
+
+struct PlannerOptions {
+  /// Cost-function alpha (§5); 0 recovers Eq. 1.
+  double alpha = 0.0;
+  /// OPEX weights per action type (§7.2); empty = every type costs 1.
+  std::vector<double> type_weights;
+  /// Efficient satisfiability checking (§4.2); false = "w/o ESC" ablation.
+  bool use_satisfiability_cache = true;
+  /// A* priority function (§4.4); false degrades the A* planner to
+  /// uniform-cost search, the "w/o A*" ablation.
+  bool use_astar_heuristic = true;
+  /// Use Eq. 9 exactly as printed in the paper, which can overestimate the
+  /// cost-to-go and lose the optimality guarantee. For the heuristic
+  /// ablation bench only.
+  bool use_paper_literal_heuristic = false;
+  /// Record every A* expansion into Plan::trace (the Figure 6 search
+  /// process). Costs memory proportional to visited states — for
+  /// inspection and teaching, not production planning.
+  bool record_trace = false;
+  /// Planning budget in wall seconds; 0 = unlimited (the paper capped
+  /// baselines at 24 h).
+  double deadline_seconds = 0.0;
+  /// Safety valve for the exhaustive planners: give up (found = false,
+  /// failure = "state space too large") beyond this many compact states.
+  long long max_states = 200'000'000;
+};
+
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Computes a migration plan. The task's topology is mutated during the
+  /// search and restored to the original state before returning.
+  virtual Plan plan(migration::MigrationTask& task,
+                    constraints::CompositeChecker& checker,
+                    const PlannerOptions& options) = 0;
+};
+
+}  // namespace klotski::core

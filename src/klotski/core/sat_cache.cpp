@@ -1,0 +1,14 @@
+#include "klotski/core/sat_cache.h"
+
+namespace klotski::core {
+
+std::size_t SatCache::approx_memory_bytes() const {
+  std::size_t bytes = table_.bucket_count() * sizeof(void*);
+  for (const auto& [key, value] : table_) {
+    (void)value;
+    bytes += sizeof(std::int32_t) * key.capacity() + 3 * sizeof(void*) + 8;
+  }
+  return bytes;
+}
+
+}  // namespace klotski::core

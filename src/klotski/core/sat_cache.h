@@ -1,0 +1,39 @@
+// The satisfiability cache T_C of §4.2 (efficient satisfiability checking).
+//
+// Keys are compact topology representations; values are check verdicts.
+// Indexing a handful of int32 counters is what makes caching affordable at
+// O(10,000)-switch scale — storing whole topologies would not be.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "klotski/core/compact_state.h"
+
+namespace klotski::core {
+
+class SatCache {
+ public:
+  std::optional<bool> lookup(const CountVector& counts) const {
+    const auto it = table_.find(counts);
+    if (it == table_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void store(const CountVector& counts, bool satisfiable) {
+    table_.emplace(counts, satisfiable);
+  }
+
+  std::size_t size() const { return table_.size(); }
+  void clear() { table_.clear(); }
+
+  /// Approximate resident bytes (table nodes + key payloads); the compact
+  /// representation makes this a few dozen bytes per state.
+  std::size_t approx_memory_bytes() const;
+
+ private:
+  std::unordered_map<CountVector, bool, CountVectorHash> table_;
+};
+
+}  // namespace klotski::core

@@ -1,0 +1,47 @@
+#include "klotski/core/state_evaluator.h"
+
+#include <stdexcept>
+
+namespace klotski::core {
+
+StateEvaluator::StateEvaluator(migration::MigrationTask& task,
+                               constraints::CompositeChecker& checker,
+                               bool use_cache)
+    : task_(task), checker_(checker), use_cache_(use_cache) {
+  target_.reserve(task.blocks.size());
+  for (const auto& type_blocks : task.blocks) {
+    target_.push_back(static_cast<std::int32_t>(type_blocks.size()));
+  }
+}
+
+void StateEvaluator::materialize(const CountVector& counts) {
+  if (counts.size() != task_.blocks.size()) {
+    throw std::invalid_argument("StateEvaluator: count vector arity mismatch");
+  }
+  task_.reset_to_original();
+  for (std::size_t t = 0; t < counts.size(); ++t) {
+    const auto done = static_cast<std::size_t>(counts[t]);
+    if (done > task_.blocks[t].size()) {
+      throw std::out_of_range("StateEvaluator: count exceeds block count");
+    }
+    for (std::size_t i = 0; i < done; ++i) {
+      task_.blocks[t][i].apply(*task_.topo);
+    }
+  }
+}
+
+bool StateEvaluator::feasible(const CountVector& counts) {
+  if (use_cache_) {
+    if (const auto cached = cache_.lookup(counts)) {
+      ++cache_hits_;
+      return *cached;
+    }
+  }
+  materialize(counts);
+  ++sat_checks_;
+  const bool ok = checker_.check(*task_.topo).satisfied;
+  if (use_cache_) cache_.store(counts, ok);
+  return ok;
+}
+
+}  // namespace klotski::core

@@ -1,0 +1,53 @@
+// Materializes compact states onto the task topology and checks the safety
+// constraints, with the §4.2 satisfiability cache in front.
+//
+// Evaluating V = (v_i): restore the original element states, apply the
+// first v_i blocks of every type i, run the constraint checkers. The
+// restore+apply pass is O(|S| + |C| + touched elements), dominated by the
+// demand check itself, matching the per-state cost in Theorems 1-2.
+#pragma once
+
+#include <cstdint>
+
+#include "klotski/constraints/composite.h"
+#include "klotski/core/sat_cache.h"
+#include "klotski/migration/task.h"
+
+namespace klotski::core {
+
+class StateEvaluator {
+ public:
+  /// `use_cache = false` gives the "Klotski w/o ESC" ablation.
+  StateEvaluator(migration::MigrationTask& task,
+                 constraints::CompositeChecker& checker, bool use_cache);
+
+  /// True iff the intermediate topology after `counts` satisfies all
+  /// constraints. Leaves the topology in an unspecified element state;
+  /// call materialize() or task.reset_to_original() when a specific state
+  /// is needed afterwards.
+  bool feasible(const CountVector& counts);
+
+  /// Applies `counts` onto the topology and leaves it there (inspection /
+  /// audit / phase export).
+  void materialize(const CountVector& counts);
+
+  /// Target compact state (all blocks of every type done).
+  const CountVector& target() const { return target_; }
+
+  long long sat_checks() const { return sat_checks_; }
+  long long cache_hits() const { return cache_hits_; }
+  const SatCache& cache() const { return cache_; }
+  migration::MigrationTask& task() { return task_; }
+  constraints::CompositeChecker& checker() { return checker_; }
+
+ private:
+  migration::MigrationTask& task_;
+  constraints::CompositeChecker& checker_;
+  bool use_cache_;
+  SatCache cache_;
+  CountVector target_;
+  long long sat_checks_ = 0;
+  long long cache_hits_ = 0;
+};
+
+}  // namespace klotski::core

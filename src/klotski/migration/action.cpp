@@ -1,0 +1,9 @@
+#include "klotski/migration/action.h"
+
+namespace klotski::migration {
+
+std::string to_string(OpKind op) {
+  return op == OpKind::kDrain ? "drain" : "undrain";
+}
+
+}  // namespace klotski::migration

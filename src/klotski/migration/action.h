@@ -1,0 +1,38 @@
+// Actions and action types (§3).
+//
+// A migration is a sequence of actions on operation blocks. Every action has
+// an action type determined by the kind of equipment it touches and the
+// operation performed on it (drain-and-decommission vs install-and-undrain).
+// Consecutive actions of the same type can be executed by field operators in
+// parallel at negligible extra cost; a change of action type costs one unit
+// of operational time (Eq. 1), generalized by f_cost(x) = 1 + alpha(x-1)
+// (§5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "klotski/topo/switch_types.h"
+
+namespace klotski::migration {
+
+using ActionTypeId = std::int32_t;
+inline constexpr ActionTypeId kNoAction = -1;
+
+/// Operation kinds. Draining in this model includes the physical
+/// decommission that frees ports/space (§2.4: "remove/decommission the old
+/// switches first to create space"); undraining includes installation.
+enum class OpKind : std::uint8_t { kDrain, kUndrain };
+
+std::string to_string(OpKind op);
+
+struct ActionType {
+  ActionTypeId id = kNoAction;
+  std::string label;  // e.g. "drain-hgrid-v1" or "undrain-ssw-v2"
+  OpKind op = OpKind::kDrain;
+  topo::SwitchRole role = topo::SwitchRole::kFadu;  // representative role
+  topo::Generation gen = topo::Generation::kV1;
+};
+
+}  // namespace klotski::migration

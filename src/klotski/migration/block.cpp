@@ -1,0 +1,73 @@
+#include "klotski/migration/block.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace klotski::migration {
+
+void OperationBlock::apply(topo::Topology& topo) const {
+  for (const ElementOp& op : ops) {
+    if (op.kind == ElementOp::Kind::kSwitch) {
+      topo.sw(op.id).state = op.to;
+    } else {
+      topo.circuit(op.id).state = op.to;
+    }
+  }
+}
+
+int OperationBlock::switch_count() const {
+  int n = 0;
+  for (const ElementOp& op : ops) {
+    if (op.kind == ElementOp::Kind::kSwitch) ++n;
+  }
+  return n;
+}
+
+int OperationBlock::circuit_count() const {
+  int n = 0;
+  for (const ElementOp& op : ops) {
+    if (op.kind == ElementOp::Kind::kCircuit) ++n;
+  }
+  return n;
+}
+
+double OperationBlock::touched_capacity_tbps(const topo::Topology& topo) const {
+  double total = 0.0;
+  for (const ElementOp& op : ops) {
+    if (op.kind == ElementOp::Kind::kCircuit) {
+      total += topo.circuit(op.id).capacity_tbps;
+    }
+  }
+  return total;
+}
+
+void add_switch_with_circuits(const topo::Topology& topo, topo::SwitchId sw,
+                              topo::ElementState state,
+                              OperationBlock& block) {
+  block.ops.push_back(
+      ElementOp{ElementOp::Kind::kSwitch, sw, state});
+  for (const topo::CircuitId cid : topo.incident(sw)) {
+    block.ops.push_back(ElementOp{ElementOp::Kind::kCircuit, cid, state});
+  }
+}
+
+std::vector<std::vector<topo::SwitchId>> chunk_switches(
+    const std::vector<topo::SwitchId>& items, int chunks) {
+  const int n = static_cast<int>(items.size());
+  const int k = std::clamp(chunks, 1, std::max(1, n));
+  std::vector<std::vector<topo::SwitchId>> out;
+  if (n == 0) return out;
+  out.reserve(static_cast<std::size_t>(k));
+  const int base = n / k;
+  const int extra = n % k;
+  int cursor = 0;
+  for (int i = 0; i < k; ++i) {
+    const int size = base + (i < extra ? 1 : 0);
+    if (size == 0) continue;
+    out.emplace_back(items.begin() + cursor, items.begin() + cursor + size);
+    cursor += size;
+  }
+  return out;
+}
+
+}  // namespace klotski::migration

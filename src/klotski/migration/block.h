@@ -1,0 +1,58 @@
+// Symmetry blocks and operation blocks (§4.1).
+//
+// Equivalent switches (same role, generation, and position class) form a
+// symmetry block; operating them in any order yields equivalent states.
+// Klotski merges neighboring symmetry blocks into one *operation block*
+// based on locality — switches physically close together are operated
+// simultaneously at little extra cost. An operation block is the unit of
+// one action in a migration plan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "klotski/migration/action.h"
+#include "klotski/topo/topology.h"
+
+namespace klotski::migration {
+
+/// One primitive state flip inside a block.
+struct ElementOp {
+  enum class Kind : std::uint8_t { kSwitch, kCircuit };
+  Kind kind = Kind::kSwitch;
+  std::int32_t id = -1;
+  topo::ElementState to = topo::ElementState::kActive;
+
+  friend bool operator==(const ElementOp&, const ElementOp&) = default;
+};
+
+struct OperationBlock {
+  int id = -1;
+  ActionTypeId type = kNoAction;
+  std::string label;
+  std::vector<ElementOp> ops;
+
+  /// Applies all ops to the topology. Blocks may overlap in circuits (two
+  /// blocks may both set a shared circuit absent); ops are state
+  /// assignments, so overlapping applications commute.
+  void apply(topo::Topology& topo) const;
+
+  int switch_count() const;
+  int circuit_count() const;
+
+  /// Sum of capacity over circuits this block touches (Tbps; the "affected
+  /// capacity" statistic of Table 1).
+  double touched_capacity_tbps(const topo::Topology& topo) const;
+};
+
+/// Helper used by the task builders: appends ops that set a switch and all
+/// of its incident circuits to `state`.
+void add_switch_with_circuits(const topo::Topology& topo, topo::SwitchId sw,
+                              topo::ElementState state, OperationBlock& block);
+
+/// Splits `items` into `chunks` nearly-equal contiguous chunks
+/// (first chunks get the remainder). chunks is clamped to [1, items.size()].
+std::vector<std::vector<topo::SwitchId>> chunk_switches(
+    const std::vector<topo::SwitchId>& items, int chunks);
+
+}  // namespace klotski::migration

@@ -1,0 +1,17 @@
+#include "klotski/migration/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace klotski::migration {
+
+int policy_chunks(const PolicyParams& policy, int base_chunks,
+                  int group_size) {
+  if (group_size <= 0) return 0;
+  if (!policy.use_operation_blocks) return group_size;
+  const double scaled = std::round(static_cast<double>(base_chunks) *
+                                   policy.block_scale);
+  return std::clamp(static_cast<int>(scaled), 1, group_size);
+}
+
+}  // namespace klotski::migration

@@ -1,0 +1,29 @@
+// Organization policy for operation blocks (§5).
+//
+// The policy decides how many operation blocks a group of equivalent /
+// co-located switches is split into:
+//  * HGRID:       one grid is one operation block neighborhood; its FADU
+//                 groups (per DC) and FAUU groups are chunked.
+//  * SSW:         SSWs on a plane are split into several operation blocks.
+//  * DMAG:        MAs/circuits are grouped by the EB they connect to,
+//                 releasing the most ports per action.
+//
+// `block_scale` reproduces the Figure 11 sweep (0.25x fewer, coarser blocks
+// ... 4x more, finer blocks); `use_operation_blocks = false` degrades to
+// symmetry-block granularity, the "Klotski w/o OB" ablation of Figure 10.
+#pragma once
+
+namespace klotski::migration {
+
+struct PolicyParams {
+  double block_scale = 1.0;
+  bool use_operation_blocks = true;
+};
+
+/// Number of chunks a group of `group_size` co-located switches is split
+/// into under this policy: base_chunks scaled by block_scale, clamped to
+/// [1, group_size]. Without operation blocks every switch is its own block.
+int policy_chunks(const PolicyParams& policy, int base_chunks,
+                  int group_size);
+
+}  // namespace klotski::migration

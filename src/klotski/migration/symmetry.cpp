@@ -1,0 +1,114 @@
+#include "klotski/migration/symmetry.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "klotski/util/hash.h"
+
+namespace klotski::migration {
+
+using topo::CircuitId;
+using topo::SwitchId;
+using topo::Topology;
+
+namespace {
+
+/// Initial coloring: everything a constraint can see locally on the switch
+/// itself.
+std::vector<std::int32_t> initial_colors(const Topology& topo) {
+  std::map<std::tuple<int, int, int, int>, std::int32_t> color_of_key;
+  std::vector<std::int32_t> colors(topo.num_switches());
+  for (const topo::Switch& s : topo.switches()) {
+    const auto key = std::make_tuple(static_cast<int>(s.role),
+                                     static_cast<int>(s.gen),
+                                     static_cast<int>(s.state), s.max_ports);
+    const auto [it, unused] = color_of_key.emplace(
+        key, static_cast<std::int32_t>(color_of_key.size()));
+    (void)unused;
+    colors[static_cast<std::size_t>(s.id)] = it->second;
+  }
+  return colors;
+}
+
+}  // namespace
+
+std::size_t SymmetryPartition::largest_block() const {
+  std::size_t largest = 0;
+  for (const auto& block : blocks) largest = std::max(largest, block.size());
+  return largest;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+SymmetryPartition::size_histogram() const {
+  std::map<std::size_t, std::size_t> histogram;
+  for (const auto& block : blocks) ++histogram[block.size()];
+  return {histogram.begin(), histogram.end()};
+}
+
+SymmetryPartition compute_symmetry(const Topology& topo) {
+  const std::size_t n = topo.num_switches();
+  std::vector<std::int32_t> colors = initial_colors(topo);
+
+  // Color refinement: a switch's new color is (old color, sorted multiset
+  // of (edge signature, neighbor color)). Iterate to the fixed point; the
+  // class count is strictly increasing, so at most |S| rounds.
+  std::vector<std::uint64_t> signature(n);
+  std::vector<std::vector<std::uint64_t>> neighbor_sigs(n);
+  std::size_t num_colors = 0;
+  for (const std::int32_t c : colors) {
+    num_colors = std::max(num_colors, static_cast<std::size_t>(c) + 1);
+  }
+
+  while (true) {
+    for (std::size_t i = 0; i < n; ++i) neighbor_sigs[i].clear();
+    for (const topo::Circuit& c : topo.circuits()) {
+      // Edge signature: capacity and circuit state matter to constraints.
+      const std::uint64_t edge = util::hash_combine(
+          static_cast<std::uint64_t>(c.capacity_tbps * 1e6),
+          static_cast<std::uint64_t>(c.state));
+      neighbor_sigs[static_cast<std::size_t>(c.a)].push_back(
+          util::hash_combine(edge, static_cast<std::uint64_t>(
+                                       colors[static_cast<std::size_t>(c.b)])));
+      neighbor_sigs[static_cast<std::size_t>(c.b)].push_back(
+          util::hash_combine(edge, static_cast<std::uint64_t>(
+                                       colors[static_cast<std::size_t>(c.a)])));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      std::sort(neighbor_sigs[i].begin(), neighbor_sigs[i].end());
+      signature[i] = util::hash_combine(
+          static_cast<std::uint64_t>(colors[i]),
+          util::hash_span(neighbor_sigs[i].data(), neighbor_sigs[i].size()));
+    }
+
+    std::unordered_map<std::uint64_t, std::int32_t> color_of_signature;
+    std::vector<std::int32_t> next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [it, unused] = color_of_signature.emplace(
+          signature[i],
+          static_cast<std::int32_t>(color_of_signature.size()));
+      (void)unused;
+      next[i] = it->second;
+    }
+    const std::size_t next_colors = color_of_signature.size();
+    colors.swap(next);
+    if (next_colors == num_colors) break;  // fixed point
+    num_colors = next_colors;
+  }
+
+  SymmetryPartition partition;
+  partition.class_of = std::move(colors);
+  partition.blocks.resize(num_colors);
+  for (std::size_t i = 0; i < n; ++i) {
+    partition.blocks[static_cast<std::size_t>(partition.class_of[i])]
+        .push_back(static_cast<SwitchId>(i));
+  }
+  return partition;
+}
+
+bool equivalent(const SymmetryPartition& partition, SwitchId a, SwitchId b) {
+  return partition.class_of[static_cast<std::size_t>(a)] ==
+         partition.class_of[static_cast<std::size_t>(b)];
+}
+
+}  // namespace klotski::migration

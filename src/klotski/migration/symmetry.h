@@ -1,0 +1,49 @@
+// Symmetry blocks (§4.1, following Janus [4]).
+//
+// Switches are *equivalent* when no constraint or cost can distinguish
+// them: same role, generation, life-cycle state, port budget, and the same
+// multiset of (neighbor class, circuit capacity, circuit state) edges.
+// Equivalence is computed by color refinement (iterated partition
+// refinement over neighbor-class multisets), the standard 1-WL algorithm;
+// its fixed point is a sound under-approximation of topological symmetry —
+// switches it groups together are guaranteed interchangeable.
+//
+// The paper's observation, reproduced by these routines and asserted in the
+// test suite: on Meta-style production topologies a symmetry block contains
+// at most a couple of switches once migrations stage asymmetric hardware,
+// which is why symmetry alone (Janus) prunes too little and Klotski merges
+// blocks by *locality* into operation blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "klotski/topo/topology.h"
+
+namespace klotski::migration {
+
+/// A partition of all switches into equivalence classes.
+struct SymmetryPartition {
+  /// class_of[switch id] = class index (dense, 0-based).
+  std::vector<std::int32_t> class_of;
+  /// blocks[class index] = switch ids in the class.
+  std::vector<std::vector<topo::SwitchId>> blocks;
+
+  std::size_t num_blocks() const { return blocks.size(); }
+
+  /// Size of the largest class.
+  std::size_t largest_block() const;
+
+  /// Histogram: count of blocks per block size.
+  std::vector<std::pair<std::size_t, std::size_t>> size_histogram() const;
+};
+
+/// Computes the symmetry partition of the current element states.
+/// Runs O(iterations * (|S| + |C|) log) with at most |S| refinement rounds.
+SymmetryPartition compute_symmetry(const topo::Topology& topo);
+
+/// True iff `a` and `b` land in the same class of `partition`.
+bool equivalent(const SymmetryPartition& partition, topo::SwitchId a,
+                topo::SwitchId b);
+
+}  // namespace klotski::migration

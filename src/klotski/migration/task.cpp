@@ -1,0 +1,98 @@
+#include "klotski/migration/task.h"
+
+#include <unordered_set>
+
+namespace klotski::migration {
+
+std::vector<std::int32_t> MigrationTask::actions_per_type() const {
+  std::vector<std::int32_t> out;
+  out.reserve(blocks.size());
+  for (const auto& type_blocks : blocks) {
+    out.push_back(static_cast<std::int32_t>(type_blocks.size()));
+  }
+  return out;
+}
+
+int MigrationTask::total_actions() const {
+  int total = 0;
+  for (const auto& type_blocks : blocks) {
+    total += static_cast<int>(type_blocks.size());
+  }
+  return total;
+}
+
+int MigrationTask::operated_switches() const {
+  std::unordered_set<std::int32_t> seen;
+  for (const auto& type_blocks : blocks) {
+    for (const OperationBlock& block : type_blocks) {
+      for (const ElementOp& op : block.ops) {
+        if (op.kind == ElementOp::Kind::kSwitch) seen.insert(op.id);
+      }
+    }
+  }
+  return static_cast<int>(seen.size());
+}
+
+int MigrationTask::operated_circuits() const {
+  std::unordered_set<std::int32_t> seen;
+  for (const auto& type_blocks : blocks) {
+    for (const OperationBlock& block : type_blocks) {
+      for (const ElementOp& op : block.ops) {
+        if (op.kind == ElementOp::Kind::kCircuit) seen.insert(op.id);
+      }
+    }
+  }
+  return static_cast<int>(seen.size());
+}
+
+double MigrationTask::operated_capacity_tbps() const {
+  std::unordered_set<std::int32_t> seen;
+  double total = 0.0;
+  for (const auto& type_blocks : blocks) {
+    for (const OperationBlock& block : type_blocks) {
+      for (const ElementOp& op : block.ops) {
+        if (op.kind == ElementOp::Kind::kCircuit && seen.insert(op.id).second) {
+          total += topo->circuit(op.id).capacity_tbps;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+std::string MigrationTask::validate() const {
+  if (topo == nullptr) return "task has no topology";
+  if (action_types.size() != blocks.size()) {
+    return "action_types / blocks arity mismatch";
+  }
+  for (std::size_t t = 0; t < blocks.size(); ++t) {
+    for (const OperationBlock& block : blocks[t]) {
+      if (block.type != static_cast<ActionTypeId>(t)) {
+        return "block " + block.label + " filed under wrong type";
+      }
+      if (block.ops.empty()) return "block " + block.label + " is empty";
+      for (const ElementOp& op : block.ops) {
+        const bool in_range =
+            op.kind == ElementOp::Kind::kSwitch
+                ? op.id >= 0 &&
+                      op.id < static_cast<std::int32_t>(topo->num_switches())
+                : op.id >= 0 &&
+                      op.id < static_cast<std::int32_t>(topo->num_circuits());
+        if (!in_range) return "block " + block.label + " has out-of-range op";
+      }
+    }
+  }
+
+  original_state.restore(*topo);
+  for (const auto& type_blocks : blocks) {
+    for (const OperationBlock& block : type_blocks) block.apply(*topo);
+  }
+  const topo::TopologyState reached = topo::TopologyState::capture(*topo);
+  original_state.restore(*topo);
+  if (!(reached == target_state)) {
+    return "applying all blocks does not produce the target state";
+  }
+  return "";
+}
+
+}  // namespace klotski::migration

@@ -1,0 +1,67 @@
+// A migration task: the combined original+staged topology, the original and
+// target element states, the action types, and the ordered operation blocks
+// of each type.
+//
+// Within one action type the blocks are interchangeable for constraint
+// satisfiability (they are unions of equivalent symmetry blocks), so a plan
+// only chooses *how many* blocks of each type have run and in which type
+// order — the i-th executed block of a type is always blocks[type][i]. This
+// is what makes the compact topology representation of §4.2 exact.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "klotski/migration/block.h"
+#include "klotski/topo/builder.h"
+#include "klotski/traffic/demand.h"
+
+namespace klotski::migration {
+
+struct MigrationTask {
+  std::string name;
+
+  /// Combined graph: original elements plus staged (absent) new hardware.
+  /// Non-owning; the owner (usually a MigrationCase) must outlive the task.
+  topo::Topology* topo = nullptr;
+
+  topo::TopologyState original_state;
+  topo::TopologyState target_state;
+
+  std::vector<ActionType> action_types;
+  /// blocks[t] is the execution order of type t's blocks.
+  std::vector<std::vector<OperationBlock>> blocks;
+
+  traffic::DemandSet demands;
+
+  int num_action_types() const {
+    return static_cast<int>(action_types.size());
+  }
+  std::vector<std::int32_t> actions_per_type() const;
+  int total_actions() const;
+
+  /// Switch / circuit / capacity footprint across all blocks (Table 1).
+  int operated_switches() const;
+  int operated_circuits() const;
+  double operated_capacity_tbps() const;
+
+  /// Restores the original element states onto the topology.
+  void reset_to_original() const { original_state.restore(*topo); }
+
+  /// Checks internal consistency: applying every block to the original
+  /// state must produce exactly the target state, block types must be in
+  /// range, and ops must reference valid elements. Returns an error message
+  /// or empty string. Leaves the topology in its original state.
+  std::string validate() const;
+};
+
+/// Owns the region (and therefore the topology) a task points into.
+/// The region lives behind a unique_ptr so MigrationCase is movable without
+/// invalidating task.topo.
+struct MigrationCase {
+  std::unique_ptr<topo::Region> region;
+  MigrationTask task;
+};
+
+}  // namespace klotski::migration

@@ -1,0 +1,93 @@
+// Builders for the three production migration types of §2.4:
+//
+//  * HGRID V1 -> V2: replace every FADU/FAUU in the HGRID layer with a new
+//    generation that has more grids (nodes) and therefore more inter-DC
+//    capacity. Old grids must be decommissioned to free SSW/EB/DR ports for
+//    the staged V2 hardware.
+//  * SSW forklift: replace all spine switches of one DC with new-generation
+//    hardware of higher capacity, plane by plane. FSW/FADU ports gate
+//    onboarding per plane.
+//  * DMAG: introduce the MA regional-aggregation layer between FAUUs and the
+//    EB border routers; drain the direct FAUU-EB circuits (grouped by EB,
+//    §5), undrain MAs, then retire the legacy FAUU-DR shortcut circuits.
+//    This migration *adds a switch role*, the property that defeats
+//    symmetry-only planners (§8: Janus assumes unchanged symmetry).
+//
+// Every builder: (1) synthesizes the region, (2) generates the calibrated
+// demand set from the original topology, (3) stages the new hardware as
+// absent elements, (4) emits operation blocks per the §5 organization
+// policy, and (5) computes the target state and re-tightens port budgets so
+// the port constraints (Eq. 6) gate exactly the orderings the paper
+// describes.
+#pragma once
+
+#include "klotski/migration/policy.h"
+#include "klotski/migration/task.h"
+#include "klotski/topo/builder.h"
+#include "klotski/traffic/generator.h"
+
+namespace klotski::migration {
+
+struct HgridMigrationParams {
+  /// Number of V2 grids; 0 means ceil(1.5 * v1 grids) ("more nodes").
+  int v2_grids = 0;
+  /// V2 FADUs per grid per DC; 0 means same as V1.
+  int v2_fadus_per_grid_per_dc = 0;
+  /// V2 FAUUs per grid; 0 means same as V1.
+  int v2_fauus_per_grid = 0;
+
+  PolicyParams policy;
+  /// Base chunking: FADU operation blocks per (grid, dc) group and FAUU
+  /// operation blocks per grid.
+  int fadu_chunks_per_grid_dc = 1;
+  int fauu_chunks_per_grid = 1;
+
+  traffic::DemandGenParams demand;
+};
+
+struct SswForkliftParams {
+  /// DC whose spine is forklifted; -1 means all DCs.
+  int dc = 0;
+  /// Capacity multiplier of V2 SSW circuits ("more capacity").
+  double v2_capacity_factor = 1.5;
+
+  PolicyParams policy;
+  /// Base operation blocks per plane.
+  int blocks_per_plane = 2;
+
+  traffic::DemandGenParams demand;
+};
+
+struct DmagMigrationParams {
+  /// MA switches introduced per EB; grids are partitioned across them.
+  int ma_per_eb = 2;
+  /// Circuit capacities of the new MA layer; 0 means capacity-preserving
+  /// defaults: a FAUU ends the migration with MA uplinks replacing both its
+  /// EB and DR circuits, so FAUU-MA circuits default to cap_fauu_eb +
+  /// cap_fauu_dr, and MA-EB trunks inherit cap_eb_ebb.
+  double cap_fauu_ma = 0.0;
+  double cap_ma_eb = 0.0;
+
+  PolicyParams policy;
+
+  traffic::DemandGenParams demand;
+};
+
+MigrationCase build_hgrid_migration(const topo::RegionParams& region_params,
+                                    const HgridMigrationParams& params = {});
+
+MigrationCase build_ssw_forklift(const topo::RegionParams& region_params,
+                                 const SswForkliftParams& params = {});
+
+MigrationCase build_dmag_migration(const topo::RegionParams& region_params,
+                                   const DmagMigrationParams& params = {});
+
+/// Recomputes every switch's max_ports as
+///   max(ports occupied in the original state, ports occupied in the target
+///       state) + role slack,
+/// so that budgets admit both endpoints of the migration while still gating
+/// transient over-subscription. Called by all task builders after staging.
+void tighten_port_budgets(MigrationTask& task,
+                          const topo::RegionParams& region_params);
+
+}  // namespace klotski::migration

@@ -1,0 +1,53 @@
+#include "klotski/npd/npd.h"
+
+#include <stdexcept>
+
+namespace klotski::npd {
+
+std::string to_string(MigrationKind kind) {
+  switch (kind) {
+    case MigrationKind::kNone: return "none";
+    case MigrationKind::kHgridV1ToV2: return "hgrid-v1-to-v2";
+    case MigrationKind::kSswForklift: return "ssw-forklift";
+    case MigrationKind::kDmag: return "dmag";
+  }
+  return "?";
+}
+
+MigrationKind migration_kind_from_string(const std::string& text) {
+  if (text == "none") return MigrationKind::kNone;
+  if (text == "hgrid-v1-to-v2") return MigrationKind::kHgridV1ToV2;
+  if (text == "ssw-forklift") return MigrationKind::kSswForklift;
+  if (text == "dmag") return MigrationKind::kDmag;
+  throw std::invalid_argument("unknown migration kind: " + text);
+}
+
+topo::Region build_region(const NpdDocument& doc) {
+  return topo::build_region(doc.region);
+}
+
+migration::MigrationCase build_case(const NpdDocument& doc) {
+  switch (doc.migration) {
+    case MigrationKind::kHgridV1ToV2: {
+      auto params = doc.hgrid;
+      params.demand = doc.demand;
+      return migration::build_hgrid_migration(doc.region, params);
+    }
+    case MigrationKind::kSswForklift: {
+      auto params = doc.ssw;
+      params.demand = doc.demand;
+      return migration::build_ssw_forklift(doc.region, params);
+    }
+    case MigrationKind::kDmag: {
+      auto params = doc.dmag;
+      params.demand = doc.demand;
+      return migration::build_dmag_migration(doc.region, params);
+    }
+    case MigrationKind::kNone:
+      break;
+  }
+  throw std::invalid_argument(
+      "build_case: NPD document has no migration section");
+}
+
+}  // namespace klotski::npd

@@ -1,0 +1,52 @@
+// NPD — Network Product Definition (§5).
+//
+// NPD is the generic data structure used to define high-level properties of
+// network topologies; it is the input format of the EDP-Lite pipeline. An
+// NPD document describes a DCN in six parts — Fabric, HGRID, MA, EB, DR,
+// BB — each recording switches by role and position and how they
+// interconnect, plus migration-phase and hardware information.
+//
+// The on-disk encoding is JSON (see npd_io.h). The six parts map onto
+// topo::RegionParams; the migration section selects and parameterizes one
+// of the §2.4 migration types; the demand section parameterizes the traffic
+// generator.
+#pragma once
+
+#include <string>
+
+#include "klotski/migration/task_builder.h"
+#include "klotski/topo/builder.h"
+#include "klotski/traffic/generator.h"
+
+namespace klotski::npd {
+
+enum class MigrationKind { kNone, kHgridV1ToV2, kSswForklift, kDmag };
+
+std::string to_string(MigrationKind kind);
+MigrationKind migration_kind_from_string(const std::string& text);
+
+struct NpdDocument {
+  std::string name = "unnamed";
+  int version = 1;
+
+  /// The six structural parts, folded into the region parameters.
+  topo::RegionParams region;
+
+  /// Migration phase information.
+  MigrationKind migration = MigrationKind::kNone;
+  migration::HgridMigrationParams hgrid;
+  migration::SswForkliftParams ssw;
+  migration::DmagMigrationParams dmag;
+
+  /// Forecasted traffic parameters.
+  traffic::DemandGenParams demand;
+};
+
+/// Builds the region described by the document (no migration staging).
+topo::Region build_region(const NpdDocument& doc);
+
+/// Builds the full migration case; throws std::invalid_argument when the
+/// document has migration = kNone.
+migration::MigrationCase build_case(const NpdDocument& doc);
+
+}  // namespace klotski::npd

@@ -1,0 +1,23 @@
+// Full-fidelity topology <-> JSON conversion.
+//
+// While the NPD document (npd.h) is the compact generative description, the
+// pipeline also exchanges *explicit* topologies — e.g. the per-phase
+// intermediate topologies attached to an exported migration plan, or
+// snapshots shipped to downstream audit tooling. This module serializes a
+// topo::Topology losslessly.
+#pragma once
+
+#include "klotski/json/json.h"
+#include "klotski/topo/topology.h"
+
+namespace klotski::npd {
+
+/// Serializes switches (with role/gen/location/ports/state/name) and
+/// circuits (endpoints by switch name, capacity, state).
+json::Value topology_to_json(const topo::Topology& topo);
+
+/// Inverse of topology_to_json; throws std::invalid_argument on malformed
+/// documents (unknown roles, dangling endpoint names, ...).
+topo::Topology topology_from_json(const json::Value& value);
+
+}  // namespace klotski::npd

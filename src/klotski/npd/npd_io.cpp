@@ -1,0 +1,319 @@
+#include "klotski/npd/npd_io.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace klotski::npd {
+
+namespace {
+
+using json::Array;
+using json::Object;
+using json::Value;
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("npd: " + message);
+}
+
+/// Rejects keys outside `allowed` so that typos are loud.
+void check_keys(const Value& v, const char* section,
+                std::initializer_list<const char*> allowed) {
+  std::unordered_set<std::string> set;
+  for (const char* key : allowed) set.insert(key);
+  for (const auto& [key, unused] : v.as_object()) {
+    (void)unused;
+    if (set.count(key) == 0) {
+      fail(std::string("unknown key '") + key + "' in section " + section);
+    }
+  }
+}
+
+topo::FabricParams fabric_from_json(const Value& v) {
+  check_keys(v, "fabric.buildings[]",
+             {"pods", "rsws_per_pod", "planes", "ssws_per_plane",
+              "rsw_fsw_links"});
+  topo::FabricParams fab;
+  fab.pods = static_cast<int>(v.get_int("pods", fab.pods));
+  fab.rsws_per_pod =
+      static_cast<int>(v.get_int("rsws_per_pod", fab.rsws_per_pod));
+  fab.planes = static_cast<int>(v.get_int("planes", fab.planes));
+  fab.ssws_per_plane =
+      static_cast<int>(v.get_int("ssws_per_plane", fab.ssws_per_plane));
+  fab.rsw_fsw_links =
+      static_cast<int>(v.get_int("rsw_fsw_links", fab.rsw_fsw_links));
+  return fab;
+}
+
+Value fabric_to_json(const topo::FabricParams& fab) {
+  Object o;
+  o["pods"] = fab.pods;
+  o["rsws_per_pod"] = fab.rsws_per_pod;
+  o["planes"] = fab.planes;
+  o["ssws_per_plane"] = fab.ssws_per_plane;
+  o["rsw_fsw_links"] = fab.rsw_fsw_links;
+  return Value(std::move(o));
+}
+
+std::string mesh_to_string(topo::MeshPattern mesh) {
+  return mesh == topo::MeshPattern::kPlaneAligned ? "plane-aligned"
+                                                  : "interleaved";
+}
+
+topo::MeshPattern mesh_from_string(const std::string& text) {
+  if (text == "plane-aligned") return topo::MeshPattern::kPlaneAligned;
+  if (text == "interleaved") return topo::MeshPattern::kInterleaved;
+  fail("unknown mesh pattern '" + text + "'");
+}
+
+}  // namespace
+
+NpdDocument from_json(const Value& root) {
+  check_keys(root, "(root)",
+             {"name", "version", "fabric", "hgrid", "ma", "eb", "dr", "bb",
+              "hardware", "migration", "demand"});
+  NpdDocument doc;
+  doc.name = root.get_string("name", doc.name);
+  doc.version = static_cast<int>(root.get_int("version", doc.version));
+  topo::RegionParams& rp = doc.region;
+
+  if (const Value* fabric = root.as_object().find("fabric")) {
+    check_keys(*fabric, "fabric", {"dcs", "buildings"});
+    rp.dcs = static_cast<int>(fabric->get_int("dcs", rp.dcs));
+    if (const Value* buildings = fabric->as_object().find("buildings")) {
+      rp.fabrics.clear();
+      for (const Value& b : buildings->as_array()) {
+        rp.fabrics.push_back(fabric_from_json(b));
+      }
+      if (rp.fabrics.empty()) fail("fabric.buildings must not be empty");
+    }
+  }
+
+  if (const Value* hgrid = root.as_object().find("hgrid")) {
+    check_keys(*hgrid, "hgrid",
+               {"grids", "fadus_per_grid_per_dc", "fauus_per_grid",
+                "generation", "mesh"});
+    rp.grids = static_cast<int>(hgrid->get_int("grids", rp.grids));
+    rp.fadus_per_grid_per_dc = static_cast<int>(
+        hgrid->get_int("fadus_per_grid_per_dc", rp.fadus_per_grid_per_dc));
+    rp.fauus_per_grid = static_cast<int>(
+        hgrid->get_int("fauus_per_grid", rp.fauus_per_grid));
+    rp.hgrid_gen = topo::generation_from_string(
+        hgrid->get_string("generation", "V1"));
+    rp.mesh = mesh_from_string(hgrid->get_string("mesh", "plane-aligned"));
+  }
+
+  if (const Value* ma = root.as_object().find("ma")) {
+    check_keys(*ma, "ma", {});
+  }
+  if (const Value* eb = root.as_object().find("eb")) {
+    check_keys(*eb, "eb", {"count"});
+    rp.ebs = static_cast<int>(eb->get_int("count", rp.ebs));
+  }
+  if (const Value* dr = root.as_object().find("dr")) {
+    check_keys(*dr, "dr", {"count"});
+    rp.drs = static_cast<int>(dr->get_int("count", rp.drs));
+  }
+  if (const Value* bb = root.as_object().find("bb")) {
+    check_keys(*bb, "bb", {"ebbs"});
+    rp.ebbs = static_cast<int>(bb->get_int("ebbs", rp.ebbs));
+  }
+
+  if (const Value* hw = root.as_object().find("hardware")) {
+    check_keys(*hw, "hardware", {"capacities", "port_slack"});
+    if (const Value* caps = hw->as_object().find("capacities")) {
+      check_keys(*caps, "hardware.capacities",
+                 {"rsw_fsw", "fsw_ssw", "ssw_fadu", "fadu_fauu", "fauu_eb",
+                  "fauu_dr", "eb_ebb", "dr_ebb"});
+      rp.cap_rsw_fsw = caps->get_double("rsw_fsw", rp.cap_rsw_fsw);
+      rp.cap_fsw_ssw = caps->get_double("fsw_ssw", rp.cap_fsw_ssw);
+      rp.cap_ssw_fadu = caps->get_double("ssw_fadu", rp.cap_ssw_fadu);
+      rp.cap_fadu_fauu = caps->get_double("fadu_fauu", rp.cap_fadu_fauu);
+      rp.cap_fauu_eb = caps->get_double("fauu_eb", rp.cap_fauu_eb);
+      rp.cap_fauu_dr = caps->get_double("fauu_dr", rp.cap_fauu_dr);
+      rp.cap_eb_ebb = caps->get_double("eb_ebb", rp.cap_eb_ebb);
+      rp.cap_dr_ebb = caps->get_double("dr_ebb", rp.cap_dr_ebb);
+    }
+    if (const Value* slack = hw->as_object().find("port_slack")) {
+      check_keys(*slack, "hardware.port_slack",
+                 {"fabric", "ssw", "agg", "eb", "ebb"});
+      rp.port_slack_fabric = static_cast<int>(
+          slack->get_int("fabric", rp.port_slack_fabric));
+      rp.port_slack_ssw =
+          static_cast<int>(slack->get_int("ssw", rp.port_slack_ssw));
+      rp.port_slack_agg =
+          static_cast<int>(slack->get_int("agg", rp.port_slack_agg));
+      rp.port_slack_eb =
+          static_cast<int>(slack->get_int("eb", rp.port_slack_eb));
+      rp.port_slack_ebb =
+          static_cast<int>(slack->get_int("ebb", rp.port_slack_ebb));
+    }
+  }
+
+  if (const Value* mig = root.as_object().find("migration")) {
+    check_keys(*mig, "migration",
+               {"type", "v2_grids", "v2_fadus_per_grid_per_dc",
+                "v2_fauus_per_grid", "fadu_chunks_per_grid_dc",
+                "fauu_chunks_per_grid", "dc", "v2_capacity_factor",
+                "blocks_per_plane", "ma_per_eb", "block_scale",
+                "use_operation_blocks"});
+    doc.migration =
+        migration_kind_from_string(mig->get_string("type", "none"));
+
+    migration::PolicyParams policy;
+    policy.block_scale = mig->get_double("block_scale", policy.block_scale);
+    policy.use_operation_blocks =
+        mig->get_bool("use_operation_blocks", policy.use_operation_blocks);
+
+    doc.hgrid.v2_grids =
+        static_cast<int>(mig->get_int("v2_grids", doc.hgrid.v2_grids));
+    doc.hgrid.v2_fadus_per_grid_per_dc = static_cast<int>(mig->get_int(
+        "v2_fadus_per_grid_per_dc", doc.hgrid.v2_fadus_per_grid_per_dc));
+    doc.hgrid.v2_fauus_per_grid = static_cast<int>(
+        mig->get_int("v2_fauus_per_grid", doc.hgrid.v2_fauus_per_grid));
+    doc.hgrid.fadu_chunks_per_grid_dc = static_cast<int>(mig->get_int(
+        "fadu_chunks_per_grid_dc", doc.hgrid.fadu_chunks_per_grid_dc));
+    doc.hgrid.fauu_chunks_per_grid = static_cast<int>(
+        mig->get_int("fauu_chunks_per_grid", doc.hgrid.fauu_chunks_per_grid));
+    doc.hgrid.policy = policy;
+
+    doc.ssw.dc = static_cast<int>(mig->get_int("dc", doc.ssw.dc));
+    doc.ssw.v2_capacity_factor =
+        mig->get_double("v2_capacity_factor", doc.ssw.v2_capacity_factor);
+    doc.ssw.blocks_per_plane = static_cast<int>(
+        mig->get_int("blocks_per_plane", doc.ssw.blocks_per_plane));
+    doc.ssw.policy = policy;
+
+    doc.dmag.ma_per_eb =
+        static_cast<int>(mig->get_int("ma_per_eb", doc.dmag.ma_per_eb));
+    doc.dmag.policy = policy;
+  }
+
+  if (const Value* demand = root.as_object().find("demand")) {
+    check_keys(*demand, "demand",
+               {"egress_frac", "ingress_frac", "east_west_frac",
+                "intra_dc_frac"});
+    doc.demand.egress_frac =
+        demand->get_double("egress_frac", doc.demand.egress_frac);
+    doc.demand.ingress_frac =
+        demand->get_double("ingress_frac", doc.demand.ingress_frac);
+    doc.demand.east_west_frac =
+        demand->get_double("east_west_frac", doc.demand.east_west_frac);
+    doc.demand.intra_dc_frac =
+        demand->get_double("intra_dc_frac", doc.demand.intra_dc_frac);
+  }
+
+  return doc;
+}
+
+NpdDocument parse_npd(const std::string& text) {
+  return from_json(json::parse(text));
+}
+
+json::Value to_json(const NpdDocument& doc) {
+  const topo::RegionParams& rp = doc.region;
+  Object root;
+  root["name"] = doc.name;
+  root["version"] = doc.version;
+
+  {
+    Object fabric;
+    fabric["dcs"] = rp.dcs;
+    Array buildings;
+    for (const topo::FabricParams& fab : rp.fabrics) {
+      buildings.push_back(fabric_to_json(fab));
+    }
+    fabric["buildings"] = Value(std::move(buildings));
+    root["fabric"] = Value(std::move(fabric));
+  }
+  {
+    Object hgrid;
+    hgrid["grids"] = rp.grids;
+    hgrid["fadus_per_grid_per_dc"] = rp.fadus_per_grid_per_dc;
+    hgrid["fauus_per_grid"] = rp.fauus_per_grid;
+    hgrid["generation"] = std::string(topo::to_string(rp.hgrid_gen));
+    hgrid["mesh"] = mesh_to_string(rp.mesh);
+    root["hgrid"] = Value(std::move(hgrid));
+  }
+  root["ma"] = Value(Object{});
+  {
+    Object eb;
+    eb["count"] = rp.ebs;
+    root["eb"] = Value(std::move(eb));
+  }
+  {
+    Object dr;
+    dr["count"] = rp.drs;
+    root["dr"] = Value(std::move(dr));
+  }
+  {
+    Object bb;
+    bb["ebbs"] = rp.ebbs;
+    root["bb"] = Value(std::move(bb));
+  }
+  {
+    Object caps;
+    caps["rsw_fsw"] = rp.cap_rsw_fsw;
+    caps["fsw_ssw"] = rp.cap_fsw_ssw;
+    caps["ssw_fadu"] = rp.cap_ssw_fadu;
+    caps["fadu_fauu"] = rp.cap_fadu_fauu;
+    caps["fauu_eb"] = rp.cap_fauu_eb;
+    caps["fauu_dr"] = rp.cap_fauu_dr;
+    caps["eb_ebb"] = rp.cap_eb_ebb;
+    caps["dr_ebb"] = rp.cap_dr_ebb;
+    Object slack;
+    slack["fabric"] = rp.port_slack_fabric;
+    slack["ssw"] = rp.port_slack_ssw;
+    slack["agg"] = rp.port_slack_agg;
+    slack["eb"] = rp.port_slack_eb;
+    slack["ebb"] = rp.port_slack_ebb;
+    Object hw;
+    hw["capacities"] = Value(std::move(caps));
+    hw["port_slack"] = Value(std::move(slack));
+    root["hardware"] = Value(std::move(hw));
+  }
+  {
+    Object mig;
+    mig["type"] = to_string(doc.migration);
+    switch (doc.migration) {
+      case MigrationKind::kHgridV1ToV2:
+        mig["v2_grids"] = doc.hgrid.v2_grids;
+        mig["v2_fadus_per_grid_per_dc"] = doc.hgrid.v2_fadus_per_grid_per_dc;
+        mig["v2_fauus_per_grid"] = doc.hgrid.v2_fauus_per_grid;
+        mig["fadu_chunks_per_grid_dc"] = doc.hgrid.fadu_chunks_per_grid_dc;
+        mig["fauu_chunks_per_grid"] = doc.hgrid.fauu_chunks_per_grid;
+        mig["block_scale"] = doc.hgrid.policy.block_scale;
+        mig["use_operation_blocks"] = doc.hgrid.policy.use_operation_blocks;
+        break;
+      case MigrationKind::kSswForklift:
+        mig["dc"] = doc.ssw.dc;
+        mig["v2_capacity_factor"] = doc.ssw.v2_capacity_factor;
+        mig["blocks_per_plane"] = doc.ssw.blocks_per_plane;
+        mig["block_scale"] = doc.ssw.policy.block_scale;
+        mig["use_operation_blocks"] = doc.ssw.policy.use_operation_blocks;
+        break;
+      case MigrationKind::kDmag:
+        mig["ma_per_eb"] = doc.dmag.ma_per_eb;
+        mig["block_scale"] = doc.dmag.policy.block_scale;
+        mig["use_operation_blocks"] = doc.dmag.policy.use_operation_blocks;
+        break;
+      case MigrationKind::kNone:
+        break;
+    }
+    root["migration"] = Value(std::move(mig));
+  }
+  {
+    Object demand;
+    demand["egress_frac"] = doc.demand.egress_frac;
+    demand["ingress_frac"] = doc.demand.ingress_frac;
+    demand["east_west_frac"] = doc.demand.east_west_frac;
+    demand["intra_dc_frac"] = doc.demand.intra_dc_frac;
+    root["demand"] = Value(std::move(demand));
+  }
+  return Value(std::move(root));
+}
+
+std::string dump_npd(const NpdDocument& doc) {
+  return json::dump(to_json(doc), 2);
+}
+
+}  // namespace klotski::npd

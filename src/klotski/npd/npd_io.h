@@ -1,0 +1,45 @@
+// JSON (de)serialization of NPD documents.
+//
+// Layout (six structural parts plus migration/demand sections):
+//
+//   {
+//     "name": "...", "version": 1,
+//     "fabric":  { "dcs": 2, "buildings": [ {pods, rsws_per_pod, planes,
+//                  ssws_per_plane, rsw_fsw_links}, ... ] },
+//     "hgrid":   { "grids": 2, "fadus_per_grid_per_dc": 2,
+//                  "fauus_per_grid": 2, "generation": "V1",
+//                  "mesh": "plane-aligned" },
+//     "ma":      { },                          // reserved for DMAG regions
+//     "eb":      { "count": 2 },
+//     "dr":      { "count": 2 },
+//     "bb":      { "ebbs": 2 },
+//     "hardware": { "capacities": {...}, "port_slack": {...} },
+//     "migration": { "type": "hgrid-v1-to-v2", ... },
+//     "demand":  { "egress_frac": 0.3, ... }
+//   }
+//
+// Unknown keys are rejected with a diagnostic (operators iterate on these
+// files; silent typos would mean silently wrong migrations).
+#pragma once
+
+#include <string>
+
+#include "klotski/json/json.h"
+#include "klotski/npd/npd.h"
+
+namespace klotski::npd {
+
+/// Parses an NPD JSON document; throws json::JsonError / std::invalid_argument
+/// with a message naming the offending key on malformed input.
+NpdDocument from_json(const json::Value& value);
+
+/// Parses from raw text.
+NpdDocument parse_npd(const std::string& text);
+
+/// Serializes; from_json(to_json(doc)) == doc for all representable docs.
+json::Value to_json(const NpdDocument& doc);
+
+/// Pretty-printed JSON text.
+std::string dump_npd(const NpdDocument& doc);
+
+}  // namespace klotski::npd

@@ -1,0 +1,109 @@
+#include "klotski/pipeline/audit.h"
+
+#include <unordered_set>
+
+namespace klotski::pipeline {
+
+AuditReport audit_plan(migration::MigrationTask& task,
+                       constraints::CompositeChecker& checker,
+                       const core::Plan& plan, bool check_every_action) {
+  AuditReport report;
+  if (!plan.found) {
+    report.add_issue("plan not found: " + plan.failure);
+    return report;
+  }
+
+  // Availability constraints (Eq. 2-3): each block of each type exactly
+  // once. Any within-type order is acceptable — the optimal planners emit
+  // each type's blocks in canonical order, greedy baselines may not.
+  std::vector<std::vector<bool>> seen(task.blocks.size());
+  for (std::size_t t = 0; t < task.blocks.size(); ++t) {
+    seen[t].assign(task.blocks[t].size(), false);
+  }
+  for (const core::PlannedAction& action : plan.actions) {
+    if (action.type < 0 ||
+        action.type >= static_cast<std::int32_t>(task.blocks.size())) {
+      report.add_issue("action references unknown type " +
+                       std::to_string(action.type));
+      return report;
+    }
+    auto& type_seen = seen[static_cast<std::size_t>(action.type)];
+    if (action.block_index < 0 ||
+        action.block_index >= static_cast<std::int32_t>(type_seen.size())) {
+      report.add_issue("action references unknown block " +
+                       std::to_string(action.block_index) + " of type " +
+                       std::to_string(action.type));
+      return report;
+    }
+    if (type_seen[static_cast<std::size_t>(action.block_index)]) {
+      report.add_issue("block " + std::to_string(action.block_index) +
+                       " of type " + std::to_string(action.type) +
+                       " executed more than once (Eq. 3)");
+      return report;
+    }
+    type_seen[static_cast<std::size_t>(action.block_index)] = true;
+  }
+  for (std::size_t t = 0; t < task.blocks.size(); ++t) {
+    std::size_t executed = 0;
+    for (const bool b : seen[t]) executed += b ? 1 : 0;
+    if (executed != task.blocks[t].size()) {
+      report.add_issue("type " + std::to_string(t) + " executed " +
+                       std::to_string(executed) + " of " +
+                       std::to_string(task.blocks[t].size()) +
+                       " blocks (Eq. 2)");
+    }
+  }
+  if (!report.ok) return report;
+
+  // Safety constraints at every phase boundary (and optionally per action).
+  task.reset_to_original();
+  {
+    const constraints::Verdict verdict = checker.check(*task.topo);
+    if (!verdict.satisfied) {
+      report.add_issue("original topology unsafe: " + verdict.violation);
+    }
+  }
+
+  const std::vector<core::Phase> phases = plan.phases();
+  migration::ActionTypeId previous_type = migration::kNoAction;
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    const core::Phase& phase = phases[p];
+    if (phase.type == previous_type) {
+      report.add_issue("adjacent phases share action type " +
+                       std::to_string(phase.type));
+    }
+    previous_type = phase.type;
+
+    for (const std::int32_t b : phase.block_indices) {
+      task.blocks[static_cast<std::size_t>(phase.type)]
+                 [static_cast<std::size_t>(b)]
+                     .apply(*task.topo);
+      if (check_every_action) {
+        const constraints::Verdict verdict = checker.check(*task.topo);
+        if (!verdict.satisfied) {
+          report.add_issue("unsafe after action (phase " + std::to_string(p) +
+                           ", block " + std::to_string(b) +
+                           "): " + verdict.violation);
+        }
+      }
+    }
+    if (!check_every_action) {
+      const constraints::Verdict verdict = checker.check(*task.topo);
+      if (!verdict.satisfied) {
+        report.add_issue("unsafe at end of phase " + std::to_string(p) +
+                         ": " + verdict.violation);
+      }
+    }
+    ++report.phases_checked;
+  }
+
+  // Final topology must be the target.
+  const topo::TopologyState reached = topo::TopologyState::capture(*task.topo);
+  if (!(reached == task.target_state)) {
+    report.add_issue("plan does not reach the target topology");
+  }
+  task.reset_to_original();
+  return report;
+}
+
+}  // namespace klotski::pipeline

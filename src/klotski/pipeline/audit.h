@@ -1,0 +1,39 @@
+// Independent plan audit (§7.2: "we add extra audits and safety checks to
+// Klotski's plans during operation").
+//
+// The audit re-simulates a plan without trusting the planner: it verifies
+// the availability constraints (Eq. 2-3: every block exactly once, in each
+// type's canonical order), re-checks the safety constraints at every phase
+// boundary and at the end (the checkpoints of Eq. 4-6), and confirms that
+// the final topology equals the task's target state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "klotski/constraints/composite.h"
+#include "klotski/core/plan.h"
+#include "klotski/migration/task.h"
+
+namespace klotski::pipeline {
+
+struct AuditReport {
+  bool ok = true;
+  std::vector<std::string> issues;
+  int phases_checked = 0;
+
+  void add_issue(std::string issue) {
+    ok = false;
+    issues.push_back(std::move(issue));
+  }
+};
+
+/// Audits `plan` against `task` with an independently constructed checker.
+/// `check_every_action` additionally validates each intra-phase prefix
+/// (stricter than Eq. 4-6; useful when funneling is a concern).
+AuditReport audit_plan(migration::MigrationTask& task,
+                       constraints::CompositeChecker& checker,
+                       const core::Plan& plan,
+                       bool check_every_action = false);
+
+}  // namespace klotski::pipeline

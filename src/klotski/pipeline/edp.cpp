@@ -1,0 +1,102 @@
+#include "klotski/pipeline/edp.h"
+
+#include <stdexcept>
+
+#include "klotski/baselines/brute_force_planner.h"
+#include "klotski/baselines/janus_planner.h"
+#include "klotski/baselines/mrc_planner.h"
+#include "klotski/constraints/port_checker.h"
+#include "klotski/core/astar_planner.h"
+#include "klotski/core/dp_planner.h"
+#include "klotski/core/state_evaluator.h"
+
+namespace klotski::pipeline {
+
+std::unique_ptr<core::Planner> make_planner(const std::string& name) {
+  if (name == "astar") return std::make_unique<core::AStarPlanner>();
+  if (name == "dp") return std::make_unique<core::DpPlanner>();
+  if (name == "mrc") return std::make_unique<baselines::MrcPlanner>();
+  if (name == "janus") return std::make_unique<baselines::JanusPlanner>();
+  if (name == "brute") return std::make_unique<baselines::BruteForcePlanner>();
+  throw std::invalid_argument("unknown planner: " + name);
+}
+
+CheckerBundle make_standard_checker(migration::MigrationTask& task,
+                                    const CheckerConfig& config) {
+  CheckerBundle bundle;
+  bundle.router =
+      std::make_unique<traffic::EcmpRouter>(*task.topo, config.routing);
+  bundle.checker = std::make_unique<constraints::CompositeChecker>();
+  bundle.checker->add(std::make_unique<constraints::PortChecker>());
+  if (config.space_power.max_present_per_grid > 0 ||
+      config.space_power.max_present_per_plane > 0) {
+    bundle.checker->add(
+        std::make_unique<constraints::SpacePowerChecker>(config.space_power));
+  }
+  bundle.checker->add(std::make_unique<constraints::DemandChecker>(
+      *bundle.router, task.demands, config.demand));
+  return bundle;
+}
+
+EdpResult run_pipeline(const npd::NpdDocument& doc,
+                       const EdpOptions& options) {
+  EdpResult result;
+  result.migration = npd::build_case(doc);
+  migration::MigrationTask& task = result.migration.task;
+  if (options.demand_override.has_value()) {
+    task.demands = *options.demand_override;
+  }
+
+  CheckerBundle bundle = make_standard_checker(task, options.checker);
+  std::unique_ptr<core::Planner> planner = make_planner(options.planner);
+  result.plan = planner->plan(task, *bundle.checker, options.planner_options);
+
+  if (result.plan.found) {
+    // Materialize the topology after each phase: the ordered list of
+    // topology phases EDP-Lite returns to the deployment tooling.
+    core::StateEvaluator evaluator(task, *bundle.checker, false);
+    core::CountVector done(task.blocks.size(), 0);
+    result.phase_states.push_back(task.original_state);
+    for (const core::Phase& phase : result.plan.phases()) {
+      done[static_cast<std::size_t>(phase.type)] +=
+          static_cast<std::int32_t>(phase.block_indices.size());
+      evaluator.materialize(done);
+      result.phase_states.push_back(topo::TopologyState::capture(*task.topo));
+    }
+    task.reset_to_original();
+  }
+  return result;
+}
+
+migration::MigrationTask remaining_task(const migration::MigrationTask& task,
+                                        const core::CountVector& done) {
+  if (done.size() != task.blocks.size()) {
+    throw std::invalid_argument("remaining_task: arity mismatch");
+  }
+  migration::MigrationTask rest;
+  rest.name = task.name + "/rest";
+  rest.topo = task.topo;
+  rest.action_types = task.action_types;
+  rest.demands = task.demands;
+  rest.target_state = task.target_state;
+
+  // Original state of the suffix = task original + executed prefix.
+  task.original_state.restore(*task.topo);
+  rest.blocks.resize(task.blocks.size());
+  for (std::size_t t = 0; t < task.blocks.size(); ++t) {
+    const auto executed = static_cast<std::size_t>(done[t]);
+    if (executed > task.blocks[t].size()) {
+      throw std::out_of_range("remaining_task: done exceeds block count");
+    }
+    for (std::size_t i = 0; i < executed; ++i) {
+      task.blocks[t][i].apply(*task.topo);
+    }
+    rest.blocks[t].assign(task.blocks[t].begin() + executed,
+                          task.blocks[t].end());
+  }
+  rest.original_state = topo::TopologyState::capture(*task.topo);
+  task.original_state.restore(*task.topo);
+  return rest;
+}
+
+}  // namespace klotski::pipeline

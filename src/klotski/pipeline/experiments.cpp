@@ -1,0 +1,106 @@
+#include "klotski/pipeline/experiments.h"
+
+#include <stdexcept>
+
+#include "klotski/util/flags.h"
+
+namespace klotski::pipeline {
+
+using topo::PresetId;
+using topo::PresetScale;
+
+std::string to_string(ExperimentId id) {
+  switch (id) {
+    case ExperimentId::kA: return "A";
+    case ExperimentId::kB: return "B";
+    case ExperimentId::kC: return "C";
+    case ExperimentId::kD: return "D";
+    case ExperimentId::kE: return "E";
+    case ExperimentId::kEDmag: return "E-DMAG";
+    case ExperimentId::kESsw: return "E-SSW";
+  }
+  return "?";
+}
+
+std::vector<ExperimentId> scalability_experiments() {
+  return {ExperimentId::kA, ExperimentId::kB, ExperimentId::kC,
+          ExperimentId::kD, ExperimentId::kE};
+}
+
+std::vector<ExperimentId> generality_experiments() {
+  return {ExperimentId::kE, ExperimentId::kEDmag, ExperimentId::kESsw};
+}
+
+migration::HgridMigrationParams hgrid_params_for(PresetId id,
+                                                 PresetScale scale) {
+  migration::HgridMigrationParams p;
+  if (scale == PresetScale::kFull) {
+    // Block granularity tuned so full-scale action counts land in the
+    // Table 3 bands (A ~tens ... E ~hundreds).
+    switch (id) {
+      case PresetId::kA:
+        break;  // 10 actions
+      case PresetId::kB:
+        p.fadu_chunks_per_grid_dc = 2;
+        p.fauu_chunks_per_grid = 2;
+        break;
+      case PresetId::kC:
+        p.fadu_chunks_per_grid_dc = 4;
+        p.fauu_chunks_per_grid = 4;
+        break;
+      case PresetId::kD:
+        p.fadu_chunks_per_grid_dc = 4;
+        p.fauu_chunks_per_grid = 4;
+        break;
+      case PresetId::kE:
+        p.fadu_chunks_per_grid_dc = 8;
+        p.fauu_chunks_per_grid = 16;
+        break;
+    }
+  }
+  return p;
+}
+
+migration::SswForkliftParams ssw_params_for(PresetScale scale) {
+  migration::SswForkliftParams p;
+  p.dc = 0;  // the paper's forklift upgrades one DC's spine
+  p.blocks_per_plane = scale == PresetScale::kFull ? 36 : 4;
+  // Table 1: the SSW forklift is the migration that moves the most capacity.
+  p.v2_capacity_factor = 2.0;
+  return p;
+}
+
+migration::DmagMigrationParams dmag_params_for(PresetScale scale) {
+  migration::DmagMigrationParams p;
+  p.ma_per_eb = scale == PresetScale::kFull ? 4 : 2;
+  return p;
+}
+
+migration::MigrationCase build_experiment(ExperimentId id,
+                                          PresetScale scale) {
+  switch (id) {
+    case ExperimentId::kA:
+    case ExperimentId::kB:
+    case ExperimentId::kC:
+    case ExperimentId::kD:
+    case ExperimentId::kE: {
+      const auto preset = static_cast<PresetId>(id);
+      return migration::build_hgrid_migration(
+          topo::preset_params(preset, scale), hgrid_params_for(preset, scale));
+    }
+    case ExperimentId::kEDmag:
+      return migration::build_dmag_migration(
+          topo::preset_params(PresetId::kE, scale), dmag_params_for(scale));
+    case ExperimentId::kESsw:
+      return migration::build_ssw_forklift(
+          topo::preset_params(PresetId::kE, scale), ssw_params_for(scale));
+  }
+  throw std::invalid_argument("build_experiment: unknown experiment");
+}
+
+PresetScale bench_scale_from_env() {
+  return util::env_flag("KLOTSKI_BENCH_FULL") ? PresetScale::kFull
+                                              : PresetScale::kReduced;
+}
+
+}  // namespace klotski::pipeline

@@ -1,0 +1,51 @@
+// Canonical experiment setups for the paper's evaluation (§6.1).
+//
+// Maps the Table 3 configurations — topologies A..E under HGRID V1->V2,
+// plus E-DMAG and E-SSW — to fully built migration cases, with per-preset
+// operation-block granularity chosen so full-scale action counts land in
+// the Table 3 bands. The reduced scale keeps the same structure with fewer
+// blocks and smaller fabrics so the entire bench suite (including the
+// baselines the paper capped at 24 h) finishes in minutes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "klotski/migration/task_builder.h"
+#include "klotski/topo/presets.h"
+
+namespace klotski::pipeline {
+
+enum class ExperimentId {
+  kA,       // HGRID V1->V2 on preset A
+  kB,
+  kC,
+  kD,
+  kE,
+  kEDmag,   // DMAG migration on preset E
+  kESsw,    // SSW forklift on preset E
+};
+
+std::string to_string(ExperimentId id);
+
+/// The five scalability cases of Figure 8 (A..E, all HGRID).
+std::vector<ExperimentId> scalability_experiments();
+
+/// The three generality cases of Figure 9 (E, E-DMAG, E-SSW).
+std::vector<ExperimentId> generality_experiments();
+
+/// HGRID task parameters for a preset at a scale (block granularity tuned
+/// per Table 3); exposed so benches can tweak policy/block_scale on top.
+migration::HgridMigrationParams hgrid_params_for(topo::PresetId id,
+                                                 topo::PresetScale scale);
+migration::SswForkliftParams ssw_params_for(topo::PresetScale scale);
+migration::DmagMigrationParams dmag_params_for(topo::PresetScale scale);
+
+/// Builds the migration case for an experiment.
+migration::MigrationCase build_experiment(ExperimentId id,
+                                          topo::PresetScale scale);
+
+/// Scale selected by the KLOTSKI_BENCH_FULL environment variable.
+topo::PresetScale bench_scale_from_env();
+
+}  // namespace klotski::pipeline

@@ -1,0 +1,32 @@
+// Plan export: the ordered list of topology phases EDP-Lite hands to the
+// deployment tooling, as JSON and as a human-readable summary for the
+// operators' review loop (§2.3: fast plan generation shortens
+// trial-and-error).
+#pragma once
+
+#include <string>
+
+#include "klotski/core/plan.h"
+#include "klotski/json/json.h"
+#include "klotski/migration/task.h"
+
+namespace klotski::pipeline {
+
+/// JSON document: planner, cost, stats, and one entry per phase with the
+/// action-type label and the labels of the blocks operated in parallel.
+json::Value plan_to_json(const migration::MigrationTask& task,
+                         const core::Plan& plan);
+
+/// Multi-line human-readable summary.
+std::string plan_to_text(const migration::MigrationTask& task,
+                         const core::Plan& plan);
+
+/// Inverse of plan_to_json: reconstructs a plan against `task` by resolving
+/// phase action-type and block labels. Throws std::invalid_argument when a
+/// label does not exist in the task (e.g. the plan was exported for a
+/// different NPD revision — exactly the mistake the audit tooling exists to
+/// catch).
+core::Plan plan_from_json(const migration::MigrationTask& task,
+                          const json::Value& value);
+
+}  // namespace klotski::pipeline

@@ -1,0 +1,187 @@
+#include "klotski/pipeline/replan.h"
+
+#include <algorithm>
+
+#include "klotski/core/cost_model.h"
+#include "klotski/core/state_evaluator.h"
+
+namespace klotski::pipeline {
+
+namespace {
+
+/// Names of maintenance events active at `step`, in option order.
+std::vector<std::size_t> active_maintenance(
+    const std::vector<MaintenanceEvent>& events, int step) {
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (step >= events[i].start_step && step < events[i].end_step) {
+      active.push_back(i);
+    }
+  }
+  return active;
+}
+
+/// Applies the drains of the active maintenance events on top of `state`.
+topo::TopologyState with_maintenance(
+    topo::TopologyState state, const std::vector<MaintenanceEvent>& events,
+    const std::vector<std::size_t>& active) {
+  for (const std::size_t i : active) {
+    for (const topo::SwitchId sw : events[i].switches) {
+      auto& slot = state.switch_states[static_cast<std::size_t>(sw)];
+      if (slot == topo::ElementState::kActive) {
+        slot = topo::ElementState::kDrained;
+      }
+    }
+  }
+  return state;
+}
+
+/// True when the rest of `plan` (phases [from..end)) stays safe when
+/// executed from the current `done` prefix under `demands`, with the
+/// active maintenance drains applied.
+bool remaining_plan_safe(migration::MigrationTask& task,
+                         const core::Plan& plan, std::size_t from_phase,
+                         core::CountVector done,
+                         const traffic::DemandSet& demands,
+                         const topo::TopologyState& maintained_original,
+                         const CheckerConfig& config) {
+  migration::MigrationTask probe = task;  // shallow: shares topo pointer
+  probe.demands = demands;
+  probe.original_state = maintained_original;
+  CheckerBundle bundle = make_standard_checker(probe, config);
+
+  core::StateEvaluator evaluator(probe, *bundle.checker, true);
+  const std::vector<core::Phase> phases = plan.phases();
+  for (std::size_t p = from_phase; p < phases.size(); ++p) {
+    done[static_cast<std::size_t>(phases[p].type)] +=
+        static_cast<std::int32_t>(phases[p].block_indices.size());
+    if (!evaluator.feasible(done)) {
+      task.reset_to_original();
+      return false;
+    }
+  }
+  task.reset_to_original();
+  return true;
+}
+
+}  // namespace
+
+ReplanResult execute_with_replanning(migration::MigrationTask& task,
+                                     core::Planner& planner,
+                                     traffic::Forecaster& forecaster,
+                                     const ReplanOptions& options) {
+  ReplanResult result;
+  const core::CostModel cost(options.planner_options.alpha,
+                             options.planner_options.type_weights);
+
+  core::CountVector done(task.blocks.size(), 0);
+  core::CountVector target;
+  for (const auto& blocks : task.blocks) {
+    target.push_back(static_cast<std::int32_t>(blocks.size()));
+  }
+
+  std::vector<int> pending_failures = options.failing_phases;
+  std::int32_t last_type = migration::kNoAction;
+  int step = 0;
+  int planning_runs = 0;
+  int last_plan_step = 0;
+
+  while (done != target) {
+    // (Re-)plan from the current intermediate topology with the freshest
+    // forecast and the currently active maintenance drains applied.
+    const std::vector<std::size_t> active =
+        active_maintenance(options.maintenance, step);
+    migration::MigrationTask rest = remaining_task(task, done);
+    rest.demands = forecaster.at_step(step);
+    rest.original_state =
+        with_maintenance(rest.original_state, options.maintenance, active);
+    for (const std::size_t i : active) {
+      result.log.push_back("maintenance active while planning: " +
+                           options.maintenance[i].name);
+    }
+
+    CheckerBundle bundle = make_standard_checker(rest, options.checker);
+    core::Plan plan =
+        planner.plan(rest, *bundle.checker, options.planner_options);
+    ++planning_runs;
+    last_plan_step = step;
+    if (!plan.found) {
+      result.failure = "planning failed at step " + std::to_string(step) +
+                       ": " + plan.failure;
+      task.reset_to_original();
+      return result;
+    }
+    result.log.push_back("planned " + std::to_string(plan.actions.size()) +
+                         " actions (cost " + std::to_string(plan.cost) +
+                         ") at step " + std::to_string(step));
+
+    const std::vector<core::Phase> phases = plan.phases();
+    bool need_replan = false;
+    for (std::size_t p = 0; p < phases.size() && !need_replan; ++p) {
+      // Injected operation failure (§7.2): the step fails, the crew stops,
+      // and a fresh plan is generated before retrying.
+      const auto failing = std::find(pending_failures.begin(),
+                                     pending_failures.end(),
+                                     result.phases_executed);
+      if (failing != pending_failures.end()) {
+        pending_failures.erase(failing);
+        result.log.push_back("phase " +
+                             std::to_string(result.phases_executed) +
+                             " failed during operation; re-planning");
+        need_replan = true;
+        break;
+      }
+
+      // Execute the phase. Phase block indices of the suffix task map onto
+      // the global canonical order by offsetting with the executed prefix,
+      // so only their count matters here.
+      const core::Phase& phase = phases[p];
+      for (std::size_t i = 0; i < phase.block_indices.size(); ++i) {
+        result.executed_cost += cost.transition_cost(last_type, phase.type);
+        last_type = phase.type;
+      }
+      done[static_cast<std::size_t>(phase.type)] +=
+          static_cast<std::int32_t>(phase.block_indices.size());
+      ++result.phases_executed;
+      ++step;
+
+      if (done == target) break;
+
+      // Refresh the forecast after each migration step (§7.1), watch the
+      // maintenance calendar, and re-validate the remaining plan.
+      const std::vector<std::size_t> now_active =
+          active_maintenance(options.maintenance, step);
+      if (now_active != active) {
+        result.log.push_back(
+            "maintenance calendar changed at step " + std::to_string(step) +
+            "; re-planning");
+        need_replan = true;
+        continue;
+      }
+      const double drift =
+          forecaster.max_relative_change(last_plan_step, step);
+      if (drift > options.demand_change_threshold) {
+        result.log.push_back("forecast drifted " + std::to_string(drift) +
+                             " since planning; re-planning");
+        need_replan = true;
+      } else if (!remaining_plan_safe(
+                     task, plan, p + 1, done, forecaster.at_step(step),
+                     with_maintenance(task.original_state,
+                                      options.maintenance, now_active),
+                     options.checker)) {
+        result.log.push_back(
+            "remaining plan violates constraints under updated demand; "
+            "re-planning");
+        need_replan = true;
+      }
+    }
+    (void)need_replan;  // loop re-plans naturally when not finished
+  }
+
+  result.completed = true;
+  result.replans = planning_runs - 1;
+  task.reset_to_original();
+  return result;
+}
+
+}  // namespace klotski::pipeline

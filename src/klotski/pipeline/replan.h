@@ -1,0 +1,66 @@
+// Execution simulation with re-planning (§7.1-§7.2).
+//
+// Migrations run for weeks; demand grows organically and can surge
+// unexpectedly, and individual steps can fail in the config-push pipeline.
+// This module simulates executing a plan phase by phase against a demand
+// forecaster: after every phase the forecast is refreshed (the paper:
+// "we run the forecast after each migration step"), the remaining plan is
+// re-validated, and on violation (or on injected step failure) the planner
+// is re-run from the current intermediate topology.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "klotski/core/planner.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/traffic/forecast.h"
+
+namespace klotski::pipeline {
+
+/// Routine maintenance outside Klotski's control (§7.2 "simultaneous
+/// operations"): firmware upgrades or device rebuilds drain the listed
+/// switches over [start_step, end_step) migration steps. The driver
+/// re-plans whenever the active maintenance set changes and plans around
+/// the drained equipment. Events should target switches the migration does
+/// not itself operate (operated blocks override maintenance state).
+struct MaintenanceEvent {
+  std::string name;
+  std::vector<topo::SwitchId> switches;
+  int start_step = 0;
+  int end_step = 0;  // exclusive
+};
+
+struct ReplanOptions {
+  CheckerConfig checker;
+  core::PlannerOptions planner_options;
+  /// Re-plan eagerly when the forecast moved by more than this fraction
+  /// since the last planning run, even if the remaining plan still looks
+  /// safe (operators prefer fresh plans over near-threshold ones).
+  double demand_change_threshold = 0.10;
+  /// Injected operation failures: phases (by global executed-phase index)
+  /// whose first block fails and must be retried after re-planning (§7.2
+  /// "failures during operation duration").
+  std::vector<int> failing_phases;
+  /// Concurrent routine maintenance (§7.2).
+  std::vector<MaintenanceEvent> maintenance;
+};
+
+struct ReplanResult {
+  bool completed = false;
+  std::string failure;
+  int phases_executed = 0;
+  int replans = 0;
+  double executed_cost = 0.0;  // cost of the actually executed sequence
+  std::vector<std::string> log;
+};
+
+/// Plans and executes `task` to completion, re-planning as needed.
+/// The forecaster's step counter advances by one per executed phase.
+ReplanResult execute_with_replanning(migration::MigrationTask& task,
+                                     core::Planner& planner,
+                                     traffic::Forecaster& forecaster,
+                                     const ReplanOptions& options = {});
+
+}  // namespace klotski::pipeline

@@ -1,0 +1,125 @@
+#include "klotski/pipeline/risk.h"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "klotski/util/string_util.h"
+
+namespace klotski::pipeline {
+
+namespace {
+
+PhaseRisk measure(migration::MigrationTask& task, traffic::EcmpRouter& router,
+                  double theta) {
+  PhaseRisk risk;
+  traffic::LoadVector loads;
+  if (!router.assign_all(task.demands, loads)) {
+    // Unroutable boundary: report zero headroom and full risk.
+    risk.max_utilization = 1e9;
+    risk.growth_headroom = 0.0;
+    risk.worst_circuit = "(demand unroutable)";
+    risk.active_capacity_tbps = task.topo->active_capacity_tbps();
+    return risk;
+  }
+  const traffic::WorstCircuit worst = traffic::worst_circuit(*task.topo,
+                                                             loads);
+  risk.max_utilization = worst.utilization;
+  if (worst.circuit != topo::kInvalidCircuit) {
+    const topo::Circuit& c = task.topo->circuit(worst.circuit);
+    risk.worst_circuit =
+        task.topo->sw(c.a).name + " - " + task.topo->sw(c.b).name;
+  }
+  // Loads scale linearly with uniform demand growth, so the tolerated
+  // growth factor is theta / current worst utilization.
+  risk.growth_headroom = worst.utilization > 0.0
+                             ? theta / worst.utilization
+                             : std::numeric_limits<double>::infinity();
+  risk.active_capacity_tbps = task.topo->active_capacity_tbps();
+  return risk;
+}
+
+}  // namespace
+
+std::size_t RiskReport::riskiest() const {
+  std::size_t index = 0;
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    if (phases[i].max_utilization > phases[index].max_utilization) index = i;
+  }
+  return index;
+}
+
+RiskReport assess_risk(migration::MigrationTask& task, const core::Plan& plan,
+                       double theta, traffic::SplitMode routing) {
+  if (!plan.found) {
+    throw std::invalid_argument("assess_risk: plan was not found (" +
+                                plan.failure + ")");
+  }
+  RiskReport report;
+  report.theta = theta;
+
+  traffic::EcmpRouter router(*task.topo, routing);
+
+  task.reset_to_original();
+  PhaseRisk origin = measure(task, router, theta);
+  origin.phase_index = -1;
+  origin.action_type = "(original topology)";
+  report.phases.push_back(std::move(origin));
+
+  int index = 0;
+  for (const core::Phase& phase : plan.phases()) {
+    for (const std::int32_t b : phase.block_indices) {
+      task.blocks[static_cast<std::size_t>(phase.type)]
+                 [static_cast<std::size_t>(b)]
+                     .apply(*task.topo);
+    }
+    PhaseRisk risk = measure(task, router, theta);
+    risk.phase_index = index++;
+    risk.action_type =
+        task.action_types[static_cast<std::size_t>(phase.type)].label;
+    report.phases.push_back(std::move(risk));
+  }
+  task.reset_to_original();
+  return report;
+}
+
+json::Value risk_to_json(const RiskReport& report) {
+  json::Object root;
+  root["theta"] = report.theta;
+  root["riskiest_phase"] = static_cast<std::int64_t>(report.riskiest());
+  json::Array phases;
+  for (const PhaseRisk& phase : report.phases) {
+    json::Object o;
+    o["phase"] = phase.phase_index;
+    o["action_type"] = phase.action_type;
+    o["max_utilization"] = phase.max_utilization;
+    o["worst_circuit"] = phase.worst_circuit;
+    o["growth_headroom"] = phase.growth_headroom;
+    o["active_capacity_tbps"] = phase.active_capacity_tbps;
+    phases.push_back(json::Value(std::move(o)));
+  }
+  root["phases"] = json::Value(std::move(phases));
+  return json::Value(std::move(root));
+}
+
+std::string risk_to_text(const RiskReport& report) {
+  std::ostringstream os;
+  os << "Risk report (theta " << util::format_double(report.theta * 100, 0)
+     << "%)\n";
+  const std::size_t riskiest = report.riskiest();
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    const PhaseRisk& phase = report.phases[i];
+    os << "  " << (phase.phase_index < 0
+                       ? std::string("origin ")
+                       : "phase " + std::to_string(phase.phase_index))
+       << "  util " << util::format_double(phase.max_utilization * 100, 1)
+       << "%  headroom x"
+       << util::format_double(phase.growth_headroom, 2) << "  capacity "
+       << util::format_double(phase.active_capacity_tbps, 1) << "T  ["
+       << phase.action_type << "]"
+       << (i == riskiest ? "   <-- riskiest" : "") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace klotski::pipeline

@@ -1,0 +1,56 @@
+// Per-phase risk report: capacity headroom analysis of a migration plan.
+//
+// The paper's safety objective is that every intermediate network "satisfies
+// dynamic traffic demands during the migration and leaves sufficient
+// headroom to absorb traffic bursts from flash crowds" (§1). The audit
+// answers *whether* each phase is safe; this report answers *how* safe:
+// for every phase boundary it measures the worst circuit utilization, the
+// remaining demand-growth headroom (how much uniform demand growth the
+// phase tolerates before violating theta), and the active capacity. The
+// riskiest phase is where operators schedule extra monitoring — and where
+// an unexpected surge (§7.2) bites first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "klotski/core/plan.h"
+#include "klotski/json/json.h"
+#include "klotski/migration/task.h"
+#include "klotski/traffic/ecmp.h"
+
+namespace klotski::pipeline {
+
+struct PhaseRisk {
+  int phase_index = -1;  // -1 = the original topology
+  std::string action_type;
+  /// Worst circuit utilization at the phase boundary.
+  double max_utilization = 0.0;
+  /// Name of the two endpoints of the worst circuit ("a - b").
+  std::string worst_circuit;
+  /// Multiplicative demand-growth tolerance: utilization stays <= theta as
+  /// long as every demand grows by less than this factor.
+  double growth_headroom = 0.0;
+  /// Active (traffic-carrying) capacity at the boundary, Tbps.
+  double active_capacity_tbps = 0.0;
+};
+
+struct RiskReport {
+  double theta = 0.75;
+  std::vector<PhaseRisk> phases;  // original topology first
+
+  /// Index into `phases` of the riskiest boundary (highest utilization).
+  std::size_t riskiest() const;
+};
+
+/// Computes the report by re-simulating the plan phase by phase. The plan
+/// must have been found. Leaves the topology in its original state.
+RiskReport assess_risk(migration::MigrationTask& task, const core::Plan& plan,
+                       double theta = 0.75,
+                       traffic::SplitMode routing =
+                           traffic::SplitMode::kEqualSplit);
+
+json::Value risk_to_json(const RiskReport& report);
+std::string risk_to_text(const RiskReport& report);
+
+}  // namespace klotski::pipeline

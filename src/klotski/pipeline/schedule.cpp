@@ -1,0 +1,114 @@
+#include "klotski/pipeline/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "klotski/util/string_util.h"
+
+namespace klotski::pipeline {
+
+Schedule build_schedule(const migration::MigrationTask& task,
+                        const core::Plan& plan, const CrewModel& crew) {
+  if (!plan.found) {
+    throw std::invalid_argument("build_schedule: plan was not found (" +
+                                plan.failure + ")");
+  }
+  if (crew.crews < 1 || crew.days_per_block < 0 ||
+      crew.setup_days_per_phase < 0) {
+    throw std::invalid_argument("build_schedule: invalid crew model");
+  }
+
+  Schedule schedule;
+  double clock = 0.0;
+  int index = 0;
+  for (const core::Phase& phase : plan.phases()) {
+    PhaseSchedule entry;
+    entry.phase_index = index++;
+    entry.action_type =
+        task.action_types[static_cast<std::size_t>(phase.type)].label;
+    entry.blocks = static_cast<int>(phase.block_indices.size());
+
+    // `crews` crews split the blocks; phases are strictly sequential (a
+    // phase boundary is where the safety constraints are re-validated).
+    const double work_days =
+        std::ceil(static_cast<double>(entry.blocks) /
+                  static_cast<double>(crew.crews)) *
+        crew.days_per_block;
+    entry.start_day = clock;
+    entry.end_day = clock + crew.setup_days_per_phase + work_days;
+    clock = entry.end_day;
+
+    const double crew_days =
+        static_cast<double>(entry.blocks) * crew.days_per_block;
+    entry.opex_usd = crew.dispatch_fee_usd +
+                     crew_days * crew.crew_day_cost_usd +
+                     crew.setup_days_per_phase * crew.crew_day_cost_usd;
+    schedule.total_opex_usd += entry.opex_usd;
+    schedule.phases.push_back(entry);
+  }
+  schedule.total_days = clock;
+  return schedule;
+}
+
+json::Value schedule_to_json(const Schedule& schedule) {
+  json::Object root;
+  root["total_days"] = schedule.total_days;
+  root["total_months"] = schedule.total_months();
+  root["total_opex_usd"] = schedule.total_opex_usd;
+  json::Array phases;
+  for (const PhaseSchedule& phase : schedule.phases) {
+    json::Object o;
+    o["phase"] = phase.phase_index;
+    o["action_type"] = phase.action_type;
+    o["blocks"] = phase.blocks;
+    o["start_day"] = phase.start_day;
+    o["end_day"] = phase.end_day;
+    o["opex_usd"] = phase.opex_usd;
+    phases.push_back(json::Value(std::move(o)));
+  }
+  root["phases"] = json::Value(std::move(phases));
+  return json::Value(std::move(root));
+}
+
+std::string schedule_to_text(const Schedule& schedule, int width) {
+  std::ostringstream os;
+  if (schedule.phases.empty()) {
+    os << "(empty schedule)\n";
+    return os.str();
+  }
+  const double scale =
+      schedule.total_days > 0
+          ? static_cast<double>(width) / schedule.total_days
+          : 0.0;
+
+  std::size_t label_width = 0;
+  for (const PhaseSchedule& phase : schedule.phases) {
+    label_width = std::max(label_width, phase.action_type.size());
+  }
+
+  for (const PhaseSchedule& phase : schedule.phases) {
+    std::string label = phase.action_type;
+    label.resize(label_width, ' ');
+    const int lead = static_cast<int>(std::floor(phase.start_day * scale));
+    const int bar = std::max(
+        1, static_cast<int>(std::lround((phase.end_day - phase.start_day) *
+                                        scale)));
+    os << label << " |" << std::string(static_cast<std::size_t>(lead), ' ')
+       << std::string(static_cast<std::size_t>(bar), '#') << "  day "
+       << util::format_double(phase.start_day, 1) << "-"
+       << util::format_double(phase.end_day, 1) << ", " << phase.blocks
+       << " block(s), $" << util::with_commas(
+              static_cast<long long>(std::llround(phase.opex_usd)))
+       << "\n";
+  }
+  os << "total: " << util::format_double(schedule.total_days, 1) << " days ("
+     << util::format_double(schedule.total_months(), 1) << " months), $"
+     << util::with_commas(
+            static_cast<long long>(std::llround(schedule.total_opex_usd)))
+     << " OPEX\n";
+  return os.str();
+}
+
+}  // namespace klotski::pipeline

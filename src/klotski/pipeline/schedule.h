@@ -1,0 +1,62 @@
+// Operational schedule: turns a migration plan into the field-work timeline
+// and OPEX estimate the paper's Table 1 reports (duration per migration
+// type) and §7.2 motivates ("physical migration requires sending workforce
+// to the site ... different sequences of steps could have different costs
+// in terms of human efficiency").
+//
+// Model: one phase (maximal same-type run) is one crew dispatch. The
+// dispatch has a fixed setup time (travel, MOPs review, drain tooling) and
+// a per-block work time; blocks within a phase are worked by `crews`
+// parallel crews. OPEX = crew-hours * hourly rate + a dispatch fee.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "klotski/core/plan.h"
+#include "klotski/json/json.h"
+#include "klotski/migration/task.h"
+
+namespace klotski::pipeline {
+
+struct CrewModel {
+  /// Fixed days per dispatch (phase): staging, MOPs review, travel.
+  double setup_days_per_phase = 2.0;
+  /// Field days to operate one block (drain + rewire + validate).
+  double days_per_block = 1.0;
+  /// Parallel crews working one phase.
+  int crews = 4;
+  /// OPEX accounting.
+  double crew_day_cost_usd = 3200.0;   // one crew, one day
+  double dispatch_fee_usd = 5000.0;    // per phase
+};
+
+struct PhaseSchedule {
+  int phase_index = 0;
+  std::string action_type;
+  int blocks = 0;
+  double start_day = 0.0;
+  double end_day = 0.0;
+  double opex_usd = 0.0;
+};
+
+struct Schedule {
+  std::vector<PhaseSchedule> phases;
+  double total_days = 0.0;
+  double total_opex_usd = 0.0;
+
+  double total_months() const { return total_days / 30.0; }
+};
+
+/// Builds the schedule for a found plan; throws std::invalid_argument for
+/// plans that were not found.
+Schedule build_schedule(const migration::MigrationTask& task,
+                        const core::Plan& plan, const CrewModel& crew = {});
+
+/// JSON export for downstream tooling.
+json::Value schedule_to_json(const Schedule& schedule);
+
+/// ASCII Gantt-style rendering: one row per phase, columns are days.
+std::string schedule_to_text(const Schedule& schedule, int width = 60);
+
+}  // namespace klotski::pipeline

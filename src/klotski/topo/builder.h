@@ -1,0 +1,116 @@
+// Synthesizer for Meta-style regional DCN topologies (§2.1).
+//
+// A region is a set of DC buildings, each with a three-layer fabric
+// (RSW - FSW - SSW organized in pods and planes), interconnected by an
+// HGRID fabric-aggregation layer (FADU / FAUU grids), which reaches the
+// backbone through EB border routers and DR datacenter routers down to
+// EBB core routers. The DMAG migration later inserts an MA layer between
+// FAUU and EB.
+//
+// The builder reproduces the structural properties the planner depends on:
+//  * plane/pod symmetry inside each fabric,
+//  * per-grid locality in the HGRID layer,
+//  * two meshing patterns between SSWs and the aggregation layer (§2.2,
+//    Figure 2(c)),
+//  * per-DC generation heterogeneity (4-plane vs 8-plane DCs, Figure 2(d)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "klotski/topo/topology.h"
+
+namespace klotski::topo {
+
+/// How FADUs mesh with the spine planes (Figure 2(c)).
+enum class MeshPattern : std::uint8_t {
+  /// FADU k serves exactly plane (k mod planes): one-to-one plane mapping.
+  kPlaneAligned,
+  /// FADU k connects to SSW j iff j mod fadu_count == k: smaller capacity
+  /// per node, no one-to-one mapping with downstream planes.
+  kInterleaved,
+};
+
+/// Per-DC fabric shape. fsws_per_pod always equals `planes` in this model:
+/// FSW i of a pod serves spine plane i.
+struct FabricParams {
+  int pods = 2;
+  int rsws_per_pod = 4;
+  int planes = 4;          // 4 (older generation) or 8 (newer)
+  int ssws_per_plane = 2;
+  int rsw_fsw_links = 1;   // parallel circuits per RSW-FSW pair
+};
+
+/// Region-wide parameters.
+struct RegionParams {
+  int dcs = 2;
+  /// One entry per DC; if fewer entries are given the last one is
+  /// replicated (a single entry means a homogeneous region).
+  std::vector<FabricParams> fabrics = {FabricParams{}};
+
+  // HGRID layer (generation hgrid_gen).
+  int grids = 2;
+  int fadus_per_grid_per_dc = 2;
+  int fauus_per_grid = 2;
+  Generation hgrid_gen = Generation::kV1;
+  MeshPattern mesh = MeshPattern::kPlaneAligned;
+
+  // Backbone boundary.
+  int ebs = 2;
+  int drs = 2;
+  int ebbs = 2;
+
+  // Circuit capacities (Tbps per direction).
+  double cap_rsw_fsw = 0.1;
+  double cap_fsw_ssw = 0.2;
+  double cap_ssw_fadu = 0.4;
+  double cap_fadu_fauu = 0.8;
+  double cap_fauu_eb = 0.8;
+  double cap_fauu_dr = 0.8;
+  double cap_eb_ebb = 1.6;
+  double cap_dr_ebb = 1.6;
+
+  /// Extra physical ports beyond initial occupancy, per role. Tight budgets
+  /// are what force "decommission before onboard" orderings (§2.3).
+  int port_slack_fabric = 2;  // RSW / FSW ports are never contended
+  int port_slack_ssw = 0;     // SSW ports gate HGRID V1->V2
+  int port_slack_agg = 2;     // FADU/FAUU/DR headroom
+  int port_slack_eb = 0;      // EB ports gate the DMAG migration
+  int port_slack_ebb = 8;
+};
+
+/// A built region: the topology plus the index structures the traffic
+/// generator and the migration task builders navigate by.
+struct Region {
+  Topology topo;
+  RegionParams params;
+
+  // Fabric indexes. rsws[dc], fsws[dc], ssws[dc][plane] -> switch ids.
+  std::vector<std::vector<SwitchId>> rsws;
+  std::vector<std::vector<SwitchId>> fsws;
+  std::vector<std::vector<std::vector<SwitchId>>> ssws;
+
+  // HGRID indexes. fadus[grid][dc], fauus[grid] -> switch ids.
+  std::vector<std::vector<std::vector<SwitchId>>> fadus;
+  std::vector<std::vector<SwitchId>> fauus;
+
+  std::vector<SwitchId> ebs;
+  std::vector<SwitchId> drs;
+  std::vector<SwitchId> ebbs;
+
+  // Circuits between FAUUs and EBs, grouped by EB (the DMAG migration
+  // drains these; grouping by EB mirrors the §5 organization policy).
+  std::vector<std::vector<CircuitId>> fauu_eb_circuits_by_eb;
+
+  /// Fabric parameters effective for a DC (after replication).
+  const FabricParams& fabric(int dc) const;
+
+  int num_dcs() const { return params.dcs; }
+  int num_grids() const { return params.grids; }
+};
+
+/// Builds a region; throws std::invalid_argument on inconsistent params.
+Region build_region(const RegionParams& params);
+
+}  // namespace klotski::topo

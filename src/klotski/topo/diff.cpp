@@ -1,0 +1,134 @@
+#include "klotski/topo/diff.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "klotski/util/string_util.h"
+
+namespace klotski::topo {
+
+namespace {
+
+/// Classifies a state transition; returns false when nothing changed
+/// meaningfully (including active <-> active etc.).
+bool classify(ElementState before, ElementState after,
+              ElementChange* change) {
+  if (before == after) return false;
+  const bool was_present = before != ElementState::kAbsent;
+  const bool is_present = after != ElementState::kAbsent;
+  if (!was_present && is_present) {
+    *change = ElementChange::kInstalled;
+  } else if (was_present && !is_present) {
+    *change = ElementChange::kRemoved;
+  } else if (before == ElementState::kDrained &&
+             after == ElementState::kActive) {
+    *change = ElementChange::kActivated;
+  } else {
+    *change = ElementChange::kDrained;
+  }
+  return true;
+}
+
+/// Capacity carried by a circuit under a given snapshot.
+double carried(const Topology& topo, const TopologyState& state,
+               CircuitId id) {
+  const Circuit& c = topo.circuit(id);
+  const bool active =
+      state.circuit_states[static_cast<std::size_t>(id)] ==
+          ElementState::kActive &&
+      state.switch_states[static_cast<std::size_t>(c.a)] ==
+          ElementState::kActive &&
+      state.switch_states[static_cast<std::size_t>(c.b)] ==
+          ElementState::kActive;
+  return active ? c.capacity_tbps : 0.0;
+}
+
+}  // namespace
+
+std::string to_string(ElementChange change) {
+  switch (change) {
+    case ElementChange::kInstalled: return "installed";
+    case ElementChange::kRemoved: return "removed";
+    case ElementChange::kActivated: return "activated";
+    case ElementChange::kDrained: return "drained";
+  }
+  return "?";
+}
+
+std::size_t StateDiff::count_switches(ElementChange change) const {
+  std::size_t n = 0;
+  for (const SwitchDelta& delta : switches) n += delta.change == change;
+  return n;
+}
+
+std::size_t StateDiff::count_circuits(ElementChange change) const {
+  std::size_t n = 0;
+  for (const CircuitDelta& delta : circuits) n += delta.change == change;
+  return n;
+}
+
+StateDiff diff_states(const Topology& topo, const TopologyState& before,
+                      const TopologyState& after) {
+  if (before.switch_states.size() != topo.num_switches() ||
+      after.switch_states.size() != topo.num_switches() ||
+      before.circuit_states.size() != topo.num_circuits() ||
+      after.circuit_states.size() != topo.num_circuits()) {
+    throw std::invalid_argument(
+        "diff_states: snapshots do not match the topology shape");
+  }
+
+  StateDiff diff;
+  for (std::size_t i = 0; i < topo.num_switches(); ++i) {
+    ElementChange change;
+    if (classify(before.switch_states[i], after.switch_states[i], &change)) {
+      diff.switches.push_back(
+          SwitchDelta{static_cast<SwitchId>(i), change});
+    }
+  }
+  for (std::size_t i = 0; i < topo.num_circuits(); ++i) {
+    ElementChange change;
+    if (classify(before.circuit_states[i], after.circuit_states[i],
+                 &change)) {
+      diff.circuits.push_back(
+          CircuitDelta{static_cast<CircuitId>(i), change});
+    }
+    diff.capacity_delta_tbps +=
+        carried(topo, after, static_cast<CircuitId>(i)) -
+        carried(topo, before, static_cast<CircuitId>(i));
+  }
+  return diff;
+}
+
+std::string diff_to_text(const Topology& topo, const StateDiff& diff) {
+  // Aggregate by (role, change).
+  std::map<std::pair<std::string, std::string>, int> switch_counts;
+  for (const SwitchDelta& delta : diff.switches) {
+    const Switch& s = topo.sw(delta.id);
+    ++switch_counts[{std::string(to_string(s.role)) + "/" +
+                         std::string(to_string(s.gen)),
+                     std::string(to_string(delta.change))}];
+  }
+  std::map<std::string, int> circuit_counts;
+  for (const CircuitDelta& delta : diff.circuits) {
+    ++circuit_counts[std::string(to_string(delta.change))];
+  }
+
+  std::ostringstream os;
+  if (diff.empty()) {
+    os << "(no changes)\n";
+    return os.str();
+  }
+  for (const auto& [key, count] : switch_counts) {
+    os << "  " << key.second << " " << count << " " << key.first
+       << " switch(es)\n";
+  }
+  for (const auto& [change, count] : circuit_counts) {
+    os << "  " << change << " " << count << " circuit(s)\n";
+  }
+  os << "  capacity delta: "
+     << util::format_double(diff.capacity_delta_tbps, 2) << " Tbps\n";
+  return os.str();
+}
+
+}  // namespace klotski::topo

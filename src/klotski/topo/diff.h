@@ -1,0 +1,60 @@
+// Topology state diff: what changes between two element-state snapshots of
+// the same topology (e.g. the original and target states of a migration, or
+// two consecutive phases of a plan).
+//
+// EDP-Lite receives original/target NPD topologies; the diff is the
+// human-facing summary of what a migration actually does — how many
+// switches and circuits of each role are installed, drained, or removed,
+// and how much traffic-carrying capacity moves. The bench harness behind
+// Table 1 and the audit tooling both build on it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "klotski/topo/topology.h"
+
+namespace klotski::topo {
+
+enum class ElementChange : std::uint8_t {
+  kInstalled,   // absent -> present
+  kRemoved,     // present -> absent
+  kActivated,   // drained -> active
+  kDrained,     // active -> drained
+};
+
+std::string to_string(ElementChange change);
+
+struct SwitchDelta {
+  SwitchId id = kInvalidSwitch;
+  ElementChange change = ElementChange::kInstalled;
+};
+
+struct CircuitDelta {
+  CircuitId id = kInvalidCircuit;
+  ElementChange change = ElementChange::kInstalled;
+};
+
+struct StateDiff {
+  std::vector<SwitchDelta> switches;
+  std::vector<CircuitDelta> circuits;
+  /// Change in traffic-carrying capacity (after minus before), Tbps.
+  double capacity_delta_tbps = 0.0;
+
+  bool empty() const { return switches.empty() && circuits.empty(); }
+
+  /// Count of switch changes of one kind.
+  std::size_t count_switches(ElementChange change) const;
+  std::size_t count_circuits(ElementChange change) const;
+};
+
+/// Computes the diff from `before` to `after`. Both snapshots must match
+/// the topology's shape (throws std::invalid_argument otherwise). The
+/// topology's current element states are left untouched.
+StateDiff diff_states(const Topology& topo, const TopologyState& before,
+                      const TopologyState& after);
+
+/// One-line-per-change human summary (role-aggregated counts).
+std::string diff_to_text(const Topology& topo, const StateDiff& diff);
+
+}  // namespace klotski::topo

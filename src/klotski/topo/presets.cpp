@@ -1,0 +1,209 @@
+#include "klotski/topo/presets.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace klotski::topo {
+
+std::string to_string(PresetId id) {
+  switch (id) {
+    case PresetId::kA: return "A";
+    case PresetId::kB: return "B";
+    case PresetId::kC: return "C";
+    case PresetId::kD: return "D";
+    case PresetId::kE: return "E";
+  }
+  return "?";
+}
+
+std::vector<PresetId> all_presets() {
+  return {PresetId::kA, PresetId::kB, PresetId::kC, PresetId::kD,
+          PresetId::kE};
+}
+
+namespace {
+
+RegionParams preset_a() {
+  RegionParams p;
+  p.dcs = 1;
+  FabricParams fab;
+  fab.pods = 2;
+  fab.rsws_per_pod = 6;
+  fab.planes = 2;
+  fab.ssws_per_plane = 2;
+  p.fabrics = {fab};
+  p.grids = 2;
+  p.fadus_per_grid_per_dc = 2;
+  p.fauus_per_grid = 2;
+  p.ebs = 2;
+  p.drs = 2;
+  p.ebbs = 2;
+  return p;
+}
+
+RegionParams preset_b() {
+  RegionParams p;
+  p.dcs = 2;
+  FabricParams fab;
+  fab.pods = 3;
+  fab.rsws_per_pod = 8;
+  fab.planes = 4;
+  fab.ssws_per_plane = 2;
+  fab.rsw_fsw_links = 2;
+  p.fabrics = {fab};
+  p.grids = 2;
+  p.fadus_per_grid_per_dc = 2;
+  p.fauus_per_grid = 4;
+  p.ebs = 2;
+  p.drs = 2;
+  p.ebbs = 2;
+  return p;
+}
+
+RegionParams preset_c() {
+  RegionParams p;
+  p.dcs = 2;
+  FabricParams fab;
+  fab.pods = 8;
+  fab.rsws_per_pod = 24;
+  fab.planes = 4;
+  fab.ssws_per_plane = 8;
+  fab.rsw_fsw_links = 4;
+  p.fabrics = {fab};
+  p.grids = 4;
+  p.fadus_per_grid_per_dc = 4;
+  p.fauus_per_grid = 8;
+  p.ebs = 4;
+  p.drs = 4;
+  p.ebbs = 4;
+  // Border trunks must absorb the whole region's north-south traffic.
+  p.cap_eb_ebb = 3.2;
+  p.cap_dr_ebb = 3.2;
+  return p;
+}
+
+RegionParams preset_d() {
+  RegionParams p;
+  p.dcs = 3;
+  // Heterogeneous generations (Figure 2(d)): two 4-plane DCs and one
+  // upgraded 8-plane DC.
+  FabricParams fab4;
+  fab4.pods = 10;
+  fab4.rsws_per_pod = 24;
+  fab4.planes = 4;
+  fab4.ssws_per_plane = 8;
+  fab4.rsw_fsw_links = 6;
+  FabricParams fab8 = fab4;
+  fab8.planes = 8;
+  fab8.ssws_per_plane = 4;
+  fab8.rsw_fsw_links = 3;
+  p.fabrics = {fab4, fab4, fab8};
+  p.grids = 4;
+  p.fadus_per_grid_per_dc = 8;  // multiple of both 4 and 8 planes
+  p.fauus_per_grid = 8;
+  p.ebs = 4;
+  p.drs = 4;
+  p.ebbs = 4;
+  p.cap_eb_ebb = 4.8;
+  p.cap_dr_ebb = 4.8;
+  return p;
+}
+
+RegionParams preset_e() {
+  RegionParams p;
+  p.dcs = 3;
+  FabricParams fab;
+  fab.pods = 60;
+  fab.rsws_per_pod = 48;
+  fab.planes = 4;
+  fab.ssws_per_plane = 36;
+  fab.rsw_fsw_links = 2;
+  p.fabrics = {fab};
+  p.grids = 8;
+  p.fadus_per_grid_per_dc = 8;
+  p.fauus_per_grid = 16;
+  p.ebs = 8;
+  p.drs = 8;
+  p.ebbs = 8;
+  // FAUU access circuits carry the whole region's north-south traffic; the
+  // DMAG migration halves a grid's direct uplinks at its worst boundary
+  // (all EB groups drained, DR retirement pending) while shortest-path
+  // ECMP still ignores the staged MA layer — the §7.1 phenomenon. Size the
+  // layer so that boundary stays under theta.
+  p.cap_fauu_eb = 1.2;
+  p.cap_fauu_dr = 1.2;
+  // EB trunks alone must absorb all egress after the DMAG migration retires
+  // the DR shortcut (the E-DMAG target keeps only the EB path northbound).
+  p.cap_eb_ebb = 16.0;
+  p.cap_dr_ebb = 12.8;
+  return p;
+}
+
+/// Shrinks the fabric shape (not the HGRID block structure) so reduced
+/// benches keep the same planner search space but cheap constraint checks.
+/// Aggregation-layer capacities are scaled down with the fabric so that the
+/// SSW->FADU uplink layer remains the binding capacity — at full scale it is
+/// naturally the thinnest layer, and the migration experiments depend on
+/// draining it being the constraint that forces batched plans.
+RegionParams shrink_fabric(RegionParams p, int divisor) {
+  int fabric_shrink = 1;
+  for (FabricParams& fab : p.fabrics) {
+    const int before = fab.pods * fab.rsws_per_pod * fab.rsw_fsw_links;
+    fab.pods = std::max(1, fab.pods / divisor);
+    fab.rsws_per_pod = std::max(2, fab.rsws_per_pod / divisor);
+    fab.ssws_per_plane = std::max(1, fab.ssws_per_plane / divisor);
+    fab.rsw_fsw_links = 1;
+    const int after = fab.pods * fab.rsws_per_pod * fab.rsw_fsw_links;
+    fabric_shrink = std::max(fabric_shrink, before / std::max(1, after));
+  }
+  // Thin the layers above the spine by the same overall factor the RSW
+  // uplink layer shrank, restoring the full-scale capacity ordering
+  // (uplink < spine < RSW uplink).
+  const double f = static_cast<double>(fabric_shrink);
+  p.cap_ssw_fadu /= f;
+  p.cap_fadu_fauu /= f;
+  p.cap_fauu_eb /= f;
+  p.cap_fauu_dr /= f;
+  p.cap_eb_ebb /= f;
+  p.cap_dr_ebb /= f;
+  return p;
+}
+
+}  // namespace
+
+RegionParams preset_params(PresetId id, PresetScale scale) {
+  RegionParams p;
+  int reduce = 1;
+  switch (id) {
+    case PresetId::kA:
+      p = preset_a();
+      reduce = 1;  // A is already tiny
+      break;
+    case PresetId::kB:
+      p = preset_b();
+      reduce = 1;
+      break;
+    case PresetId::kC:
+      p = preset_c();
+      reduce = 2;
+      break;
+    case PresetId::kD:
+      p = preset_d();
+      reduce = 3;
+      break;
+    case PresetId::kE:
+      p = preset_e();
+      reduce = 8;
+      break;
+  }
+  if (scale == PresetScale::kReduced && reduce > 1) {
+    p = shrink_fabric(p, reduce);
+  }
+  return p;
+}
+
+Region build_preset(PresetId id, PresetScale scale) {
+  return build_region(preset_params(id, scale));
+}
+
+}  // namespace klotski::topo

@@ -1,0 +1,36 @@
+// The five production topology presets of Table 3 (A ... E), at two scales:
+//
+//  * kFull    - paper-scale shapes: A ~40 switches/~80 circuits up to
+//               E ~10,000 switches/~100,000 circuits.
+//  * kReduced - same layer structure and the same qualitative behaviour, but
+//               sized so that the whole bench suite (including the slow
+//               MRC / Janus baselines the paper capped at 24 h) completes in
+//               minutes on a laptop.
+//
+// Presets only describe the *region*; the migration task (HGRID V1->V2,
+// SSW forklift, DMAG) is applied on top by the task builders.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "klotski/topo/builder.h"
+
+namespace klotski::topo {
+
+enum class PresetId { kA, kB, kC, kD, kE };
+enum class PresetScale { kReduced, kFull };
+
+/// Stable display name: "A".."E".
+std::string to_string(PresetId id);
+
+/// All presets in ascending size order.
+std::vector<PresetId> all_presets();
+
+/// Region parameters for a preset at the given scale.
+RegionParams preset_params(PresetId id, PresetScale scale);
+
+/// Convenience: build the region directly.
+Region build_preset(PresetId id, PresetScale scale);
+
+}  // namespace klotski::topo

@@ -1,0 +1,62 @@
+// Switch roles, hardware generations, and element life-cycle states for the
+// Meta-style DCN model described in the paper (§2.1).
+//
+// Roles, bottom-up:
+//   RSW  - rack switch (top-of-rack)
+//   FSW  - fabric switch (pod level)
+//   SSW  - spine switch (plane level)
+//   FADU - fabric-aggregate downlink unit (HGRID, faces a fabric/DC)
+//   FAUU - fabric-aggregate uplink unit (HGRID, faces the backbone side)
+//   MA   - metro aggregation (DMAG layer, added by the DMAG migration)
+//   EB   - backbone border router
+//   DR   - datacenter router at the DC/backbone boundary
+//   EBB  - express backbone (WAN core)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace klotski::topo {
+
+enum class SwitchRole : std::uint8_t {
+  kRsw,
+  kFsw,
+  kSsw,
+  kFadu,
+  kFauu,
+  kMa,
+  kEb,
+  kDr,
+  kEbb,
+};
+
+inline constexpr int kNumSwitchRoles = 9;
+
+/// Hardware generation of a switch (multiple generations coexist, §2.2).
+enum class Generation : std::uint8_t { kV1, kV2 };
+
+/// Life-cycle state of a switch or circuit.
+///
+///   kActive  - installed and carrying traffic
+///   kDrained - installed (occupies ports / space / power) but carries no
+///              traffic
+///   kAbsent  - not installed: either staged for a future migration step or
+///              already decommissioned; occupies nothing
+enum class ElementState : std::uint8_t { kActive, kDrained, kAbsent };
+
+std::string_view to_string(SwitchRole role);
+std::string_view to_string(Generation gen);
+std::string_view to_string(ElementState state);
+
+/// Parses the strings produced by to_string; throws std::invalid_argument.
+SwitchRole switch_role_from_string(std::string_view text);
+Generation generation_from_string(std::string_view text);
+ElementState element_state_from_string(std::string_view text);
+
+using SwitchId = std::int32_t;
+using CircuitId = std::int32_t;
+inline constexpr SwitchId kInvalidSwitch = -1;
+inline constexpr CircuitId kInvalidCircuit = -1;
+
+}  // namespace klotski::topo

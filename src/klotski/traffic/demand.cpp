@@ -1,0 +1,27 @@
+#include "klotski/traffic/demand.h"
+
+namespace klotski::traffic {
+
+std::string to_string(DemandKind kind) {
+  switch (kind) {
+    case DemandKind::kEgress: return "egress";
+    case DemandKind::kIngress: return "ingress";
+    case DemandKind::kEastWest: return "east-west";
+    case DemandKind::kIntraDc: return "intra-dc";
+  }
+  return "?";
+}
+
+double total_volume(const DemandSet& demands) {
+  double total = 0.0;
+  for (const Demand& d : demands) total += d.volume_tbps;
+  return total;
+}
+
+DemandSet scaled(const DemandSet& demands, double factor) {
+  DemandSet out = demands;
+  for (Demand& d : out) d.volume_tbps *= factor;
+  return out;
+}
+
+}  // namespace klotski::traffic

@@ -1,0 +1,38 @@
+// Traffic demands (§3): aggregate flows between sets of switches.
+//
+// The paper models three kinds of source/target pairs — RSW to EBB (egress),
+// EBB to RSW (ingress), and RSW to RSW (east-west / intra-DC) — with volumes
+// of hundreds of Tbps. A demand's volume is injected equally across its
+// *active* source switches and absorbed by its active target switches along
+// the ECMP shortest-path DAG.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "klotski/topo/switch_types.h"
+
+namespace klotski::traffic {
+
+enum class DemandKind { kEgress, kIngress, kEastWest, kIntraDc };
+
+std::string to_string(DemandKind kind);
+
+struct Demand {
+  std::string name;
+  DemandKind kind = DemandKind::kEgress;
+  std::vector<topo::SwitchId> sources;
+  std::vector<topo::SwitchId> targets;
+  double volume_tbps = 0.0;
+};
+
+using DemandSet = std::vector<Demand>;
+
+/// Total volume across a demand set (Tbps).
+double total_volume(const DemandSet& demands);
+
+/// Returns a copy with every volume scaled by `factor` (used by forecasts
+/// and surge events).
+DemandSet scaled(const DemandSet& demands, double factor);
+
+}  // namespace klotski::traffic

@@ -1,0 +1,35 @@
+// Demand matrix (de)serialization.
+//
+// The paper's demands come from Meta's forecasting pipeline and are
+// refreshed after every migration step (§7.1). This module gives the same
+// workflow a file form: export the generated demand set, let operators (or
+// a forecaster) edit volumes, and feed the updated matrix back into the
+// planner. Endpoints are stored by switch name so a matrix survives
+// re-synthesis of the same NPD document.
+//
+// Layout:
+//   { "demands": [ { "name": "...", "kind": "egress",
+//                    "volume_tbps": 12.5,
+//                    "sources": ["d0/p0/rsw0", ...],
+//                    "targets": ["ebb0", ...] }, ... ] }
+#pragma once
+
+#include "klotski/json/json.h"
+#include "klotski/topo/topology.h"
+#include "klotski/traffic/demand.h"
+
+namespace klotski::traffic {
+
+/// Serializes with endpoint switch names.
+json::Value demands_to_json(const topo::Topology& topo,
+                            const DemandSet& demands);
+
+/// Inverse; throws std::invalid_argument on unknown switch names, unknown
+/// kinds, or non-positive volumes.
+DemandSet demands_from_json(const topo::Topology& topo,
+                            const json::Value& value);
+
+/// Parses the kind strings produced by to_string(DemandKind).
+DemandKind demand_kind_from_string(const std::string& text);
+
+}  // namespace klotski::traffic

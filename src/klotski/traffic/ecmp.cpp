@@ -1,0 +1,228 @@
+#include "klotski/traffic/ecmp.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace klotski::traffic {
+
+using topo::CircuitId;
+using topo::SwitchId;
+
+EcmpRouter::EcmpRouter(const topo::Topology& topo, SplitMode mode)
+    : topo_(topo), mode_(mode), num_switches_(topo.num_switches()) {
+  offsets_.assign(num_switches_ + 1, 0);
+  for (const topo::Circuit& c : topo.circuits()) {
+    ++offsets_[static_cast<std::size_t>(c.a) + 1];
+    ++offsets_[static_cast<std::size_t>(c.b) + 1];
+  }
+  for (std::size_t i = 1; i <= num_switches_; ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  arcs_.resize(offsets_[num_switches_]);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const topo::Circuit& c : topo.circuits()) {
+    arcs_[cursor[static_cast<std::size_t>(c.a)]++] = Arc{c.id, c.b};
+    arcs_[cursor[static_cast<std::size_t>(c.b)]++] = Arc{c.id, c.a};
+  }
+
+  dist_.assign(num_switches_, kUnreached);
+  visit_order_.reserve(num_switches_);
+  volume_.assign(num_switches_, 0.0);
+  alive_.assign(topo.num_circuits(), 0);
+}
+
+void EcmpRouter::refresh_alive() {
+  alive_.resize(topo_.num_circuits());
+  for (const topo::Circuit& c : topo_.circuits()) {
+    alive_[static_cast<std::size_t>(c.id)] =
+        c.state == topo::ElementState::kActive && topo_.sw(c.a).active() &&
+                topo_.sw(c.b).active()
+            ? 1
+            : 0;
+  }
+}
+
+std::size_t EcmpRouter::bfs_from_targets(const Demand& demand) {
+  std::fill(dist_.begin(), dist_.end(), kUnreached);
+  visit_order_.clear();
+
+  for (const SwitchId t : demand.targets) {
+    if (!topo_.sw(t).active()) continue;
+    if (dist_[static_cast<std::size_t>(t)] == kUnreached) {
+      dist_[static_cast<std::size_t>(t)] = 0;
+      visit_order_.push_back(t);
+    }
+  }
+  if (visit_order_.empty()) return 0;
+
+  // Standard BFS; visit_order_ doubles as the queue (ascending distance).
+  for (std::size_t head = 0; head < visit_order_.size(); ++head) {
+    const SwitchId u = visit_order_[head];
+    const std::int32_t du = dist_[static_cast<std::size_t>(u)];
+    for (std::uint32_t i = offsets_[static_cast<std::size_t>(u)];
+         i < offsets_[static_cast<std::size_t>(u) + 1]; ++i) {
+      const Arc& arc = arcs_[i];
+      if (!alive_[static_cast<std::size_t>(arc.circuit)]) continue;
+      auto& dv = dist_[static_cast<std::size_t>(arc.neighbor)];
+      if (dv == kUnreached) {
+        dv = du + 1;
+        visit_order_.push_back(arc.neighbor);
+      }
+    }
+  }
+  return visit_order_.size();
+}
+
+bool EcmpRouter::reachable(const Demand& demand) {
+  refresh_alive();
+  if (bfs_from_targets(demand) == 0) return false;
+  for (const SwitchId s : demand.sources) {
+    if (topo_.sw(s).active() &&
+        dist_[static_cast<std::size_t>(s)] == kUnreached) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool EcmpRouter::inject_sources(const std::vector<const Demand*>& demands,
+                                const Demand** failed) {
+  for (const Demand* demand : demands) {
+    // Count active sources and check reachability first (Eq. 4).
+    std::size_t active_sources = 0;
+    for (const SwitchId s : demand->sources) {
+      if (!topo_.sw(s).active()) continue;
+      if (dist_[static_cast<std::size_t>(s)] == kUnreached) {
+        if (failed != nullptr) *failed = demand;
+        return false;
+      }
+      ++active_sources;
+    }
+    if (active_sources == 0) continue;  // vacuously satisfied, no load
+
+    const double per_source =
+        demand->volume_tbps / static_cast<double>(active_sources);
+    for (const SwitchId s : demand->sources) {
+      if (topo_.sw(s).active() &&
+          dist_[static_cast<std::size_t>(s)] != kUnreached) {
+        volume_[static_cast<std::size_t>(s)] += per_source;
+      }
+    }
+  }
+  return true;
+}
+
+void EcmpRouter::propagate(LoadVector& loads) {
+  // Propagate along the DAG in decreasing distance: visit_order_ is in
+  // ascending distance, so walk it backwards. A switch's volume splits
+  // over circuits toward neighbors one step closer to a target.
+  for (std::size_t idx = visit_order_.size(); idx-- > 0;) {
+    const SwitchId u = visit_order_[idx];
+    const double vol = volume_[static_cast<std::size_t>(u)];
+    if (vol <= 0.0) continue;
+    const std::int32_t du = dist_[static_cast<std::size_t>(u)];
+    if (du == 0) continue;  // absorbed at a target
+
+    // Single scan: collect the equal-cost next hops and their total split
+    // weight (hop count for plain ECMP, summed capacity for weighted ECMP).
+    next_hops_.clear();
+    double total_weight = 0.0;
+    for (std::uint32_t i = offsets_[static_cast<std::size_t>(u)];
+         i < offsets_[static_cast<std::size_t>(u) + 1]; ++i) {
+      const Arc& arc = arcs_[i];
+      if (!alive_[static_cast<std::size_t>(arc.circuit)]) continue;
+      if (dist_[static_cast<std::size_t>(arc.neighbor)] != du - 1) continue;
+      next_hops_.push_back(i);
+      total_weight += mode_ == SplitMode::kEqualSplit
+                          ? 1.0
+                          : topo_.circuit(arc.circuit).capacity_tbps;
+    }
+    assert(total_weight > 0.0 && "reached switch must have a next hop");
+
+    for (const std::uint32_t i : next_hops_) {
+      const Arc& arc = arcs_[i];
+      const topo::Circuit& c = topo_.circuit(arc.circuit);
+      const double weight =
+          mode_ == SplitMode::kEqualSplit ? 1.0 : c.capacity_tbps;
+      const double share = vol * weight / total_weight;
+      // Direction: u -> neighbor. Slot 2c is a->b.
+      const std::size_t slot = static_cast<std::size_t>(arc.circuit) * 2 +
+                               (c.a == u ? 0 : 1);
+      loads[slot] += share;
+      volume_[static_cast<std::size_t>(arc.neighbor)] += share;
+    }
+  }
+}
+
+bool EcmpRouter::assign(const Demand& demand, LoadVector& loads) {
+  loads.resize(topo_.num_circuits() * 2, 0.0);
+
+  refresh_alive();
+  if (bfs_from_targets(demand) == 0) return false;
+
+  std::fill(volume_.begin(), volume_.end(), 0.0);
+  const std::vector<const Demand*> group = {&demand};
+  if (!inject_sources(group, nullptr)) return false;
+  propagate(loads);
+  return true;
+}
+
+bool EcmpRouter::assign_all(const DemandSet& demands, LoadVector& loads,
+                            std::string* failed_demand) {
+  loads.resize(topo_.num_circuits() * 2, 0.0);
+  refresh_alive();
+
+  // Group demands by target set: one BFS + one propagation per group.
+  // ECMP load is linear in injected volume over a fixed shortest-path DAG,
+  // so merged propagation equals the sum of per-demand assignments.
+  std::vector<bool> grouped(demands.size(), false);
+  std::vector<const Demand*> group;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (grouped[i]) continue;
+    group.clear();
+    group.push_back(&demands[i]);
+    grouped[i] = true;
+    for (std::size_t j = i + 1; j < demands.size(); ++j) {
+      if (!grouped[j] && demands[j].targets == demands[i].targets) {
+        group.push_back(&demands[j]);
+        grouped[j] = true;
+      }
+    }
+
+    if (bfs_from_targets(demands[i]) == 0) {
+      if (failed_demand != nullptr) *failed_demand = demands[i].name;
+      return false;
+    }
+    std::fill(volume_.begin(), volume_.end(), 0.0);
+    const Demand* failed = nullptr;
+    if (!inject_sources(group, &failed)) {
+      if (failed_demand != nullptr) *failed_demand = failed->name;
+      return false;
+    }
+    propagate(loads);
+  }
+  return true;
+}
+
+double max_utilization(const topo::Topology& topo, const LoadVector& loads) {
+  return worst_circuit(topo, loads).utilization;
+}
+
+WorstCircuit worst_circuit(const topo::Topology& topo,
+                           const LoadVector& loads) {
+  WorstCircuit worst;
+  const std::size_t n = std::min(loads.size() / 2, topo.num_circuits());
+  for (std::size_t c = 0; c < n; ++c) {
+    const double load = std::max(loads[c * 2], loads[c * 2 + 1]);
+    if (load <= 0.0) continue;
+    const double util = load / topo.circuit(static_cast<CircuitId>(c))
+                                   .capacity_tbps;
+    if (util > worst.utilization) {
+      worst.utilization = util;
+      worst.circuit = static_cast<CircuitId>(c);
+    }
+  }
+  return worst;
+}
+
+}  // namespace klotski::traffic

@@ -1,0 +1,130 @@
+// ECMP traffic assignment over the active topology (§5: "we focus on
+// macro-scale network behavior ... we use the equal-cost multi-path routing
+// policy").
+//
+// For one demand, the router runs a multi-source BFS from the demand's
+// active targets over traffic-carrying circuits, which yields the
+// shortest-path DAG (circuits from a switch at distance k to a neighbor at
+// distance k-1). The demand volume is injected equally across active source
+// switches and propagated down the DAG, split equally across a switch's
+// outgoing DAG circuits — ECMP is deliberately capacity-blind, exactly the
+// property behind the HGRID V1/V2 outage described in §7.1.
+//
+// One assignment is Theta(|S| + |C|), matching the satisfiability-check
+// cost in Theorems 1 and 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "klotski/topo/topology.h"
+#include "klotski/traffic/demand.h"
+
+namespace klotski::traffic {
+
+/// Per-circuit directional loads: index 2*c   = load from circuit(c).a to .b,
+///                                index 2*c+1 = load from .b to .a (Tbps).
+using LoadVector = std::vector<double>;
+
+/// How a switch splits traffic over its equal-cost next hops.
+///
+///  * kEqualSplit       — plain ECMP: equal share per circuit, regardless of
+///                        capacity. The production default, and the cause of
+///                        the §7.1 outage: a low-capacity next hop receives
+///                        the same share as a high-capacity one.
+///  * kCapacityWeighted — weighted ECMP (WCMP): share proportional to
+///                        circuit capacity. Models the "temporary routing
+///                        configurations to balance the traffic between
+///                        HGRID V1 and V2" that operators create (§7.1);
+///                        Klotski is being extended toward such flexible
+///                        routing configurations.
+enum class SplitMode : std::uint8_t { kEqualSplit, kCapacityWeighted };
+
+class EcmpRouter {
+ public:
+  /// Captures the immutable structure (CSR adjacency). Element states are
+  /// read from `topo` at assignment time, so the same router serves every
+  /// intermediate topology of a migration.
+  explicit EcmpRouter(const topo::Topology& topo,
+                      SplitMode mode = SplitMode::kEqualSplit);
+
+  SplitMode split_mode() const { return mode_; }
+  void set_split_mode(SplitMode mode) { mode_ = mode; }
+
+  /// Adds this demand's circuit loads into `loads` (resized if needed).
+  /// Returns false — without touching `loads` beyond possible resizing —
+  /// when the demand is unroutable: no active target, or some active source
+  /// cannot reach any target.
+  bool assign(const Demand& demand, LoadVector& loads);
+
+  /// Assigns a whole demand set, sharing work across demands: the liveness
+  /// bitmap is refreshed once, and demands with identical target sets share
+  /// one BFS and one load propagation (ECMP is linear in the injected
+  /// volume for a fixed DAG, so merged propagation is exact). Returns false
+  /// on the first unroutable demand, reporting its name via
+  /// `failed_demand` when non-null. This is the satisfiability-check hot
+  /// path at O(10,000)-switch scale.
+  bool assign_all(const DemandSet& demands, LoadVector& loads,
+                  std::string* failed_demand = nullptr);
+
+  /// True iff every active source can reach an active target (connectivity
+  /// part of Eq. 4, without computing loads).
+  bool reachable(const Demand& demand);
+
+  std::size_t num_switches() const { return num_switches_; }
+
+ private:
+  /// Runs the BFS from the demand's targets; fills dist_ and visit_order_.
+  /// Returns number of visited switches (0 if no active target).
+  std::size_t bfs_from_targets(const Demand& demand);
+
+  /// Injects every demand's volume at its active sources (volume_ must be
+  /// zeroed); returns false when a demand has an active source the current
+  /// dist_ cannot reach, reporting the demand via `failed`.
+  bool inject_sources(const std::vector<const Demand*>& demands,
+                      const Demand** failed);
+
+  /// Propagates volume_ down the current shortest-path DAG into `loads`.
+  void propagate(LoadVector& loads);
+
+  const topo::Topology& topo_;
+  SplitMode mode_ = SplitMode::kEqualSplit;
+  std::size_t num_switches_ = 0;
+
+  // CSR adjacency: for switch s, neighbors_[offsets_[s]..offsets_[s+1]).
+  struct Arc {
+    topo::CircuitId circuit;
+    topo::SwitchId neighbor;
+  };
+  std::vector<std::uint32_t> offsets_;
+  std::vector<Arc> arcs_;
+
+  /// Rebuilds the per-circuit liveness bitmap from the current element
+  /// states. Called at the start of every assignment: one sequential pass
+  /// instead of three scattered reads per arc per demand.
+  void refresh_alive();
+
+  // Scratch reused across assignments (single-threaded use).
+  static constexpr std::int32_t kUnreached = -1;
+  std::vector<std::int32_t> dist_;
+  std::vector<topo::SwitchId> visit_order_;  // ascending distance
+  std::vector<double> volume_;               // per-switch pending volume
+  std::vector<std::uint8_t> alive_;          // circuit carries traffic now
+  std::vector<std::uint32_t> next_hops_;     // per-switch DAG arc scratch
+};
+
+/// Maximum utilization over circuits given directional loads; utilization of
+/// a circuit is max(direction loads) / capacity. Returns 0 for an empty
+/// topology. Circuits not carrying traffic but with non-zero load would be a
+/// router bug; they are ignored here.
+double max_utilization(const topo::Topology& topo, const LoadVector& loads);
+
+/// Worst circuit (id, utilization); id = kInvalidCircuit when no circuit is
+/// loaded.
+struct WorstCircuit {
+  topo::CircuitId circuit = topo::kInvalidCircuit;
+  double utilization = 0.0;
+};
+WorstCircuit worst_circuit(const topo::Topology& topo, const LoadVector& loads);
+
+}  // namespace klotski::traffic

@@ -1,0 +1,52 @@
+#include "klotski/traffic/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace klotski::traffic {
+
+Forecaster::Forecaster(DemandSet base, double growth_per_step)
+    : base_(std::move(base)), growth_(growth_per_step) {
+  if (growth_ < -1.0) {
+    throw std::invalid_argument("Forecaster: growth_per_step < -100%");
+  }
+}
+
+void Forecaster::add_surge(SurgeEvent event) {
+  if (event.end_step < event.start_step) {
+    throw std::invalid_argument("Forecaster: surge ends before it starts");
+  }
+  surges_.push_back(std::move(event));
+}
+
+DemandSet Forecaster::at_step(int step) const {
+  DemandSet out = base_;
+  const double growth = std::pow(1.0 + growth_, step);
+  for (Demand& d : out) {
+    double factor = growth;
+    for (const SurgeEvent& surge : surges_) {
+      if (d.kind == surge.kind && step >= surge.start_step &&
+          step < surge.end_step) {
+        factor *= surge.factor;
+      }
+    }
+    d.volume_tbps *= factor;
+  }
+  return out;
+}
+
+double Forecaster::max_relative_change(int from_step, int to_step) const {
+  const DemandSet a = at_step(from_step);
+  const DemandSet b = at_step(to_step);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].volume_tbps <= 0.0) continue;
+    const double change =
+        std::abs(b[i].volume_tbps - a[i].volume_tbps) / a[i].volume_tbps;
+    worst = std::max(worst, change);
+  }
+  return worst;
+}
+
+}  // namespace klotski::traffic

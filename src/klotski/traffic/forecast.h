@@ -1,0 +1,49 @@
+// Demand forecasting (§7.1): migrations last weeks to months, so traffic
+// grows organically during the plan and can spike unexpectedly (§7.2,
+// "unexpected traffic surge"). The forecaster produces the demand set
+// expected at a future migration step; the pipeline re-plans whenever the
+// forecast moves enough to matter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "klotski/traffic/demand.h"
+
+namespace klotski::traffic {
+
+/// A temporary demand multiplier on one demand kind over [start, end) steps
+/// — e.g. the warm-storage backup placement change from §7.2.
+struct SurgeEvent {
+  std::string name;
+  DemandKind kind = DemandKind::kEgress;
+  int start_step = 0;
+  int end_step = 0;   // exclusive
+  double factor = 1.0;
+};
+
+class Forecaster {
+ public:
+  /// `growth_per_step` is compound organic growth per migration step
+  /// (e.g. 0.002 for ~0.2% per step).
+  Forecaster(DemandSet base, double growth_per_step);
+
+  void add_surge(SurgeEvent event);
+
+  /// Demand set expected at a migration step (step 0 == base).
+  DemandSet at_step(int step) const;
+
+  /// Largest per-demand relative change between two steps; the pipeline
+  /// re-plans when this exceeds its threshold.
+  double max_relative_change(int from_step, int to_step) const;
+
+  double growth_per_step() const { return growth_; }
+  const DemandSet& base() const { return base_; }
+
+ private:
+  DemandSet base_;
+  double growth_;
+  std::vector<SurgeEvent> surges_;
+};
+
+}  // namespace klotski::traffic

@@ -1,0 +1,147 @@
+#include "klotski/traffic/generator.h"
+
+#include <algorithm>
+#include <string>
+
+namespace klotski::traffic {
+
+using topo::Region;
+using topo::SwitchId;
+using topo::SwitchRole;
+
+double dc_uplink_capacity(const Region& region, int dc) {
+  double total = 0.0;
+  for (const topo::Circuit& c : region.topo.circuits()) {
+    if (!c.present()) continue;
+    const topo::Switch& a = region.topo.sw(c.a);
+    const topo::Switch& b = region.topo.sw(c.b);
+    const bool ssw_fadu = (a.role == SwitchRole::kSsw &&
+                           b.role == SwitchRole::kFadu) ||
+                          (a.role == SwitchRole::kFadu &&
+                           b.role == SwitchRole::kSsw);
+    if (!ssw_fadu) continue;
+    const topo::Switch& ssw = a.role == SwitchRole::kSsw ? a : b;
+    if (ssw.loc.dc == dc) total += c.capacity_tbps;
+  }
+  return total;
+}
+
+double dc_rsw_uplink_capacity(const Region& region, int dc) {
+  double total = 0.0;
+  for (const topo::Circuit& c : region.topo.circuits()) {
+    if (!c.present()) continue;
+    const topo::Switch& a = region.topo.sw(c.a);
+    const topo::Switch& b = region.topo.sw(c.b);
+    const bool rsw_fsw = (a.role == SwitchRole::kRsw &&
+                          b.role == SwitchRole::kFsw) ||
+                         (a.role == SwitchRole::kFsw &&
+                          b.role == SwitchRole::kRsw);
+    if (!rsw_fsw) continue;
+    const topo::Switch& rsw = a.role == SwitchRole::kRsw ? a : b;
+    if (rsw.loc.dc == dc) total += c.capacity_tbps;
+  }
+  return total;
+}
+
+double dc_bottleneck_capacity(const Region& region, int dc) {
+  return std::min({dc_uplink_capacity(region, dc),
+                   dc_spine_capacity(region, dc),
+                   dc_rsw_uplink_capacity(region, dc)});
+}
+
+double dc_spine_capacity(const Region& region, int dc) {
+  double total = 0.0;
+  for (const topo::Circuit& c : region.topo.circuits()) {
+    if (!c.present()) continue;
+    const topo::Switch& a = region.topo.sw(c.a);
+    const topo::Switch& b = region.topo.sw(c.b);
+    const bool fsw_ssw = (a.role == SwitchRole::kFsw &&
+                          b.role == SwitchRole::kSsw) ||
+                         (a.role == SwitchRole::kSsw &&
+                          b.role == SwitchRole::kFsw);
+    if (!fsw_ssw) continue;
+    const topo::Switch& fsw = a.role == SwitchRole::kFsw ? a : b;
+    if (fsw.loc.dc == dc) total += c.capacity_tbps;
+  }
+  return total;
+}
+
+DemandSet generate_demands(const Region& region,
+                           const DemandGenParams& params) {
+  DemandSet demands;
+  const int dcs = region.num_dcs();
+
+  for (int dc = 0; dc < dcs; ++dc) {
+    const double uplink = dc_bottleneck_capacity(region, dc);
+    const std::string dc_tag = "dc" + std::to_string(dc);
+
+    if (params.egress_frac > 0.0) {
+      Demand d;
+      d.name = dc_tag + "/egress";
+      d.kind = DemandKind::kEgress;
+      d.sources = region.rsws[dc];
+      d.targets = region.ebbs;
+      d.volume_tbps = params.egress_frac * uplink;
+      demands.push_back(std::move(d));
+    }
+    if (params.ingress_frac > 0.0) {
+      Demand d;
+      d.name = dc_tag + "/ingress";
+      d.kind = DemandKind::kIngress;
+      d.sources = region.ebbs;
+      d.targets = region.rsws[dc];
+      d.volume_tbps = params.ingress_frac * uplink;
+      demands.push_back(std::move(d));
+    }
+
+    // East-west: one demand per ordered DC pair, equal share of the source
+    // DC's east-west budget.
+    if (dcs > 1 && params.east_west_frac > 0.0) {
+      const double per_peer =
+          params.east_west_frac * uplink / static_cast<double>(dcs - 1);
+      for (int peer = 0; peer < dcs; ++peer) {
+        if (peer == dc) continue;
+        Demand d;
+        d.name = dc_tag + "/ew-to-dc" + std::to_string(peer);
+        d.kind = DemandKind::kEastWest;
+        d.sources = region.rsws[dc];
+        d.targets = region.rsws[peer];
+        d.volume_tbps = per_peer;
+        demands.push_back(std::move(d));
+      }
+    }
+
+    // Intra-DC pod-to-pod: even pods -> odd pods and back, so the flows
+    // must cross the spine layer.
+    const topo::FabricParams& fab = region.fabric(dc);
+    if (fab.pods >= 2 && params.intra_dc_frac > 0.0) {
+      std::vector<SwitchId> even_rsws;
+      std::vector<SwitchId> odd_rsws;
+      for (const SwitchId id : region.rsws[dc]) {
+        const topo::Switch& s = region.topo.sw(id);
+        ((s.loc.pod % 2 == 0) ? even_rsws : odd_rsws).push_back(id);
+      }
+      if (!even_rsws.empty() && !odd_rsws.empty()) {
+        const double volume =
+            params.intra_dc_frac * dc_bottleneck_capacity(region, dc) / 2.0;
+        Demand fwd;
+        fwd.name = dc_tag + "/intra-even-odd";
+        fwd.kind = DemandKind::kIntraDc;
+        fwd.sources = even_rsws;
+        fwd.targets = odd_rsws;
+        fwd.volume_tbps = volume;
+        demands.push_back(fwd);
+        Demand rev;
+        rev.name = dc_tag + "/intra-odd-even";
+        rev.kind = DemandKind::kIntraDc;
+        rev.sources = std::move(odd_rsws);
+        rev.targets = std::move(even_rsws);
+        rev.volume_tbps = volume;
+        demands.push_back(std::move(rev));
+      }
+    }
+  }
+  return demands;
+}
+
+}  // namespace klotski::traffic

@@ -1,0 +1,49 @@
+// Synthesizes a calibrated demand set for a region (§6.1 "Traffic").
+//
+// The paper forecasts demands from production history; we do not have that
+// data, so volumes are derived from the region's own layer capacities: each
+// demand class is a configurable fraction of the capacity of the layer it
+// stresses. The defaults put the aggregation layer at roughly 40-45%
+// utilization, which reproduces the feasibility cliff the paper describes —
+// draining everything at once violates the default theta = 0.75, while
+// draining in batches is safe.
+#pragma once
+
+#include "klotski/topo/builder.h"
+#include "klotski/traffic/demand.h"
+
+namespace klotski::traffic {
+
+struct DemandGenParams {
+  /// Per-DC RSW -> EBB volume, as a fraction of the DC's bottleneck layer
+  /// capacity (min of RSW uplink, spine, and SSW->FADU uplink capacity).
+  double egress_frac = 0.25;
+  /// Per-DC EBB -> RSW volume, same reference capacity (opposite direction).
+  double ingress_frac = 0.25;
+  /// Total east-west volume leaving each DC toward the other DCs, same
+  /// reference capacity. Ignored for single-DC regions.
+  double east_west_frac = 0.10;
+  /// Per-DC pod-to-pod RSW -> RSW volume, same reference capacity
+  /// (stresses the spine; relevant for the SSW forklift migration).
+  /// Requires >= 2 pods; skipped otherwise.
+  double intra_dc_frac = 0.18;
+};
+
+/// Uplink (SSW->FADU) capacity of one DC in the region, Tbps one direction.
+double dc_uplink_capacity(const topo::Region& region, int dc);
+
+/// Spine (FSW->SSW) capacity of one DC, Tbps one direction.
+double dc_spine_capacity(const topo::Region& region, int dc);
+
+/// RSW uplink (RSW->FSW) capacity of one DC, Tbps one direction.
+double dc_rsw_uplink_capacity(const topo::Region& region, int dc);
+
+/// The bottleneck of the three fabric layers above: demand volumes are
+/// calibrated against this so no layer starts out saturated.
+double dc_bottleneck_capacity(const topo::Region& region, int dc);
+
+/// Builds the demand set for a region.
+DemandSet generate_demands(const topo::Region& region,
+                           const DemandGenParams& params = {});
+
+}  // namespace klotski::traffic

@@ -1,0 +1,33 @@
+#include "klotski/util/file.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace klotski::util {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open file for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("error while reading file: " + path);
+  }
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open file for writing: " + path);
+  }
+  out << contents;
+  if (!out.good()) {
+    throw std::runtime_error("error while writing file: " + path);
+  }
+}
+
+}  // namespace klotski::util

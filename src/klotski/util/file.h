@@ -1,0 +1,14 @@
+// Whole-file read/write helpers for the CLI tools and examples.
+#pragma once
+
+#include <string>
+
+namespace klotski::util {
+
+/// Reads a whole file; throws std::runtime_error with the path on failure.
+std::string read_file(const std::string& path);
+
+/// Writes (truncates) a whole file; throws std::runtime_error on failure.
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace klotski::util

@@ -1,0 +1,55 @@
+// Hash helpers: combination and container hashing for cache keys.
+//
+// The satisfiability cache keys on the compact topology representation
+// (a small vector of action counts); we need a fast, well-mixed hash for
+// std::vector<int32_t> and for pair keys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace klotski::util {
+
+/// 64-bit mix (splitmix64 finalizer); good avalanche for small keys.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// boost-style hash_combine on 64 bits.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  return seed ^ (mix64(value) + 0x9E3779B97F4A7C15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// Hash of an integer sequence; order-sensitive.
+template <typename Int>
+std::uint64_t hash_span(const Int* data, std::size_t size) {
+  std::uint64_t h = 0x243F6A8885A308D3ULL ^ size;
+  for (std::size_t i = 0; i < size; ++i) {
+    h = hash_combine(h, static_cast<std::uint64_t>(data[i]));
+  }
+  return h;
+}
+
+template <typename Int>
+struct VectorHash {
+  std::size_t operator()(const std::vector<Int>& v) const {
+    return static_cast<std::size_t>(hash_span(v.data(), v.size()));
+  }
+};
+
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    return static_cast<std::size_t>(
+        hash_combine(std::hash<A>{}(p.first), std::hash<B>{}(p.second)));
+  }
+};
+
+}  // namespace klotski::util

@@ -1,0 +1,67 @@
+#include "klotski/util/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <utility>
+
+namespace klotski::util {
+
+namespace {
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink& current_sink() {
+  static LogSink sink = [](LogLevel level, std::string_view message) {
+    std::cerr << "[" << to_string(level) << "] " << message << "\n";
+  };
+  return sink;
+}
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  LogSink previous = std::move(current_sink());
+  current_sink() = std::move(sink);
+  return previous;
+}
+
+void set_min_log_level(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel min_log_level() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (current_sink()) {
+    current_sink()(level, message);
+  }
+}
+
+}  // namespace klotski::util

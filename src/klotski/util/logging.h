@@ -1,0 +1,62 @@
+// Lightweight leveled logging for the Klotski library.
+//
+// The library never writes to stdout on its own (benches own stdout for
+// table output); log records go to stderr through a single synchronized
+// sink that callers may replace (e.g. tests install a capturing sink).
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace klotski::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Human-readable name for a level ("DEBUG", "INFO", ...).
+std::string_view to_string(LogLevel level);
+
+/// A sink receives fully formatted records. Must be callable from any thread.
+using LogSink = std::function<void(LogLevel, std::string_view message)>;
+
+/// Replaces the process-wide sink; returns the previous one.
+LogSink set_log_sink(LogSink sink);
+
+/// Records below this level are dropped before formatting.
+void set_min_log_level(LogLevel level);
+LogLevel min_log_level();
+
+/// Emits one record through the current sink (thread-safe).
+void log(LogLevel level, std::string_view message);
+
+namespace detail {
+
+// Stream-style builder so call sites read `LOG_INFO() << "x=" << x;`.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace klotski::util
+
+#define KLOTSKI_LOG(level) ::klotski::util::detail::LogLine(level)
+#define KLOTSKI_LOG_DEBUG() KLOTSKI_LOG(::klotski::util::LogLevel::kDebug)
+#define KLOTSKI_LOG_INFO() KLOTSKI_LOG(::klotski::util::LogLevel::kInfo)
+#define KLOTSKI_LOG_WARN() KLOTSKI_LOG(::klotski::util::LogLevel::kWarn)
+#define KLOTSKI_LOG_ERROR() KLOTSKI_LOG(::klotski::util::LogLevel::kError)

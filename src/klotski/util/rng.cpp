@@ -1,0 +1,36 @@
+#include "klotski/util/rng.h"
+
+#include <cassert>
+
+namespace klotski::util {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::chance(double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  std::bernoulli_distribution dist(probability);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t size) {
+  assert(size > 0);
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+}  // namespace klotski::util

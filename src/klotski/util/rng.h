@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generator.
+//
+// All synthesized topologies and traffic matrices must be reproducible from
+// a seed so that tests and benches are stable; std::mt19937_64 is specified
+// bit-exactly by the standard, which gives us that guarantee across builds.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace klotski::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Gaussian with the given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks an index in [0, size) uniformly. Requires size > 0.
+  std::size_t index(std::size_t size);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace klotski::util

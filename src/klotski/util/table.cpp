@@ -1,0 +1,47 @@
+#include "klotski/util/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace klotski::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << " ";
+      os << " |";
+    }
+    os << "\n";
+  };
+
+  if (!title_.empty()) os << title_ << "\n";
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) os << "-";
+    os << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace klotski::util

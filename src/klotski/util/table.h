@@ -1,0 +1,34 @@
+// ASCII table printer used by the bench harnesses to emit the paper's
+// tables/figures as aligned rows.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace klotski::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace klotski::util

@@ -1,0 +1,51 @@
+// Wall-clock stopwatch and deadline helpers used by all planners.
+#pragma once
+
+#include <chrono>
+
+namespace klotski::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::chrono::milliseconds elapsed_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A deadline that planners poll periodically; zero budget means "no limit".
+class Deadline {
+ public:
+  Deadline() = default;
+  explicit Deadline(std::chrono::duration<double> budget)
+      : limited_(budget.count() > 0.0),
+        expiry_(Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(budget)) {}
+
+  static Deadline unlimited() { return Deadline(); }
+  static Deadline after_seconds(double seconds) {
+    return Deadline(std::chrono::duration<double>(seconds));
+  }
+
+  bool expired() const { return limited_ && Clock::now() >= expiry_; }
+  bool limited() const { return limited_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool limited_ = false;
+  Clock::time_point expiry_{};
+};
+
+}  // namespace klotski::util

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+#include "klotski/baselines/janus_planner.h"
+#include "klotski/baselines/mrc_planner.h"
+#include "klotski/pipeline/audit.h"
+#include "klotski/pipeline/edp.h"
+
+namespace klotski::baselines {
+namespace {
+
+using klotski::testing::small_dmag_case;
+using klotski::testing::small_hgrid_case;
+using klotski::testing::small_ssw_case;
+
+core::Plan run(migration::MigrationTask& task, const char* planner,
+               core::PlannerOptions options = {}) {
+  pipeline::CheckerBundle bundle = pipeline::make_standard_checker(task, {});
+  return pipeline::make_planner(planner)->plan(task, *bundle.checker,
+                                               options);
+}
+
+// ---------------------------------------------------------------------------
+// Structure detection
+
+TEST(StructureDetection, HgridAndSswDoNotChangeStructure) {
+  migration::MigrationCase hgrid = small_hgrid_case();
+  EXPECT_FALSE(task_changes_topology_structure(hgrid.task));
+  migration::MigrationCase ssw = small_ssw_case();
+  EXPECT_FALSE(task_changes_topology_structure(ssw.task));
+}
+
+TEST(StructureDetection, DmagAddsTheMaRole) {
+  migration::MigrationCase dmag = small_dmag_case();
+  EXPECT_TRUE(task_changes_topology_structure(dmag.task));
+}
+
+TEST(StructureDetection, LeavesTopologyInOriginalState) {
+  migration::MigrationCase dmag = small_dmag_case();
+  task_changes_topology_structure(dmag.task);
+  EXPECT_TRUE(dmag.task.original_state ==
+              topo::TopologyState::capture(*dmag.task.topo));
+}
+
+// ---------------------------------------------------------------------------
+// MRC
+
+TEST(Mrc, FindsAFeasibleButSuboptimalPlan) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan mrc = run(mig.task, "mrc");
+  const core::Plan optimal = run(mig.task, "astar");
+  ASSERT_TRUE(mrc.found) << mrc.failure;
+  ASSERT_TRUE(optimal.found);
+  EXPECT_GE(mrc.cost, optimal.cost);
+
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(mig.task, {});
+  const pipeline::AuditReport report =
+      pipeline::audit_plan(mig.task, *bundle.checker, mrc,
+                           /*check_every_action=*/true);
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST(Mrc, RejectsDmag) {
+  migration::MigrationCase mig = small_dmag_case();
+  const core::Plan plan = run(mig.task, "mrc");
+  EXPECT_FALSE(plan.found);
+  EXPECT_NE(plan.failure.find("change the topology"), std::string::npos);
+}
+
+TEST(Mrc, ExecutesEveryBlockExactlyOnce) {
+  migration::MigrationCase mig = small_ssw_case();
+  const core::Plan plan = run(mig.task, "mrc");
+  ASSERT_TRUE(plan.found);
+  EXPECT_EQ(plan.actions.size(),
+            static_cast<std::size_t>(mig.task.total_actions()));
+}
+
+TEST(Mrc, DoesManyMoreChecksThanAStar) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan mrc = run(mig.task, "mrc");
+  const core::Plan astar = run(mig.task, "astar");
+  ASSERT_TRUE(mrc.found);
+  ASSERT_TRUE(astar.found);
+  EXPECT_GT(mrc.stats.sat_checks, astar.stats.sat_checks);
+}
+
+TEST(Mrc, HonorsDeadline) {
+  migration::MigrationCase mig = small_hgrid_case();
+  core::PlannerOptions options;
+  options.deadline_seconds = 1e-9;
+  const core::Plan plan = run(mig.task, "mrc", options);
+  EXPECT_FALSE(plan.found);
+  EXPECT_EQ(plan.failure, "timeout");
+}
+
+// ---------------------------------------------------------------------------
+// Janus
+
+TEST(Janus, OptimalOnStructurePreservingTasks) {
+  for (auto* build : {&small_hgrid_case, &small_ssw_case}) {
+    migration::MigrationCase mig = (*build)();
+    const core::Plan janus = run(mig.task, "janus");
+    const core::Plan optimal = run(mig.task, "astar");
+    ASSERT_TRUE(janus.found) << janus.failure;
+    EXPECT_DOUBLE_EQ(janus.cost, optimal.cost);
+  }
+}
+
+TEST(Janus, RejectsDmag) {
+  migration::MigrationCase mig = small_dmag_case();
+  const core::Plan plan = run(mig.task, "janus");
+  EXPECT_FALSE(plan.found);
+  EXPECT_NE(plan.failure.find("symmetry"), std::string::npos);
+}
+
+TEST(Janus, NeverUsesTheCache) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = run(mig.task, "janus");
+  ASSERT_TRUE(plan.found);
+  EXPECT_EQ(plan.stats.cache_hits, 0);
+}
+
+TEST(Janus, ChecksMoreThanDp) {
+  // Without the ordering-agnostic representation Janus re-validates per
+  // incoming arc, so its check count strictly dominates the DP planner's.
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan janus = run(mig.task, "janus");
+  const core::Plan dp = run(mig.task, "dp");
+  ASSERT_TRUE(janus.found);
+  ASSERT_TRUE(dp.found);
+  EXPECT_GT(janus.stats.sat_checks, dp.stats.sat_checks);
+}
+
+TEST(Janus, PlanSurvivesAudit) {
+  migration::MigrationCase mig = small_ssw_case();
+  const core::Plan plan = run(mig.task, "janus");
+  ASSERT_TRUE(plan.found);
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(mig.task, {});
+  EXPECT_TRUE(pipeline::audit_plan(mig.task, *bundle.checker, plan).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-planner alpha handling in baselines
+
+TEST(Baselines, MrcCostAccountingUsesAlpha) {
+  migration::MigrationCase mig = small_hgrid_case();
+  core::PlannerOptions options;
+  options.alpha = 1.0;
+  const core::Plan plan = run(mig.task, "mrc", options);
+  ASSERT_TRUE(plan.found);
+  EXPECT_DOUBLE_EQ(plan.cost, plan.recompute_cost(1.0));
+  EXPECT_DOUBLE_EQ(plan.cost, mig.task.total_actions());
+}
+
+TEST(Baselines, JanusOptimalUnderAlpha) {
+  migration::MigrationCase mig = small_hgrid_case();
+  core::PlannerOptions options;
+  options.alpha = 0.5;
+  const core::Plan janus = run(mig.task, "janus", options);
+  const core::Plan astar = run(mig.task, "astar", options);
+  ASSERT_TRUE(janus.found);
+  ASSERT_TRUE(astar.found);
+  EXPECT_DOUBLE_EQ(janus.cost, astar.cost);
+}
+
+}  // namespace
+}  // namespace klotski::baselines

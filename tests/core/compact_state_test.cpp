@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "klotski/core/compact_state.h"
+
+namespace klotski::core {
+namespace {
+
+TEST(CompactState, TotalActions) {
+  EXPECT_EQ(total_actions({}), 0);
+  EXPECT_EQ(total_actions({0, 0}), 0);
+  EXPECT_EQ(total_actions({3, 4, 5}), 12);
+}
+
+TEST(CompactState, IsTarget) {
+  EXPECT_TRUE(is_target({2, 3}, {2, 3}));
+  EXPECT_FALSE(is_target({2, 2}, {2, 3}));
+}
+
+TEST(CompactState, HashEqualForEqualVectors) {
+  CountVectorHash h;
+  EXPECT_EQ(h({1, 2, 3}), h({1, 2, 3}));
+}
+
+TEST(CompactState, SearchStateEquality) {
+  const SearchState a{{1, 2}, 0};
+  const SearchState b{{1, 2}, 0};
+  const SearchState c{{1, 2}, 1};
+  const SearchState d{{2, 1}, 0};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(CompactState, SearchStateHashDistinguishesLastType) {
+  SearchStateHash h;
+  // Same counts with different last type are *different* search states
+  // (the cost function depends on the last type) and should rarely collide.
+  EXPECT_NE(h(SearchState{{1, 2}, 0}), h(SearchState{{1, 2}, 1}));
+  EXPECT_NE(h(SearchState{{1, 2}, -1}), h(SearchState{{1, 2}, 0}));
+}
+
+TEST(CompactState, SearchStateHashUsableInSets) {
+  std::unordered_set<SearchState, SearchStateHash> set;
+  for (std::int32_t i = 0; i < 10; ++i) {
+    for (std::int32_t j = 0; j < 10; ++j) {
+      for (std::int32_t last = -1; last < 2; ++last) {
+        set.insert(SearchState{{i, j}, last});
+      }
+    }
+  }
+  EXPECT_EQ(set.size(), 300u);
+}
+
+}  // namespace
+}  // namespace klotski::core

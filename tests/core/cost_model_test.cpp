@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "klotski/core/cost_model.h"
+
+namespace klotski::core {
+namespace {
+
+TEST(CostModel, RejectsAlphaOutsideUnitInterval) {
+  EXPECT_THROW(CostModel(-0.1), std::invalid_argument);
+  EXPECT_THROW(CostModel(1.1), std::invalid_argument);
+  EXPECT_NO_THROW(CostModel(0.0));
+  EXPECT_NO_THROW(CostModel(1.0));
+}
+
+TEST(CostModel, TransitionCost) {
+  const CostModel m(0.3);
+  EXPECT_DOUBLE_EQ(m.transition_cost(-1, 0), 1.0);  // first action
+  EXPECT_DOUBLE_EQ(m.transition_cost(0, 1), 1.0);   // type change
+  EXPECT_DOUBLE_EQ(m.transition_cost(1, 1), 0.3);   // same type
+}
+
+TEST(CostModel, SequenceCostEqualsTypeChangesPlusOneAtAlphaZero) {
+  const CostModel m(0.0);
+  // Eq. 1: sum of 1(A_i != A_{i+1}) + 1.
+  EXPECT_DOUBLE_EQ(m.sequence_cost({0, 0, 1, 1, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(m.sequence_cost({0, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(m.sequence_cost({}), 0.0);
+}
+
+TEST(CostModel, SequenceCostMatchesRunFormula) {
+  // f_cost(x) = 1 + alpha(x-1) per same-type run (§5).
+  const CostModel m(0.5);
+  // Runs: [0,0,0] (1 + 0.5*2 = 2), [1] (1), [0,0] (1 + 0.5 = 1.5).
+  EXPECT_DOUBLE_EQ(m.sequence_cost({0, 0, 0, 1, 0, 0}), 4.5);
+}
+
+TEST(CostModel, AlphaOneMakesEveryActionCostOne) {
+  const CostModel m(1.0);
+  EXPECT_DOUBLE_EQ(m.sequence_cost({0, 0, 1, 1}), 4.0);
+}
+
+TEST(CostModel, HeuristicCountsRemainingTypesAtAlphaZero) {
+  const CostModel m(0.0);
+  // Two types remaining, neither is the last type: h = 2.
+  EXPECT_DOUBLE_EQ(m.heuristic({0, 0}, {3, 2}, -1), 2.0);
+  // One type exhausted: h = 1.
+  EXPECT_DOUBLE_EQ(m.heuristic({3, 0}, {3, 2}, 0), 1.0);
+  // Target reached: h = 0.
+  EXPECT_DOUBLE_EQ(m.heuristic({3, 2}, {3, 2}, 1), 0.0);
+}
+
+TEST(CostModel, HeuristicDiscountsCurrentRun) {
+  const CostModel m(0.0);
+  // Remaining actions of the last type can be appended for free at alpha=0:
+  // the naive "count remaining types" would say 2 and overestimate.
+  EXPECT_DOUBLE_EQ(m.heuristic({1, 0}, {3, 2}, 0), 1.0);
+}
+
+TEST(CostModel, HeuristicGeneralizedByAlpha) {
+  const CostModel m(0.5);
+  // Type 0 is the current run with 2 remaining: 0.5 * 2 = 1.
+  // Type 1 has 2 remaining: 1 + 0.5 * 1 = 1.5.
+  EXPECT_DOUBLE_EQ(m.heuristic({1, 0}, {3, 2}, 0), 2.5);
+}
+
+TEST(CostModel, HeuristicNeverExceedsTrueCostExhaustive) {
+  // Enumerate every completion sequence for a small remaining multiset and
+  // verify admissibility: h(state) <= min completion cost.
+  for (const double alpha : {0.0, 0.3, 1.0}) {
+    const CostModel m(alpha);
+    const CountVector target = {2, 2};
+    for (std::int32_t i = 0; i <= 2; ++i) {
+      for (std::int32_t j = 0; j <= 2; ++j) {
+        for (std::int32_t last = -1; last < 2; ++last) {
+          // Enumerate all orderings of the remaining multiset via DFS.
+          double best = 1e18;
+          CountVector counts = {i, j};
+          auto dfs = [&](auto&& self, CountVector& c, std::int32_t l,
+                         double g) -> void {
+            if (c[0] == target[0] && c[1] == target[1]) {
+              best = std::min(best, g);
+              return;
+            }
+            for (std::int32_t a = 0; a < 2; ++a) {
+              if (c[a] >= target[a]) continue;
+              ++c[a];
+              self(self, c, a, g + m.transition_cost(l, a));
+              --c[a];
+            }
+          };
+          dfs(dfs, counts, last, 0.0);
+          if (best < 1e18) {
+            EXPECT_LE(m.heuristic({i, j}, target, last), best + 1e-12)
+                << "alpha=" << alpha << " i=" << i << " j=" << j
+                << " last=" << last;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CostModel, HeuristicIsConsistent) {
+  // h(n) <= c(n, n') + h(n') for every transition: required for A* to be
+  // optimal with a closed set.
+  for (const double alpha : {0.0, 0.4, 1.0}) {
+    const CostModel m(alpha);
+    const CountVector target = {3, 3, 3};
+    for (std::int32_t i = 0; i <= 3; ++i) {
+      for (std::int32_t j = 0; j <= 3; ++j) {
+        for (std::int32_t k = 0; k <= 3; ++k) {
+          for (std::int32_t last = -1; last < 3; ++last) {
+            const CountVector counts = {i, j, k};
+            const double h = m.heuristic(counts, target, last);
+            for (std::int32_t a = 0; a < 3; ++a) {
+              if (counts[a] >= target[a]) continue;
+              CountVector next = counts;
+              ++next[a];
+              const double h2 = m.heuristic(next, target, a);
+              EXPECT_LE(h, m.transition_cost(last, a) + h2 + 1e-12);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace klotski::core

@@ -1,0 +1,147 @@
+// Tests for the OPEX per-type cost weights (§7.2) and the heuristic
+// ablation modes.
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+#include "klotski/core/cost_model.h"
+#include "klotski/pipeline/audit.h"
+#include "klotski/pipeline/edp.h"
+
+namespace klotski::core {
+namespace {
+
+TEST(OpexCostModel, WeightsScaleTransitions) {
+  const CostModel m(0.5, {2.0, 3.0});
+  EXPECT_DOUBLE_EQ(m.transition_cost(-1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.transition_cost(0, 0), 1.0);   // 0.5 * 2.0
+  EXPECT_DOUBLE_EQ(m.transition_cost(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.transition_cost(1, 1), 1.5);   // 0.5 * 3.0
+}
+
+TEST(OpexCostModel, EmptyWeightsMeanUnit) {
+  const CostModel m(0.0);
+  EXPECT_DOUBLE_EQ(m.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.weight(5), 1.0);
+}
+
+TEST(OpexCostModel, RejectsNonPositiveWeights) {
+  EXPECT_THROW(CostModel(0.0, {1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(CostModel(0.0, {-2.0}), std::invalid_argument);
+}
+
+TEST(OpexCostModel, SequenceCostUsesWeights) {
+  const CostModel m(0.0, {2.0, 5.0});
+  // Runs: [0,0] (2.0), [1] (5.0), [0] (2.0).
+  EXPECT_DOUBLE_EQ(m.sequence_cost({0, 0, 1, 0}), 9.0);
+}
+
+TEST(OpexCostModel, HeuristicScalesWithWeights) {
+  const CostModel m(0.0, {2.0, 5.0});
+  EXPECT_DOUBLE_EQ(m.heuristic({0, 0}, {3, 2}, -1), 7.0);
+  EXPECT_DOUBLE_EQ(m.heuristic({1, 0}, {3, 2}, 0), 5.0);  // type 0 is free
+}
+
+TEST(OpexCostModel, WeightedHeuristicStaysConsistent) {
+  const CostModel m(0.4, {1.0, 3.0, 0.5});
+  const CountVector target = {2, 2, 2};
+  for (std::int32_t i = 0; i <= 2; ++i) {
+    for (std::int32_t j = 0; j <= 2; ++j) {
+      for (std::int32_t k = 0; k <= 2; ++k) {
+        for (std::int32_t last = -1; last < 3; ++last) {
+          const CountVector counts = {i, j, k};
+          const double h = m.heuristic(counts, target, last);
+          for (std::int32_t a = 0; a < 3; ++a) {
+            if (counts[static_cast<std::size_t>(a)] >=
+                target[static_cast<std::size_t>(a)]) {
+              continue;
+            }
+            CountVector next = counts;
+            ++next[static_cast<std::size_t>(a)];
+            EXPECT_LE(h, m.transition_cost(last, a) +
+                             m.heuristic(next, target, a) + 1e-12);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(OpexPlanning, PlannersAgreeUnderWeights) {
+  migration::MigrationCase mig = klotski::testing::small_dmag_case();
+  migration::MigrationTask& task = mig.task;
+
+  PlannerOptions options;
+  options.type_weights = {1.0, 2.5, 0.5};  // DMAG has three action types
+  options.alpha = 0.3;
+
+  auto run = [&](const char* name) {
+    pipeline::CheckerBundle bundle = pipeline::make_standard_checker(task, {});
+    return pipeline::make_planner(name)->plan(task, *bundle.checker,
+                                              options);
+  };
+  const Plan astar = run("astar");
+  const Plan dp = run("dp");
+  const Plan oracle = run("brute");
+  ASSERT_TRUE(astar.found) << astar.failure;
+  ASSERT_TRUE(dp.found);
+  ASSERT_TRUE(oracle.found);
+  EXPECT_NEAR(astar.cost, oracle.cost, 1e-9);
+  EXPECT_NEAR(dp.cost, oracle.cost, 1e-9);
+}
+
+TEST(OpexPlanning, ExpensiveTypeGetsBatched) {
+  // With a very expensive undrain type, the optimal plan minimizes the
+  // number of undrain runs; the weighted optimum is at least the weight of
+  // one undrain run plus one drain run.
+  migration::MigrationCase mig = klotski::testing::small_hgrid_case();
+  PlannerOptions options;
+  options.type_weights = {1.0, 10.0};
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(mig.task, {});
+  const Plan plan =
+      pipeline::make_planner("astar")->plan(mig.task, *bundle.checker,
+                                            options);
+  ASSERT_TRUE(plan.found);
+  EXPECT_GE(plan.cost, 11.0);
+  // Re-derive the reported cost with the weighted model.
+  CostModel model(0.0, options.type_weights);
+  std::vector<std::int32_t> types;
+  for (const PlannedAction& action : plan.actions) types.push_back(action.type);
+  EXPECT_DOUBLE_EQ(plan.cost, model.sequence_cost(types));
+}
+
+// ---------------------------------------------------------------------------
+// Paper-literal heuristic ablation
+
+TEST(PaperLiteralHeuristic, OverestimatesOnCurrentRun) {
+  const CostModel m(0.0);
+  // Mid-run of type 0 with both types remaining: the literal Eq. 9 counts
+  // type 0 at full price even though extending the run is free.
+  EXPECT_DOUBLE_EQ(m.heuristic_paper_literal({1, 0}, {3, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(m.heuristic({1, 0}, {3, 2}, 0), 1.0);
+}
+
+TEST(PaperLiteralHeuristic, AStarStillTerminatesAndAuditsClean) {
+  migration::MigrationCase mig = klotski::testing::small_hgrid_case();
+  PlannerOptions literal;
+  literal.use_paper_literal_heuristic = true;
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(mig.task, {});
+  const Plan plan = pipeline::make_planner("astar")->plan(
+      mig.task, *bundle.checker, literal);
+  ASSERT_TRUE(plan.found) << plan.failure;
+  // The plan is always *valid*; optimality is what the literal form risks.
+  pipeline::CheckerBundle audit_bundle =
+      pipeline::make_standard_checker(mig.task, {});
+  EXPECT_TRUE(
+      pipeline::audit_plan(mig.task, *audit_bundle.checker, plan).ok);
+  // And its cost can never be better than the admissible-heuristic optimum.
+  pipeline::CheckerBundle opt_bundle =
+      pipeline::make_standard_checker(mig.task, {});
+  const Plan optimal = pipeline::make_planner("astar")->plan(
+      mig.task, *opt_bundle.checker, {});
+  EXPECT_GE(plan.cost, optimal.cost);
+}
+
+}  // namespace
+}  // namespace klotski::core

@@ -1,0 +1,182 @@
+// Property-based sweeps over randomized task configurations: for every
+// sampled (region shape, theta, alpha) the A* plan must exist iff the DP
+// plan exists, costs must agree, and every found plan must survive the
+// independent audit. This is the broadest optimality/safety net in the
+// suite.
+#include <gtest/gtest.h>
+
+#include "klotski/migration/task_builder.h"
+#include "klotski/pipeline/audit.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/topo/presets.h"
+#include "klotski/util/rng.h"
+
+namespace klotski {
+namespace {
+
+struct RandomCase {
+  std::uint64_t seed;
+};
+
+topo::RegionParams random_region(util::Rng& rng) {
+  topo::RegionParams p;
+  p.dcs = static_cast<int>(rng.uniform_int(1, 2));
+  topo::FabricParams fab;
+  fab.pods = static_cast<int>(rng.uniform_int(2, 3));
+  fab.rsws_per_pod = static_cast<int>(rng.uniform_int(2, 5));
+  fab.planes = rng.chance(0.5) ? 2 : 4;
+  fab.ssws_per_plane = static_cast<int>(rng.uniform_int(1, 2));
+  p.fabrics = {fab};
+  p.grids = static_cast<int>(rng.uniform_int(2, 3));
+  p.fadus_per_grid_per_dc = fab.planes;  // keep plane coverage uniform
+  p.fauus_per_grid = static_cast<int>(rng.uniform_int(1, 2));
+  p.ebs = 2;
+  p.drs = 2;
+  p.ebbs = 2;
+  p.mesh = rng.chance(0.3) ? topo::MeshPattern::kInterleaved
+                           : topo::MeshPattern::kPlaneAligned;
+  return p;
+}
+
+class RandomizedPlanning : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(RandomizedPlanning, AStarAndDpAgreeAndAudit) {
+  util::Rng rng(GetParam().seed);
+  const topo::RegionParams region = random_region(rng);
+  const double theta = rng.uniform_real(0.6, 0.95);
+  const double alpha = rng.chance(0.5) ? 0.0 : rng.uniform_real(0.0, 1.0);
+
+  // Randomly pick one of the three migration types.
+  migration::MigrationCase mig = [&]() -> migration::MigrationCase {
+    const auto kind = rng.uniform_int(0, 2);
+    if (kind == 0) {
+      migration::HgridMigrationParams p;
+      p.v2_grids = static_cast<int>(rng.uniform_int(region.grids,
+                                                    region.grids + 2));
+      return migration::build_hgrid_migration(region, p);
+    }
+    if (kind == 1) {
+      migration::SswForkliftParams p;
+      p.dc = 0;
+      return migration::build_ssw_forklift(region, p);
+    }
+    migration::DmagMigrationParams p;
+    p.ma_per_eb = static_cast<int>(rng.uniform_int(1, 2));
+    return migration::build_dmag_migration(region, p);
+  }();
+  migration::MigrationTask& task = mig.task;
+
+  pipeline::CheckerConfig config;
+  config.demand.max_utilization = theta;
+  core::PlannerOptions options;
+  options.alpha = alpha;
+  options.deadline_seconds = 120;
+
+  auto run = [&](const char* name) {
+    pipeline::CheckerBundle bundle =
+        pipeline::make_standard_checker(task, config);
+    return pipeline::make_planner(name)->plan(task, *bundle.checker,
+                                              options);
+  };
+
+  const core::Plan astar = run("astar");
+  const core::Plan dp = run("dp");
+
+  ASSERT_EQ(astar.found, dp.found)
+      << "astar: " << astar.failure << " / dp: " << dp.failure;
+  if (!astar.found) return;
+
+  EXPECT_NEAR(astar.cost, dp.cost, 1e-9);
+  EXPECT_NEAR(astar.cost, astar.recompute_cost(alpha), 1e-9);
+
+  for (const core::Plan* plan : {&astar, &dp}) {
+    pipeline::CheckerBundle bundle =
+        pipeline::make_standard_checker(task, config);
+    const pipeline::AuditReport report =
+        pipeline::audit_plan(task, *bundle.checker, *plan);
+    EXPECT_TRUE(report.ok)
+        << plan->planner << ": "
+        << (report.issues.empty() ? "" : report.issues[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedPlanning,
+                         ::testing::Values(RandomCase{101}, RandomCase{102},
+                                           RandomCase{103}, RandomCase{104},
+                                           RandomCase{105}, RandomCase{106},
+                                           RandomCase{107}, RandomCase{108},
+                                           RandomCase{109}, RandomCase{110},
+                                           RandomCase{111}, RandomCase{112}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+// Funneling margins only ever tighten plans: the optimal cost with a margin
+// is >= the cost without.
+TEST(Properties, FunnelingMarginNeverCheapensPlans) {
+  migration::MigrationCase mig = migration::build_hgrid_migration(
+      topo::preset_params(topo::PresetId::kA, topo::PresetScale::kFull), {});
+  migration::MigrationTask& task = mig.task;
+
+  auto optimal_cost = [&](double margin) -> double {
+    pipeline::CheckerConfig config;
+    config.demand.funneling_margin = margin;
+    pipeline::CheckerBundle bundle =
+        pipeline::make_standard_checker(task, config);
+    const core::Plan plan =
+        pipeline::make_planner("astar")->plan(task, *bundle.checker, {});
+    return plan.found ? plan.cost : 1e18;
+  };
+
+  const double base = optimal_cost(0.0);
+  ASSERT_LT(base, 1e18);
+  EXPECT_GE(optimal_cost(0.1), base);
+  EXPECT_GE(optimal_cost(0.3), base);
+}
+
+// Space/power caps only ever tighten plans.
+TEST(Properties, SpacePowerCapNeverCheapensPlans) {
+  migration::MigrationCase mig = migration::build_hgrid_migration(
+      topo::preset_params(topo::PresetId::kA, topo::PresetScale::kFull), {});
+  migration::MigrationTask& task = mig.task;
+
+  auto optimal_cost = [&](int cap) -> double {
+    pipeline::CheckerConfig config;
+    config.space_power.max_present_per_grid = cap;
+    pipeline::CheckerBundle bundle =
+        pipeline::make_standard_checker(task, config);
+    const core::Plan plan =
+        pipeline::make_planner("astar")->plan(task, *bundle.checker, {});
+    return plan.found ? plan.cost : 1e18;
+  };
+
+  const double base = optimal_cost(0);  // disabled
+  ASSERT_LT(base, 1e18);
+  EXPECT_GE(optimal_cost(64), base);
+}
+
+// More operation blocks can never increase the optimal cost (Figure 11):
+// finer splits strictly enlarge the feasible plan space.
+TEST(Properties, FinerBlocksNeverIncreaseOptimalCost) {
+  const topo::RegionParams region =
+      topo::preset_params(topo::PresetId::kB, topo::PresetScale::kFull);
+  double previous = 1e18;
+  for (const double scale : {0.5, 1.0, 2.0}) {
+    migration::HgridMigrationParams p;
+    p.fadu_chunks_per_grid_dc = 2;
+    p.fauu_chunks_per_grid = 2;
+    p.policy.block_scale = scale;
+    migration::MigrationCase mig =
+        migration::build_hgrid_migration(region, p);
+    pipeline::CheckerBundle bundle =
+        pipeline::make_standard_checker(mig.task, {});
+    const core::Plan plan =
+        pipeline::make_planner("astar")->plan(mig.task, *bundle.checker, {});
+    const double cost = plan.found ? plan.cost : 1e18;
+    EXPECT_LE(cost, previous) << "scale=" << scale;
+    previous = cost;
+  }
+}
+
+}  // namespace
+}  // namespace klotski

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "klotski/json/json.h"
+
+namespace klotski::json {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parsing scalars
+
+TEST(JsonParse, Null) { EXPECT_TRUE(parse("null").is_null()); }
+
+TEST(JsonParse, Booleans) {
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+}
+
+TEST(JsonParse, Integers) {
+  EXPECT_EQ(parse("0").as_int(), 0);
+  EXPECT_EQ(parse("-17").as_int(), -17);
+  EXPECT_EQ(parse("9007199254740993").as_int(), 9007199254740993LL);
+}
+
+TEST(JsonParse, Doubles) {
+  EXPECT_DOUBLE_EQ(parse("1.5").as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(parse("-2.5e3").as_double(), -2500.0);
+  EXPECT_DOUBLE_EQ(parse("1e-3").as_double(), 0.001);
+}
+
+TEST(JsonParse, IntAcceptedAsDouble) {
+  EXPECT_DOUBLE_EQ(parse("7").as_double(), 7.0);
+}
+
+TEST(JsonParse, IntegralDoubleAcceptedAsInt) {
+  EXPECT_EQ(parse("3.0").as_int(), 3);
+}
+
+TEST(JsonParse, Strings) {
+  EXPECT_EQ(parse("\"hello\"").as_string(), "hello");
+  EXPECT_EQ(parse("\"\"").as_string(), "");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse("\"\\u00e9\"").as_string(), "\xC3\xA9");      // e-acute
+  EXPECT_EQ(parse("\"\\u20ac\"").as_string(), "\xE2\x82\xAC");  // euro sign
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+
+TEST(JsonParse, Arrays) {
+  const Value v = parse("[1, 2, 3]");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.as_array().size(), 3u);
+  EXPECT_EQ(v.as_array()[2].as_int(), 3);
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(parse("[]").as_array().empty());
+  EXPECT_TRUE(parse("{}").as_object().empty());
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Value v = parse(R"({"a": {"b": [1, {"c": true}]}})");
+  EXPECT_TRUE(v.at("a").at("b").as_array()[1].at("c").as_bool());
+}
+
+TEST(JsonParse, ObjectKeyOrderPreserved) {
+  const Value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+  std::vector<std::string> keys;
+  for (const auto& [k, unused] : v.as_object()) {
+    (void)unused;
+    keys.push_back(k);
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(JsonParse, WhitespaceTolerated) {
+  const Value v = parse("  {\n\t\"a\" :\r [ 1 , 2 ]\n}  ");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+
+TEST(JsonParse, TrailingGarbageRejected) {
+  EXPECT_THROW(parse("true false"), JsonError);
+}
+
+TEST(JsonParse, UnterminatedStringRejected) {
+  EXPECT_THROW(parse("\"abc"), JsonError);
+}
+
+TEST(JsonParse, BadEscapeRejected) {
+  EXPECT_THROW(parse(R"("\q")"), JsonError);
+}
+
+TEST(JsonParse, UnescapedControlCharacterRejected) {
+  EXPECT_THROW(parse("\"a\nb\""), JsonError);
+}
+
+TEST(JsonParse, MissingCommaRejected) {
+  EXPECT_THROW(parse("[1 2]"), JsonError);
+}
+
+TEST(JsonParse, BareMinusRejected) { EXPECT_THROW(parse("-"), JsonError); }
+
+TEST(JsonParse, ErrorMessagesIncludeLineAndColumn) {
+  try {
+    parse("{\n  \"a\": ???\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  EXPECT_THROW(parse("1").as_string(), JsonError);
+  EXPECT_THROW(parse("\"x\"").as_int(), JsonError);
+  EXPECT_THROW(parse("[]").as_object(), JsonError);
+  EXPECT_THROW(parse("1.5").as_int(), JsonError);  // non-integral double
+}
+
+TEST(JsonValue, MissingKeyThrowsWithKeyName) {
+  try {
+    parse("{}").at("needle");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("needle"), std::string::npos);
+  }
+}
+
+TEST(JsonValue, OptionalLookups) {
+  const Value v = parse(R"({"i": 5, "d": 2.5, "s": "x", "b": true})");
+  EXPECT_EQ(v.get_int("i", 0), 5);
+  EXPECT_EQ(v.get_int("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(v.get_double("d", 0), 2.5);
+  EXPECT_EQ(v.get_string("s", ""), "x");
+  EXPECT_TRUE(v.get_bool("b", false));
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+TEST(JsonDump, CompactRoundTrip) {
+  const char* text =
+      R"({"name":"klotski","n":3,"pi":1.5,"flag":true,"none":null,)"
+      R"("list":[1,"two",false],"nested":{"k":"v"}})";
+  const Value v = parse(text);
+  const Value round = parse(dump(v));
+  EXPECT_TRUE(v == round);
+}
+
+TEST(JsonDump, PrettyRoundTrip) {
+  const Value v = parse(R"({"a": [1, 2], "b": {"c": null}})");
+  const std::string pretty = dump(v, 2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_TRUE(parse(pretty) == v);
+}
+
+TEST(JsonDump, EscapesSpecialCharacters) {
+  const std::string out = dump(Value(std::string("a\"b\\c\nd\x01")));
+  EXPECT_EQ(out, R"("a\"b\\c\nd\u0001")");
+  EXPECT_EQ(parse(out).as_string(), "a\"b\\c\nd\x01");
+}
+
+TEST(JsonDump, DoublesSurviveRoundTrip) {
+  const double values[] = {0.1, 1e-9, 12345.6789, -2.5e30};
+  for (const double d : values) {
+    EXPECT_DOUBLE_EQ(parse(dump(Value(d))).as_double(), d);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Equality
+
+TEST(JsonEquality, NumericCrossTypeEquality) {
+  EXPECT_TRUE(parse("3") == parse("3.0"));
+  EXPECT_FALSE(parse("3") == parse("3.5"));
+}
+
+TEST(JsonEquality, ObjectsCompareByContentNotOrder) {
+  EXPECT_TRUE(parse(R"({"a":1,"b":2})") == parse(R"({"b":2,"a":1})"));
+  EXPECT_FALSE(parse(R"({"a":1})") == parse(R"({"a":1,"b":2})"));
+}
+
+TEST(JsonEquality, ArraysCompareElementwise) {
+  EXPECT_TRUE(parse("[1,[2]]") == parse("[1,[2]]"));
+  EXPECT_FALSE(parse("[1,2]") == parse("[2,1]"));
+}
+
+TEST(JsonObject, SubscriptInsertsAndFinds) {
+  Object o;
+  o["k"] = Value(1);
+  o["k"] = Value(2);  // overwrite, no duplicate
+  EXPECT_EQ(o.size(), 1u);
+  ASSERT_NE(o.find("k"), nullptr);
+  EXPECT_EQ(o.find("k")->as_int(), 2);
+  EXPECT_EQ(o.find("absent"), nullptr);
+}
+
+}  // namespace
+}  // namespace klotski::json

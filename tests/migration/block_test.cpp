@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+#include "klotski/migration/block.h"
+
+namespace klotski::migration {
+namespace {
+
+using klotski::testing::Diamond;
+
+TEST(OperationBlock, ApplySetsStates) {
+  Diamond d;
+  OperationBlock block;
+  block.ops = {
+      {ElementOp::Kind::kSwitch, d.m1, topo::ElementState::kAbsent},
+      {ElementOp::Kind::kCircuit, d.c_sm1, topo::ElementState::kAbsent},
+  };
+  block.apply(d.topo);
+  EXPECT_EQ(d.topo.sw(d.m1).state, topo::ElementState::kAbsent);
+  EXPECT_EQ(d.topo.circuit(d.c_sm1).state, topo::ElementState::kAbsent);
+  EXPECT_EQ(d.topo.sw(d.m2).state, topo::ElementState::kActive);
+}
+
+TEST(OperationBlock, ApplyIsIdempotent) {
+  Diamond d;
+  OperationBlock block;
+  block.ops = {{ElementOp::Kind::kSwitch, d.m1, topo::ElementState::kAbsent}};
+  block.apply(d.topo);
+  const topo::TopologyState once = topo::TopologyState::capture(d.topo);
+  block.apply(d.topo);
+  EXPECT_TRUE(once == topo::TopologyState::capture(d.topo));
+}
+
+TEST(OperationBlock, OverlappingBlocksCommute) {
+  // Two blocks both set a shared circuit absent: any application order must
+  // produce the same topology (the ordering-agnostic representation relies
+  // on this).
+  OperationBlock b1, b2;
+  b1.ops = {{ElementOp::Kind::kSwitch, 1, topo::ElementState::kAbsent},
+            {ElementOp::Kind::kCircuit, 0, topo::ElementState::kAbsent}};
+  b2.ops = {{ElementOp::Kind::kSwitch, 2, topo::ElementState::kAbsent},
+            {ElementOp::Kind::kCircuit, 0, topo::ElementState::kAbsent}};
+
+  Diamond forward;
+  b1.apply(forward.topo);
+  b2.apply(forward.topo);
+  Diamond backward;
+  b2.apply(backward.topo);
+  b1.apply(backward.topo);
+  EXPECT_TRUE(topo::TopologyState::capture(forward.topo) ==
+              topo::TopologyState::capture(backward.topo));
+}
+
+TEST(OperationBlock, Counters) {
+  Diamond d;
+  OperationBlock block;
+  add_switch_with_circuits(d.topo, d.s, topo::ElementState::kAbsent, block);
+  EXPECT_EQ(block.switch_count(), 1);
+  EXPECT_EQ(block.circuit_count(), 2);  // s has two incident circuits
+  EXPECT_DOUBLE_EQ(block.touched_capacity_tbps(d.topo), 2.0);
+}
+
+TEST(AddSwitchWithCircuits, IncludesAllIncident) {
+  Diamond d;
+  OperationBlock block;
+  add_switch_with_circuits(d.topo, d.m1, topo::ElementState::kDrained,
+                           block);
+  block.apply(d.topo);
+  EXPECT_EQ(d.topo.sw(d.m1).state, topo::ElementState::kDrained);
+  EXPECT_EQ(d.topo.circuit(d.c_sm1).state, topo::ElementState::kDrained);
+  EXPECT_EQ(d.topo.circuit(d.c_m1t).state, topo::ElementState::kDrained);
+  EXPECT_EQ(d.topo.circuit(d.c_sm2).state, topo::ElementState::kActive);
+}
+
+// ---------------------------------------------------------------------------
+// chunk_switches
+
+TEST(ChunkSwitches, EvenSplit) {
+  const std::vector<topo::SwitchId> items = {0, 1, 2, 3, 4, 5};
+  const auto chunks = chunk_switches(items, 3);
+  ASSERT_EQ(chunks.size(), 3u);
+  for (const auto& chunk : chunks) EXPECT_EQ(chunk.size(), 2u);
+}
+
+TEST(ChunkSwitches, RemainderGoesToFirstChunks) {
+  const std::vector<topo::SwitchId> items = {0, 1, 2, 3, 4};
+  const auto chunks = chunk_switches(items, 3);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].size(), 2u);
+  EXPECT_EQ(chunks[1].size(), 2u);
+  EXPECT_EQ(chunks[2].size(), 1u);
+}
+
+TEST(ChunkSwitches, PreservesOrderAndElements) {
+  const std::vector<topo::SwitchId> items = {7, 3, 9, 1};
+  const auto chunks = chunk_switches(items, 2);
+  std::vector<topo::SwitchId> flattened;
+  for (const auto& chunk : chunks) {
+    flattened.insert(flattened.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(flattened, items);
+}
+
+TEST(ChunkSwitches, ClampsChunkCount) {
+  const std::vector<topo::SwitchId> items = {0, 1};
+  EXPECT_EQ(chunk_switches(items, 10).size(), 2u);  // one per item
+  EXPECT_EQ(chunk_switches(items, 0).size(), 1u);   // at least one chunk
+  EXPECT_EQ(chunk_switches(items, -3).size(), 1u);
+}
+
+TEST(ChunkSwitches, EmptyInput) {
+  EXPECT_TRUE(chunk_switches({}, 3).empty());
+}
+
+TEST(OpKind, Names) {
+  EXPECT_EQ(to_string(OpKind::kDrain), "drain");
+  EXPECT_EQ(to_string(OpKind::kUndrain), "undrain");
+}
+
+}  // namespace
+}  // namespace klotski::migration

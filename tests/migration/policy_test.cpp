@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "klotski/migration/policy.h"
+
+namespace klotski::migration {
+namespace {
+
+TEST(Policy, DefaultScaleKeepsBaseChunks) {
+  EXPECT_EQ(policy_chunks({}, 2, 8), 2);
+}
+
+TEST(Policy, ScaleMultipliesChunkCount) {
+  PolicyParams p;
+  p.block_scale = 2.0;
+  EXPECT_EQ(policy_chunks(p, 2, 8), 4);
+  p.block_scale = 4.0;
+  EXPECT_EQ(policy_chunks(p, 2, 8), 8);
+}
+
+TEST(Policy, FractionalScaleCoarsens) {
+  PolicyParams p;
+  p.block_scale = 0.5;
+  EXPECT_EQ(policy_chunks(p, 4, 8), 2);
+  p.block_scale = 0.25;
+  EXPECT_EQ(policy_chunks(p, 4, 8), 1);
+}
+
+TEST(Policy, ClampedToGroupSize) {
+  PolicyParams p;
+  p.block_scale = 100.0;
+  EXPECT_EQ(policy_chunks(p, 2, 5), 5);
+}
+
+TEST(Policy, ClampedToAtLeastOne) {
+  PolicyParams p;
+  p.block_scale = 0.01;
+  EXPECT_EQ(policy_chunks(p, 2, 5), 1);
+}
+
+TEST(Policy, WithoutOperationBlocksEverySwitchIsABlock) {
+  PolicyParams p;
+  p.use_operation_blocks = false;
+  EXPECT_EQ(policy_chunks(p, 1, 7), 7);
+}
+
+TEST(Policy, EmptyGroupYieldsNoChunks) {
+  EXPECT_EQ(policy_chunks({}, 2, 0), 0);
+}
+
+}  // namespace
+}  // namespace klotski::migration

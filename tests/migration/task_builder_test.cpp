@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_helpers.h"
+#include "klotski/migration/task_builder.h"
+#include "klotski/topo/presets.h"
+
+namespace klotski::migration {
+namespace {
+
+using klotski::testing::small_dmag_case;
+using klotski::testing::small_hgrid_case;
+using klotski::testing::small_ssw_case;
+
+topo::RegionParams small_params() {
+  return topo::preset_params(topo::PresetId::kA, topo::PresetScale::kFull);
+}
+
+// ---------------------------------------------------------------------------
+// Invariants shared by all three task builders.
+
+class TaskBuilderInvariants
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  MigrationCase build() const {
+    const std::string kind = GetParam();
+    if (kind == "hgrid") return small_hgrid_case();
+    if (kind == "ssw") return small_ssw_case();
+    return small_dmag_case();
+  }
+};
+
+TEST_P(TaskBuilderInvariants, TaskValidates) {
+  MigrationCase mig = build();
+  EXPECT_EQ(mig.task.validate(), "");
+}
+
+TEST_P(TaskBuilderInvariants, EverySwitchOperatedAtMostOnce) {
+  MigrationCase mig = build();
+  std::set<std::int32_t> seen;
+  for (const auto& blocks : mig.task.blocks) {
+    for (const OperationBlock& block : blocks) {
+      for (const ElementOp& op : block.ops) {
+        if (op.kind != ElementOp::Kind::kSwitch) continue;
+        EXPECT_TRUE(seen.insert(op.id).second)
+            << "switch " << mig.task.topo->sw(op.id).name
+            << " appears in two blocks";
+      }
+    }
+  }
+}
+
+TEST_P(TaskBuilderInvariants, OriginalStateIsCurrentState) {
+  MigrationCase mig = build();
+  EXPECT_TRUE(mig.task.original_state ==
+              topo::TopologyState::capture(*mig.task.topo));
+}
+
+TEST_P(TaskBuilderInvariants, TargetDiffersFromOriginal) {
+  MigrationCase mig = build();
+  EXPECT_FALSE(mig.task.original_state == mig.task.target_state);
+}
+
+TEST_P(TaskBuilderInvariants, ActionCountsAreConsistent) {
+  MigrationCase mig = build();
+  const auto per_type = mig.task.actions_per_type();
+  int total = 0;
+  for (const auto n : per_type) total += n;
+  EXPECT_EQ(total, mig.task.total_actions());
+  EXPECT_EQ(per_type.size(),
+            static_cast<std::size_t>(mig.task.num_action_types()));
+}
+
+TEST_P(TaskBuilderInvariants, BlockLabelsAreUnique) {
+  MigrationCase mig = build();
+  std::set<std::string> labels;
+  for (const auto& blocks : mig.task.blocks) {
+    for (const OperationBlock& block : blocks) {
+      EXPECT_TRUE(labels.insert(block.label).second)
+          << "duplicate label " << block.label;
+    }
+  }
+}
+
+TEST_P(TaskBuilderInvariants, PortBudgetsAdmitOriginalAndTarget) {
+  MigrationCase mig = build();
+  topo::Topology& topo = *mig.task.topo;
+  mig.task.original_state.restore(topo);
+  EXPECT_EQ(topo.validate(), "");
+  mig.task.target_state.restore(topo);
+  EXPECT_EQ(topo.validate(), "");
+  mig.task.reset_to_original();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMigrationTypes, TaskBuilderInvariants,
+                         ::testing::Values("hgrid", "ssw", "dmag"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// HGRID specifics
+
+TEST(HgridBuilder, StagesMoreV2GridsByDefault) {
+  MigrationCase mig = small_hgrid_case();
+  // Default: ceil(1.5 * 2) = 3 V2 grids; more undrain than drain blocks.
+  EXPECT_GT(mig.task.blocks[1].size(), mig.task.blocks[0].size());
+}
+
+TEST(HgridBuilder, TargetStateRemovesAllV1HgridSwitches) {
+  MigrationCase mig = small_hgrid_case();
+  mig.task.target_state.restore(*mig.task.topo);
+  for (const topo::Switch& s : mig.task.topo->switches()) {
+    if (s.role != topo::SwitchRole::kFadu &&
+        s.role != topo::SwitchRole::kFauu) {
+      continue;
+    }
+    if (s.gen == topo::Generation::kV1) {
+      EXPECT_EQ(s.state, topo::ElementState::kAbsent) << s.name;
+    } else {
+      EXPECT_EQ(s.state, topo::ElementState::kActive) << s.name;
+    }
+  }
+  mig.task.reset_to_original();
+}
+
+TEST(HgridBuilder, V2GridCountConfigurable) {
+  HgridMigrationParams p;
+  p.v2_grids = 5;
+  MigrationCase mig = build_hgrid_migration(small_params(), p);
+  std::set<int> v2_grid_ids;
+  for (const topo::Switch& s : mig.task.topo->switches()) {
+    if (s.gen == topo::Generation::kV2 &&
+        s.role == topo::SwitchRole::kFauu) {
+      v2_grid_ids.insert(s.loc.grid);
+    }
+  }
+  EXPECT_EQ(v2_grid_ids.size(), 5u);
+}
+
+TEST(HgridBuilder, WithoutOperationBlocksOneSwitchPerBlock) {
+  HgridMigrationParams p;
+  p.policy.use_operation_blocks = false;
+  MigrationCase mig = build_hgrid_migration(small_params(), p);
+  for (const auto& blocks : mig.task.blocks) {
+    for (const OperationBlock& block : blocks) {
+      EXPECT_EQ(block.switch_count(), 1) << block.label;
+    }
+  }
+}
+
+TEST(HgridBuilder, BlockScaleChangesActionCount) {
+  HgridMigrationParams base;
+  base.fadu_chunks_per_grid_dc = 2;
+  base.fauu_chunks_per_grid = 2;
+  topo::RegionParams rp = small_params();
+  rp.fadus_per_grid_per_dc = 4;
+  rp.fauus_per_grid = 4;
+  const int base_actions =
+      build_hgrid_migration(rp, base).task.total_actions();
+
+  HgridMigrationParams doubled = base;
+  doubled.policy.block_scale = 2.0;
+  EXPECT_GT(build_hgrid_migration(rp, doubled).task.total_actions(),
+            base_actions);
+
+  HgridMigrationParams halved = base;
+  halved.policy.block_scale = 0.5;
+  EXPECT_LT(build_hgrid_migration(rp, halved).task.total_actions(),
+            base_actions);
+}
+
+TEST(HgridBuilder, SubUnityBlockScaleMergesGrids) {
+  HgridMigrationParams merged;
+  merged.policy.block_scale = 0.5;  // merge pairs of grids
+  MigrationCase mig = build_hgrid_migration(small_params(), merged);
+  // Preset A has 2 V1 grids -> one merged drain neighborhood:
+  // one FADU block (per dc) + one FAUU block.
+  EXPECT_EQ(mig.task.blocks[0].size(), 2u);
+}
+
+TEST(HgridBuilder, StagedHardwareIsAbsentInitially) {
+  MigrationCase mig = small_hgrid_case();
+  for (const topo::Switch& s : mig.task.topo->switches()) {
+    if (s.gen == topo::Generation::kV2) {
+      EXPECT_EQ(s.state, topo::ElementState::kAbsent) << s.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SSW forklift specifics
+
+TEST(SswBuilder, MirrorsWiringAtHigherCapacity) {
+  MigrationCase mig = small_ssw_case();
+  topo::Topology& topo = *mig.task.topo;
+  // For every V2 SSW there is a V1 twin with identical neighbor multiset.
+  for (const topo::Switch& s : topo.switches()) {
+    if (s.role != topo::SwitchRole::kSsw ||
+        s.gen != topo::Generation::kV2) {
+      continue;
+    }
+    const std::string v1_name = s.name.substr(0, s.name.size() - 2);
+    const topo::SwitchId twin = topo.find_switch(v1_name);
+    ASSERT_NE(twin, topo::kInvalidSwitch) << v1_name;
+    EXPECT_EQ(topo.incident(s.id).size(), topo.incident(twin).size());
+  }
+}
+
+TEST(SswBuilder, OnlyRequestedDcForklifted) {
+  SswForkliftParams p;
+  topo::RegionParams rp =
+      topo::preset_params(topo::PresetId::kB, topo::PresetScale::kFull);
+  p.dc = 1;
+  MigrationCase mig = build_ssw_forklift(rp, p);
+  for (const topo::Switch& s : mig.task.topo->switches()) {
+    if (s.role == topo::SwitchRole::kSsw &&
+        s.gen == topo::Generation::kV2) {
+      EXPECT_EQ(s.loc.dc, 1);
+    }
+  }
+}
+
+TEST(SswBuilder, AllDcsWhenRequested) {
+  SswForkliftParams p;
+  p.dc = -1;
+  topo::RegionParams rp =
+      topo::preset_params(topo::PresetId::kB, topo::PresetScale::kFull);
+  MigrationCase mig = build_ssw_forklift(rp, p);
+  std::set<int> dcs;
+  for (const topo::Switch& s : mig.task.topo->switches()) {
+    if (s.role == topo::SwitchRole::kSsw &&
+        s.gen == topo::Generation::kV2) {
+      dcs.insert(s.loc.dc);
+    }
+  }
+  EXPECT_EQ(dcs.size(), 2u);
+}
+
+TEST(SswBuilder, RejectsOutOfRangeDc) {
+  SswForkliftParams p;
+  p.dc = 99;
+  EXPECT_THROW(build_ssw_forklift(small_params(), p), std::invalid_argument);
+}
+
+TEST(SswBuilder, CapacityFactorApplied) {
+  SswForkliftParams p;
+  p.v2_capacity_factor = 2.0;
+  MigrationCase mig = build_ssw_forklift(small_params(), p);
+  const topo::Topology& topo = *mig.task.topo;
+  for (const topo::Circuit& c : topo.circuits()) {
+    const bool touches_v2_ssw =
+        (topo.sw(c.a).role == topo::SwitchRole::kSsw &&
+         topo.sw(c.a).gen == topo::Generation::kV2) ||
+        (topo.sw(c.b).role == topo::SwitchRole::kSsw &&
+         topo.sw(c.b).gen == topo::Generation::kV2);
+    if (!touches_v2_ssw) continue;
+    // Twice the corresponding layer capacity (0.2 FSW-side, 0.4 FADU-side).
+    EXPECT_TRUE(c.capacity_tbps == 0.4 || c.capacity_tbps == 0.8)
+        << c.capacity_tbps;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DMAG specifics
+
+TEST(DmagBuilder, IntroducesMaRole) {
+  MigrationCase mig = small_dmag_case();
+  EXPECT_FALSE(
+      mig.task.topo->switches_with_role(topo::SwitchRole::kMa).empty());
+}
+
+TEST(DmagBuilder, HasThreeActionTypes) {
+  MigrationCase mig = small_dmag_case();
+  EXPECT_EQ(mig.task.num_action_types(), 3);
+}
+
+TEST(DmagBuilder, TargetRetiresAllDirectFauuEbAndDrCircuits) {
+  MigrationCase mig = small_dmag_case();
+  topo::Topology& topo = *mig.task.topo;
+  mig.task.target_state.restore(topo);
+  for (const topo::Circuit& c : topo.circuits()) {
+    const topo::Switch& a = topo.sw(c.a);
+    const topo::Switch& b = topo.sw(c.b);
+    const bool fauu_eb_or_dr =
+        (a.role == topo::SwitchRole::kFauu &&
+         (b.role == topo::SwitchRole::kEb ||
+          b.role == topo::SwitchRole::kDr)) ||
+        (b.role == topo::SwitchRole::kFauu &&
+         (a.role == topo::SwitchRole::kEb ||
+          a.role == topo::SwitchRole::kDr));
+    if (fauu_eb_or_dr) {
+      EXPECT_EQ(c.state, topo::ElementState::kAbsent);
+    }
+  }
+  mig.task.reset_to_original();
+}
+
+TEST(DmagBuilder, EveryFauuReachesEveryEbViaMa) {
+  MigrationCase mig = small_dmag_case();
+  topo::Topology& topo = *mig.task.topo;
+  mig.task.target_state.restore(topo);
+  const auto ebs = topo.switches_with_role(topo::SwitchRole::kEb);
+  for (const topo::Switch& s : topo.switches()) {
+    if (s.role != topo::SwitchRole::kFauu) continue;
+    std::set<topo::SwitchId> reachable_ebs;
+    for (const topo::CircuitId cid : topo.incident(s.id)) {
+      const topo::Circuit& c = topo.circuit(cid);
+      if (c.state != topo::ElementState::kActive) continue;
+      const topo::Switch& ma = topo.sw(c.other(s.id));
+      if (ma.role != topo::SwitchRole::kMa) continue;
+      for (const topo::CircuitId mcid : topo.incident(ma.id)) {
+        const topo::Circuit& mc = topo.circuit(mcid);
+        if (mc.state != topo::ElementState::kActive) continue;
+        const topo::Switch& other = topo.sw(mc.other(ma.id));
+        if (other.role == topo::SwitchRole::kEb) {
+          reachable_ebs.insert(other.id);
+        }
+      }
+    }
+    EXPECT_EQ(reachable_ebs.size(), ebs.size()) << s.name;
+  }
+  mig.task.reset_to_original();
+}
+
+TEST(DmagBuilder, RejectsNonPositiveMaPerEb) {
+  DmagMigrationParams p;
+  p.ma_per_eb = 0;
+  EXPECT_THROW(build_dmag_migration(small_params(), p),
+               std::invalid_argument);
+}
+
+TEST(DmagBuilder, CircuitOnlyDrainBlocks) {
+  MigrationCase mig = small_dmag_case();
+  for (const OperationBlock& block : mig.task.blocks[0]) {
+    EXPECT_EQ(block.switch_count(), 0) << block.label;
+    EXPECT_GT(block.circuit_count(), 0) << block.label;
+  }
+}
+
+}  // namespace
+}  // namespace klotski::migration

@@ -1,0 +1,57 @@
+// The NPD documents shipped in examples/npd/ must stay parseable and
+// plannable — they are the repository's public face for operators.
+#include <gtest/gtest.h>
+
+#include "klotski/npd/npd_io.h"
+#include "klotski/pipeline/audit.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/util/file.h"
+
+namespace klotski::npd {
+namespace {
+
+std::string npd_path(const char* file) {
+  return std::string(KLOTSKI_SOURCE_DIR) + "/examples/npd/" + file;
+}
+
+class ShippedNpdFiles : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShippedNpdFiles, ParsesRoundTripsAndPlans) {
+  const std::string text = util::read_file(npd_path(GetParam()));
+  const NpdDocument doc = parse_npd(text);
+  EXPECT_NE(doc.migration, MigrationKind::kNone);
+
+  // Serialization round trip preserves the parsed document.
+  const NpdDocument round = parse_npd(dump_npd(doc));
+  EXPECT_EQ(round.migration, doc.migration);
+  EXPECT_EQ(round.region.dcs, doc.region.dcs);
+  EXPECT_EQ(round.region.grids, doc.region.grids);
+
+  pipeline::EdpOptions options;
+  options.planner_options.deadline_seconds = 300;
+  const pipeline::EdpResult result = pipeline::run_pipeline(doc, options);
+  ASSERT_TRUE(result.plan.found) << GetParam() << ": "
+                                 << result.plan.failure;
+
+  migration::MigrationTask& task =
+      const_cast<migration::MigrationTask&>(result.migration.task);
+  pipeline::CheckerBundle bundle = pipeline::make_standard_checker(task, {});
+  EXPECT_TRUE(pipeline::audit_plan(task, *bundle.checker, result.plan).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Files, ShippedNpdFiles,
+                         ::testing::Values("region-b-hgrid.npd.json",
+                                           "region-c-ssw-forklift.npd.json",
+                                           "region-c-dmag.npd.json"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace klotski::npd

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "klotski/npd/npd_convert.h"
+#include "klotski/npd/npd_io.h"
+#include "klotski/topo/presets.h"
+
+namespace klotski::npd {
+namespace {
+
+NpdDocument sample_doc() {
+  NpdDocument doc;
+  doc.name = "test-region";
+  doc.region =
+      topo::preset_params(topo::PresetId::kB, topo::PresetScale::kFull);
+  doc.migration = MigrationKind::kHgridV1ToV2;
+  doc.hgrid.v2_grids = 3;
+  doc.hgrid.fadu_chunks_per_grid_dc = 2;
+  doc.demand.egress_frac = 0.22;
+  return doc;
+}
+
+TEST(MigrationKind, RoundTrip) {
+  for (const auto kind :
+       {MigrationKind::kNone, MigrationKind::kHgridV1ToV2,
+        MigrationKind::kSswForklift, MigrationKind::kDmag}) {
+    EXPECT_EQ(migration_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(migration_kind_from_string("warp"), std::invalid_argument);
+}
+
+TEST(NpdIo, RoundTripPreservesDocument) {
+  const NpdDocument doc = sample_doc();
+  const NpdDocument round = parse_npd(dump_npd(doc));
+
+  EXPECT_EQ(round.name, doc.name);
+  EXPECT_EQ(round.migration, doc.migration);
+  EXPECT_EQ(round.region.dcs, doc.region.dcs);
+  EXPECT_EQ(round.region.grids, doc.region.grids);
+  EXPECT_EQ(round.region.fabrics.size(), doc.region.fabrics.size());
+  EXPECT_EQ(round.region.fabrics[0].pods, doc.region.fabrics[0].pods);
+  EXPECT_EQ(round.region.fabrics[0].rsw_fsw_links,
+            doc.region.fabrics[0].rsw_fsw_links);
+  EXPECT_DOUBLE_EQ(round.region.cap_fauu_eb, doc.region.cap_fauu_eb);
+  EXPECT_EQ(round.region.port_slack_ssw, doc.region.port_slack_ssw);
+  EXPECT_EQ(round.hgrid.v2_grids, doc.hgrid.v2_grids);
+  EXPECT_EQ(round.hgrid.fadu_chunks_per_grid_dc,
+            doc.hgrid.fadu_chunks_per_grid_dc);
+  EXPECT_DOUBLE_EQ(round.demand.egress_frac, doc.demand.egress_frac);
+}
+
+TEST(NpdIo, SswAndDmagSectionsRoundTrip) {
+  NpdDocument doc = sample_doc();
+  doc.migration = MigrationKind::kSswForklift;
+  doc.ssw.dc = 1;
+  doc.ssw.v2_capacity_factor = 2.0;
+  doc.ssw.blocks_per_plane = 3;
+  NpdDocument round = parse_npd(dump_npd(doc));
+  EXPECT_EQ(round.ssw.dc, 1);
+  EXPECT_DOUBLE_EQ(round.ssw.v2_capacity_factor, 2.0);
+  EXPECT_EQ(round.ssw.blocks_per_plane, 3);
+
+  doc.migration = MigrationKind::kDmag;
+  doc.dmag.ma_per_eb = 3;
+  round = parse_npd(dump_npd(doc));
+  EXPECT_EQ(round.dmag.ma_per_eb, 3);
+}
+
+TEST(NpdIo, DefaultsAppliedForOmittedSections) {
+  const NpdDocument doc = parse_npd(R"({"name": "minimal"})");
+  EXPECT_EQ(doc.name, "minimal");
+  EXPECT_EQ(doc.migration, MigrationKind::kNone);
+  EXPECT_EQ(doc.region.dcs, topo::RegionParams{}.dcs);
+}
+
+TEST(NpdIo, UnknownKeysAreRejectedWithKeyName) {
+  try {
+    parse_npd(R"({"name": "x", "hgrid": {"grids": 2, "girds": 3}})");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("girds"), std::string::npos);
+  }
+}
+
+TEST(NpdIo, UnknownRootKeyRejected) {
+  EXPECT_THROW(parse_npd(R"({"nmae": "typo"})"), std::invalid_argument);
+}
+
+TEST(NpdIo, MalformedJsonSurfacesParserError) {
+  EXPECT_THROW(parse_npd("{"), json::JsonError);
+}
+
+TEST(NpdIo, PolicyFlagsRoundTrip) {
+  NpdDocument doc = sample_doc();
+  doc.hgrid.policy.block_scale = 2.0;
+  doc.hgrid.policy.use_operation_blocks = false;
+  const NpdDocument round = parse_npd(dump_npd(doc));
+  EXPECT_DOUBLE_EQ(round.hgrid.policy.block_scale, 2.0);
+  EXPECT_FALSE(round.hgrid.policy.use_operation_blocks);
+}
+
+TEST(Npd, BuildRegionMatchesDirectBuild) {
+  const NpdDocument doc = sample_doc();
+  const topo::Region from_npd = build_region(doc);
+  const topo::Region direct = topo::build_region(doc.region);
+  EXPECT_EQ(from_npd.topo.num_switches(), direct.topo.num_switches());
+  EXPECT_EQ(from_npd.topo.num_circuits(), direct.topo.num_circuits());
+}
+
+TEST(Npd, BuildCaseDispatchesOnMigrationKind) {
+  NpdDocument doc = sample_doc();
+  EXPECT_EQ(build_case(doc).task.name, "hgrid-v1-to-v2");
+  doc.migration = MigrationKind::kSswForklift;
+  EXPECT_EQ(build_case(doc).task.name, "ssw-forklift");
+  doc.migration = MigrationKind::kDmag;
+  EXPECT_EQ(build_case(doc).task.name, "dmag");
+  doc.migration = MigrationKind::kNone;
+  EXPECT_THROW(build_case(doc), std::invalid_argument);
+}
+
+TEST(Npd, DemandParamsFlowIntoBuildCase) {
+  NpdDocument doc = sample_doc();
+  doc.demand.egress_frac = 0.0;  // suppress egress demands entirely
+  const migration::MigrationCase mig = build_case(doc);
+  for (const traffic::Demand& d : mig.task.demands) {
+    EXPECT_NE(d.kind, traffic::DemandKind::kEgress);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Explicit topology conversion
+
+TEST(NpdConvert, TopologyRoundTrip) {
+  const topo::Region region =
+      topo::build_preset(topo::PresetId::kA, topo::PresetScale::kFull);
+  const json::Value encoded = topology_to_json(region.topo);
+  const topo::Topology decoded = topology_from_json(encoded);
+
+  ASSERT_EQ(decoded.num_switches(), region.topo.num_switches());
+  ASSERT_EQ(decoded.num_circuits(), region.topo.num_circuits());
+  for (std::size_t i = 0; i < decoded.num_switches(); ++i) {
+    const auto id = static_cast<topo::SwitchId>(i);
+    EXPECT_EQ(decoded.sw(id).name, region.topo.sw(id).name);
+    EXPECT_EQ(decoded.sw(id).role, region.topo.sw(id).role);
+    EXPECT_EQ(decoded.sw(id).state, region.topo.sw(id).state);
+    EXPECT_EQ(decoded.sw(id).max_ports, region.topo.sw(id).max_ports);
+    EXPECT_EQ(decoded.sw(id).loc, region.topo.sw(id).loc);
+  }
+  for (std::size_t i = 0; i < decoded.num_circuits(); ++i) {
+    const auto id = static_cast<topo::CircuitId>(i);
+    EXPECT_DOUBLE_EQ(decoded.circuit(id).capacity_tbps,
+                     region.topo.circuit(id).capacity_tbps);
+    EXPECT_EQ(decoded.circuit(id).state, region.topo.circuit(id).state);
+  }
+}
+
+TEST(NpdConvert, RejectsDanglingCircuitEndpoints) {
+  const char* text = R"({
+    "switches": [{"name": "a", "role": "RSW", "max_ports": 4}],
+    "circuits": [{"a": "a", "b": "ghost", "capacity_tbps": 1.0}]
+  })";
+  EXPECT_THROW(topology_from_json(json::parse(text)), std::invalid_argument);
+}
+
+TEST(NpdConvert, RejectsDuplicateSwitchNames) {
+  const char* text = R"({
+    "switches": [{"name": "a", "role": "RSW"}, {"name": "a", "role": "FSW"}],
+    "circuits": []
+  })";
+  EXPECT_THROW(topology_from_json(json::parse(text)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace klotski::npd

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/pipeline/risk.h"
+#include "klotski/pipeline/schedule.h"
+
+namespace klotski::pipeline {
+namespace {
+
+using klotski::testing::small_hgrid_case;
+
+core::Plan plan_case(migration::MigrationTask& task,
+                     CheckerConfig config = {}) {
+  CheckerBundle bundle = make_standard_checker(task, config);
+  return make_planner("astar")->plan(task, *bundle.checker, {});
+}
+
+// ---------------------------------------------------------------------------
+// Schedule
+
+TEST(Schedule, OnePhaseOneDispatch) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = plan_case(mig.task);
+  ASSERT_TRUE(plan.found);
+  const Schedule schedule = build_schedule(mig.task, plan);
+  EXPECT_EQ(schedule.phases.size(), plan.phases().size());
+}
+
+TEST(Schedule, PhasesAreSequentialAndContiguous) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = plan_case(mig.task);
+  const Schedule schedule = build_schedule(mig.task, plan);
+  double clock = 0.0;
+  for (const PhaseSchedule& phase : schedule.phases) {
+    EXPECT_DOUBLE_EQ(phase.start_day, clock);
+    EXPECT_GT(phase.end_day, phase.start_day);
+    clock = phase.end_day;
+  }
+  EXPECT_DOUBLE_EQ(schedule.total_days, clock);
+}
+
+TEST(Schedule, MoreCrewsNeverSlower) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = plan_case(mig.task);
+  CrewModel one;
+  one.crews = 1;
+  CrewModel four;
+  four.crews = 4;
+  EXPECT_GE(build_schedule(mig.task, plan, one).total_days,
+            build_schedule(mig.task, plan, four).total_days);
+}
+
+TEST(Schedule, OpexSumsPhases) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = plan_case(mig.task);
+  const Schedule schedule = build_schedule(mig.task, plan);
+  double total = 0.0;
+  for (const PhaseSchedule& phase : schedule.phases) total += phase.opex_usd;
+  EXPECT_NEAR(schedule.total_opex_usd, total, 1e-6);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Schedule, RejectsNotFoundPlanAndBadCrew) {
+  migration::MigrationCase mig = small_hgrid_case();
+  core::Plan missing;
+  EXPECT_THROW(build_schedule(mig.task, missing), std::invalid_argument);
+
+  const core::Plan plan = plan_case(mig.task);
+  CrewModel bad;
+  bad.crews = 0;
+  EXPECT_THROW(build_schedule(mig.task, plan, bad), std::invalid_argument);
+}
+
+TEST(Schedule, JsonExportRoundTrips) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = plan_case(mig.task);
+  const Schedule schedule = build_schedule(mig.task, plan);
+  const json::Value v = schedule_to_json(schedule);
+  EXPECT_DOUBLE_EQ(v.at("total_days").as_double(), schedule.total_days);
+  EXPECT_EQ(v.at("phases").as_array().size(), schedule.phases.size());
+}
+
+TEST(Schedule, TextRendersOneRowPerPhase) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = plan_case(mig.task);
+  const Schedule schedule = build_schedule(mig.task, plan);
+  const std::string text = schedule_to_text(schedule);
+  std::size_t rows = 0;
+  for (const char c : text) rows += c == '\n' ? 1 : 0;
+  EXPECT_EQ(rows, schedule.phases.size() + 1);  // + total line
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Risk
+
+TEST(Risk, ReportsOriginPlusEveryPhase) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = plan_case(mig.task);
+  const RiskReport report = assess_risk(mig.task, plan);
+  ASSERT_EQ(report.phases.size(), plan.phases().size() + 1);
+  EXPECT_EQ(report.phases.front().phase_index, -1);
+}
+
+TEST(Risk, AllBoundariesWithinTheta) {
+  // The plan was found under theta = 0.75; the independent risk measurement
+  // must agree that no boundary exceeds it.
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = plan_case(mig.task);
+  const RiskReport report = assess_risk(mig.task, plan, 0.75);
+  for (const PhaseRisk& phase : report.phases) {
+    EXPECT_LE(phase.max_utilization, 0.75 + 1e-9) << phase.phase_index;
+    EXPECT_GE(phase.growth_headroom, 1.0 - 1e-9) << phase.phase_index;
+  }
+}
+
+TEST(Risk, HeadroomIsThetaOverUtilization) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = plan_case(mig.task);
+  const RiskReport report = assess_risk(mig.task, plan, 0.75);
+  for (const PhaseRisk& phase : report.phases) {
+    if (phase.max_utilization > 0.0) {
+      EXPECT_NEAR(phase.growth_headroom, 0.75 / phase.max_utilization,
+                  1e-9);
+    }
+  }
+}
+
+TEST(Risk, RiskiestIsArgmaxUtilization) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = plan_case(mig.task);
+  const RiskReport report = assess_risk(mig.task, plan);
+  const std::size_t riskiest = report.riskiest();
+  for (const PhaseRisk& phase : report.phases) {
+    EXPECT_LE(phase.max_utilization,
+              report.phases[riskiest].max_utilization);
+  }
+}
+
+TEST(Risk, RestoresOriginalState) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = plan_case(mig.task);
+  assess_risk(mig.task, plan);
+  EXPECT_TRUE(mig.task.original_state ==
+              topo::TopologyState::capture(*mig.task.topo));
+}
+
+TEST(Risk, RejectsNotFoundPlan) {
+  migration::MigrationCase mig = small_hgrid_case();
+  core::Plan missing;
+  EXPECT_THROW(assess_risk(mig.task, missing), std::invalid_argument);
+}
+
+TEST(Risk, JsonCarriesRiskiestPhase) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = plan_case(mig.task);
+  const RiskReport report = assess_risk(mig.task, plan);
+  const json::Value v = risk_to_json(report);
+  EXPECT_EQ(static_cast<std::size_t>(v.at("riskiest_phase").as_int()),
+            report.riskiest());
+  EXPECT_EQ(v.at("phases").as_array().size(), report.phases.size());
+}
+
+TEST(Risk, TextMarksRiskiestPhase) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = plan_case(mig.task);
+  const std::string text = risk_to_text(assess_risk(mig.task, plan));
+  EXPECT_NE(text.find("<-- riskiest"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace klotski::pipeline

@@ -1,0 +1,113 @@
+// Tests for the pieces behind the CLI tools: plan JSON round-trip
+// (plan_from_json) and whole-file I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "../test_helpers.h"
+#include "klotski/pipeline/audit.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/pipeline/plan_export.h"
+#include "klotski/util/file.h"
+
+namespace klotski::pipeline {
+namespace {
+
+using klotski::testing::small_hgrid_case;
+
+core::Plan make_plan(migration::MigrationTask& task) {
+  CheckerBundle bundle = make_standard_checker(task, {});
+  return make_planner("astar")->plan(task, *bundle.checker, {});
+}
+
+TEST(PlanRoundTrip, JsonExportImportPreservesActions) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = make_plan(mig.task);
+  ASSERT_TRUE(plan.found);
+
+  const json::Value exported = plan_to_json(mig.task, plan);
+  const core::Plan imported = plan_from_json(mig.task, exported);
+
+  EXPECT_TRUE(imported.found);
+  EXPECT_DOUBLE_EQ(imported.cost, plan.cost);
+  ASSERT_EQ(imported.actions.size(), plan.actions.size());
+  for (std::size_t i = 0; i < plan.actions.size(); ++i) {
+    EXPECT_EQ(imported.actions[i], plan.actions[i]) << "action " << i;
+  }
+}
+
+TEST(PlanRoundTrip, ImportedPlanPassesAudit) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = make_plan(mig.task);
+  const core::Plan imported =
+      plan_from_json(mig.task, plan_to_json(mig.task, plan));
+  CheckerBundle bundle = make_standard_checker(mig.task, {});
+  EXPECT_TRUE(audit_plan(mig.task, *bundle.checker, imported).ok);
+}
+
+TEST(PlanRoundTrip, NotFoundPlanCarriesFailure) {
+  migration::MigrationCase mig = small_hgrid_case();
+  core::Plan failed;
+  failed.planner = "test";
+  failed.failure = "deliberate";
+  const core::Plan imported =
+      plan_from_json(mig.task, plan_to_json(mig.task, failed));
+  EXPECT_FALSE(imported.found);
+  EXPECT_EQ(imported.failure, "deliberate");
+}
+
+TEST(PlanRoundTrip, UnknownBlockLabelRejected) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = make_plan(mig.task);
+  json::Value exported = plan_to_json(mig.task, plan);
+  exported.as_object()["phases"].as_array()[0].as_object()["blocks"]
+      .as_array()[0] = json::Value("ghost-block");
+  EXPECT_THROW(plan_from_json(mig.task, exported), std::invalid_argument);
+}
+
+TEST(PlanRoundTrip, UnknownActionTypeRejected) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = make_plan(mig.task);
+  json::Value exported = plan_to_json(mig.task, plan);
+  exported.as_object()["phases"].as_array()[0].as_object()["action_type"] =
+      json::Value("teleport");
+  EXPECT_THROW(plan_from_json(mig.task, exported), std::invalid_argument);
+}
+
+TEST(PlanRoundTrip, MislabeledBlockTypeRejected) {
+  migration::MigrationCase mig = small_hgrid_case();
+  const core::Plan plan = make_plan(mig.task);
+  json::Value exported = plan_to_json(mig.task, plan);
+  // Move a block label of one type under another type's phase.
+  auto& phases = exported.as_object()["phases"].as_array();
+  ASSERT_GE(phases.size(), 2u);
+  const json::Value stolen =
+      phases[1].as_object()["blocks"].as_array()[0];
+  phases[0].as_object()["blocks"].as_array()[0] = stolen;
+  EXPECT_THROW(plan_from_json(mig.task, exported), std::invalid_argument);
+}
+
+TEST(FileUtil, WriteReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/klotski_file_test.txt";
+  util::write_file(path, "hello\nworld\n");
+  EXPECT_EQ(util::read_file(path), "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(FileUtil, ReadMissingFileThrowsWithPath) {
+  try {
+    util::read_file("/nonexistent/klotski/file.json");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/klotski/file.json"),
+              std::string::npos);
+  }
+}
+
+TEST(FileUtil, WriteToBadPathThrows) {
+  EXPECT_THROW(util::write_file("/nonexistent/dir/out.json", "x"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace klotski::pipeline

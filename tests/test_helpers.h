@@ -1,0 +1,65 @@
+// Shared fixtures for the Klotski test suite: tiny hand-built topologies and
+// standard migration cases small enough for exhaustive oracles.
+#pragma once
+
+#include <memory>
+
+#include "klotski/migration/task_builder.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/topo/presets.h"
+
+namespace klotski::testing {
+
+/// A 4-switch diamond: s0 - {m1, m2} - t3, all capacities 1 Tbps.
+/// Useful for hand-checkable ECMP math.
+struct Diamond {
+  topo::Topology topo;
+  topo::SwitchId s, m1, m2, t;
+  topo::CircuitId c_sm1, c_sm2, c_m1t, c_m2t;
+
+  Diamond() {
+    using topo::ElementState;
+    using topo::Generation;
+    using topo::SwitchRole;
+    s = topo.add_switch(SwitchRole::kRsw, Generation::kV1, {}, 8,
+                        ElementState::kActive, "s");
+    m1 = topo.add_switch(SwitchRole::kFsw, Generation::kV1, {}, 8,
+                         ElementState::kActive, "m1");
+    m2 = topo.add_switch(SwitchRole::kFsw, Generation::kV1, {}, 8,
+                         ElementState::kActive, "m2");
+    t = topo.add_switch(SwitchRole::kEbb, Generation::kV1, {}, 8,
+                        ElementState::kActive, "t");
+    c_sm1 = topo.add_circuit(s, m1, 1.0, ElementState::kActive);
+    c_sm2 = topo.add_circuit(s, m2, 1.0, ElementState::kActive);
+    c_m1t = topo.add_circuit(m1, t, 1.0, ElementState::kActive);
+    c_m2t = topo.add_circuit(m2, t, 1.0, ElementState::kActive);
+  }
+
+  traffic::Demand demand(double volume) const {
+    traffic::Demand d;
+    d.name = "s-to-t";
+    d.sources = {s};
+    d.targets = {t};
+    d.volume_tbps = volume;
+    return d;
+  }
+};
+
+/// The canonical small migration case used across planner tests: preset A
+/// at full scale under HGRID V1->V2 (10 actions, 2 types).
+inline migration::MigrationCase small_hgrid_case() {
+  return migration::build_hgrid_migration(
+      topo::preset_params(topo::PresetId::kA, topo::PresetScale::kFull), {});
+}
+
+inline migration::MigrationCase small_ssw_case() {
+  return migration::build_ssw_forklift(
+      topo::preset_params(topo::PresetId::kA, topo::PresetScale::kFull), {});
+}
+
+inline migration::MigrationCase small_dmag_case() {
+  return migration::build_dmag_migration(
+      topo::preset_params(topo::PresetId::kA, topo::PresetScale::kFull), {});
+}
+
+}  // namespace klotski::testing

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "klotski/topo/builder.h"
+
+namespace klotski::topo {
+namespace {
+
+RegionParams tiny_params() {
+  RegionParams p;
+  p.dcs = 2;
+  FabricParams fab;
+  fab.pods = 2;
+  fab.rsws_per_pod = 3;
+  fab.planes = 2;
+  fab.ssws_per_plane = 2;
+  p.fabrics = {fab};
+  p.grids = 2;
+  p.fadus_per_grid_per_dc = 2;
+  p.fauus_per_grid = 2;
+  return p;
+}
+
+TEST(Builder, ProducesValidTopology) {
+  const Region region = build_region(tiny_params());
+  EXPECT_EQ(region.topo.validate(), "");
+}
+
+TEST(Builder, SwitchCountsMatchParams) {
+  const RegionParams p = tiny_params();
+  const Region region = build_region(p);
+  const auto& fab = p.fabrics[0];
+
+  EXPECT_EQ(region.topo.switches_with_role(SwitchRole::kRsw).size(),
+            static_cast<std::size_t>(p.dcs * fab.pods * fab.rsws_per_pod));
+  EXPECT_EQ(region.topo.switches_with_role(SwitchRole::kFsw).size(),
+            static_cast<std::size_t>(p.dcs * fab.pods * fab.planes));
+  EXPECT_EQ(region.topo.switches_with_role(SwitchRole::kSsw).size(),
+            static_cast<std::size_t>(p.dcs * fab.planes *
+                                     fab.ssws_per_plane));
+  EXPECT_EQ(region.topo.switches_with_role(SwitchRole::kFadu).size(),
+            static_cast<std::size_t>(p.grids * p.dcs *
+                                     p.fadus_per_grid_per_dc));
+  EXPECT_EQ(region.topo.switches_with_role(SwitchRole::kFauu).size(),
+            static_cast<std::size_t>(p.grids * p.fauus_per_grid));
+  EXPECT_EQ(region.topo.switches_with_role(SwitchRole::kEb).size(),
+            static_cast<std::size_t>(p.ebs));
+  EXPECT_EQ(region.topo.switches_with_role(SwitchRole::kDr).size(),
+            static_cast<std::size_t>(p.drs));
+  EXPECT_EQ(region.topo.switches_with_role(SwitchRole::kEbb).size(),
+            static_cast<std::size_t>(p.ebbs));
+}
+
+TEST(Builder, IndexStructuresAreConsistent) {
+  const Region region = build_region(tiny_params());
+  for (int dc = 0; dc < region.num_dcs(); ++dc) {
+    for (const SwitchId id : region.rsws[dc]) {
+      EXPECT_EQ(region.topo.sw(id).role, SwitchRole::kRsw);
+      EXPECT_EQ(region.topo.sw(id).loc.dc, dc);
+    }
+    for (std::size_t plane = 0; plane < region.ssws[dc].size(); ++plane) {
+      for (const SwitchId id : region.ssws[dc][plane]) {
+        EXPECT_EQ(region.topo.sw(id).role, SwitchRole::kSsw);
+        EXPECT_EQ(region.topo.sw(id).loc.plane,
+                  static_cast<std::int16_t>(plane));
+      }
+    }
+  }
+  for (int g = 0; g < region.num_grids(); ++g) {
+    for (const SwitchId id : region.fauus[g]) {
+      EXPECT_EQ(region.topo.sw(id).role, SwitchRole::kFauu);
+      EXPECT_EQ(region.topo.sw(id).loc.grid, g);
+    }
+  }
+}
+
+TEST(Builder, RswConnectsToEveryFswOfItsPod) {
+  const Region region = build_region(tiny_params());
+  const SwitchId rsw = region.rsws[0][0];
+  int fsw_neighbors = 0;
+  for (const CircuitId cid : region.topo.incident(rsw)) {
+    const Circuit& c = region.topo.circuit(cid);
+    const Switch& other = region.topo.sw(c.other(rsw));
+    EXPECT_EQ(other.role, SwitchRole::kFsw);
+    EXPECT_EQ(other.loc.pod, region.topo.sw(rsw).loc.pod);
+    ++fsw_neighbors;
+  }
+  EXPECT_EQ(fsw_neighbors, tiny_params().fabrics[0].planes);
+}
+
+TEST(Builder, FswConnectsOnlyWithinItsPlane) {
+  const Region region = build_region(tiny_params());
+  for (const SwitchId fsw : region.fsws[0]) {
+    for (const CircuitId cid : region.topo.incident(fsw)) {
+      const Circuit& c = region.topo.circuit(cid);
+      const Switch& other = region.topo.sw(c.other(fsw));
+      if (other.role == SwitchRole::kSsw) {
+        EXPECT_EQ(other.loc.plane, region.topo.sw(fsw).loc.plane);
+      }
+    }
+  }
+}
+
+TEST(Builder, PlaneAlignedMeshCoversAllPlanesAcrossGrids) {
+  RegionParams p = tiny_params();
+  p.fadus_per_grid_per_dc = 1;  // one FADU per grid per DC, 2 planes
+  p.grids = 2;
+  const Region region = build_region(p);
+  // Union of grids must give every plane an uplink (grid offset staggering).
+  for (int dc = 0; dc < p.dcs; ++dc) {
+    std::vector<bool> plane_covered(p.fabrics[0].planes, false);
+    for (int g = 0; g < p.grids; ++g) {
+      for (const SwitchId fadu : region.fadus[g][dc]) {
+        for (const CircuitId cid : region.topo.incident(fadu)) {
+          const Circuit& c = region.topo.circuit(cid);
+          const Switch& other = region.topo.sw(c.other(fadu));
+          if (other.role == SwitchRole::kSsw) {
+            plane_covered[static_cast<std::size_t>(other.loc.plane)] = true;
+          }
+        }
+      }
+    }
+    for (const bool covered : plane_covered) EXPECT_TRUE(covered);
+  }
+}
+
+TEST(Builder, InterleavedMeshSpreadsAcrossPlanes) {
+  RegionParams p = tiny_params();
+  p.mesh = MeshPattern::kInterleaved;
+  const Region region = build_region(p);
+  // With interleaving a FADU may reach SSWs in multiple planes.
+  int multi_plane_fadus = 0;
+  for (int g = 0; g < p.grids; ++g) {
+    for (int dc = 0; dc < p.dcs; ++dc) {
+      for (const SwitchId fadu : region.fadus[g][dc]) {
+        std::set<int> planes;
+        for (const CircuitId cid : region.topo.incident(fadu)) {
+          const Circuit& c = region.topo.circuit(cid);
+          const Switch& other = region.topo.sw(c.other(fadu));
+          if (other.role == SwitchRole::kSsw) planes.insert(other.loc.plane);
+        }
+        if (planes.size() > 1) ++multi_plane_fadus;
+      }
+    }
+  }
+  EXPECT_GT(multi_plane_fadus, 0);
+}
+
+TEST(Builder, FauuEbCircuitsIndexedByEb) {
+  const RegionParams p = tiny_params();
+  const Region region = build_region(p);
+  ASSERT_EQ(region.fauu_eb_circuits_by_eb.size(),
+            static_cast<std::size_t>(p.ebs));
+  for (int e = 0; e < p.ebs; ++e) {
+    EXPECT_EQ(region.fauu_eb_circuits_by_eb[e].size(),
+              static_cast<std::size_t>(p.grids * p.fauus_per_grid));
+    for (const CircuitId cid : region.fauu_eb_circuits_by_eb[e]) {
+      const Circuit& c = region.topo.circuit(cid);
+      EXPECT_TRUE(c.a == region.ebs[e] || c.b == region.ebs[e]);
+    }
+  }
+}
+
+TEST(Builder, HeterogeneousFabricsPerDc) {
+  RegionParams p = tiny_params();
+  FabricParams fab8 = p.fabrics[0];
+  fab8.planes = 4;
+  fab8.ssws_per_plane = 1;
+  p.fabrics = {p.fabrics[0], fab8};
+  p.fadus_per_grid_per_dc = 4;  // multiple of both plane counts
+  const Region region = build_region(p);
+  EXPECT_EQ(region.ssws[0].size(), 2u);
+  EXPECT_EQ(region.ssws[1].size(), 4u);
+  EXPECT_EQ(region.topo.validate(), "");
+}
+
+TEST(Builder, PortBudgetsHonorSlack) {
+  RegionParams p = tiny_params();
+  p.port_slack_ssw = 0;
+  p.port_slack_eb = 0;
+  const Region region = build_region(p);
+  for (const Switch& s : region.topo.switches()) {
+    const int occupied = region.topo.occupied_ports(s.id);
+    if (s.role == SwitchRole::kSsw || s.role == SwitchRole::kEb) {
+      EXPECT_EQ(s.max_ports, occupied) << s.name;
+    } else {
+      EXPECT_GE(s.max_ports, occupied) << s.name;
+    }
+  }
+}
+
+TEST(Builder, RejectsInvalidParams) {
+  RegionParams p = tiny_params();
+  p.dcs = 0;
+  EXPECT_THROW(build_region(p), std::invalid_argument);
+
+  p = tiny_params();
+  p.fabrics.clear();
+  EXPECT_THROW(build_region(p), std::invalid_argument);
+
+  p = tiny_params();
+  p.grids = 0;
+  EXPECT_THROW(build_region(p), std::invalid_argument);
+
+  p = tiny_params();
+  p.fabrics[0].pods = -1;
+  EXPECT_THROW(build_region(p), std::invalid_argument);
+}
+
+TEST(Builder, FabricParamsReplicatedToAllDcs) {
+  RegionParams p = tiny_params();
+  p.dcs = 3;  // only one FabricParams entry
+  const Region region = build_region(p);
+  EXPECT_EQ(region.fabric(0).pods, region.fabric(2).pods);
+}
+
+TEST(Builder, ParallelRswFswLinks) {
+  RegionParams p = tiny_params();
+  p.fabrics[0].rsw_fsw_links = 3;
+  const Region region = build_region(p);
+  const SwitchId rsw = region.rsws[0][0];
+  EXPECT_EQ(region.topo.incident(rsw).size(),
+            static_cast<std::size_t>(p.fabrics[0].planes * 3));
+}
+
+}  // namespace
+}  // namespace klotski::topo

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+#include "klotski/topo/diff.h"
+
+namespace klotski::topo {
+namespace {
+
+using klotski::testing::Diamond;
+
+TEST(Diff, IdenticalStatesAreEmpty) {
+  Diamond d;
+  const TopologyState state = TopologyState::capture(d.topo);
+  const StateDiff diff = diff_states(d.topo, state, state);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_DOUBLE_EQ(diff.capacity_delta_tbps, 0.0);
+}
+
+TEST(Diff, ClassifiesEveryTransition) {
+  Diamond d;
+  const TopologyState before = TopologyState::capture(d.topo);
+
+  d.topo.sw(d.m1).state = ElementState::kAbsent;    // removed
+  d.topo.sw(d.m2).state = ElementState::kDrained;   // drained
+  const TopologyState after = TopologyState::capture(d.topo);
+  before.restore(d.topo);
+
+  const StateDiff diff = diff_states(d.topo, before, after);
+  EXPECT_EQ(diff.count_switches(ElementChange::kRemoved), 1u);
+  EXPECT_EQ(diff.count_switches(ElementChange::kDrained), 1u);
+  EXPECT_EQ(diff.count_switches(ElementChange::kInstalled), 0u);
+
+  // The reverse diff classifies the inverse transitions.
+  const StateDiff reverse = diff_states(d.topo, after, before);
+  EXPECT_EQ(reverse.count_switches(ElementChange::kInstalled), 1u);
+  EXPECT_EQ(reverse.count_switches(ElementChange::kActivated), 1u);
+}
+
+TEST(Diff, CapacityDeltaTracksCarriedCapacity) {
+  Diamond d;
+  const TopologyState before = TopologyState::capture(d.topo);
+  // Drain m1: both of its circuits (2 x 1 Tbps) stop carrying traffic.
+  d.topo.sw(d.m1).state = ElementState::kDrained;
+  const TopologyState after = TopologyState::capture(d.topo);
+  before.restore(d.topo);
+
+  const StateDiff diff = diff_states(d.topo, before, after);
+  EXPECT_DOUBLE_EQ(diff.capacity_delta_tbps, -2.0);
+  EXPECT_DOUBLE_EQ(diff_states(d.topo, after, before).capacity_delta_tbps,
+                   2.0);
+}
+
+TEST(Diff, MigrationOriginalToTargetMatchesTaskFootprint) {
+  migration::MigrationCase mig = klotski::testing::small_hgrid_case();
+  const StateDiff diff = diff_states(*mig.task.topo,
+                                     mig.task.original_state,
+                                     mig.task.target_state);
+  // Every V1 HGRID switch removed, every V2 one installed.
+  std::size_t v1_hgrid = 0;
+  std::size_t v2_hgrid = 0;
+  for (const Switch& s : mig.task.topo->switches()) {
+    if (s.role != SwitchRole::kFadu && s.role != SwitchRole::kFauu) continue;
+    (s.gen == Generation::kV1 ? v1_hgrid : v2_hgrid) += 1;
+  }
+  EXPECT_EQ(diff.count_switches(ElementChange::kRemoved), v1_hgrid);
+  EXPECT_EQ(diff.count_switches(ElementChange::kInstalled), v2_hgrid);
+  // The migration's purpose: more capacity.
+  EXPECT_GT(diff.capacity_delta_tbps, 0.0);
+}
+
+TEST(Diff, PerPhaseDiffsComposeToFullDiff) {
+  migration::MigrationCase mig = klotski::testing::small_hgrid_case();
+  migration::MigrationTask& task = mig.task;
+  pipeline::CheckerBundle bundle = pipeline::make_standard_checker(task, {});
+  const core::Plan plan =
+      pipeline::make_planner("astar")->plan(task, *bundle.checker, {});
+  ASSERT_TRUE(plan.found);
+
+  // Sum of per-phase capacity deltas == original->target capacity delta.
+  double summed = 0.0;
+  task.reset_to_original();
+  TopologyState previous = task.original_state;
+  for (const core::Phase& phase : plan.phases()) {
+    for (const std::int32_t b : phase.block_indices) {
+      task.blocks[static_cast<std::size_t>(phase.type)]
+                 [static_cast<std::size_t>(b)]
+                     .apply(*task.topo);
+    }
+    const TopologyState current = TopologyState::capture(*task.topo);
+    summed += diff_states(*task.topo, previous, current).capacity_delta_tbps;
+    previous = current;
+  }
+  task.reset_to_original();
+  const double direct = diff_states(*task.topo, task.original_state,
+                                    task.target_state)
+                            .capacity_delta_tbps;
+  EXPECT_NEAR(summed, direct, 1e-9);
+}
+
+TEST(Diff, RejectsShapeMismatch) {
+  Diamond d;
+  TopologyState bad = TopologyState::capture(d.topo);
+  bad.switch_states.pop_back();
+  const TopologyState good = TopologyState::capture(d.topo);
+  EXPECT_THROW(diff_states(d.topo, bad, good), std::invalid_argument);
+  EXPECT_THROW(diff_states(d.topo, good, bad), std::invalid_argument);
+}
+
+TEST(Diff, TextSummaryAggregatesByRole) {
+  migration::MigrationCase mig = klotski::testing::small_hgrid_case();
+  const StateDiff diff = diff_states(*mig.task.topo,
+                                     mig.task.original_state,
+                                     mig.task.target_state);
+  const std::string text = diff_to_text(*mig.task.topo, diff);
+  EXPECT_NE(text.find("FADU/V1"), std::string::npos);
+  EXPECT_NE(text.find("installed"), std::string::npos);
+  EXPECT_NE(text.find("capacity delta"), std::string::npos);
+}
+
+TEST(Diff, ChangeNames) {
+  EXPECT_EQ(to_string(ElementChange::kInstalled), "installed");
+  EXPECT_EQ(to_string(ElementChange::kRemoved), "removed");
+  EXPECT_EQ(to_string(ElementChange::kActivated), "activated");
+  EXPECT_EQ(to_string(ElementChange::kDrained), "drained");
+}
+
+}  // namespace
+}  // namespace klotski::topo

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "klotski/topo/presets.h"
+
+namespace klotski::topo {
+namespace {
+
+class PresetTest : public ::testing::TestWithParam<PresetId> {};
+
+TEST_P(PresetTest, ReducedBuildsValidTopology) {
+  const Region region = build_preset(GetParam(), PresetScale::kReduced);
+  EXPECT_EQ(region.topo.validate(), "");
+}
+
+TEST_P(PresetTest, ReducedIsNoLargerThanFull) {
+  const RegionParams reduced = preset_params(GetParam(),
+                                             PresetScale::kReduced);
+  const RegionParams full = preset_params(GetParam(), PresetScale::kFull);
+  EXPECT_LE(reduced.fabrics[0].pods, full.fabrics[0].pods);
+  EXPECT_LE(reduced.fabrics[0].rsws_per_pod, full.fabrics[0].rsws_per_pod);
+  // The HGRID block structure (and hence the planner search space) is
+  // preserved across scales.
+  EXPECT_EQ(reduced.grids, full.grids);
+  EXPECT_EQ(reduced.fadus_per_grid_per_dc, full.fadus_per_grid_per_dc);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetTest,
+                         ::testing::ValuesIn(all_presets()),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Presets, SizesAscendAtoE) {
+  std::size_t previous = 0;
+  for (const PresetId id : all_presets()) {
+    const Region region = build_preset(id, PresetScale::kReduced);
+    const std::size_t size = region.topo.num_switches();
+    EXPECT_GT(size, previous) << "preset " << to_string(id);
+    previous = size;
+  }
+}
+
+TEST(Presets, FullScaleEMatchesTable3Order) {
+  // Building full E is a few hundred thousand elements; verify the Table 3
+  // order of magnitude (~10,000 switches, ~100,000 circuits).
+  const Region region = build_preset(PresetId::kE, PresetScale::kFull);
+  EXPECT_GE(region.topo.num_switches(), 8000u);
+  EXPECT_LE(region.topo.num_switches(), 15000u);
+  EXPECT_GE(region.topo.num_circuits(), 70000u);
+  EXPECT_LE(region.topo.num_circuits(), 150000u);
+}
+
+TEST(Presets, FullScaleAMatchesTable3Order) {
+  const Region region = build_preset(PresetId::kA, PresetScale::kFull);
+  EXPECT_GE(region.topo.num_switches(), 25u);
+  EXPECT_LE(region.topo.num_switches(), 60u);
+  EXPECT_GE(region.topo.num_circuits(), 50u);
+  EXPECT_LE(region.topo.num_circuits(), 120u);
+}
+
+TEST(Presets, DIsHeterogeneous) {
+  const RegionParams p = preset_params(PresetId::kD, PresetScale::kFull);
+  ASSERT_GE(p.fabrics.size(), 2u);
+  // Figure 2(d): one DC upgraded to 8 planes.
+  bool has_8_plane_dc = false;
+  for (const FabricParams& fab : p.fabrics) {
+    if (fab.planes == 8) has_8_plane_dc = true;
+  }
+  EXPECT_TRUE(has_8_plane_dc);
+}
+
+TEST(Presets, NamesAreStable) {
+  EXPECT_EQ(to_string(PresetId::kA), "A");
+  EXPECT_EQ(to_string(PresetId::kE), "E");
+  EXPECT_EQ(all_presets().size(), 5u);
+}
+
+}  // namespace
+}  // namespace klotski::topo

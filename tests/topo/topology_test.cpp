@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "klotski/topo/topology.h"
+
+namespace klotski::topo {
+namespace {
+
+Topology two_switch_topo(ElementState circuit_state = ElementState::kActive) {
+  Topology t;
+  t.add_switch(SwitchRole::kRsw, Generation::kV1, {}, 4,
+               ElementState::kActive, "a");
+  t.add_switch(SwitchRole::kFsw, Generation::kV1, {}, 4,
+               ElementState::kActive, "b");
+  t.add_circuit(0, 1, 1.0, circuit_state);
+  return t;
+}
+
+TEST(SwitchTypes, RoleRoundTrip) {
+  for (int r = 0; r < kNumSwitchRoles; ++r) {
+    const auto role = static_cast<SwitchRole>(r);
+    EXPECT_EQ(switch_role_from_string(std::string(to_string(role))), role);
+  }
+  EXPECT_THROW(switch_role_from_string("XYZ"), std::invalid_argument);
+}
+
+TEST(SwitchTypes, GenerationRoundTrip) {
+  EXPECT_EQ(generation_from_string("V1"), Generation::kV1);
+  EXPECT_EQ(generation_from_string("V2"), Generation::kV2);
+  EXPECT_THROW(generation_from_string("V3"), std::invalid_argument);
+}
+
+TEST(SwitchTypes, ElementStateRoundTrip) {
+  for (const auto state : {ElementState::kActive, ElementState::kDrained,
+                           ElementState::kAbsent}) {
+    EXPECT_EQ(element_state_from_string(std::string(to_string(state))),
+              state);
+  }
+  EXPECT_THROW(element_state_from_string("gone"), std::invalid_argument);
+}
+
+TEST(Topology, AddSwitchAssignsDenseIds) {
+  Topology t;
+  EXPECT_EQ(t.add_switch(SwitchRole::kRsw, Generation::kV1, {}, 4,
+                         ElementState::kActive, "x"),
+            0);
+  EXPECT_EQ(t.add_switch(SwitchRole::kRsw, Generation::kV1, {}, 4,
+                         ElementState::kActive, "y"),
+            1);
+  EXPECT_EQ(t.num_switches(), 2u);
+}
+
+TEST(Topology, AddCircuitRejectsBadEndpoints) {
+  Topology t = two_switch_topo();
+  EXPECT_THROW(t.add_circuit(0, 5, 1.0, ElementState::kActive),
+               std::out_of_range);
+  EXPECT_THROW(t.add_circuit(0, 0, 1.0, ElementState::kActive),
+               std::invalid_argument);
+}
+
+TEST(Topology, IncidentListsBothEndpoints) {
+  Topology t = two_switch_topo();
+  ASSERT_EQ(t.incident(0).size(), 1u);
+  ASSERT_EQ(t.incident(1).size(), 1u);
+  EXPECT_EQ(t.incident(0)[0], t.incident(1)[0]);
+}
+
+TEST(Topology, CircuitOther) {
+  const Topology t = two_switch_topo();
+  EXPECT_EQ(t.circuit(0).other(0), 1);
+  EXPECT_EQ(t.circuit(0).other(1), 0);
+}
+
+TEST(Topology, CircuitCarriesTrafficRequiresAllActive) {
+  Topology t = two_switch_topo();
+  EXPECT_TRUE(t.circuit_carries_traffic(0));
+  t.sw(0).state = ElementState::kDrained;
+  EXPECT_FALSE(t.circuit_carries_traffic(0));
+  t.sw(0).state = ElementState::kActive;
+  t.circuit(0).state = ElementState::kDrained;
+  EXPECT_FALSE(t.circuit_carries_traffic(0));
+}
+
+TEST(Topology, OccupiedPortsCountsPresentCircuitsToPresentPeers) {
+  Topology t = two_switch_topo();
+  EXPECT_EQ(t.occupied_ports(0), 1);
+  // A drained circuit still occupies the port.
+  t.circuit(0).state = ElementState::kDrained;
+  EXPECT_EQ(t.occupied_ports(0), 1);
+  // An absent circuit does not.
+  t.circuit(0).state = ElementState::kAbsent;
+  EXPECT_EQ(t.occupied_ports(0), 0);
+  // A staged circuit to an absent far end is not wired yet.
+  t.circuit(0).state = ElementState::kActive;
+  t.sw(1).state = ElementState::kAbsent;
+  EXPECT_EQ(t.occupied_ports(0), 0);
+}
+
+TEST(Topology, Counters) {
+  Topology t = two_switch_topo();
+  EXPECT_EQ(t.count_present_switches(), 2u);
+  EXPECT_EQ(t.count_present_circuits(), 1u);
+  EXPECT_EQ(t.count_active_circuits(), 1u);
+  EXPECT_DOUBLE_EQ(t.active_capacity_tbps(), 1.0);
+  t.sw(1).state = ElementState::kAbsent;
+  EXPECT_EQ(t.count_present_switches(), 1u);
+  EXPECT_EQ(t.count_active_circuits(), 0u);
+  EXPECT_DOUBLE_EQ(t.active_capacity_tbps(), 0.0);
+}
+
+TEST(Topology, FindSwitchByName) {
+  const Topology t = two_switch_topo();
+  EXPECT_EQ(t.find_switch("b"), 1);
+  EXPECT_EQ(t.find_switch("zz"), kInvalidSwitch);
+}
+
+TEST(Topology, SwitchesWithRole) {
+  const Topology t = two_switch_topo();
+  EXPECT_EQ(t.switches_with_role(SwitchRole::kRsw).size(), 1u);
+  EXPECT_EQ(t.switches_with_role(SwitchRole::kEbb).size(), 0u);
+}
+
+TEST(TopologyValidate, DetectsDuplicateNames) {
+  Topology t;
+  t.add_switch(SwitchRole::kRsw, Generation::kV1, {}, 4,
+               ElementState::kActive, "dup");
+  t.add_switch(SwitchRole::kRsw, Generation::kV1, {}, 4,
+               ElementState::kActive, "dup");
+  EXPECT_NE(t.validate().find("duplicate"), std::string::npos);
+}
+
+TEST(TopologyValidate, DetectsPortOverflow) {
+  Topology t;
+  t.add_switch(SwitchRole::kRsw, Generation::kV1, {}, 1,
+               ElementState::kActive, "a");
+  t.add_switch(SwitchRole::kFsw, Generation::kV1, {}, 4,
+               ElementState::kActive, "b");
+  t.add_circuit(0, 1, 1.0, ElementState::kActive);
+  t.add_circuit(0, 1, 1.0, ElementState::kActive);
+  EXPECT_NE(t.validate().find("port budget"), std::string::npos);
+}
+
+TEST(TopologyValidate, AcceptsValidTopology) {
+  EXPECT_EQ(two_switch_topo().validate(), "");
+}
+
+TEST(TopologyState, CaptureRestoreRoundTrip) {
+  Topology t = two_switch_topo();
+  const TopologyState snapshot = TopologyState::capture(t);
+  t.sw(0).state = ElementState::kAbsent;
+  t.circuit(0).state = ElementState::kDrained;
+  snapshot.restore(t);
+  EXPECT_EQ(t.sw(0).state, ElementState::kActive);
+  EXPECT_EQ(t.circuit(0).state, ElementState::kActive);
+}
+
+TEST(TopologyState, RestoreRejectsShapeMismatch) {
+  Topology t = two_switch_topo();
+  TopologyState snapshot = TopologyState::capture(t);
+  snapshot.switch_states.pop_back();
+  EXPECT_THROW(snapshot.restore(t), std::invalid_argument);
+}
+
+TEST(TopologyState, EqualityComparesStates) {
+  Topology t = two_switch_topo();
+  const TopologyState a = TopologyState::capture(t);
+  t.sw(0).state = ElementState::kDrained;
+  const TopologyState b = TopologyState::capture(t);
+  EXPECT_FALSE(a == b);
+  t.sw(0).state = ElementState::kActive;
+  EXPECT_TRUE(a == TopologyState::capture(t));
+}
+
+}  // namespace
+}  // namespace klotski::topo

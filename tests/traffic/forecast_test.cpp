@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "klotski/traffic/forecast.h"
+
+namespace klotski::traffic {
+namespace {
+
+DemandSet base_demands() {
+  DemandSet demands(2);
+  demands[0].name = "egress";
+  demands[0].kind = DemandKind::kEgress;
+  demands[0].volume_tbps = 10.0;
+  demands[1].name = "ew";
+  demands[1].kind = DemandKind::kEastWest;
+  demands[1].volume_tbps = 4.0;
+  return demands;
+}
+
+TEST(Forecast, StepZeroEqualsBase) {
+  const Forecaster f(base_demands(), 0.05);
+  const DemandSet at0 = f.at_step(0);
+  EXPECT_DOUBLE_EQ(at0[0].volume_tbps, 10.0);
+  EXPECT_DOUBLE_EQ(at0[1].volume_tbps, 4.0);
+}
+
+TEST(Forecast, CompoundGrowth) {
+  const Forecaster f(base_demands(), 0.10);
+  const DemandSet at3 = f.at_step(3);
+  EXPECT_NEAR(at3[0].volume_tbps, 10.0 * std::pow(1.1, 3), 1e-9);
+}
+
+TEST(Forecast, NegativeGrowthShrinks) {
+  const Forecaster f(base_demands(), -0.10);
+  EXPECT_LT(f.at_step(2)[0].volume_tbps, 10.0);
+}
+
+TEST(Forecast, RejectsImpossibleGrowth) {
+  EXPECT_THROW(Forecaster(base_demands(), -1.5), std::invalid_argument);
+}
+
+TEST(Forecast, SurgeAppliesOnlyToItsKindAndWindow) {
+  Forecaster f(base_demands(), 0.0);
+  SurgeEvent surge;
+  surge.kind = DemandKind::kEastWest;
+  surge.start_step = 2;
+  surge.end_step = 4;
+  surge.factor = 2.0;
+  f.add_surge(surge);
+
+  EXPECT_DOUBLE_EQ(f.at_step(1)[1].volume_tbps, 4.0);   // before
+  EXPECT_DOUBLE_EQ(f.at_step(2)[1].volume_tbps, 8.0);   // inside
+  EXPECT_DOUBLE_EQ(f.at_step(3)[1].volume_tbps, 8.0);   // inside
+  EXPECT_DOUBLE_EQ(f.at_step(4)[1].volume_tbps, 4.0);   // end exclusive
+  EXPECT_DOUBLE_EQ(f.at_step(2)[0].volume_tbps, 10.0);  // other kind
+}
+
+TEST(Forecast, OverlappingSurgesMultiply) {
+  Forecaster f(base_demands(), 0.0);
+  f.add_surge(SurgeEvent{"a", DemandKind::kEgress, 0, 5, 2.0});
+  f.add_surge(SurgeEvent{"b", DemandKind::kEgress, 0, 5, 1.5});
+  EXPECT_DOUBLE_EQ(f.at_step(1)[0].volume_tbps, 30.0);
+}
+
+TEST(Forecast, RejectsInvertedSurgeWindow) {
+  Forecaster f(base_demands(), 0.0);
+  EXPECT_THROW(f.add_surge(SurgeEvent{"bad", DemandKind::kEgress, 5, 2, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Forecast, MaxRelativeChangeTracksGrowth) {
+  const Forecaster f(base_demands(), 0.10);
+  EXPECT_NEAR(f.max_relative_change(0, 1), 0.10, 1e-9);
+  EXPECT_DOUBLE_EQ(f.max_relative_change(2, 2), 0.0);
+}
+
+TEST(Forecast, MaxRelativeChangeSeesSurges) {
+  Forecaster f(base_demands(), 0.0);
+  f.add_surge(SurgeEvent{"s", DemandKind::kEastWest, 1, 3, 1.6});
+  EXPECT_NEAR(f.max_relative_change(0, 1), 0.6, 1e-9);
+}
+
+}  // namespace
+}  // namespace klotski::traffic

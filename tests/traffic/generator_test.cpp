@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "klotski/topo/presets.h"
+#include "klotski/traffic/ecmp.h"
+#include "klotski/traffic/generator.h"
+
+namespace klotski::traffic {
+namespace {
+
+topo::Region small_region() {
+  return topo::build_preset(topo::PresetId::kB, topo::PresetScale::kFull);
+}
+
+TEST(Generator, EmitsAllDemandKindsForMultiDcRegion) {
+  const topo::Region region = small_region();
+  const DemandSet demands = generate_demands(region);
+  int egress = 0, ingress = 0, east_west = 0, intra = 0;
+  for (const Demand& d : demands) {
+    switch (d.kind) {
+      case DemandKind::kEgress: ++egress; break;
+      case DemandKind::kIngress: ++ingress; break;
+      case DemandKind::kEastWest: ++east_west; break;
+      case DemandKind::kIntraDc: ++intra; break;
+    }
+  }
+  EXPECT_EQ(egress, region.num_dcs());
+  EXPECT_EQ(ingress, region.num_dcs());
+  EXPECT_EQ(east_west, region.num_dcs() * (region.num_dcs() - 1));
+  EXPECT_EQ(intra, region.num_dcs() * 2);
+}
+
+TEST(Generator, SingleDcRegionHasNoEastWest) {
+  const topo::Region region =
+      topo::build_preset(topo::PresetId::kA, topo::PresetScale::kFull);
+  for (const Demand& d : generate_demands(region)) {
+    EXPECT_NE(d.kind, DemandKind::kEastWest);
+  }
+}
+
+TEST(Generator, VolumesScaleWithFractions) {
+  const topo::Region region = small_region();
+  DemandGenParams half;
+  half.egress_frac = 0.10;
+  const DemandSet base = generate_demands(region);
+  const DemandSet reduced = generate_demands(region, half);
+  double base_egress = 0, reduced_egress = 0;
+  for (const Demand& d : base) {
+    if (d.kind == DemandKind::kEgress) base_egress += d.volume_tbps;
+  }
+  for (const Demand& d : reduced) {
+    if (d.kind == DemandKind::kEgress) reduced_egress += d.volume_tbps;
+  }
+  EXPECT_NEAR(reduced_egress / base_egress, 0.10 / 0.25, 1e-9);
+}
+
+TEST(Generator, ZeroFractionSuppressesKind) {
+  const topo::Region region = small_region();
+  DemandGenParams p;
+  p.intra_dc_frac = 0.0;
+  for (const Demand& d : generate_demands(region, p)) {
+    EXPECT_NE(d.kind, DemandKind::kIntraDc);
+  }
+}
+
+TEST(Generator, CapacityHelpersArePositiveAndOrdered) {
+  const topo::Region region = small_region();
+  for (int dc = 0; dc < region.num_dcs(); ++dc) {
+    const double uplink = dc_uplink_capacity(region, dc);
+    const double spine = dc_spine_capacity(region, dc);
+    const double rsw = dc_rsw_uplink_capacity(region, dc);
+    const double bottleneck = dc_bottleneck_capacity(region, dc);
+    EXPECT_GT(uplink, 0.0);
+    EXPECT_GT(spine, 0.0);
+    EXPECT_GT(rsw, 0.0);
+    EXPECT_LE(bottleneck, uplink);
+    EXPECT_LE(bottleneck, spine);
+    EXPECT_LE(bottleneck, rsw);
+  }
+}
+
+TEST(Generator, IntraDcEndpointsArePodDisjoint) {
+  const topo::Region region = small_region();
+  for (const Demand& d : generate_demands(region)) {
+    if (d.kind != DemandKind::kIntraDc) continue;
+    std::set<int> source_pods, target_pods;
+    for (const topo::SwitchId s : d.sources) {
+      source_pods.insert(region.topo.sw(s).loc.pod);
+    }
+    for (const topo::SwitchId t : d.targets) {
+      target_pods.insert(region.topo.sw(t).loc.pod);
+    }
+    for (const int pod : source_pods) {
+      EXPECT_EQ(target_pods.count(pod), 0u);
+    }
+  }
+}
+
+class InitialFeasibility : public ::testing::TestWithParam<topo::PresetId> {};
+
+// The calibrated defaults must leave every preset feasible at theta = 0.75
+// (the precondition for every migration experiment).
+TEST_P(InitialFeasibility, WorstUtilizationBelowDefaultTheta) {
+  topo::Region region =
+      topo::build_preset(GetParam(), topo::PresetScale::kReduced);
+  const DemandSet demands = generate_demands(region);
+  EcmpRouter router(region.topo);
+  LoadVector loads(region.topo.num_circuits() * 2, 0.0);
+  for (const Demand& d : demands) {
+    ASSERT_TRUE(router.assign(d, loads)) << d.name;
+  }
+  EXPECT_LT(max_utilization(region.topo, loads), 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, InitialFeasibility,
+                         ::testing::ValuesIn(topo::all_presets()),
+                         [](const auto& info) {
+                           return topo::to_string(info.param);
+                         });
+
+TEST(Demand, TotalVolumeAndScaled) {
+  DemandSet demands(2);
+  demands[0].volume_tbps = 1.5;
+  demands[1].volume_tbps = 2.5;
+  EXPECT_DOUBLE_EQ(total_volume(demands), 4.0);
+  const DemandSet doubled = scaled(demands, 2.0);
+  EXPECT_DOUBLE_EQ(total_volume(doubled), 8.0);
+  EXPECT_DOUBLE_EQ(total_volume(demands), 4.0);  // original untouched
+}
+
+TEST(Demand, KindNames) {
+  EXPECT_EQ(to_string(DemandKind::kEgress), "egress");
+  EXPECT_EQ(to_string(DemandKind::kIntraDc), "intra-dc");
+}
+
+}  // namespace
+}  // namespace klotski::traffic

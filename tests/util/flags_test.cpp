@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "klotski/util/flags.h"
+
+namespace klotski::util {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags f = parse({"--theta=0.85", "--name=hello"});
+  EXPECT_DOUBLE_EQ(f.get_double("theta", 0.0), 0.85);
+  EXPECT_EQ(f.get_string("name", ""), "hello");
+}
+
+TEST(Flags, SpaceForm) {
+  const Flags f = parse({"--count", "42"});
+  EXPECT_EQ(f.get_int("count", 0), 42);
+}
+
+TEST(Flags, BareBooleanFlag) {
+  const Flags f = parse({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_TRUE(f.has("verbose"));
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--x=YES"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=on"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=no"}).get_bool("x", true));
+}
+
+TEST(Flags, FallbacksWhenMissing) {
+  const Flags f = parse({});
+  EXPECT_EQ(f.get_int("absent", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("absent", 1.5), 1.5);
+  EXPECT_EQ(f.get_string("absent", "d"), "d");
+  EXPECT_FALSE(f.has("absent"));
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags f = parse({"first", "--x=1", "second"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "first");
+  EXPECT_EQ(f.positional()[1], "second");
+}
+
+TEST(Flags, BareFlagBeforeAnotherFlagDoesNotConsumeIt) {
+  const Flags f = parse({"--a", "--b=2"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_EQ(f.get_int("b", 0), 2);
+}
+
+TEST(Flags, NamesInParseOrder) {
+  const Flags f = parse({"--z=1", "--a=2"});
+  ASSERT_EQ(f.names().size(), 2u);
+  EXPECT_EQ(f.names()[0], "z");
+  EXPECT_EQ(f.names()[1], "a");
+}
+
+}  // namespace
+}  // namespace klotski::util

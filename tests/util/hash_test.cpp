@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "klotski/util/hash.h"
+
+namespace klotski::util {
+namespace {
+
+TEST(Hash, Mix64ChangesEveryInput) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(mix64(i)).second) << "collision at " << i;
+  }
+}
+
+TEST(Hash, HashSpanOrderSensitive) {
+  const std::int32_t a[] = {1, 2, 3};
+  const std::int32_t b[] = {3, 2, 1};
+  EXPECT_NE(hash_span(a, 3), hash_span(b, 3));
+}
+
+TEST(Hash, HashSpanLengthSensitive) {
+  const std::int32_t a[] = {1, 2, 3, 0};
+  EXPECT_NE(hash_span(a, 3), hash_span(a, 4));
+}
+
+TEST(Hash, VectorHashEqualVectorsEqualHashes) {
+  VectorHash<std::int32_t> h;
+  const std::vector<std::int32_t> a = {5, 0, 7};
+  const std::vector<std::int32_t> b = {5, 0, 7};
+  EXPECT_EQ(h(a), h(b));
+}
+
+TEST(Hash, VectorHashSpreadsSmallCounts) {
+  // The sat cache keys on small count vectors; near-identical keys must not
+  // collide systematically.
+  VectorHash<std::int32_t> h;
+  std::unordered_set<std::size_t> hashes;
+  int collisions = 0;
+  for (std::int32_t i = 0; i < 50; ++i) {
+    for (std::int32_t j = 0; j < 50; ++j) {
+      if (!hashes.insert(h({i, j})).second) ++collisions;
+    }
+  }
+  EXPECT_LE(collisions, 2);
+}
+
+TEST(Hash, PairHashDistinguishesOrder) {
+  PairHash h;
+  EXPECT_NE(h(std::make_pair(1, 2)), h(std::make_pair(2, 1)));
+}
+
+}  // namespace
+}  // namespace klotski::util

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "klotski/util/table.h"
+
+namespace klotski::util {
+namespace {
+
+TEST(Table, AlignsColumnsToWidestCell) {
+  Table t({"a", "long-header"});
+  t.add_row({"wide-cell", "x"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Every line has the same length in an aligned table.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << out;
+  }
+}
+
+TEST(Table, TitlePrintedFirst) {
+  Table t({"c"});
+  t.set_title("My Title");
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str().rfind("My Title\n", 0), 0u);
+}
+
+TEST(Table, RowAccessors) {
+  Table t({"x", "y"});
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2"});
+  ASSERT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.row(0)[1], "2");
+}
+
+TEST(Table, HeaderRuleUsesDashes) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("|---|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace klotski::util

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "klotski/util/logging.h"
+#include "klotski/util/rng.h"
+#include "klotski/util/string_util.h"
+#include "klotski/util/timer.h"
+
+namespace klotski::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// string_util
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, SplitSingleToken) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(StringUtil, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"only"}, "-"), "only");
+}
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+}
+
+TEST(StringUtil, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(0.1239, 2), "0.12");
+  EXPECT_EQ(format_double(-0.0), "0");
+}
+
+TEST(StringUtil, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+// ---------------------------------------------------------------------------
+// rng
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(99);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = items;
+  rng.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, sorted);
+}
+
+TEST(Rng, IndexWithinBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.index(10), 10u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// timer
+
+TEST(Timer, StopwatchAdvances) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(sw.elapsed_seconds(), 0.0);
+}
+
+TEST(Timer, UnlimitedDeadlineNeverExpires) {
+  const Deadline d = Deadline::unlimited();
+  EXPECT_FALSE(d.limited());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Timer, DeadlineExpires) {
+  const Deadline d = Deadline::after_seconds(0.001);
+  EXPECT_TRUE(d.limited());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.expired());
+}
+
+// ---------------------------------------------------------------------------
+// logging
+
+TEST(Logging, SinkReceivesMessagesAtOrAboveMinLevel) {
+  std::vector<std::string> captured;
+  LogSink previous = set_log_sink(
+      [&](LogLevel, std::string_view message) {
+        captured.emplace_back(message);
+      });
+  const LogLevel previous_level = min_log_level();
+  set_min_log_level(LogLevel::kInfo);
+
+  KLOTSKI_LOG_DEBUG() << "dropped";
+  KLOTSKI_LOG_INFO() << "kept " << 42;
+  KLOTSKI_LOG_ERROR() << "also kept";
+
+  set_min_log_level(previous_level);
+  set_log_sink(std::move(previous));
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "kept 42");
+  EXPECT_EQ(captured[1], "also kept");
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace klotski::util

@@ -1,0 +1,141 @@
+// klotski_plan — run the EDP-Lite pipeline on an NPD document and emit the
+// migration plan.
+//
+//   klotski_plan --npd=region.npd.json --planner=astar --theta=0.75 \
+//                --out=plan.json
+//
+// Flags:
+//   --npd          NPD JSON document (required)
+//   --planner      astar | dp | mrc | janus | brute     (default astar)
+//   --theta        utilization bound in (0, 1]           (default 0.75)
+//   --alpha        cost-function alpha in [0, 1]         (default 0)
+//   --routing      ecmp | wcmp                           (default ecmp)
+//   --funneling    funneling margin >= 0                 (default 0)
+//   --deadline     planner budget in seconds, 0 = none   (default 0)
+//   --demands      demand-matrix JSON replacing the generated forecast
+//                  (the §7.1 refresh workflow)
+//   --dump-demands write the effective demand matrix to this path
+//   --out          plan JSON path                        (default: stdout)
+//   --summary      also print the human-readable plan text
+//   --schedule     print the crew schedule + OPEX estimate (stderr)
+//   --risk         print the per-phase capacity risk report (stderr)
+//   --crews        parallel crews for --schedule          (default 4)
+//
+// Exit status: 0 plan found and audited, 1 no plan, 2 usage/input error.
+#include <iostream>
+
+#include "klotski/npd/npd_io.h"
+#include "klotski/pipeline/audit.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/pipeline/plan_export.h"
+#include "klotski/pipeline/risk.h"
+#include "klotski/pipeline/schedule.h"
+#include "klotski/traffic/demand_io.h"
+#include "klotski/util/file.h"
+#include "klotski/util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace klotski;
+  const util::Flags flags = util::Flags::parse(argc, argv);
+
+  const std::string npd_path = flags.get_string("npd", "");
+  if (npd_path.empty()) {
+    std::cerr << "klotski_plan: --npd=FILE is required\n";
+    return 2;
+  }
+
+  try {
+    const npd::NpdDocument doc = npd::parse_npd(util::read_file(npd_path));
+
+    // Build the migration case; optionally swap in an operator-provided
+    // demand matrix (endpoints resolved by switch name).
+    migration::MigrationCase mig = npd::build_case(doc);
+    migration::MigrationTask& task = mig.task;
+    const std::string demands_path = flags.get_string("demands", "");
+    if (!demands_path.empty()) {
+      task.demands = traffic::demands_from_json(
+          *task.topo, json::parse(util::read_file(demands_path)));
+      std::cerr << "loaded " << task.demands.size()
+                << " demands from " << demands_path << "\n";
+    }
+    const std::string dump_demands = flags.get_string("dump-demands", "");
+    if (!dump_demands.empty()) {
+      util::write_file(
+          dump_demands,
+          json::dump(traffic::demands_to_json(*task.topo, task.demands), 2) +
+              "\n");
+      std::cerr << "wrote " << dump_demands << "\n";
+    }
+
+    pipeline::CheckerConfig checker_config;
+    checker_config.demand.max_utilization = flags.get_double("theta", 0.75);
+    checker_config.demand.funneling_margin =
+        flags.get_double("funneling", 0.0);
+    const std::string routing = flags.get_string("routing", "ecmp");
+    if (routing == "wcmp") {
+      checker_config.routing = traffic::SplitMode::kCapacityWeighted;
+    } else if (routing != "ecmp") {
+      std::cerr << "klotski_plan: unknown routing '" << routing << "'\n";
+      return 2;
+    }
+
+    core::PlannerOptions planner_options;
+    planner_options.alpha = flags.get_double("alpha", 0.0);
+    planner_options.deadline_seconds = flags.get_double("deadline", 0.0);
+
+    pipeline::CheckerBundle bundle =
+        pipeline::make_standard_checker(task, checker_config);
+    auto planner =
+        pipeline::make_planner(flags.get_string("planner", "astar"));
+    const core::Plan plan =
+        planner->plan(task, *bundle.checker, planner_options);
+
+    if (flags.get_bool("summary", false)) {
+      std::cerr << pipeline::plan_to_text(task, plan);
+    }
+    if (!plan.found) {
+      std::cerr << "klotski_plan: no plan: " << plan.failure << "\n";
+      return 1;
+    }
+
+    // Independent audit before anything is emitted for deployment (§7.2).
+    pipeline::CheckerBundle audit_bundle =
+        pipeline::make_standard_checker(task, checker_config);
+    const pipeline::AuditReport audit =
+        pipeline::audit_plan(task, *audit_bundle.checker, plan);
+    if (!audit.ok) {
+      std::cerr << "klotski_plan: plan failed the safety audit:\n";
+      for (const std::string& issue : audit.issues) {
+        std::cerr << "  " << issue << "\n";
+      }
+      return 1;
+    }
+
+    if (flags.get_bool("schedule", false)) {
+      pipeline::CrewModel crew;
+      crew.crews = static_cast<int>(flags.get_int("crews", 4));
+      std::cerr << pipeline::schedule_to_text(
+          pipeline::build_schedule(task, plan, crew));
+    }
+    if (flags.get_bool("risk", false)) {
+      std::cerr << pipeline::risk_to_text(pipeline::assess_risk(
+          task, plan, checker_config.demand.max_utilization,
+          checker_config.routing));
+    }
+
+    const std::string text =
+        json::dump(pipeline::plan_to_json(task, plan), 2) + "\n";
+    const std::string out = flags.get_string("out", "");
+    if (out.empty()) {
+      std::cout << text;
+    } else {
+      util::write_file(out, text);
+      std::cerr << "wrote " << out << " (cost " << plan.cost << ", "
+                << plan.phases().size() << " phases, audited)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "klotski_plan: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,74 @@
+// klotski_synth — generate an NPD document for one of the Table 3 presets
+// and a migration type.
+//
+//   klotski_synth --preset=E --scale=reduced --migration=hgrid-v1-to-v2 \
+//                 --out=region-e.npd.json
+//
+// Flags:
+//   --preset     A | B | C | D | E                       (default B)
+//   --scale      reduced | full                          (default reduced)
+//   --migration  hgrid-v1-to-v2 | ssw-forklift | dmag | none
+//                                                        (default hgrid-v1-to-v2)
+//   --out        output path                             (default: stdout)
+#include <iostream>
+
+#include "klotski/npd/npd_io.h"
+#include "klotski/pipeline/experiments.h"
+#include "klotski/util/file.h"
+#include "klotski/util/flags.h"
+
+namespace {
+
+int fail_usage(const std::string& message) {
+  std::cerr << "klotski_synth: " << message << "\n"
+            << "usage: klotski_synth [--preset=A..E] [--scale=reduced|full] "
+               "[--migration=hgrid-v1-to-v2|ssw-forklift|dmag|none] "
+               "[--out=FILE]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace klotski;
+  const util::Flags flags = util::Flags::parse(argc, argv);
+
+  const std::string preset_name = flags.get_string("preset", "B");
+  topo::PresetId preset;
+  if (preset_name == "A") preset = topo::PresetId::kA;
+  else if (preset_name == "B") preset = topo::PresetId::kB;
+  else if (preset_name == "C") preset = topo::PresetId::kC;
+  else if (preset_name == "D") preset = topo::PresetId::kD;
+  else if (preset_name == "E") preset = topo::PresetId::kE;
+  else return fail_usage("unknown preset '" + preset_name + "'");
+
+  const std::string scale_name = flags.get_string("scale", "reduced");
+  topo::PresetScale scale;
+  if (scale_name == "reduced") scale = topo::PresetScale::kReduced;
+  else if (scale_name == "full") scale = topo::PresetScale::kFull;
+  else return fail_usage("unknown scale '" + scale_name + "'");
+
+  npd::NpdDocument doc;
+  doc.name = "preset-" + preset_name + "/" + scale_name;
+  doc.region = topo::preset_params(preset, scale);
+  try {
+    doc.migration = npd::migration_kind_from_string(
+        flags.get_string("migration", "hgrid-v1-to-v2"));
+  } catch (const std::invalid_argument& e) {
+    return fail_usage(e.what());
+  }
+  // Canonical experiment parameters for the preset (Table 3 granularity).
+  doc.hgrid = pipeline::hgrid_params_for(preset, scale);
+  doc.ssw = pipeline::ssw_params_for(scale);
+  doc.dmag = pipeline::dmag_params_for(scale);
+
+  const std::string text = npd::dump_npd(doc) + "\n";
+  const std::string out = flags.get_string("out", "");
+  if (out.empty()) {
+    std::cout << text;
+  } else {
+    util::write_file(out, text);
+    std::cerr << "wrote " << out << "\n";
+  }
+  return 0;
+}
