@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_opex.dir/ablation_opex.cpp.o"
+  "CMakeFiles/ablation_opex.dir/ablation_opex.cpp.o.d"
+  "ablation_opex"
+  "ablation_opex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_opex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_operation_blocks.dir/fig11_operation_blocks.cpp.o"
+  "CMakeFiles/fig11_operation_blocks.dir/fig11_operation_blocks.cpp.o.d"
+  "fig11_operation_blocks"
+  "fig11_operation_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_operation_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_utilization_bound.dir/fig12_utilization_bound.cpp.o"
+  "CMakeFiles/fig12_utilization_bound.dir/fig12_utilization_bound.cpp.o.d"
+  "fig12_utilization_bound"
+  "fig12_utilization_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_utilization_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_utilization_bound.
+# This may be replaced when dependencies are built.

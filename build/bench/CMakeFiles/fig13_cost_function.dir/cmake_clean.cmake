@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cost_function.dir/fig13_cost_function.cpp.o"
+  "CMakeFiles/fig13_cost_function.dir/fig13_cost_function.cpp.o.d"
+  "fig13_cost_function"
+  "fig13_cost_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cost_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dp_vs_astar.dir/fig7_dp_vs_astar.cpp.o"
+  "CMakeFiles/fig7_dp_vs_astar.dir/fig7_dp_vs_astar.cpp.o.d"
+  "fig7_dp_vs_astar"
+  "fig7_dp_vs_astar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dp_vs_astar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_dp_vs_astar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_generality.dir/fig9_generality.cpp.o"
+  "CMakeFiles/fig9_generality.dir/fig9_generality.cpp.o.d"
+  "fig9_generality"
+  "fig9_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

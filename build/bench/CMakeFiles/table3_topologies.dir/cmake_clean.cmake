@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_topologies.dir/table3_topologies.cpp.o"
+  "CMakeFiles/table3_topologies.dir/table3_topologies.cpp.o.d"
+  "table3_topologies"
+  "table3_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmag_migration.dir/dmag_migration.cpp.o"
+  "CMakeFiles/dmag_migration.dir/dmag_migration.cpp.o.d"
+  "dmag_migration"
+  "dmag_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmag_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dmag_migration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgrid_migration.dir/hgrid_migration.cpp.o"
+  "CMakeFiles/hgrid_migration.dir/hgrid_migration.cpp.o.d"
+  "hgrid_migration"
+  "hgrid_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgrid_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

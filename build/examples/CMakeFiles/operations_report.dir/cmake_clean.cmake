@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operations_report.dir/operations_report.cpp.o"
+  "CMakeFiles/operations_report.dir/operations_report.cpp.o.d"
+  "operations_report"
+  "operations_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operations_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replan_surge.dir/replan_surge.cpp.o"
+  "CMakeFiles/replan_surge.dir/replan_surge.cpp.o.d"
+  "replan_surge"
+  "replan_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replan_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

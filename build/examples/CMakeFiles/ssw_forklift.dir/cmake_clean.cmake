@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssw_forklift.dir/ssw_forklift.cpp.o"
+  "CMakeFiles/ssw_forklift.dir/ssw_forklift.cpp.o.d"
+  "ssw_forklift"
+  "ssw_forklift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssw_forklift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ssw_forklift.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ssw_forklift.
+# This may be replaced when dependencies are built.

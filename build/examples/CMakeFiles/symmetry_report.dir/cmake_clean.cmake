@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetry_report.dir/symmetry_report.cpp.o"
+  "CMakeFiles/symmetry_report.dir/symmetry_report.cpp.o.d"
+  "symmetry_report"
+  "symmetry_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetry_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klotski_baselines.dir/klotski/baselines/brute_force_planner.cpp.o"
+  "CMakeFiles/klotski_baselines.dir/klotski/baselines/brute_force_planner.cpp.o.d"
+  "CMakeFiles/klotski_baselines.dir/klotski/baselines/janus_planner.cpp.o"
+  "CMakeFiles/klotski_baselines.dir/klotski/baselines/janus_planner.cpp.o.d"
+  "CMakeFiles/klotski_baselines.dir/klotski/baselines/mrc_planner.cpp.o"
+  "CMakeFiles/klotski_baselines.dir/klotski/baselines/mrc_planner.cpp.o.d"
+  "libklotski_baselines.a"
+  "libklotski_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klotski_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/klotski/constraints/composite.cpp" "src/CMakeFiles/klotski_constraints.dir/klotski/constraints/composite.cpp.o" "gcc" "src/CMakeFiles/klotski_constraints.dir/klotski/constraints/composite.cpp.o.d"
+  "/root/repo/src/klotski/constraints/demand_checker.cpp" "src/CMakeFiles/klotski_constraints.dir/klotski/constraints/demand_checker.cpp.o" "gcc" "src/CMakeFiles/klotski_constraints.dir/klotski/constraints/demand_checker.cpp.o.d"
+  "/root/repo/src/klotski/constraints/port_checker.cpp" "src/CMakeFiles/klotski_constraints.dir/klotski/constraints/port_checker.cpp.o" "gcc" "src/CMakeFiles/klotski_constraints.dir/klotski/constraints/port_checker.cpp.o.d"
+  "/root/repo/src/klotski/constraints/space_power_checker.cpp" "src/CMakeFiles/klotski_constraints.dir/klotski/constraints/space_power_checker.cpp.o" "gcc" "src/CMakeFiles/klotski_constraints.dir/klotski/constraints/space_power_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/klotski_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

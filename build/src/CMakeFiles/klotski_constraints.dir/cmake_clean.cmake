@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klotski_constraints.dir/klotski/constraints/composite.cpp.o"
+  "CMakeFiles/klotski_constraints.dir/klotski/constraints/composite.cpp.o.d"
+  "CMakeFiles/klotski_constraints.dir/klotski/constraints/demand_checker.cpp.o"
+  "CMakeFiles/klotski_constraints.dir/klotski/constraints/demand_checker.cpp.o.d"
+  "CMakeFiles/klotski_constraints.dir/klotski/constraints/port_checker.cpp.o"
+  "CMakeFiles/klotski_constraints.dir/klotski/constraints/port_checker.cpp.o.d"
+  "CMakeFiles/klotski_constraints.dir/klotski/constraints/space_power_checker.cpp.o"
+  "CMakeFiles/klotski_constraints.dir/klotski/constraints/space_power_checker.cpp.o.d"
+  "libklotski_constraints.a"
+  "libklotski_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klotski_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/klotski/core/astar_planner.cpp" "src/CMakeFiles/klotski_core.dir/klotski/core/astar_planner.cpp.o" "gcc" "src/CMakeFiles/klotski_core.dir/klotski/core/astar_planner.cpp.o.d"
+  "/root/repo/src/klotski/core/compact_state.cpp" "src/CMakeFiles/klotski_core.dir/klotski/core/compact_state.cpp.o" "gcc" "src/CMakeFiles/klotski_core.dir/klotski/core/compact_state.cpp.o.d"
+  "/root/repo/src/klotski/core/cost_model.cpp" "src/CMakeFiles/klotski_core.dir/klotski/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/klotski_core.dir/klotski/core/cost_model.cpp.o.d"
+  "/root/repo/src/klotski/core/dp_planner.cpp" "src/CMakeFiles/klotski_core.dir/klotski/core/dp_planner.cpp.o" "gcc" "src/CMakeFiles/klotski_core.dir/klotski/core/dp_planner.cpp.o.d"
+  "/root/repo/src/klotski/core/plan.cpp" "src/CMakeFiles/klotski_core.dir/klotski/core/plan.cpp.o" "gcc" "src/CMakeFiles/klotski_core.dir/klotski/core/plan.cpp.o.d"
+  "/root/repo/src/klotski/core/sat_cache.cpp" "src/CMakeFiles/klotski_core.dir/klotski/core/sat_cache.cpp.o" "gcc" "src/CMakeFiles/klotski_core.dir/klotski/core/sat_cache.cpp.o.d"
+  "/root/repo/src/klotski/core/state_evaluator.cpp" "src/CMakeFiles/klotski_core.dir/klotski/core/state_evaluator.cpp.o" "gcc" "src/CMakeFiles/klotski_core.dir/klotski/core/state_evaluator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/klotski_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

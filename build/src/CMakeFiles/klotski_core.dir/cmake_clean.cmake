@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klotski_core.dir/klotski/core/astar_planner.cpp.o"
+  "CMakeFiles/klotski_core.dir/klotski/core/astar_planner.cpp.o.d"
+  "CMakeFiles/klotski_core.dir/klotski/core/compact_state.cpp.o"
+  "CMakeFiles/klotski_core.dir/klotski/core/compact_state.cpp.o.d"
+  "CMakeFiles/klotski_core.dir/klotski/core/cost_model.cpp.o"
+  "CMakeFiles/klotski_core.dir/klotski/core/cost_model.cpp.o.d"
+  "CMakeFiles/klotski_core.dir/klotski/core/dp_planner.cpp.o"
+  "CMakeFiles/klotski_core.dir/klotski/core/dp_planner.cpp.o.d"
+  "CMakeFiles/klotski_core.dir/klotski/core/plan.cpp.o"
+  "CMakeFiles/klotski_core.dir/klotski/core/plan.cpp.o.d"
+  "CMakeFiles/klotski_core.dir/klotski/core/sat_cache.cpp.o"
+  "CMakeFiles/klotski_core.dir/klotski/core/sat_cache.cpp.o.d"
+  "CMakeFiles/klotski_core.dir/klotski/core/state_evaluator.cpp.o"
+  "CMakeFiles/klotski_core.dir/klotski/core/state_evaluator.cpp.o.d"
+  "libklotski_core.a"
+  "libklotski_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klotski_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klotski_json.dir/klotski/json/json.cpp.o"
+  "CMakeFiles/klotski_json.dir/klotski/json/json.cpp.o.d"
+  "libklotski_json.a"
+  "libklotski_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klotski_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/klotski/migration/action.cpp" "src/CMakeFiles/klotski_migration.dir/klotski/migration/action.cpp.o" "gcc" "src/CMakeFiles/klotski_migration.dir/klotski/migration/action.cpp.o.d"
+  "/root/repo/src/klotski/migration/block.cpp" "src/CMakeFiles/klotski_migration.dir/klotski/migration/block.cpp.o" "gcc" "src/CMakeFiles/klotski_migration.dir/klotski/migration/block.cpp.o.d"
+  "/root/repo/src/klotski/migration/policy.cpp" "src/CMakeFiles/klotski_migration.dir/klotski/migration/policy.cpp.o" "gcc" "src/CMakeFiles/klotski_migration.dir/klotski/migration/policy.cpp.o.d"
+  "/root/repo/src/klotski/migration/symmetry.cpp" "src/CMakeFiles/klotski_migration.dir/klotski/migration/symmetry.cpp.o" "gcc" "src/CMakeFiles/klotski_migration.dir/klotski/migration/symmetry.cpp.o.d"
+  "/root/repo/src/klotski/migration/task.cpp" "src/CMakeFiles/klotski_migration.dir/klotski/migration/task.cpp.o" "gcc" "src/CMakeFiles/klotski_migration.dir/klotski/migration/task.cpp.o.d"
+  "/root/repo/src/klotski/migration/task_builder.cpp" "src/CMakeFiles/klotski_migration.dir/klotski/migration/task_builder.cpp.o" "gcc" "src/CMakeFiles/klotski_migration.dir/klotski/migration/task_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/klotski_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

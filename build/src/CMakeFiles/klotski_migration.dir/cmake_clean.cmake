@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klotski_migration.dir/klotski/migration/action.cpp.o"
+  "CMakeFiles/klotski_migration.dir/klotski/migration/action.cpp.o.d"
+  "CMakeFiles/klotski_migration.dir/klotski/migration/block.cpp.o"
+  "CMakeFiles/klotski_migration.dir/klotski/migration/block.cpp.o.d"
+  "CMakeFiles/klotski_migration.dir/klotski/migration/policy.cpp.o"
+  "CMakeFiles/klotski_migration.dir/klotski/migration/policy.cpp.o.d"
+  "CMakeFiles/klotski_migration.dir/klotski/migration/symmetry.cpp.o"
+  "CMakeFiles/klotski_migration.dir/klotski/migration/symmetry.cpp.o.d"
+  "CMakeFiles/klotski_migration.dir/klotski/migration/task.cpp.o"
+  "CMakeFiles/klotski_migration.dir/klotski/migration/task.cpp.o.d"
+  "CMakeFiles/klotski_migration.dir/klotski/migration/task_builder.cpp.o"
+  "CMakeFiles/klotski_migration.dir/klotski/migration/task_builder.cpp.o.d"
+  "libklotski_migration.a"
+  "libklotski_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klotski_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klotski_npd.dir/klotski/npd/npd.cpp.o"
+  "CMakeFiles/klotski_npd.dir/klotski/npd/npd.cpp.o.d"
+  "CMakeFiles/klotski_npd.dir/klotski/npd/npd_convert.cpp.o"
+  "CMakeFiles/klotski_npd.dir/klotski/npd/npd_convert.cpp.o.d"
+  "CMakeFiles/klotski_npd.dir/klotski/npd/npd_io.cpp.o"
+  "CMakeFiles/klotski_npd.dir/klotski/npd/npd_io.cpp.o.d"
+  "libklotski_npd.a"
+  "libklotski_npd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klotski_npd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

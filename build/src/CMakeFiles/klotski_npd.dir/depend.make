@@ -1,0 +1,2 @@
+# Empty dependencies file for klotski_npd.
+# This may be replaced when dependencies are built.

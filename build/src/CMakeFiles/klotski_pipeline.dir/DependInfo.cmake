@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/klotski/pipeline/audit.cpp" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/audit.cpp.o" "gcc" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/audit.cpp.o.d"
+  "/root/repo/src/klotski/pipeline/edp.cpp" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/edp.cpp.o" "gcc" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/edp.cpp.o.d"
+  "/root/repo/src/klotski/pipeline/experiments.cpp" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/experiments.cpp.o" "gcc" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/experiments.cpp.o.d"
+  "/root/repo/src/klotski/pipeline/plan_export.cpp" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/plan_export.cpp.o" "gcc" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/plan_export.cpp.o.d"
+  "/root/repo/src/klotski/pipeline/replan.cpp" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/replan.cpp.o" "gcc" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/replan.cpp.o.d"
+  "/root/repo/src/klotski/pipeline/risk.cpp" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/risk.cpp.o" "gcc" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/risk.cpp.o.d"
+  "/root/repo/src/klotski/pipeline/schedule.cpp" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/schedule.cpp.o" "gcc" "src/CMakeFiles/klotski_pipeline.dir/klotski/pipeline/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/klotski_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_npd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

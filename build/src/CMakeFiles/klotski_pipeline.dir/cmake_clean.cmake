@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/audit.cpp.o"
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/audit.cpp.o.d"
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/edp.cpp.o"
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/edp.cpp.o.d"
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/experiments.cpp.o"
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/experiments.cpp.o.d"
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/plan_export.cpp.o"
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/plan_export.cpp.o.d"
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/replan.cpp.o"
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/replan.cpp.o.d"
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/risk.cpp.o"
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/risk.cpp.o.d"
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/schedule.cpp.o"
+  "CMakeFiles/klotski_pipeline.dir/klotski/pipeline/schedule.cpp.o.d"
+  "libklotski_pipeline.a"
+  "libklotski_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klotski_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

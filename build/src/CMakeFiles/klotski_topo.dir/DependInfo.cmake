@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/klotski/topo/builder.cpp" "src/CMakeFiles/klotski_topo.dir/klotski/topo/builder.cpp.o" "gcc" "src/CMakeFiles/klotski_topo.dir/klotski/topo/builder.cpp.o.d"
+  "/root/repo/src/klotski/topo/diff.cpp" "src/CMakeFiles/klotski_topo.dir/klotski/topo/diff.cpp.o" "gcc" "src/CMakeFiles/klotski_topo.dir/klotski/topo/diff.cpp.o.d"
+  "/root/repo/src/klotski/topo/presets.cpp" "src/CMakeFiles/klotski_topo.dir/klotski/topo/presets.cpp.o" "gcc" "src/CMakeFiles/klotski_topo.dir/klotski/topo/presets.cpp.o.d"
+  "/root/repo/src/klotski/topo/topology.cpp" "src/CMakeFiles/klotski_topo.dir/klotski/topo/topology.cpp.o" "gcc" "src/CMakeFiles/klotski_topo.dir/klotski/topo/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/klotski_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

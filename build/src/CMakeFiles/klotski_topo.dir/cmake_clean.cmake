@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klotski_topo.dir/klotski/topo/builder.cpp.o"
+  "CMakeFiles/klotski_topo.dir/klotski/topo/builder.cpp.o.d"
+  "CMakeFiles/klotski_topo.dir/klotski/topo/diff.cpp.o"
+  "CMakeFiles/klotski_topo.dir/klotski/topo/diff.cpp.o.d"
+  "CMakeFiles/klotski_topo.dir/klotski/topo/presets.cpp.o"
+  "CMakeFiles/klotski_topo.dir/klotski/topo/presets.cpp.o.d"
+  "CMakeFiles/klotski_topo.dir/klotski/topo/topology.cpp.o"
+  "CMakeFiles/klotski_topo.dir/klotski/topo/topology.cpp.o.d"
+  "libklotski_topo.a"
+  "libklotski_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klotski_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/klotski/traffic/demand.cpp" "src/CMakeFiles/klotski_traffic.dir/klotski/traffic/demand.cpp.o" "gcc" "src/CMakeFiles/klotski_traffic.dir/klotski/traffic/demand.cpp.o.d"
+  "/root/repo/src/klotski/traffic/demand_io.cpp" "src/CMakeFiles/klotski_traffic.dir/klotski/traffic/demand_io.cpp.o" "gcc" "src/CMakeFiles/klotski_traffic.dir/klotski/traffic/demand_io.cpp.o.d"
+  "/root/repo/src/klotski/traffic/ecmp.cpp" "src/CMakeFiles/klotski_traffic.dir/klotski/traffic/ecmp.cpp.o" "gcc" "src/CMakeFiles/klotski_traffic.dir/klotski/traffic/ecmp.cpp.o.d"
+  "/root/repo/src/klotski/traffic/forecast.cpp" "src/CMakeFiles/klotski_traffic.dir/klotski/traffic/forecast.cpp.o" "gcc" "src/CMakeFiles/klotski_traffic.dir/klotski/traffic/forecast.cpp.o.d"
+  "/root/repo/src/klotski/traffic/generator.cpp" "src/CMakeFiles/klotski_traffic.dir/klotski/traffic/generator.cpp.o" "gcc" "src/CMakeFiles/klotski_traffic.dir/klotski/traffic/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/klotski_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/klotski_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klotski_traffic.dir/klotski/traffic/demand.cpp.o"
+  "CMakeFiles/klotski_traffic.dir/klotski/traffic/demand.cpp.o.d"
+  "CMakeFiles/klotski_traffic.dir/klotski/traffic/demand_io.cpp.o"
+  "CMakeFiles/klotski_traffic.dir/klotski/traffic/demand_io.cpp.o.d"
+  "CMakeFiles/klotski_traffic.dir/klotski/traffic/ecmp.cpp.o"
+  "CMakeFiles/klotski_traffic.dir/klotski/traffic/ecmp.cpp.o.d"
+  "CMakeFiles/klotski_traffic.dir/klotski/traffic/forecast.cpp.o"
+  "CMakeFiles/klotski_traffic.dir/klotski/traffic/forecast.cpp.o.d"
+  "CMakeFiles/klotski_traffic.dir/klotski/traffic/generator.cpp.o"
+  "CMakeFiles/klotski_traffic.dir/klotski/traffic/generator.cpp.o.d"
+  "libklotski_traffic.a"
+  "libklotski_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klotski_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

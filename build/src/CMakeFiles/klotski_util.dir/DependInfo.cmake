@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/klotski/util/file.cpp" "src/CMakeFiles/klotski_util.dir/klotski/util/file.cpp.o" "gcc" "src/CMakeFiles/klotski_util.dir/klotski/util/file.cpp.o.d"
+  "/root/repo/src/klotski/util/flags.cpp" "src/CMakeFiles/klotski_util.dir/klotski/util/flags.cpp.o" "gcc" "src/CMakeFiles/klotski_util.dir/klotski/util/flags.cpp.o.d"
+  "/root/repo/src/klotski/util/logging.cpp" "src/CMakeFiles/klotski_util.dir/klotski/util/logging.cpp.o" "gcc" "src/CMakeFiles/klotski_util.dir/klotski/util/logging.cpp.o.d"
+  "/root/repo/src/klotski/util/rng.cpp" "src/CMakeFiles/klotski_util.dir/klotski/util/rng.cpp.o" "gcc" "src/CMakeFiles/klotski_util.dir/klotski/util/rng.cpp.o.d"
+  "/root/repo/src/klotski/util/string_util.cpp" "src/CMakeFiles/klotski_util.dir/klotski/util/string_util.cpp.o" "gcc" "src/CMakeFiles/klotski_util.dir/klotski/util/string_util.cpp.o.d"
+  "/root/repo/src/klotski/util/table.cpp" "src/CMakeFiles/klotski_util.dir/klotski/util/table.cpp.o" "gcc" "src/CMakeFiles/klotski_util.dir/klotski/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

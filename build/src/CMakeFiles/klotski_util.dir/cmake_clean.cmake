@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klotski_util.dir/klotski/util/file.cpp.o"
+  "CMakeFiles/klotski_util.dir/klotski/util/file.cpp.o.d"
+  "CMakeFiles/klotski_util.dir/klotski/util/flags.cpp.o"
+  "CMakeFiles/klotski_util.dir/klotski/util/flags.cpp.o.d"
+  "CMakeFiles/klotski_util.dir/klotski/util/logging.cpp.o"
+  "CMakeFiles/klotski_util.dir/klotski/util/logging.cpp.o.d"
+  "CMakeFiles/klotski_util.dir/klotski/util/rng.cpp.o"
+  "CMakeFiles/klotski_util.dir/klotski/util/rng.cpp.o.d"
+  "CMakeFiles/klotski_util.dir/klotski/util/string_util.cpp.o"
+  "CMakeFiles/klotski_util.dir/klotski/util/string_util.cpp.o.d"
+  "CMakeFiles/klotski_util.dir/klotski/util/table.cpp.o"
+  "CMakeFiles/klotski_util.dir/klotski/util/table.cpp.o.d"
+  "libklotski_util.a"
+  "libklotski_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klotski_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/compact_state_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/compact_state_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/cost_model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/evaluator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/evaluator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/opex_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/opex_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/planner_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/planner_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sat_cache_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sat_cache_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npd.dir/npd/npd_files_test.cpp.o"
+  "CMakeFiles/test_npd.dir/npd/npd_files_test.cpp.o.d"
+  "CMakeFiles/test_npd.dir/npd/npd_test.cpp.o"
+  "CMakeFiles/test_npd.dir/npd/npd_test.cpp.o.d"
+  "test_npd"
+  "test_npd.pdb"
+  "test_npd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

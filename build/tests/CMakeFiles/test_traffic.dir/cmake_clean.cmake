@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic.dir/traffic/demand_io_test.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/demand_io_test.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/ecmp_test.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/ecmp_test.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/forecast_test.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/forecast_test.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/generator_test.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/generator_test.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/wcmp_test.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/wcmp_test.cpp.o.d"
+  "test_traffic"
+  "test_traffic.pdb"
+  "test_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klotski_audit.dir/klotski_audit.cpp.o"
+  "CMakeFiles/klotski_audit.dir/klotski_audit.cpp.o.d"
+  "klotski_audit"
+  "klotski_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klotski_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klotski_plan.dir/klotski_plan.cpp.o"
+  "CMakeFiles/klotski_plan.dir/klotski_plan.cpp.o.d"
+  "klotski_plan"
+  "klotski_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klotski_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

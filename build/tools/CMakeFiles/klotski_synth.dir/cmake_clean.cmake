@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klotski_synth.dir/klotski_synth.cpp.o"
+  "CMakeFiles/klotski_synth.dir/klotski_synth.cpp.o.d"
+  "klotski_synth"
+  "klotski_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klotski_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
