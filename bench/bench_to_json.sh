@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the micro_core google-benchmark suite and writes its results as JSON
+# (BENCH_core.json by default) for regression tracking.
+#
+# Usage: bench/bench_to_json.sh [build-dir] [output.json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_core.json}"
+BIN="${BUILD_DIR}/bench/micro_core"
+
+if [[ ! -x "${BIN}" ]]; then
+  echo "error: ${BIN} not built (cmake --build ${BUILD_DIR} --target micro_core)" >&2
+  exit 1
+fi
+
+"${BIN}" \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="${OUT}" \
+  --benchmark_out_format=json
+
+echo "wrote ${OUT}"

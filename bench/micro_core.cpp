@@ -44,6 +44,9 @@ void BM_FullSatisfiabilityCheck(benchmark::State& state) {
       pipeline::make_standard_checker(mig.task, {});
   mig.task.reset_to_original();
   for (auto _ : state) {
+    // Invalidate the version-keyed checker memos: this measures a full
+    // constraint evaluation, not the memo fast path.
+    mig.task.topo->bump_state_version();
     benchmark::DoNotOptimize(bundle.checker->check(*mig.task.topo));
   }
 }
@@ -55,12 +58,74 @@ void BM_EvaluatorFeasibleCacheMiss(benchmark::State& state) {
       pipeline::make_standard_checker(mig.task, {});
   core::StateEvaluator evaluator(mig.task, *bundle.checker,
                                  /*use_cache=*/false);
+  // This measures the cost of one cold evaluation (Theta(|S| + |C|)), so
+  // defeat the incremental fast path honestly: no delta materialization and
+  // a version bump per iteration to invalidate router and checker memos.
+  evaluator.set_incremental(false);
   core::CountVector counts(mig.task.blocks.size(), 0);
   for (auto _ : state) {
+    mig.task.topo->bump_state_version();
     benchmark::DoNotOptimize(evaluator.feasible(counts));
   }
 }
 BENCHMARK(BM_EvaluatorFeasibleCacheMiss);
+
+// The incremental fast path on the planner's most common pattern: asking
+// about a state the topology already holds. Delta materialization is a
+// no-op and the version-keyed checker memos answer directly.
+void BM_EvaluatorFeasibleIncrementalRepeat(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(mig.task, {});
+  core::StateEvaluator evaluator(mig.task, *bundle.checker,
+                                 /*use_cache=*/false);
+  core::CountVector counts(mig.task.blocks.size(), 0);
+  evaluator.feasible(counts);  // settle onto the state
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.feasible(counts));
+  }
+}
+BENCHMARK(BM_EvaluatorFeasibleIncrementalRepeat);
+
+// A four-state ring of neighboring count vectors (each step flips one
+// block), the second most common planner pattern. Exercises delta
+// materialization plus journal-driven router cache invalidation.
+void ring_walk_bench(benchmark::State& state, bool incremental) {
+  migration::MigrationCase& mig = shared_case();
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(mig.task, {});
+  core::StateEvaluator evaluator(mig.task, *bundle.checker,
+                                 /*use_cache=*/false);
+  evaluator.set_incremental(incremental);
+  std::vector<core::CountVector> ring;
+  core::CountVector base(mig.task.blocks.size(), 0);
+  ring.push_back(base);
+  base[0] = 1;
+  ring.push_back(base);
+  if (base.size() > 1) {
+    base[1] = 1;
+    ring.push_back(base);
+    base[0] = 0;
+    ring.push_back(base);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (!incremental) mig.task.topo->bump_state_version();
+    benchmark::DoNotOptimize(evaluator.feasible(ring[i]));
+    i = (i + 1) % ring.size();
+  }
+  mig.task.reset_to_original();
+}
+
+void BM_EvaluatorFeasibleIncrementalWalk(benchmark::State& state) {
+  ring_walk_bench(state, /*incremental=*/true);
+}
+BENCHMARK(BM_EvaluatorFeasibleIncrementalWalk);
+
+void BM_EvaluatorFeasibleFullReplayWalk(benchmark::State& state) {
+  ring_walk_bench(state, /*incremental=*/false);
+}
+BENCHMARK(BM_EvaluatorFeasibleFullReplayWalk);
 
 void BM_EvaluatorFeasibleCacheHit(benchmark::State& state) {
   migration::MigrationCase& mig = shared_case();
@@ -157,6 +222,9 @@ void BM_AssignAllDemands(benchmark::State& state) {
   traffic::EcmpRouter router(*mig.task.topo);
   traffic::LoadVector loads;
   for (auto _ : state) {
+    // Defeat the liveness-refresh version gate so every iteration pays the
+    // full unbound assignment cost (the pre-caching behavior).
+    mig.task.topo->bump_state_version();
     loads.assign(mig.task.topo->num_circuits() * 2, 0.0);
     benchmark::DoNotOptimize(router.assign_all(mig.task.demands, loads));
   }
@@ -165,5 +233,22 @@ void BM_AssignAllDemands(benchmark::State& state) {
       static_cast<long long>(mig.task.demands.size()));
 }
 BENCHMARK(BM_AssignAllDemands);
+
+void BM_AssignAllDemandsBound(benchmark::State& state) {
+  // Bound demand set on an unchanged topology: per-group caches hit and the
+  // call reduces to one vector accumulation.
+  migration::MigrationCase& mig = shared_case();
+  traffic::EcmpRouter router(*mig.task.topo);
+  router.bind_demands(mig.task.demands);
+  traffic::LoadVector loads;
+  for (auto _ : state) {
+    loads.assign(mig.task.topo->num_circuits() * 2, 0.0);
+    benchmark::DoNotOptimize(router.assign_all(mig.task.demands, loads));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<long long>(mig.task.demands.size()));
+}
+BENCHMARK(BM_AssignAllDemandsBound);
 
 }  // namespace

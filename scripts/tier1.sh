@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + full ctest suite, then the
+# threading tests again under ThreadSanitizer from a separate build tree
+# (KLOTSKI_SANITIZE=thread), so data races in the parallel evaluator fail
+# the gate even when the plain run happens to pass.
+#
+# Usage: scripts/tier1.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+(cd build && ctest --output-on-failure -j"${JOBS}")
+
+cmake -B build-tsan -S . -DKLOTSKI_SANITIZE=thread
+cmake --build build-tsan -j"${JOBS}" --target test_core
+# Run the binary directly: only test_core is built in the TSan tree, and
+# ctest would trip over the undiscovered sibling test targets.
+./build-tsan/tests/test_core \
+  --gtest_filter='ParallelEvaluator.*:PresetsAToC/ParallelPlannerDeterminism.*'
+
+echo "tier1: OK"

@@ -4,6 +4,15 @@
 // safe. Checkers are stateless with respect to the search (the same topology
 // always yields the same verdict), which is what makes the ordering-agnostic
 // satisfiability cache of §4.2 sound.
+//
+// Purity contract: a verdict is a function of the topology's element states
+// and the checker's own parameters only. Because every element-state change
+// bumps Topology::state_version(), checkers may memoize their last verdict
+// keyed on (topology identity, state version) and must invalidate that memo
+// whenever one of their own parameters changes. Out-of-band edits that a
+// verdict depends on but that do not flow through the versioned mutators
+// (e.g. rewriting a circuit's capacity or a switch's max_ports in place)
+// must be followed by Topology::bump_state_version().
 #pragma once
 
 #include <memory>

@@ -9,9 +9,26 @@ namespace klotski::constraints {
 DemandChecker::DemandChecker(traffic::EcmpRouter& router,
                              traffic::DemandSet demands,
                              DemandCheckerParams params)
-    : router_(router), demands_(std::move(demands)), params_(params) {}
+    : router_(router), demands_(std::move(demands)), params_(params) {
+  router_.bind_demands(demands_);
+}
 
 Verdict DemandChecker::check(const topo::Topology& topo) {
+  if (memo_valid_ && memo_topo_ == &topo &&
+      memo_version_ == topo.state_version()) {
+    last_max_utilization_ = memo_util_;
+    return memo_verdict_;
+  }
+  Verdict verdict = evaluate(topo);
+  memo_valid_ = true;
+  memo_topo_ = &topo;
+  memo_version_ = topo.state_version();
+  memo_verdict_ = verdict;
+  memo_util_ = last_max_utilization_;
+  return verdict;
+}
+
+Verdict DemandChecker::evaluate(const topo::Topology& topo) {
   loads_.assign(topo.num_circuits() * 2, 0.0);
   last_max_utilization_ = 0.0;
 
@@ -24,16 +41,15 @@ Verdict DemandChecker::check(const topo::Topology& topo) {
   // Funneling inflation: a circuit whose endpoint switch also terminates
   // drained or absent circuits absorbs the traffic its siblings shed during
   // the asynchronous drain transient.
-  std::vector<bool> funneled;
   if (params_.funneling_margin > 0.0) {
-    funneled.assign(topo.num_switches(), false);
+    funneled_.assign(topo.num_switches(), 0);
     for (const topo::Circuit& c : topo.circuits()) {
       if (c.state != topo::ElementState::kActive) {
-        if (c.a < static_cast<topo::SwitchId>(funneled.size())) {
-          funneled[static_cast<std::size_t>(c.a)] = true;
+        if (c.a < static_cast<topo::SwitchId>(funneled_.size())) {
+          funneled_[static_cast<std::size_t>(c.a)] = 1;
         }
-        if (c.b < static_cast<topo::SwitchId>(funneled.size())) {
-          funneled[static_cast<std::size_t>(c.b)] = true;
+        if (c.b < static_cast<topo::SwitchId>(funneled_.size())) {
+          funneled_[static_cast<std::size_t>(c.b)] = 1;
         }
       }
     }
@@ -45,8 +61,8 @@ Verdict DemandChecker::check(const topo::Topology& topo) {
     if (load <= 0.0) continue;
     double util = load / c.capacity_tbps;
     if (params_.funneling_margin > 0.0 &&
-        (funneled[static_cast<std::size_t>(c.a)] ||
-         funneled[static_cast<std::size_t>(c.b)])) {
+        (funneled_[static_cast<std::size_t>(c.a)] ||
+         funneled_[static_cast<std::size_t>(c.b)])) {
       util *= 1.0 + params_.funneling_margin;
     }
     last_max_utilization_ = std::max(last_max_utilization_, util);

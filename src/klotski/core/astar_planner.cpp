@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "klotski/core/cost_model.h"
+#include "klotski/core/parallel_evaluator.h"
 #include "klotski/core/state_evaluator.h"
 #include "klotski/util/timer.h"
 
@@ -94,6 +95,22 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
   // final-path flag can be set during reconstruction.
   std::vector<std::int32_t> trace_nodes;
 
+  // Speculative prefetch (options.num_threads > 1): when a node is pushed,
+  // its topology's feasibility will be wanted at its own expansion (the
+  // boundary check below), so batch-evaluate freshly pushed successors on
+  // worker clones and seed the satisfiability cache. Verdicts are pure
+  // functions of the state, so the plan and its cost are identical to the
+  // serial search; sat_checks/cache_hits bookkeeping differs (speculative
+  // states may never be expanded). Needs the cache to transport verdicts,
+  // hence disabled for the w/o-ESC ablation.
+  std::unique_ptr<ParallelEvaluator> parallel_eval;
+  if (options.num_threads > 1 && options.checker_factory &&
+      options.use_satisfiability_cache) {
+    parallel_eval = std::make_unique<ParallelEvaluator>(
+        evaluator, options.checker_factory, options.num_threads);
+  }
+  std::vector<CountVector> prefetch_batch;
+
   while (!open.empty()) {
     if (plan.stats.visited_states % 64 == 0 && deadline.expired()) {
       plan.failure = "timeout";
@@ -151,6 +168,7 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
     // duplicates of already-reached states and never need the check.
     bool boundary_known = false;
     bool boundary_ok = false;
+    if (parallel_eval != nullptr) prefetch_batch.clear();
 
     for (std::int32_t a = 0; a < num_types; ++a) {
       if (node.counts[a] >= target[a]) continue;
@@ -184,6 +202,13 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
       }
       open.push(QueueEntry{g + h, total_actions(nodes.back().counts), seq++,
                            index});
+      if (parallel_eval != nullptr) {
+        prefetch_batch.push_back(nodes.back().counts);
+      }
+    }
+
+    if (parallel_eval != nullptr && prefetch_batch.size() > 1) {
+      parallel_eval->evaluate_batch(prefetch_batch);
     }
 
     if (static_cast<long long>(nodes.size()) > options.max_states) {

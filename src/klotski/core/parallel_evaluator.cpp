@@ -1,0 +1,117 @@
+#include "klotski/core/parallel_evaluator.h"
+
+namespace klotski::core {
+
+ParallelEvaluator::ParallelEvaluator(StateEvaluator& shared,
+                                     const CheckerFactory& factory,
+                                     int num_threads)
+    : shared_(shared) {
+  if (num_threads <= 1 || !factory) return;
+  const migration::MigrationTask& source = shared_.task();
+  contexts_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    auto ctx = std::make_unique<WorkerContext>();
+    ctx->topo = std::make_unique<topo::Topology>(*source.topo);
+    ctx->task = std::make_unique<migration::MigrationTask>(source);
+    ctx->task->topo = ctx->topo.get();
+    ctx->checker = factory(*ctx->task);
+    // No private cache: verdicts flow back through the shared cache, and a
+    // per-worker cache would double-count hits relative to the serial run.
+    ctx->evaluator =
+        std::make_unique<StateEvaluator>(*ctx->task, *ctx->checker, false);
+    contexts_.push_back(std::move(ctx));
+  }
+  threads_.reserve(contexts_.size());
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ParallelEvaluator::~ParallelEvaluator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ParallelEvaluator::worker_loop(std::size_t widx) {
+  WorkerContext& ctx = *contexts_[widx];
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    ++active_;
+    lock.unlock();
+
+    for (;;) {
+      const std::size_t k = next_.fetch_add(1, std::memory_order_relaxed);
+      if (k >= njobs_) break;
+      job_results_[k] = ctx.evaluator->feasible(*pending_[k]) ? 1 : 0;
+    }
+
+    lock.lock();
+    if (--active_ == 0 && next_.load(std::memory_order_relaxed) >= njobs_) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+const std::vector<std::uint8_t>& ParallelEvaluator::evaluate_batch(
+    const std::vector<CountVector>& batch) {
+  results_.assign(batch.size(), 0);
+  pending_.clear();
+  pending_index_.clear();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (shared_.use_cache()) {
+      if (const auto cached = shared_.cache_lookup(batch[i])) {
+        results_[i] = *cached ? 1 : 0;
+        continue;
+      }
+    }
+    pending_.push_back(&batch[i]);
+    pending_index_.push_back(i);
+  }
+  if (pending_.empty()) return results_;
+
+  // Serial fallback: no workers, or a single job that a dispatch round-trip
+  // could only slow down. Runs on the shared evaluator, which does its own
+  // cache store and stat accounting — exactly the serial code path.
+  if (!parallel() || pending_.size() == 1) {
+    for (std::size_t k = 0; k < pending_.size(); ++k) {
+      results_[pending_index_[k]] = shared_.feasible(*pending_[k]) ? 1 : 0;
+    }
+    return results_;
+  }
+
+  job_results_.assign(pending_.size(), 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    njobs_ = pending_.size();
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return active_ == 0 &&
+             next_.load(std::memory_order_relaxed) >= njobs_;
+    });
+  }
+
+  // Merge on the calling thread: shared cache and stats are only ever
+  // touched here, so they need no synchronization.
+  for (std::size_t k = 0; k < pending_.size(); ++k) {
+    const bool ok = job_results_[k] != 0;
+    if (shared_.use_cache()) shared_.cache_store(*pending_[k], ok);
+    results_[pending_index_[k]] = ok ? 1 : 0;
+  }
+  shared_.absorb_external(static_cast<long long>(pending_.size()), 0);
+  return results_;
+}
+
+}  // namespace klotski::core

@@ -1,6 +1,8 @@
 // Planner interface shared by Klotski-A*, Klotski-DP and the baselines.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "klotski/constraints/composite.h"
@@ -8,6 +10,15 @@
 #include "klotski/migration/task.h"
 
 namespace klotski::core {
+
+/// Builds a fresh constraint stack bound to `task`. ParallelEvaluator calls
+/// this once per worker thread with a worker-private task whose topology is
+/// a private clone, so the returned composite (plus whatever it references —
+/// routers, demand sets) must be built on that task, never on shared state.
+/// The shared_ptr keeps any auxiliary objects alive (aliasing constructor;
+/// see pipeline::make_standard_checker_factory).
+using CheckerFactory = std::function<std::shared_ptr<constraints::CompositeChecker>(
+    migration::MigrationTask& task)>;
 
 struct PlannerOptions {
   /// Cost-function alpha (§5); 0 recovers Eq. 1.
@@ -33,6 +44,12 @@ struct PlannerOptions {
   /// Safety valve for the exhaustive planners: give up (found = false,
   /// failure = "state space too large") beyond this many compact states.
   long long max_states = 200'000'000;
+  /// Worker threads for batched feasibility evaluation (DP inner loop, A*
+  /// successor prefetch). 1 = serial, bit-identical to the pre-threading
+  /// planners. Values > 1 require checker_factory.
+  int num_threads = 1;
+  /// Worker constraint-stack builder; ignored when num_threads <= 1.
+  CheckerFactory checker_factory;
 };
 
 class Planner {

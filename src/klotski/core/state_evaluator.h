@@ -1,13 +1,20 @@
 // Materializes compact states onto the task topology and checks the safety
 // constraints, with the §4.2 satisfiability cache in front.
 //
-// Evaluating V = (v_i): restore the original element states, apply the
-// first v_i blocks of every type i, run the constraint checkers. The
-// restore+apply pass is O(|S| + |C| + touched elements), dominated by the
-// demand check itself, matching the per-state cost in Theorems 1-2.
+// Evaluating V = (v_i) from scratch costs O(|S| + |C| + applied ops): restore
+// the original element states, apply the first v_i blocks of every type i,
+// run the constraint checkers. That full replay is only the fallback. The
+// evaluator tracks the count vector it last materialized together with the
+// topology's state version; when both still match, it flips only the ops of
+// the blocks that differ between the current and requested vectors (delta
+// materialization). Overlap-free blocks use OperationBlock::apply/unapply
+// directly; elements shared between blocks are resolved from precomputed
+// per-element op lists so the result is bit-identical to a full replay in
+// canonical order, whatever the overlap pattern.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "klotski/constraints/composite.h"
 #include "klotski/core/sat_cache.h"
@@ -34,6 +41,26 @@ class StateEvaluator {
   /// Target compact state (all blocks of every type done).
   const CountVector& target() const { return target_; }
 
+  /// Disables the delta fast path (every materialization replays from the
+  /// original state). For ablations and the delta-vs-replay benchmarks.
+  void set_incremental(bool on) { incremental_ = on; }
+  bool incremental() const { return incremental_; }
+
+  /// Shared-cache plumbing for ParallelEvaluator: batch verdicts computed on
+  /// worker clones are merged back through these, keeping the stats
+  /// consistent with the serial accounting.
+  bool use_cache() const { return use_cache_; }
+  std::optional<bool> cache_lookup(const CountVector& counts) const {
+    return cache_.lookup(counts);
+  }
+  void cache_store(const CountVector& counts, bool ok) {
+    cache_.store(counts, ok);
+  }
+  void absorb_external(long long sat_checks, long long cache_hits) {
+    sat_checks_ += sat_checks;
+    cache_hits_ += cache_hits;
+  }
+
   long long sat_checks() const { return sat_checks_; }
   long long cache_hits() const { return cache_hits_; }
   const SatCache& cache() const { return cache_; }
@@ -41,13 +68,50 @@ class StateEvaluator {
   constraints::CompositeChecker& checker() { return checker_; }
 
  private:
+  /// One op touching an element, keyed by its position in the canonical
+  /// replay order (type ascending, block index ascending). An element's
+  /// materialized state is the `to` of the last applied op in this order,
+  /// or the original state when none is applied.
+  struct OpRef {
+    std::int32_t type;
+    std::int32_t block;
+    topo::ElementState to;
+  };
+
+  void validate_counts(const CountVector& counts) const;
+  void full_materialize(const CountVector& counts);
+  void delta_materialize(const CountVector& counts);
+  void resolve_switch(topo::SwitchId id, const CountVector& counts);
+  void resolve_circuit(topo::CircuitId id, const CountVector& counts);
+
   migration::MigrationTask& task_;
   constraints::CompositeChecker& checker_;
   bool use_cache_;
+  bool incremental_ = true;
   SatCache cache_;
   CountVector target_;
   long long sat_checks_ = 0;
   long long cache_hits_ = 0;
+
+  // Per-element op lists in canonical order (built once; empty for elements
+  // no block touches) and the per-block overlap-free flags.
+  std::vector<std::vector<OpRef>> switch_ops_;
+  std::vector<std::vector<OpRef>> circuit_ops_;
+  std::vector<std::vector<std::uint8_t>> overlap_free_;
+
+  // The materialized state the topology currently holds, valid only while
+  // the topology's version still matches (external mutations force a full
+  // replay on the next materialization).
+  CountVector current_;
+  bool current_valid_ = false;
+  std::uint64_t current_version_ = 0;
+
+  // Scratch for dirty-element dedup during delta transitions.
+  std::vector<std::uint32_t> switch_stamp_;
+  std::vector<std::uint32_t> circuit_stamp_;
+  std::uint32_t stamp_epoch_ = 0;
+  std::vector<topo::SwitchId> dirty_switches_;
+  std::vector<topo::CircuitId> dirty_circuits_;
 };
 
 }  // namespace klotski::core

@@ -8,9 +8,22 @@ namespace klotski::migration {
 void OperationBlock::apply(topo::Topology& topo) const {
   for (const ElementOp& op : ops) {
     if (op.kind == ElementOp::Kind::kSwitch) {
-      topo.sw(op.id).state = op.to;
+      topo.set_switch_state(op.id, op.to);
     } else {
-      topo.circuit(op.id).state = op.to;
+      topo.set_circuit_state(op.id, op.to);
+    }
+  }
+}
+
+void OperationBlock::unapply(topo::Topology& topo,
+                             const topo::TopologyState& original) const {
+  for (const ElementOp& op : ops) {
+    if (op.kind == ElementOp::Kind::kSwitch) {
+      topo.set_switch_state(
+          op.id, original.switch_states[static_cast<std::size_t>(op.id)]);
+    } else {
+      topo.set_circuit_state(
+          op.id, original.circuit_states[static_cast<std::size_t>(op.id)]);
     }
   }
 }

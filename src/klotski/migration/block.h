@@ -37,6 +37,14 @@ struct OperationBlock {
   /// assignments, so overlapping applications commute.
   void apply(topo::Topology& topo) const;
 
+  /// Inverse of apply(): restores every touched element to its state in
+  /// `original` (drain <-> undrain, add <-> remove). Exact only when no
+  /// *other currently applied* block touches the same elements — a reverted
+  /// shared circuit would lose the surviving block's assignment. The state
+  /// evaluator uses this fast inverse for overlap-free blocks and resolves
+  /// shared elements from the per-element op lists instead.
+  void unapply(topo::Topology& topo, const topo::TopologyState& original) const;
+
   int switch_count() const;
   int circuit_count() const;
 

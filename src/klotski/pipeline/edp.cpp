@@ -38,6 +38,17 @@ CheckerBundle make_standard_checker(migration::MigrationTask& task,
   return bundle;
 }
 
+core::CheckerFactory make_standard_checker_factory(const CheckerConfig& config) {
+  return [config](migration::MigrationTask& task) {
+    auto bundle =
+        std::make_shared<CheckerBundle>(make_standard_checker(task, config));
+    // Aliasing constructor: the returned pointer addresses the composite but
+    // owns the bundle, so the router outlives every checker that needs it.
+    return std::shared_ptr<constraints::CompositeChecker>(
+        bundle, bundle->checker.get());
+  };
+}
+
 EdpResult run_pipeline(const npd::NpdDocument& doc,
                        const EdpOptions& options) {
   EdpResult result;

@@ -49,6 +49,14 @@ struct CheckerConfig {
 CheckerBundle make_standard_checker(migration::MigrationTask& task,
                                     const CheckerConfig& config = {});
 
+/// Factory form of make_standard_checker for PlannerOptions::checker_factory:
+/// each call builds a fresh bundle on the given task (ParallelEvaluator
+/// passes a worker-private task + topology clone) and returns the composite
+/// as an aliasing shared_ptr that keeps the whole bundle — router included —
+/// alive.
+core::CheckerFactory make_standard_checker_factory(
+    const CheckerConfig& config = {});
+
 struct EdpOptions {
   std::string planner = "astar";
   core::PlannerOptions planner_options;

@@ -51,6 +51,16 @@ struct Circuit {
 /// Construction is append-only (ids are dense indexes); migrations only flip
 /// ElementStates, so a state snapshot (`TopologyState`) plus the immutable
 /// structure fully describes any intermediate topology.
+///
+/// State changes that go through set_switch_state() / set_circuit_state()
+/// (or TopologyState::restore) bump a monotonically increasing version
+/// counter and are recorded in a bounded change journal. Incremental
+/// consumers (the ECMP router's liveness bitmap, per-group load caches,
+/// checker memos) key their caches on the version and replay the journal
+/// instead of rescanning the whole graph. Writing `sw(id).state` directly
+/// bypasses the counter and is only safe before any such consumer exists
+/// (construction-time setup); call bump_state_version() after out-of-band
+/// edits (e.g. capacity or port-budget tweaks) to flush downstream caches.
 class Topology {
  public:
   /// Adds a switch; returns its id.
@@ -69,6 +79,34 @@ class Topology {
   Switch& sw(SwitchId id) { return switches_[id]; }
   const Circuit& circuit(CircuitId id) const { return circuits_[id]; }
   Circuit& circuit(CircuitId id) { return circuits_[id]; }
+
+  /// Versioned state mutators: no-ops when the state is unchanged, otherwise
+  /// bump state_version() and record the element in the change journal.
+  void set_switch_state(SwitchId id, ElementState state);
+  void set_circuit_state(CircuitId id, ElementState state);
+
+  /// Monotonically increasing counter of element-state changes. Two reads
+  /// returning the same value guarantee the element states are unchanged in
+  /// between (provided all writers use the versioned mutators).
+  std::uint64_t state_version() const { return state_version_; }
+
+  /// Forces a version bump with no journal entry (journal coverage restarts
+  /// here). Use after out-of-band mutations — direct `.state` writes,
+  /// capacity or port-budget edits — to invalidate version-keyed caches.
+  void bump_state_version();
+
+  /// One journal entry: a switch id (>= 0) or a bitwise-complemented circuit
+  /// id (< 0; decode with ~entry). Entries are in change order and may
+  /// repeat an element.
+  using StateChange = std::int32_t;
+  static SwitchId change_switch(StateChange e) { return e; }
+  static CircuitId change_circuit(StateChange e) { return ~e; }
+  static bool change_is_switch(StateChange e) { return e >= 0; }
+
+  /// Appends the journal entries for versions (since, state_version()] to
+  /// `out` and returns true, or returns false when `since` predates the
+  /// journal's coverage (caller must fall back to a full rescan).
+  bool changes_since(std::uint64_t since, std::vector<StateChange>& out) const;
 
   const std::vector<Switch>& switches() const { return switches_; }
   const std::vector<Circuit>& circuits() const { return circuits_; }
@@ -107,9 +145,19 @@ class Topology {
   std::string validate() const;
 
  private:
+  void journal_push(StateChange entry);
+
   std::vector<Switch> switches_;
   std::vector<Circuit> circuits_;
   std::vector<std::vector<CircuitId>> incident_;
+
+  // Change journal: a ring holding the entries for versions
+  // (journal_floor_, state_version_]. Bounded so long searches cannot grow
+  // it; consumers further behind than the floor rescan from scratch.
+  static constexpr std::size_t kJournalCapacity = 8192;
+  std::uint64_t state_version_ = 0;
+  std::uint64_t journal_floor_ = 0;
+  std::vector<StateChange> journal_;
 };
 
 /// A snapshot of all element states; restoring one onto the owning topology

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 namespace klotski::traffic {
 
 using topo::CircuitId;
 using topo::SwitchId;
+using topo::Topology;
 
 EcmpRouter::EcmpRouter(const topo::Topology& topo, SplitMode mode)
     : topo_(topo), mode_(mode), num_switches_(topo.num_switches()) {
@@ -31,15 +33,50 @@ EcmpRouter::EcmpRouter(const topo::Topology& topo, SplitMode mode)
   alive_.assign(topo.num_circuits(), 0);
 }
 
+void EcmpRouter::set_split_mode(SplitMode mode) {
+  if (mode == mode_) return;
+  mode_ = mode;
+  // Cached group loads were computed under the old split weights.
+  groups_ready_ = false;
+  for (DemandGroup& g : groups_) g.valid = false;
+}
+
 void EcmpRouter::refresh_alive() {
-  alive_.resize(topo_.num_circuits());
-  for (const topo::Circuit& c : topo_.circuits()) {
-    alive_[static_cast<std::size_t>(c.id)] =
-        c.state == topo::ElementState::kActive && topo_.sw(c.a).active() &&
-                topo_.sw(c.b).active()
-            ? 1
-            : 0;
+  const std::uint64_t v = topo_.state_version();
+  if (alive_valid_ && v == alive_version_ &&
+      alive_.size() == topo_.num_circuits()) {
+    return;
   }
+  const auto carries = [&](CircuitId c) -> std::uint8_t {
+    const topo::Circuit& cc = topo_.circuit(c);
+    return cc.state == topo::ElementState::kActive &&
+                   topo_.sw(cc.a).active() && topo_.sw(cc.b).active()
+               ? 1
+               : 0;
+  };
+  changes_scratch_.clear();
+  if (alive_valid_ && alive_.size() == topo_.num_circuits() &&
+      topo_.changes_since(alive_version_, changes_scratch_)) {
+    // Replay only the journaled changes: a circuit flip touches that
+    // circuit, a switch flip touches its incident circuits.
+    for (const Topology::StateChange e : changes_scratch_) {
+      if (Topology::change_is_switch(e)) {
+        for (const CircuitId c : topo_.incident(Topology::change_switch(e))) {
+          alive_[static_cast<std::size_t>(c)] = carries(c);
+        }
+      } else {
+        const CircuitId c = Topology::change_circuit(e);
+        alive_[static_cast<std::size_t>(c)] = carries(c);
+      }
+    }
+  } else {
+    alive_.resize(topo_.num_circuits());
+    for (const topo::Circuit& c : topo_.circuits()) {
+      alive_[static_cast<std::size_t>(c.id)] = carries(c.id);
+    }
+  }
+  alive_valid_ = true;
+  alive_version_ = v;
 }
 
 std::size_t EcmpRouter::bfs_from_targets(const Demand& demand) {
@@ -167,39 +204,225 @@ bool EcmpRouter::assign(const Demand& demand, LoadVector& loads) {
   return true;
 }
 
+namespace {
+
+// Hash grouping key: the demand's target-set vector, compared by value.
+struct TargetsHash {
+  std::size_t operator()(const std::vector<SwitchId>* key) const {
+    std::size_t h = 1469598103934665603ull;  // FNV-1a
+    for (const SwitchId s : *key) {
+      h ^= static_cast<std::size_t>(s);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+struct TargetsEq {
+  bool operator()(const std::vector<SwitchId>* a,
+                  const std::vector<SwitchId>* b) const {
+    return *a == *b;
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> EcmpRouter::group_by_targets(
+    const DemandSet& demands) {
+  std::vector<std::vector<std::uint32_t>> groups;
+  std::unordered_map<const std::vector<SwitchId>*, std::size_t, TargetsHash,
+                     TargetsEq>
+      index;
+  index.reserve(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const auto [it, inserted] =
+        index.try_emplace(&demands[i].targets, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(static_cast<std::uint32_t>(i));
+  }
+  return groups;
+}
+
+bool EcmpRouter::run_group(const DemandSet& demands,
+                           const std::vector<std::uint32_t>& indices,
+                           LoadVector& loads, std::string* failed_demand) {
+  // All demands of a group share one target set, hence one BFS. ECMP load
+  // is linear in injected volume over a fixed shortest-path DAG, so one
+  // merged propagation equals the sum of per-demand assignments.
+  const Demand& representative = demands[indices.front()];
+  if (bfs_from_targets(representative) == 0) {
+    if (failed_demand != nullptr) *failed_demand = representative.name;
+    return false;
+  }
+  std::fill(volume_.begin(), volume_.end(), 0.0);
+  group_ptrs_.clear();
+  for (const std::uint32_t i : indices) group_ptrs_.push_back(&demands[i]);
+  const Demand* failed = nullptr;
+  if (!inject_sources(group_ptrs_, &failed)) {
+    if (failed_demand != nullptr) *failed_demand = failed->name;
+    return false;
+  }
+  propagate(loads);
+  return true;
+}
+
+void EcmpRouter::bind_demands(const DemandSet& demands) {
+  bound_ = &demands;
+  bound_size_ = demands.size();
+  groups_.clear();
+  groups_ready_ = false;
+  auto grouping = group_by_targets(demands);
+  groups_.resize(grouping.size());
+  for (std::size_t gi = 0; gi < grouping.size(); ++gi) {
+    DemandGroup& g = groups_[gi];
+    g.demand_indices = std::move(grouping[gi]);
+    g.relevant.assign(num_switches_, 0);
+    for (const std::uint32_t i : g.demand_indices) {
+      for (const SwitchId s : demands[i].sources) {
+        g.relevant[static_cast<std::size_t>(s)] = 1;
+      }
+      for (const SwitchId t : demands[i].targets) {
+        g.relevant[static_cast<std::size_t>(t)] = 1;
+      }
+    }
+  }
+}
+
+void EcmpRouter::mark_dirty_groups(
+    const std::vector<topo::Topology::StateChange>& changes,
+    std::vector<std::uint8_t>& dirty) {
+  if (circuit_stamp_.size() < topo_.num_circuits()) {
+    circuit_stamp_.resize(topo_.num_circuits(), 0);
+  }
+  ++circuit_epoch_;
+  affected_scratch_.clear();
+  const auto touch = [&](CircuitId c) {
+    auto& stamp = circuit_stamp_[static_cast<std::size_t>(c)];
+    if (stamp != circuit_epoch_) {
+      stamp = circuit_epoch_;
+      affected_scratch_.push_back(c);
+    }
+  };
+  for (const Topology::StateChange e : changes) {
+    if (Topology::change_is_switch(e)) {
+      const SwitchId s = Topology::change_switch(e);
+      // A flipped switch dirties every group it sources or sinks (injection
+      // and target activation depend on its state) ...
+      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        if (!dirty[gi] && groups_[gi].relevant[static_cast<std::size_t>(s)]) {
+          dirty[gi] = 1;
+        }
+      }
+      // ... and its incident circuits' liveness may have flipped.
+      for (const CircuitId c : topo_.incident(s)) touch(c);
+    } else {
+      touch(Topology::change_circuit(e));
+    }
+  }
+
+  // A liveness flip of circuit (a, b) can change a group's DAG or distances
+  // only when, under the group's cached distances:
+  //  * circuit now alive: it could shorten paths or add a DAG edge unless
+  //    both endpoints were reached at equal distance (a same-level chord is
+  //    never on a shortest path) or both were unreached (an edge between two
+  //    unreached switches cannot connect either to a target);
+  //  * circuit now dead: it could only have mattered when it was a DAG edge
+  //    candidate, i.e. both endpoints reached at distances differing by 1.
+  // Conservative: a circuit journaled without a net liveness change may
+  // still mark a group dirty; never the other way around.
+  for (const CircuitId c : affected_scratch_) {
+    const topo::Circuit& cc = topo_.circuit(c);
+    const bool alive_now = alive_[static_cast<std::size_t>(c)] != 0;
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+      if (dirty[gi]) continue;
+      const DemandGroup& g = groups_[gi];
+      const std::int32_t da = g.dist[static_cast<std::size_t>(cc.a)];
+      const std::int32_t db = g.dist[static_cast<std::size_t>(cc.b)];
+      if (alive_now) {
+        const bool equal_reached = da != kUnreached && da == db;
+        const bool both_unreached = da == kUnreached && db == kUnreached;
+        if (!equal_reached && !both_unreached) dirty[gi] = 1;
+      } else {
+        if (da != kUnreached && db != kUnreached &&
+            (da - db == 1 || db - da == 1)) {
+          dirty[gi] = 1;
+        }
+      }
+    }
+  }
+}
+
+bool EcmpRouter::assign_bound(LoadVector& loads, std::string* failed_demand) {
+  const DemandSet& demands = *bound_;
+  refresh_alive();
+  const std::uint64_t v = topo_.state_version();
+
+  dirty_scratch_.assign(groups_.size(), 0);
+  bool any_dirty = false;
+  if (!groups_ready_) {
+    std::fill(dirty_scratch_.begin(), dirty_scratch_.end(), 1);
+    any_dirty = !groups_.empty();
+  } else if (v != groups_version_) {
+    changes_scratch_.clear();
+    if (topo_.changes_since(groups_version_, changes_scratch_)) {
+      mark_dirty_groups(changes_scratch_, dirty_scratch_);
+    } else {
+      // Journal no longer covers the gap (or structural change): rebuild.
+      std::fill(dirty_scratch_.begin(), dirty_scratch_.end(), 1);
+    }
+    for (const std::uint8_t d : dirty_scratch_) any_dirty |= d != 0;
+  }
+  // groups_ready_ && v == groups_version_: every cache is current.
+
+  if (any_dirty) {
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+      DemandGroup& g = groups_[gi];
+      if (!dirty_scratch_[gi]) {
+        ++group_reuses_;
+        continue;
+      }
+      ++group_recomputes_;
+      g.valid = false;
+      g.loads.assign(loads.size(), 0.0);
+      if (!run_group(demands, g.demand_indices, g.loads, failed_demand)) {
+        groups_ready_ = false;
+        return false;
+      }
+      g.dist = dist_;
+      g.valid = true;
+    }
+    total_loads_.assign(loads.size(), 0.0);
+    for (const DemandGroup& g : groups_) {
+      for (std::size_t i = 0; i < total_loads_.size(); ++i) {
+        total_loads_[i] += g.loads[i];
+      }
+    }
+    groups_ready_ = true;
+    groups_version_ = v;
+  } else if (!groups_ready_) {
+    // Empty bound set: nothing to compute, caches are trivially current.
+    total_loads_.assign(loads.size(), 0.0);
+    groups_ready_ = true;
+    groups_version_ = v;
+  } else {
+    group_reuses_ += static_cast<long long>(groups_.size());
+  }
+
+  for (std::size_t i = 0; i < loads.size(); ++i) loads[i] += total_loads_[i];
+  return true;
+}
+
 bool EcmpRouter::assign_all(const DemandSet& demands, LoadVector& loads,
                             std::string* failed_demand) {
   loads.resize(topo_.num_circuits() * 2, 0.0);
+  if (bound_ == &demands && demands.size() == bound_size_) {
+    return assign_bound(loads, failed_demand);
+  }
+
+  // Unbound one-shot path: group by target set (hash map, first-occurrence
+  // order) and evaluate each group once, without caching.
   refresh_alive();
-
-  // Group demands by target set: one BFS + one propagation per group.
-  // ECMP load is linear in injected volume over a fixed shortest-path DAG,
-  // so merged propagation equals the sum of per-demand assignments.
-  std::vector<bool> grouped(demands.size(), false);
-  std::vector<const Demand*> group;
-  for (std::size_t i = 0; i < demands.size(); ++i) {
-    if (grouped[i]) continue;
-    group.clear();
-    group.push_back(&demands[i]);
-    grouped[i] = true;
-    for (std::size_t j = i + 1; j < demands.size(); ++j) {
-      if (!grouped[j] && demands[j].targets == demands[i].targets) {
-        group.push_back(&demands[j]);
-        grouped[j] = true;
-      }
-    }
-
-    if (bfs_from_targets(demands[i]) == 0) {
-      if (failed_demand != nullptr) *failed_demand = demands[i].name;
-      return false;
-    }
-    std::fill(volume_.begin(), volume_.end(), 0.0);
-    const Demand* failed = nullptr;
-    if (!inject_sources(group, &failed)) {
-      if (failed_demand != nullptr) *failed_demand = failed->name;
-      return false;
-    }
-    propagate(loads);
+  for (const auto& indices : group_by_targets(demands)) {
+    if (!run_group(demands, indices, loads, failed_demand)) return false;
   }
   return true;
 }

@@ -11,7 +11,12 @@
 // property behind the HGRID V1/V2 outage described in §7.1.
 //
 // One assignment is Theta(|S| + |C|), matching the satisfiability-check
-// cost in Theorems 1 and 2.
+// cost in Theorems 1 and 2. The planner hot path amortizes that cost across
+// nearby topology states: the liveness bitmap refreshes only when the
+// topology's state version moved (replaying the change journal when it
+// covers the gap), and a bound demand set keeps per-group shortest-path
+// distances and load contributions, recomputing only the groups a change
+// can actually affect.
 #pragma once
 
 #include <cstdint>
@@ -49,7 +54,7 @@ class EcmpRouter {
                       SplitMode mode = SplitMode::kEqualSplit);
 
   SplitMode split_mode() const { return mode_; }
-  void set_split_mode(SplitMode mode) { mode_ = mode; }
+  void set_split_mode(SplitMode mode);
 
   /// Adds this demand's circuit loads into `loads` (resized if needed).
   /// Returns false — without touching `loads` beyond possible resizing —
@@ -58,14 +63,24 @@ class EcmpRouter {
   bool assign(const Demand& demand, LoadVector& loads);
 
   /// Assigns a whole demand set, sharing work across demands: the liveness
-  /// bitmap is refreshed once, and demands with identical target sets share
-  /// one BFS and one load propagation (ECMP is linear in the injected
-  /// volume for a fixed DAG, so merged propagation is exact). Returns false
-  /// on the first unroutable demand, reporting its name via
+  /// bitmap is refreshed only when the topology changed, and demands with
+  /// identical target sets share one BFS and one load propagation (ECMP is
+  /// linear in the injected volume for a fixed DAG, so merged propagation
+  /// is exact). When `demands` is the currently bound set (bind_demands),
+  /// per-group results are cached across calls and only the groups affected
+  /// by the topology changes since the last call are recomputed. Returns
+  /// false on the first unroutable demand, reporting its name via
   /// `failed_demand` when non-null. This is the satisfiability-check hot
   /// path at O(10,000)-switch scale.
   bool assign_all(const DemandSet& demands, LoadVector& loads,
                   std::string* failed_demand = nullptr);
+
+  /// Declares `demands` the router's resident demand set: target-set groups
+  /// are built once here (not O(n^2) per check) and assign_all on the same
+  /// object gets the incremental per-group cache. The caller owns the set
+  /// and must rebind after mutating it (DemandChecker does this on
+  /// set_demands). Binding another set drops the previous binding.
+  void bind_demands(const DemandSet& demands);
 
   /// True iff every active source can reach an active target (connectivity
   /// part of Eq. 4, without computing loads).
@@ -73,7 +88,21 @@ class EcmpRouter {
 
   std::size_t num_switches() const { return num_switches_; }
 
+  /// Group recomputations saved by the incremental cache (diagnostics).
+  long long group_recomputes() const { return group_recomputes_; }
+  long long group_reuses() const { return group_reuses_; }
+
  private:
+  /// One target-set group of the bound demand set, with its cached BFS
+  /// distances and load contribution (valid while `valid`).
+  struct DemandGroup {
+    std::vector<std::uint32_t> demand_indices;  // into the bound set
+    std::vector<std::uint8_t> relevant;  // switch id -> source/target member
+    bool valid = false;
+    std::vector<std::int32_t> dist;
+    LoadVector loads;
+  };
+
   /// Runs the BFS from the demand's targets; fills dist_ and visit_order_.
   /// Returns number of visited switches (0 if no active target).
   std::size_t bfs_from_targets(const Demand& demand);
@@ -87,6 +116,23 @@ class EcmpRouter {
   /// Propagates volume_ down the current shortest-path DAG into `loads`.
   void propagate(LoadVector& loads);
 
+  /// Groups demand indices by identical target sets, first-occurrence order.
+  static std::vector<std::vector<std::uint32_t>> group_by_targets(
+      const DemandSet& demands);
+
+  /// BFS + inject + propagate for one group of the given demand set.
+  bool run_group(const DemandSet& demands,
+                 const std::vector<std::uint32_t>& indices, LoadVector& loads,
+                 std::string* failed_demand);
+
+  /// The incremental path for the bound set.
+  bool assign_bound(LoadVector& loads, std::string* failed_demand);
+
+  /// Marks groups whose cached DAG or injection a journaled change could
+  /// affect. `changes` are topology journal entries since groups_version_.
+  void mark_dirty_groups(const std::vector<topo::Topology::StateChange>& changes,
+                         std::vector<std::uint8_t>& dirty);
+
   const topo::Topology& topo_;
   SplitMode mode_ = SplitMode::kEqualSplit;
   std::size_t num_switches_ = 0;
@@ -99,9 +145,9 @@ class EcmpRouter {
   std::vector<std::uint32_t> offsets_;
   std::vector<Arc> arcs_;
 
-  /// Rebuilds the per-circuit liveness bitmap from the current element
-  /// states. Called at the start of every assignment: one sequential pass
-  /// instead of three scattered reads per arc per demand.
+  /// Brings the per-circuit liveness bitmap up to the topology's current
+  /// state version: a no-op when unchanged, a journal replay when the gap
+  /// is covered, one sequential pass otherwise.
   void refresh_alive();
 
   // Scratch reused across assignments (single-threaded use).
@@ -111,6 +157,24 @@ class EcmpRouter {
   std::vector<double> volume_;               // per-switch pending volume
   std::vector<std::uint8_t> alive_;          // circuit carries traffic now
   std::vector<std::uint32_t> next_hops_;     // per-switch DAG arc scratch
+  bool alive_valid_ = false;
+  std::uint64_t alive_version_ = 0;
+  std::vector<topo::Topology::StateChange> changes_scratch_;
+  std::vector<std::uint32_t> circuit_stamp_;  // affected-circuit dedup
+  std::uint32_t circuit_epoch_ = 0;
+  std::vector<topo::CircuitId> affected_scratch_;
+  std::vector<std::uint8_t> dirty_scratch_;   // per-group dirty flags
+  std::vector<const Demand*> group_ptrs_;     // inject_sources scratch
+
+  // Bound demand set and its incremental per-group caches.
+  const DemandSet* bound_ = nullptr;
+  std::size_t bound_size_ = 0;
+  std::vector<DemandGroup> groups_;
+  bool groups_ready_ = false;
+  std::uint64_t groups_version_ = 0;
+  LoadVector total_loads_;  // sum over group loads at groups_version_
+  long long group_recomputes_ = 0;
+  long long group_reuses_ = 0;
 };
 
 /// Maximum utilization over circuits given directional loads; utilization of

@@ -1,0 +1,157 @@
+// ParallelEvaluator correctness: batch verdicts must match serial
+// evaluation, and planners running with num_threads = 4 must return plans
+// identical to the serial search (DP additionally keeps identical stats,
+// since its batches contain exactly the states the lazy path evaluates).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_helpers.h"
+#include "klotski/core/parallel_evaluator.h"
+#include "klotski/core/state_evaluator.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/util/rng.h"
+
+namespace klotski::core {
+namespace {
+
+migration::MigrationCase preset_case(topo::PresetId id) {
+  return migration::build_hgrid_migration(
+      topo::preset_params(id, topo::PresetScale::kReduced), {});
+}
+
+TEST(ParallelEvaluator, BatchVerdictsMatchSerial) {
+  migration::MigrationCase parallel_case = preset_case(topo::PresetId::kA);
+  migration::MigrationCase serial_case = preset_case(topo::PresetId::kA);
+  pipeline::CheckerConfig config;
+
+  pipeline::CheckerBundle parallel_bundle =
+      pipeline::make_standard_checker(parallel_case.task, config);
+  StateEvaluator shared(parallel_case.task, *parallel_bundle.checker, true);
+  ParallelEvaluator pe(shared, pipeline::make_standard_checker_factory(config),
+                       4);
+  ASSERT_TRUE(pe.parallel());
+
+  pipeline::CheckerBundle serial_bundle =
+      pipeline::make_standard_checker(serial_case.task, config);
+  StateEvaluator serial(serial_case.task, *serial_bundle.checker, false);
+
+  // Distinct random states across several batches (repeats across batches
+  // exercise the shared-cache filter).
+  util::Rng rng(5);
+  const CountVector& target = shared.target();
+  for (int round = 0; round < 6; ++round) {
+    std::vector<CountVector> batch;
+    for (int i = 0; i < 9; ++i) {
+      CountVector v(target.size());
+      for (std::size_t t = 0; t < v.size(); ++t) {
+        v[t] = static_cast<std::int32_t>(rng.uniform_int(0, target[t]));
+      }
+      if (std::find(batch.begin(), batch.end(), v) == batch.end()) {
+        batch.push_back(std::move(v));
+      }
+    }
+    const auto& verdicts = pe.evaluate_batch(batch);
+    ASSERT_EQ(verdicts.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(verdicts[i] != 0, serial.feasible(batch[i]))
+          << "round " << round << " entry " << i;
+    }
+  }
+  // Each distinct state was evaluated once and stored; repeats across
+  // batches were served from the shared cache without stat movement.
+  EXPECT_EQ(static_cast<long long>(shared.cache().size()),
+            shared.sat_checks());
+  EXPECT_LE(shared.sat_checks(), serial.sat_checks());
+}
+
+struct PresetParam {
+  topo::PresetId id;
+  const char* name;
+};
+
+class ParallelPlannerDeterminism
+    : public ::testing::TestWithParam<PresetParam> {};
+
+TEST_P(ParallelPlannerDeterminism, DpPlanAndStatsAreBitIdentical) {
+  migration::MigrationCase serial_case = preset_case(GetParam().id);
+  migration::MigrationCase parallel_case = preset_case(GetParam().id);
+  pipeline::CheckerConfig config;
+
+  PlannerOptions serial_options;
+  serial_options.deadline_seconds = 300.0;
+  PlannerOptions parallel_options = serial_options;
+  parallel_options.num_threads = 4;
+  parallel_options.checker_factory =
+      pipeline::make_standard_checker_factory(config);
+
+  pipeline::CheckerBundle serial_bundle =
+      pipeline::make_standard_checker(serial_case.task, config);
+  const Plan serial = pipeline::make_planner("dp")->plan(
+      serial_case.task, *serial_bundle.checker, serial_options);
+
+  pipeline::CheckerBundle parallel_bundle =
+      pipeline::make_standard_checker(parallel_case.task, config);
+  const Plan parallel = pipeline::make_planner("dp")->plan(
+      parallel_case.task, *parallel_bundle.checker, parallel_options);
+
+  ASSERT_EQ(serial.found, parallel.found) << parallel.failure;
+  EXPECT_EQ(serial.cost, parallel.cost);
+  ASSERT_EQ(serial.actions.size(), parallel.actions.size());
+  for (std::size_t i = 0; i < serial.actions.size(); ++i) {
+    EXPECT_EQ(serial.actions[i].type, parallel.actions[i].type);
+    EXPECT_EQ(serial.actions[i].block_index, parallel.actions[i].block_index);
+  }
+  // The DP batch contains exactly the states the serial lazy path would
+  // have evaluated, so even the bookkeeping is identical.
+  EXPECT_EQ(serial.stats.sat_checks, parallel.stats.sat_checks);
+  EXPECT_EQ(serial.stats.cache_hits, parallel.stats.cache_hits);
+  EXPECT_EQ(serial.stats.visited_states, parallel.stats.visited_states);
+  EXPECT_EQ(serial.stats.generated_states, parallel.stats.generated_states);
+}
+
+TEST_P(ParallelPlannerDeterminism, AStarPlanIsIdentical) {
+  migration::MigrationCase serial_case = preset_case(GetParam().id);
+  migration::MigrationCase parallel_case = preset_case(GetParam().id);
+  pipeline::CheckerConfig config;
+
+  PlannerOptions serial_options;
+  serial_options.deadline_seconds = 300.0;
+  PlannerOptions parallel_options = serial_options;
+  parallel_options.num_threads = 4;
+  parallel_options.checker_factory =
+      pipeline::make_standard_checker_factory(config);
+
+  pipeline::CheckerBundle serial_bundle =
+      pipeline::make_standard_checker(serial_case.task, config);
+  const Plan serial = pipeline::make_planner("astar")->plan(
+      serial_case.task, *serial_bundle.checker, serial_options);
+
+  pipeline::CheckerBundle parallel_bundle =
+      pipeline::make_standard_checker(parallel_case.task, config);
+  const Plan parallel = pipeline::make_planner("astar")->plan(
+      parallel_case.task, *parallel_bundle.checker, parallel_options);
+
+  ASSERT_EQ(serial.found, parallel.found) << parallel.failure;
+  EXPECT_EQ(serial.cost, parallel.cost);
+  ASSERT_EQ(serial.actions.size(), parallel.actions.size());
+  for (std::size_t i = 0; i < serial.actions.size(); ++i) {
+    EXPECT_EQ(serial.actions[i].type, parallel.actions[i].type);
+    EXPECT_EQ(serial.actions[i].block_index, parallel.actions[i].block_index);
+  }
+  // A* prefetch is speculative, so sat-check counts may differ — but the
+  // search order, and therefore the number of expansions, must not.
+  EXPECT_EQ(serial.stats.visited_states, parallel.stats.visited_states);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsAToC, ParallelPlannerDeterminism,
+    ::testing::Values(PresetParam{topo::PresetId::kA, "A"},
+                      PresetParam{topo::PresetId::kB, "B"},
+                      PresetParam{topo::PresetId::kC, "C"}),
+    [](const ::testing::TestParamInfo<PresetParam>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace klotski::core

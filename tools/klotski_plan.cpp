@@ -12,6 +12,8 @@
 //   --routing      ecmp | wcmp                           (default ecmp)
 //   --funneling    funneling margin >= 0                 (default 0)
 //   --deadline     planner budget in seconds, 0 = none   (default 0)
+//   --threads      worker threads for frontier evaluation (default 1;
+//                  plans are identical at any value)
 //   --demands      demand-matrix JSON replacing the generated forecast
 //                  (the §7.1 refresh workflow)
 //   --dump-demands write the effective demand matrix to this path
@@ -82,6 +84,16 @@ int main(int argc, char** argv) {
     core::PlannerOptions planner_options;
     planner_options.alpha = flags.get_double("alpha", 0.0);
     planner_options.deadline_seconds = flags.get_double("deadline", 0.0);
+    planner_options.num_threads =
+        static_cast<int>(flags.get_int("threads", 1));
+    if (planner_options.num_threads < 1) {
+      std::cerr << "klotski_plan: --threads must be >= 1\n";
+      return 2;
+    }
+    if (planner_options.num_threads > 1) {
+      planner_options.checker_factory =
+          pipeline::make_standard_checker_factory(checker_config);
+    }
 
     pipeline::CheckerBundle bundle =
         pipeline::make_standard_checker(task, checker_config);
