@@ -15,10 +15,40 @@ cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 
 cmake -B build-tsan -S . -DKLOTSKI_SANITIZE=thread
-cmake --build build-tsan -j"${JOBS}" --target test_core
-# Run the binary directly: only test_core is built in the TSan tree, and
-# ctest would trip over the undiscovered sibling test targets.
+cmake --build build-tsan -j"${JOBS}" --target test_core test_obs
+# Run the binaries directly: only these targets are built in the TSan tree,
+# and ctest would trip over the undiscovered sibling test targets.
 ./build-tsan/tests/test_core \
   --gtest_filter='ParallelEvaluator.*:PresetsAToC/ParallelPlannerDeterminism.*'
+./build-tsan/tests/test_obs
+
+# Observability smoke: plan a small preset with --metrics-out/--trace-out at
+# --threads=1 and --threads=4, check both artifacts re-parse with the
+# in-tree JSON parser, that sat_cache_hits + sat_cache_misses ==
+# evaluations, and that the evaluator counters are thread-invariant (the DP
+# planner batches exactly the states the serial run evaluates).
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "${OBS_TMP}"' EXIT
+./build/tools/klotski_synth --preset=A --scale=reduced \
+  --out="${OBS_TMP}/a.npd.json"
+for threads in 1 4; do
+  ./build/tools/klotski_plan --npd="${OBS_TMP}/a.npd.json" --planner=dp \
+    --threads="${threads}" \
+    --metrics-out="${OBS_TMP}/metrics-t${threads}.json" \
+    --trace-out="${OBS_TMP}/trace-t${threads}.json" \
+    --out="${OBS_TMP}/plan-t${threads}.json"
+  ./build/tools/klotski_metrics_check \
+    --metrics="${OBS_TMP}/metrics-t${threads}.json" \
+    --trace="${OBS_TMP}/trace-t${threads}.json"
+done
+./build/tools/klotski_metrics_check \
+  --metrics="${OBS_TMP}/metrics-t1.json" \
+  --expect-same="${OBS_TMP}/metrics-t4.json"
+# A numeric flag with trailing garbage must be a loud usage error (exit 2).
+if ./build/tools/klotski_plan --npd="${OBS_TMP}/a.npd.json" --threads=abc \
+    > /dev/null 2>&1; then
+  echo "tier1: FAIL — --threads=abc was not rejected" >&2
+  exit 1
+fi
 
 echo "tier1: OK"

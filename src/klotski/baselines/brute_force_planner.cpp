@@ -33,7 +33,11 @@ Plan BruteForcePlanner::plan(migration::MigrationTask& task,
     task.reset_to_original();
     p.stats.sat_checks = evaluator.sat_checks();
     p.stats.cache_hits = evaluator.cache_hits();
+    p.stats.evaluations = evaluator.evaluations();
+    p.stats.delta_applies = evaluator.delta_applies();
+    p.stats.full_replays = evaluator.full_replays();
     p.stats.wall_seconds = stopwatch.elapsed_seconds();
+    core::publish_planner_metrics(name(), p.stats);
     return std::move(p);
   };
 

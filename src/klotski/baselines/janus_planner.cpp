@@ -43,7 +43,11 @@ Plan JanusPlanner::plan(migration::MigrationTask& task,
     task.reset_to_original();
     p.stats.sat_checks = evaluator.sat_checks();
     p.stats.cache_hits = 0;
+    p.stats.evaluations = evaluator.evaluations();
+    p.stats.delta_applies = evaluator.delta_applies();
+    p.stats.full_replays = evaluator.full_replays();
     p.stats.wall_seconds = stopwatch.elapsed_seconds();
+    core::publish_planner_metrics(name(), p.stats);
     return std::move(p);
   };
 

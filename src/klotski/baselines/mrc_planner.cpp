@@ -48,6 +48,7 @@ Plan MrcPlanner::plan(migration::MigrationTask& task,
   auto finish = [&](Plan&& p) {
     task.reset_to_original();
     p.stats.wall_seconds = stopwatch.elapsed_seconds();
+    core::publish_planner_metrics(name(), p.stats);
     return std::move(p);
   };
 

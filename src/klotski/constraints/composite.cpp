@@ -1,5 +1,7 @@
 #include "klotski/constraints/composite.h"
 
+#include "klotski/obs/metrics.h"
+
 namespace klotski::constraints {
 
 void CompositeChecker::add(CheckerPtr checker) {
@@ -8,6 +10,9 @@ void CompositeChecker::add(CheckerPtr checker) {
 
 Verdict CompositeChecker::check(const topo::Topology& topo) {
   ++checks_performed_;
+  static obs::Counter& checks =
+      obs::Registry::global().counter("checker.composite.checks");
+  checks.inc();
   for (const CheckerPtr& checker : checkers_) {
     Verdict verdict = checker->check(topo);
     if (!verdict.satisfied) return verdict;

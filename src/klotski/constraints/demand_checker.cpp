@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "klotski/obs/metrics.h"
 #include "klotski/util/string_util.h"
 
 namespace klotski::constraints {
@@ -16,6 +17,9 @@ DemandChecker::DemandChecker(traffic::EcmpRouter& router,
 Verdict DemandChecker::check(const topo::Topology& topo) {
   if (memo_valid_ && memo_topo_ == &topo &&
       memo_version_ == topo.state_version()) {
+    static obs::Counter& memo_hits =
+        obs::Registry::global().counter("checker.demand.memo_hits");
+    memo_hits.inc();
     last_max_utilization_ = memo_util_;
     return memo_verdict_;
   }

@@ -1,10 +1,15 @@
 #include "klotski/constraints/port_checker.h"
 
+#include "klotski/obs/metrics.h"
+
 namespace klotski::constraints {
 
 Verdict PortChecker::check(const topo::Topology& topo) {
   if (memo_valid_ && memo_topo_ == &topo &&
       memo_version_ == topo.state_version()) {
+    static obs::Counter& memo_hits =
+        obs::Registry::global().counter("checker.port.memo_hits");
+    memo_hits.inc();
     return memo_verdict_;
   }
   Verdict verdict = evaluate(topo);

@@ -8,6 +8,7 @@
 #include "klotski/core/cost_model.h"
 #include "klotski/core/parallel_evaluator.h"
 #include "klotski/core/state_evaluator.h"
+#include "klotski/obs/trace.h"
 #include "klotski/util/timer.h"
 
 namespace klotski::core {
@@ -42,6 +43,7 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
                         constraints::CompositeChecker& checker,
                         const PlannerOptions& options) {
   util::Stopwatch stopwatch;
+  obs::Span span("plan/astar");
   const util::Deadline deadline =
       options.deadline_seconds > 0.0
           ? util::Deadline::after_seconds(options.deadline_seconds)
@@ -59,7 +61,11 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
     task.reset_to_original();
     p.stats.sat_checks = evaluator.sat_checks();
     p.stats.cache_hits = evaluator.cache_hits();
+    p.stats.evaluations = evaluator.evaluations();
+    p.stats.delta_applies = evaluator.delta_applies();
+    p.stats.full_replays = evaluator.full_replays();
     p.stats.wall_seconds = stopwatch.elapsed_seconds();
+    publish_planner_metrics(name(), p.stats);
     return std::move(p);
   };
 
@@ -117,6 +123,9 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
       return finish(std::move(plan));
     }
 
+    if (static_cast<long long>(open.size()) > plan.stats.frontier_peak) {
+      plan.stats.frontier_peak = static_cast<long long>(open.size());
+    }
     const QueueEntry entry = open.top();
     open.pop();
     const Node node = nodes[static_cast<std::size_t>(entry.node)];

@@ -7,6 +7,7 @@
 #include "klotski/core/cost_model.h"
 #include "klotski/core/parallel_evaluator.h"
 #include "klotski/core/state_evaluator.h"
+#include "klotski/obs/trace.h"
 #include "klotski/util/timer.h"
 
 namespace klotski::core {
@@ -19,6 +20,7 @@ Plan DpPlanner::plan(migration::MigrationTask& task,
                      constraints::CompositeChecker& checker,
                      const PlannerOptions& options) {
   util::Stopwatch stopwatch;
+  obs::Span span("plan/dp");
   const util::Deadline deadline =
       options.deadline_seconds > 0.0
           ? util::Deadline::after_seconds(options.deadline_seconds)
@@ -36,7 +38,11 @@ Plan DpPlanner::plan(migration::MigrationTask& task,
     task.reset_to_original();
     p.stats.sat_checks = evaluator.sat_checks();
     p.stats.cache_hits = evaluator.cache_hits();
+    p.stats.evaluations = evaluator.evaluations();
+    p.stats.delta_applies = evaluator.delta_applies();
+    p.stats.full_replays = evaluator.full_replays();
     p.stats.wall_seconds = stopwatch.elapsed_seconds();
+    publish_planner_metrics(name(), p.stats);
     return std::move(p);
   };
 

@@ -1,8 +1,27 @@
 #include "klotski/core/plan.h"
 
 #include "klotski/core/cost_model.h"
+#include "klotski/obs/metrics.h"
 
 namespace klotski::core {
+
+void publish_planner_metrics(const std::string& planner,
+                             const PlannerStats& stats) {
+  if (!obs::metrics_enabled()) return;
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("planner.runs").inc();
+  reg.counter("planner." + planner + ".runs").inc();
+  reg.counter("planner.states_expanded").inc(stats.visited_states);
+  reg.counter("planner.states_generated").inc(stats.generated_states);
+  reg.gauge("planner.frontier_peak")
+      .set_max(static_cast<double>(stats.frontier_peak));
+  reg.counter("evaluator.evaluations").inc(stats.evaluations);
+  reg.counter("evaluator.sat_cache_hits").inc(stats.cache_hits);
+  reg.counter("evaluator.sat_cache_misses").inc(stats.sat_checks);
+  reg.counter("evaluator.delta_applies").inc(stats.delta_applies);
+  reg.counter("evaluator.full_replays").inc(stats.full_replays);
+  reg.histogram("planner.wall_seconds").observe(stats.wall_seconds);
+}
 
 std::vector<Phase> Plan::phases() const {
   std::vector<Phase> out;

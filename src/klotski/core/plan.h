@@ -31,8 +31,21 @@ struct PlannerStats {
   long long generated_states = 0;  // successor candidates examined
   long long sat_checks = 0;        // actual constraint evaluations
   long long cache_hits = 0;        // §4.2 cache hits
+  long long evaluations = 0;       // feasibility queries (= hits + checks)
+  long long delta_applies = 0;     // materializations via the delta path
+  long long full_replays = 0;      // materializations replayed from scratch
+  long long frontier_peak = 0;     // A* open-list high-water (0 for DP)
   double wall_seconds = 0.0;
 };
+
+/// Publishes one run's stats into the global obs registry (no-op while
+/// metrics are disabled): planner.* and evaluator.* counters, the
+/// planner.frontier_peak gauge, and a planner.wall_seconds histogram
+/// sample. Called from every planner's finish path so counter totals are
+/// invariant under PlannerOptions::num_threads (the evaluation counts are
+/// logical — what the serial search does — not per-worker physical work).
+void publish_planner_metrics(const std::string& planner,
+                             const PlannerStats& stats);
 
 /// One A* expansion, recorded when PlannerOptions::record_trace is set —
 /// the Figure 6 search-process view: which state was popped, its priority

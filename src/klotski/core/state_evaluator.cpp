@@ -161,8 +161,10 @@ void StateEvaluator::materialize(const CountVector& counts) {
                         task_.topo->state_version() == current_version_;
   if (delta_ok) {
     delta_materialize(counts);
+    ++delta_applies_;
   } else {
     full_materialize(counts);
+    ++full_replays_;
   }
   current_ = counts;
   current_valid_ = true;
@@ -170,6 +172,7 @@ void StateEvaluator::materialize(const CountVector& counts) {
 }
 
 bool StateEvaluator::feasible(const CountVector& counts) {
+  ++evaluations_;
   if (use_cache_) {
     if (const auto cached = cache_.lookup(counts)) {
       ++cache_hits_;
@@ -181,6 +184,25 @@ bool StateEvaluator::feasible(const CountVector& counts) {
   const bool ok = checker_.check(*task_.topo).satisfied;
   if (use_cache_) cache_.store(counts, ok);
   return ok;
+}
+
+void StateEvaluator::absorb_external(long long sat_checks,
+                                     long long cache_hits) {
+  sat_checks_ += sat_checks;
+  cache_hits_ += cache_hits;
+  evaluations_ += sat_checks + cache_hits;
+  // Logical delta/full attribution: serial execution of these evaluations
+  // would have materialized each one, the first from scratch only when this
+  // evaluator has no valid resident state (planners always check the origin
+  // serially first, so in practice all absorbed evaluations count as delta).
+  long long delta = sat_checks;
+  const bool delta_ok = incremental_ && current_valid_ &&
+                        task_.topo->state_version() == current_version_;
+  if (!delta_ok && sat_checks > 0) {
+    ++full_replays_;
+    --delta;
+  }
+  delta_applies_ += delta;
 }
 
 }  // namespace klotski::core

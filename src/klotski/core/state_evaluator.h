@@ -56,13 +56,20 @@ class StateEvaluator {
   void cache_store(const CountVector& counts, bool ok) {
     cache_.store(counts, ok);
   }
-  void absorb_external(long long sat_checks, long long cache_hits) {
-    sat_checks_ += sat_checks;
-    cache_hits_ += cache_hits;
-  }
+  /// Merges verdict counts computed on worker clones into this evaluator's
+  /// accounting. The delta/full split is *logical*: it mirrors what this
+  /// evaluator's own materialize() would have decided for each of the
+  /// `sat_checks` evaluations had they run serially, so the counters stay
+  /// identical across PlannerOptions::num_threads even though each worker
+  /// clone physically pays its own warm-up replay.
+  void absorb_external(long long sat_checks, long long cache_hits);
 
   long long sat_checks() const { return sat_checks_; }
   long long cache_hits() const { return cache_hits_; }
+  /// Total feasibility queries; always sat_checks() + cache_hits().
+  long long evaluations() const { return evaluations_; }
+  long long delta_applies() const { return delta_applies_; }
+  long long full_replays() const { return full_replays_; }
   const SatCache& cache() const { return cache_; }
   migration::MigrationTask& task() { return task_; }
   constraints::CompositeChecker& checker() { return checker_; }
@@ -92,6 +99,9 @@ class StateEvaluator {
   CountVector target_;
   long long sat_checks_ = 0;
   long long cache_hits_ = 0;
+  long long evaluations_ = 0;
+  long long delta_applies_ = 0;
+  long long full_replays_ = 0;
 
   // Per-element op lists in canonical order (built once; empty for elements
   // no block touches) and the per-block overlap-free flags.

@@ -1,5 +1,6 @@
 #include "klotski/json/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -317,7 +318,25 @@ class Parser {
           case 'n': out.push_back('\n'); break;
           case 'r': out.push_back('\r'); break;
           case 't': out.push_back('\t'); break;
-          case 'u': append_utf8(parse_hex4(), out); break;
+          case 'u': {
+            unsigned cp = parse_hex4();
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must be followed by \uDC00..\uDFFF; the
+              // pair encodes one astral code point (RFC 8259 §7).
+              if (advance() != '\\' || advance() != 'u') {
+                fail("high surrogate not followed by \\u escape");
+              }
+              const unsigned lo = parse_hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                fail("high surrogate not followed by low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              fail("lone low surrogate in \\u escape");
+            }
+            append_utf8(cp, out);
+            break;
+          }
           default: fail("invalid escape sequence");
         }
       } else if (static_cast<unsigned char>(c) < 0x20) {
@@ -352,8 +371,13 @@ class Parser {
     } else if (cp < 0x800) {
       out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
       out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-    } else {
+    } else if (cp < 0x10000) {
       out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
       out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
       out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
     }
@@ -378,18 +402,18 @@ class Parser {
     if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
       fail("invalid number");
     }
-    const std::string token(text_.substr(start, pos_ - start));
+    // std::from_chars is locale-independent; strtod/strtoll honor
+    // LC_NUMERIC and would mis-parse "1.5" under a comma-decimal locale.
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
     if (!is_double) {
-      errno = 0;
-      char* end = nullptr;
-      const long long v = std::strtoll(token.c_str(), &end, 10);
-      if (errno == 0 && end == token.c_str() + token.size()) {
-        return Value(static_cast<std::int64_t>(v));
-      }
+      std::int64_t v = 0;
+      const auto [ptr, ec] = std::from_chars(first, last, v);
+      if (ec == std::errc() && ptr == last) return Value(v);
     }
-    char* end = nullptr;
-    const double d = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail("invalid number");
+    double d = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc() || ptr != last) fail("invalid number");
     return Value(d);
   }
 
@@ -397,9 +421,21 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
+namespace {
+
+/// Appends "\uXXXX" for `unit` (a UTF-16 code unit) to `out`.
+void append_u16_escape(unsigned unit, std::string& out) {
+  char buffer[8];
+  std::snprintf(buffer, sizeof(buffer), "\\u%04x", unit);
+  out += buffer;
+}
+
+}  // namespace
+
 void dump_string(const std::string& s, std::string& out) {
   out.push_back('"');
-  for (const char c : s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
@@ -408,15 +444,34 @@ void dump_string(const std::string& s, std::string& out) {
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buffer;
-        } else {
-          out.push_back(c);
+      default: {
+        const unsigned char uc = static_cast<unsigned char>(c);
+        if (uc < 0x20) {
+          append_u16_escape(uc, out);
+          break;
         }
+        // Astral code points (4-byte UTF-8) are escaped as a UTF-16
+        // surrogate pair, which keeps the serialized form ASCII-safe and
+        // parses back to the identical 4-byte sequence. BMP sequences
+        // pass through verbatim.
+        if (uc >= 0xF0 && uc <= 0xF4 && i + 3 < s.size()) {
+          const unsigned char b1 = static_cast<unsigned char>(s[i + 1]);
+          const unsigned char b2 = static_cast<unsigned char>(s[i + 2]);
+          const unsigned char b3 = static_cast<unsigned char>(s[i + 3]);
+          if ((b1 & 0xC0) == 0x80 && (b2 & 0xC0) == 0x80 &&
+              (b3 & 0xC0) == 0x80) {
+            const unsigned cp = ((uc & 0x07u) << 18) | ((b1 & 0x3Fu) << 12) |
+                                ((b2 & 0x3Fu) << 6) | (b3 & 0x3Fu);
+            if (cp >= 0x10000 && cp <= 0x10FFFF) {
+              append_u16_escape(0xD800 + ((cp - 0x10000) >> 10), out);
+              append_u16_escape(0xDC00 + ((cp - 0x10000) & 0x3FF), out);
+              i += 3;
+              break;
+            }
+          }
+        }
+        out.push_back(c);
+      }
     }
   }
   out.push_back('"');
@@ -441,9 +496,12 @@ void dump_value(const Value& v, int indent, int depth, std::string& out) {
       out += std::to_string(v.as_int());
       break;
     case Value::Type::kDouble: {
+      // Shortest round-trip form, locale-independent ("." regardless of
+      // LC_NUMERIC, unlike %.17g).
       char buffer[32];
-      std::snprintf(buffer, sizeof(buffer), "%.17g", v.as_double());
-      out += buffer;
+      const auto [ptr, ec] =
+          std::to_chars(buffer, buffer + sizeof(buffer), v.as_double());
+      out.append(buffer, static_cast<std::size_t>(ptr - buffer));
       break;
     }
     case Value::Type::kString:

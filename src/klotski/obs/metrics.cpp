@@ -1,0 +1,178 @@
+#include "klotski/obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "klotski/util/table.h"
+
+namespace klotski::obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{false};
+
+void atomic_add(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Shortest decimal form that still reads well in a table.
+std::string format_double(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+double Histogram::bucket_bound(int i) {
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return 1e-6 * std::pow(4.0, i);
+}
+
+void Histogram::observe(double v) {
+  if (!metrics_enabled()) return;
+  int bucket = 0;
+  while (bucket < kNumBuckets - 1 && v > bucket_bound(bucket)) ++bucket;
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  const long long n = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  // First observation seeds min/max; CAS races resolve to the true extremes.
+  if (n == 0) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // intentionally leaked
+  return *instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+json::Value Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Object root;
+  root["schema"] = json::Value(std::string("klotski.metrics.v1"));
+
+  json::Object counters;
+  for (const auto& [name, c] : counters_) {
+    counters[name] = json::Value(static_cast<std::int64_t>(c->value()));
+  }
+  root["counters"] = json::Value(std::move(counters));
+
+  json::Object gauges;
+  for (const auto& [name, g] : gauges_) gauges[name] = json::Value(g->value());
+  root["gauges"] = json::Value(std::move(gauges));
+
+  json::Object histograms;
+  for (const auto& [name, h] : histograms_) {
+    json::Object entry;
+    entry["count"] = json::Value(static_cast<std::int64_t>(h->count()));
+    entry["sum"] = json::Value(h->sum());
+    entry["min"] = json::Value(h->min());
+    entry["max"] = json::Value(h->max());
+    json::Array buckets;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      json::Object bucket;
+      const double bound = Histogram::bucket_bound(i);
+      // +inf is not representable in JSON; the overflow bucket uses null.
+      bucket["le"] = std::isinf(bound) ? json::Value(nullptr)
+                                       : json::Value(bound);
+      bucket["count"] =
+          json::Value(static_cast<std::int64_t>(h->bucket_count(i)));
+      buckets.push_back(json::Value(std::move(bucket)));
+    }
+    entry["buckets"] = json::Value(std::move(buckets));
+    histograms[name] = json::Value(std::move(entry));
+  }
+  root["histograms"] = json::Value(std::move(histograms));
+  return json::Value(std::move(root));
+}
+
+std::string Registry::render_table(const std::string& title) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Table table({"metric", "value"});
+  table.set_title(title);
+  for (const auto& [name, c] : counters_) {
+    if (c->value() == 0) continue;
+    table.add_row({name, std::to_string(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (g->value() == 0.0) continue;
+    table.add_row({name, format_double(g->value())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (h->count() == 0) continue;
+    table.add_row({name, std::to_string(h->count()) + " obs, sum " +
+                             format_double(h->sum()) + ", max " +
+                             format_double(h->max())});
+  }
+  std::ostringstream os;
+  table.print(os);
+  return os.str();
+}
+
+}  // namespace klotski::obs

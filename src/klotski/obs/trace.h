@@ -1,0 +1,74 @@
+// Scoped nested trace spans with wall-clock timing, exportable in Chrome
+// trace_event format (chrome://tracing, Perfetto, speedscope all read it).
+//
+// Usage: `obs::Span span("plan/astar");` — the span measures from
+// construction to destruction and records one complete ("ph":"X") event.
+// Spans nest lexically; the per-thread nesting depth is recorded in each
+// event's args so tests (and humans) can check span structure without
+// reconstructing it from timestamps.
+//
+// Like metrics, tracing is off by default: a disabled Span construction is
+// one relaxed atomic load. Recording takes a mutex once per span end — spans
+// belong on operational boundaries (a planner run, a pipeline stage, a
+// replan round), not in per-state inner loops.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "klotski/json/json.h"
+
+namespace klotski::obs {
+
+/// Process-global tracing switch; Span no-ops while false.
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+class Tracer {
+ public:
+  struct Event {
+    std::string name;
+    std::int64_t ts_us = 0;   // start, microseconds since process start
+    std::int64_t dur_us = 0;  // wall-clock duration
+    std::uint32_t tid = 0;    // dense per-process thread number
+    std::int32_t depth = 0;   // nesting depth on that thread (0 = outermost)
+  };
+
+  static Tracer& global();
+
+  void record(Event event);
+  void clear();
+  std::size_t size() const;
+  std::vector<Event> events() const;
+
+  /// {"displayTimeUnit": "ms", "traceEvents": [{name, ph: "X", ts, dur,
+  ///  pid, tid, args: {depth}}, ...]} — the Chrome trace_event JSON shape.
+  json::Value to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// RAII span; records into Tracer::global() when tracing is enabled at
+/// construction time.
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::int32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace klotski::obs

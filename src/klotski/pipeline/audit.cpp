@@ -2,11 +2,16 @@
 
 #include <unordered_set>
 
+#include "klotski/obs/metrics.h"
+#include "klotski/obs/trace.h"
+
 namespace klotski::pipeline {
 
 AuditReport audit_plan(migration::MigrationTask& task,
                        constraints::CompositeChecker& checker,
                        const core::Plan& plan, bool check_every_action) {
+  obs::Span audit_span("audit/audit_plan");
+  obs::Registry::global().counter("audit.runs").inc();
   AuditReport report;
   if (!plan.found) {
     report.add_issue("plan not found: " + plan.failure);
@@ -103,6 +108,10 @@ AuditReport audit_plan(migration::MigrationTask& task,
     report.add_issue("plan does not reach the target topology");
   }
   task.reset_to_original();
+  obs::Registry::global().counter("audit.phases_checked")
+      .inc(report.phases_checked);
+  obs::Registry::global().counter("audit.issues")
+      .inc(static_cast<long long>(report.issues.size()));
   return report;
 }
 

@@ -9,6 +9,8 @@
 #include "klotski/core/astar_planner.h"
 #include "klotski/core/dp_planner.h"
 #include "klotski/core/state_evaluator.h"
+#include "klotski/obs/metrics.h"
+#include "klotski/obs/trace.h"
 
 namespace klotski::pipeline {
 
@@ -51,8 +53,14 @@ core::CheckerFactory make_standard_checker_factory(const CheckerConfig& config) 
 
 EdpResult run_pipeline(const npd::NpdDocument& doc,
                        const EdpOptions& options) {
+  obs::Span pipeline_span("edp/run_pipeline");
+  obs::Registry::global().counter("edp.runs").inc();
+
   EdpResult result;
-  result.migration = npd::build_case(doc);
+  {
+    obs::Span span("edp/build_case");
+    result.migration = npd::build_case(doc);
+  }
   migration::MigrationTask& task = result.migration.task;
   if (options.demand_override.has_value()) {
     task.demands = *options.demand_override;
@@ -60,11 +68,16 @@ EdpResult run_pipeline(const npd::NpdDocument& doc,
 
   CheckerBundle bundle = make_standard_checker(task, options.checker);
   std::unique_ptr<core::Planner> planner = make_planner(options.planner);
-  result.plan = planner->plan(task, *bundle.checker, options.planner_options);
+  {
+    obs::Span span("edp/plan");
+    result.plan =
+        planner->plan(task, *bundle.checker, options.planner_options);
+  }
 
   if (result.plan.found) {
     // Materialize the topology after each phase: the ordered list of
     // topology phases EDP-Lite returns to the deployment tooling.
+    obs::Span span("edp/phase_states");
     core::StateEvaluator evaluator(task, *bundle.checker, false);
     core::CountVector done(task.blocks.size(), 0);
     result.phase_states.push_back(task.original_state);

@@ -31,6 +31,10 @@ json::Value plan_to_json(const migration::MigrationTask& task,
       plan.stats.generated_states);
   stats["sat_checks"] = static_cast<std::int64_t>(plan.stats.sat_checks);
   stats["cache_hits"] = static_cast<std::int64_t>(plan.stats.cache_hits);
+  stats["evaluations"] = static_cast<std::int64_t>(plan.stats.evaluations);
+  stats["delta_applies"] = static_cast<std::int64_t>(plan.stats.delta_applies);
+  stats["full_replays"] = static_cast<std::int64_t>(plan.stats.full_replays);
+  stats["frontier_peak"] = static_cast<std::int64_t>(plan.stats.frontier_peak);
   stats["wall_seconds"] = plan.stats.wall_seconds;
   root["stats"] = Value(std::move(stats));
 

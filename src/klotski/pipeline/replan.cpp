@@ -4,6 +4,8 @@
 
 #include "klotski/core/cost_model.h"
 #include "klotski/core/state_evaluator.h"
+#include "klotski/obs/metrics.h"
+#include "klotski/obs/trace.h"
 
 namespace klotski::pipeline {
 
@@ -70,6 +72,7 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
                                      core::Planner& planner,
                                      traffic::Forecaster& forecaster,
                                      const ReplanOptions& options) {
+  obs::Span replan_span("replan/execute");
   ReplanResult result;
   const core::CostModel cost(options.planner_options.alpha,
                              options.planner_options.type_weights);
@@ -101,9 +104,13 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
     }
 
     CheckerBundle bundle = make_standard_checker(rest, options.checker);
-    core::Plan plan =
-        planner.plan(rest, *bundle.checker, options.planner_options);
+    core::Plan plan;
+    {
+      obs::Span span("replan/plan_round");
+      plan = planner.plan(rest, *bundle.checker, options.planner_options);
+    }
     ++planning_runs;
+    obs::Registry::global().counter("replan.planning_runs").inc();
     last_plan_step = step;
     if (!plan.found) {
       result.failure = "planning failed at step " + std::to_string(step) +
@@ -125,6 +132,7 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
                                      result.phases_executed);
       if (failing != pending_failures.end()) {
         pending_failures.erase(failing);
+        obs::Registry::global().counter("replan.injected_failures").inc();
         result.log.push_back("phase " +
                              std::to_string(result.phases_executed) +
                              " failed during operation; re-planning");
@@ -143,6 +151,7 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
       done[static_cast<std::size_t>(phase.type)] +=
           static_cast<std::int32_t>(phase.block_indices.size());
       ++result.phases_executed;
+      obs::Registry::global().counter("replan.phases_executed").inc();
       ++step;
 
       if (done == target) break;
@@ -152,6 +161,7 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
       const std::vector<std::size_t> now_active =
           active_maintenance(options.maintenance, step);
       if (now_active != active) {
+        obs::Registry::global().counter("replan.maintenance_changes").inc();
         result.log.push_back(
             "maintenance calendar changed at step " + std::to_string(step) +
             "; re-planning");
@@ -180,6 +190,7 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
 
   result.completed = true;
   result.replans = planning_runs - 1;
+  obs::Registry::global().counter("replan.replans").inc(result.replans);
   task.reset_to_original();
   return result;
 }

@@ -11,7 +11,18 @@ using topo::SwitchId;
 using topo::Topology;
 
 EcmpRouter::EcmpRouter(const topo::Topology& topo, SplitMode mode)
-    : topo_(topo), mode_(mode), num_switches_(topo.num_switches()) {
+    : topo_(topo),
+      mode_(mode),
+      num_switches_(topo.num_switches()),
+      m_alive_journal_replays_(
+          obs::Registry::global().counter("router.alive_journal_replays")),
+      m_alive_full_rebuilds_(
+          obs::Registry::global().counter("router.alive_full_rebuilds")),
+      m_group_recomputes_(
+          obs::Registry::global().counter("router.group_recomputes")),
+      m_group_reuses_(obs::Registry::global().counter("router.group_reuses")),
+      m_group_invalidations_(
+          obs::Registry::global().counter("router.group_invalidations")) {
   offsets_.assign(num_switches_ + 1, 0);
   for (const topo::Circuit& c : topo.circuits()) {
     ++offsets_[static_cast<std::size_t>(c.a) + 1];
@@ -57,6 +68,7 @@ void EcmpRouter::refresh_alive() {
   changes_scratch_.clear();
   if (alive_valid_ && alive_.size() == topo_.num_circuits() &&
       topo_.changes_since(alive_version_, changes_scratch_)) {
+    m_alive_journal_replays_.inc();
     // Replay only the journaled changes: a circuit flip touches that
     // circuit, a switch flip touches its incident circuits.
     for (const Topology::StateChange e : changes_scratch_) {
@@ -70,6 +82,7 @@ void EcmpRouter::refresh_alive() {
       }
     }
   } else {
+    m_alive_full_rebuilds_.inc();
     alive_.resize(topo_.num_circuits());
     for (const topo::Circuit& c : topo_.circuits()) {
       alive_[static_cast<std::size_t>(c.id)] = carries(c.id);
@@ -369,7 +382,12 @@ bool EcmpRouter::assign_bound(LoadVector& loads, std::string* failed_demand) {
       // Journal no longer covers the gap (or structural change): rebuild.
       std::fill(dirty_scratch_.begin(), dirty_scratch_.end(), 1);
     }
-    for (const std::uint8_t d : dirty_scratch_) any_dirty |= d != 0;
+    long long invalidated = 0;
+    for (const std::uint8_t d : dirty_scratch_) {
+      any_dirty |= d != 0;
+      invalidated += d != 0 ? 1 : 0;
+    }
+    m_group_invalidations_.inc(invalidated);
   }
   // groups_ready_ && v == groups_version_: every cache is current.
 
@@ -378,9 +396,11 @@ bool EcmpRouter::assign_bound(LoadVector& loads, std::string* failed_demand) {
       DemandGroup& g = groups_[gi];
       if (!dirty_scratch_[gi]) {
         ++group_reuses_;
+        m_group_reuses_.inc();
         continue;
       }
       ++group_recomputes_;
+      m_group_recomputes_.inc();
       g.valid = false;
       g.loads.assign(loads.size(), 0.0);
       if (!run_group(demands, g.demand_indices, g.loads, failed_demand)) {
@@ -405,6 +425,7 @@ bool EcmpRouter::assign_bound(LoadVector& loads, std::string* failed_demand) {
     groups_version_ = v;
   } else {
     group_reuses_ += static_cast<long long>(groups_.size());
+    m_group_reuses_.inc(static_cast<long long>(groups_.size()));
   }
 
   for (std::size_t i = 0; i < loads.size(); ++i) loads[i] += total_loads_[i];

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "klotski/obs/metrics.h"
 #include "klotski/topo/topology.h"
 #include "klotski/traffic/demand.h"
 
@@ -175,6 +176,16 @@ class EcmpRouter {
   LoadVector total_loads_;  // sum over group loads at groups_version_
   long long group_recomputes_ = 0;
   long long group_reuses_ = 0;
+
+  // Global observability counters (metrics.h; no-ops while disabled). These
+  // aggregate *physical* work over every router instance, worker clones
+  // included — unlike the planner's logical counters they are not invariant
+  // under num_threads.
+  obs::Counter& m_alive_journal_replays_;
+  obs::Counter& m_alive_full_rebuilds_;
+  obs::Counter& m_group_recomputes_;
+  obs::Counter& m_group_reuses_;
+  obs::Counter& m_group_invalidations_;
 };
 
 /// Maximum utilization over circuits given directional loads; utilization of

@@ -1,6 +1,8 @@
 #include "klotski/util/flags.h"
 
+#include <charconv>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "klotski/util/string_util.h"
 
@@ -46,16 +48,43 @@ std::string Flags::get_string(const std::string& name,
   return it == values_.end() ? fallback : it->second;
 }
 
+namespace {
+
+/// [first, last) for the numeric token: a leading '+' is tolerated
+/// (std::from_chars rejects it) but nothing else is trimmed.
+std::pair<const char*, const char*> numeric_range(const std::string& s) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  if (first != last && *first == '+') ++first;
+  return {first, last};
+}
+
+}  // namespace
+
 long long Flags::get_int(const std::string& name, long long fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const auto [first, last] = numeric_range(it->second);
+  long long v = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc() || ptr != last || first == last) {
+    throw std::invalid_argument("--" + name + ": invalid integer '" +
+                                it->second + "'");
+  }
+  return v;
 }
 
 double Flags::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const auto [first, last] = numeric_range(it->second);
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc() || ptr != last || first == last) {
+    throw std::invalid_argument("--" + name + ": invalid number '" +
+                                it->second + "'");
+  }
+  return v;
 }
 
 bool Flags::get_bool(const std::string& name, bool fallback) const {

@@ -19,7 +19,11 @@ class Flags {
   bool has(const std::string& name) const;
   std::string get_string(const std::string& name,
                          const std::string& fallback) const;
+  /// Throws std::invalid_argument (naming the flag) when the value is not
+  /// a fully-consumed integer, e.g. `--threads=abc` or `--threads=4x`.
   long long get_int(const std::string& name, long long fallback) const;
+  /// Throws std::invalid_argument (naming the flag) when the value is not
+  /// a fully-consumed number. Locale-independent (std::from_chars).
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <string>
+
 #include "klotski/json/json.h"
 
 namespace klotski::json {
@@ -48,6 +51,26 @@ TEST(JsonParse, UnicodeEscapes) {
   EXPECT_EQ(parse("\"\\u0041\"").as_string(), "A");
   EXPECT_EQ(parse("\"\\u00e9\"").as_string(), "\xC3\xA9");      // e-acute
   EXPECT_EQ(parse("\"\\u20ac\"").as_string(), "\xE2\x82\xAC");  // euro sign
+}
+
+TEST(JsonParse, SurrogatePairDecodesToOneCodePoint) {
+  // U+1F600 GRINNING FACE: \ud83d\ude00 must become the single 4-byte
+  // UTF-8 sequence F0 9F 98 80, not two 3-byte surrogate encodings.
+  EXPECT_EQ(parse("\"\\ud83d\\ude00\"").as_string(), "\xF0\x9F\x98\x80");
+  // U+10000, the first astral code point.
+  EXPECT_EQ(parse("\"\\ud800\\udc00\"").as_string(), "\xF0\x90\x80\x80");
+  // U+10FFFF, the last one.
+  EXPECT_EQ(parse("\"\\udbff\\udfff\"").as_string(), "\xF4\x8F\xBF\xBF");
+  // Uppercase hex digits work too.
+  EXPECT_EQ(parse("\"\\uD83D\\uDE00\"").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, LoneSurrogatesRejected) {
+  EXPECT_THROW(parse("\"\\ud83d\""), JsonError);         // lone high
+  EXPECT_THROW(parse("\"\\ude00\""), JsonError);         // lone low
+  EXPECT_THROW(parse("\"\\ud83d rest\""), JsonError);    // high + text
+  EXPECT_THROW(parse("\"\\ud83d\\u0041\""), JsonError);  // high + non-low
+  EXPECT_THROW(parse("\"\\ud83d\\ud83d\""), JsonError);  // high + high
 }
 
 // ---------------------------------------------------------------------------
@@ -175,6 +198,74 @@ TEST(JsonDump, DoublesSurviveRoundTrip) {
   for (const double d : values) {
     EXPECT_DOUBLE_EQ(parse(dump(Value(d))).as_double(), d);
   }
+}
+
+TEST(JsonDump, AstralCodePointsEmitSurrogatePairs) {
+  // "😀" (U+1F600) serializes as an ASCII-safe surrogate-pair escape and
+  // parses back to the identical 4-byte UTF-8 string.
+  const std::string emoji = "\xF0\x9F\x98\x80";
+  const std::string out = dump(Value(emoji));
+  EXPECT_EQ(out, R"("\ud83d\ude00")");
+  EXPECT_EQ(parse(out).as_string(), emoji);
+}
+
+TEST(JsonDump, BmpUtf8PassesThroughVerbatim) {
+  const std::string text = "caf\xC3\xA9 \xE2\x82\xAC";  // café €
+  EXPECT_EQ(dump(Value(text)), "\"" + text + "\"");
+  EXPECT_EQ(parse(dump(Value(text))).as_string(), text);
+}
+
+TEST(JsonDump, InvalidUtf8BytesPassThroughUnmangled) {
+  // A stray 0xF0 with no continuation bytes is not astral — it must not
+  // eat the following characters.
+  const std::string junk = "a\xF0z";
+  EXPECT_EQ(dump(Value(junk)), "\"" + junk + "\"");
+}
+
+// ---------------------------------------------------------------------------
+// Locale independence
+
+namespace {
+
+/// Runs `body` under a comma-decimal LC_NUMERIC when one is installed;
+/// GTEST_SKIP (inside `body`'s test) is not needed — we just fall back to
+/// "C", which keeps the assertions meaningful if weaker.
+class ScopedCommaLocale {
+ public:
+  ScopedCommaLocale() {
+    saved_ = std::setlocale(LC_NUMERIC, nullptr);
+    for (const char* name :
+         {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8", "de_DE",
+          "fr_FR"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+        comma_ = true;
+        return;
+      }
+    }
+  }
+  ~ScopedCommaLocale() { std::setlocale(LC_NUMERIC, saved_.c_str()); }
+  bool comma() const { return comma_; }
+
+ private:
+  std::string saved_;
+  bool comma_ = false;
+};
+
+}  // namespace
+
+TEST(JsonLocale, NumbersRoundTripUnderCommaDecimalLocale) {
+  ScopedCommaLocale locale;
+  // Boundary doubles that %.17g / strtod corrupt under a comma locale.
+  const double values[] = {1.5,    0.1,     1e-9, 12345.6789,
+                           -2.5e3, 0.40132, 2.2250738585072014e-308};
+  for (const double d : values) {
+    const std::string text = dump(Value(d));
+    EXPECT_EQ(text.find(','), std::string::npos)
+        << "serializer leaked a locale comma: " << text;
+    EXPECT_DOUBLE_EQ(parse(text).as_double(), d);
+  }
+  EXPECT_DOUBLE_EQ(parse("1.5").as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(parse("[0.25]").as_array()[0].as_double(), 0.25);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "klotski/util/flags.h"
 
 namespace klotski::util {
@@ -55,6 +58,44 @@ TEST(Flags, BareFlagBeforeAnotherFlagDoesNotConsumeIt) {
   const Flags f = parse({"--a", "--b=2"});
   EXPECT_TRUE(f.get_bool("a", false));
   EXPECT_EQ(f.get_int("b", 0), 2);
+}
+
+TEST(Flags, RejectsNonNumericInt) {
+  const Flags f = parse({"--threads=abc"});
+  try {
+    f.get_int("threads", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The error must name the flag, not just the value.
+    EXPECT_NE(std::string(e.what()).find("--threads"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+  }
+}
+
+TEST(Flags, RejectsTrailingGarbage) {
+  EXPECT_THROW(parse({"--threads=4x"}).get_int("threads", 1),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--threads=4.5"}).get_int("threads", 1),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--theta=0.75oops"}).get_double("theta", 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--theta="}).get_double("theta", 0.5),
+               std::invalid_argument);
+}
+
+TEST(Flags, AcceptsWellFormedNumbers) {
+  EXPECT_EQ(parse({"--n=-12"}).get_int("n", 0), -12);
+  EXPECT_EQ(parse({"--n=+12"}).get_int("n", 0), 12);
+  EXPECT_DOUBLE_EQ(parse({"--d=2.5e-3"}).get_double("d", 0.0), 2.5e-3);
+  EXPECT_DOUBLE_EQ(parse({"--d=-0.5"}).get_double("d", 0.0), -0.5);
+}
+
+TEST(Flags, BareBooleanIsNotANumber) {
+  // `--threads` with no value stores "true": numeric reads must reject it
+  // loudly instead of yielding 0.
+  EXPECT_THROW(parse({"--threads"}).get_int("threads", 1),
+               std::invalid_argument);
 }
 
 TEST(Flags, NamesInParseOrder) {

@@ -11,6 +11,9 @@
 //   --theta   utilization bound used for the audit    (default 0.75)
 //   --routing ecmp | wcmp                             (default ecmp)
 //   --strict  also check every intra-phase prefix (funneling paranoia)
+//   --metrics-out  write the metrics registry JSON here and print the
+//                  end-of-run metrics table to stderr
+//   --trace-out    write Chrome trace_event JSON here (chrome://tracing)
 //
 // Exit status: 0 audit passed, 1 audit failed, 2 usage/input error.
 #include <iostream>
@@ -22,10 +25,12 @@
 #include "klotski/topo/diff.h"
 #include "klotski/util/file.h"
 #include "klotski/util/flags.h"
+#include "obs_output.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(const klotski::util::Flags& flags) {
   using namespace klotski;
-  const util::Flags flags = util::Flags::parse(argc, argv);
 
   const std::string npd_path = flags.get_string("npd", "");
   const std::string plan_path = flags.get_string("plan", "");
@@ -72,4 +77,15 @@ int main(int argc, char** argv) {
     std::cerr << "klotski_audit: " << e.what() << "\n";
     return 2;
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace klotski;
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  const tools::ObsOutput obs_out = tools::obs_from_flags(flags);
+  const int rc = run(flags);
+  tools::write_obs_outputs(obs_out, "klotski_audit");
+  return rc;
 }

@@ -1,0 +1,134 @@
+// klotski_metrics_check — validate observability artifacts emitted by
+// klotski_plan / klotski_audit, using the in-tree JSON parser (so the check
+// also proves the emitted JSON round-trips through klotski_json).
+//
+//   klotski_metrics_check --metrics=m.json [--trace=t.json] \
+//                         [--expect-same=other.json --counters=a,b,c]
+//
+// Flags:
+//   --metrics      metrics JSON written by --metrics-out (required)
+//   --trace        trace JSON written by --trace-out; checked to be a
+//                  well-formed Chrome trace_event document
+//   --expect-same  second metrics JSON; the counters named by --counters
+//                  must match exactly between the two files (the
+//                  thread-invariance contract)
+//   --counters     comma-separated counter names for --expect-same
+//                  (default: the evaluator.* thread-invariant set)
+//
+// Always checked on --metrics:
+//   * schema == "klotski.metrics.v1"
+//   * evaluator.sat_cache_hits + evaluator.sat_cache_misses ==
+//     evaluator.evaluations (when any of the three is present)
+//
+// Exit status: 0 all checks passed, 1 a check failed, 2 usage/input error.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "klotski/json/json.h"
+#include "klotski/util/file.h"
+#include "klotski/util/flags.h"
+#include "klotski/util/string_util.h"
+
+namespace {
+
+using klotski::json::Value;
+
+long long counter_value(const Value& metrics, const std::string& name) {
+  const Value* counters = metrics.at("counters").as_object().find(name);
+  return counters == nullptr ? 0 : counters->as_int();
+}
+
+bool has_counter(const Value& metrics, const std::string& name) {
+  return metrics.at("counters").as_object().find(name) != nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace klotski;
+  const util::Flags flags = util::Flags::parse(argc, argv);
+
+  const std::string metrics_path = flags.get_string("metrics", "");
+  if (metrics_path.empty()) {
+    std::cerr << "klotski_metrics_check: --metrics=FILE is required\n";
+    return 2;
+  }
+
+  try {
+    const Value metrics = json::parse(util::read_file(metrics_path));
+    if (metrics.get_string("schema", "") != "klotski.metrics.v1") {
+      std::cerr << "FAIL: " << metrics_path
+                << " does not carry schema klotski.metrics.v1\n";
+      return 1;
+    }
+
+    // The sat-cache consistency invariant: every evaluation is either a
+    // cache hit or a miss (which triggers a checker run), never both or
+    // neither. The three counters are maintained independently, so this is
+    // a real cross-check, not an identity.
+    if (has_counter(metrics, "evaluator.evaluations") ||
+        has_counter(metrics, "evaluator.sat_cache_hits") ||
+        has_counter(metrics, "evaluator.sat_cache_misses")) {
+      const long long hits = counter_value(metrics, "evaluator.sat_cache_hits");
+      const long long misses =
+          counter_value(metrics, "evaluator.sat_cache_misses");
+      const long long evals = counter_value(metrics, "evaluator.evaluations");
+      if (hits + misses != evals) {
+        std::cerr << "FAIL: sat_cache_hits (" << hits << ") + sat_cache_misses ("
+                  << misses << ") != evaluations (" << evals << ")\n";
+        return 1;
+      }
+      std::cout << "ok: " << hits << " hits + " << misses
+                << " misses == " << evals << " evaluations\n";
+    }
+
+    const std::string trace_path = flags.get_string("trace", "");
+    if (!trace_path.empty()) {
+      const Value trace = json::parse(util::read_file(trace_path));
+      std::size_t spans = 0;
+      for (const Value& event : trace.at("traceEvents").as_array()) {
+        if (event.get_string("ph", "") != "X") {
+          std::cerr << "FAIL: trace event with ph != \"X\" in " << trace_path
+                    << "\n";
+          return 1;
+        }
+        event.at("name").as_string();
+        event.at("ts").as_int();
+        event.at("dur").as_int();
+        ++spans;
+      }
+      std::cout << "ok: " << trace_path << " holds " << spans
+                << " well-formed trace events\n";
+    }
+
+    const std::string other_path = flags.get_string("expect-same", "");
+    if (!other_path.empty()) {
+      const Value other = json::parse(util::read_file(other_path));
+      std::vector<std::string> names = util::split(
+          flags.get_string("counters",
+                           "evaluator.evaluations,evaluator.sat_cache_hits,"
+                           "evaluator.sat_cache_misses,evaluator.delta_applies,"
+                           "evaluator.full_replays,planner.states_expanded"),
+          ',');
+      bool same = true;
+      for (const std::string& name : names) {
+        const long long a = counter_value(metrics, name);
+        const long long b = counter_value(other, name);
+        if (a != b) {
+          std::cerr << "FAIL: counter " << name << " differs: " << a << " ("
+                    << metrics_path << ") vs " << b << " (" << other_path
+                    << ")\n";
+          same = false;
+        }
+      }
+      if (!same) return 1;
+      std::cout << "ok: " << names.size() << " counters identical between "
+                << metrics_path << " and " << other_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "klotski_metrics_check: " << e.what() << "\n";
+    return 2;
+  }
+}

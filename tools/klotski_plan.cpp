@@ -22,6 +22,9 @@
 //   --schedule     print the crew schedule + OPEX estimate (stderr)
 //   --risk         print the per-phase capacity risk report (stderr)
 //   --crews        parallel crews for --schedule          (default 4)
+//   --metrics-out  write the metrics registry JSON here and print the
+//                  end-of-run metrics table to stderr
+//   --trace-out    write Chrome trace_event JSON here (chrome://tracing)
 //
 // Exit status: 0 plan found and audited, 1 no plan, 2 usage/input error.
 #include <iostream>
@@ -35,10 +38,12 @@
 #include "klotski/traffic/demand_io.h"
 #include "klotski/util/file.h"
 #include "klotski/util/flags.h"
+#include "obs_output.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(const klotski::util::Flags& flags) {
   using namespace klotski;
-  const util::Flags flags = util::Flags::parse(argc, argv);
 
   const std::string npd_path = flags.get_string("npd", "");
   if (npd_path.empty()) {
@@ -150,4 +155,17 @@ int main(int argc, char** argv) {
     std::cerr << "klotski_plan: " << e.what() << "\n";
     return 2;
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace klotski;
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  const tools::ObsOutput obs_out = tools::obs_from_flags(flags);
+  const int rc = run(flags);
+  // Written even on failure: a run that found no plan is exactly the one
+  // whose metrics you want to look at.
+  tools::write_obs_outputs(obs_out, "klotski_plan");
+  return rc;
 }

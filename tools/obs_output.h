@@ -1,0 +1,50 @@
+// Shared --metrics-out / --trace-out handling for the CLI tools.
+//
+// Call obs_from_flags() immediately after Flags::parse (it enables the
+// registry/tracer so the whole run is instrumented), then write_obs_outputs()
+// once on the way out — including error paths, so a failed run still leaves
+// its observability artifacts behind.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "klotski/json/json.h"
+#include "klotski/obs/metrics.h"
+#include "klotski/obs/trace.h"
+#include "klotski/util/file.h"
+#include "klotski/util/flags.h"
+
+namespace klotski::tools {
+
+struct ObsOutput {
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+inline ObsOutput obs_from_flags(const util::Flags& flags) {
+  ObsOutput out;
+  out.metrics_path = flags.get_string("metrics-out", "");
+  out.trace_path = flags.get_string("trace-out", "");
+  if (!out.metrics_path.empty()) obs::set_metrics_enabled(true);
+  if (!out.trace_path.empty()) obs::set_trace_enabled(true);
+  return out;
+}
+
+/// Writes the requested observability artifacts and prints the end-of-run
+/// metrics table to stderr. No-op when neither flag was given.
+inline void write_obs_outputs(const ObsOutput& out, const std::string& tool) {
+  if (!out.metrics_path.empty()) {
+    util::write_file(out.metrics_path,
+                     json::dump(obs::Registry::global().to_json(), 2) + "\n");
+    std::cerr << obs::Registry::global().render_table(tool + " metrics");
+    std::cerr << "wrote " << out.metrics_path << "\n";
+  }
+  if (!out.trace_path.empty()) {
+    util::write_file(out.trace_path,
+                     json::dump(obs::Tracer::global().to_json(), 2) + "\n");
+    std::cerr << "wrote " << out.trace_path << "\n";
+  }
+}
+
+}  // namespace klotski::tools
