@@ -2,21 +2,57 @@
 # Runs the micro_core google-benchmark suite and writes its results as JSON
 # (BENCH_core.json by default) for regression tracking.
 #
+# Benchmark JSON is only meaningful from an optimized binary, so this script
+# owns its build: it configures and builds a Release (-O2 -DNDEBUG) tree in
+# the given build dir (creating it when missing) and then verifies the
+# binary's own klotski_build_type context marker before emitting JSON — a
+# debug binary is refused, never silently recorded. (The system
+# libbenchmark's library_build_type reflects how *Debian* built the library,
+# not how we built micro_core, hence the custom marker.)
+#
 # Usage: bench/bench_to_json.sh [build-dir] [output.json]
+#   build-dir defaults to build-release; it is configured with
+#   CMAKE_BUILD_TYPE=Release if it has no cache yet.
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+BUILD_DIR="${1:-build-release}"
 OUT="${2:-BENCH_core.json}"
 BIN="${BUILD_DIR}/bench/micro_core"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 
-if [[ ! -x "${BIN}" ]]; then
-  echo "error: ${BIN} not built (cmake --build ${BUILD_DIR} --target micro_core)" >&2
-  exit 1
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -S "${SRC_DIR}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
 fi
+
+BUILD_TYPE="$(grep -E '^CMAKE_BUILD_TYPE:' "${BUILD_DIR}/CMakeCache.txt" |
+  cut -d= -f2)"
+case "${BUILD_TYPE}" in
+  Release|RelWithDebInfo|MinSizeRel) ;;
+  *)
+    echo "error: ${BUILD_DIR} is configured as '${BUILD_TYPE:-<empty>}'," >&2
+    echo "       refusing to record benchmark numbers from a non-Release" >&2
+    echo "       build. Use a dedicated dir: bench/bench_to_json.sh build-release" >&2
+    exit 1
+    ;;
+esac
+
+cmake --build "${BUILD_DIR}" --target micro_core -j"$(nproc)"
+
+TMP="$(mktemp "${OUT}.XXXXXX")"
+trap 'rm -f "${TMP}"' EXIT
 
 "${BIN}" \
   --benchmark_min_time=0.2 \
-  --benchmark_out="${OUT}" \
+  --benchmark_out="${TMP}" \
   --benchmark_out_format=json
 
+# Belt and braces: the binary stamps its own NDEBUG state into the context.
+if ! grep -q '"klotski_build_type": "release"' "${TMP}"; then
+  echo "error: ${BIN} reports a debug klotski_build_type marker;" >&2
+  echo "       discarding its numbers instead of writing ${OUT}" >&2
+  exit 1
+fi
+
+mv "${TMP}" "${OUT}"
+trap - EXIT
 echo "wrote ${OUT}"

@@ -251,4 +251,164 @@ void BM_AssignAllDemandsBound(benchmark::State& state) {
 }
 BENCHMARK(BM_AssignAllDemandsBound);
 
+// Finds a traffic-carrying circuit whose drain keeps every bound demand
+// routable, so a drain/undrain walk stays on the incremental group path (an
+// unroutable set would invalidate the caches and turn the walk into full
+// recomputes). Returns kInvalidCircuit when no such circuit exists.
+topo::CircuitId find_flippable_circuit(topo::Topology& topo,
+                                       traffic::EcmpRouter& router,
+                                       const traffic::DemandSet& demands) {
+  traffic::LoadVector loads;
+  for (const topo::Circuit& c : topo.circuits()) {
+    if (!topo.circuit_carries_traffic(c.id)) continue;
+    topo.set_circuit_state(c.id, topo::ElementState::kDrained);
+    loads.assign(topo.num_circuits() * 2, 0.0);
+    const bool ok = router.assign_all(demands, loads);
+    topo.set_circuit_state(c.id, topo::ElementState::kActive);
+    loads.assign(topo.num_circuits() * 2, 0.0);
+    router.assign_all(demands, loads);
+    if (ok) return c.id;
+  }
+  return topo::kInvalidCircuit;
+}
+
+// The planner's sparse dirty-group walk: every iteration flips one circuit
+// and runs one bound assign_all, so only the demand groups whose cached DAG
+// the circuit could touch recompute and the rest are reused from cache.
+void BM_AssignAllDirtyGroups(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  topo::Topology topo = *mig.task.topo;  // private copy: benches share the case
+  traffic::EcmpRouter router(topo);
+  router.bind_demands(mig.task.demands);
+  traffic::LoadVector loads;
+  loads.assign(topo.num_circuits() * 2, 0.0);
+  router.assign_all(mig.task.demands, loads);
+
+  const topo::CircuitId flip =
+      find_flippable_circuit(topo, router, mig.task.demands);
+  if (flip == topo::kInvalidCircuit) {
+    state.SkipWithError("no drainable circuit keeps all demands routable");
+    return;
+  }
+  bool drained = false;
+  for (auto _ : state) {
+    drained = !drained;
+    topo.set_circuit_state(flip, drained ? topo::ElementState::kDrained
+                                         : topo::ElementState::kActive);
+    loads.assign(topo.num_circuits() * 2, 0.0);
+    benchmark::DoNotOptimize(router.assign_all(mig.task.demands, loads));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(mig.task.demands.size()));
+}
+BENCHMARK(BM_AssignAllDirtyGroups);
+
+// Same walk keyed on a switch flip: draining a switch dirties every group
+// that sources or sinks at it (the per-group relevant-set screening) plus
+// the groups its incident circuits could affect.
+void BM_AssignAllSwitchDirtyWalk(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  topo::Topology topo = *mig.task.topo;
+  traffic::EcmpRouter router(topo);
+  router.bind_demands(mig.task.demands);
+  traffic::LoadVector loads;
+  loads.assign(topo.num_circuits() * 2, 0.0);
+  router.assign_all(mig.task.demands, loads);
+
+  // A switch whose drain keeps every demand routable (same screening as the
+  // circuit walk above).
+  topo::SwitchId flip = topo::kInvalidSwitch;
+  for (const topo::Switch& s : topo.switches()) {
+    if (!s.active()) continue;
+    topo.set_switch_state(s.id, topo::ElementState::kDrained);
+    loads.assign(topo.num_circuits() * 2, 0.0);
+    const bool ok = router.assign_all(mig.task.demands, loads);
+    topo.set_switch_state(s.id, topo::ElementState::kActive);
+    loads.assign(topo.num_circuits() * 2, 0.0);
+    router.assign_all(mig.task.demands, loads);
+    if (ok) {
+      flip = s.id;
+      break;
+    }
+  }
+  if (flip == topo::kInvalidSwitch) {
+    state.SkipWithError("no drainable switch keeps all demands routable");
+    return;
+  }
+  bool drained = false;
+  for (auto _ : state) {
+    drained = !drained;
+    topo.set_switch_state(flip, drained ? topo::ElementState::kDrained
+                                        : topo::ElementState::kActive);
+    loads.assign(topo.num_circuits() * 2, 0.0);
+    benchmark::DoNotOptimize(router.assign_all(mig.task.demands, loads));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(mig.task.demands.size()));
+}
+BENCHMARK(BM_AssignAllSwitchDirtyWalk);
+
+// Per-assignment scratch-reset cost when the reachable component is tiny:
+// drain every circuit around one, leaving a two-switch island. The BFS
+// visits two switches, so whatever the router pays beyond that is fixed
+// overhead (the pre-epoch engine cleared O(|S|) dist/volume per call).
+void BM_BfsEpochReset(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  topo::Topology topo = *mig.task.topo;
+  const topo::Circuit island = topo.circuits().front();
+  for (const topo::Circuit& c : topo.circuits()) {
+    if (c.id == island.id) continue;
+    if (c.a == island.a || c.b == island.a || c.a == island.b ||
+        c.b == island.b) {
+      topo.set_circuit_state(c.id, topo::ElementState::kDrained);
+    }
+  }
+  traffic::Demand demand;
+  demand.name = "island";
+  demand.sources = {island.a};
+  demand.targets = {island.b};
+  demand.volume_tbps = 1.0;
+
+  traffic::EcmpRouter router(topo);
+  traffic::LoadVector loads(topo.num_circuits() * 2, 0.0);
+  for (auto _ : state) {
+    // Loads accumulate across iterations; the cost measured is the per-call
+    // scratch reset + two-switch BFS, not the (unused) load values.
+    benchmark::DoNotOptimize(router.assign(demand, loads));
+  }
+}
+BENCHMARK(BM_BfsEpochReset);
+
+// Full-circuit utilization scan over an assign_all load vector (the
+// DemandChecker epilogue); baseline for the touched-circuit fast path.
+void BM_WorstCircuitScan(benchmark::State& state) {
+  migration::MigrationCase& mig = shared_case();
+  traffic::EcmpRouter router(*mig.task.topo);
+  traffic::LoadVector loads;
+  loads.assign(mig.task.topo->num_circuits() * 2, 0.0);
+  router.assign_all(mig.task.demands, loads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traffic::max_utilization(*mig.task.topo, loads));
+  }
+}
+BENCHMARK(BM_WorstCircuitScan);
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // The system benchmark library reports its own build type (often "debug"
+  // for distro packages); record how *this* binary was compiled so
+  // bench/bench_to_json.sh can refuse to ship debug numbers.
+  benchmark::AddCustomContext("klotski_build_type",
+#ifdef NDEBUG
+                              "release"
+#else
+                              "debug"
+#endif
+  );
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

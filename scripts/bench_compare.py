@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and flag cpu_time regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Prints a per-benchmark table (baseline vs current cpu_time, delta) for every
+benchmark present in both files, lists benchmarks that appear in only one
+file, and exits non-zero when any shared benchmark's cpu_time regressed by
+more than the threshold (default 25%). Only aggregate-free repetition rows
+are compared (the default google-benchmark output has exactly one row per
+benchmark); rows whose run_type is "aggregate" are ignored so mean/median/
+stddev rows never double-count.
+
+Stdlib only — usable from tier1.sh as an opt-in perf gate without any
+package installs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: (cpu_time, time_unit)} for non-aggregate rows."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    out = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        name = row.get("name")
+        cpu = row.get("cpu_time")
+        if name is None or cpu is None:
+            continue
+        out[name] = (float(cpu), row.get("time_unit", "ns"))
+    if not out:
+        sys.exit(f"bench_compare: no benchmark rows in {path}")
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two google-benchmark JSON files by cpu_time.")
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="fail when cpu_time grows by more than this fraction "
+             "(default 0.25 = 25%%)")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    curr = load_benchmarks(args.current)
+
+    shared = sorted(set(base) & set(curr))
+    only_base = sorted(set(base) - set(curr))
+    only_curr = sorted(set(curr) - set(base))
+
+    width = max((len(n) for n in shared), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    regressions = []
+    for name in shared:
+        b_cpu, b_unit = base[name]
+        c_cpu, c_unit = curr[name]
+        if b_unit != c_unit:
+            # Different units can't be compared numerically; treat as a
+            # harness change the caller needs to look at.
+            print(f"{name:<{width}}  unit changed: {b_unit} -> {c_unit}")
+            regressions.append((name, float("inf")))
+            continue
+        delta = (c_cpu - b_cpu) / b_cpu if b_cpu > 0 else float("inf")
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  REGRESSED"
+        print(f"{name:<{width}}  {b_cpu:>10.1f}{b_unit:>2}  "
+              f"{c_cpu:>10.1f}{c_unit:>2}  {delta:+7.1%}{flag}")
+
+    for name in only_base:
+        print(f"{name:<{width}}  removed (baseline only)")
+    for name in only_curr:
+        print(f"{name:<{width}}  new (current only)")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed past "
+              f"{args.threshold:.0%} cpu_time:", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nok: no cpu_time regression past {args.threshold:.0%} "
+          f"({len(shared)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

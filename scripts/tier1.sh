@@ -15,12 +15,22 @@ cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 
 cmake -B build-tsan -S . -DKLOTSKI_SANITIZE=thread
-cmake --build build-tsan -j"${JOBS}" --target test_core test_obs
+cmake --build build-tsan -j"${JOBS}" --target test_core test_obs test_traffic
 # Run the binaries directly: only these targets are built in the TSan tree,
 # and ctest would trip over the undiscovered sibling test targets.
 ./build-tsan/tests/test_core \
   --gtest_filter='ParallelEvaluator.*:PresetsAToC/ParallelPlannerDeterminism.*'
 ./build-tsan/tests/test_obs
+# Intra-check router parallelism: the EcmpRouter worker pool under TSan.
+./build-tsan/tests/test_traffic --gtest_filter='EcmpParallel*'
+
+# AddressSanitizer over the randomized ECMP equivalence suite: the flat-path
+# engine's epoch stamping / sparse slot bookkeeping is exactly the kind of
+# code where a stale-index bug reads garbage instead of crashing.
+cmake -B build-asan -S . -DKLOTSKI_SANITIZE=address
+cmake --build build-asan -j"${JOBS}" --target test_traffic
+./build-asan/tests/test_traffic \
+  --gtest_filter='EcmpEquivalence.*:EcmpParallel*'
 
 # Observability smoke: plan a small preset with --metrics-out/--trace-out at
 # --threads=1 and --threads=4, check both artifacts re-parse with the
@@ -49,6 +59,19 @@ if ./build/tools/klotski_plan --npd="${OBS_TMP}/a.npd.json" --threads=abc \
     > /dev/null 2>&1; then
   echo "tier1: FAIL — --threads=abc was not rejected" >&2
   exit 1
+fi
+
+# Opt-in perf gate: export KLOTSKI_BENCH_BASELINE=path/to/baseline.json to
+# rebuild the Release bench suite (bench/bench_to_json.sh) and fail tier-1
+# if any micro_core benchmark's cpu_time regressed by more than 25% against
+# the baseline (scripts/bench_compare.py, stdlib-only). Off by default: the
+# microbenches take minutes and perf numbers from shared CI boxes are noisy,
+# so this is for perf-sensitive branches run on quiet hardware, e.g.
+#   KLOTSKI_BENCH_BASELINE=BENCH_core.json scripts/tier1.sh
+if [[ -n "${KLOTSKI_BENCH_BASELINE:-}" ]]; then
+  bench/bench_to_json.sh build-release "${OBS_TMP}/bench_current.json"
+  python3 scripts/bench_compare.py "${KLOTSKI_BENCH_BASELINE}" \
+    "${OBS_TMP}/bench_current.json"
 fi
 
 echo "tier1: OK"

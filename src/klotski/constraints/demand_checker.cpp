@@ -59,7 +59,23 @@ Verdict DemandChecker::evaluate(const topo::Topology& topo) {
     }
   }
 
-  for (const topo::Circuit& c : topo.circuits()) {
+  // Utilization scan. loads_ was zeroed above, so after a bound assign_all
+  // the router's touched-circuit list (ascending ids) covers every circuit
+  // with non-zero load — visiting only those is verdict-identical to the
+  // full scan, including which over-theta circuit is reported first. Manual
+  // or unbound load vectors fall back to scanning every circuit.
+  static obs::Counter& touched_scans =
+      obs::Registry::global().counter("checker.demand.touched_scans");
+  static obs::Counter& full_scans =
+      obs::Registry::global().counter("checker.demand.full_scans");
+  const bool use_touched = router_.touched_valid();
+  (use_touched ? touched_scans : full_scans).inc();
+  const std::size_t scan_count =
+      use_touched ? router_.touched_circuits().size() : topo.num_circuits();
+  for (std::size_t i = 0; i < scan_count; ++i) {
+    const topo::Circuit& c = topo.circuit(
+        use_touched ? router_.touched_circuits()[i]
+                    : static_cast<topo::CircuitId>(i));
     const double load = std::max(loads_[static_cast<std::size_t>(c.id) * 2],
                                  loads_[static_cast<std::size_t>(c.id) * 2 + 1]);
     if (load <= 0.0) continue;

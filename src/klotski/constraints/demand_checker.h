@@ -12,7 +12,10 @@
 // so repeated checks reuse per-target-set routing caches, and memoizes its
 // last verdict keyed on the topology's state version: re-checking an
 // unchanged topology is O(1). The memo is dropped whenever theta or the
-// demand set changes.
+// demand set changes. The utilization scan walks the router's ascending
+// touched-circuit list when it is valid (only circuits actually carrying
+// bound load), falling back to every circuit otherwise — verdicts are
+// identical either way, including which violation is reported first.
 #pragma once
 
 #include <cstdint>

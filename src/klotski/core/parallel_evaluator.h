@@ -15,6 +15,14 @@
 // serial code would have called StateEvaluator::feasible — with identical
 // verdicts, since every worker context materializes the same states and the
 // checkers are pure (see checker.h).
+//
+// This pool parallelizes *across* candidate states; the ECMP router can
+// additionally parallelize *within* one check (EcmpRouter::set_num_workers
+// recomputes dirty demand groups concurrently). The two compose through the
+// CheckerFactory: run_pipeline and klotski_plan divide the intra-check
+// budget by num_threads when building the worker configs, so a machine runs
+// ~num_threads * max(1, router_threads / num_threads) threads, not the
+// product.
 #pragma once
 
 #include <atomic>

@@ -1,5 +1,6 @@
 #include "klotski/pipeline/edp.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "klotski/baselines/brute_force_planner.h"
@@ -28,6 +29,7 @@ CheckerBundle make_standard_checker(migration::MigrationTask& task,
   CheckerBundle bundle;
   bundle.router =
       std::make_unique<traffic::EcmpRouter>(*task.topo, config.routing);
+  bundle.router->set_num_workers(config.router_threads);
   bundle.checker = std::make_unique<constraints::CompositeChecker>();
   bundle.checker->add(std::make_unique<constraints::PortChecker>());
   if (config.space_power.max_present_per_grid > 0 ||
@@ -68,10 +70,22 @@ EdpResult run_pipeline(const npd::NpdDocument& doc,
 
   CheckerBundle bundle = make_standard_checker(task, options.checker);
   std::unique_ptr<core::Planner> planner = make_planner(options.planner);
+  core::PlannerOptions planner_options = options.planner_options;
+  if (planner_options.num_threads > 1 && !planner_options.checker_factory) {
+    // Split the intra-check router budget across the evaluator's worker
+    // clones so inter-state (num_threads) and intra-check (router_threads)
+    // parallelism compose without oversubscribing the machine: each of the
+    // N worker-private routers gets router_threads / N workers.
+    CheckerConfig worker_config = options.checker;
+    worker_config.router_threads =
+        std::max(1, options.checker.router_threads /
+                        planner_options.num_threads);
+    planner_options.checker_factory =
+        make_standard_checker_factory(worker_config);
+  }
   {
     obs::Span span("edp/plan");
-    result.plan =
-        planner->plan(task, *bundle.checker, options.planner_options);
+    result.plan = planner->plan(task, *bundle.checker, planner_options);
   }
 
   if (result.plan.found) {

@@ -44,6 +44,12 @@ struct CheckerConfig {
   /// Plain ECMP by default; kCapacityWeighted models the §7.1 temporary
   /// routing configurations that balance traffic by circuit capacity.
   traffic::SplitMode routing = traffic::SplitMode::kEqualSplit;
+  /// Intra-check worker threads for the ECMP router (> 1 recomputes
+  /// independent dirty demand groups of one satisfiability check in
+  /// parallel; results stay bit-identical to serial). Composes with
+  /// PlannerOptions::num_threads: run_pipeline splits this budget across
+  /// the evaluator's worker-private router clones.
+  int router_threads = 1;
 };
 
 CheckerBundle make_standard_checker(migration::MigrationTask& task,

@@ -130,6 +130,17 @@ bool Topology::circuit_carries_traffic(CircuitId id) const {
          switches_[c.b].active();
 }
 
+void Topology::liveness_words(std::vector<std::uint64_t>& out) const {
+  out.assign((circuits_.size() + 63) / 64, 0);
+  for (const Circuit& c : circuits_) {
+    if (c.state == ElementState::kActive && switches_[c.a].active() &&
+        switches_[c.b].active()) {
+      out[static_cast<std::size_t>(c.id) >> 6] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(c.id) & 63);
+    }
+  }
+}
+
 int Topology::occupied_ports(SwitchId id) const {
   int count = 0;
   for (const CircuitId cid : incident_[id]) {

@@ -120,6 +120,14 @@ class Topology {
   /// switches active.
   bool circuit_carries_traffic(CircuitId id) const;
 
+  /// Packs circuit_carries_traffic for every circuit into 64-bit words
+  /// (bit c of out[c / 64] = circuit c carries traffic) in one sequential
+  /// pass. `out` is resized to ceil(num_circuits / 64); trailing bits of the
+  /// last word are zero. This is the full-rebuild path of word-packed
+  /// liveness consumers (the ECMP router); incremental consumers replay the
+  /// change journal instead.
+  void liveness_words(std::vector<std::uint64_t>& out) const;
+
   /// Number of ports occupied on a switch = incident circuits that are
   /// physically present (active or drained).
   int occupied_ports(SwitchId id) const;

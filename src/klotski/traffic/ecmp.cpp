@@ -1,6 +1,7 @@
 #include "klotski/traffic/ecmp.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <unordered_map>
 
@@ -9,6 +10,12 @@ namespace klotski::traffic {
 using topo::CircuitId;
 using topo::SwitchId;
 using topo::Topology;
+
+namespace {
+
+constexpr std::size_t word_count(std::size_t bits) { return (bits + 63) / 64; }
+
+}  // namespace
 
 EcmpRouter::EcmpRouter(const topo::Topology& topo, SplitMode mode)
     : topo_(topo),
@@ -22,7 +29,12 @@ EcmpRouter::EcmpRouter(const topo::Topology& topo, SplitMode mode)
           obs::Registry::global().counter("router.group_recomputes")),
       m_group_reuses_(obs::Registry::global().counter("router.group_reuses")),
       m_group_invalidations_(
-          obs::Registry::global().counter("router.group_invalidations")) {
+          obs::Registry::global().counter("router.group_invalidations")),
+      m_parallel_batches_(
+          obs::Registry::global().counter("router.parallel_batches")),
+      m_parallel_jobs_(obs::Registry::global().counter("router.parallel_jobs")),
+      m_dirty_screen_circuits_(
+          obs::Registry::global().counter("router.dirty_screen_circuits")) {
   offsets_.assign(num_switches_ + 1, 0);
   for (const topo::Circuit& c : topo.circuits()) {
     ++offsets_[static_cast<std::size_t>(c.a) + 1];
@@ -34,14 +46,41 @@ EcmpRouter::EcmpRouter(const topo::Topology& topo, SplitMode mode)
   arcs_.resize(offsets_[num_switches_]);
   std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (const topo::Circuit& c : topo.circuits()) {
-    arcs_[cursor[static_cast<std::size_t>(c.a)]++] = Arc{c.id, c.b};
-    arcs_[cursor[static_cast<std::size_t>(c.b)]++] = Arc{c.id, c.a};
+    const auto cid = static_cast<std::size_t>(c.id);
+    const auto word = static_cast<std::uint32_t>(cid >> 6);
+    const std::uint64_t mask = std::uint64_t{1} << (cid & 63);
+    // Direction slot convention: 2c is a -> b, 2c + 1 is b -> a.
+    arcs_[cursor[static_cast<std::size_t>(c.a)]++] =
+        Arc{c.b, static_cast<std::uint32_t>(cid * 2), word, 0, mask,
+            c.capacity_tbps};
+    arcs_[cursor[static_cast<std::size_t>(c.b)]++] =
+        Arc{c.a, static_cast<std::uint32_t>(cid * 2 + 1), word, 0, mask,
+            c.capacity_tbps};
   }
 
-  dist_.assign(num_switches_, kUnreached);
-  visit_order_.reserve(num_switches_);
-  volume_.assign(num_switches_, 0.0);
-  alive_.assign(topo.num_circuits(), 0);
+  scratch_.init(num_switches_);
+  alive_words_.assign(word_count(topo.num_circuits()), 0);
+}
+
+EcmpRouter::~EcmpRouter() { stop_workers(); }
+
+void EcmpRouter::Scratch::init(std::size_t num_switches) {
+  dist.assign(num_switches, -1);
+  stamp.assign(num_switches, 0);
+  epoch = 0;
+  visit_order.clear();
+  visit_order.reserve(num_switches);
+  volume.assign(num_switches, 0.0);
+}
+
+void EcmpRouter::Scratch::begin_bfs() {
+  visit_order.clear();
+  if (++epoch == 0) {
+    // uint32 wrap (once per ~4e9 BFS runs): stale stamps could collide with
+    // the recycled epoch, so clear them and restart at 1.
+    std::fill(stamp.begin(), stamp.end(), 0);
+    epoch = 1;
+  }
 }
 
 void EcmpRouter::set_split_mode(SplitMode mode) {
@@ -49,100 +88,104 @@ void EcmpRouter::set_split_mode(SplitMode mode) {
   mode_ = mode;
   // Cached group loads were computed under the old split weights.
   groups_ready_ = false;
+  touched_valid_ = false;
   for (DemandGroup& g : groups_) g.valid = false;
 }
 
 void EcmpRouter::refresh_alive() {
   const std::uint64_t v = topo_.state_version();
-  if (alive_valid_ && v == alive_version_ &&
-      alive_.size() == topo_.num_circuits()) {
+  const std::size_t words = word_count(topo_.num_circuits());
+  if (alive_valid_ && v == alive_version_ && alive_words_.size() == words) {
     return;
   }
-  const auto carries = [&](CircuitId c) -> std::uint8_t {
-    const topo::Circuit& cc = topo_.circuit(c);
-    return cc.state == topo::ElementState::kActive &&
-                   topo_.sw(cc.a).active() && topo_.sw(cc.b).active()
-               ? 1
-               : 0;
-  };
   changes_scratch_.clear();
-  if (alive_valid_ && alive_.size() == topo_.num_circuits() &&
+  if (alive_valid_ && alive_words_.size() == words &&
       topo_.changes_since(alive_version_, changes_scratch_)) {
     m_alive_journal_replays_.inc();
     // Replay only the journaled changes: a circuit flip touches that
-    // circuit, a switch flip touches its incident circuits.
+    // circuit's bit, a switch flip touches its incident circuits' bits.
     for (const Topology::StateChange e : changes_scratch_) {
       if (Topology::change_is_switch(e)) {
         for (const CircuitId c : topo_.incident(Topology::change_switch(e))) {
-          alive_[static_cast<std::size_t>(c)] = carries(c);
+          set_circuit_alive(c, topo_.circuit_carries_traffic(c));
         }
       } else {
         const CircuitId c = Topology::change_circuit(e);
-        alive_[static_cast<std::size_t>(c)] = carries(c);
+        set_circuit_alive(c, topo_.circuit_carries_traffic(c));
       }
     }
   } else {
     m_alive_full_rebuilds_.inc();
-    alive_.resize(topo_.num_circuits());
-    for (const topo::Circuit& c : topo_.circuits()) {
-      alive_[static_cast<std::size_t>(c.id)] = carries(c.id);
+    topo_.liveness_words(alive_words_);
+    // The full-rebuild path is also where out-of-band capacity edits land
+    // (bump_state_version resets journal coverage), so re-inline the split
+    // weights while we are touching every arc's circuit anyway.
+    for (Arc& arc : arcs_) {
+      arc.capacity_tbps =
+          topo_.circuit(static_cast<CircuitId>(arc.fwd_slot >> 1))
+              .capacity_tbps;
     }
   }
   alive_valid_ = true;
   alive_version_ = v;
 }
 
-std::size_t EcmpRouter::bfs_from_targets(const Demand& demand) {
-  std::fill(dist_.begin(), dist_.end(), kUnreached);
-  visit_order_.clear();
+std::size_t EcmpRouter::bfs_from_targets(Scratch& s,
+                                         const Demand& demand) const {
+  s.begin_bfs();
 
   for (const SwitchId t : demand.targets) {
     if (!topo_.sw(t).active()) continue;
-    if (dist_[static_cast<std::size_t>(t)] == kUnreached) {
-      dist_[static_cast<std::size_t>(t)] = 0;
-      visit_order_.push_back(t);
+    const auto ti = static_cast<std::size_t>(t);
+    if (s.stamp[ti] != s.epoch) {
+      s.stamp[ti] = s.epoch;
+      s.dist[ti] = 0;
+      s.volume[ti] = 0.0;  // lazy zero: only visited switches pay
+      s.visit_order.push_back(t);
     }
   }
-  if (visit_order_.empty()) return 0;
+  if (s.visit_order.empty()) return 0;
 
-  // Standard BFS; visit_order_ doubles as the queue (ascending distance).
-  for (std::size_t head = 0; head < visit_order_.size(); ++head) {
-    const SwitchId u = visit_order_[head];
-    const std::int32_t du = dist_[static_cast<std::size_t>(u)];
-    for (std::uint32_t i = offsets_[static_cast<std::size_t>(u)];
-         i < offsets_[static_cast<std::size_t>(u) + 1]; ++i) {
+  // Standard BFS; visit_order doubles as the queue (ascending distance).
+  // Stamping replaces the O(|S|) dist/volume clears of a naive BFS.
+  for (std::size_t head = 0; head < s.visit_order.size(); ++head) {
+    const SwitchId u = s.visit_order[head];
+    const std::int32_t du = s.dist[static_cast<std::size_t>(u)];
+    const std::uint32_t end = offsets_[static_cast<std::size_t>(u) + 1];
+    for (std::uint32_t i = offsets_[static_cast<std::size_t>(u)]; i < end;
+         ++i) {
       const Arc& arc = arcs_[i];
-      if (!alive_[static_cast<std::size_t>(arc.circuit)]) continue;
-      auto& dv = dist_[static_cast<std::size_t>(arc.neighbor)];
-      if (dv == kUnreached) {
-        dv = du + 1;
-        visit_order_.push_back(arc.neighbor);
+      if (!(alive_words_[arc.alive_word] & arc.alive_mask)) continue;
+      const auto ni = static_cast<std::size_t>(arc.neighbor);
+      if (s.stamp[ni] != s.epoch) {
+        s.stamp[ni] = s.epoch;
+        s.dist[ni] = du + 1;
+        s.volume[ni] = 0.0;
+        s.visit_order.push_back(arc.neighbor);
       }
     }
   }
-  return visit_order_.size();
+  return s.visit_order.size();
 }
 
 bool EcmpRouter::reachable(const Demand& demand) {
   refresh_alive();
-  if (bfs_from_targets(demand) == 0) return false;
+  if (bfs_from_targets(scratch_, demand) == 0) return false;
   for (const SwitchId s : demand.sources) {
-    if (topo_.sw(s).active() &&
-        dist_[static_cast<std::size_t>(s)] == kUnreached) {
-      return false;
-    }
+    if (topo_.sw(s).active() && !scratch_.reached(s)) return false;
   }
   return true;
 }
 
-bool EcmpRouter::inject_sources(const std::vector<const Demand*>& demands,
-                                const Demand** failed) {
+bool EcmpRouter::inject_sources(Scratch& s,
+                                const std::vector<const Demand*>& demands,
+                                const Demand** failed) const {
   for (const Demand* demand : demands) {
     // Count active sources and check reachability first (Eq. 4).
     std::size_t active_sources = 0;
-    for (const SwitchId s : demand->sources) {
-      if (!topo_.sw(s).active()) continue;
-      if (dist_[static_cast<std::size_t>(s)] == kUnreached) {
+    for (const SwitchId src : demand->sources) {
+      if (!topo_.sw(src).active()) continue;
+      if (!s.reached(src)) {
         if (failed != nullptr) *failed = demand;
         return false;
       }
@@ -152,68 +195,71 @@ bool EcmpRouter::inject_sources(const std::vector<const Demand*>& demands,
 
     const double per_source =
         demand->volume_tbps / static_cast<double>(active_sources);
-    for (const SwitchId s : demand->sources) {
-      if (topo_.sw(s).active() &&
-          dist_[static_cast<std::size_t>(s)] != kUnreached) {
-        volume_[static_cast<std::size_t>(s)] += per_source;
+    for (const SwitchId src : demand->sources) {
+      if (topo_.sw(src).active() && s.reached(src)) {
+        s.volume[static_cast<std::size_t>(src)] += per_source;
       }
     }
   }
   return true;
 }
 
-void EcmpRouter::propagate(LoadVector& loads) {
-  // Propagate along the DAG in decreasing distance: visit_order_ is in
-  // ascending distance, so walk it backwards. A switch's volume splits
-  // over circuits toward neighbors one step closer to a target.
-  for (std::size_t idx = visit_order_.size(); idx-- > 0;) {
-    const SwitchId u = visit_order_[idx];
-    const double vol = volume_[static_cast<std::size_t>(u)];
+void EcmpRouter::propagate(Scratch& s, std::vector<LoadEntry>& out) const {
+  // Propagate along the DAG in decreasing distance: visit_order is in
+  // ascending distance, so walk it backwards. A switch's volume splits over
+  // circuits toward neighbors one step closer to a target. A directional
+  // slot is appended at most once: the arc u -> n is a DAG edge only when
+  // dist[n] == dist[u] - 1, which the reverse direction cannot satisfy, and
+  // each directed arc is scanned exactly once.
+  for (std::size_t idx = s.visit_order.size(); idx-- > 0;) {
+    const SwitchId u = s.visit_order[idx];
+    const double vol = s.volume[static_cast<std::size_t>(u)];
     if (vol <= 0.0) continue;
-    const std::int32_t du = dist_[static_cast<std::size_t>(u)];
+    const std::int32_t du = s.dist[static_cast<std::size_t>(u)];
     if (du == 0) continue;  // absorbed at a target
 
     // Single scan: collect the equal-cost next hops and their total split
     // weight (hop count for plain ECMP, summed capacity for weighted ECMP).
-    next_hops_.clear();
+    // An alive arc from a reached switch always has a reached neighbor (BFS
+    // relaxed it under the same liveness words), so dist reads are valid.
+    s.next_hops.clear();
     double total_weight = 0.0;
-    for (std::uint32_t i = offsets_[static_cast<std::size_t>(u)];
-         i < offsets_[static_cast<std::size_t>(u) + 1]; ++i) {
+    const std::uint32_t end = offsets_[static_cast<std::size_t>(u) + 1];
+    for (std::uint32_t i = offsets_[static_cast<std::size_t>(u)]; i < end;
+         ++i) {
       const Arc& arc = arcs_[i];
-      if (!alive_[static_cast<std::size_t>(arc.circuit)]) continue;
-      if (dist_[static_cast<std::size_t>(arc.neighbor)] != du - 1) continue;
-      next_hops_.push_back(i);
-      total_weight += mode_ == SplitMode::kEqualSplit
-                          ? 1.0
-                          : topo_.circuit(arc.circuit).capacity_tbps;
+      if (!(alive_words_[arc.alive_word] & arc.alive_mask)) continue;
+      assert(s.reached(arc.neighbor));
+      if (s.dist[static_cast<std::size_t>(arc.neighbor)] != du - 1) continue;
+      s.next_hops.push_back(i);
+      total_weight +=
+          mode_ == SplitMode::kEqualSplit ? 1.0 : arc.capacity_tbps;
     }
     assert(total_weight > 0.0 && "reached switch must have a next hop");
 
-    for (const std::uint32_t i : next_hops_) {
+    for (const std::uint32_t i : s.next_hops) {
       const Arc& arc = arcs_[i];
-      const topo::Circuit& c = topo_.circuit(arc.circuit);
       const double weight =
-          mode_ == SplitMode::kEqualSplit ? 1.0 : c.capacity_tbps;
+          mode_ == SplitMode::kEqualSplit ? 1.0 : arc.capacity_tbps;
       const double share = vol * weight / total_weight;
-      // Direction: u -> neighbor. Slot 2c is a->b.
-      const std::size_t slot = static_cast<std::size_t>(arc.circuit) * 2 +
-                               (c.a == u ? 0 : 1);
-      loads[slot] += share;
-      volume_[static_cast<std::size_t>(arc.neighbor)] += share;
+      out.push_back(LoadEntry{arc.fwd_slot, share});
+      s.volume[static_cast<std::size_t>(arc.neighbor)] += share;
     }
   }
 }
 
 bool EcmpRouter::assign(const Demand& demand, LoadVector& loads) {
   loads.resize(topo_.num_circuits() * 2, 0.0);
+  touched_valid_ = false;
 
   refresh_alive();
-  if (bfs_from_targets(demand) == 0) return false;
+  if (bfs_from_targets(scratch_, demand) == 0) return false;
 
-  std::fill(volume_.begin(), volume_.end(), 0.0);
   const std::vector<const Demand*> group = {&demand};
-  if (!inject_sources(group, nullptr)) return false;
-  propagate(loads);
+  if (!inject_sources(scratch_, group, nullptr)) return false;
+  entries_scratch_.clear();
+  propagate(scratch_, entries_scratch_);
+  for (const LoadEntry& e : entries_scratch_) loads[e.slot] += e.value;
   return true;
 }
 
@@ -255,26 +301,48 @@ std::vector<std::vector<std::uint32_t>> EcmpRouter::group_by_targets(
   return groups;
 }
 
-bool EcmpRouter::run_group(const DemandSet& demands,
+bool EcmpRouter::run_group(Scratch& s, const DemandSet& demands,
                            const std::vector<std::uint32_t>& indices,
-                           LoadVector& loads, std::string* failed_demand) {
+                           std::vector<LoadEntry>& out,
+                           std::string* failed_demand) const {
   // All demands of a group share one target set, hence one BFS. ECMP load
   // is linear in injected volume over a fixed shortest-path DAG, so one
   // merged propagation equals the sum of per-demand assignments.
   const Demand& representative = demands[indices.front()];
-  if (bfs_from_targets(representative) == 0) {
+  if (bfs_from_targets(s, representative) == 0) {
     if (failed_demand != nullptr) *failed_demand = representative.name;
     return false;
   }
-  std::fill(volume_.begin(), volume_.end(), 0.0);
-  group_ptrs_.clear();
-  for (const std::uint32_t i : indices) group_ptrs_.push_back(&demands[i]);
+  s.group_ptrs.clear();
+  for (const std::uint32_t i : indices) s.group_ptrs.push_back(&demands[i]);
   const Demand* failed = nullptr;
-  if (!inject_sources(group_ptrs_, &failed)) {
+  if (!inject_sources(s, s.group_ptrs, &failed)) {
     if (failed_demand != nullptr) *failed_demand = failed->name;
     return false;
   }
-  propagate(loads);
+  propagate(s, out);
+  return true;
+}
+
+bool EcmpRouter::recompute_group(Scratch& s, DemandGroup& g,
+                                 std::string* failed_demand) const {
+  m_group_recomputes_.inc();  // physical count (includes parallel overshoot)
+  g.valid = false;
+  g.entries.clear();
+  if (!run_group(s, *bound_, g.demand_indices, g.entries, failed_demand)) {
+    return false;
+  }
+  // Materialize a dense distance snapshot for the dirty screening (it reads
+  // arbitrary endpoints, so sparse stamped storage would not help there).
+  if (g.dist.size() == num_switches_) {
+    std::fill(g.dist.begin(), g.dist.end(), kUnreached);
+  } else {
+    g.dist.assign(num_switches_, kUnreached);
+  }
+  for (const SwitchId u : s.visit_order) {
+    g.dist[static_cast<std::size_t>(u)] = s.dist[static_cast<std::size_t>(u)];
+  }
+  g.valid = true;
   return true;
 }
 
@@ -283,19 +351,21 @@ void EcmpRouter::bind_demands(const DemandSet& demands) {
   bound_size_ = demands.size();
   groups_.clear();
   groups_ready_ = false;
+  touched_valid_ = false;
+  const std::size_t words = word_count(num_switches_);
   auto grouping = group_by_targets(demands);
   groups_.resize(grouping.size());
   for (std::size_t gi = 0; gi < grouping.size(); ++gi) {
     DemandGroup& g = groups_[gi];
     g.demand_indices = std::move(grouping[gi]);
-    g.relevant.assign(num_switches_, 0);
+    g.relevant_words.assign(words, 0);
+    const auto mark = [&](SwitchId s) {
+      g.relevant_words[static_cast<std::size_t>(s) >> 6] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(s) & 63);
+    };
     for (const std::uint32_t i : g.demand_indices) {
-      for (const SwitchId s : demands[i].sources) {
-        g.relevant[static_cast<std::size_t>(s)] = 1;
-      }
-      for (const SwitchId t : demands[i].targets) {
-        g.relevant[static_cast<std::size_t>(t)] = 1;
-      }
+      for (const SwitchId s : demands[i].sources) mark(s);
+      for (const SwitchId t : demands[i].targets) mark(t);
     }
   }
 }
@@ -303,32 +373,49 @@ void EcmpRouter::bind_demands(const DemandSet& demands) {
 void EcmpRouter::mark_dirty_groups(
     const std::vector<topo::Topology::StateChange>& changes,
     std::vector<std::uint8_t>& dirty) {
-  if (circuit_stamp_.size() < topo_.num_circuits()) {
-    circuit_stamp_.resize(topo_.num_circuits(), 0);
+  const std::size_t switch_words = word_count(num_switches_);
+  const std::size_t circuit_words = word_count(topo_.num_circuits());
+  if (changed_switch_words_.size() < switch_words) {
+    changed_switch_words_.resize(switch_words, 0);
   }
-  ++circuit_epoch_;
-  affected_scratch_.clear();
-  const auto touch = [&](CircuitId c) {
-    auto& stamp = circuit_stamp_[static_cast<std::size_t>(c)];
-    if (stamp != circuit_epoch_) {
-      stamp = circuit_epoch_;
-      affected_scratch_.push_back(c);
+  if (changed_circuit_words_.size() < circuit_words) {
+    changed_circuit_words_.resize(circuit_words, 0);
+  }
+  changed_switch_word_idx_.clear();
+  changed_circuit_word_idx_.clear();
+  const auto touch_circuit = [&](CircuitId c) {
+    const auto w = static_cast<std::size_t>(c) >> 6;
+    if (changed_circuit_words_[w] == 0) {
+      changed_circuit_word_idx_.push_back(static_cast<std::uint32_t>(w));
     }
+    changed_circuit_words_[w] |= std::uint64_t{1}
+                                 << (static_cast<std::size_t>(c) & 63);
   };
   for (const Topology::StateChange e : changes) {
     if (Topology::change_is_switch(e)) {
       const SwitchId s = Topology::change_switch(e);
-      // A flipped switch dirties every group it sources or sinks (injection
-      // and target activation depend on its state) ...
-      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-        if (!dirty[gi] && groups_[gi].relevant[static_cast<std::size_t>(s)]) {
-          dirty[gi] = 1;
-        }
+      const auto w = static_cast<std::size_t>(s) >> 6;
+      if (changed_switch_words_[w] == 0) {
+        changed_switch_word_idx_.push_back(static_cast<std::uint32_t>(w));
       }
-      // ... and its incident circuits' liveness may have flipped.
-      for (const CircuitId c : topo_.incident(s)) touch(c);
+      changed_switch_words_[w] |= std::uint64_t{1}
+                                  << (static_cast<std::size_t>(s) & 63);
+      // The switch's incident circuits' liveness may have flipped.
+      for (const CircuitId c : topo_.incident(s)) touch_circuit(c);
     } else {
-      touch(Topology::change_circuit(e));
+      touch_circuit(Topology::change_circuit(e));
+    }
+  }
+
+  // A flipped switch dirties every group it sources or sinks (injection and
+  // target activation depend on its state): word-AND the changed-switch set
+  // against each group's packed relevant set — 64 switches per compare.
+  for (const std::uint32_t w : changed_switch_word_idx_) {
+    const std::uint64_t mask = changed_switch_words_[w];
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+      if (!dirty[gi] && (groups_[gi].relevant_words[w] & mask) != 0) {
+        dirty[gi] = 1;
+      }
     }
   }
 
@@ -342,30 +429,107 @@ void EcmpRouter::mark_dirty_groups(
   //    candidate, i.e. both endpoints reached at distances differing by 1.
   // Conservative: a circuit journaled without a net liveness change may
   // still mark a group dirty; never the other way around.
-  for (const CircuitId c : affected_scratch_) {
-    const topo::Circuit& cc = topo_.circuit(c);
-    const bool alive_now = alive_[static_cast<std::size_t>(c)] != 0;
-    for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-      if (dirty[gi]) continue;
-      const DemandGroup& g = groups_[gi];
-      const std::int32_t da = g.dist[static_cast<std::size_t>(cc.a)];
-      const std::int32_t db = g.dist[static_cast<std::size_t>(cc.b)];
-      if (alive_now) {
-        const bool equal_reached = da != kUnreached && da == db;
-        const bool both_unreached = da == kUnreached && db == kUnreached;
-        if (!equal_reached && !both_unreached) dirty[gi] = 1;
-      } else {
-        if (da != kUnreached && db != kUnreached &&
-            (da - db == 1 || db - da == 1)) {
-          dirty[gi] = 1;
+  long long screened = 0;
+  for (const std::uint32_t w : changed_circuit_word_idx_) {
+    std::uint64_t bits = changed_circuit_words_[w];
+    screened += std::popcount(bits);
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto c = static_cast<CircuitId>((static_cast<std::size_t>(w) << 6) +
+                                            static_cast<std::size_t>(bit));
+      const topo::Circuit& cc = topo_.circuit(c);
+      const bool alive_now = circuit_alive(c);
+      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        if (dirty[gi]) continue;
+        const DemandGroup& g = groups_[gi];
+        if (g.dist.size() != num_switches_) {
+          dirty[gi] = 1;  // no usable snapshot: recompute
+          continue;
+        }
+        const std::int32_t da = g.dist[static_cast<std::size_t>(cc.a)];
+        const std::int32_t db = g.dist[static_cast<std::size_t>(cc.b)];
+        if (alive_now) {
+          const bool equal_reached = da != kUnreached && da == db;
+          const bool both_unreached = da == kUnreached && db == kUnreached;
+          if (!equal_reached && !both_unreached) dirty[gi] = 1;
+        } else {
+          if (da != kUnreached && db != kUnreached &&
+              (da - db == 1 || db - da == 1)) {
+            dirty[gi] = 1;
+          }
         }
       }
+    }
+  }
+  m_dirty_screen_circuits_.inc(screened);
+
+  // Zero only the touched words so the bitmaps are clean for the next call.
+  for (const std::uint32_t w : changed_switch_word_idx_) {
+    changed_switch_words_[w] = 0;
+  }
+  for (const std::uint32_t w : changed_circuit_word_idx_) {
+    changed_circuit_words_[w] = 0;
+  }
+}
+
+void EcmpRouter::rebuild_total(std::size_t load_size) {
+  if (total_loads_.size() != load_size) {
+    total_loads_.assign(load_size, 0.0);
+    total_touched_slots_.clear();
+  } else {
+    // Zero only the slots the previous total touched.
+    for (const std::uint32_t slot : total_touched_slots_) {
+      total_loads_[slot] = 0.0;
+    }
+  }
+  if (slot_stamp_.size() < load_size) slot_stamp_.resize(load_size, 0);
+  if (++slot_epoch_ == 0) {
+    std::fill(slot_stamp_.begin(), slot_stamp_.end(), 0);
+    slot_epoch_ = 1;
+  }
+  total_touched_slots_.clear();
+
+  // Accumulate the sparse group contributions in group order: within one
+  // group each slot appears at most once, so the per-slot addition sequence
+  // is exactly the dense per-group sum's — bit-identical result.
+  for (const DemandGroup& g : groups_) {
+    for (const LoadEntry& e : g.entries) {
+      total_loads_[e.slot] += e.value;
+      if (slot_stamp_[e.slot] != slot_epoch_) {
+        slot_stamp_[e.slot] = slot_epoch_;
+        total_touched_slots_.push_back(e.slot);
+      }
+    }
+  }
+
+  // Touched circuits, ascending, for the utilization fast path. Shares are
+  // strictly positive, so every touched slot's total is non-zero. Marking
+  // bits and then scanning the word array gives ascending order for a
+  // popcount pass over C/64 words — no comparison sort.
+  const std::size_t circuit_words = word_count(topo_.num_circuits());
+  if (touched_circuit_words_.size() < circuit_words) {
+    touched_circuit_words_.resize(circuit_words, 0);
+  }
+  for (const std::uint32_t slot : total_touched_slots_) {
+    const std::uint32_t c = slot >> 1;
+    touched_circuit_words_[c >> 6] |= std::uint64_t{1} << (c & 63);
+  }
+  touched_circuits_.clear();
+  for (std::size_t w = 0; w < circuit_words; ++w) {
+    std::uint64_t bits = touched_circuit_words_[w];
+    if (bits == 0) continue;
+    touched_circuit_words_[w] = 0;
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      touched_circuits_.push_back(
+          static_cast<CircuitId>((w << 6) + static_cast<std::size_t>(bit)));
     }
   }
 }
 
 bool EcmpRouter::assign_bound(LoadVector& loads, std::string* failed_demand) {
-  const DemandSet& demands = *bound_;
   refresh_alive();
   const std::uint64_t v = topo_.state_version();
 
@@ -392,43 +556,82 @@ bool EcmpRouter::assign_bound(LoadVector& loads, std::string* failed_demand) {
   // groups_ready_ && v == groups_version_: every cache is current.
 
   if (any_dirty) {
+    job_groups_.clear();
     for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-      DemandGroup& g = groups_[gi];
-      if (!dirty_scratch_[gi]) {
-        ++group_reuses_;
-        m_group_reuses_.inc();
-        continue;
-      }
-      ++group_recomputes_;
-      m_group_recomputes_.inc();
-      g.valid = false;
-      g.loads.assign(loads.size(), 0.0);
-      if (!run_group(demands, g.demand_indices, g.loads, failed_demand)) {
-        groups_ready_ = false;
-        return false;
-      }
-      g.dist = dist_;
-      g.valid = true;
-    }
-    total_loads_.assign(loads.size(), 0.0);
-    for (const DemandGroup& g : groups_) {
-      for (std::size_t i = 0; i < total_loads_.size(); ++i) {
-        total_loads_[i] += g.loads[i];
+      if (dirty_scratch_[gi]) {
+        job_groups_.push_back(static_cast<std::uint32_t>(gi));
       }
     }
+    if (threads_.empty() || job_groups_.size() < 2) {
+      // Serial path: recompute in group order, stopping at the first
+      // failure. These loops define the logical counter semantics the
+      // parallel path reproduces.
+      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        if (!dirty_scratch_[gi]) {
+          ++group_reuses_;
+          m_group_reuses_.inc();
+          continue;
+        }
+        ++group_recomputes_;
+        if (!recompute_group(scratch_, groups_[gi], failed_demand)) {
+          groups_ready_ = false;
+          touched_valid_ = false;
+          return false;
+        }
+      }
+    } else {
+      // Parallel path: physically recompute every dirty group on the pool,
+      // then replay the serial loop's accounting in group order on this
+      // thread — loads, failure identity, and the logical counters come out
+      // bit-identical to the serial path.
+      njobs_ = job_groups_.size();
+      job_ok_.assign(njobs_, 0);
+      job_fail_.assign(njobs_, std::string());
+      m_parallel_batches_.inc();
+      m_parallel_jobs_.inc(static_cast<long long>(njobs_));
+      run_jobs_parallel();
+      std::size_t job = 0;
+      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        if (!dirty_scratch_[gi]) {
+          ++group_reuses_;
+          m_group_reuses_.inc();
+          continue;
+        }
+        ++group_recomputes_;
+        const std::size_t j = job++;
+        if (!job_ok_[j]) {
+          if (failed_demand != nullptr) *failed_demand = job_fail_[j];
+          groups_ready_ = false;
+          touched_valid_ = false;
+          return false;
+        }
+      }
+    }
+    rebuild_total(loads.size());
     groups_ready_ = true;
     groups_version_ = v;
   } else if (!groups_ready_) {
     // Empty bound set: nothing to compute, caches are trivially current.
     total_loads_.assign(loads.size(), 0.0);
+    total_touched_slots_.clear();
+    touched_circuits_.clear();
     groups_ready_ = true;
     groups_version_ = v;
   } else {
     group_reuses_ += static_cast<long long>(groups_.size());
     m_group_reuses_.inc(static_cast<long long>(groups_.size()));
+    // The screening proved the caches valid at v; advance so the next call
+    // does not replay the same journal suffix again.
+    groups_version_ = v;
   }
 
-  for (std::size_t i = 0; i < loads.size(); ++i) loads[i] += total_loads_[i];
+  // Sparse scatter over the touched slots only. Untouched slots hold +0.0 in
+  // the dense total, and x += +0.0 is an exact no-op for the non-negative
+  // loads we produce, so this equals the dense add.
+  for (const std::uint32_t slot : total_touched_slots_) {
+    loads[slot] += total_loads_[slot];
+  }
+  touched_valid_ = true;
   return true;
 }
 
@@ -441,11 +644,100 @@ bool EcmpRouter::assign_all(const DemandSet& demands, LoadVector& loads,
 
   // Unbound one-shot path: group by target set (hash map, first-occurrence
   // order) and evaluate each group once, without caching.
+  touched_valid_ = false;
   refresh_alive();
   for (const auto& indices : group_by_targets(demands)) {
-    if (!run_group(demands, indices, loads, failed_demand)) return false;
+    entries_scratch_.clear();
+    if (!run_group(scratch_, demands, indices, entries_scratch_,
+                   failed_demand)) {
+      return false;
+    }
+    for (const LoadEntry& e : entries_scratch_) loads[e.slot] += e.value;
   }
   return true;
+}
+
+void EcmpRouter::set_num_workers(int n) {
+  const std::size_t want = n > 1 ? static_cast<std::size_t>(n) : 0;
+  if (want == threads_.size()) return;
+  stop_workers();
+  if (want == 0) return;
+  worker_scratch_.clear();
+  worker_scratch_.reserve(want);
+  threads_.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    worker_scratch_.push_back(std::make_unique<Scratch>());
+    worker_scratch_.back()->init(num_switches_);
+  }
+  for (std::size_t i = 0; i < want; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void EcmpRouter::stop_workers() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  worker_scratch_.clear();
+  stop_ = false;
+  // Restart the generation clock: freshly spawned workers begin at seen = 0,
+  // so a stale non-zero generation would wake them into the previous pool's
+  // job state before any batch is published.
+  generation_ = 0;
+  active_ = 0;
+}
+
+void EcmpRouter::worker_loop(std::size_t widx) {
+  std::uint64_t seen = 0;
+  Scratch& scratch = *worker_scratch_[widx];
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    for (;;) {
+      const std::size_t j = next_.fetch_add(1, std::memory_order_relaxed);
+      if (j >= njobs_) break;
+      std::string fail;
+      const bool ok =
+          recompute_group(scratch, groups_[job_groups_[j]], &fail);
+      job_ok_[j] = ok ? 1 : 0;
+      if (!ok) job_fail_[j] = std::move(fail);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void EcmpRouter::run_jobs_parallel() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    next_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The calling thread drains jobs too — with a small pool most of the
+  // work would otherwise sit behind one wakeup latency.
+  for (;;) {
+    const std::size_t j = next_.fetch_add(1, std::memory_order_relaxed);
+    if (j >= njobs_) break;
+    std::string fail;
+    const bool ok = recompute_group(scratch_, groups_[job_groups_[j]], &fail);
+    job_ok_[j] = ok ? 1 : 0;
+    if (!ok) job_fail_[j] = std::move(fail);
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return active_ == 0; });
 }
 
 double max_utilization(const topo::Topology& topo, const LoadVector& loads) {
@@ -464,6 +756,29 @@ WorstCircuit worst_circuit(const topo::Topology& topo,
     if (util > worst.utilization) {
       worst.utilization = util;
       worst.circuit = static_cast<CircuitId>(c);
+    }
+  }
+  return worst;
+}
+
+double max_utilization(const topo::Topology& topo, const LoadVector& loads,
+                       const std::vector<topo::CircuitId>& touched) {
+  return worst_circuit(topo, loads, touched).utilization;
+}
+
+WorstCircuit worst_circuit(const topo::Topology& topo, const LoadVector& loads,
+                           const std::vector<topo::CircuitId>& touched) {
+  WorstCircuit worst;
+  const std::size_t n = std::min(loads.size() / 2, topo.num_circuits());
+  for (const CircuitId c : touched) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (ci >= n) continue;
+    const double load = std::max(loads[ci * 2], loads[ci * 2 + 1]);
+    if (load <= 0.0) continue;
+    const double util = load / topo.circuit(c).capacity_tbps;
+    if (util > worst.utilization) {
+      worst.utilization = util;
+      worst.circuit = c;
     }
   }
   return worst;

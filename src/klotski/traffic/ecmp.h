@@ -12,14 +12,38 @@
 //
 // One assignment is Theta(|S| + |C|), matching the satisfiability-check
 // cost in Theorems 1 and 2. The planner hot path amortizes that cost across
-// nearby topology states: the liveness bitmap refreshes only when the
-// topology's state version moved (replaying the change journal when it
-// covers the gap), and a bound demand set keeps per-group shortest-path
-// distances and load contributions, recomputing only the groups a change
-// can actually affect.
+// nearby topology states, and the engine is laid out so an assignment only
+// pays for what it actually touches:
+//
+//  * Epoch-stamped scratch — dist/volume validity is a per-switch stamp
+//    compared against a per-BFS epoch, so starting a BFS never clears the
+//    O(|S|) arrays; only visited switches are written.
+//  * Word-packed liveness — "circuit carries traffic" lives in uint64 words
+//    (bit per circuit), refreshed by journal replay; per-group relevant
+//    switch sets are packed the same way so the dirty screening in
+//    mark_dirty_groups is word-AND + popcount work, not byte scans.
+//  * Flat arc records — the CSR arc inlines the neighbor, the directional
+//    load slot, the liveness word/mask, and the circuit capacity, so BFS and
+//    propagation read one contiguous stream instead of chasing Circuit
+//    records through the topology.
+//  * Sparse group loads — a bound demand group caches its load contribution
+//    as (slot, value) pairs in propagation order (each slot is written at
+//    most once per group), so re-summing after a sparse invalidation costs
+//    the touched slots, not groups × circuits.
+//  * Intra-check parallelism — with set_num_workers(n > 1), the dirty
+//    groups of one bound assign_all recompute concurrently on a private
+//    worker pool (per-worker scratch, per-group output buffers) and reduce
+//    into the total in group order on the calling thread, which keeps the
+//    result bit-identical to the serial engine, logical counters included.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "klotski/obs/metrics.h"
@@ -48,14 +72,29 @@ enum class SplitMode : std::uint8_t { kEqualSplit, kCapacityWeighted };
 
 class EcmpRouter {
  public:
-  /// Captures the immutable structure (CSR adjacency). Element states are
-  /// read from `topo` at assignment time, so the same router serves every
-  /// intermediate topology of a migration.
+  /// Captures the immutable structure (CSR adjacency, inlined capacities).
+  /// Element states are read from `topo` at assignment time, so the same
+  /// router serves every intermediate topology of a migration. Capacity
+  /// edits after construction follow the topology's out-of-band contract:
+  /// call Topology::bump_state_version() and the next refresh re-reads them.
   explicit EcmpRouter(const topo::Topology& topo,
                       SplitMode mode = SplitMode::kEqualSplit);
+  ~EcmpRouter();
+
+  EcmpRouter(const EcmpRouter&) = delete;
+  EcmpRouter& operator=(const EcmpRouter&) = delete;
 
   SplitMode split_mode() const { return mode_; }
   void set_split_mode(SplitMode mode);
+
+  /// Intra-check worker pool size for bound assign_all: n > 1 spawns n
+  /// worker threads that recompute independent dirty demand groups
+  /// concurrently. Results are bit-identical to the serial engine (same
+  /// loads, same failure, same logical counters); only wall-clock and the
+  /// physical obs counters change. n <= 1 joins the pool and restores the
+  /// fully serial path. Not thread-safe against concurrent assign calls.
+  void set_num_workers(int n);
+  int num_workers() const { return static_cast<int>(threads_.size()); }
 
   /// Adds this demand's circuit loads into `loads` (resized if needed).
   /// Returns false — without touching `loads` beyond possible resizing —
@@ -64,7 +103,7 @@ class EcmpRouter {
   bool assign(const Demand& demand, LoadVector& loads);
 
   /// Assigns a whole demand set, sharing work across demands: the liveness
-  /// bitmap is refreshed only when the topology changed, and demands with
+  /// words are refreshed only when the topology changed, and demands with
   /// identical target sets share one BFS and one load propagation (ECMP is
   /// linear in the injected volume for a fixed DAG, so merged propagation
   /// is exact). When `demands` is the currently bound set (bind_demands),
@@ -89,42 +128,103 @@ class EcmpRouter {
 
   std::size_t num_switches() const { return num_switches_; }
 
+  /// After a successful *bound* assign_all: the ascending-id list of
+  /// circuits that carry any of the bound set's load. Lets utilization
+  /// scans (max_utilization / worst_circuit / DemandChecker) visit only
+  /// loaded circuits instead of all of them. touched_valid() goes false on
+  /// unbound or failed assignments, rebinding, and single-demand assign();
+  /// callers must then fall back to the full-circuit scan.
+  bool touched_valid() const { return touched_valid_; }
+  const std::vector<topo::CircuitId>& touched_circuits() const {
+    return touched_circuits_;
+  }
+
   /// Group recomputations saved by the incremental cache (diagnostics).
+  /// Logical counters: invariant under num_workers.
   long long group_recomputes() const { return group_recomputes_; }
   long long group_reuses() const { return group_reuses_; }
 
  private:
-  /// One target-set group of the bound demand set, with its cached BFS
-  /// distances and load contribution (valid while `valid`).
-  struct DemandGroup {
-    std::vector<std::uint32_t> demand_indices;  // into the bound set
-    std::vector<std::uint8_t> relevant;  // switch id -> source/target member
-    bool valid = false;
-    std::vector<std::int32_t> dist;
-    LoadVector loads;
+  /// One (slot, value) pair of a group's load contribution. Propagation
+  /// writes each directional slot at most once per group (a circuit is a
+  /// DAG edge in at most one direction), so a group's load vector is exactly
+  /// its entry list — no dense scatter needed until summation.
+  struct LoadEntry {
+    std::uint32_t slot;
+    double value;
   };
 
-  /// Runs the BFS from the demand's targets; fills dist_ and visit_order_.
-  /// Returns number of visited switches (0 if no active target).
-  std::size_t bfs_from_targets(const Demand& demand);
+  /// One target-set group of the bound demand set, with its cached BFS
+  /// distances and sparse load contribution (valid while `valid`).
+  struct DemandGroup {
+    std::vector<std::uint32_t> demand_indices;  // into the bound set
+    std::vector<std::uint64_t> relevant_words;  // switch-id bitset
+    bool valid = false;
+    std::vector<std::int32_t> dist;  // dense; kUnreached where not visited
+    std::vector<LoadEntry> entries;  // propagation order
+  };
 
-  /// Injects every demand's volume at its active sources (volume_ must be
-  /// zeroed); returns false when a demand has an active source the current
-  /// dist_ cannot reach, reporting the demand via `failed`.
-  bool inject_sources(const std::vector<const Demand*>& demands,
-                      const Demand** failed);
+  /// Flat CSR arc record: everything BFS + propagation need, contiguous.
+  /// For switch s, its arcs are arcs_[offsets_[s]..offsets_[s+1]).
+  struct Arc {
+    topo::SwitchId neighbor;
+    std::uint32_t fwd_slot;    // load slot for the s -> neighbor direction
+    std::uint32_t alive_word;  // index into alive_words_
+    std::uint32_t pad_ = 0;
+    std::uint64_t alive_mask;  // single-bit mask within alive_word
+    double capacity_tbps;      // split weight for kCapacityWeighted
+  };
+  static_assert(sizeof(topo::SwitchId) == 4, "Arc layout assumes 32-bit ids");
 
-  /// Propagates volume_ down the current shortest-path DAG into `loads`.
-  void propagate(LoadVector& loads);
+  /// Per-thread BFS/propagation scratch. The epoch stamp makes dist/volume
+  /// reads self-invalidating: an entry is live iff stamp[s] == epoch, so a
+  /// new BFS only bumps the epoch instead of clearing O(|S|) arrays.
+  struct Scratch {
+    std::vector<std::int32_t> dist;
+    std::vector<std::uint32_t> stamp;
+    std::uint32_t epoch = 0;
+    std::vector<topo::SwitchId> visit_order;  // ascending distance
+    std::vector<double> volume;               // per-switch pending volume
+    std::vector<std::uint32_t> next_hops;     // per-switch DAG arc scratch
+    std::vector<const Demand*> group_ptrs;
+
+    void init(std::size_t num_switches);
+    /// Starts a BFS generation; handles the (rare) epoch wrap.
+    void begin_bfs();
+    bool reached(topo::SwitchId s) const {
+      return stamp[static_cast<std::size_t>(s)] == epoch;
+    }
+  };
+
+  /// Runs the BFS from the demand's targets into `s`; visited switches get
+  /// dist stamped and volume zeroed. Returns the number of visited switches
+  /// (0 if no active target).
+  std::size_t bfs_from_targets(Scratch& s, const Demand& demand) const;
+
+  /// Injects every demand's volume at its active sources; returns false when
+  /// a demand has an active source the current BFS did not reach, reporting
+  /// the demand via `failed`.
+  bool inject_sources(Scratch& s, const std::vector<const Demand*>& demands,
+                      const Demand** failed) const;
+
+  /// Propagates scratch volume down the current shortest-path DAG, appending
+  /// (slot, value) entries to `out` (each slot at most once).
+  void propagate(Scratch& s, std::vector<LoadEntry>& out) const;
 
   /// Groups demand indices by identical target sets, first-occurrence order.
   static std::vector<std::vector<std::uint32_t>> group_by_targets(
       const DemandSet& demands);
 
   /// BFS + inject + propagate for one group of the given demand set.
-  bool run_group(const DemandSet& demands,
-                 const std::vector<std::uint32_t>& indices, LoadVector& loads,
-                 std::string* failed_demand);
+  bool run_group(Scratch& s, const DemandSet& demands,
+                 const std::vector<std::uint32_t>& indices,
+                 std::vector<LoadEntry>& out,
+                 std::string* failed_demand) const;
+
+  /// Recomputes one bound group into its cache (entries + dist snapshot).
+  /// Thread-safe for distinct groups with distinct scratch.
+  bool recompute_group(Scratch& s, DemandGroup& g,
+                       std::string* failed_demand) const;
 
   /// The incremental path for the bound set.
   bool assign_bound(LoadVector& loads, std::string* failed_demand);
@@ -134,38 +234,60 @@ class EcmpRouter {
   void mark_dirty_groups(const std::vector<topo::Topology::StateChange>& changes,
                          std::vector<std::uint8_t>& dirty);
 
+  /// Re-sums total_loads_ from the per-group entry lists in group order
+  /// (bit-identical to a dense sum), zeroing only previously-touched slots,
+  /// and rebuilds the ascending touched-circuit list.
+  void rebuild_total(std::size_t load_size);
+
+  /// Brings the liveness words (and, on full rebuilds, the inlined arc
+  /// capacities) up to the topology's current state version: a no-op when
+  /// unchanged, a journal replay when the gap is covered, one sequential
+  /// pass otherwise.
+  void refresh_alive();
+
+  bool circuit_alive(topo::CircuitId c) const {
+    return (alive_words_[static_cast<std::size_t>(c) >> 6] >>
+            (static_cast<std::size_t>(c) & 63)) &
+           1;
+  }
+  void set_circuit_alive(topo::CircuitId c, bool alive) {
+    const std::uint64_t mask = std::uint64_t{1}
+                               << (static_cast<std::size_t>(c) & 63);
+    if (alive) {
+      alive_words_[static_cast<std::size_t>(c) >> 6] |= mask;
+    } else {
+      alive_words_[static_cast<std::size_t>(c) >> 6] &= ~mask;
+    }
+  }
+
+  // Worker pool (intra-check parallel dirty-group recompute).
+  void worker_loop(std::size_t widx);
+  void stop_workers();
+  /// Runs job_groups_ on the pool and waits for completion.
+  void run_jobs_parallel();
+
   const topo::Topology& topo_;
   SplitMode mode_ = SplitMode::kEqualSplit;
   std::size_t num_switches_ = 0;
 
-  // CSR adjacency: for switch s, neighbors_[offsets_[s]..offsets_[s+1]).
-  struct Arc {
-    topo::CircuitId circuit;
-    topo::SwitchId neighbor;
-  };
   std::vector<std::uint32_t> offsets_;
   std::vector<Arc> arcs_;
 
-  /// Brings the per-circuit liveness bitmap up to the topology's current
-  /// state version: a no-op when unchanged, a journal replay when the gap
-  /// is covered, one sequential pass otherwise.
-  void refresh_alive();
-
-  // Scratch reused across assignments (single-threaded use).
   static constexpr std::int32_t kUnreached = -1;
-  std::vector<std::int32_t> dist_;
-  std::vector<topo::SwitchId> visit_order_;  // ascending distance
-  std::vector<double> volume_;               // per-switch pending volume
-  std::vector<std::uint8_t> alive_;          // circuit carries traffic now
-  std::vector<std::uint32_t> next_hops_;     // per-switch DAG arc scratch
+  Scratch scratch_;  // the calling thread's scratch
+  std::vector<LoadEntry> entries_scratch_;
+  std::vector<std::uint64_t> alive_words_;  // bit c = circuit c carries traffic
   bool alive_valid_ = false;
   std::uint64_t alive_version_ = 0;
   std::vector<topo::Topology::StateChange> changes_scratch_;
-  std::vector<std::uint32_t> circuit_stamp_;  // affected-circuit dedup
-  std::uint32_t circuit_epoch_ = 0;
-  std::vector<topo::CircuitId> affected_scratch_;
-  std::vector<std::uint8_t> dirty_scratch_;   // per-group dirty flags
-  std::vector<const Demand*> group_ptrs_;     // inject_sources scratch
+
+  // mark_dirty_groups scratch: word-packed changed-element sets, cleared
+  // word-by-word after use (only touched words are written).
+  std::vector<std::uint64_t> changed_switch_words_;
+  std::vector<std::uint64_t> changed_circuit_words_;
+  std::vector<std::uint32_t> changed_switch_word_idx_;
+  std::vector<std::uint32_t> changed_circuit_word_idx_;
+  std::vector<std::uint8_t> dirty_scratch_;  // per-group dirty flags
 
   // Bound demand set and its incremental per-group caches.
   const DemandSet* bound_ = nullptr;
@@ -173,19 +295,45 @@ class EcmpRouter {
   std::vector<DemandGroup> groups_;
   bool groups_ready_ = false;
   std::uint64_t groups_version_ = 0;
-  LoadVector total_loads_;  // sum over group loads at groups_version_
+  LoadVector total_loads_;  // sum over group entries at groups_version_
+  std::vector<std::uint32_t> total_touched_slots_;  // nonzero slots of total
+  std::vector<std::uint32_t> slot_stamp_;           // slot dedup scratch
+  std::uint32_t slot_epoch_ = 0;
+  std::vector<topo::CircuitId> touched_circuits_;  // ascending ids
+  bool touched_valid_ = false;
+  std::vector<std::uint64_t> touched_circuit_words_;  // dedup/order scratch
   long long group_recomputes_ = 0;
   long long group_reuses_ = 0;
+
+  // Worker pool state. Workers claim job indices via next_; the caller
+  // waits until every claimed job finished and every worker left the drain
+  // loop (active_ == 0) before touching the buffers.
+  std::vector<std::unique_ptr<Scratch>> worker_scratch_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  int active_ = 0;
+  std::size_t njobs_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::vector<std::uint32_t> job_groups_;  // dirty group indices, ascending
+  std::vector<std::uint8_t> job_ok_;       // aligned with job_groups_
+  std::vector<std::string> job_fail_;      // failed demand name per job
 
   // Global observability counters (metrics.h; no-ops while disabled). These
   // aggregate *physical* work over every router instance, worker clones
   // included — unlike the planner's logical counters they are not invariant
-  // under num_threads.
+  // under num_threads / num_workers.
   obs::Counter& m_alive_journal_replays_;
   obs::Counter& m_alive_full_rebuilds_;
   obs::Counter& m_group_recomputes_;
   obs::Counter& m_group_reuses_;
   obs::Counter& m_group_invalidations_;
+  obs::Counter& m_parallel_batches_;
+  obs::Counter& m_parallel_jobs_;
+  obs::Counter& m_dirty_screen_circuits_;
 };
 
 /// Maximum utilization over circuits given directional loads; utilization of
@@ -201,5 +349,14 @@ struct WorstCircuit {
   double utilization = 0.0;
 };
 WorstCircuit worst_circuit(const topo::Topology& topo, const LoadVector& loads);
+
+/// Touched-circuit fast path: identical result to the full-scan overloads
+/// when `touched` (ascending circuit ids, e.g. EcmpRouter::touched_circuits)
+/// covers every circuit with non-zero load in `loads`. Circuits outside
+/// `touched` are not inspected.
+double max_utilization(const topo::Topology& topo, const LoadVector& loads,
+                       const std::vector<topo::CircuitId>& touched);
+WorstCircuit worst_circuit(const topo::Topology& topo, const LoadVector& loads,
+                           const std::vector<topo::CircuitId>& touched);
 
 }  // namespace klotski::traffic

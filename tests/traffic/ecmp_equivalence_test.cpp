@@ -1,0 +1,183 @@
+// Randomized equivalence suite for the flat-path ECMP engine.
+//
+// The incremental router (epoch-stamped scratch, word-packed liveness,
+// journal-driven dirty screening, sparse group caches) and the intra-check
+// parallel mode both promise *bit-identical* results to a from-scratch
+// evaluation. These tests drive a Table-3 preset through hundreds of random
+// drain / undrain / add / remove mutations and hold them to that promise:
+//  * after every mutation, the bound incremental router must produce exactly
+//    the load vector of a freshly constructed router with no caches;
+//  * routers with 2 and 4 workers must match the serial router exactly —
+//    loads, failure identity, and the logical group_recomputes/group_reuses
+//    counters (which are defined to be invariant under num_workers).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "klotski/pipeline/experiments.h"
+#include "klotski/topo/topology.h"
+#include "klotski/traffic/ecmp.h"
+#include "klotski/util/rng.h"
+
+namespace klotski {
+namespace {
+
+constexpr int kSteps = 200;
+
+/// One random element-state mutation through the versioned setters, plus an
+/// occasional bump_state_version() to force the journal-floor (full rescan)
+/// fallback paths.
+void mutate(topo::Topology& topo, util::Rng& rng, int step) {
+  const topo::ElementState states[] = {topo::ElementState::kActive,
+                                       topo::ElementState::kDrained,
+                                       topo::ElementState::kAbsent};
+  const auto state = states[rng.uniform_int(0, 2)];
+  if (rng.uniform_int(0, 1) == 0) {
+    const auto s = static_cast<topo::SwitchId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(topo.num_switches()) - 1));
+    topo.set_switch_state(s, state);
+  } else {
+    const auto c = static_cast<topo::CircuitId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(topo.num_circuits()) - 1));
+    topo.set_circuit_state(c, state);
+  }
+  if (step % 20 == 19) topo.bump_state_version();
+}
+
+struct AssignResult {
+  bool ok = false;
+  std::string failed;
+  traffic::LoadVector loads;
+};
+
+AssignResult run_assign(traffic::EcmpRouter& router,
+                        const traffic::DemandSet& demands) {
+  AssignResult r;
+  r.ok = router.assign_all(demands, r.loads, &r.failed);
+  return r;
+}
+
+TEST(EcmpEquivalence, RandomizedMutationsMatchFreshRouter) {
+  migration::MigrationCase mig = pipeline::build_experiment(
+      pipeline::ExperimentId::kB, topo::PresetScale::kReduced);
+  topo::Topology& topo = *mig.task.topo;
+  const traffic::DemandSet& demands = mig.task.demands;
+  ASSERT_FALSE(demands.empty());
+
+  traffic::EcmpRouter incremental(topo);
+  incremental.bind_demands(demands);
+
+  util::Rng rng(20260806);
+  for (int step = 0; step < kSteps; ++step) {
+    mutate(topo, rng, step);
+
+    const AssignResult got = run_assign(incremental, demands);
+    // The reference has no history: every group is computed from scratch.
+    traffic::EcmpRouter fresh(topo);
+    const AssignResult want = run_assign(fresh, demands);
+
+    ASSERT_EQ(want.ok, got.ok) << "step " << step;
+    if (!want.ok) {
+      EXPECT_EQ(want.failed, got.failed) << "step " << step;
+      continue;
+    }
+    ASSERT_EQ(want.loads.size(), got.loads.size());
+    for (std::size_t i = 0; i < want.loads.size(); ++i) {
+      // EXPECT_EQ, not NEAR: the incremental engine re-sums cached sparse
+      // contributions in the exact order a dense recompute would use.
+      ASSERT_EQ(want.loads[i], got.loads[i])
+          << "step " << step << " slot " << i;
+    }
+
+    // Touched-circuit fast path: after a successful bound assign_all the
+    // touched list must cover every loaded circuit, so the restricted
+    // utilization scan is exact.
+    ASSERT_TRUE(incremental.touched_valid());
+    const traffic::WorstCircuit full = traffic::worst_circuit(topo, got.loads);
+    const traffic::WorstCircuit fast =
+        traffic::worst_circuit(topo, got.loads, incremental.touched_circuits());
+    EXPECT_EQ(full.circuit, fast.circuit) << "step " << step;
+    EXPECT_EQ(full.utilization, fast.utilization) << "step " << step;
+    EXPECT_EQ(traffic::max_utilization(topo, got.loads),
+              traffic::max_utilization(topo, got.loads,
+                                       incremental.touched_circuits()))
+        << "step " << step;
+  }
+}
+
+// Named EcmpParallel* so tier1.sh can run exactly the threaded tests under
+// TSan (gtest_filter=EcmpParallel*).
+TEST(EcmpParallelEquivalence, WorkersMatchSerialBitForBit) {
+  migration::MigrationCase mig = pipeline::build_experiment(
+      pipeline::ExperimentId::kB, topo::PresetScale::kReduced);
+  topo::Topology& topo = *mig.task.topo;
+  const traffic::DemandSet& demands = mig.task.demands;
+
+  traffic::EcmpRouter serial(topo);
+  serial.bind_demands(demands);
+  traffic::EcmpRouter two(topo);
+  two.set_num_workers(2);
+  two.bind_demands(demands);
+  traffic::EcmpRouter four(topo);
+  four.set_num_workers(4);
+  four.bind_demands(demands);
+  EXPECT_EQ(0, serial.num_workers());
+  EXPECT_EQ(2, two.num_workers());
+  EXPECT_EQ(4, four.num_workers());
+
+  util::Rng rng(777);
+  for (int step = 0; step < kSteps; ++step) {
+    mutate(topo, rng, step);
+
+    const AssignResult want = run_assign(serial, demands);
+    for (traffic::EcmpRouter* parallel : {&two, &four}) {
+      const AssignResult got = run_assign(*parallel, demands);
+      ASSERT_EQ(want.ok, got.ok) << "step " << step;
+      EXPECT_EQ(want.failed, got.failed) << "step " << step;
+      ASSERT_EQ(want.loads.size(), got.loads.size());
+      for (std::size_t i = 0; i < want.loads.size(); ++i) {
+        ASSERT_EQ(want.loads[i], got.loads[i])
+            << "step " << step << " slot " << i;
+      }
+      // Logical counters replay the serial accounting even when the pool
+      // physically recomputed groups past the first failure.
+      EXPECT_EQ(serial.group_recomputes(), parallel->group_recomputes())
+          << "step " << step;
+      EXPECT_EQ(serial.group_reuses(), parallel->group_reuses())
+          << "step " << step;
+    }
+  }
+}
+
+TEST(EcmpParallelEquivalence, WorkerPoolResizeAndReuse) {
+  migration::MigrationCase mig = pipeline::build_experiment(
+      pipeline::ExperimentId::kB, topo::PresetScale::kReduced);
+  topo::Topology& topo = *mig.task.topo;
+  const traffic::DemandSet& demands = mig.task.demands;
+
+  traffic::EcmpRouter serial(topo);
+  serial.bind_demands(demands);
+  traffic::EcmpRouter resized(topo);
+  resized.bind_demands(demands);
+
+  util::Rng rng(42);
+  for (int step = 0; step < 60; ++step) {
+    // Shrinking back to serial mid-stream must not disturb the caches.
+    resized.set_num_workers(step % 3 == 0 ? 1 : (step % 3 == 1 ? 2 : 3));
+    mutate(topo, rng, step);
+    const AssignResult want = run_assign(serial, demands);
+    const AssignResult got = run_assign(resized, demands);
+    ASSERT_EQ(want.ok, got.ok) << "step " << step;
+    EXPECT_EQ(want.failed, got.failed) << "step " << step;
+    for (std::size_t i = 0; i < want.loads.size(); ++i) {
+      ASSERT_EQ(want.loads[i], got.loads[i])
+          << "step " << step << " slot " << i;
+    }
+    EXPECT_EQ(serial.group_recomputes(), resized.group_recomputes());
+    EXPECT_EQ(serial.group_reuses(), resized.group_reuses());
+  }
+}
+
+}  // namespace
+}  // namespace klotski

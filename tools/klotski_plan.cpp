@@ -14,6 +14,11 @@
 //   --deadline     planner budget in seconds, 0 = none   (default 0)
 //   --threads      worker threads for frontier evaluation (default 1;
 //                  plans are identical at any value)
+//   --router-threads  worker threads inside each satisfiability check:
+//                  the ECMP router recomputes independent dirty demand
+//                  groups in parallel (default 1; loads and plans are
+//                  bit-identical at any value). Composes with --threads:
+//                  the budget is split across the worker-private routers.
 //   --demands      demand-matrix JSON replacing the generated forecast
 //                  (the §7.1 refresh workflow)
 //   --dump-demands write the effective demand matrix to this path
@@ -27,6 +32,7 @@
 //   --trace-out    write Chrome trace_event JSON here (chrome://tracing)
 //
 // Exit status: 0 plan found and audited, 1 no plan, 2 usage/input error.
+#include <algorithm>
 #include <iostream>
 
 #include "klotski/npd/npd_io.h"
@@ -86,6 +92,13 @@ int run(const klotski::util::Flags& flags) {
       return 2;
     }
 
+    checker_config.router_threads =
+        static_cast<int>(flags.get_int("router-threads", 1));
+    if (checker_config.router_threads < 1) {
+      std::cerr << "klotski_plan: --router-threads must be >= 1\n";
+      return 2;
+    }
+
     core::PlannerOptions planner_options;
     planner_options.alpha = flags.get_double("alpha", 0.0);
     planner_options.deadline_seconds = flags.get_double("deadline", 0.0);
@@ -96,8 +109,14 @@ int run(const klotski::util::Flags& flags) {
       return 2;
     }
     if (planner_options.num_threads > 1) {
+      // Worker-private routers share the intra-check budget so --threads=T
+      // --router-threads=R keeps roughly T*max(1, R/T) threads busy, not T*R.
+      pipeline::CheckerConfig worker_config = checker_config;
+      worker_config.router_threads =
+          std::max(1, checker_config.router_threads /
+                          planner_options.num_threads);
       planner_options.checker_factory =
-          pipeline::make_standard_checker_factory(checker_config);
+          pipeline::make_standard_checker_factory(worker_config);
     }
 
     pipeline::CheckerBundle bundle =
