@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerate the golden-plan regression corpus (tests/golden/plan-{a,b,c}.json)
+# with the real CLI binaries, so the corpus is exactly what
+#   klotski_synth --preset=X --scale=reduced | klotski_plan --planner=astar
+# produces. Run after an *intentional* planner/checker/preset change, review
+# the diff, and commit the updated files.
+#
+# Usage: scripts/regen_golden.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+SYNTH="${BUILD}/tools/klotski_synth"
+PLAN="${BUILD}/tools/klotski_plan"
+for bin in "${SYNTH}" "${PLAN}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "regen_golden: ${bin} not built (cmake --build ${BUILD})" >&2
+    exit 1
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+mkdir -p tests/golden
+
+for preset in A B C; do
+  lower="$(echo "${preset}" | tr '[:upper:]' '[:lower:]')"
+  "${SYNTH}" --preset="${preset}" --scale=reduced \
+    --migration=hgrid-v1-to-v2 --out="${TMP}/${lower}.npd.json"
+  "${PLAN}" --npd="${TMP}/${lower}.npd.json" --planner=astar \
+    --out="${TMP}/plan-${lower}.json"
+  # wall_seconds is the one nondeterministic field; commit it as 0 so the
+  # corpus is stable across regeneration runs (the golden test zeroes it on
+  # both sides before comparing).
+  sed -E 's/"wall_seconds": [0-9.eE+-]+/"wall_seconds": 0/' \
+    "${TMP}/plan-${lower}.json" > "tests/golden/plan-${lower}.json"
+  echo "regenerated tests/golden/plan-${lower}.json"
+done

@@ -14,8 +14,20 @@ cmake -B build -S .
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 
+# Chaos gate: seeded fault-injection sweeps through the replan driver with
+# invariant checking and a checkpoint kill/resume self-test on every seed
+# (DESIGN.md §8). KLOTSKI_CHAOS_SEEDS scales the sweep (default 25; the
+# nightly recipe in EXPERIMENTS.md runs 1000). On failure klotski_chaos
+# exits non-zero listing every failing seed; reproduce one with
+#   ./build/tools/klotski_chaos --preset=X --seed=N --trajectory
+CHAOS_SEEDS="${KLOTSKI_CHAOS_SEEDS:-25}"
+./build/tools/klotski_chaos --preset=a --seeds="${CHAOS_SEEDS}" \
+  --threads="${JOBS}"
+./build/tools/klotski_chaos --preset=b --seeds="${CHAOS_SEEDS}" \
+  --threads="${JOBS}"
+
 cmake -B build-tsan -S . -DKLOTSKI_SANITIZE=thread
-cmake --build build-tsan -j"${JOBS}" --target test_core test_obs test_traffic
+cmake --build build-tsan -j"${JOBS}" --target test_core test_obs test_traffic test_sim
 # Run the binaries directly: only these targets are built in the TSan tree,
 # and ctest would trip over the undiscovered sibling test targets.
 ./build-tsan/tests/test_core \
@@ -23,14 +35,22 @@ cmake --build build-tsan -j"${JOBS}" --target test_core test_obs test_traffic
 ./build-tsan/tests/test_obs
 # Intra-check router parallelism: the EcmpRouter worker pool under TSan.
 ./build-tsan/tests/test_traffic --gtest_filter='EcmpParallel*'
+# Chaos sweep worker pool: per-seed isolation means the only shared state
+# is the verdict vector and the obs counters — TSan checks that claim.
+KLOTSKI_CHAOS_SEEDS=10 ./build-tsan/tests/test_sim \
+  --gtest_filter='ChaosInvariants.SweepVerdictsAreIdenticalAcrossThreadCounts'
 
 # AddressSanitizer over the randomized ECMP equivalence suite: the flat-path
 # engine's epoch stamping / sparse slot bookkeeping is exactly the kind of
 # code where a stale-index bug reads garbage instead of crashing.
 cmake -B build-asan -S . -DKLOTSKI_SANITIZE=address
-cmake --build build-asan -j"${JOBS}" --target test_traffic
+cmake --build build-asan -j"${JOBS}" --target test_traffic test_sim
 ./build-asan/tests/test_traffic \
   --gtest_filter='EcmpEquivalence.*:EcmpParallel*'
+# Chaos engine under ASan: fault scripts mutate live capacities, tear
+# blocks mid-apply, and resume from checkpoints — prime territory for
+# stale-pointer and overrun bugs that a plain run reads right through.
+KLOTSKI_CHAOS_SEEDS=10 ./build-asan/tests/test_sim
 
 # Observability smoke: plan a small preset with --metrics-out/--trace-out at
 # --threads=1 and --threads=4, check both artifacts re-parse with the

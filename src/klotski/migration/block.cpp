@@ -15,6 +15,19 @@ void OperationBlock::apply(topo::Topology& topo) const {
   }
 }
 
+void OperationBlock::apply_prefix(topo::Topology& topo,
+                                  std::size_t count) const {
+  const std::size_t n = std::min(count, ops.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const ElementOp& op = ops[i];
+    if (op.kind == ElementOp::Kind::kSwitch) {
+      topo.set_switch_state(op.id, op.to);
+    } else {
+      topo.set_circuit_state(op.id, op.to);
+    }
+  }
+}
+
 void OperationBlock::unapply(topo::Topology& topo,
                              const topo::TopologyState& original) const {
   for (const ElementOp& op : ops) {

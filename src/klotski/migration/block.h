@@ -37,6 +37,13 @@ struct OperationBlock {
   /// assignments, so overlapping applications commute.
   void apply(topo::Topology& topo) const;
 
+  /// Applies only the first min(count, ops.size()) ops — a step that failed
+  /// partway through the config push (§7.2 "failures during operation
+  /// duration") leaves exactly such a torn state behind. The caller must
+  /// roll back (e.g. TopologyState::restore of a pre-step snapshot) before
+  /// the topology is used for planning again.
+  void apply_prefix(topo::Topology& topo, std::size_t count) const;
+
   /// Inverse of apply(): restores every touched element to its state in
   /// `original` (drain <-> undrain, add <-> remove). Exact only when no
   /// *other currently applied* block touches the same elements — a reverted

@@ -1,6 +1,8 @@
 #include "klotski/pipeline/replan.h"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
 
 #include "klotski/core/cost_model.h"
 #include "klotski/core/state_evaluator.h"
@@ -11,7 +13,7 @@ namespace klotski::pipeline {
 
 namespace {
 
-/// Names of maintenance events active at `step`, in option order.
+/// Indices of maintenance events active at `step`, in option order.
 std::vector<std::size_t> active_maintenance(
     const std::vector<MaintenanceEvent>& events, int step) {
   std::vector<std::size_t> active;
@@ -23,11 +25,38 @@ std::vector<std::size_t> active_maintenance(
   return active;
 }
 
-/// Applies the drains of the active maintenance events on top of `state`.
-topo::TopologyState with_maintenance(
-    topo::TopologyState state, const std::vector<MaintenanceEvent>& events,
-    const std::vector<std::size_t>& active) {
-  for (const std::size_t i : active) {
+/// Everything external pulling elements out of service at one step: the
+/// active maintenance calendar plus the fault injector's unplanned drains.
+/// The injector side also carries an epoch fingerprint so a change in the
+/// fault state (including capacity degradations, which drain nothing)
+/// forces a re-plan.
+struct Overlay {
+  std::vector<std::size_t> maintenance;
+  std::vector<topo::SwitchId> fault_switches;
+  std::vector<topo::CircuitId> fault_circuits;
+  std::uint64_t fault_epoch = 0;
+};
+
+/// Computes the overlay for `step`. Side effect: the injector brings the
+/// topology's out-of-band fault state (circuit capacities) to this step.
+Overlay overlay_at(int step, const ReplanOptions& options,
+                   topo::Topology& topo) {
+  Overlay overlay;
+  overlay.maintenance = active_maintenance(options.maintenance, step);
+  if (options.injector != nullptr) {
+    overlay.fault_epoch = options.injector->fault_epoch(step);
+    options.injector->apply(step, topo, overlay.fault_switches,
+                            overlay.fault_circuits);
+  }
+  return overlay;
+}
+
+/// Applies the overlay's drains on top of `state` (active elements only:
+/// operated blocks override maintenance and fault state).
+topo::TopologyState with_overlay(topo::TopologyState state,
+                                 const std::vector<MaintenanceEvent>& events,
+                                 const Overlay& overlay) {
+  for (const std::size_t i : overlay.maintenance) {
     for (const topo::SwitchId sw : events[i].switches) {
       auto& slot = state.switch_states[static_cast<std::size_t>(sw)];
       if (slot == topo::ElementState::kActive) {
@@ -35,12 +64,61 @@ topo::TopologyState with_maintenance(
       }
     }
   }
+  for (const topo::SwitchId sw : overlay.fault_switches) {
+    auto& slot = state.switch_states[static_cast<std::size_t>(sw)];
+    if (slot == topo::ElementState::kActive) {
+      slot = topo::ElementState::kDrained;
+    }
+  }
+  for (const topo::CircuitId c : overlay.fault_circuits) {
+    auto& slot = state.circuit_states[static_cast<std::size_t>(c)];
+    if (slot == topo::ElementState::kActive) {
+      slot = topo::ElementState::kDrained;
+    }
+  }
   return state;
+}
+
+/// Restores the original state and applies the executed block prefix: the
+/// intermediate topology after `done` blocks of each type have run.
+void materialize_done(migration::MigrationTask& task,
+                      const core::CountVector& done) {
+  task.original_state.restore(*task.topo);
+  for (std::size_t t = 0; t < task.blocks.size(); ++t) {
+    const auto executed = static_cast<std::size_t>(done[t]);
+    for (std::size_t i = 0; i < executed; ++i) {
+      task.blocks[t][i].apply(*task.topo);
+    }
+  }
+}
+
+/// Drains the overlay's elements on the live topology (versioned mutators,
+/// so incremental consumers stay consistent).
+void drain_overlay(topo::Topology& topo,
+                   const std::vector<MaintenanceEvent>& events,
+                   const Overlay& overlay) {
+  for (const std::size_t i : overlay.maintenance) {
+    for (const topo::SwitchId sw : events[i].switches) {
+      if (topo.sw(sw).state == topo::ElementState::kActive) {
+        topo.set_switch_state(sw, topo::ElementState::kDrained);
+      }
+    }
+  }
+  for (const topo::SwitchId sw : overlay.fault_switches) {
+    if (topo.sw(sw).state == topo::ElementState::kActive) {
+      topo.set_switch_state(sw, topo::ElementState::kDrained);
+    }
+  }
+  for (const topo::CircuitId c : overlay.fault_circuits) {
+    if (topo.circuit(c).state == topo::ElementState::kActive) {
+      topo.set_circuit_state(c, topo::ElementState::kDrained);
+    }
+  }
 }
 
 /// True when the rest of `plan` (phases [from..end)) stays safe when
 /// executed from the current `done` prefix under `demands`, with the
-/// active maintenance drains applied.
+/// active maintenance/fault drains applied.
 bool remaining_plan_safe(migration::MigrationTask& task,
                          const core::Plan& plan, std::size_t from_phase,
                          core::CountVector done,
@@ -66,7 +144,94 @@ bool remaining_plan_safe(migration::MigrationTask& task,
   return true;
 }
 
+bool contains(const std::vector<int>& items, int value) {
+  return std::find(items.begin(), items.end(), value) != items.end();
+}
+
+[[noreturn]] void checkpoint_fail(const std::string& message) {
+  throw std::invalid_argument("replan-checkpoint: " + message);
+}
+
 }  // namespace
+
+json::Value ReplanCheckpoint::to_json() const {
+  json::Object root;
+  root["schema"] = "klotski.replan-checkpoint.v1";
+  root["phases_executed"] = phases_executed;
+  root["step"] = step;
+  root["next_phase"] = next_phase;
+  root["planning_runs"] = planning_runs;
+  root["last_plan_step"] = last_plan_step;
+  root["phase_retries"] = phase_retries;
+  root["fallback_active"] = fallback_active;
+  root["fallback_plans"] = fallback_plans;
+  root["last_type"] = static_cast<std::int64_t>(last_type);
+  root["executed_cost"] = executed_cost;
+  root["state_version"] = static_cast<std::int64_t>(state_version);
+  json::Array done_json;
+  for (const std::int32_t v : done) done_json.push_back(json::Value(v));
+  root["done"] = json::Value(std::move(done_json));
+  {
+    json::Object plan;
+    plan["planner"] = plan_planner;
+    plan["cost"] = plan_cost;
+    json::Array actions;
+    for (const core::PlannedAction& a : plan_actions) {
+      json::Array pair;
+      pair.push_back(json::Value(static_cast<std::int64_t>(a.type)));
+      pair.push_back(json::Value(static_cast<std::int64_t>(a.block_index)));
+      actions.push_back(json::Value(std::move(pair)));
+    }
+    plan["actions"] = json::Value(std::move(actions));
+    root["plan"] = json::Value(std::move(plan));
+  }
+  json::Array consumed;
+  for (const int v : consumed_failures) consumed.push_back(json::Value(v));
+  root["consumed_failures"] = json::Value(std::move(consumed));
+  return json::Value(std::move(root));
+}
+
+ReplanCheckpoint ReplanCheckpoint::from_json(const json::Value& value) {
+  if (!value.is_object()) checkpoint_fail("document is not an object");
+  if (value.get_string("schema", "") != "klotski.replan-checkpoint.v1") {
+    checkpoint_fail("unknown schema '" + value.get_string("schema", "") +
+                    "'");
+  }
+  ReplanCheckpoint cp;
+  cp.phases_executed = static_cast<int>(value.at("phases_executed").as_int());
+  cp.step = static_cast<int>(value.at("step").as_int());
+  cp.next_phase = static_cast<int>(value.at("next_phase").as_int());
+  cp.planning_runs = static_cast<int>(value.at("planning_runs").as_int());
+  cp.last_plan_step = static_cast<int>(value.at("last_plan_step").as_int());
+  cp.phase_retries = static_cast<int>(value.at("phase_retries").as_int());
+  cp.fallback_active = value.at("fallback_active").as_bool();
+  cp.fallback_plans = static_cast<int>(value.at("fallback_plans").as_int());
+  cp.last_type = static_cast<std::int32_t>(value.at("last_type").as_int());
+  cp.executed_cost = value.at("executed_cost").as_double();
+  cp.state_version =
+      static_cast<std::uint64_t>(value.at("state_version").as_int());
+  for (const json::Value& v : value.at("done").as_array()) {
+    cp.done.push_back(static_cast<std::int32_t>(v.as_int()));
+  }
+  const json::Value& plan = value.at("plan");
+  cp.plan_planner = plan.get_string("planner", "");
+  cp.plan_cost = plan.get_double("cost", 0.0);
+  for (const json::Value& v : plan.at("actions").as_array()) {
+    const json::Array& pair = v.as_array();
+    if (pair.size() != 2) checkpoint_fail("plan action is not a [type, index] pair");
+    core::PlannedAction action;
+    action.type = static_cast<migration::ActionTypeId>(pair[0].as_int());
+    action.block_index = static_cast<std::int32_t>(pair[1].as_int());
+    cp.plan_actions.push_back(action);
+  }
+  for (const json::Value& v : value.at("consumed_failures").as_array()) {
+    cp.consumed_failures.push_back(static_cast<int>(v.as_int()));
+  }
+  if (cp.next_phase < 0 || cp.phases_executed < 0 || cp.step < 0) {
+    checkpoint_fail("negative execution counter");
+  }
+  return cp;
+}
 
 ReplanResult execute_with_replanning(migration::MigrationTask& task,
                                      core::Planner& planner,
@@ -83,59 +248,226 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
     target.push_back(static_cast<std::int32_t>(blocks.size()));
   }
 
-  std::vector<int> pending_failures = options.failing_phases;
   std::int32_t last_type = migration::kNoAction;
   int step = 0;
   int planning_runs = 0;
   int last_plan_step = 0;
+  std::vector<int> consumed_failures;
+  bool fallback_active = false;
+  int fallback_plans = 0;
+  std::unique_ptr<core::Planner> fallback;
+  // Retry bookkeeping for the phase currently failing (executed-phase
+  // indices never repeat after success, so one slot suffices).
+  int retry_phase = -1;
+  int retry_count = 0;
+
+  core::Plan plan;
+  std::size_t start_phase = 0;
+  bool have_plan = false;
+
+  if (options.resume != nullptr) {
+    const ReplanCheckpoint& cp = *options.resume;
+    if (cp.done.size() != done.size()) {
+      throw std::invalid_argument(
+          "replan-checkpoint: done arity does not match the task");
+    }
+    done = cp.done;
+    result.phases_executed = cp.phases_executed;
+    result.executed_cost = cp.executed_cost;
+    result.phase_retries = cp.phase_retries;
+    step = cp.step;
+    planning_runs = cp.planning_runs;
+    last_plan_step = cp.last_plan_step;
+    last_type = cp.last_type;
+    fallback_active = cp.fallback_active;
+    fallback_plans = cp.fallback_plans;
+    consumed_failures = cp.consumed_failures;
+    result.used_fallback = fallback_active;
+    if (!cp.plan_actions.empty()) {
+      plan.found = true;
+      plan.planner = cp.plan_planner;
+      plan.cost = cp.plan_cost;
+      plan.actions = cp.plan_actions;
+      have_plan = true;
+      start_phase = static_cast<std::size_t>(cp.next_phase);
+    }
+    result.log.push_back(
+        "resumed from checkpoint: " + std::to_string(cp.phases_executed) +
+        " phases executed, step " + std::to_string(cp.step));
+    obs::Registry::global().counter("replan.resumes").inc();
+  }
 
   while (done != target) {
-    // (Re-)plan from the current intermediate topology with the freshest
-    // forecast and the currently active maintenance drains applied.
-    const std::vector<std::size_t> active =
-        active_maintenance(options.maintenance, step);
-    migration::MigrationTask rest = remaining_task(task, done);
-    rest.demands = forecaster.at_step(step);
-    rest.original_state =
-        with_maintenance(rest.original_state, options.maintenance, active);
-    for (const std::size_t i : active) {
-      result.log.push_back("maintenance active while planning: " +
-                           options.maintenance[i].name);
-    }
+    // Maintenance calendar + fault state for this round; the injector also
+    // brings circuit capacities to this step.
+    Overlay overlay = overlay_at(step, options, *task.topo);
 
-    CheckerBundle bundle = make_standard_checker(rest, options.checker);
-    core::Plan plan;
-    {
-      obs::Span span("replan/plan_round");
-      plan = planner.plan(rest, *bundle.checker, options.planner_options);
+    if (!have_plan) {
+      // (Re-)plan from the current intermediate topology with the freshest
+      // forecast and the active maintenance/fault drains applied. Bounded
+      // retry-with-backoff when planning fails under an active fault (the
+      // fault may clear), truth re-validation when the forecast is biased,
+      // and graceful degradation to the fallback planner after max_replans.
+      bool use_truth = false;
+      int plan_attempt = 0;
+      for (;;) {
+        migration::MigrationTask rest = remaining_task(task, done);
+        const bool biased = !use_truth && forecaster.biased_at(step);
+        rest.demands = use_truth ? forecaster.at_step(step)
+                                 : forecaster.forecast_at_step(step);
+        rest.original_state = with_overlay(std::move(rest.original_state),
+                                           options.maintenance, overlay);
+        for (const std::size_t i : overlay.maintenance) {
+          result.log.push_back("maintenance active while planning: " +
+                               options.maintenance[i].name);
+        }
+
+        if (options.max_replans > 0 && planning_runs >= options.max_replans &&
+            !fallback_active) {
+          fallback_active = true;
+          result.used_fallback = true;
+          result.log.push_back(
+              "re-plan budget (" + std::to_string(options.max_replans) +
+              ") exhausted; degrading to fallback planner '" +
+              options.fallback_planner + "'");
+          obs::Registry::global().counter("replan.fallback_activations").inc();
+        }
+        if (fallback_active && fallback == nullptr) {
+          fallback = make_planner(options.fallback_planner);
+        }
+        core::Planner& active_planner =
+            fallback_active ? *fallback : planner;
+
+        CheckerBundle bundle = make_standard_checker(rest, options.checker);
+        {
+          obs::Span span("replan/plan_round");
+          plan = active_planner.plan(rest, *bundle.checker,
+                                     options.planner_options);
+        }
+        ++planning_runs;
+        if (fallback_active) ++fallback_plans;
+        obs::Registry::global().counter("replan.planning_runs").inc();
+        last_plan_step = step;
+
+        if (!plan.found) {
+          // Under an injector the infeasibility may be a transient fault;
+          // wait out the backoff and try again before giving up.
+          if (options.injector != nullptr &&
+              plan_attempt < options.max_phase_retries) {
+            ++plan_attempt;
+            ++result.phase_retries;
+            const int wait =
+                std::min(options.backoff_steps << (plan_attempt - 1),
+                         options.max_backoff_steps);
+            step += std::max(wait, 1);
+            result.log.push_back(
+                "planning failed (" + plan.failure + "); backing off " +
+                std::to_string(std::max(wait, 1)) + " steps (attempt " +
+                std::to_string(plan_attempt) + ")");
+            obs::Registry::global().counter("replan.planning_retries").inc();
+            overlay = overlay_at(step, options, *task.topo);
+            continue;
+          }
+          result.failure = "planning failed at step " +
+                           std::to_string(step) + ": " + plan.failure;
+          task.reset_to_original();
+          return result;
+        }
+
+        // A plan built on a biased forecast must be safe under the demands
+        // actually measured right now before anything executes (§7.2:
+        // forecasts can be wrong; executed states may not be).
+        if (biased &&
+            !remaining_plan_safe(task, plan, 0, done,
+                                 forecaster.at_step(step),
+                                 with_overlay(task.original_state,
+                                              options.maintenance, overlay),
+                                 options.checker)) {
+          result.log.push_back(
+              "plan built on biased forecast violates measured demand; "
+              "re-planning on measured demand");
+          obs::Registry::global().counter("replan.bias_replans").inc();
+          use_truth = true;
+          continue;
+        }
+        break;
+      }
+      result.log.push_back("planned " + std::to_string(plan.actions.size()) +
+                           " actions (cost " + std::to_string(plan.cost) +
+                           ") at step " + std::to_string(step));
+      start_phase = 0;
     }
-    ++planning_runs;
-    obs::Registry::global().counter("replan.planning_runs").inc();
-    last_plan_step = step;
-    if (!plan.found) {
-      result.failure = "planning failed at step " + std::to_string(step) +
-                       ": " + plan.failure;
-      task.reset_to_original();
-      return result;
-    }
-    result.log.push_back("planned " + std::to_string(plan.actions.size()) +
-                         " actions (cost " + std::to_string(plan.cost) +
-                         ") at step " + std::to_string(step));
+    have_plan = false;
 
     const std::vector<core::Phase> phases = plan.phases();
     bool need_replan = false;
-    for (std::size_t p = 0; p < phases.size() && !need_replan; ++p) {
-      // Injected operation failure (§7.2): the step fails, the crew stops,
-      // and a fresh plan is generated before retrying.
-      const auto failing = std::find(pending_failures.begin(),
-                                     pending_failures.end(),
-                                     result.phases_executed);
-      if (failing != pending_failures.end()) {
-        pending_failures.erase(failing);
+    for (std::size_t p = start_phase; p < phases.size() && !need_replan;
+         ++p) {
+      const core::Phase& phase = phases[p];
+
+      // Injected operation failure (§7.2): the step fails, the crew stops
+      // (rolling back any partially applied ops), and a fresh plan is
+      // generated before retrying — up to max_phase_retries times.
+      int fail_ops = -1;
+      if (contains(options.failing_phases, result.phases_executed) &&
+          !contains(consumed_failures, result.phases_executed)) {
+        consumed_failures.push_back(result.phases_executed);
+        fail_ops = 0;
+      }
+      const int attempt =
+          retry_phase == result.phases_executed ? retry_count : 0;
+      if (fail_ops < 0 && options.injector != nullptr) {
+        fail_ops = options.injector->phase_failure_ops(
+            result.phases_executed, attempt);
+      }
+      if (fail_ops >= 0) {
         obs::Registry::global().counter("replan.injected_failures").inc();
-        result.log.push_back("phase " +
-                             std::to_string(result.phases_executed) +
-                             " failed during operation; re-planning");
+        if (fail_ops > 0) {
+          // Partial block application: the config push died mid-block. The
+          // crew rolls the torn state back to the pre-step snapshot before
+          // anyone re-plans.
+          const auto t = static_cast<std::size_t>(phase.type);
+          const migration::OperationBlock& block =
+              task.blocks[t][static_cast<std::size_t>(done[t])];
+          materialize_done(task, done);
+          const topo::TopologyState before =
+              topo::TopologyState::capture(*task.topo);
+          block.apply_prefix(*task.topo,
+                             static_cast<std::size_t>(fail_ops));
+          before.restore(*task.topo);
+          task.reset_to_original();
+          result.log.push_back(
+              "phase " + std::to_string(result.phases_executed) +
+              " failed after " + std::to_string(fail_ops) +
+              " ops; rolled back, re-planning");
+        } else {
+          result.log.push_back("phase " +
+                               std::to_string(result.phases_executed) +
+                               " failed during operation; re-planning");
+        }
+        if (retry_phase != result.phases_executed) {
+          retry_phase = result.phases_executed;
+          retry_count = 0;
+        }
+        ++retry_count;
+        if (retry_count > options.max_phase_retries) {
+          result.failure =
+              "phase " + std::to_string(result.phases_executed) +
+              " failed " + std::to_string(retry_count) +
+              " attempts (retry budget " +
+              std::to_string(options.max_phase_retries) + ")";
+          task.reset_to_original();
+          return result;
+        }
+        ++result.phase_retries;
+        const int wait = std::min(options.backoff_steps << (retry_count - 1),
+                                  options.max_backoff_steps);
+        if (wait > 0) {
+          step += wait;
+          result.log.push_back("backing off " + std::to_string(wait) +
+                               " steps before retry " +
+                               std::to_string(retry_count));
+        }
         need_replan = true;
         break;
       }
@@ -143,7 +475,6 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
       // Execute the phase. Phase block indices of the suffix task map onto
       // the global canonical order by offsetting with the executed prefix,
       // so only their count matters here.
-      const core::Phase& phase = phases[p];
       for (std::size_t i = 0; i < phase.block_indices.size(); ++i) {
         result.executed_cost += cost.transition_cost(last_type, phase.type);
         last_type = phase.type;
@@ -152,44 +483,95 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
           static_cast<std::int32_t>(phase.block_indices.size());
       ++result.phases_executed;
       obs::Registry::global().counter("replan.phases_executed").inc();
+
+      // Invariant observer: hand out the materialized executed state (with
+      // the overlay drains) under the ground-truth demands of the step the
+      // phase executed at.
+      if (options.observer) {
+        materialize_done(task, done);
+        drain_overlay(*task.topo, options.maintenance, overlay);
+        const traffic::DemandSet truth = forecaster.at_step(step);
+        const PhaseObservation observation{
+            result.phases_executed,
+            step,
+            phase.type,
+            static_cast<int>(phase.block_indices.size()),
+            done,
+            result.executed_cost,
+            *task.topo,
+            truth};
+        options.observer(observation);
+        task.reset_to_original();
+      }
       ++step;
 
-      if (done == target) break;
-
       // Refresh the forecast after each migration step (§7.1), watch the
-      // maintenance calendar, and re-validate the remaining plan.
-      const std::vector<std::size_t> now_active =
-          active_maintenance(options.maintenance, step);
-      if (now_active != active) {
-        obs::Registry::global().counter("replan.maintenance_changes").inc();
-        result.log.push_back(
-            "maintenance calendar changed at step " + std::to_string(step) +
-            "; re-planning");
-        need_replan = true;
-        continue;
+      // maintenance calendar and the fault state, and re-validate the
+      // remaining plan.
+      if (done != target) {
+        const Overlay now = overlay_at(step, options, *task.topo);
+        if (now.maintenance != overlay.maintenance) {
+          obs::Registry::global().counter("replan.maintenance_changes").inc();
+          result.log.push_back("maintenance calendar changed at step " +
+                               std::to_string(step) + "; re-planning");
+          need_replan = true;
+        } else if (now.fault_epoch != overlay.fault_epoch) {
+          obs::Registry::global().counter("replan.fault_changes").inc();
+          result.log.push_back("fault state changed at step " +
+                               std::to_string(step) + "; re-planning");
+          need_replan = true;
+        } else {
+          const double drift =
+              forecaster.max_relative_change(last_plan_step, step);
+          if (drift > options.demand_change_threshold) {
+            result.log.push_back("forecast drifted " +
+                                 std::to_string(drift) +
+                                 " since planning; re-planning");
+            need_replan = true;
+          } else if (!remaining_plan_safe(
+                         task, plan, p + 1, done, forecaster.at_step(step),
+                         with_overlay(task.original_state,
+                                      options.maintenance, now),
+                         options.checker)) {
+            result.log.push_back(
+                "remaining plan violates constraints under updated demand; "
+                "re-planning");
+            need_replan = true;
+          }
+        }
       }
-      const double drift =
-          forecaster.max_relative_change(last_plan_step, step);
-      if (drift > options.demand_change_threshold) {
-        result.log.push_back("forecast drifted " + std::to_string(drift) +
-                             " since planning; re-planning");
-        need_replan = true;
-      } else if (!remaining_plan_safe(
-                     task, plan, p + 1, done, forecaster.at_step(step),
-                     with_maintenance(task.original_state,
-                                      options.maintenance, now_active),
-                     options.checker)) {
-        result.log.push_back(
-            "remaining plan violates constraints under updated demand; "
-            "re-planning");
-        need_replan = true;
+
+      if (options.checkpoint_sink) {
+        ReplanCheckpoint cp;
+        cp.phases_executed = result.phases_executed;
+        cp.step = step;
+        cp.planning_runs = planning_runs;
+        cp.last_plan_step = last_plan_step;
+        cp.phase_retries = result.phase_retries;
+        cp.fallback_active = fallback_active;
+        cp.fallback_plans = fallback_plans;
+        cp.last_type = last_type;
+        cp.executed_cost = result.executed_cost;
+        cp.state_version = task.topo->state_version();
+        cp.done = done;
+        cp.consumed_failures = consumed_failures;
+        if (!need_replan && done != target && p + 1 < phases.size()) {
+          cp.next_phase = static_cast<int>(p) + 1;
+          cp.plan_actions = plan.actions;
+          cp.plan_cost = plan.cost;
+          cp.plan_planner = plan.planner;
+        }
+        options.checkpoint_sink(cp);
       }
+
+      if (done == target) break;
     }
-    (void)need_replan;  // loop re-plans naturally when not finished
+    start_phase = 0;
   }
 
   result.completed = true;
   result.replans = planning_runs - 1;
+  result.fallback_plans = fallback_plans;
   obs::Registry::global().counter("replan.replans").inc(result.replans);
   task.reset_to_original();
   return result;

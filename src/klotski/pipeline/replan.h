@@ -7,13 +7,26 @@
 // "we run the forecast after each migration step"), the remaining plan is
 // re-validated, and on violation (or on injected step failure) the planner
 // is re-run from the current intermediate topology.
+//
+// The driver is hardened for adversarial execution (the chaos engine in
+// src/klotski/sim drives it through thousands of seeded trajectories):
+//  * a FaultInjector hook applies circuit degradations / failures and
+//    unplanned drains between phases and decides injected step failures,
+//  * failed phases retry with bounded exponential backoff (waiting costs
+//    forecast steps: demand keeps growing while the crew regroups),
+//  * after `max_replans` planning rounds the driver degrades gracefully to
+//    a conservative fallback planner from `baselines`,
+//  * every executed phase can be checkpointed to JSON; a killed run resumed
+//    from its last checkpoint replays the identical trajectory.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "klotski/core/planner.h"
+#include "klotski/json/json.h"
 #include "klotski/pipeline/edp.h"
 #include "klotski/traffic/forecast.h"
 
@@ -32,6 +45,84 @@ struct MaintenanceEvent {
   int end_step = 0;  // exclusive
 };
 
+/// Fault-injection hook the driver consults between executed phases
+/// (implemented by the chaos engine, src/klotski/sim). Every method must be
+/// a deterministic function of its arguments so a checkpointed run resumes
+/// bit-identically.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Fingerprint of the fault state active at `step`. The driver re-plans
+  /// whenever the epoch changes between steps — degradations, circuit
+  /// failures, and unplanned drains starting or ending — mirroring the
+  /// maintenance-calendar logic.
+  virtual std::uint64_t fault_epoch(int step) const = 0;
+
+  /// Brings the topology's out-of-band attributes (circuit capacities) to
+  /// the fault state of `step` — implementations must follow the topology
+  /// contract and call bump_state_version() when they change anything — and
+  /// appends the step's unplanned element drains to the overlay vectors.
+  /// Idempotent per step; called at least once per planning/validation
+  /// round.
+  virtual void apply(int step, topo::Topology& topo,
+                     std::vector<topo::SwitchId>& drained_switches,
+                     std::vector<topo::CircuitId>& drained_circuits) = 0;
+
+  /// Injected operation failure for the phase about to execute: returns the
+  /// number of ElementOps of the phase's first block that were pushed
+  /// before the step died (0 = failed cleanly before touching anything), or
+  /// -1 for a successful attempt. `attempt` is 0 on the first try of a
+  /// phase and increments per retry.
+  virtual int phase_failure_ops(int phases_executed, int attempt) = 0;
+};
+
+/// Snapshot handed to ReplanOptions::observer after each executed phase,
+/// while the topology is materialized at that executed intermediate state
+/// (executed blocks plus active maintenance / fault drains applied). All
+/// references are valid only during the callback.
+struct PhaseObservation {
+  int phases_executed = 0;  // 1-based count including this phase
+  int step = 0;             // forecast step the phase executed at
+  migration::ActionTypeId type = migration::kNoAction;
+  int blocks = 0;           // blocks operated in this phase
+  const core::CountVector& done;
+  double executed_cost = 0.0;  // running cost including this phase
+  topo::Topology& topo;        // materialized executed state
+  const traffic::DemandSet& demands;  // ground-truth demands at `step`
+};
+
+/// Everything a killed run needs to restart bit-identically: the executed
+/// counters, the active plan and the position inside it, and the consumed
+/// failure injections. Serialized as "klotski.replan-checkpoint.v1" JSON
+/// (see DESIGN.md "Chaos engine").
+struct ReplanCheckpoint {
+  int phases_executed = 0;
+  int step = 0;             // forecast step == topology journal position
+  int next_phase = 0;       // index into the stored plan's phases()
+  int planning_runs = 0;
+  int last_plan_step = 0;
+  int phase_retries = 0;    // total retried attempts so far
+  bool fallback_active = false;
+  int fallback_plans = 0;
+  std::int32_t last_type = migration::kNoAction;
+  double executed_cost = 0.0;
+  std::uint64_t state_version = 0;  // diagnostic: journal position at save
+  core::CountVector done;
+  /// The plan being executed; empty when the driver was about to re-plan
+  /// anyway (the resume then starts with a fresh planning round, exactly
+  /// like the uninterrupted run would have).
+  std::vector<core::PlannedAction> plan_actions;
+  double plan_cost = 0.0;
+  std::string plan_planner;
+  /// Failure injections already consumed (ReplanOptions::failing_phases
+  /// entries must fire at most once per phase index).
+  std::vector<int> consumed_failures;
+
+  json::Value to_json() const;
+  static ReplanCheckpoint from_json(const json::Value& value);
+};
+
 struct ReplanOptions {
   CheckerConfig checker;
   core::PlannerOptions planner_options;
@@ -41,10 +132,39 @@ struct ReplanOptions {
   double demand_change_threshold = 0.10;
   /// Injected operation failures: phases (by global executed-phase index)
   /// whose first block fails and must be retried after re-planning (§7.2
-  /// "failures during operation duration").
+  /// "failures during operation duration"). Each listed index fires at most
+  /// once, even when listed repeatedly — a retried phase must be able to
+  /// succeed. Prefer FaultInjector for richer failure schedules.
   std::vector<int> failing_phases;
   /// Concurrent routine maintenance (§7.2).
   std::vector<MaintenanceEvent> maintenance;
+
+  /// Bounded retry-with-backoff: a failed phase attempt (or, under an
+  /// injector, a failed planning round) waits
+  /// min(backoff_steps << attempt, max_backoff_steps) forecast steps before
+  /// the next try. After max_phase_retries failed attempts of one phase the
+  /// run aborts with a reported failure.
+  int max_phase_retries = 3;
+  int backoff_steps = 1;
+  int max_backoff_steps = 8;
+  /// Graceful degradation: after this many planning runs the driver stops
+  /// trusting the primary planner and switches to the conservative
+  /// fallback. 0 = never degrade.
+  int max_replans = 0;
+  /// Fallback planner name for make_planner (a baselines planner).
+  std::string fallback_planner = "mrc";
+
+  /// Chaos hook; nullptr = no injected faults.
+  FaultInjector* injector = nullptr;
+  /// Invoked after every executed phase with the materialized intermediate
+  /// topology (invariant checking; adds materialization cost per phase).
+  std::function<void(const PhaseObservation&)> observer;
+  /// Invoked after every executed phase with a restartable checkpoint.
+  std::function<void(const ReplanCheckpoint&)> checkpoint_sink;
+  /// Resume a previous run from its checkpoint instead of starting fresh.
+  /// The caller must pass the same task / forecaster / options as the
+  /// original run (the checkpoint stores execution position, not inputs).
+  const ReplanCheckpoint* resume = nullptr;
 };
 
 struct ReplanResult {
@@ -53,11 +173,15 @@ struct ReplanResult {
   int phases_executed = 0;
   int replans = 0;
   double executed_cost = 0.0;  // cost of the actually executed sequence
+  int phase_retries = 0;       // failed attempts that were retried
+  int fallback_plans = 0;      // planning rounds served by the fallback
+  bool used_fallback = false;
   std::vector<std::string> log;
 };
 
 /// Plans and executes `task` to completion, re-planning as needed.
-/// The forecaster's step counter advances by one per executed phase.
+/// The forecaster's step counter advances by one per executed phase (plus
+/// backoff waits after failed attempts).
 ReplanResult execute_with_replanning(migration::MigrationTask& task,
                                      core::Planner& planner,
                                      traffic::Forecaster& forecaster,

@@ -1,0 +1,226 @@
+#include "klotski/sim/chaos.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "klotski/json/json.h"
+#include "klotski/obs/metrics.h"
+#include "klotski/pipeline/experiments.h"
+#include "klotski/sim/invariants.h"
+
+namespace klotski::sim {
+
+namespace {
+
+pipeline::ExperimentId experiment_for(topo::PresetId preset) {
+  switch (preset) {
+    case topo::PresetId::kA: return pipeline::ExperimentId::kA;
+    case topo::PresetId::kB: return pipeline::ExperimentId::kB;
+    case topo::PresetId::kC: return pipeline::ExperimentId::kC;
+    case topo::PresetId::kD: return pipeline::ExperimentId::kD;
+    case topo::PresetId::kE: return pipeline::ExperimentId::kE;
+  }
+  throw std::invalid_argument("unknown preset");
+}
+
+struct RunOutput {
+  pipeline::ReplanResult result;
+  std::vector<std::string> trajectory;
+  std::vector<InvariantViolation> violations;
+};
+
+/// One full (or resumed) pass of the driver under the script, observed by a
+/// fresh InvariantChecker. `checkpoints_out` collects every checkpoint when
+/// non-null; `resume` continues a previous run.
+RunOutput run_once(migration::MigrationTask& task, const ChaosParams& params,
+                   const FaultScript& script,
+                   const pipeline::ReplanCheckpoint* resume,
+                   std::vector<pipeline::ReplanCheckpoint>* checkpoints_out) {
+  traffic::Forecaster forecaster(task.demands, params.growth_per_step);
+  for (const traffic::SurgeEvent& surge : script.surges) {
+    forecaster.add_surge(surge);
+  }
+  for (const traffic::ForecastBias& bias : script.biases) {
+    forecaster.add_bias(bias);
+  }
+  ScriptInjector injector(script, *task.topo);
+  const std::unique_ptr<core::Planner> planner =
+      pipeline::make_planner(params.planner);
+
+  pipeline::ReplanOptions options;
+  options.checker = params.checker;
+  options.planner_options = params.planner_options;
+  options.demand_change_threshold = params.demand_change_threshold;
+  options.max_phase_retries = params.max_phase_retries;
+  options.backoff_steps = params.backoff_steps;
+  options.max_backoff_steps = params.max_backoff_steps;
+  options.max_replans = params.max_replans;
+  options.fallback_planner = params.fallback_planner;
+  options.injector = &injector;
+
+  InvariantChecker invariants(task, options.checker, options.planner_options);
+  if (resume != nullptr) {
+    invariants.seed_from(*resume);
+    options.resume = resume;
+  }
+  options.observer = [&invariants](const pipeline::PhaseObservation& obs) {
+    invariants.observe(obs);
+  };
+  if (checkpoints_out != nullptr) {
+    options.checkpoint_sink = [checkpoints_out](
+                                  const pipeline::ReplanCheckpoint& cp) {
+      checkpoints_out->push_back(cp);
+    };
+  }
+
+  RunOutput out;
+  out.result = pipeline::execute_with_replanning(task, *planner, forecaster,
+                                                 options);
+  injector.restore_capacities();
+  invariants.finish(out.result);
+  out.trajectory = invariants.trajectory();
+  out.violations = invariants.violations();
+  return out;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+ChaosVerdict run_seed_impl(std::uint64_t seed, const ChaosParams& params) {
+  ChaosVerdict verdict;
+  verdict.seed = seed;
+
+  migration::MigrationCase mcase =
+      pipeline::build_experiment(experiment_for(params.preset), params.scale);
+  migration::MigrationTask& task = mcase.task;
+
+  FaultScriptParams fault_params = params.faults;
+  fault_params.horizon = task.total_actions() * 2 + 16;
+  fault_params.expected_phases = std::max(4, task.total_actions());
+  const FaultScript script = make_fault_script(seed, task, fault_params);
+
+  std::vector<pipeline::ReplanCheckpoint> checkpoints;
+  const RunOutput run = run_once(task, params, script, nullptr, &checkpoints);
+
+  verdict.completed = run.result.completed;
+  verdict.failure = run.result.failure;
+  verdict.invariants_ok = run.violations.empty();
+  if (!verdict.invariants_ok && verdict.failure.empty()) {
+    verdict.failure = run.violations.front().what;
+  }
+  for (const InvariantViolation& v : run.violations) {
+    verdict.violations.push_back("phase " + std::to_string(v.phases_executed) +
+                                 " step " + std::to_string(v.step) + ": " +
+                                 v.what);
+  }
+  verdict.trajectory = join_lines(run.trajectory);
+  verdict.phases = run.result.phases_executed;
+  verdict.replans = run.result.replans;
+  verdict.phase_retries = run.result.phase_retries;
+  verdict.fallback_plans = run.result.fallback_plans;
+  verdict.executed_cost = run.result.executed_cost;
+
+  // Kill-and-resume oracle: round-trip a mid-run checkpoint through JSON,
+  // re-execute from it in a fresh world (fresh topology, forecaster,
+  // injector), and require the continuation to be byte-identical.
+  if (params.checkpoint_self_test && verdict.completed &&
+      checkpoints.size() >= 2) {
+    obs::Registry::global().counter("chaos.resume_checks").inc();
+    const pipeline::ReplanCheckpoint& mid =
+        checkpoints[checkpoints.size() / 2];
+    const pipeline::ReplanCheckpoint restored =
+        pipeline::ReplanCheckpoint::from_json(
+            json::parse(json::dump(mid.to_json())));
+
+    migration::MigrationCase mcase2 = pipeline::build_experiment(
+        experiment_for(params.preset), params.scale);
+    const FaultScript script2 =
+        make_fault_script(seed, mcase2.task, fault_params);
+    const RunOutput resumed =
+        run_once(mcase2.task, params, script2, &restored, nullptr);
+
+    const std::vector<std::string>& full = run.trajectory;
+    const auto skip = static_cast<std::size_t>(restored.phases_executed);
+    const bool suffix_matches =
+        skip <= full.size() &&
+        std::equal(full.begin() + static_cast<std::ptrdiff_t>(skip),
+                   full.end(), resumed.trajectory.begin(),
+                   resumed.trajectory.end());
+    verdict.resume_ok =
+        resumed.result.completed && resumed.violations.empty() &&
+        resumed.result.phases_executed == run.result.phases_executed &&
+        resumed.result.executed_cost == run.result.executed_cost &&
+        resumed.result.replans == run.result.replans && suffix_matches;
+    if (!verdict.resume_ok && verdict.failure.empty()) {
+      verdict.failure = "checkpoint resume diverged from uninterrupted run";
+    }
+  }
+  return verdict;
+}
+
+}  // namespace
+
+ChaosVerdict run_chaos_seed(std::uint64_t seed, const ChaosParams& params) {
+  obs::Registry::global().counter("chaos.seeds_run").inc();
+  ChaosVerdict verdict;
+  verdict.seed = seed;
+  try {
+    verdict = run_seed_impl(seed, params);
+  } catch (const std::exception& e) {
+    verdict.completed = false;
+    verdict.invariants_ok = false;
+    verdict.failure = std::string("exception: ") + e.what();
+  }
+  if (!verdict.passed()) {
+    obs::Registry::global().counter("chaos.seeds_failed").inc();
+  }
+  if (!verdict.invariants_ok) {
+    obs::Registry::global()
+        .counter("chaos.invariant_violations")
+        .inc(static_cast<long long>(std::max<std::size_t>(
+            verdict.violations.size(), 1)));
+  }
+  return verdict;
+}
+
+ChaosSweepResult run_chaos_sweep(std::uint64_t first_seed, int num_seeds,
+                                 int threads, const ChaosParams& params) {
+  ChaosSweepResult result;
+  if (num_seeds <= 0) return result;
+  result.verdicts.resize(static_cast<std::size_t>(num_seeds));
+
+  std::atomic<int> next{0};
+  const auto worker = [&]() {
+    for (;;) {
+      const int i = next.fetch_add(1);
+      if (i >= num_seeds) return;
+      result.verdicts[static_cast<std::size_t>(i)] = run_chaos_seed(
+          first_seed + static_cast<std::uint64_t>(i), params);
+    }
+  };
+
+  const int pool = std::clamp(threads, 1, num_seeds);
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(pool));
+    for (int i = 0; i < pool; ++i) workers.emplace_back(worker);
+    for (std::thread& w : workers) w.join();
+  }
+
+  for (const ChaosVerdict& v : result.verdicts) {
+    if (!v.passed()) ++result.failures;
+  }
+  return result;
+}
+
+}  // namespace klotski::sim

@@ -1,0 +1,230 @@
+#include "klotski/sim/fault_script.h"
+
+#include <algorithm>
+
+#include "klotski/util/hash.h"
+#include "klotski/util/rng.h"
+
+namespace klotski::sim {
+
+namespace {
+
+/// Flags every element some block operates; faults must avoid those.
+void operated_elements(const migration::MigrationTask& task,
+                       std::vector<char>& switches,
+                       std::vector<char>& circuits) {
+  switches.assign(task.topo->num_switches(), 0);
+  circuits.assign(task.topo->num_circuits(), 0);
+  for (const auto& type_blocks : task.blocks) {
+    for (const migration::OperationBlock& block : type_blocks) {
+      for (const migration::ElementOp& op : block.ops) {
+        if (op.kind == migration::ElementOp::Kind::kSwitch) {
+          switches[static_cast<std::size_t>(op.id)] = 1;
+        } else {
+          circuits[static_cast<std::size_t>(op.id)] = 1;
+        }
+      }
+    }
+  }
+}
+
+/// A window inside [1, horizon) — faults never start at step 0, so the very
+/// first planning round sees the clean topology.
+std::pair<int, int> sample_window(util::Rng& rng, int horizon) {
+  const int max_start = std::max(2, horizon * 2 / 3);
+  const int start = static_cast<int>(rng.uniform_int(1, max_start));
+  const int len =
+      static_cast<int>(rng.uniform_int(2, std::max(3, horizon / 3)));
+  return {start, start + len};
+}
+
+traffic::DemandKind sample_kind(util::Rng& rng) {
+  switch (rng.uniform_int(0, 2)) {
+    case 0: return traffic::DemandKind::kEgress;
+    case 1: return traffic::DemandKind::kIngress;
+    default: return traffic::DemandKind::kEastWest;
+  }
+}
+
+}  // namespace
+
+FaultScript make_fault_script(std::uint64_t seed,
+                              const migration::MigrationTask& task,
+                              const FaultScriptParams& params) {
+  FaultScript script;
+  util::Rng rng(util::hash_combine(seed, 0xC4A05'F001ULL));
+
+  std::vector<char> op_switch;
+  std::vector<char> op_circuit;
+  operated_elements(task, op_switch, op_circuit);
+
+  // Candidate pools: elements active in the original state that no block
+  // operates. Id order keeps the script independent of container layout.
+  std::vector<topo::CircuitId> circuits;
+  for (std::size_t c = 0; c < task.topo->num_circuits(); ++c) {
+    if (!op_circuit[c] &&
+        task.original_state.circuit_states[c] == topo::ElementState::kActive) {
+      circuits.push_back(static_cast<topo::CircuitId>(c));
+    }
+  }
+  std::vector<topo::SwitchId> switches;
+  for (std::size_t s = 0; s < task.topo->num_switches(); ++s) {
+    if (op_switch[s]) continue;
+    if (task.original_state.switch_states[s] != topo::ElementState::kActive) {
+      continue;
+    }
+    // Only drain redundant mid-layer switches; draining a traffic source or
+    // an aggregation point can make a demand structurally unroutable for
+    // the whole window, which models an outage rather than a degradation.
+    const topo::SwitchRole role = task.topo->sw(static_cast<topo::SwitchId>(s)).role;
+    if (role == topo::SwitchRole::kFsw || role == topo::SwitchRole::kSsw) {
+      switches.push_back(static_cast<topo::SwitchId>(s));
+    }
+  }
+
+  const int horizon = std::max(params.horizon, 8);
+  for (int i = 0; i < params.circuit_degrades && !circuits.empty(); ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kCircuitDegrade;
+    std::tie(e.start_step, e.end_step) = sample_window(rng, horizon);
+    e.circuit = circuits[rng.index(circuits.size())];
+    e.factor =
+        rng.uniform_real(params.degrade_factor_min, params.degrade_factor_max);
+    script.events.push_back(e);
+  }
+  for (int i = 0; i < params.circuit_failures && !circuits.empty(); ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kCircuitFail;
+    std::tie(e.start_step, e.end_step) = sample_window(rng, horizon);
+    e.circuit = circuits[rng.index(circuits.size())];
+    script.events.push_back(e);
+  }
+  for (int i = 0; i < params.switch_drains && !switches.empty(); ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kSwitchDrain;
+    std::tie(e.start_step, e.end_step) = sample_window(rng, horizon);
+    e.sw = switches[rng.index(switches.size())];
+    script.events.push_back(e);
+  }
+
+  // Step failures: distinct phase indices (the driver retries a failed phase
+  // and the retry must be allowed to succeed).
+  std::vector<int> failed_phases;
+  for (int i = 0; i < params.step_failures; ++i) {
+    const int phase = static_cast<int>(
+        rng.uniform_int(0, std::max(1, params.expected_phases) - 1));
+    if (std::find(failed_phases.begin(), failed_phases.end(), phase) !=
+        failed_phases.end()) {
+      continue;
+    }
+    failed_phases.push_back(phase);
+    FaultEvent e;
+    e.kind = FaultKind::kStepFailure;
+    e.phase = phase;
+    e.ops_applied =
+        static_cast<int>(rng.uniform_int(0, std::max(0, params.max_partial_ops)));
+    script.events.push_back(e);
+  }
+
+  for (int i = 0; i < params.demand_events; ++i) {
+    traffic::SurgeEvent surge;
+    surge.name = "chaos-demand-" + std::to_string(i);
+    surge.kind = sample_kind(rng);
+    std::tie(surge.start_step, surge.end_step) = sample_window(rng, horizon);
+    surge.factor =
+        rng.uniform_real(params.surge_factor_min, params.surge_factor_max);
+    script.surges.push_back(surge);
+  }
+  for (int i = 0; i < params.forecast_errors; ++i) {
+    traffic::ForecastBias bias;
+    bias.name = "chaos-bias-" + std::to_string(i);
+    bias.kind = sample_kind(rng);
+    std::tie(bias.start_step, bias.end_step) = sample_window(rng, horizon);
+    bias.factor =
+        rng.uniform_real(params.bias_factor_min, params.bias_factor_max);
+    script.biases.push_back(bias);
+  }
+  return script;
+}
+
+ScriptInjector::ScriptInjector(const FaultScript& script, topo::Topology& topo)
+    : script_(script), topo_(&topo) {
+  for (const FaultEvent& e : script_.events) {
+    if (e.kind != FaultKind::kCircuitDegrade) continue;
+    const auto already =
+        std::find_if(degraded_.begin(), degraded_.end(),
+                     [&](const auto& p) { return p.first == e.circuit; });
+    if (already == degraded_.end()) {
+      degraded_.emplace_back(e.circuit, topo.circuit(e.circuit).capacity_tbps);
+    }
+  }
+}
+
+ScriptInjector::~ScriptInjector() { restore_capacities(); }
+
+std::uint64_t ScriptInjector::fault_epoch(int step) const {
+  std::uint64_t h = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < script_.events.size(); ++i) {
+    if (script_.events[i].active_at(step)) {
+      h = util::hash_combine(h ? h : 0xFA017ULL, i);
+      any = true;
+    }
+  }
+  return any ? h : 0;
+}
+
+void ScriptInjector::apply(int step, topo::Topology& topo,
+                           std::vector<topo::SwitchId>& drained_switches,
+                           std::vector<topo::CircuitId>& drained_circuits) {
+  // Capacities are a pure function of the step: original × the product of
+  // the active degrade factors (windows that ended restore automatically).
+  bool changed = false;
+  for (const auto& [circuit, original] : degraded_) {
+    double factor = 1.0;
+    for (const FaultEvent& e : script_.events) {
+      if (e.kind == FaultKind::kCircuitDegrade && e.circuit == circuit &&
+          e.active_at(step)) {
+        factor *= e.factor;
+      }
+    }
+    const double target = original * factor;
+    if (topo.circuit(circuit).capacity_tbps != target) {
+      topo.circuit(circuit).capacity_tbps = target;
+      changed = true;
+    }
+  }
+  if (changed) topo.bump_state_version();
+
+  for (const FaultEvent& e : script_.events) {
+    if (!e.active_at(step)) continue;
+    if (e.kind == FaultKind::kCircuitFail) {
+      drained_circuits.push_back(e.circuit);
+    } else if (e.kind == FaultKind::kSwitchDrain) {
+      drained_switches.push_back(e.sw);
+    }
+  }
+}
+
+int ScriptInjector::phase_failure_ops(int phases_executed, int attempt) {
+  if (attempt > 0) return -1;  // retried attempts succeed
+  for (const FaultEvent& e : script_.events) {
+    if (e.kind == FaultKind::kStepFailure && e.phase == phases_executed) {
+      return e.ops_applied;
+    }
+  }
+  return -1;
+}
+
+void ScriptInjector::restore_capacities() {
+  bool changed = false;
+  for (const auto& [circuit, original] : degraded_) {
+    if (topo_->circuit(circuit).capacity_tbps != original) {
+      topo_->circuit(circuit).capacity_tbps = original;
+      changed = true;
+    }
+  }
+  if (changed) topo_->bump_state_version();
+}
+
+}  // namespace klotski::sim

@@ -1,0 +1,116 @@
+// Deterministic fault scripts for the chaos engine (§7.2 failure modes).
+//
+// A FaultScript is a seeded, pre-generated event stream over the migration's
+// step horizon: circuit capacity degradations, circuit failures, unplanned
+// switch drains, demand surges/shifts, injected step failures (with partial
+// block application), and forecast-error windows. The script is a pure
+// function of (seed, task shape, params), so every chaos trajectory is
+// reproducible from its seed alone — including across checkpoint resume.
+//
+// Element faults only ever target elements the migration does not itself
+// operate: operated blocks own their elements' states, and the replan
+// driver's overlay (like the maintenance calendar) only drains elements that
+// are active in the planned state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "klotski/migration/task.h"
+#include "klotski/pipeline/replan.h"
+#include "klotski/traffic/forecast.h"
+
+namespace klotski::sim {
+
+enum class FaultKind : std::uint8_t {
+  kCircuitDegrade,  // circuit capacity × factor over [start, end)
+  kCircuitFail,     // circuit hard-down (drained) over [start, end)
+  kSwitchDrain,     // unplanned switch drain over [start, end)
+  kStepFailure,     // injected operation failure of one executed phase
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCircuitDegrade;
+  int start_step = 0;
+  int end_step = 0;  // exclusive; unused for kStepFailure
+  topo::CircuitId circuit = topo::kInvalidCircuit;
+  topo::SwitchId sw = topo::kInvalidSwitch;
+  double factor = 1.0;  // kCircuitDegrade capacity multiplier
+  int phase = 0;        // kStepFailure: global executed-phase index
+  int ops_applied = 0;  // kStepFailure: ElementOps pushed before dying
+
+  bool is_element_fault() const { return kind != FaultKind::kStepFailure; }
+  bool active_at(int step) const {
+    return is_element_fault() && step >= start_step && step < end_step;
+  }
+};
+
+struct FaultScriptParams {
+  /// Step horizon the element faults and demand events are scheduled over.
+  /// run_chaos_seed sizes this from the task's action count.
+  int horizon = 64;
+  /// Phase indices for step failures are sampled from [0, expected_phases).
+  int expected_phases = 16;
+
+  int circuit_degrades = 2;
+  int circuit_failures = 1;
+  int switch_drains = 1;
+  int step_failures = 2;
+  /// Demand surges (factor > 1) and shifts (factor < 1) on one demand kind.
+  int demand_events = 1;
+  /// Forecast-error windows (forecast over/under-estimates ground truth).
+  int forecast_errors = 1;
+
+  double degrade_factor_min = 0.5;
+  double degrade_factor_max = 0.9;
+  double surge_factor_min = 0.8;
+  double surge_factor_max = 1.5;
+  double bias_factor_min = 0.85;
+  double bias_factor_max = 1.2;
+  /// Injected failures push at most this many ElementOps before dying.
+  int max_partial_ops = 3;
+};
+
+struct FaultScript {
+  std::vector<FaultEvent> events;  // element faults + step failures
+  /// Real demand events; install into the Forecaster with add_surge.
+  std::vector<traffic::SurgeEvent> surges;
+  /// Forecast errors; install with add_bias.
+  std::vector<traffic::ForecastBias> biases;
+};
+
+/// Generates the script for `seed`. Deterministic: same seed + same task
+/// shape + same params => identical script, on any build.
+FaultScript make_fault_script(std::uint64_t seed,
+                              const migration::MigrationTask& task,
+                              const FaultScriptParams& params);
+
+/// Drives a FaultScript through the replan driver's FaultInjector hook.
+/// Stateless per step (all answers are pure functions of the script and the
+/// arguments), which is what makes checkpoint resume bit-identical.
+///
+/// Capacity degradations are out-of-band topology edits; the injector owns
+/// restoring them — call restore_capacities() (or let the destructor) before
+/// reusing the topology.
+class ScriptInjector final : public pipeline::FaultInjector {
+ public:
+  ScriptInjector(const FaultScript& script, topo::Topology& topo);
+  ~ScriptInjector() override;
+
+  std::uint64_t fault_epoch(int step) const override;
+  void apply(int step, topo::Topology& topo,
+             std::vector<topo::SwitchId>& drained_switches,
+             std::vector<topo::CircuitId>& drained_circuits) override;
+  int phase_failure_ops(int phases_executed, int attempt) override;
+
+  /// Restores every degraded circuit to its construction-time capacity.
+  void restore_capacities();
+
+ private:
+  const FaultScript& script_;
+  topo::Topology* topo_;
+  /// Circuits with at least one degrade event, with original capacities.
+  std::vector<std::pair<topo::CircuitId, double>> degraded_;
+};
+
+}  // namespace klotski::sim

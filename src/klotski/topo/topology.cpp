@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "klotski/util/hash.h"
+
 namespace klotski::topo {
 
 std::string_view to_string(SwitchRole role) {
@@ -252,6 +254,19 @@ void TopologyState::restore(Topology& topo) const {
   for (std::size_t i = 0; i < circuit_states.size(); ++i) {
     topo.set_circuit_state(static_cast<CircuitId>(i), circuit_states[i]);
   }
+}
+
+std::uint64_t TopologyState::signature() const {
+  std::uint64_t h = util::hash_combine(0x1234'5678'9ABC'DEF0ULL,
+                                       switch_states.size());
+  for (const ElementState s : switch_states) {
+    h = util::hash_combine(h, static_cast<std::uint64_t>(s));
+  }
+  h = util::hash_combine(h, circuit_states.size());
+  for (const ElementState s : circuit_states) {
+    h = util::hash_combine(h, static_cast<std::uint64_t>(s));
+  }
+  return h;
 }
 
 }  // namespace klotski::topo

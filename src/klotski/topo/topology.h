@@ -178,6 +178,11 @@ struct TopologyState {
   static TopologyState capture(const Topology& topo);
   void restore(Topology& topo) const;
 
+  /// Order-sensitive 64-bit digest of all element states. Used by the chaos
+  /// engine's trajectory logs: two topologies with equal structure and equal
+  /// signatures went through the same intermediate state.
+  std::uint64_t signature() const;
+
   friend bool operator==(const TopologyState&, const TopologyState&) = default;
 };
 

@@ -20,6 +20,16 @@ void Forecaster::add_surge(SurgeEvent event) {
   surges_.push_back(std::move(event));
 }
 
+void Forecaster::add_bias(ForecastBias bias) {
+  if (bias.end_step < bias.start_step) {
+    throw std::invalid_argument("Forecaster: bias ends before it starts");
+  }
+  if (bias.factor <= 0.0) {
+    throw std::invalid_argument("Forecaster: bias factor must be positive");
+  }
+  biases_.push_back(std::move(bias));
+}
+
 DemandSet Forecaster::at_step(int step) const {
   DemandSet out = base_;
   const double growth = std::pow(1.0 + growth_, step);
@@ -34,6 +44,29 @@ DemandSet Forecaster::at_step(int step) const {
     d.volume_tbps *= factor;
   }
   return out;
+}
+
+DemandSet Forecaster::forecast_at_step(int step) const {
+  DemandSet out = at_step(step);
+  for (Demand& d : out) {
+    for (const ForecastBias& bias : biases_) {
+      if (d.kind == bias.kind && step >= bias.start_step &&
+          step < bias.end_step) {
+        d.volume_tbps *= bias.factor;
+      }
+    }
+  }
+  return out;
+}
+
+bool Forecaster::biased_at(int step) const {
+  for (const ForecastBias& bias : biases_) {
+    if (step >= bias.start_step && step < bias.end_step &&
+        bias.factor != 1.0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 double Forecaster::max_relative_change(int from_step, int to_step) const {

@@ -22,6 +22,19 @@ struct SurgeEvent {
   double factor = 1.0;
 };
 
+/// A forecast *error*: while active, the demand sets the forecaster hands to
+/// the planner (forecast_at_step) over/under-estimate reality (at_step) by
+/// `factor` on one demand kind. Models the §7.2 scenario where the plan was
+/// made against a forecast that turned out wrong; consumers that validate
+/// executed states must use at_step, which is always ground truth.
+struct ForecastBias {
+  std::string name;
+  DemandKind kind = DemandKind::kEgress;
+  int start_step = 0;
+  int end_step = 0;   // exclusive
+  double factor = 1.0;
+};
+
 class Forecaster {
  public:
   /// `growth_per_step` is compound organic growth per migration step
@@ -29,9 +42,20 @@ class Forecaster {
   Forecaster(DemandSet base, double growth_per_step);
 
   void add_surge(SurgeEvent event);
+  void add_bias(ForecastBias bias);
 
-  /// Demand set expected at a migration step (step 0 == base).
+  /// Actual demand set at a migration step (step 0 == base). Ground truth:
+  /// surges are real events and apply here; biases do not.
   DemandSet at_step(int step) const;
+
+  /// What the forecasting pipeline *predicts* for `step`: at_step with the
+  /// active ForecastBias factors applied. Equal to at_step when no bias is
+  /// active at that step.
+  DemandSet forecast_at_step(int step) const;
+
+  /// True when at least one bias is active at `step`, i.e. forecast_at_step
+  /// and at_step disagree.
+  bool biased_at(int step) const;
 
   /// Largest per-demand relative change between two steps; the pipeline
   /// re-plans when this exceeds its threshold.
@@ -44,6 +68,7 @@ class Forecaster {
   DemandSet base_;
   double growth_;
   std::vector<SurgeEvent> surges_;
+  std::vector<ForecastBias> biases_;
 };
 
 }  // namespace klotski::traffic

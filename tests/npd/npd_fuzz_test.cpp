@@ -1,0 +1,193 @@
+// Structured fuzz tests for the NPD format: randomized *valid* documents
+// must round-trip (parse -> serialize -> parse is a fixpoint) and build the
+// same region; a corpus of malformed documents must fail with a diagnostic,
+// never crash.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "klotski/npd/npd.h"
+#include "klotski/npd/npd_convert.h"
+#include "klotski/npd/npd_io.h"
+#include "klotski/util/rng.h"
+
+namespace klotski {
+namespace {
+
+/// Randomized valid document: every schema section populated, both HGRID
+/// generations, all migration kinds. Kept small so the whole fuzz run stays
+/// in the tier-1 time budget.
+npd::NpdDocument random_document(util::Rng& rng) {
+  npd::NpdDocument doc;
+  doc.name = "fuzz-" + std::to_string(rng.uniform_int(0, 1 << 20));
+  doc.version = 1;
+
+  topo::RegionParams& rp = doc.region;
+  rp.dcs = static_cast<int>(rng.uniform_int(1, 2));
+  rp.fabrics.clear();
+  const int buildings = static_cast<int>(rng.uniform_int(1, rp.dcs));
+  for (int i = 0; i < buildings; ++i) {
+    topo::FabricParams fab;
+    fab.pods = static_cast<int>(rng.uniform_int(1, 2));
+    fab.rsws_per_pod = static_cast<int>(rng.uniform_int(1, 3));
+    fab.planes = static_cast<int>(rng.uniform_int(1, 2));
+    fab.ssws_per_plane = static_cast<int>(rng.uniform_int(1, 2));
+    fab.rsw_fsw_links = 1;
+    rp.fabrics.push_back(fab);
+  }
+  rp.grids = static_cast<int>(rng.uniform_int(1, 2));
+  rp.fadus_per_grid_per_dc = static_cast<int>(rng.uniform_int(1, 2));
+  rp.fauus_per_grid = static_cast<int>(rng.uniform_int(1, 2));
+  rp.hgrid_gen =
+      rng.chance(0.5) ? topo::Generation::kV1 : topo::Generation::kV2;
+  rp.mesh = rng.chance(0.5) ? topo::MeshPattern::kPlaneAligned
+                            : topo::MeshPattern::kInterleaved;
+  rp.ebs = static_cast<int>(rng.uniform_int(1, 3));
+  rp.drs = static_cast<int>(rng.uniform_int(1, 3));
+  rp.ebbs = static_cast<int>(rng.uniform_int(1, 3));
+  rp.cap_rsw_fsw = rng.uniform_real(0.05, 0.2);
+  rp.cap_fsw_ssw = rng.uniform_real(0.1, 0.4);
+  rp.cap_ssw_fadu = rng.uniform_real(0.2, 0.8);
+  rp.cap_fadu_fauu = rng.uniform_real(0.4, 1.6);
+  rp.cap_fauu_eb = rng.uniform_real(0.4, 1.6);
+  rp.cap_fauu_dr = rng.uniform_real(0.4, 1.6);
+  rp.cap_eb_ebb = rng.uniform_real(0.8, 3.2);
+  rp.cap_dr_ebb = rng.uniform_real(0.8, 3.2);
+  rp.port_slack_fabric = static_cast<int>(rng.uniform_int(0, 4));
+  rp.port_slack_ssw = static_cast<int>(rng.uniform_int(0, 4));
+  rp.port_slack_agg = static_cast<int>(rng.uniform_int(0, 4));
+  rp.port_slack_eb = static_cast<int>(rng.uniform_int(0, 4));
+  rp.port_slack_ebb = static_cast<int>(rng.uniform_int(0, 8));
+
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      doc.migration = npd::MigrationKind::kNone;
+      break;
+    case 1:
+      // HGRID V1->V2 onboards the V2 generation, so the region starts V1.
+      doc.migration = npd::MigrationKind::kHgridV1ToV2;
+      rp.hgrid_gen = topo::Generation::kV1;
+      doc.hgrid.v2_grids = rp.grids;
+      doc.hgrid.v2_fadus_per_grid_per_dc = rp.fadus_per_grid_per_dc;
+      doc.hgrid.v2_fauus_per_grid = rp.fauus_per_grid;
+      doc.hgrid.fadu_chunks_per_grid_dc = 1;
+      doc.hgrid.fauu_chunks_per_grid = 1;
+      break;
+    case 2:
+      doc.migration = npd::MigrationKind::kSswForklift;
+      doc.ssw.dc = static_cast<int>(rng.uniform_int(0, rp.dcs - 1));
+      doc.ssw.v2_capacity_factor = rng.uniform_real(1.0, 2.0);
+      doc.ssw.blocks_per_plane = 1;
+      break;
+    default:
+      doc.migration = npd::MigrationKind::kDmag;
+      doc.dmag.ma_per_eb = static_cast<int>(rng.uniform_int(1, 2));
+      break;
+  }
+
+  doc.demand.egress_frac = rng.uniform_real(0.1, 0.4);
+  doc.demand.ingress_frac = rng.uniform_real(0.1, 0.4);
+  doc.demand.east_west_frac = rng.uniform_real(0.1, 0.4);
+  doc.demand.intra_dc_frac = rng.uniform_real(0.0, 0.2);
+  return doc;
+}
+
+TEST(NpdFuzz, RandomValidDocumentsRoundTripAndBuild) {
+  util::Rng rng(0xF022'1234ULL);
+  int migrations_built = 0;
+  for (int i = 0; i < 60; ++i) {
+    const npd::NpdDocument doc = random_document(rng);
+    const std::string text = npd::dump_npd(doc);
+
+    // parse(serialize(doc)) must be a serialization fixpoint.
+    const npd::NpdDocument reparsed = npd::parse_npd(text);
+    EXPECT_EQ(text, npd::dump_npd(reparsed)) << "doc " << i;
+
+    // The reparsed document must describe the identical region.
+    const topo::Region region = npd::build_region(doc);
+    const topo::Region region2 = npd::build_region(reparsed);
+    EXPECT_EQ(json::dump(npd::topology_to_json(region.topo)),
+              json::dump(npd::topology_to_json(region2.topo)))
+        << "doc " << i;
+    EXPECT_EQ(region.topo.validate(), "") << "doc " << i;
+
+    // Explicit topology JSON must round-trip losslessly too.
+    const json::Value tj = npd::topology_to_json(region.topo);
+    const topo::Topology rebuilt = npd::topology_from_json(tj);
+    EXPECT_EQ(json::dump(npd::topology_to_json(rebuilt)), json::dump(tj))
+        << "doc " << i;
+
+    // Migration documents must build a self-consistent case.
+    if (doc.migration != npd::MigrationKind::kNone) {
+      const migration::MigrationCase mcase = npd::build_case(reparsed);
+      EXPECT_EQ(mcase.task.validate(), "") << "doc " << i;
+      EXPECT_GT(mcase.task.total_actions(), 0) << "doc " << i;
+      ++migrations_built;
+    }
+  }
+  EXPECT_GT(migrations_built, 10);  // the sampler actually covered kinds
+}
+
+TEST(NpdFuzz, BothGenerationsAppearInTheCorpus) {
+  util::Rng rng(0xF022'1234ULL);
+  bool v1 = false;
+  bool v2 = false;
+  for (int i = 0; i < 60; ++i) {
+    const npd::NpdDocument doc = random_document(rng);
+    (doc.region.hgrid_gen == topo::Generation::kV1 ? v1 : v2) = true;
+  }
+  EXPECT_TRUE(v1);
+  EXPECT_TRUE(v2);
+}
+
+/// Malformed inputs: every entry must raise an exception whose message
+/// carries a diagnostic — never a crash, never silent acceptance.
+TEST(NpdFuzz, MalformedDocumentsFailWithDiagnostics) {
+  const std::vector<std::pair<std::string, std::string>> corpus = {
+      {"truncated JSON", "{\"name\": \"x\", "},
+      {"root not an object", "[1, 2, 3]"},
+      {"unknown root key", R"({"name": "x", "nonsense": 1})"},
+      {"unknown fabric key", R"({"fabric": {"dcs": 2, "oops": 1}})"},
+      {"unknown hgrid key", R"({"hgrid": {"grid_count": 4}})"},
+      {"bad generation", R"({"hgrid": {"generation": "V3"}})"},
+      {"bad mesh", R"({"hgrid": {"mesh": "diagonal"}})"},
+      {"empty buildings", R"({"fabric": {"buildings": []}})"},
+      {"bad migration type", R"({"migration": {"type": "teleport"}})"},
+      {"unknown migration key", R"({"migration": {"type": "none", "x": 1}})"},
+      {"non-integer version", R"({"version": "one"})"},
+      {"non-numeric capacity",
+       R"({"hardware": {"capacities": {"rsw_fsw": "fast"}}})"},
+      {"unknown hardware key", R"({"hardware": {"power": 9000}})"},
+      {"unknown demand key", R"({"demand": {"sideways_frac": 0.5}})"},
+      {"buildings not an array", R"({"fabric": {"buildings": 3}})"},
+  };
+  for (const auto& [label, text] : corpus) {
+    try {
+      (void)npd::parse_npd(text);
+      FAIL() << label << ": malformed NPD was accepted";
+    } catch (const std::exception& e) {
+      EXPECT_FALSE(std::string(e.what()).empty()) << label;
+    }
+  }
+}
+
+/// Malformed *explicit topology* documents must also fail loudly.
+TEST(NpdFuzz, MalformedTopologyJsonFailsWithDiagnostics) {
+  const std::vector<std::string> corpus = {
+      R"({"switches": [], "circuits": [{"a": "x", "b": "y",
+           "capacity_tbps": 1.0, "state": "active"}]})",
+      R"({"switches": [{"name": "s", "role": "WARP", "gen": "V1",
+           "state": "active", "max_ports": 4}], "circuits": []})",
+      R"({"switches": [{"name": "s", "role": "RSW", "gen": "V9",
+           "state": "active", "max_ports": 4}], "circuits": []})",
+  };
+  for (const std::string& text : corpus) {
+    EXPECT_THROW((void)npd::topology_from_json(json::parse(text)),
+                 std::exception)
+        << text;
+  }
+}
+
+}  // namespace
+}  // namespace klotski

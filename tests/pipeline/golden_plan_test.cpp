@@ -1,0 +1,84 @@
+// Golden-plan regression corpus: for presets A-C (reduced scale) the
+// default pipeline (klotski_synth | klotski_plan --planner=astar) must
+// reproduce the committed plan JSON byte-for-byte. Any intentional change
+// to the planner, the checker, the preset parameters, or the JSON encoder
+// shows up as a readable diff; regenerate with scripts/regen_golden.sh.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "klotski/json/json.h"
+#include "klotski/npd/npd_io.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/pipeline/experiments.h"
+#include "klotski/pipeline/plan_export.h"
+#include "klotski/util/file.h"
+
+namespace klotski {
+namespace {
+
+struct GoldenCase {
+  topo::PresetId preset;
+  const char* name;  // preset letter, upper case
+  const char* file;  // golden file name under tests/golden/
+};
+
+class GoldenPlan : public ::testing::TestWithParam<GoldenCase> {};
+
+/// The exact document klotski_synth emits for
+///   --preset=<X> --scale=reduced --migration=hgrid-v1-to-v2
+/// including the serialize/parse round trip the file I/O performs.
+npd::NpdDocument synth_document(const GoldenCase& gc) {
+  npd::NpdDocument doc;
+  doc.name = std::string("preset-") + gc.name + "/reduced";
+  doc.region = topo::preset_params(gc.preset, topo::PresetScale::kReduced);
+  doc.migration = npd::MigrationKind::kHgridV1ToV2;
+  doc.hgrid =
+      pipeline::hgrid_params_for(gc.preset, topo::PresetScale::kReduced);
+  doc.ssw = pipeline::ssw_params_for(topo::PresetScale::kReduced);
+  doc.dmag = pipeline::dmag_params_for(topo::PresetScale::kReduced);
+  return npd::parse_npd(npd::dump_npd(doc));
+}
+
+TEST_P(GoldenPlan, DefaultPipelineOutputIsByteExact) {
+  const GoldenCase& gc = GetParam();
+  migration::MigrationCase mig = npd::build_case(synth_document(gc));
+
+  // klotski_plan defaults: theta 0.75, ecmp, alpha 0, single thread.
+  const pipeline::CheckerConfig checker_config;
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(mig.task, checker_config);
+  const auto planner = pipeline::make_planner("astar");
+  const core::Plan plan =
+      planner->plan(mig.task, *bundle.checker, core::PlannerOptions{});
+  ASSERT_TRUE(plan.found) << plan.failure;
+
+  // Everything in the plan document is deterministic except the wall-clock
+  // stat; zero it on both sides (regen_golden.sh commits it as 0 too).
+  json::Value produced_doc = pipeline::plan_to_json(mig.task, plan);
+  produced_doc.as_object()["stats"].as_object()["wall_seconds"] =
+      json::Value(0);
+  const std::string produced = json::dump(produced_doc, 2) + "\n";
+  const std::string path =
+      std::string(KLOTSKI_SOURCE_DIR) + "/tests/golden/" + gc.file;
+  json::Value golden_doc = json::parse(util::read_file(path));
+  golden_doc.as_object()["stats"].as_object()["wall_seconds"] =
+      json::Value(0);
+  const std::string golden = json::dump(golden_doc, 2) + "\n";
+  EXPECT_EQ(produced, golden)
+      << "plan output drifted from " << path
+      << "\nIf the change is intentional, run scripts/regen_golden.sh and "
+         "commit the updated corpus.";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsAToC, GoldenPlan,
+    ::testing::Values(GoldenCase{topo::PresetId::kA, "A", "plan-a.json"},
+                      GoldenCase{topo::PresetId::kB, "B", "plan-b.json"},
+                      GoldenCase{topo::PresetId::kC, "C", "plan-c.json"}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      return std::string("Preset") + info.param.name;
+    });
+
+}  // namespace
+}  // namespace klotski

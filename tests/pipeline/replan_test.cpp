@@ -165,5 +165,183 @@ TEST(Replan, MaintenanceDrainsConstrainThePlan) {
   EXPECT_NE(result.failure.find("planning failed"), std::string::npos);
 }
 
+TEST(Replan, FailingPhaseIndicesFireAtMostOnce) {
+  // Regression: a failure injection is consumed once. The failed phase is
+  // retried under a fresh plan with the *same* global executed-phase index,
+  // so un-deduplicated matching (or a repeated listing) would re-fail the
+  // retry forever.
+  migration::MigrationCase mig = small_hgrid_case();
+  traffic::Forecaster forecaster(mig.task.demands, 0.0);
+  core::AStarPlanner planner;
+  ReplanOptions options;
+  options.failing_phases = {1, 1, 1};
+  const ReplanResult result =
+      execute_with_replanning(mig.task, planner, forecaster, options);
+  EXPECT_TRUE(result.completed) << result.failure;
+  int failures_logged = 0;
+  for (const std::string& line : result.log) {
+    if (line.find("failed during operation") != std::string::npos) {
+      ++failures_logged;
+    }
+  }
+  EXPECT_EQ(failures_logged, 1);
+  EXPECT_EQ(result.phase_retries, 1);
+}
+
+TEST(Replan, FailedPhaseRetriesWithBackoff) {
+  migration::MigrationCase mig = small_hgrid_case();
+  traffic::Forecaster forecaster(mig.task.demands, 0.0);
+  core::AStarPlanner planner;
+  ReplanOptions options;
+  options.failing_phases = {0};
+  options.backoff_steps = 2;
+  const ReplanResult result =
+      execute_with_replanning(mig.task, planner, forecaster, options);
+  EXPECT_TRUE(result.completed) << result.failure;
+  EXPECT_EQ(result.phase_retries, 1);
+  bool backed_off = false;
+  for (const std::string& line : result.log) {
+    if (line.find("backing off 2 steps") != std::string::npos) {
+      backed_off = true;
+    }
+  }
+  EXPECT_TRUE(backed_off);
+}
+
+TEST(Replan, FallbackPlannerEngagesAfterMaxReplans) {
+  migration::MigrationCase mig = small_hgrid_case();
+  // 20% growth re-plans every step, exhausting a one-round budget fast.
+  traffic::Forecaster forecaster(mig.task.demands, 0.20);
+  core::AStarPlanner planner;
+  ReplanOptions options;
+  options.max_replans = 1;
+  options.fallback_planner = "mrc";
+  const ReplanResult result =
+      execute_with_replanning(mig.task, planner, forecaster, options);
+  if (result.completed && result.replans >= 1) {
+    EXPECT_TRUE(result.used_fallback);
+    EXPECT_GE(result.fallback_plans, 1);
+    bool degraded = false;
+    for (const std::string& line : result.log) {
+      if (line.find("degrading to fallback planner") != std::string::npos) {
+        degraded = true;
+      }
+    }
+    EXPECT_TRUE(degraded);
+  }
+}
+
+TEST(Replan, ObserverSeesEveryExecutedPhaseInOrder) {
+  migration::MigrationCase mig = small_hgrid_case();
+  traffic::Forecaster forecaster(mig.task.demands, 0.0);
+  core::AStarPlanner planner;
+  ReplanOptions options;
+  int calls = 0;
+  int last_total = 0;
+  options.observer = [&](const PhaseObservation& obs) {
+    ++calls;
+    EXPECT_EQ(obs.phases_executed, calls);
+    int total = 0;
+    for (const std::int32_t d : obs.done) total += d;
+    EXPECT_EQ(total, last_total + obs.blocks);
+    last_total = total;
+    // The topology is materialized at the executed state: the done counts
+    // must be reflected in switch states differing from the original for
+    // at least one operated element once anything ran.
+    EXPECT_FALSE(obs.demands.empty());
+  };
+  const ReplanResult result =
+      execute_with_replanning(mig.task, planner, forecaster, options);
+  ASSERT_TRUE(result.completed) << result.failure;
+  EXPECT_EQ(calls, result.phases_executed);
+}
+
+TEST(Replan, CheckpointResumeReproducesTheUninterruptedRun) {
+  migration::MigrationCase mig = small_hgrid_case();
+  traffic::Forecaster forecaster(mig.task.demands, 0.0);
+  core::AStarPlanner planner;
+  ReplanOptions options;
+  options.failing_phases = {1};  // exercise consumed-failure persistence
+  std::vector<ReplanCheckpoint> checkpoints;
+  options.checkpoint_sink = [&](const ReplanCheckpoint& cp) {
+    checkpoints.push_back(cp);
+  };
+  const ReplanResult full =
+      execute_with_replanning(mig.task, planner, forecaster, options);
+  ASSERT_TRUE(full.completed) << full.failure;
+  ASSERT_GE(checkpoints.size(), 2u);
+
+  // Kill after an arbitrary phase; resume from the JSON round trip of its
+  // checkpoint in a fresh world and compare the final outcome.
+  for (const std::size_t at : {std::size_t{0}, checkpoints.size() / 2}) {
+    const ReplanCheckpoint restored = ReplanCheckpoint::from_json(
+        json::parse(json::dump(checkpoints[at].to_json())));
+    migration::MigrationCase mig2 = small_hgrid_case();
+    traffic::Forecaster forecaster2(mig2.task.demands, 0.0);
+    ReplanOptions options2;
+    options2.failing_phases = {1};
+    options2.resume = &restored;
+    const ReplanResult resumed =
+        execute_with_replanning(mig2.task, planner, forecaster2, options2);
+    ASSERT_TRUE(resumed.completed) << resumed.failure;
+    EXPECT_EQ(resumed.phases_executed, full.phases_executed);
+    EXPECT_EQ(resumed.executed_cost, full.executed_cost);  // bit-exact
+    EXPECT_EQ(resumed.replans, full.replans);
+    EXPECT_EQ(resumed.phase_retries, full.phase_retries);
+  }
+}
+
+TEST(Replan, ResumeRejectsCheckpointFromAnotherTask) {
+  migration::MigrationCase mig = small_hgrid_case();
+  traffic::Forecaster forecaster(mig.task.demands, 0.0);
+  core::AStarPlanner planner;
+  ReplanCheckpoint checkpoint;
+  checkpoint.done = core::CountVector{0};  // wrong arity for this task
+  ReplanOptions options;
+  options.resume = &checkpoint;
+  EXPECT_THROW(
+      execute_with_replanning(mig.task, planner, forecaster, options),
+      std::invalid_argument);
+}
+
+namespace {
+
+/// Fails phase 1 on its first attempt after pushing two ops of its block
+/// (simulating a config push dying mid-block).
+class PartialFailureInjector final : public FaultInjector {
+ public:
+  std::uint64_t fault_epoch(int) const override { return 0; }
+  void apply(int, topo::Topology&, std::vector<topo::SwitchId>&,
+             std::vector<topo::CircuitId>&) override {}
+  int phase_failure_ops(int phases_executed, int attempt) override {
+    return (phases_executed == 1 && attempt == 0) ? 2 : -1;
+  }
+};
+
+}  // namespace
+
+TEST(Replan, PartialBlockApplicationIsRolledBackAndRetried) {
+  migration::MigrationCase mig = small_hgrid_case();
+  traffic::Forecaster forecaster(mig.task.demands, 0.0);
+  core::AStarPlanner planner;
+  PartialFailureInjector injector;
+  ReplanOptions options;
+  options.injector = &injector;
+  const ReplanResult result =
+      execute_with_replanning(mig.task, planner, forecaster, options);
+  EXPECT_TRUE(result.completed) << result.failure;
+  EXPECT_EQ(result.phase_retries, 1);
+  bool rolled_back = false;
+  for (const std::string& line : result.log) {
+    if (line.find("failed after 2 ops; rolled back") != std::string::npos) {
+      rolled_back = true;
+    }
+  }
+  EXPECT_TRUE(rolled_back);
+  // The torn state never leaks: the topology is back at the original.
+  EXPECT_TRUE(mig.task.original_state ==
+              topo::TopologyState::capture(*mig.task.topo));
+}
+
 }  // namespace
 }  // namespace klotski::pipeline

@@ -1,0 +1,181 @@
+// klotski_chaos — seeded chaos sweeps over the replan driver.
+//
+//   klotski_chaos --seeds=100 --threads=4 --preset=a
+//   klotski_chaos --seed-range=500:600 --preset=b --max-replans=6
+//   klotski_chaos --seed=42 --trajectory        # one seed, verbose
+//
+// Each seed builds the preset migration, generates a deterministic fault
+// script (circuit degradations/failures, unplanned switch drains, demand
+// surges, forecast-error windows, injected step failures with partial block
+// application), executes it through the hardened replan driver with the
+// invariant checker observing every phase, then kills and resumes the run
+// from a JSON-round-tripped mid-run checkpoint and requires a byte-identical
+// continuation.
+//
+// Flags:
+//   --seeds        number of seeds to run              (default 25)
+//   --first-seed   first seed of the sweep             (default 0)
+//   --seed-range   LO:HI (HI exclusive), overrides --seeds/--first-seed
+//   --seed         run exactly one seed, verbosely
+//   --threads      worker threads; verdicts are identical at any value
+//                  (default 1)
+//   --preset       a | b | c | d | e                   (default a)
+//   --scale        reduced | full                      (default reduced)
+//   --planner      astar | dp | mrc | janus | brute    (default astar)
+//   --fallback     fallback planner after --max-replans (default mrc)
+//   --max-replans  planning rounds before degrading, 0 = never (default 0)
+//   --retries      per-phase retry budget              (default 6)
+//   --theta        utilization bound in (0, 1]         (default 0.75)
+//   --growth       organic demand growth per step      (default 0.002)
+//   --degrades / --circuit-failures / --drains / --step-failures /
+//   --surges / --forecast-errors    fault-script event counts
+//   --no-resume-check   skip the checkpoint kill/resume self-test
+//   --trajectory   print per-phase trajectories (single seed only)
+//   --metrics-out  write the metrics registry JSON here
+//   --trace-out    write Chrome trace_event JSON here
+//
+// Exit status: 0 all seeds passed; 1 failures (every failing seed is
+// listed); 2 usage error.
+#include <iostream>
+#include <string>
+
+#include "klotski/sim/chaos.h"
+#include "klotski/util/flags.h"
+#include "obs_output.h"
+
+namespace {
+
+using namespace klotski;
+
+bool parse_preset(const std::string& text, topo::PresetId& out) {
+  if (text == "a") out = topo::PresetId::kA;
+  else if (text == "b") out = topo::PresetId::kB;
+  else if (text == "c") out = topo::PresetId::kC;
+  else if (text == "d") out = topo::PresetId::kD;
+  else if (text == "e") out = topo::PresetId::kE;
+  else return false;
+  return true;
+}
+
+void print_verdict(const sim::ChaosVerdict& v, bool verbose,
+                   bool trajectory) {
+  std::cout << "seed " << v.seed << ": "
+            << (v.passed() ? "PASS" : "FAIL") << " phases=" << v.phases
+            << " replans=" << v.replans << " retries=" << v.phase_retries
+            << " fallback=" << v.fallback_plans << " cost="
+            << v.executed_cost;
+  if (!v.passed()) std::cout << " (" << v.failure << ")";
+  std::cout << "\n";
+  if (verbose) {
+    for (const std::string& violation : v.violations) {
+      std::cout << "  violation: " << violation << "\n";
+    }
+  }
+  if (trajectory) std::cout << v.trajectory;
+}
+
+int run(const util::Flags& flags) {
+  sim::ChaosParams params;
+  if (!parse_preset(flags.get_string("preset", "a"), params.preset)) {
+    std::cerr << "klotski_chaos: unknown --preset (want a..e)\n";
+    return 2;
+  }
+  const std::string scale = flags.get_string("scale", "reduced");
+  if (scale == "full") {
+    params.scale = topo::PresetScale::kFull;
+  } else if (scale != "reduced") {
+    std::cerr << "klotski_chaos: unknown --scale (want reduced|full)\n";
+    return 2;
+  }
+  params.planner = flags.get_string("planner", "astar");
+  params.fallback_planner = flags.get_string("fallback", "mrc");
+  params.max_replans = static_cast<int>(flags.get_int("max-replans", 0));
+  params.max_phase_retries = static_cast<int>(flags.get_int("retries", 6));
+  params.checker.demand.max_utilization = flags.get_double("theta", 0.75);
+  params.growth_per_step = flags.get_double("growth", 0.002);
+  params.faults.circuit_degrades =
+      static_cast<int>(flags.get_int("degrades", 2));
+  params.faults.circuit_failures =
+      static_cast<int>(flags.get_int("circuit-failures", 1));
+  params.faults.switch_drains = static_cast<int>(flags.get_int("drains", 1));
+  params.faults.step_failures =
+      static_cast<int>(flags.get_int("step-failures", 2));
+  params.faults.demand_events = static_cast<int>(flags.get_int("surges", 1));
+  params.faults.forecast_errors =
+      static_cast<int>(flags.get_int("forecast-errors", 1));
+  params.checkpoint_self_test = !flags.get_bool("no-resume-check", false);
+
+  const int threads = static_cast<int>(flags.get_int("threads", 1));
+  if (threads < 1) {
+    std::cerr << "klotski_chaos: --threads must be >= 1\n";
+    return 2;
+  }
+
+  std::uint64_t first_seed =
+      static_cast<std::uint64_t>(flags.get_int("first-seed", 0));
+  int num_seeds = static_cast<int>(flags.get_int("seeds", 25));
+  const std::string range = flags.get_string("seed-range", "");
+  if (!range.empty()) {
+    const std::size_t colon = range.find(':');
+    if (colon == std::string::npos) {
+      std::cerr << "klotski_chaos: --seed-range wants LO:HI\n";
+      return 2;
+    }
+    try {
+      const long long lo = std::stoll(range.substr(0, colon));
+      const long long hi = std::stoll(range.substr(colon + 1));
+      if (lo < 0 || hi <= lo) throw std::invalid_argument("empty range");
+      first_seed = static_cast<std::uint64_t>(lo);
+      num_seeds = static_cast<int>(hi - lo);
+    } catch (const std::exception&) {
+      std::cerr << "klotski_chaos: bad --seed-range '" << range << "'\n";
+      return 2;
+    }
+  }
+  if (flags.has("seed")) {
+    first_seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
+    num_seeds = 1;
+  }
+  if (num_seeds < 1) {
+    std::cerr << "klotski_chaos: --seeds must be >= 1\n";
+    return 2;
+  }
+
+  const bool single = num_seeds == 1;
+  const bool trajectory = flags.get_bool("trajectory", false) && single;
+
+  const sim::ChaosSweepResult sweep =
+      sim::run_chaos_sweep(first_seed, num_seeds, threads, params);
+  for (const sim::ChaosVerdict& v : sweep.verdicts) {
+    if (single || !v.passed()) print_verdict(v, single, trajectory);
+  }
+
+  std::cout << "chaos sweep: " << (num_seeds - sweep.failures) << "/"
+            << num_seeds << " seeds passed\n";
+  if (sweep.failures > 0) {
+    std::cout << "failing seeds:";
+    for (const std::uint64_t s : sweep.failing_seeds()) {
+      std::cout << " " << s;
+    }
+    std::cout << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace klotski;
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  const tools::ObsOutput obs_out = tools::obs_from_flags(flags);
+  int rc = 2;
+  try {
+    rc = run(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "klotski_chaos: " << e.what() << "\n";
+    rc = 2;
+  }
+  tools::write_obs_outputs(obs_out, "klotski_chaos");
+  return rc;
+}
