@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Serve smoke gate: boots klotski_served, proves the serving path is
+# byte-equivalent to the CLI pipeline, runs a mixed loadgen workload, and
+# verifies the graceful SIGTERM drain (exit 0, metrics flushed).
+#
+# Usage: scripts/serve_smoke.sh [build-dir] [report-out]
+#   build-dir   tree with the built tools       (default: build)
+#   report-out  loadgen JSON report path        (default: none)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+REPORT="${2:-}"
+
+TMP="$(mktemp -d)"
+# Unix socket paths must stay short (sun_path ~100 bytes); mktemp -d paths
+# can be long, so the socket lives under /tmp directly.
+SOCK="/tmp/ksmoke-$$.sock"
+cleanup() {
+  [[ -n "${SERVED_PID:-}" ]] && kill -9 "${SERVED_PID}" 2>/dev/null || true
+  rm -rf "${TMP}" "${SOCK}"
+}
+trap cleanup EXIT
+
+"./${BUILD}/tools/klotski_synth" --preset=A --scale=reduced \
+  --out="${TMP}/a.npd.json"
+
+# Reference plan straight from the CLI pipeline.
+"./${BUILD}/tools/klotski_plan" --npd="${TMP}/a.npd.json" \
+  --out="${TMP}/cli.plan.json" 2> /dev/null
+
+# Boot the daemon and wait for the socket to appear.
+"./${BUILD}/tools/klotski_served" --socket="${SOCK}" --workers=4 \
+  --max-queue=16 --cache-capacity=16 --spill-dir="${TMP}/spill" \
+  --metrics-out="${TMP}/served.metrics.json" \
+  2> "${TMP}/served.log" &
+SERVED_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "${SOCK}" ]] && break
+  sleep 0.05
+done
+[[ -S "${SOCK}" ]] || { echo "serve_smoke: daemon never bound ${SOCK}" >&2
+                        cat "${TMP}/served.log" >&2; exit 1; }
+
+# 1. Byte-identity: served plan (cold, then cache hit) against the CLI,
+#    modulo stats.wall_seconds — the one real-wall-clock field, which
+#    differs even between two klotski_plan runs.
+normalize() {
+  sed 's/"wall_seconds": [0-9.eE+-]*/"wall_seconds": 0/' "$1"
+}
+"./${BUILD}/tools/klotski_loadgen" --socket="${SOCK}" \
+  --npd="${TMP}/a.npd.json" --once --result-out="${TMP}/cold.plan.json" \
+  2> "${TMP}/loadgen-cold.log"
+"./${BUILD}/tools/klotski_loadgen" --socket="${SOCK}" \
+  --npd="${TMP}/a.npd.json" --once --result-out="${TMP}/hit.plan.json" \
+  2> "${TMP}/loadgen-hit.log"
+grep -q '(cached)' "${TMP}/loadgen-hit.log" || {
+  echo "serve_smoke: FAIL — second identical request was not a cache hit" >&2
+  exit 1
+}
+if ! cmp -s <(normalize "${TMP}/cli.plan.json") \
+            <(normalize "${TMP}/cold.plan.json"); then
+  echo "serve_smoke: FAIL — served cold plan differs from klotski_plan" >&2
+  diff <(normalize "${TMP}/cli.plan.json") \
+       <(normalize "${TMP}/cold.plan.json") | head >&2
+  exit 1
+fi
+# The cache hit must be byte-identical to the cold response, no exceptions:
+# both are the same cached bytes.
+cmp "${TMP}/cold.plan.json" "${TMP}/hit.plan.json" || {
+  echo "serve_smoke: FAIL — cache hit differs from cold response" >&2
+  exit 1
+}
+
+# 2. Mixed workload at a modest rate across 4 connections.
+REPORT_PATH="${REPORT:-${TMP}/loadgen.report.json}"
+"./${BUILD}/tools/klotski_loadgen" --socket="${SOCK}" \
+  --npd="${TMP}/a.npd.json" --requests=60 --qps=120 --connections=4 \
+  --report="${REPORT_PATH}" 2> "${TMP}/loadgen-mix.log"
+
+# 3. Graceful drain: SIGTERM => exit 0 with metrics flushed.
+kill -TERM "${SERVED_PID}"
+SERVED_RC=0
+wait "${SERVED_PID}" || SERVED_RC=$?
+SERVED_PID=""
+if [[ "${SERVED_RC}" -ne 0 ]]; then
+  echo "serve_smoke: FAIL — drain exited ${SERVED_RC}" >&2
+  cat "${TMP}/served.log" >&2
+  exit 1
+fi
+[[ -s "${TMP}/served.metrics.json" ]] || {
+  echo "serve_smoke: FAIL — no metrics artifact after drain" >&2
+  exit 1
+}
+grep -q 'drained' "${TMP}/served.log" || {
+  echo "serve_smoke: FAIL — daemon log carries no drain line" >&2
+  exit 1
+}
+
+echo "serve_smoke: OK"

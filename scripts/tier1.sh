@@ -26,8 +26,13 @@ CHAOS_SEEDS="${KLOTSKI_CHAOS_SEEDS:-25}"
 ./build/tools/klotski_chaos --preset=b --seeds="${CHAOS_SEEDS}" \
   --threads="${JOBS}"
 
+# Serve smoke gate: daemon up, served-vs-CLI byte identity (cold + cache
+# hit), mixed loadgen workload, graceful SIGTERM drain with flushed metrics
+# (DESIGN.md §9).
+scripts/serve_smoke.sh build
+
 cmake -B build-tsan -S . -DKLOTSKI_SANITIZE=thread
-cmake --build build-tsan -j"${JOBS}" --target test_core test_obs test_traffic test_sim
+cmake --build build-tsan -j"${JOBS}" --target test_core test_obs test_traffic test_sim test_serve
 # Run the binaries directly: only these targets are built in the TSan tree,
 # and ctest would trip over the undiscovered sibling test targets.
 ./build-tsan/tests/test_core \
@@ -39,6 +44,9 @@ cmake --build build-tsan -j"${JOBS}" --target test_core test_obs test_traffic te
 # is the verdict vector and the obs counters — TSan checks that claim.
 KLOTSKI_CHAOS_SEEDS=10 ./build-tsan/tests/test_sim \
   --gtest_filter='ChaosInvariants.SweepVerdictsAreIdenticalAcrossThreadCounts'
+# Plan service under TSan: single-flight cache, worker pool, drain, and the
+# socket server's connection threads all exercise cross-thread handoffs.
+./build-tsan/tests/test_serve
 
 # AddressSanitizer over the randomized ECMP equivalence suite: the flat-path
 # engine's epoch stamping / sparse slot bookkeeping is exactly the kind of

@@ -1,0 +1,100 @@
+#include "klotski/json/canonical.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "klotski/util/hash.h"
+
+namespace klotski::json {
+
+namespace {
+
+/// Integral doubles within the exactly-representable window collapse to the
+/// integer spelling, so parse("2.0") and parse("2") canonicalize alike —
+/// the same equivalence Value::operator== applies.
+void canonical_number(const Value& v, std::string& out) {
+  if (v.type() == Value::Type::kInt) {
+    out += std::to_string(v.as_int());
+    return;
+  }
+  const double d = v.as_double();
+  if (d == 0.0) {  // also normalizes -0.0
+    out.push_back('0');
+    return;
+  }
+  if (std::nearbyint(d) == d && std::fabs(d) <= 9007199254740992.0) {
+    out += std::to_string(static_cast<std::int64_t>(d));
+    return;
+  }
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), d);
+  out.append(buffer, static_cast<std::size_t>(ptr - buffer));
+}
+
+void canonical_value(const Value& v, std::string& out) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      out += "null";
+      break;
+    case Value::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Type::kInt:
+    case Value::Type::kDouble:
+      canonical_number(v, out);
+      break;
+    case Value::Type::kString:
+      detail::append_escaped_string(v.as_string(), out);
+      break;
+    case Value::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Value& item : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        canonical_value(item, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Value::Type::kObject: {
+      const Object& obj = v.as_object();
+      std::vector<std::pair<const std::string*, const Value*>> items;
+      items.reserve(obj.size());
+      for (const auto& [key, value] : obj) {
+        items.emplace_back(&key, &value);
+      }
+      std::sort(items.begin(), items.end(),
+                [](const auto& a, const auto& b) { return *a.first < *b.first; });
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : items) {
+        if (!first) out.push_back(',');
+        first = false;
+        detail::append_escaped_string(*key, out);
+        out.push_back(':');
+        canonical_value(*value, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string canonical_dump(const Value& value) {
+  std::string out;
+  canonical_value(value, out);
+  return out;
+}
+
+std::string content_hash(const Value& value) {
+  return util::stable_digest_hex(canonical_dump(value));
+}
+
+}  // namespace klotski::json

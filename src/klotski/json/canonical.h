@@ -1,0 +1,35 @@
+// Canonical JSON form + content hashing for content-addressed caching.
+//
+// Two JSON documents that mean the same thing must hash the same even when
+// their textual forms differ: object key order, insignificant whitespace,
+// and number spelling ("2" vs "2.0", "1e1" vs "10") are all presentation,
+// not content. canonical_dump() erases exactly those differences:
+//
+//   * objects are emitted with keys sorted byte-wise,
+//   * no whitespace anywhere,
+//   * integral doubles are emitted as integers (matching Value::operator==,
+//     which already treats 2 == 2.0), all other doubles in shortest
+//     round-trip std::to_chars form (locale-independent),
+//   * strings use the same escaping as dump(), so the two writers can never
+//     disagree on string bytes.
+//
+// content_hash() is util::StableDigest over the canonical form: bit-stable
+// across runs, processes, and platforms. The serve layer's plan cache keys
+// (in memory and on disk) are these hashes — see DESIGN.md §9.
+#pragma once
+
+#include <string>
+
+#include "klotski/json/json.h"
+
+namespace klotski::json {
+
+/// Serializes `value` in canonical form (see file comment). The result is
+/// equal for any two Values that compare equal with operator==, and differs
+/// whenever any value differs.
+std::string canonical_dump(const Value& value);
+
+/// 32-hex-character stable digest of canonical_dump(value).
+std::string content_hash(const Value& value);
+
+}  // namespace klotski::json

@@ -431,8 +431,11 @@ void append_u16_escape(unsigned unit, std::string& out) {
 }
 
 }  // namespace
+}  // namespace
 
-void dump_string(const std::string& s, std::string& out) {
+namespace detail {
+
+void append_escaped_string(std::string_view s, std::string& out) {
   out.push_back('"');
   for (std::size_t i = 0; i < s.size(); ++i) {
     const char c = s[i];
@@ -475,6 +478,14 @@ void dump_string(const std::string& s, std::string& out) {
     }
   }
   out.push_back('"');
+}
+
+}  // namespace detail
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  detail::append_escaped_string(s, out);
 }
 
 void dump_value(const Value& v, int indent, int depth, std::string& out) {

@@ -106,4 +106,11 @@ Value parse(std::string_view text);
 /// Serializes. indent < 0 => compact single line; otherwise pretty-printed.
 std::string dump(const Value& value, int indent = -1);
 
+namespace detail {
+/// Appends `s` as a quoted JSON string with the writer's escaping rules
+/// (shared by dump() and canonical_dump() so the two forms never disagree
+/// on string bytes).
+void append_escaped_string(std::string_view s, std::string& out);
+}  // namespace detail
+
 }  // namespace klotski::json

@@ -12,6 +12,7 @@
 #include "klotski/core/state_evaluator.h"
 #include "klotski/obs/metrics.h"
 #include "klotski/obs/trace.h"
+#include "klotski/util/thread_budget.h"
 
 namespace klotski::pipeline {
 
@@ -74,12 +75,14 @@ EdpResult run_pipeline(const npd::NpdDocument& doc,
   if (planner_options.num_threads > 1 && !planner_options.checker_factory) {
     // Split the intra-check router budget across the evaluator's worker
     // clones so inter-state (num_threads) and intra-check (router_threads)
-    // parallelism compose without oversubscribing the machine: each of the
-    // N worker-private routers gets router_threads / N workers.
+    // parallelism compose without oversubscribing the machine (the shared
+    // rule in util/thread_budget.h): each of the N worker-private routers
+    // gets router_threads / N workers.
     CheckerConfig worker_config = options.checker;
     worker_config.router_threads =
-        std::max(1, options.checker.router_threads /
-                        planner_options.num_threads);
+        util::split_thread_budget(planner_options.num_threads,
+                                  options.checker.router_threads)
+            .inner;
     planner_options.checker_factory =
         make_standard_checker_factory(worker_config);
   }

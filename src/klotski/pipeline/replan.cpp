@@ -564,6 +564,21 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
         options.checkpoint_sink(cp);
       }
 
+      if (done != target && options.stop_requested &&
+          options.stop_requested()) {
+        // Graceful stop: the checkpoint for this phase is already out, so
+        // the caller can resume exactly here. Not a failure.
+        result.stopped = true;
+        result.replans = planning_runs - 1;
+        result.fallback_plans = fallback_plans;
+        result.log.push_back("stop requested after phase " +
+                             std::to_string(result.phases_executed) +
+                             "; checkpointed and stopping");
+        obs::Registry::global().counter("replan.stops").inc();
+        task.reset_to_original();
+        return result;
+      }
+
       if (done == target) break;
     }
     start_phase = 0;

@@ -161,6 +161,12 @@ struct ReplanOptions {
   std::function<void(const PhaseObservation&)> observer;
   /// Invoked after every executed phase with a restartable checkpoint.
   std::function<void(const ReplanCheckpoint&)> checkpoint_sink;
+  /// Cooperative stop (the serve daemon's graceful drain): polled after
+  /// every executed phase, after checkpoint_sink has run for that phase.
+  /// Returning true makes the driver return immediately with
+  /// ReplanResult::stopped set; resume the run later from the last
+  /// checkpoint. Must be cheap — it is called once per phase.
+  std::function<bool()> stop_requested;
   /// Resume a previous run from its checkpoint instead of starting fresh.
   /// The caller must pass the same task / forecaster / options as the
   /// original run (the checkpoint stores execution position, not inputs).
@@ -169,6 +175,9 @@ struct ReplanOptions {
 
 struct ReplanResult {
   bool completed = false;
+  /// True when the run ended because ReplanOptions::stop_requested asked it
+  /// to (not a failure: the last checkpoint resumes it bit-identically).
+  bool stopped = false;
   std::string failure;
   int phases_executed = 0;
   int replans = 0;

@@ -1,0 +1,101 @@
+#include "klotski/serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace klotski::serve {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve client: socket path too long: " +
+                             socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("serve client: socket: ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve client: connect " + socket_path + ": " +
+                             std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Response Client::call(const Request& request) {
+  const std::string line = json::dump(request.to_json()) + "\n";
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("serve client: write: ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      const std::string resp_line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return Response::parse(resp_line);
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("serve client: read: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      throw std::runtime_error(
+          "serve client: connection closed mid-call");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Response Client::call(const std::string& method, json::Value params,
+                      const std::string& id) {
+  Request req;
+  req.id = id;
+  req.method = method;
+  req.params = std::move(params);
+  return call(req);
+}
+
+}  // namespace klotski::serve

@@ -1,0 +1,39 @@
+// Blocking client for the klotski.serve.v1 protocol: one connection, one
+// request in flight (the protocol is strict request/response lockstep).
+// Used by klotski_loadgen, the serve smoke gate, and the tests; also a
+// reference implementation for external callers.
+#pragma once
+
+#include <string>
+
+#include "klotski/serve/protocol.h"
+
+namespace klotski::serve {
+
+class Client {
+ public:
+  /// Connects to the daemon's unix socket; throws std::runtime_error when
+  /// the daemon is not there.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Sends one request and blocks for its response. Throws
+  /// std::runtime_error when the connection drops mid-call (e.g. the
+  /// daemon was killed ungracefully).
+  Response call(const Request& request);
+
+  /// Convenience: call with just a method and params.
+  Response call(const std::string& method, json::Value params,
+                const std::string& id = "");
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the previous response line
+};
+
+}  // namespace klotski::serve

@@ -1,0 +1,236 @@
+#include "klotski/serve/job_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "klotski/obs/metrics.h"
+#include "klotski/util/thread_budget.h"
+
+namespace klotski::serve {
+
+const char* JobManager::state_name(State state) {
+  switch (state) {
+    case State::kQueued: return "queued";
+    case State::kRunning: return "running";
+    case State::kDone: return "done";
+    case State::kError: return "error";
+    case State::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobManager::JobManager(const Options& options) : options_(options) {
+  const int workers = util::split_thread_budget(options_.workers, 1).outer;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobManager::~JobManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    // Abandoned queued jobs: the process is going away; flag them so any
+    // waiter unblocks with a terminal state.
+    for (const std::shared_ptr<Job>& job : queue_) {
+      job->state = State::kCancelled;
+      job->result = Response::make_error(std::string(), "server shut down");
+    }
+    queue_.clear();
+  }
+  queue_cv_.notify_all();
+  finished_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+JobManager::Submitted JobManager::submit(const std::string& method,
+                                         Work work) {
+  Submitted out;
+  if (draining_.load(std::memory_order_relaxed)) {
+    out.rejected = "draining";
+    return out;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      out.rejected = "draining";
+      return out;
+    }
+    if (queue_.size() >= static_cast<std::size_t>(
+                             std::max(0, options_.max_queue))) {
+      rejected_overloaded_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::global().counter("serve.rejected_overloaded").inc();
+      out.rejected = "overloaded";
+      return out;
+    }
+    auto job = std::make_shared<Job>();
+    job->id = "j-" + std::to_string(next_id_++);
+    job->method = method;
+    job->work = std::move(work);
+    jobs_[job->id] = job;
+    queue_.push_back(job);
+    obs::Registry::global()
+        .gauge("serve.queue_depth_max")
+        .set_max(static_cast<double>(queue_.size()));
+    out.job_id = job->id;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global().counter("serve.jobs_submitted").inc();
+  queue_cv_.notify_one();
+  return out;
+}
+
+std::optional<JobManager::JobView> JobManager::poll(
+    const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return std::nullopt;
+  return view_locked(*it->second);
+}
+
+std::optional<JobManager::JobView> JobManager::wait(const std::string& job_id,
+                                                    long long timeout_ms) {
+  const auto finished = [](const Job& job) {
+    return job.state == State::kDone || job.state == State::kError ||
+           job.state == State::kCancelled;
+  };
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return std::nullopt;
+  const std::shared_ptr<Job> job = it->second;
+  const auto done = [&] { return finished(*job); };
+  if (timeout_ms > 0) {
+    if (!finished_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               done)) {
+      return std::nullopt;
+    }
+  } else {
+    finished_cv_.wait(lock, done);
+  }
+  return view_locked(*job);
+}
+
+std::optional<JobManager::State> JobManager::cancel(
+    const std::string& job_id) {
+  std::shared_ptr<Job> job;
+  State observed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return std::nullopt;
+    job = it->second;
+    observed = job->state;
+    job->stop.store(true, std::memory_order_relaxed);
+    if (job->state == State::kQueued) {
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), job),
+                   queue_.end());
+      job->state = State::kCancelled;
+      job->result = Response::make_error(std::string(), "cancelled");
+      finished_order_.push_back(job->id);
+      prune_finished_locked();
+      obs::Registry::global().counter("serve.jobs_cancelled").inc();
+    }
+  }
+  finished_cv_.notify_all();
+  return observed;
+}
+
+void JobManager::forget(const std::string& job_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  const State state = it->second->state;
+  if (state == State::kDone || state == State::kError ||
+      state == State::kCancelled) {
+    jobs_.erase(it);
+  }
+}
+
+void JobManager::drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, job] : jobs_) {
+      job->stop.store(true, std::memory_order_relaxed);
+    }
+  }
+  // Admitted work runs to completion (or to its stop-flag checkpoint).
+  std::unique_lock<std::mutex> lock(mu_);
+  finished_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+std::size_t JobManager::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+JobManager::Stats JobManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected_overloaded =
+      rejected_overloaded_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.queued = queue_.size();
+  stats.running = running_;
+  return stats;
+}
+
+void JobManager::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      job = queue_.front();
+      queue_.pop_front();
+      job->state = State::kRunning;
+      ++running_;
+    }
+
+    Response result;
+    try {
+      result = job->work(job->stop);
+    } catch (const std::exception& e) {
+      result = Response::make_error(std::string(), e.what());
+    } catch (...) {
+      result = Response::make_error(std::string(), "unknown error");
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->result = std::move(result);
+      job->state =
+          job->result.status == "error" ? State::kError : State::kDone;
+      --running_;
+      finished_order_.push_back(job->id);
+      prune_finished_locked();
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().counter("serve.jobs_completed").inc();
+    finished_cv_.notify_all();
+  }
+}
+
+JobManager::JobView JobManager::view_locked(const Job& job) const {
+  JobView view;
+  view.id = job.id;
+  view.method = job.method;
+  view.state = job.state;
+  view.result = job.result;
+  return view;
+}
+
+void JobManager::prune_finished_locked() {
+  while (finished_order_.size() > options_.completed_jobs_kept) {
+    // The oldest finished job may already have been forgotten by its sync
+    // caller; erase() on a missing id is a no-op.
+    jobs_.erase(finished_order_.front());
+    finished_order_.pop_front();
+  }
+}
+
+}  // namespace klotski::serve

@@ -1,0 +1,139 @@
+// Bounded worker pool + async job table with admission control.
+//
+// Every work request — synchronous or submitted — becomes a job on one FIFO
+// queue drained by a fixed worker pool, so planner concurrency is bounded
+// by --workers no matter how many connections are open. Admission control
+// is explicit backpressure: when the queue already holds max_queue jobs,
+// submit() refuses with kOverloaded and the server answers
+// {"status":"overloaded"} immediately instead of queueing silently — the
+// client owns the retry policy, the daemon owns its memory.
+//
+// Jobs expose a cooperative stop flag. cancel() removes a queued job
+// outright and sets the flag on a running one; drain() (graceful SIGTERM)
+// stops admission, flags every job, and waits until the queue and workers
+// are idle. Work that honors the flag (replan via
+// ReplanOptions::stop_requested, chaos between seeds) checkpoints and
+// returns early; work that doesn't (a single planner run) simply finishes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "klotski/serve/protocol.h"
+
+namespace klotski::serve {
+
+class JobManager {
+ public:
+  struct Options {
+    int workers = 2;
+    int max_queue = 64;
+    /// Finished async jobs kept for poll() after completion; the oldest
+    /// finished jobs beyond this are forgotten.
+    std::size_t completed_jobs_kept = 256;
+  };
+
+  enum class State { kQueued, kRunning, kDone, kError, kCancelled };
+  static const char* state_name(State state);
+
+  /// The work body. `stop` is the job's cooperative stop flag; long-running
+  /// work should poll it. Exceptions become status:"error" responses.
+  using Work = std::function<Response(const std::atomic<bool>& stop)>;
+
+  struct JobView {
+    std::string id;
+    std::string method;
+    State state = State::kQueued;
+    Response result;  // meaningful once state is kDone/kError/kCancelled
+  };
+
+  struct Submitted {
+    std::string job_id;   // empty on rejection
+    std::string rejected; // "" | "overloaded" | "draining"
+    bool ok() const { return rejected.empty(); }
+  };
+
+  explicit JobManager(const Options& options);
+  ~JobManager();
+
+  /// Admission-controlled enqueue.
+  Submitted submit(const std::string& method, Work work);
+
+  /// Snapshot of one job; nullopt for unknown (or long-forgotten) ids.
+  std::optional<JobView> poll(const std::string& job_id) const;
+
+  /// Blocks until the job finishes (or `timeout_ms` elapses; 0 = forever).
+  /// Returns nullopt on unknown id or timeout.
+  std::optional<JobView> wait(const std::string& job_id,
+                              long long timeout_ms = 0);
+
+  /// Queued jobs are cancelled outright; running jobs get their stop flag
+  /// set (state stays kRunning until the work returns). Returns the state
+  /// observed at cancel time, nullopt for unknown ids.
+  std::optional<State> cancel(const std::string& job_id);
+
+  /// Drops a finished job's record (sync requests clean up after harvest).
+  void forget(const std::string& job_id);
+
+  /// Graceful drain: stop admission, set every job's stop flag, wait until
+  /// all admitted work has finished. Idempotent.
+  void drain();
+
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+  std::size_t queue_depth() const;
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+  struct Stats {
+    long long submitted = 0;
+    long long rejected_overloaded = 0;
+    long long completed = 0;
+    std::size_t queued = 0;
+    std::size_t running = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Job {
+    std::string id;
+    std::string method;
+    State state = State::kQueued;
+    std::atomic<bool> stop{false};
+    Work work;
+    Response result;
+  };
+
+  void worker_loop();
+  JobView view_locked(const Job& job) const;
+  void prune_finished_locked();
+
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;     // workers: work available / exit
+  std::condition_variable finished_cv_;  // waiters: some job finished
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::unordered_map<std::string, std::shared_ptr<Job>> jobs_;
+  std::deque<std::string> finished_order_;  // for completed_jobs_kept pruning
+  std::uint64_t next_id_ = 1;
+  std::size_t running_ = 0;
+  bool shutdown_ = false;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<long long> submitted_{0};
+  std::atomic<long long> rejected_overloaded_{0};
+  std::atomic<long long> completed_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace klotski::serve

@@ -1,0 +1,135 @@
+#include "klotski/serve/plan_cache.h"
+
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "klotski/obs/metrics.h"
+#include "klotski/util/file.h"
+
+namespace klotski::serve {
+
+namespace {
+
+std::string spill_path(const std::string& dir, const std::string& key) {
+  return dir + "/" + key + ".json";
+}
+
+}  // namespace
+
+PlanCache::PlanCache(const Options& options) : options_(options) {
+  if (!options_.spill_dir.empty()) {
+    std::filesystem::create_directories(options_.spill_dir);
+  }
+}
+
+PlanCache::Lookup PlanCache::acquire(const std::string& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+
+  if (auto it = completed_.find(key); it != completed_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().counter("serve.cache_hits").inc();
+    return Lookup{Outcome::kHit, it->second.text, nullptr};
+  }
+
+  if (auto it = in_flight_.find(key); it != in_flight_.end()) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().counter("serve.cache_coalesced").inc();
+    return Lookup{Outcome::kWait, std::string(), it->second};
+  }
+
+  if (!options_.spill_dir.empty()) {
+    const std::string path = spill_path(options_.spill_dir, key);
+    if (std::filesystem::exists(path)) {
+      // Only this process writes the spill dir, so the file is complete;
+      // re-enter it into the memory LRU like any other fulfillment.
+      const std::string text = util::read_file(path);
+      lru_.push_front(key);
+      completed_[key] = Completed{text, lru_.begin()};
+      evict_locked();
+      spill_hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::global().counter("serve.cache_spill_hits").inc();
+      return Lookup{Outcome::kHit, text, nullptr};
+    }
+  }
+
+  auto entry = std::make_shared<Entry>(key);
+  in_flight_[key] = entry;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global().counter("serve.cache_misses").inc();
+  return Lookup{Outcome::kOwner, std::string(), entry};
+}
+
+void PlanCache::fulfill(const std::shared_ptr<Entry>& entry,
+                        const std::string& text) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_.erase(entry->key());
+    if (completed_.find(entry->key()) == completed_.end()) {
+      lru_.push_front(entry->key());
+      completed_[entry->key()] = Completed{text, lru_.begin()};
+      evict_locked();
+    }
+  }
+  if (!options_.spill_dir.empty()) {
+    util::write_file(spill_path(options_.spill_dir, entry->key()), text);
+    spill_writes_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().counter("serve.cache_spill_writes").inc();
+  }
+  {
+    std::lock_guard<std::mutex> lock(entry->mu_);
+    entry->state_ = Entry::State::kDone;
+    entry->text_ = text;
+  }
+  entry->cv_.notify_all();
+}
+
+void PlanCache::fail(const std::shared_ptr<Entry>& entry,
+                     const std::string& error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_.erase(entry->key());
+  }
+  {
+    std::lock_guard<std::mutex> lock(entry->mu_);
+    entry->state_ = Entry::State::kFailed;
+    entry->error_ = error;
+  }
+  entry->cv_.notify_all();
+}
+
+std::string PlanCache::wait(const std::shared_ptr<Entry>& entry) {
+  std::unique_lock<std::mutex> lock(entry->mu_);
+  entry->cv_.wait(lock,
+                  [&] { return entry->state_ != Entry::State::kPending; });
+  if (entry->state_ == Entry::State::kFailed) {
+    throw std::runtime_error(entry->error_);
+  }
+  return entry->text_;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.spill_hits = spill_hits_.load(std::memory_order_relaxed);
+  stats.spill_writes = spill_writes_.load(std::memory_order_relaxed);
+  stats.entries = completed_.size();
+  stats.in_flight = in_flight_.size();
+  return stats;
+}
+
+void PlanCache::evict_locked() {
+  while (completed_.size() > options_.capacity && !lru_.empty()) {
+    completed_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().counter("serve.cache_evictions").inc();
+  }
+}
+
+}  // namespace klotski::serve

@@ -1,0 +1,130 @@
+// Content-addressed plan cache with single-flight coalescing.
+//
+// Keys are json::content_hash digests of the canonicalized request (see
+// canonical.h): bit-stable across runs and processes, so a spill directory
+// written by one daemon generation is a warm cache for the next. Values are
+// the exact response bytes (the pretty-printed plan JSON text the CLI would
+// have written), so a cache hit is byte-identical to a cold run by
+// construction.
+//
+// Single-flight: when N identical requests arrive concurrently, exactly one
+// caller becomes the *owner* (runs the planner); the rest become *waiters*
+// and block on the owner's entry. All N observers receive the same bytes
+// and the planner runs once — the serve test asserts this with the
+// serve.plan_runs counter.
+//
+// Completed entries live in a bounded LRU; in-flight entries are pinned and
+// never evicted. With a spill directory configured, fulfilled entries are
+// written through to "<dir>/<key>.json" and LRU-evicted keys remain
+// servable from disk (a spill hit re-enters the memory LRU). Failures are
+// never cached: the owner's error is delivered to the waiters of that
+// flight only, and the next request recomputes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace klotski::serve {
+
+class PlanCache {
+ public:
+  struct Options {
+    std::size_t capacity = 128;  // completed entries held in memory
+    std::string spill_dir;       // empty = no on-disk spill
+  };
+
+  /// Shared state of one in-flight computation. Owners fulfill or fail it;
+  /// waiters block on it. Lifetime is managed by shared_ptr so a waiter can
+  /// outlive the cache's bookkeeping for the flight.
+  class Entry {
+   public:
+    explicit Entry(std::string key) : key_(std::move(key)) {}
+    const std::string& key() const { return key_; }
+
+   private:
+    friend class PlanCache;
+    enum class State { kPending, kDone, kFailed };
+
+    std::string key_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    State state_ = State::kPending;
+    std::string text_;
+    std::string error_;
+  };
+
+  enum class Outcome {
+    kHit,    // text is the cached bytes; no work to do
+    kOwner,  // caller must compute, then fulfill() or fail() the entry
+    kWait,   // another caller is computing; block in wait()
+  };
+
+  struct Lookup {
+    Outcome outcome = Outcome::kHit;
+    std::string text;               // valid when kHit
+    std::shared_ptr<Entry> entry;   // valid when kOwner / kWait
+  };
+
+  /// Always-on counters (independent of the obs enable flag) backing the
+  /// daemon's `stats` endpoint.
+  struct Stats {
+    long long hits = 0;        // memory LRU hits
+    long long misses = 0;      // owner flights started
+    long long coalesced = 0;   // waiters attached to an in-flight entry
+    long long evictions = 0;   // completed entries dropped from memory
+    long long spill_hits = 0;  // served from the spill dir after eviction
+    long long spill_writes = 0;
+    std::size_t entries = 0;   // completed entries currently in memory
+    std::size_t in_flight = 0;
+  };
+
+  explicit PlanCache(const Options& options);
+
+  /// Single-flight lookup; see Outcome.
+  Lookup acquire(const std::string& key);
+
+  /// Owner side: publishes `text` for the entry's key, wakes the waiters,
+  /// inserts into the LRU (evicting beyond capacity) and writes the spill
+  /// file when configured.
+  void fulfill(const std::shared_ptr<Entry>& entry, const std::string& text);
+
+  /// Owner side: the computation failed. Waiters of this flight receive
+  /// `error`; nothing is cached.
+  void fail(const std::shared_ptr<Entry>& entry, const std::string& error);
+
+  /// Waiter side: blocks until the owner fulfills or fails. Throws
+  /// std::runtime_error carrying the owner's error on failure.
+  std::string wait(const std::shared_ptr<Entry>& entry);
+
+  Stats stats() const;
+
+ private:
+  void evict_locked();
+
+  Options options_;
+
+  mutable std::mutex mu_;
+  /// MRU-first key order; completed_ values point into this list.
+  std::list<std::string> lru_;
+  struct Completed {
+    std::string text;
+    std::list<std::string>::iterator lru_pos;
+  };
+  std::unordered_map<std::string, Completed> completed_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> in_flight_;
+
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> misses_{0};
+  std::atomic<long long> coalesced_{0};
+  std::atomic<long long> evictions_{0};
+  std::atomic<long long> spill_hits_{0};
+  std::atomic<long long> spill_writes_{0};
+};
+
+}  // namespace klotski::serve

@@ -1,0 +1,96 @@
+#include "klotski/serve/protocol.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace klotski::serve {
+
+json::Value Request::to_json() const {
+  json::Object root;
+  if (!id.empty()) root["id"] = id;
+  root["method"] = method;
+  root["params"] = params;
+  return json::Value(std::move(root));
+}
+
+Request parse_request(const std::string& line) {
+  const json::Value doc = json::parse(line);
+  if (!doc.is_object()) {
+    throw std::invalid_argument("request is not a JSON object");
+  }
+  Request req;
+  req.id = doc.get_string("id", "");
+  req.method = doc.get_string("method", "");
+  if (req.method.empty()) {
+    throw std::invalid_argument("request carries no \"method\"");
+  }
+  if (const json::Value* params = doc.as_object().find("params")) {
+    if (!params->is_object()) {
+      throw std::invalid_argument("request \"params\" is not an object");
+    }
+    req.params = *params;
+  } else {
+    req.params = json::Value(json::Object{});
+  }
+  return req;
+}
+
+json::Value Response::to_json() const {
+  json::Object root;
+  if (!id.empty()) root["id"] = id;
+  root["status"] = status;
+  if (cached) root["cached"] = true;
+  if (!error.empty()) root["error"] = error;
+  if (!result.is_null()) root["result"] = result;
+  return json::Value(std::move(root));
+}
+
+std::string Response::to_line() const { return json::dump(to_json()) + "\n"; }
+
+Response Response::parse(const std::string& line) {
+  const json::Value doc = json::parse(line);
+  if (!doc.is_object()) {
+    throw std::invalid_argument("response is not a JSON object");
+  }
+  Response resp;
+  resp.id = doc.get_string("id", "");
+  resp.status = doc.get_string("status", "");
+  if (resp.status.empty()) {
+    throw std::invalid_argument("response carries no \"status\"");
+  }
+  resp.cached = doc.get_bool("cached", false);
+  resp.error = doc.get_string("error", "");
+  if (const json::Value* result = doc.as_object().find("result")) {
+    resp.result = *result;
+  }
+  return resp;
+}
+
+Response Response::make_ok(const std::string& id, json::Value result,
+                           bool cached) {
+  Response resp;
+  resp.id = id;
+  resp.status = "ok";
+  resp.cached = cached;
+  resp.result = std::move(result);
+  return resp;
+}
+
+Response Response::make_error(const std::string& id,
+                              const std::string& error) {
+  Response resp;
+  resp.id = id;
+  resp.status = "error";
+  resp.error = error;
+  return resp;
+}
+
+Response Response::make_status(const std::string& id,
+                               const std::string& status) {
+  Response resp;
+  resp.id = id;
+  resp.status = status;
+  return resp;
+}
+
+}  // namespace klotski::serve

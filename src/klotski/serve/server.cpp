@@ -1,0 +1,388 @@
+#include "klotski/serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "klotski/obs/metrics.h"
+
+namespace klotski::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Writes the whole buffer, retrying on EINTR / short writes. Returns
+/// false when the peer went away.
+bool write_all(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool is_work_method(const std::string& method) {
+  return method == "plan" || method == "audit" || method == "chaos" ||
+         method == "replan";
+}
+
+}  // namespace
+
+Server::Server(const Options& options)
+    : options_(options),
+      service_(options.service),
+      jobs_(options.jobs) {
+  if (options_.socket_path.empty()) {
+    throw std::runtime_error("serve: socket_path is required");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " +
+                             options_.socket_path);
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  if (::pipe(drain_pipe_) != 0) throw_errno("serve: pipe");
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("serve: socket");
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("serve: bind " + options_.socket_path);
+  }
+  if (::listen(listen_fd_, 64) != 0) throw_errno("serve: listen");
+}
+
+Server::~Server() {
+  // run() normally performs the full drain; this is the abnormal path
+  // (constructor succeeded, run() never called / threw).
+  request_drain();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (conn->thread.joinable()) conn->thread.join();
+      if (conn->fd >= 0) ::close(conn->fd);
+    }
+    conns_.clear();
+  }
+  ::close(drain_pipe_[0]);
+  ::close(drain_pipe_[1]);
+  ::unlink(options_.socket_path.c_str());
+}
+
+void Server::request_drain() {
+  const char byte = 'x';
+  // Best effort: the pipe only ever holds a handful of bytes and the read
+  // side drains it; a failed write here means drain was already requested.
+  [[maybe_unused]] const ssize_t n = ::write(drain_pipe_[1], &byte, 1);
+}
+
+std::size_t Server::active_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  std::size_t active = 0;
+  for (const auto& conn : conns_) {
+    if (!conn->done.load(std::memory_order_relaxed)) ++active;
+  }
+  return active;
+}
+
+void Server::run() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {drain_pipe_[0], POLLIN, 0};
+    fds[1] = {listen_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve: poll");
+    }
+    if (fds[0].revents != 0) break;  // drain requested
+    if ((fds[1].revents & POLLIN) == 0) continue;
+
+    sockaddr_un peer{};
+    socklen_t peer_len = sizeof(peer);
+    const int fd = ::accept(
+        listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve: accept");
+    }
+
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    reap_finished_locked();
+    if (conns_.size() >= static_cast<std::size_t>(
+                             std::max(1, options_.max_connections))) {
+      write_all(fd, Response::make_status("", "overloaded").to_line());
+      ::close(fd);
+      obs::Registry::global()
+          .counter("serve.rejected_connections")
+          .inc();
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conns_.push_back(conn);
+    conn->thread = std::thread([this, conn] { handle_connection(conn); });
+    obs::Registry::global().counter("serve.connections").inc();
+  }
+
+  // --- drain sequence ---
+  draining_.store(true, std::memory_order_relaxed);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Finish (or checkpoint) every admitted job. Connection threads keep
+  // serving during this: in-flight sync requests harvest their results,
+  // new work is answered with {"status":"draining"}.
+  jobs_.drain();
+
+  // Unblock readers and join.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (conn->thread.joinable()) conn->thread.join();
+      if (conn->fd >= 0) ::close(conn->fd);
+      conn->fd = -1;
+    }
+    conns_.clear();
+  }
+}
+
+void Server::handle_connection(const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+
+      Response resp;
+      try {
+        const Request req = parse_request(line);
+        resp = dispatch(req);
+      } catch (const std::exception& e) {
+        resp = Response::make_error("", e.what());
+      }
+      if (!write_all(conn->fd, resp.to_line())) break;
+      continue;
+    }
+
+    const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF (or shutdown() during drain)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  conn->done.store(true, std::memory_order_relaxed);
+}
+
+Response Server::dispatch(const Request& request) {
+  if (request.method == "ping") return handle_ping(request);
+  if (request.method == "stats") return handle_stats(request);
+  if (request.method == "submit") return handle_submit(request);
+  if (request.method == "poll") return handle_poll(request);
+  if (request.method == "wait") return handle_wait(request);
+  if (request.method == "cancel") return handle_cancel(request);
+  if (is_work_method(request.method)) return run_sync_work(request);
+  return Response::make_error(request.id,
+                              "unknown method '" + request.method + "'");
+}
+
+Response Server::run_sync_work(const Request& request) {
+  // Sync = submit + wait + forget: the planner only ever runs on worker
+  // threads, so concurrency is bounded by --workers and a full queue is an
+  // immediate, explicit rejection.
+  JobManager::Submitted submitted = jobs_.submit(
+      request.method, [this, request](const std::atomic<bool>& stop) {
+        return service_.execute(request, stop);
+      });
+  if (!submitted.ok()) {
+    return Response::make_status(request.id, submitted.rejected);
+  }
+  const std::optional<JobManager::JobView> view =
+      jobs_.wait(submitted.job_id);
+  jobs_.forget(submitted.job_id);
+  if (!view) {
+    return Response::make_error(request.id, "job vanished");
+  }
+  Response resp = view->result;
+  resp.id = request.id;
+  return resp;
+}
+
+Response Server::handle_submit(const Request& request) {
+  const std::string method = request.params.get_string("method", "");
+  if (!is_work_method(method)) {
+    return Response::make_error(
+        request.id, "submit: params.method must be a work method");
+  }
+  Request work;
+  work.method = method;
+  if (const json::Value* params = request.params.as_object().find("params")) {
+    if (!params->is_object()) {
+      return Response::make_error(request.id,
+                                  "submit: params.params must be an object");
+    }
+    work.params = *params;
+  } else {
+    work.params = json::Value(json::Object{});
+  }
+
+  JobManager::Submitted submitted = jobs_.submit(
+      method, [this, work](const std::atomic<bool>& stop) {
+        return service_.execute(work, stop);
+      });
+  if (!submitted.ok()) {
+    return Response::make_status(request.id, submitted.rejected);
+  }
+  json::Object result;
+  result["job_id"] = submitted.job_id;
+  return Response::make_ok(request.id, json::Value(std::move(result)));
+}
+
+namespace {
+
+json::Value job_view_to_json(const JobManager::JobView& view) {
+  json::Object out;
+  out["job_id"] = view.id;
+  out["method"] = view.method;
+  out["state"] = JobManager::state_name(view.state);
+  if (view.state == JobManager::State::kDone ||
+      view.state == JobManager::State::kError ||
+      view.state == JobManager::State::kCancelled) {
+    out["response"] = view.result.to_json();
+  }
+  return json::Value(std::move(out));
+}
+
+}  // namespace
+
+Response Server::handle_poll(const Request& request) {
+  const std::string job_id = request.params.get_string("job_id", "");
+  const std::optional<JobManager::JobView> view = jobs_.poll(job_id);
+  if (!view) {
+    return Response::make_error(request.id, "unknown job '" + job_id + "'");
+  }
+  return Response::make_ok(request.id, job_view_to_json(*view));
+}
+
+Response Server::handle_wait(const Request& request) {
+  const std::string job_id = request.params.get_string("job_id", "");
+  long long timeout_ms = request.params.get_int("timeout_ms", 0);
+  if (timeout_ms <= 0 || timeout_ms > options_.max_wait_ms) {
+    timeout_ms = options_.max_wait_ms;
+  }
+  const std::optional<JobManager::JobView> view =
+      jobs_.wait(job_id, timeout_ms);
+  if (!view) {
+    if (!jobs_.poll(job_id)) {
+      return Response::make_error(request.id,
+                                  "unknown job '" + job_id + "'");
+    }
+    json::Object result;
+    result["job_id"] = job_id;
+    result["timed_out"] = true;
+    return Response::make_ok(request.id, json::Value(std::move(result)));
+  }
+  return Response::make_ok(request.id, job_view_to_json(*view));
+}
+
+Response Server::handle_cancel(const Request& request) {
+  const std::string job_id = request.params.get_string("job_id", "");
+  const std::optional<JobManager::State> state = jobs_.cancel(job_id);
+  if (!state) {
+    return Response::make_error(request.id, "unknown job '" + job_id + "'");
+  }
+  json::Object result;
+  result["job_id"] = job_id;
+  result["state_at_cancel"] = JobManager::state_name(*state);
+  return Response::make_ok(request.id, json::Value(std::move(result)));
+}
+
+Response Server::handle_ping(const Request& request) const {
+  json::Object result;
+  result["schema"] = std::string(kProtocolSchema);
+  result["draining"] = draining_.load(std::memory_order_relaxed) ||
+                       jobs_.draining();
+  return Response::make_ok(request.id, json::Value(std::move(result)));
+}
+
+Response Server::handle_stats(const Request& request) {
+  const PlanCache::Stats cache = service_.cache().stats();
+  const JobManager::Stats jobs = jobs_.stats();
+
+  json::Object cache_out;
+  cache_out["hits"] = static_cast<std::int64_t>(cache.hits);
+  cache_out["misses"] = static_cast<std::int64_t>(cache.misses);
+  cache_out["coalesced"] = static_cast<std::int64_t>(cache.coalesced);
+  cache_out["evictions"] = static_cast<std::int64_t>(cache.evictions);
+  cache_out["spill_hits"] = static_cast<std::int64_t>(cache.spill_hits);
+  cache_out["spill_writes"] = static_cast<std::int64_t>(cache.spill_writes);
+  cache_out["entries"] = cache.entries;
+  cache_out["in_flight"] = cache.in_flight;
+
+  json::Object jobs_out;
+  jobs_out["submitted"] = static_cast<std::int64_t>(jobs.submitted);
+  jobs_out["rejected_overloaded"] = static_cast<std::int64_t>(jobs.rejected_overloaded);
+  jobs_out["completed"] = static_cast<std::int64_t>(jobs.completed);
+  jobs_out["queued"] = jobs.queued;
+  jobs_out["running"] = jobs.running;
+  jobs_out["workers"] = jobs_.workers();
+
+  json::Object result;
+  result["cache"] = json::Value(std::move(cache_out));
+  result["jobs"] = json::Value(std::move(jobs_out));
+  result["connections"] =
+      static_cast<std::int64_t>(active_connections());
+  return Response::make_ok(request.id, json::Value(std::move(result)));
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_relaxed)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      if ((*it)->fd >= 0) ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace klotski::serve

@@ -1,0 +1,109 @@
+// Unix-domain-socket server for the klotski.serve.v1 protocol.
+//
+// Transport: newline-delimited JSON over AF_UNIX stream sockets — no
+// external dependencies, filesystem permissions as access control, and
+// short deterministic paths for tests. Each accepted connection gets one
+// handler thread speaking strict request/response lockstep (no pipelining);
+// concurrency across connections is bounded by max_connections, and
+// planner concurrency is bounded by the JobManager's worker pool — every
+// work request, sync or async, goes through the same admission-controlled
+// queue.
+//
+// Control methods (ping / stats / poll / wait / cancel / submit) are
+// answered inline by the connection thread; work methods (plan / audit /
+// chaos / replan) are submitted as jobs. A sync work request is
+// submit + wait + forget, so it occupies only its connection thread while
+// queued; when the queue is full the client sees {"status":"overloaded"}
+// immediately.
+//
+// Graceful drain: request_drain() (async-signal-safe: one write to a
+// self-pipe) makes run() stop accepting, rejects new work with
+// {"status":"draining"}, sets every job's stop flag (replan jobs
+// checkpoint, chaos jobs stop between seeds), waits for admitted work to
+// finish, unblocks and joins the connection threads, then returns — the
+// daemon flushes metrics and exits 0.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "klotski/serve/job_manager.h"
+#include "klotski/serve/protocol.h"
+#include "klotski/serve/service.h"
+
+namespace klotski::serve {
+
+class Server {
+ public:
+  struct Options {
+    /// AF_UNIX path; kept short (sun_path is ~100 bytes). An existing
+    /// socket file at the path is replaced.
+    std::string socket_path;
+    PlanService::Options service;
+    JobManager::Options jobs;
+    int max_connections = 64;
+    /// Per-wait cap for the `wait` method so one client cannot pin a
+    /// connection thread forever; clients re-issue to keep waiting.
+    long long max_wait_ms = 60'000;
+  };
+
+  /// Binds and listens; throws std::runtime_error on socket errors.
+  explicit Server(const Options& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accept loop; blocks until request_drain(), then drains and returns.
+  void run();
+
+  /// Triggers the drain sequence. Async-signal-safe (one write() to the
+  /// self-pipe); callable from any thread or a signal handler via
+  /// drain_fd().
+  void request_drain();
+
+  /// Write end of the self-pipe, for signal handlers:
+  /// write(drain_fd(), "x", 1).
+  int drain_fd() const { return drain_pipe_[1]; }
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  PlanService& service() { return service_; }
+  JobManager& jobs() { return jobs_; }
+  std::size_t active_connections() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void handle_connection(const std::shared_ptr<Connection>& conn);
+  Response dispatch(const Request& request);
+  Response run_sync_work(const Request& request);
+  Response handle_submit(const Request& request);
+  Response handle_poll(const Request& request);
+  Response handle_wait(const Request& request);
+  Response handle_cancel(const Request& request);
+  Response handle_ping(const Request& request) const;
+  Response handle_stats(const Request& request);
+  void reap_finished_locked();
+
+  Options options_;
+  PlanService service_;
+  JobManager jobs_;
+
+  int listen_fd_ = -1;
+  int drain_pipe_[2] = {-1, -1};
+  std::atomic<bool> draining_{false};
+
+  mutable std::mutex conns_mu_;
+  std::list<std::shared_ptr<Connection>> conns_;
+};
+
+}  // namespace klotski::serve

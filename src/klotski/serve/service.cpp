@@ -1,0 +1,372 @@
+#include "klotski/serve/service.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "klotski/json/canonical.h"
+#include "klotski/npd/npd_io.h"
+#include "klotski/obs/metrics.h"
+#include "klotski/obs/trace.h"
+#include "klotski/pipeline/audit.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/pipeline/plan_export.h"
+#include "klotski/pipeline/replan.h"
+#include "klotski/sim/chaos.h"
+#include "klotski/traffic/demand_io.h"
+#include "klotski/traffic/forecast.h"
+#include "klotski/util/thread_budget.h"
+
+namespace klotski::serve {
+
+namespace {
+
+/// Shared tuning knobs of plan/audit/replan requests, with the same
+/// defaults as the klotski_plan flags.
+struct PlanKnobs {
+  std::string planner = "astar";
+  double theta = 0.75;
+  double alpha = 0.0;
+  std::string routing = "ecmp";
+  double funneling = 0.0;
+  double deadline = 0.0;
+};
+
+PlanKnobs parse_knobs(const json::Value& params) {
+  PlanKnobs knobs;
+  knobs.planner = params.get_string("planner", "astar");
+  knobs.theta = params.get_double("theta", 0.75);
+  knobs.alpha = params.get_double("alpha", 0.0);
+  knobs.routing = params.get_string("routing", "ecmp");
+  knobs.funneling = params.get_double("funneling", 0.0);
+  knobs.deadline = params.get_double("deadline", 0.0);
+  if (knobs.routing != "ecmp" && knobs.routing != "wcmp") {
+    throw std::invalid_argument("unknown routing '" + knobs.routing + "'");
+  }
+  return knobs;
+}
+
+pipeline::CheckerConfig checker_config_for(const PlanKnobs& knobs,
+                                           int router_threads) {
+  pipeline::CheckerConfig config;
+  config.demand.max_utilization = knobs.theta;
+  config.demand.funneling_margin = knobs.funneling;
+  if (knobs.routing == "wcmp") {
+    config.routing = traffic::SplitMode::kCapacityWeighted;
+  }
+  config.router_threads = router_threads;
+  return config;
+}
+
+const json::Value& require_object(const json::Value& params,
+                                  const std::string& key) {
+  const json::Value* value = params.as_object().find(key);
+  if (value == nullptr || !value->is_object()) {
+    throw std::invalid_argument("params." + key +
+                                " must be a JSON object");
+  }
+  return *value;
+}
+
+migration::MigrationCase case_from_params(const json::Value& params) {
+  const npd::NpdDocument doc = npd::from_json(require_object(params, "npd"));
+  migration::MigrationCase mig = npd::build_case(doc);
+  if (const json::Value* demands = params.as_object().find("demands")) {
+    mig.task.demands =
+        traffic::demands_from_json(*mig.task.topo, *demands);
+  }
+  return mig;
+}
+
+topo::PresetId preset_from(const json::Value& params) {
+  const std::string text = params.get_string("preset", "a");
+  if (text == "a") return topo::PresetId::kA;
+  if (text == "b") return topo::PresetId::kB;
+  if (text == "c") return topo::PresetId::kC;
+  if (text == "d") return topo::PresetId::kD;
+  if (text == "e") return topo::PresetId::kE;
+  throw std::invalid_argument("unknown preset '" + text + "' (want a..e)");
+}
+
+}  // namespace
+
+json::Value plan_cache_key_doc(const json::Value& params) {
+  const PlanKnobs knobs = parse_knobs(params);
+  json::Object key;
+  key["schema"] = "klotski.serve.plan-key.v1";
+  // Re-serializing the parsed NPD applies defaults and drops formatting, so
+  // two spellings of the same region hash identically.
+  key["npd"] = npd::to_json(npd::from_json(require_object(params, "npd")));
+  key["planner"] = knobs.planner;
+  key["theta"] = knobs.theta;
+  key["alpha"] = knobs.alpha;
+  key["routing"] = knobs.routing;
+  key["funneling"] = knobs.funneling;
+  key["deadline"] = knobs.deadline;
+  if (const json::Value* demands = params.as_object().find("demands")) {
+    key["demands"] = *demands;
+  }
+  return json::Value(std::move(key));
+}
+
+PlanService::PlanService(const Options& options)
+    : options_(options), cache_(options.cache) {}
+
+Response PlanService::execute(const Request& request,
+                              const std::atomic<bool>& stop) {
+  try {
+    if (request.method == "plan") return run_plan(request);
+    if (request.method == "audit") return run_audit(request);
+    if (request.method == "chaos") return run_chaos(request, stop);
+    if (request.method == "replan") return run_replan(request, stop);
+    return Response::make_error(
+        request.id, "unknown method '" + request.method + "'");
+  } catch (const std::exception& e) {
+    return Response::make_error(request.id, e.what());
+  }
+}
+
+std::string PlanService::compute_plan_text(const json::Value& params) {
+  const PlanKnobs knobs = parse_knobs(params);
+  migration::MigrationCase mig = case_from_params(params);
+  migration::MigrationTask& task = mig.task;
+
+  const pipeline::CheckerConfig checker_config =
+      checker_config_for(knobs, options_.router_threads);
+
+  core::PlannerOptions planner_options;
+  planner_options.alpha = knobs.alpha;
+  planner_options.deadline_seconds = knobs.deadline;
+  planner_options.num_threads = util::split_thread_budget(
+                                    options_.plan_threads, 1)
+                                    .outer;
+  if (planner_options.num_threads > 1) {
+    pipeline::CheckerConfig worker_config = checker_config;
+    worker_config.router_threads =
+        util::split_thread_budget(planner_options.num_threads,
+                                  checker_config.router_threads)
+            .inner;
+    planner_options.checker_factory =
+        pipeline::make_standard_checker_factory(worker_config);
+  }
+
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(task, checker_config);
+  auto planner = pipeline::make_planner(knobs.planner);
+
+  obs::Registry::global().counter("serve.plan_runs").inc();
+  core::Plan plan;
+  {
+    obs::Span span("serve.plan_run");
+    plan = planner->plan(task, *bundle.checker, planner_options);
+  }
+  if (!plan.found) {
+    throw std::runtime_error("no plan: " + plan.failure);
+  }
+
+  // Same pre-emit audit as the CLI: nothing leaves the service without an
+  // independent safety check (§7.2).
+  pipeline::CheckerBundle audit_bundle =
+      pipeline::make_standard_checker(task, checker_config);
+  const pipeline::AuditReport audit =
+      pipeline::audit_plan(task, *audit_bundle.checker, plan);
+  if (!audit.ok) {
+    std::string message = "plan failed the safety audit:";
+    for (const std::string& issue : audit.issues) {
+      message += " " + issue + ";";
+    }
+    throw std::runtime_error(message);
+  }
+
+  return json::dump(pipeline::plan_to_json(task, plan), 2) + "\n";
+}
+
+Response PlanService::run_plan(const Request& request) {
+  const std::string key =
+      json::content_hash(plan_cache_key_doc(request.params));
+
+  PlanCache::Lookup lookup = cache_.acquire(key);
+  std::string text;
+  bool cached = true;
+  switch (lookup.outcome) {
+    case PlanCache::Outcome::kHit:
+      text = lookup.text;
+      break;
+    case PlanCache::Outcome::kWait:
+      text = cache_.wait(lookup.entry);
+      break;
+    case PlanCache::Outcome::kOwner:
+      // Failures are delivered to this flight's waiters and never cached.
+      try {
+        text = compute_plan_text(request.params);
+      } catch (const std::exception& e) {
+        cache_.fail(lookup.entry, e.what());
+        throw;
+      } catch (...) {
+        cache_.fail(lookup.entry, "unknown error");
+        throw;
+      }
+      cache_.fulfill(lookup.entry, text);
+      cached = false;
+      break;
+  }
+
+  json::Object result;
+  result["cache_key"] = key;
+  // The exact bytes klotski_plan would write, as a parsed document: a
+  // client re-dumping result.plan at indent 2 plus a trailing newline
+  // recovers them byte-for-byte (dump∘parse∘dump is stable).
+  result["plan"] = json::parse(text);
+  return Response::make_ok(request.id, json::Value(std::move(result)),
+                           cached);
+}
+
+Response PlanService::run_audit(const Request& request) {
+  const json::Value& params = request.params;
+  const PlanKnobs knobs = parse_knobs(params);
+  migration::MigrationCase mig = case_from_params(params);
+  migration::MigrationTask& task = mig.task;
+
+  const core::Plan plan =
+      pipeline::plan_from_json(task, require_object(params, "plan"));
+  pipeline::CheckerBundle bundle = pipeline::make_standard_checker(
+      task, checker_config_for(knobs, options_.router_threads));
+  const pipeline::AuditReport audit = pipeline::audit_plan(
+      task, *bundle.checker, plan,
+      params.get_bool("check_every_action", false));
+
+  json::Object result;
+  result["ok"] = audit.ok;
+  result["phases_checked"] = audit.phases_checked;
+  json::Array issues;
+  for (const std::string& issue : audit.issues) issues.push_back(issue);
+  result["issues"] = std::move(issues);
+  return Response::make_ok(request.id, json::Value(std::move(result)));
+}
+
+Response PlanService::run_chaos(const Request& request,
+                                const std::atomic<bool>& stop) {
+  const json::Value& params = request.params;
+  sim::ChaosParams chaos;
+  chaos.preset = preset_from(params);
+  if (params.get_string("scale", "reduced") == "full") {
+    chaos.scale = topo::PresetScale::kFull;
+  }
+  chaos.planner = params.get_string("planner", "astar");
+  chaos.checker.demand.max_utilization = params.get_double("theta", 0.75);
+  chaos.growth_per_step = params.get_double("growth", 0.002);
+  chaos.max_replans =
+      static_cast<int>(params.get_int("max_replans", 0));
+  chaos.max_phase_retries =
+      static_cast<int>(params.get_int("retries", 6));
+  chaos.checkpoint_self_test = params.get_bool("resume_check", true);
+
+  const std::uint64_t first_seed =
+      static_cast<std::uint64_t>(params.get_int("first_seed", 0));
+  const int num_seeds = static_cast<int>(params.get_int("seeds", 5));
+  if (num_seeds < 1) {
+    throw std::invalid_argument("params.seeds must be >= 1");
+  }
+
+  // Seeds run serially inside the job (worker-pool concurrency comes from
+  // running many jobs, not from one job fanning out) so the stop flag is
+  // honored at seed granularity: a drain finishes the current seed and
+  // reports a partial sweep.
+  json::Array verdicts;
+  int failures = 0;
+  int seeds_run = 0;
+  bool stopped = false;
+  for (int i = 0; i < num_seeds; ++i) {
+    if (stop.load(std::memory_order_relaxed)) {
+      stopped = true;
+      break;
+    }
+    const sim::ChaosVerdict v =
+        sim::run_chaos_seed(first_seed + static_cast<std::uint64_t>(i),
+                            chaos);
+    ++seeds_run;
+    if (!v.passed()) ++failures;
+    json::Object verdict;
+    verdict["seed"] = static_cast<std::int64_t>(v.seed);
+    verdict["passed"] = v.passed();
+    verdict["phases"] = v.phases;
+    verdict["replans"] = v.replans;
+    verdict["retries"] = v.phase_retries;
+    if (!v.passed()) verdict["failure"] = v.failure;
+    verdicts.push_back(json::Value(std::move(verdict)));
+  }
+
+  json::Object result;
+  result["seeds_run"] = seeds_run;
+  result["failures"] = failures;
+  if (stopped) result["stopped"] = true;
+  result["verdicts"] = std::move(verdicts);
+  return Response::make_ok(request.id, json::Value(std::move(result)));
+}
+
+Response PlanService::run_replan(const Request& request,
+                                 const std::atomic<bool>& stop) {
+  const json::Value& params = request.params;
+  const PlanKnobs knobs = parse_knobs(params);
+  migration::MigrationCase mig = case_from_params(params);
+  migration::MigrationTask& task = mig.task;
+
+  traffic::Forecaster forecaster(task.demands,
+                                 params.get_double("growth", 0.002));
+
+  pipeline::ReplanOptions options;
+  options.checker = checker_config_for(knobs, options_.router_threads);
+  options.planner_options.alpha = knobs.alpha;
+  options.planner_options.deadline_seconds = knobs.deadline;
+  options.demand_change_threshold =
+      params.get_double("demand_change_threshold", 0.10);
+  options.max_phase_retries =
+      static_cast<int>(params.get_int("max_phase_retries", 3));
+  options.max_replans = static_cast<int>(params.get_int("max_replans", 0));
+  options.fallback_planner = params.get_string("fallback", "mrc");
+  if (const json::Value* failing = params.as_object().find("failing_phases")) {
+    for (const json::Value& phase : failing->as_array()) {
+      options.failing_phases.push_back(static_cast<int>(phase.as_int()));
+    }
+  }
+
+  pipeline::ReplanCheckpoint resume;
+  if (const json::Value* checkpoint = params.as_object().find("checkpoint")) {
+    resume = pipeline::ReplanCheckpoint::from_json(*checkpoint);
+    options.resume = &resume;
+  }
+
+  // Graceful drain: checkpoint after the current phase and return the
+  // checkpoint as the resume token instead of abandoning the run.
+  pipeline::ReplanCheckpoint last_checkpoint;
+  bool have_checkpoint = false;
+  options.checkpoint_sink = [&](const pipeline::ReplanCheckpoint& cp) {
+    last_checkpoint = cp;
+    have_checkpoint = true;
+  };
+  options.stop_requested = [&stop] {
+    return stop.load(std::memory_order_relaxed);
+  };
+
+  auto planner = pipeline::make_planner(knobs.planner);
+  const pipeline::ReplanResult replan = pipeline::execute_with_replanning(
+      task, *planner, forecaster, options);
+
+  json::Object result;
+  result["completed"] = replan.completed;
+  result["stopped"] = replan.stopped;
+  if (!replan.failure.empty()) result["failure"] = replan.failure;
+  result["phases_executed"] = replan.phases_executed;
+  result["replans"] = replan.replans;
+  result["phase_retries"] = replan.phase_retries;
+  result["fallback_plans"] = replan.fallback_plans;
+  result["used_fallback"] = replan.used_fallback;
+  result["executed_cost"] = replan.executed_cost;
+  if (replan.stopped && have_checkpoint) {
+    result["checkpoint"] = last_checkpoint.to_json();
+  }
+  return Response::make_ok(request.id, json::Value(std::move(result)));
+}
+
+}  // namespace klotski::serve

@@ -1,0 +1,72 @@
+// PlanService: the work methods of the serve protocol (plan / audit /
+// chaos / replan), independent of any transport.
+//
+// The plan method is content-addressed: the request is normalized (NPD
+// parsed and re-serialized so formatting and defaulted fields cannot change
+// the identity, tuning knobs defaulted, thread counts excluded — plans are
+// bit-identical at any thread count), hashed with json::content_hash, and
+// looked up in the PlanCache with single-flight semantics. The cached value
+// is the exact pretty-printed plan text klotski_plan would have written, so
+// a cache hit — or a waiter coalesced onto another request's flight — is
+// byte-identical to a cold run. The serve.plan_runs counter increments only
+// when the planner actually executes, which is what the single-flight test
+// asserts.
+//
+// chaos and replan are long-running and honor the job's cooperative stop
+// flag: chaos finishes the current seed and reports a partial sweep; replan
+// checkpoints after the current phase (ReplanOptions::stop_requested) and
+// returns the checkpoint as a resume token.
+#pragma once
+
+#include <atomic>
+
+#include "klotski/serve/plan_cache.h"
+#include "klotski/serve/protocol.h"
+
+namespace klotski::serve {
+
+class PlanService {
+ public:
+  struct Options {
+    PlanCache::Options cache;
+    /// Planner threading for plan requests. Output is invariant to both
+    /// (the tier-1 determinism contract), so neither participates in the
+    /// cache key; the daemon sets them from its share of the machine via
+    /// util::split_thread_budget.
+    int plan_threads = 1;
+    int router_threads = 1;
+  };
+
+  explicit PlanService(const Options& options);
+
+  /// Executes one work request (method plan | audit | chaos | replan).
+  /// Never throws: malformed params and planner failures become
+  /// status:"error" responses. `stop` is the owning job's cooperative stop
+  /// flag.
+  Response execute(const Request& request, const std::atomic<bool>& stop);
+
+  PlanCache& cache() { return cache_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Response run_plan(const Request& request);
+  Response run_audit(const Request& request);
+  Response run_chaos(const Request& request, const std::atomic<bool>& stop);
+  Response run_replan(const Request& request, const std::atomic<bool>& stop);
+
+  /// The exact plan text klotski_plan would write for these params, running
+  /// the planner + pre-emit audit. Throws std::runtime_error on no-plan or
+  /// audit failure.
+  std::string compute_plan_text(const json::Value& params);
+
+  Options options_;
+  PlanCache cache_;
+};
+
+/// The plan request's cache identity: normalized params document whose
+/// content_hash keys the PlanCache. Exposed for tests (key stability is an
+/// on-disk format: spill files from one daemon generation must stay valid
+/// for the next).
+json::Value plan_cache_key_doc(const json::Value& params);
+
+}  // namespace klotski::serve

@@ -9,6 +9,7 @@
 #include "klotski/obs/metrics.h"
 #include "klotski/pipeline/experiments.h"
 #include "klotski/sim/invariants.h"
+#include "klotski/util/thread_budget.h"
 
 namespace klotski::sim {
 
@@ -207,7 +208,10 @@ ChaosSweepResult run_chaos_sweep(std::uint64_t first_seed, int num_seeds,
     }
   };
 
-  const int pool = std::clamp(threads, 1, num_seeds);
+  // Shared oversubscription rule: never spawn more sweep workers than
+  // seeds, never fewer than one (util/thread_budget.h).
+  const int pool =
+      util::split_thread_budget(threads, 1, num_seeds).outer;
   if (pool <= 1) {
     worker();
   } else {

@@ -1,13 +1,20 @@
-// Hash helpers: combination and container hashing for cache keys.
+// Hash helpers: combination and container hashing for cache keys, plus the
+// stable byte-stream digest behind content-addressed caching.
 //
 // The satisfiability cache keys on the compact topology representation
 // (a small vector of action counts); we need a fast, well-mixed hash for
-// std::vector<int32_t> and for pair keys.
+// std::vector<int32_t> and for pair keys. StableDigest is different in
+// kind: its output is part of the serve layer's on-disk cache format, so it
+// must be bit-stable across runs, processes, and platforms — never swap it
+// for std::hash (seeded per-process) or change the constants without a
+// cache-format version bump.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -51,5 +58,45 @@ struct PairHash {
         hash_combine(std::hash<A>{}(p.first), std::hash<B>{}(p.second)));
   }
 };
+
+/// Streaming 128-bit content digest: two independent FNV-1a-64 lanes with
+/// distinct offset bases, each finalized through mix64. Deterministic for a
+/// given byte sequence everywhere — content-addressed cache keys depend on
+/// that.
+class StableDigest {
+ public:
+  void update(std::string_view bytes) {
+    for (const char c : bytes) {
+      const auto b = static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      lo_ = (lo_ ^ b) * kPrime;
+      hi_ = (hi_ ^ b) * kPrime;
+    }
+  }
+
+  /// 32 lowercase hex characters; does not disturb the stream state.
+  std::string hex() const {
+    const std::uint64_t a = mix64(lo_);
+    const std::uint64_t b = mix64(hi_ ^ lo_);
+    std::string out(32, '0');
+    static const char* digits = "0123456789abcdef";
+    for (int i = 0; i < 16; ++i) {
+      out[static_cast<std::size_t>(15 - i)] = digits[(a >> (4 * i)) & 0xF];
+      out[static_cast<std::size_t>(31 - i)] = digits[(b >> (4 * i)) & 0xF];
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  std::uint64_t lo_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  std::uint64_t hi_ = 0x9E3779B97F4A7C15ULL;  // golden-ratio lane
+};
+
+/// One-shot form of StableDigest.
+inline std::string stable_digest_hex(std::string_view bytes) {
+  StableDigest d;
+  d.update(bytes);
+  return d.hex();
+}
 
 }  // namespace klotski::util

@@ -1,0 +1,21 @@
+#include "klotski/util/thread_budget.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace klotski::util {
+
+ThreadBudget split_thread_budget(int outer_requested, int inner_budget,
+                                 int max_outer) {
+  ThreadBudget budget;
+  budget.outer = std::max(1, outer_requested);
+  if (max_outer > 0) budget.outer = std::min(budget.outer, max_outer);
+  budget.inner = std::max(1, inner_budget / budget.outer);
+  return budget;
+}
+
+int hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace klotski::util

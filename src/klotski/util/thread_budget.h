@@ -1,0 +1,32 @@
+// The oversubscription-avoidance rule shared by every layered worker pool.
+//
+// Klotski stacks up to three levels of parallelism: an outer pool (planner
+// frontier workers, chaos sweep workers, or the serve daemon's job workers)
+// whose members each own an inner budget (worker-private ECMP routers,
+// per-job planner threads). Before this helper, each tool computed the
+// split independently (`klotski_plan`, run_pipeline, `klotski_chaos`),
+// which is exactly how the rules drift apart. Everything now goes through
+// split_thread_budget(): N outer workers each get inner_budget / N inner
+// threads (never below 1), and the outer count is clamped to the available
+// work so idle threads are never spawned.
+#pragma once
+
+namespace klotski::util {
+
+struct ThreadBudget {
+  int outer = 1;  // workers at the outer level
+  int inner = 1;  // inner-threads budget handed to each outer worker
+};
+
+/// Splits `inner_budget` threads across `outer_requested` workers.
+/// `max_outer` caps the outer pool at the number of independent work items
+/// (seeds, queued jobs); pass 0 or negative for "no cap". Requests below 1
+/// are treated as 1, so callers can pass raw flag values.
+ThreadBudget split_thread_budget(int outer_requested, int inner_budget,
+                                 int max_outer = 0);
+
+/// Hardware concurrency with a sane floor: std::thread::hardware_concurrency
+/// can return 0; this never returns less than 1.
+int hardware_threads();
+
+}  // namespace klotski::util

@@ -1,0 +1,79 @@
+#include "klotski/json/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "klotski/json/json.h"
+#include "klotski/util/hash.h"
+
+namespace klotski::json {
+namespace {
+
+TEST(CanonicalDump, SortsKeysAndCompacts) {
+  const Value doc = parse(R"({"b": 2, "a": 1, "c": {"z": [1, 2], "y": 3}})");
+  EXPECT_EQ(canonical_dump(doc), R"({"a":1,"b":2,"c":{"y":3,"z":[1,2]}})");
+}
+
+TEST(CanonicalDump, IntegralDoublesCollapseToIntegers) {
+  EXPECT_EQ(canonical_dump(parse("[1.0, 2.5, -0.0, 0.0, 3]")),
+            "[1,2.5,0,0,3]");
+}
+
+TEST(ContentHash, StableAcrossSemanticallyIdenticalDocs) {
+  const Value a = parse(R"({"theta": 0.75, "npd": {"x": 1, "y": [1, 2]}})");
+  const Value b = parse(
+      "{ \"npd\" : {\"y\":[1,2],\"x\":1.0},\n  \"theta\" : 0.75 }");
+  EXPECT_EQ(content_hash(a), content_hash(b));
+}
+
+TEST(ContentHash, EscapedAndLiteralStringsHashIdentically) {
+  // \u0041 decodes to 'A'; the canonical form re-escapes both spellings
+  // the same way.
+  EXPECT_EQ(content_hash(parse(R"({"k": "\u0041BC"})")),
+            content_hash(parse(R"({"k": "ABC"})")));
+}
+
+TEST(ContentHash, ChangesOnAnyValueChange) {
+  const std::string base = content_hash(parse(R"({"a": 1, "b": [2, 3]})"));
+  EXPECT_NE(base, content_hash(parse(R"({"a": 2, "b": [2, 3]})")));
+  EXPECT_NE(base, content_hash(parse(R"({"a": 1, "b": [3, 2]})")));
+  EXPECT_NE(base, content_hash(parse(R"({"a": 1, "b": [2, 3], "c": null})")));
+  EXPECT_NE(base, content_hash(parse(R"({"a": 1, "c": [2, 3]})")));
+}
+
+TEST(ContentHash, DistinguishesTypes) {
+  EXPECT_NE(content_hash(parse(R"({"a": "1"})")),
+            content_hash(parse(R"({"a": 1})")));
+  EXPECT_NE(content_hash(parse(R"({"a": null})")),
+            content_hash(parse(R"({"a": false})")));
+  EXPECT_NE(content_hash(parse(R"({"a": 1.5})")),
+            content_hash(parse(R"({"a": 1})")));
+}
+
+TEST(ContentHash, IsThirtyTwoLowercaseHexChars) {
+  const std::string hash = content_hash(parse(R"({"a": 1})"));
+  ASSERT_EQ(hash.size(), 32u);
+  for (const char c : hash) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+// The digest is an on-disk format (plan-cache spill file names); these
+// exact values must never change across refactors.
+TEST(StableDigest, ByteStreamIndependentOfChunking) {
+  util::StableDigest one_shot;
+  one_shot.update("hello world");
+  util::StableDigest chunked;
+  chunked.update("hel");
+  chunked.update("");
+  chunked.update("lo world");
+  EXPECT_EQ(one_shot.hex(), chunked.hex());
+  EXPECT_EQ(one_shot.hex(), util::stable_digest_hex("hello world"));
+}
+
+TEST(StableDigest, DistinctInputsDistinctDigests) {
+  EXPECT_NE(util::stable_digest_hex(""), util::stable_digest_hex("a"));
+  EXPECT_NE(util::stable_digest_hex("ab"), util::stable_digest_hex("ba"));
+}
+
+}  // namespace
+}  // namespace klotski::json

@@ -1,0 +1,507 @@
+// Tests for the plan service: single-flight cache semantics, LRU eviction
+// and spill, admission control, the async job manager, and a full
+// socket-server round trip including the served-vs-pipeline byte-identity
+// contract and graceful drain.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "klotski/json/canonical.h"
+#include "klotski/json/json.h"
+#include "klotski/npd/npd_io.h"
+#include "klotski/obs/metrics.h"
+#include "klotski/pipeline/audit.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/pipeline/experiments.h"
+#include "klotski/pipeline/plan_export.h"
+#include "klotski/serve/client.h"
+#include "klotski/serve/job_manager.h"
+#include "klotski/serve/plan_cache.h"
+#include "klotski/serve/server.h"
+#include "klotski/serve/service.h"
+#include "klotski/topo/presets.h"
+
+namespace klotski::serve {
+namespace {
+
+json::Value preset_npd_json() {
+  npd::NpdDocument doc;
+  doc.name = "serve-test-a";
+  doc.region = topo::preset_params(topo::PresetId::kA,
+                                   topo::PresetScale::kReduced);
+  doc.migration = npd::MigrationKind::kHgridV1ToV2;
+  doc.hgrid = pipeline::hgrid_params_for(topo::PresetId::kA,
+                                         topo::PresetScale::kReduced);
+  doc.ssw = pipeline::ssw_params_for(topo::PresetScale::kReduced);
+  doc.dmag = pipeline::dmag_params_for(topo::PresetScale::kReduced);
+  return npd::to_json(doc);
+}
+
+Request plan_request(double theta = 0.75, const std::string& id = "") {
+  Request req;
+  req.id = id;
+  req.method = "plan";
+  json::Object params;
+  params["npd"] = preset_npd_json();
+  params["theta"] = theta;
+  req.params = json::Value(std::move(params));
+  return req;
+}
+
+/// RAII metrics enable + reset, so counter assertions see only this test.
+class MetricsOn {
+ public:
+  MetricsOn() {
+    obs::set_metrics_enabled(true);
+    obs::Registry::global().reset_values();
+  }
+  ~MetricsOn() { obs::set_metrics_enabled(false); }
+};
+
+PlanService::Options service_options() {
+  PlanService::Options options;
+  options.cache.capacity = 8;
+  return options;
+}
+
+// --- single-flight -------------------------------------------------------
+
+TEST(PlanServiceSingleFlight, NConcurrentIdenticalRequestsOnePlannerRun) {
+  MetricsOn metrics;
+  PlanService service(service_options());
+  std::atomic<bool> stop{false};
+
+  constexpr int kThreads = 8;
+  std::vector<Response> responses(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      responses[static_cast<std::size_t>(i)] =
+          service.execute(plan_request(), stop);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Exactly one planner invocation regardless of interleaving: one caller
+  // owned the flight, the rest either waited on it or hit the completed
+  // cache.
+  EXPECT_EQ(obs::Registry::global().counter("serve.plan_runs").value(), 1);
+
+  int cold = 0;
+  std::set<std::string> distinct_texts;
+  for (const Response& resp : responses) {
+    ASSERT_TRUE(resp.ok()) << resp.error;
+    if (!resp.cached) ++cold;
+    distinct_texts.insert(json::dump(resp.result.at("plan"), 2));
+  }
+  EXPECT_EQ(cold, 1);
+  // All N responses carry byte-identical plan documents.
+  EXPECT_EQ(distinct_texts.size(), 1u);
+}
+
+TEST(PlanServiceSingleFlight, ServedBytesMatchThePipeline) {
+  PlanService service(service_options());
+  std::atomic<bool> stop{false};
+  const Response resp = service.execute(plan_request(), stop);
+  ASSERT_TRUE(resp.ok()) << resp.error;
+
+  // The reference run, exactly as klotski_plan performs it.
+  migration::MigrationCase mig =
+      npd::build_case(npd::from_json(preset_npd_json()));
+  pipeline::CheckerConfig config;
+  config.demand.max_utilization = 0.75;
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(mig.task, config);
+  auto planner = pipeline::make_planner("astar");
+  const core::Plan plan =
+      planner->plan(mig.task, *bundle.checker, core::PlannerOptions{});
+  ASSERT_TRUE(plan.found);
+
+  json::Value expected = pipeline::plan_to_json(mig.task, plan);
+  json::Value served = resp.result.at("plan");
+  // wall_seconds is the one genuinely nondeterministic field (real wall
+  // clock); zero it on both sides, then require byte equality.
+  expected.as_object().find("stats")->as_object()["wall_seconds"] = 0.0;
+  served.as_object().find("stats")->as_object()["wall_seconds"] = 0.0;
+  EXPECT_EQ(json::dump(served, 2), json::dump(expected, 2));
+}
+
+TEST(PlanServiceSingleFlight, ErrorsAreNotCached) {
+  PlanService service(service_options());
+  std::atomic<bool> stop{false};
+  Request req = plan_request();
+  req.params.as_object()["planner"] = "no-such-planner";
+  const Response first = service.execute(req, stop);
+  EXPECT_EQ(first.status, "error");
+  const Response second = service.execute(req, stop);
+  EXPECT_EQ(second.status, "error");
+  // Two misses, no hits: the failure never entered the cache.
+  EXPECT_EQ(service.cache().stats().misses, 2);
+  EXPECT_EQ(service.cache().stats().hits, 0);
+}
+
+TEST(PlanServiceSingleFlight, CacheKeyIgnoresNpdSpelling) {
+  // Same region, different document spelling (key order): same cache key.
+  json::Object a;
+  a["npd"] = preset_npd_json();
+  a["theta"] = 0.75;
+  json::Object b;
+  b["theta"] = 0.75;
+  b["npd"] = preset_npd_json();
+  EXPECT_EQ(json::content_hash(plan_cache_key_doc(json::Value(std::move(a)))),
+            json::content_hash(plan_cache_key_doc(json::Value(std::move(b)))));
+
+  // A knob change is a different key.
+  json::Object c;
+  c["npd"] = preset_npd_json();
+  c["theta"] = 0.7;
+  EXPECT_NE(
+      json::content_hash(plan_cache_key_doc(plan_request().params)),
+      json::content_hash(plan_cache_key_doc(json::Value(std::move(c)))));
+}
+
+// --- plan cache ----------------------------------------------------------
+
+TEST(PlanCacheTest, WaiterReceivesOwnersBytes) {
+  PlanCache cache(PlanCache::Options{4, ""});
+  PlanCache::Lookup owner = cache.acquire("k");
+  ASSERT_EQ(owner.outcome, PlanCache::Outcome::kOwner);
+
+  std::vector<std::thread> waiters;
+  std::vector<std::string> received(3);
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&, i] {
+      PlanCache::Lookup lookup = cache.acquire("k");
+      if (lookup.outcome == PlanCache::Outcome::kWait) {
+        received[static_cast<std::size_t>(i)] = cache.wait(lookup.entry);
+      } else {
+        received[static_cast<std::size_t>(i)] = lookup.text;  // late: hit
+      }
+    });
+  }
+  // Wait until all three attached (coalesced) or resolved as hits.
+  while (cache.stats().coalesced + cache.stats().hits < 3) {
+    std::this_thread::yield();
+  }
+  cache.fulfill(owner.entry, "bytes");
+  for (std::thread& t : waiters) t.join();
+  for (const std::string& text : received) EXPECT_EQ(text, "bytes");
+  EXPECT_EQ(cache.acquire("k").outcome, PlanCache::Outcome::kHit);
+}
+
+TEST(PlanCacheTest, FailedFlightPropagatesAndRecomputes) {
+  PlanCache cache(PlanCache::Options{4, ""});
+  PlanCache::Lookup owner = cache.acquire("k");
+  ASSERT_EQ(owner.outcome, PlanCache::Outcome::kOwner);
+  std::string error;
+  std::thread waiter([&] {
+    PlanCache::Lookup lookup = cache.acquire("k");
+    if (lookup.outcome != PlanCache::Outcome::kWait) return;
+    try {
+      cache.wait(lookup.entry);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  });
+  while (cache.stats().coalesced < 1) std::this_thread::yield();
+  cache.fail(owner.entry, "boom");
+  waiter.join();
+  EXPECT_EQ(error, "boom");
+  // The failure was not cached; the next caller recomputes.
+  EXPECT_EQ(cache.acquire("k").outcome, PlanCache::Outcome::kOwner);
+}
+
+TEST(PlanCacheTest, LruEvictionRespectsTouchOrder) {
+  PlanCache cache(PlanCache::Options{2, ""});
+  auto put = [&](const std::string& key) {
+    PlanCache::Lookup lookup = cache.acquire(key);
+    ASSERT_EQ(lookup.outcome, PlanCache::Outcome::kOwner) << key;
+    cache.fulfill(lookup.entry, "v:" + key);
+  };
+  put("a");
+  put("b");
+  EXPECT_EQ(cache.acquire("a").outcome, PlanCache::Outcome::kHit);  // touch a
+  put("c");  // capacity 2: evicts b (least recently used), not a
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.acquire("a").outcome, PlanCache::Outcome::kHit);
+  EXPECT_EQ(cache.acquire("c").outcome, PlanCache::Outcome::kHit);
+  EXPECT_EQ(cache.acquire("b").outcome, PlanCache::Outcome::kOwner);
+}
+
+TEST(PlanCacheTest, EvictedEntriesServeFromSpill) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("klotski-spill-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    PlanCache cache(PlanCache::Options{1, dir});
+    auto put = [&](const std::string& key) {
+      PlanCache::Lookup lookup = cache.acquire(key);
+      ASSERT_EQ(lookup.outcome, PlanCache::Outcome::kOwner) << key;
+      cache.fulfill(lookup.entry, "v:" + key);
+    };
+    put("a");
+    put("b");  // evicts a from memory; a's bytes remain on disk
+    EXPECT_EQ(cache.stats().evictions, 1);
+    PlanCache::Lookup again = cache.acquire("a");
+    EXPECT_EQ(again.outcome, PlanCache::Outcome::kHit);
+    EXPECT_EQ(again.text, "v:a");
+    EXPECT_EQ(cache.stats().spill_hits, 1);
+  }
+  {
+    // A fresh cache over the same spill dir is warm: content-addressed
+    // keys are stable across daemon generations.
+    PlanCache cache(PlanCache::Options{4, dir});
+    PlanCache::Lookup lookup = cache.acquire("b");
+    EXPECT_EQ(lookup.outcome, PlanCache::Outcome::kHit);
+    EXPECT_EQ(lookup.text, "v:b");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// --- job manager ---------------------------------------------------------
+
+/// A job body that blocks until released, for queue-shape tests.
+struct Blocker {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+  JobManager::Work work() {
+    return [this](const std::atomic<bool>&) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return released; });
+      return Response::make_ok("", json::Value(json::Object{}));
+    };
+  }
+};
+
+TEST(JobManagerTest, FullQueueRejectsWithOverloaded) {
+  JobManager jobs(JobManager::Options{1, 1, 16});
+  Blocker blocker;
+  const JobManager::Submitted running =
+      jobs.submit("plan", blocker.work());
+  ASSERT_TRUE(running.ok());
+  // Wait until the worker picked it up so the queue is truly empty.
+  while (jobs.queue_depth() > 0) std::this_thread::yield();
+
+  const JobManager::Submitted queued = jobs.submit("plan", blocker.work());
+  ASSERT_TRUE(queued.ok());
+  const JobManager::Submitted rejected =
+      jobs.submit("plan", blocker.work());
+  EXPECT_EQ(rejected.rejected, "overloaded");
+  EXPECT_TRUE(rejected.job_id.empty());
+  EXPECT_EQ(jobs.stats().rejected_overloaded, 1);
+
+  blocker.release();
+  EXPECT_EQ(jobs.wait(running.job_id)->state, JobManager::State::kDone);
+  EXPECT_EQ(jobs.wait(queued.job_id)->state, JobManager::State::kDone);
+}
+
+TEST(JobManagerTest, PollWaitCancelLifecycle) {
+  JobManager jobs(JobManager::Options{1, 8, 16});
+  Blocker blocker;
+  const JobManager::Submitted running =
+      jobs.submit("plan", blocker.work());
+  while (jobs.queue_depth() > 0) std::this_thread::yield();
+  const JobManager::Submitted queued = jobs.submit("plan", blocker.work());
+
+  EXPECT_FALSE(jobs.poll("j-999").has_value());
+  EXPECT_EQ(jobs.poll(queued.job_id)->state, JobManager::State::kQueued);
+  EXPECT_FALSE(jobs.wait(queued.job_id, 10).has_value());  // times out
+
+  // A queued job cancels outright.
+  EXPECT_EQ(jobs.cancel(queued.job_id), JobManager::State::kQueued);
+  EXPECT_EQ(jobs.poll(queued.job_id)->state, JobManager::State::kCancelled);
+
+  // A running job gets its stop flag; it finishes normally here.
+  EXPECT_EQ(jobs.cancel(running.job_id), JobManager::State::kRunning);
+  blocker.release();
+  EXPECT_EQ(jobs.wait(running.job_id)->state, JobManager::State::kDone);
+
+  jobs.forget(running.job_id);
+  EXPECT_FALSE(jobs.poll(running.job_id).has_value());
+}
+
+TEST(JobManagerTest, ExceptionsBecomeErrorResponses) {
+  JobManager jobs(JobManager::Options{1, 8, 16});
+  const JobManager::Submitted submitted = jobs.submit(
+      "plan", [](const std::atomic<bool>&) -> Response {
+        throw std::runtime_error("kaput");
+      });
+  ASSERT_TRUE(submitted.ok());
+  const JobManager::JobView view = *jobs.wait(submitted.job_id);
+  EXPECT_EQ(view.state, JobManager::State::kError);
+  EXPECT_EQ(view.result.status, "error");
+  EXPECT_EQ(view.result.error, "kaput");
+}
+
+TEST(JobManagerTest, DrainFinishesAdmittedWorkThenRejects) {
+  JobManager jobs(JobManager::Options{2, 8, 16});
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(jobs.submit("plan", [&](const std::atomic<bool>&) {
+                      completed.fetch_add(1);
+                      return Response::make_ok("",
+                                               json::Value(json::Object{}));
+                    })
+                    .ok());
+  }
+  jobs.drain();
+  EXPECT_EQ(completed.load(), 4);
+  EXPECT_EQ(jobs.submit("plan",
+                        [](const std::atomic<bool>&) {
+                          return Response::make_ok(
+                              "", json::Value(json::Object{}));
+                        })
+                .rejected,
+            "draining");
+}
+
+// --- server round trip ---------------------------------------------------
+
+class ServerRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // sun_path is tiny; keep the socket path short and unique.
+    socket_path_ = "/tmp/kserve-" + std::to_string(::getpid()) + ".sock";
+    Server::Options options;
+    options.socket_path = socket_path_;
+    options.jobs.workers = 2;
+    options.jobs.max_queue = 8;
+    options.service.cache.capacity = 8;
+    server_ = std::make_unique<Server>(options);
+    thread_ = std::thread([this] { server_->run(); });
+  }
+
+  void TearDown() override {
+    server_->request_drain();
+    if (thread_.joinable()) thread_.join();
+    server_.reset();
+    std::remove(socket_path_.c_str());
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+};
+
+TEST_F(ServerRoundTrip, PingStatsAndSyncPlan) {
+  Client client(socket_path_);
+  const Response pong = client.call("ping", json::Value(json::Object{}));
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong.result.get_string("schema", ""), "klotski.serve.v1");
+  EXPECT_FALSE(pong.result.get_bool("draining", true));
+
+  const Response cold = client.call(plan_request(0.75, "r1"));
+  ASSERT_TRUE(cold.ok()) << cold.error;
+  EXPECT_EQ(cold.id, "r1");
+  EXPECT_FALSE(cold.cached);
+
+  const Response hit = client.call(plan_request(0.75, "r2"));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.cached);
+  // Byte-identical across cold and cache hit by construction.
+  EXPECT_EQ(json::dump(hit.result.at("plan"), 2),
+            json::dump(cold.result.at("plan"), 2));
+
+  const Response stats = client.call("stats", json::Value(json::Object{}));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.result.at("cache").get_int("hits", -1), 1);
+  EXPECT_EQ(stats.result.at("cache").get_int("misses", -1), 1);
+  EXPECT_EQ(stats.result.at("jobs").get_int("completed", -1), 2);
+}
+
+TEST_F(ServerRoundTrip, ConcurrentClientsGetIdenticalBytes) {
+  constexpr int kClients = 4;
+  std::vector<std::string> texts(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client(socket_path_);
+      const Response resp = client.call(plan_request());
+      if (resp.ok()) {
+        texts[static_cast<std::size_t>(i)] =
+            json::dump(resp.result.at("plan"), 2);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 1; i < kClients; ++i) {
+    ASSERT_FALSE(texts[static_cast<std::size_t>(i)].empty());
+    EXPECT_EQ(texts[static_cast<std::size_t>(i)], texts[0]);
+  }
+}
+
+TEST_F(ServerRoundTrip, AsyncSubmitPollWait) {
+  Client client(socket_path_);
+  json::Object submit;
+  submit["method"] = "plan";
+  submit["params"] = plan_request(0.74).params;
+  const Response submitted =
+      client.call("submit", json::Value(std::move(submit)), "s1");
+  ASSERT_TRUE(submitted.ok()) << submitted.error;
+  const std::string job_id = submitted.result.get_string("job_id", "");
+  ASSERT_FALSE(job_id.empty());
+
+  json::Object wait;
+  wait["job_id"] = job_id;
+  wait["timeout_ms"] = 30'000;
+  const Response done = client.call("wait", json::Value(std::move(wait)));
+  ASSERT_TRUE(done.ok()) << done.error;
+  EXPECT_EQ(done.result.get_string("state", ""), "done");
+  const json::Value& inner = done.result.at("response");
+  EXPECT_EQ(inner.get_string("status", ""), "ok");
+
+  json::Object poll;
+  poll["job_id"] = job_id;
+  const Response polled = client.call("poll", json::Value(std::move(poll)));
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled.result.get_string("state", ""), "done");
+}
+
+TEST_F(ServerRoundTrip, MalformedAndUnknownRequests) {
+  Client client(socket_path_);
+  Request bogus;
+  bogus.method = "no-such-method";
+  EXPECT_EQ(client.call(bogus).status, "error");
+
+  json::Object submit;
+  submit["method"] = "ping";  // not a work method
+  EXPECT_EQ(client.call("submit", json::Value(std::move(submit))).status,
+            "error");
+  EXPECT_EQ(client.call("poll", json::Value(json::Object{})).status,
+            "error");
+}
+
+TEST_F(ServerRoundTrip, DrainStopsAdmissionAndCompletes) {
+  Client client(socket_path_);
+  ASSERT_TRUE(client.call(plan_request()).ok());
+  server_->request_drain();
+  if (thread_.joinable()) thread_.join();
+  // After run() returns all admitted work finished and the socket is gone.
+  EXPECT_EQ(server_->jobs().stats().queued, 0u);
+  EXPECT_EQ(server_->jobs().stats().running, 0u);
+  EXPECT_THROW(Client second(socket_path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace klotski::serve

@@ -1,0 +1,45 @@
+// Shared main() body for the CLI tools.
+//
+// Every tool follows the same lifecycle: parse flags, arm the observability
+// registry/tracer (so the whole run is instrumented), run, then write the
+// observability artifacts on the way out — including error paths, so a
+// failed run still leaves its metrics behind. tool_main() is that lifecycle
+// in one place; a tool's translation unit is just its run(flags) function
+// and a one-line main.
+//
+//   int main(int argc, char** argv) {
+//     return klotski::tools::tool_main(argc, argv, "klotski_plan", run);
+//   }
+//
+// Uncaught exceptions are reported as "<tool>: <what>" and map to the
+// usage/input-error exit code (2), matching the tools' documented contract.
+#pragma once
+
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "obs_output.h"
+#include "klotski/util/flags.h"
+
+namespace klotski::tools {
+
+inline int tool_main(int argc, const char* const* argv,
+                     const std::string& name,
+                     int (*run)(const util::Flags&)) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  const ObsOutput obs_out = obs_from_flags(flags);
+  int rc = 2;
+  try {
+    rc = run(flags);
+  } catch (const std::exception& e) {
+    std::cerr << name << ": " << e.what() << "\n";
+    rc = 2;
+  }
+  // Written even on failure: a run that found no plan is exactly the one
+  // whose metrics you want to look at.
+  write_obs_outputs(obs_out, name);
+  return rc;
+}
+
+}  // namespace klotski::tools

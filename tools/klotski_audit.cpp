@@ -25,7 +25,7 @@
 #include "klotski/topo/diff.h"
 #include "klotski/util/file.h"
 #include "klotski/util/flags.h"
-#include "obs_output.h"
+#include "common/tool_runner.h"
 
 namespace {
 
@@ -39,7 +39,7 @@ int run(const klotski::util::Flags& flags) {
     return 2;
   }
 
-  try {
+  {
     const npd::NpdDocument doc = npd::parse_npd(util::read_file(npd_path));
     migration::MigrationCase mig = npd::build_case(doc);
     migration::MigrationTask& task = mig.task;
@@ -73,19 +73,11 @@ int run(const klotski::util::Flags& flags) {
       std::cout << "  " << issue << "\n";
     }
     return 1;
-  } catch (const std::exception& e) {
-    std::cerr << "klotski_audit: " << e.what() << "\n";
-    return 2;
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace klotski;
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  const tools::ObsOutput obs_out = tools::obs_from_flags(flags);
-  const int rc = run(flags);
-  tools::write_obs_outputs(obs_out, "klotski_audit");
-  return rc;
+  return klotski::tools::tool_main(argc, argv, "klotski_audit", run);
 }

@@ -41,7 +41,7 @@
 
 #include "klotski/sim/chaos.h"
 #include "klotski/util/flags.h"
-#include "obs_output.h"
+#include "common/tool_runner.h"
 
 namespace {
 
@@ -166,16 +166,5 @@ int run(const util::Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace klotski;
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  const tools::ObsOutput obs_out = tools::obs_from_flags(flags);
-  int rc = 2;
-  try {
-    rc = run(flags);
-  } catch (const std::exception& e) {
-    std::cerr << "klotski_chaos: " << e.what() << "\n";
-    rc = 2;
-  }
-  tools::write_obs_outputs(obs_out, "klotski_chaos");
-  return rc;
+  return klotski::tools::tool_main(argc, argv, "klotski_chaos", run);
 }

@@ -29,6 +29,7 @@
 #include "klotski/util/file.h"
 #include "klotski/util/flags.h"
 #include "klotski/util/string_util.h"
+#include "common/tool_runner.h"
 
 namespace {
 
@@ -43,11 +44,8 @@ bool has_counter(const Value& metrics, const std::string& name) {
   return metrics.at("counters").as_object().find(name) != nullptr;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(const klotski::util::Flags& flags) {
   using namespace klotski;
-  const util::Flags flags = util::Flags::parse(argc, argv);
 
   const std::string metrics_path = flags.get_string("metrics", "");
   if (metrics_path.empty()) {
@@ -55,7 +53,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  try {
+  {
     const Value metrics = json::parse(util::read_file(metrics_path));
     if (metrics.get_string("schema", "") != "klotski.metrics.v1") {
       std::cerr << "FAIL: " << metrics_path
@@ -127,8 +125,11 @@ int main(int argc, char** argv) {
                 << metrics_path << " and " << other_path << "\n";
     }
     return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "klotski_metrics_check: " << e.what() << "\n";
-    return 2;
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return klotski::tools::tool_main(argc, argv, "klotski_metrics_check", run);
 }

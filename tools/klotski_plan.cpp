@@ -44,7 +44,8 @@
 #include "klotski/traffic/demand_io.h"
 #include "klotski/util/file.h"
 #include "klotski/util/flags.h"
-#include "obs_output.h"
+#include "klotski/util/thread_budget.h"
+#include "common/tool_runner.h"
 
 namespace {
 
@@ -57,7 +58,7 @@ int run(const klotski::util::Flags& flags) {
     return 2;
   }
 
-  try {
+  {
     const npd::NpdDocument doc = npd::parse_npd(util::read_file(npd_path));
 
     // Build the migration case; optionally swap in an operator-provided
@@ -110,11 +111,13 @@ int run(const klotski::util::Flags& flags) {
     }
     if (planner_options.num_threads > 1) {
       // Worker-private routers share the intra-check budget so --threads=T
-      // --router-threads=R keeps roughly T*max(1, R/T) threads busy, not T*R.
+      // --router-threads=R keeps roughly T*max(1, R/T) threads busy, not
+      // T*R (the shared oversubscription rule, util/thread_budget.h).
       pipeline::CheckerConfig worker_config = checker_config;
       worker_config.router_threads =
-          std::max(1, checker_config.router_threads /
-                          planner_options.num_threads);
+          util::split_thread_budget(planner_options.num_threads,
+                                    checker_config.router_threads)
+              .inner;
       planner_options.checker_factory =
           pipeline::make_standard_checker_factory(worker_config);
     }
@@ -170,21 +173,11 @@ int run(const klotski::util::Flags& flags) {
                 << plan.phases().size() << " phases, audited)\n";
     }
     return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "klotski_plan: " << e.what() << "\n";
-    return 2;
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace klotski;
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  const tools::ObsOutput obs_out = tools::obs_from_flags(flags);
-  const int rc = run(flags);
-  // Written even on failure: a run that found no plan is exactly the one
-  // whose metrics you want to look at.
-  tools::write_obs_outputs(obs_out, "klotski_plan");
-  return rc;
+  return klotski::tools::tool_main(argc, argv, "klotski_plan", run);
 }

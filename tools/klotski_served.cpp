@@ -1,0 +1,127 @@
+// klotski_served — the Klotski plan service daemon.
+//
+//   klotski_served --socket=/tmp/k.sock --workers=4 --cache-capacity=64 \
+//                  --spill-dir=/var/cache/klotski
+//
+// Serves the klotski.serve.v1 protocol (newline-delimited JSON over a unix
+// socket; see src/klotski/serve/protocol.h and README "Plan service"):
+// plan / audit / chaos / replan work methods, sync or submitted as async
+// jobs, behind a bounded worker pool with explicit admission control and a
+// content-addressed single-flight plan cache.
+//
+// Flags:
+//   --socket        unix socket path (required; kept short — sun_path caps
+//                   at ~100 bytes)
+//   --workers       worker threads executing jobs       (default 2)
+//   --max-queue     queued jobs before new work is rejected with
+//                   {"status":"overloaded"}             (default 64)
+//   --cache-capacity  completed plans held in memory    (default 128)
+//   --spill-dir     directory for evicted plans; doubles as a warm cache
+//                   across daemon restarts              (default: none)
+//   --threads       total planner thread budget, split across the workers
+//                   by the shared oversubscription rule (default: one per
+//                   worker)
+//   --router-threads  intra-check budget per planner    (default 1)
+//   --max-connections  concurrent client connections    (default 64)
+//   --ready-fd      write one byte to this fd once the socket is listening
+//                   (scripts: open a pipe, wait for the byte instead of
+//                   polling)
+//   --metrics-out   write the metrics registry JSON here on drain
+//   --trace-out     write Chrome trace_event JSON here on drain
+//
+// Shutdown: SIGTERM or SIGINT triggers the graceful drain — admission
+// stops, queued and running jobs finish (replan jobs checkpoint via their
+// cooperative stop flag), connections close, metrics are flushed, and the
+// daemon exits 0.
+#include <csignal>
+#include <iostream>
+#include <memory>
+
+#include <unistd.h>
+
+#include "klotski/serve/server.h"
+#include "klotski/util/flags.h"
+#include "klotski/util/thread_budget.h"
+#include "common/tool_runner.h"
+
+namespace {
+
+using namespace klotski;
+
+// Signal handlers may only poke the server's self-pipe.
+int g_drain_fd = -1;
+
+void on_signal(int) {
+  if (g_drain_fd >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(g_drain_fd, &byte, 1);
+  }
+}
+
+int run(const util::Flags& flags) {
+  serve::Server::Options options;
+  options.socket_path = flags.get_string("socket", "");
+  if (options.socket_path.empty()) {
+    std::cerr << "klotski_served: --socket=PATH is required\n";
+    return 2;
+  }
+  options.jobs.workers = static_cast<int>(flags.get_int("workers", 2));
+  options.jobs.max_queue = static_cast<int>(flags.get_int("max-queue", 64));
+  if (options.jobs.workers < 1 || options.jobs.max_queue < 1) {
+    std::cerr << "klotski_served: --workers and --max-queue must be >= 1\n";
+    return 2;
+  }
+  options.max_connections =
+      static_cast<int>(flags.get_int("max-connections", 64));
+  options.service.cache.capacity =
+      static_cast<std::size_t>(flags.get_int("cache-capacity", 128));
+  options.service.cache.spill_dir = flags.get_string("spill-dir", "");
+
+  // The planner thread budget is split across the workers so a fully busy
+  // pool keeps ~--threads threads running, not workers * --threads.
+  const int budget = static_cast<int>(
+      flags.get_int("threads", options.jobs.workers));
+  options.service.plan_threads =
+      util::split_thread_budget(options.jobs.workers, budget).inner;
+  options.service.router_threads =
+      static_cast<int>(flags.get_int("router-threads", 1));
+  if (options.service.router_threads < 1) {
+    std::cerr << "klotski_served: --router-threads must be >= 1\n";
+    return 2;
+  }
+
+  serve::Server server(options);
+
+  g_drain_fd = server.drain_fd();
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // dead clients surface as write errors
+
+  const long long ready_fd = flags.get_int("ready-fd", -1);
+  if (ready_fd >= 0) {
+    const char byte = 'r';
+    [[maybe_unused]] const ssize_t n =
+        ::write(static_cast<int>(ready_fd), &byte, 1);
+    ::close(static_cast<int>(ready_fd));
+  }
+  std::cerr << "klotski_served: listening on " << server.socket_path()
+            << " (" << options.jobs.workers << " workers, queue "
+            << options.jobs.max_queue << ")\n";
+
+  server.run();  // returns after the graceful drain
+
+  const serve::PlanCache::Stats cache = server.service().cache().stats();
+  const serve::JobManager::Stats jobs = server.jobs().stats();
+  std::cerr << "klotski_served: drained (jobs " << jobs.completed
+            << " completed, " << jobs.rejected_overloaded
+            << " rejected; cache " << cache.hits << " hits, "
+            << cache.misses << " misses, " << cache.coalesced
+            << " coalesced)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return klotski::tools::tool_main(argc, argv, "klotski_served", run);
+}

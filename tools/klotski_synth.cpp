@@ -16,6 +16,7 @@
 #include "klotski/pipeline/experiments.h"
 #include "klotski/util/file.h"
 #include "klotski/util/flags.h"
+#include "common/tool_runner.h"
 
 namespace {
 
@@ -27,11 +28,8 @@ int fail_usage(const std::string& message) {
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(const klotski::util::Flags& flags) {
   using namespace klotski;
-  const util::Flags flags = util::Flags::parse(argc, argv);
 
   const std::string preset_name = flags.get_string("preset", "B");
   topo::PresetId preset;
@@ -71,4 +69,10 @@ int main(int argc, char** argv) {
     std::cerr << "wrote " << out << "\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return klotski::tools::tool_main(argc, argv, "klotski_synth", run);
 }
