@@ -1,0 +1,322 @@
+// Planner scaling sweep over presets A..E: states/sec, peak RSS, plan
+// length, and (for budgeted rows) the beam-search optimality gap.
+//
+// Two modes per preset:
+//  * "plan" — the production configuration: standard checker stack, A*
+//    heuristic, default alpha. Check cost dominates here, so this row shows
+//    end-to-end planning throughput.
+//  * "core" — planner-core-dominant: empty checker, uniform action cost
+//    (alpha=1) and no heuristic, and finer operation blocks. Every visited
+//    state costs only search bookkeeping, so this row isolates the SoA
+//    arena / dedup / open-list machinery the memory budget governs.
+//
+// Each row runs in a forked child whose peak-RSS counter is reset first
+// (echo 5 > /proc/self/clear_refs), so VmHWM afterwards is that row's own
+// high-water mark rather than the sweep's. The child reports its row as JSON
+// over a pipe; the parent prints the table and optionally writes a
+// "klotski.bench_scale.v1" document for BENCH_core.json.
+//
+// Usage:
+//   bench_scale [--mode=all|plan|core] [--presets=ABCDE] [--scale=full]
+//               [--json=out.json] [--budget-mb=48] [--deadline=600]
+//               [--plan-block-scale=4] [--core-block-scale=16]
+//
+// The largest selected preset additionally gets a budgeted core row
+// (--budget-mb, 0 disables) whose provenance and optimality gap against the
+// unbudgeted core row are recorded.
+//
+// Unbudgeted core rows also re-run the pre-arena reference planner
+// (tests/core/astar_reference.h) in the same child and record the
+// speedup_vs_reference ratio — a same-binary, same-machine A/B that stays
+// meaningful when absolute states/sec drift between capture machines.
+// Disable with --reference=0.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "klotski/constraints/composite.h"
+#include "klotski/core/astar_planner.h"
+#include "klotski/json/json.h"
+#include "klotski/migration/task_builder.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/topo/presets.h"
+#include "klotski/util/flags.h"
+#include "klotski/util/string_util.h"
+#include "klotski/util/table.h"
+#include "../tests/core/astar_reference.h"
+
+namespace {
+
+using namespace klotski;
+
+struct RowSpec {
+  topo::PresetId preset = topo::PresetId::kA;
+  std::string mode;  // "plan" or "core"
+  double block_scale = 1.0;
+  double budget_mb = 0.0;
+  double deadline_seconds = 0.0;
+  topo::PresetScale scale = topo::PresetScale::kFull;
+  bool reference = false;
+};
+
+/// Resets the process peak-RSS counter so VmHWM measures only what follows.
+void reset_peak_rss() {
+  if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
+    std::fputs("5", f);
+    std::fclose(f);
+  }
+}
+
+double peak_rss_mb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      long long kb = 0;
+      std::sscanf(line.c_str(), "VmHWM: %lld kB", &kb);
+      return static_cast<double>(kb) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+/// Runs one sweep row in-process and returns its JSON row object.
+json::Value run_row(const RowSpec& spec) {
+  reset_peak_rss();
+
+  migration::HgridMigrationParams params;
+  params.policy.block_scale = spec.block_scale;
+  migration::MigrationCase mig = migration::build_hgrid_migration(
+      topo::preset_params(spec.preset, spec.scale), params);
+  migration::MigrationTask& task = mig.task;
+
+  core::PlannerOptions options;
+  options.deadline_seconds = spec.deadline_seconds;
+  options.mem_budget_mb = spec.budget_mb;
+
+  core::Plan plan;
+  if (spec.mode == "core") {
+    options.use_astar_heuristic = false;
+    options.alpha = 1.0;
+    constraints::CompositeChecker empty_checker;
+    plan = core::AStarPlanner().plan(task, empty_checker, options);
+  } else {
+    pipeline::CheckerBundle bundle = pipeline::make_standard_checker(task, {});
+    plan = core::AStarPlanner().plan(task, *bundle.checker, options);
+  }
+
+  json::Object row;
+  row["preset"] = topo::to_string(spec.preset);
+  row["mode"] = spec.mode;
+  row["block_scale"] = spec.block_scale;
+  row["actions"] = static_cast<std::int64_t>(task.total_actions());
+  row["found"] = plan.found;
+  if (!plan.found) row["failure"] = plan.failure;
+  row["cost"] = plan.cost;
+  row["plan_length"] = static_cast<std::int64_t>(plan.actions.size());
+  row["visited_states"] =
+      static_cast<std::int64_t>(plan.stats.visited_states);
+  row["generated_states"] =
+      static_cast<std::int64_t>(plan.stats.generated_states);
+  row["wall_seconds"] = plan.stats.wall_seconds;
+  const double states_per_sec =
+      plan.stats.wall_seconds > 0.0
+          ? static_cast<double>(plan.stats.visited_states) /
+                plan.stats.wall_seconds
+          : 0.0;
+  row["states_per_sec"] = states_per_sec;
+  // Capture RSS before the optional reference re-run so the row's
+  // high-water mark reflects only the arena-based planner.
+  row["peak_rss_mb"] = peak_rss_mb();
+  if (spec.reference && spec.mode == "core" && spec.budget_mb <= 0.0) {
+    constraints::CompositeChecker empty_checker;
+    const core::Plan ref =
+        testing::reference_astar_plan(task, empty_checker, options);
+    const double ref_sps =
+        ref.stats.wall_seconds > 0.0
+            ? static_cast<double>(ref.stats.visited_states) /
+                  ref.stats.wall_seconds
+            : 0.0;
+    row["reference_states_per_sec"] = ref_sps;
+    if (ref_sps > 0.0) {
+      row["speedup_vs_reference"] = states_per_sec / ref_sps;
+    }
+  }
+  if (spec.budget_mb > 0.0) {
+    row["budget_mb"] = spec.budget_mb;
+    row["beam_degraded"] = plan.provenance.beam_degraded;
+    row["evicted_states"] =
+        static_cast<std::int64_t>(plan.provenance.evicted_states);
+    row["compactions"] =
+        static_cast<std::int64_t>(plan.provenance.compactions);
+    row["peak_tracked_mb"] =
+        static_cast<double>(plan.provenance.peak_tracked_bytes) /
+        (1024.0 * 1024.0);
+  }
+  return json::Value(std::move(row));
+}
+
+/// Forks a child for the row so each measurement gets its own address
+/// space: the parent's allocations never inflate a row's VmHWM and one
+/// row's arena cannot warm the next row's allocator.
+std::optional<json::Value> run_row_forked(const RowSpec& spec) {
+  int fds[2];
+  if (pipe(fds) != 0) return std::nullopt;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return std::nullopt;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const std::string out = json::dump(run_row(spec));
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = write(fds[1], out.data() + off, out.size() - off);
+      if (n <= 0) _exit(3);
+      off += static_cast<std::size_t>(n);
+    }
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  std::string payload;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof buf)) > 0) {
+    payload.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 || payload.empty()) {
+    std::cerr << "bench_scale: row " << topo::to_string(spec.preset) << "/"
+              << spec.mode << " failed (status " << status << ")\n";
+    return std::nullopt;
+  }
+  return json::parse(payload);
+}
+
+std::string cell(const json::Value& row, const char* key, int digits = 0) {
+  return util::format_double(row.get_double(key, 0.0), digits);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  for (const std::string& name : flags.names()) {
+    if (name != "mode" && name != "presets" && name != "scale" &&
+        name != "json" && name != "budget-mb" && name != "deadline" &&
+        name != "plan-block-scale" && name != "core-block-scale" &&
+        name != "reference") {
+      std::cerr << "bench_scale: unknown flag --" << name << "\n";
+      return 2;
+    }
+  }
+
+  const std::string mode = flags.get_string("mode", "all");
+  const std::string presets = flags.get_string("presets", "ABCDE");
+  const std::string scale_name = flags.get_string("scale", "full");
+  const std::string json_out = flags.get_string("json", "");
+  const double budget_mb = flags.get_double("budget-mb", 48.0);
+  const double deadline = flags.get_double("deadline", 600.0);
+  const double plan_bs = flags.get_double("plan-block-scale", 4.0);
+  const double core_bs = flags.get_double("core-block-scale", 16.0);
+  const bool reference = flags.get_bool("reference", true);
+  const topo::PresetScale scale = scale_name == "reduced"
+                                      ? topo::PresetScale::kReduced
+                                      : topo::PresetScale::kFull;
+
+  std::vector<RowSpec> specs;
+  topo::PresetId largest = topo::PresetId::kA;
+  bool any = false;
+  for (const topo::PresetId id : topo::all_presets()) {
+    if (presets.find(topo::to_string(id)) == std::string::npos) continue;
+    largest = id;
+    any = true;
+    if (mode == "all" || mode == "plan") {
+      specs.push_back({id, "plan", plan_bs, 0.0, deadline, scale, false});
+    }
+    if (mode == "all" || mode == "core") {
+      specs.push_back({id, "core", core_bs, 0.0, deadline, scale, reference});
+    }
+  }
+  if (!any || (mode != "all" && mode != "plan" && mode != "core")) {
+    std::cerr << "usage: bench_scale [--mode=all|plan|core] "
+                 "[--presets=ABCDE] [--scale=full|reduced] [--json=out.json] "
+                 "[--budget-mb=48] [--deadline=600] [--reference=0|1]\n";
+    return 2;
+  }
+  // Budgeted core row on the largest selected preset: exercises eviction at
+  // the scale where it matters and records the degradation provenance.
+  if (budget_mb > 0.0 && (mode == "all" || mode == "core")) {
+    specs.push_back(
+        {largest, "core", core_bs, budget_mb, deadline, scale, false});
+  }
+
+  util::Table table({"Preset", "Mode", "Actions", "Found", "Cost", "Visited",
+                     "States/s", "Seconds", "PeakRSS(MB)", "Budget(MB)",
+                     "Beam", "vsRef"});
+  table.set_title("Planner scaling sweep (scale: " + scale_name + ")");
+
+  json::Array rows;
+  double core_cost_of_largest = -1.0;
+  for (const RowSpec& spec : specs) {
+    std::optional<json::Value> row = run_row_forked(spec);
+    if (!row.has_value()) continue;
+    if (spec.mode == "core" && spec.preset == largest) {
+      if (spec.budget_mb <= 0.0) {
+        core_cost_of_largest = row->get_double("cost", -1.0);
+      } else if (core_cost_of_largest > 0.0 &&
+                 row->get_bool("found", false)) {
+        // Beam degradation may trade optimality for memory; record the gap
+        // against the unbudgeted run of the same configuration.
+        row->as_object()["optimality_gap"] =
+            row->get_double("cost", 0.0) / core_cost_of_largest - 1.0;
+      }
+    }
+    table.add_row(
+        {row->get_string("preset", "?"), row->get_string("mode", "?"),
+         cell(*row, "actions"),
+         row->get_bool("found", false) ? "yes" : "NO",
+         cell(*row, "cost", 1), cell(*row, "visited_states"),
+         cell(*row, "states_per_sec"), cell(*row, "wall_seconds", 3),
+         cell(*row, "peak_rss_mb", 1),
+         spec.budget_mb > 0.0 ? cell(*row, "budget_mb") : "-",
+         spec.budget_mb > 0.0
+             ? (row->get_bool("beam_degraded", false) ? "degraded" : "no")
+             : "-",
+         row->as_object().contains("speedup_vs_reference")
+             ? util::format_double(
+                   row->get_double("speedup_vs_reference", 0.0), 2) + "x"
+             : "-"});
+    rows.push_back(std::move(*row));
+  }
+
+  table.print(std::cout);
+
+  if (!json_out.empty()) {
+    json::Object doc;
+    doc["schema"] = "klotski.bench_scale.v1";
+    doc["scale"] = scale_name;
+    doc["rows"] = json::Value(std::move(rows));
+    std::ofstream out(json_out);
+    out << json::dump(json::Value(std::move(doc)), 2) << "\n";
+    if (!out) {
+      std::cerr << "bench_scale: cannot write " << json_out << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << json_out << "\n";
+  }
+  return 0;
+}

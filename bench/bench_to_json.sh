@@ -1,6 +1,14 @@
 #!/usr/bin/env bash
-# Runs the micro_core google-benchmark suite and writes its results as JSON
-# (BENCH_core.json by default) for regression tracking.
+# Runs the micro_core google-benchmark suite plus the bench_scale preset
+# sweep and writes the combined results as JSON (BENCH_core.json by default)
+# for regression tracking. The bench_scale rows land under a top-level
+# "bench_scale" key (schema klotski.bench_scale.v1) carrying states/sec and
+# peak-RSS per preset, which scripts/bench_compare.py gates alongside
+# cpu_time.
+#
+# KLOTSKI_BENCH_SCALE_ARGS overrides the sweep arguments (default: core+plan
+# modes over presets A..E with a 48 MB budgeted row on E); set it to e.g.
+# "--mode=core --presets=ABC --budget-mb=0" for a quicker capture.
 #
 # Benchmark JSON is only meaningful from an optimized binary, so this script
 # owns its build: it configures and builds a Release (-O2 -DNDEBUG) tree in
@@ -36,10 +44,11 @@ case "${BUILD_TYPE}" in
     ;;
 esac
 
-cmake --build "${BUILD_DIR}" --target micro_core -j"$(nproc)"
+cmake --build "${BUILD_DIR}" --target micro_core bench_scale -j"$(nproc)"
 
 TMP="$(mktemp "${OUT}.XXXXXX")"
-trap 'rm -f "${TMP}"' EXIT
+SCALE_TMP="$(mktemp "${OUT}.scale.XXXXXX")"
+trap 'rm -f "${TMP}" "${SCALE_TMP}"' EXIT
 
 "${BIN}" \
   --benchmark_min_time=0.2 \
@@ -53,6 +62,23 @@ if ! grep -q '"klotski_build_type": "release"' "${TMP}"; then
   exit 1
 fi
 
+# shellcheck disable=SC2086  # word splitting of the args override is wanted
+"${BUILD_DIR}/bench/bench_scale" ${KLOTSKI_BENCH_SCALE_ARGS:-} \
+  --json="${SCALE_TMP}"
+
+python3 - "${TMP}" "${SCALE_TMP}" <<'EOF'
+import json, sys
+bench_path, scale_path = sys.argv[1], sys.argv[2]
+with open(bench_path, encoding="utf-8") as f:
+    doc = json.load(f)
+with open(scale_path, encoding="utf-8") as f:
+    doc["bench_scale"] = json.load(f)
+with open(bench_path, "w", encoding="utf-8") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
+
 mv "${TMP}" "${OUT}"
+rm -f "${SCALE_TMP}"
 trap - EXIT
 echo "wrote ${OUT}"

@@ -1,19 +1,23 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON files and flag cpu_time regressions.
+"""Compare two benchmark JSON files and flag regressions.
 
 Usage:
     scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
+        [--rss-threshold 0.25]
 
-Prints a per-benchmark table (baseline vs current cpu_time, delta) for every
-benchmark present in both files, lists benchmarks that appear in only one
-file, and exits non-zero when any shared benchmark's cpu_time regressed by
-more than the threshold (default 25%). Only aggregate-free repetition rows
-are compared (the default google-benchmark output has exactly one row per
-benchmark); rows whose run_type is "aggregate" are ignored so mean/median/
-stddev rows never double-count.
+Two sections are compared:
 
-Stdlib only — usable from tier1.sh as an opt-in perf gate without any
-package installs.
+* google-benchmark rows ("benchmarks"): per-benchmark cpu_time, as before.
+  Rows whose run_type is "aggregate" are ignored so mean/median/stddev rows
+  never double-count.
+* bench_scale rows ("bench_scale.rows", schema klotski.bench_scale.v1):
+  per-(preset, mode, budget) states_per_sec — a *drop* beyond the threshold
+  fails — and peak_rss_mb, where a *growth* beyond --rss-threshold fails.
+  Files without a bench_scale section skip this comparison, so old baselines
+  keep working.
+
+Exits non-zero on any regression. Stdlib only — usable from tier1.sh as an
+opt-in perf gate without any package installs.
 """
 
 import argparse
@@ -21,13 +25,16 @@ import json
 import sys
 
 
-def load_benchmarks(path):
-    """Returns {name: (cpu_time, time_unit)} for non-aggregate rows."""
+def load_doc(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"bench_compare: cannot read {path}: {e}")
+
+
+def load_benchmarks(doc, path):
+    """Returns {name: (cpu_time, time_unit)} for non-aggregate rows."""
     out = {}
     for row in doc.get("benchmarks", []):
         if row.get("run_type") == "aggregate":
@@ -42,20 +49,19 @@ def load_benchmarks(path):
     return out
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="Diff two google-benchmark JSON files by cpu_time.")
-    parser.add_argument("baseline", help="baseline benchmark JSON")
-    parser.add_argument("current", help="current benchmark JSON")
-    parser.add_argument(
-        "--threshold", type=float, default=0.25,
-        help="fail when cpu_time grows by more than this fraction "
-             "(default 0.25 = 25%%)")
-    args = parser.parse_args()
+def load_scale_rows(doc):
+    """Returns {row key: row dict} from a bench_scale section, or {}."""
+    section = doc.get("bench_scale") or {}
+    out = {}
+    for row in section.get("rows", []):
+        key = "{}/{}".format(row.get("preset", "?"), row.get("mode", "?"))
+        if row.get("budget_mb"):
+            key += "/budget{:g}".format(row["budget_mb"])
+        out[key] = row
+    return out
 
-    base = load_benchmarks(args.baseline)
-    curr = load_benchmarks(args.current)
 
+def compare_cpu_time(base, curr, threshold):
     shared = sorted(set(base) & set(curr))
     only_base = sorted(set(base) - set(curr))
     only_curr = sorted(set(curr) - set(base))
@@ -70,12 +76,12 @@ def main():
             # Different units can't be compared numerically; treat as a
             # harness change the caller needs to look at.
             print(f"{name:<{width}}  unit changed: {b_unit} -> {c_unit}")
-            regressions.append((name, float("inf")))
+            regressions.append((f"{name} cpu_time", float("inf")))
             continue
         delta = (c_cpu - b_cpu) / b_cpu if b_cpu > 0 else float("inf")
         flag = ""
-        if delta > args.threshold:
-            regressions.append((name, delta))
+        if delta > threshold:
+            regressions.append((f"{name} cpu_time", delta))
             flag = "  REGRESSED"
         print(f"{name:<{width}}  {b_cpu:>10.1f}{b_unit:>2}  "
               f"{c_cpu:>10.1f}{c_unit:>2}  {delta:+7.1%}{flag}")
@@ -84,15 +90,78 @@ def main():
         print(f"{name:<{width}}  removed (baseline only)")
     for name in only_curr:
         print(f"{name:<{width}}  new (current only)")
+    return len(shared), regressions
+
+
+def compare_scale(base, curr, sps_threshold, rss_threshold):
+    """Gates states_per_sec (drop) and peak_rss_mb (growth)."""
+    shared = sorted(set(base) & set(curr))
+    if not shared:
+        return 0, []
+    width = max(len(n) for n in shared)
+    print(f"\n{'bench_scale row':<{width}}  {'st/s base':>12}  "
+          f"{'st/s curr':>12}  {'rss base':>9}  {'rss curr':>9}")
+    regressions = []
+    for key in shared:
+        b, c = base[key], curr[key]
+        b_sps = float(b.get("states_per_sec", 0.0))
+        c_sps = float(c.get("states_per_sec", 0.0))
+        b_rss = float(b.get("peak_rss_mb", 0.0))
+        c_rss = float(c.get("peak_rss_mb", 0.0))
+        flags = []
+        if b_sps > 0:
+            drop = (b_sps - c_sps) / b_sps
+            if drop > sps_threshold:
+                regressions.append((f"{key} states_per_sec", -drop))
+                flags.append("SLOWER")
+        if b_rss > 0:
+            growth = (c_rss - b_rss) / b_rss
+            if growth > rss_threshold:
+                regressions.append((f"{key} peak_rss_mb", growth))
+                flags.append("MORE RSS")
+        if not c.get("found", True):
+            regressions.append((f"{key} found", float("inf")))
+            flags.append("NOT FOUND")
+        print(f"{key:<{width}}  {b_sps:>12.0f}  {c_sps:>12.0f}  "
+              f"{b_rss:>8.1f}M  {c_rss:>8.1f}M  {' '.join(flags)}")
+    return len(shared), regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two benchmark JSON files (cpu_time, states/sec, "
+                    "peak RSS).")
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="fail when cpu_time grows (or states_per_sec drops) by more "
+             "than this fraction (default 0.25 = 25%%)")
+    parser.add_argument(
+        "--rss-threshold", type=float, default=0.25,
+        help="fail when a bench_scale row's peak_rss_mb grows by more than "
+             "this fraction (default 0.25 = 25%%)")
+    args = parser.parse_args()
+
+    base_doc = load_doc(args.baseline)
+    curr_doc = load_doc(args.current)
+
+    n_cpu, regressions = compare_cpu_time(
+        load_benchmarks(base_doc, args.baseline),
+        load_benchmarks(curr_doc, args.current), args.threshold)
+    n_scale, scale_regressions = compare_scale(
+        load_scale_rows(base_doc), load_scale_rows(curr_doc),
+        args.threshold, args.rss_threshold)
+    regressions += scale_regressions
 
     if regressions:
-        print(f"\n{len(regressions)} benchmark(s) regressed past "
-              f"{args.threshold:.0%} cpu_time:", file=sys.stderr)
+        print(f"\n{len(regressions)} metric(s) regressed past the "
+              f"threshold:", file=sys.stderr)
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1%}", file=sys.stderr)
         return 1
-    print(f"\nok: no cpu_time regression past {args.threshold:.0%} "
-          f"({len(shared)} compared)")
+    print(f"\nok: no regression past {args.threshold:.0%} "
+          f"({n_cpu} cpu_time, {n_scale} bench_scale rows compared)")
     return 0
 
 

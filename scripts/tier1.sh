@@ -52,13 +52,20 @@ KLOTSKI_CHAOS_SEEDS=10 ./build-tsan/tests/test_sim \
 # engine's epoch stamping / sparse slot bookkeeping is exactly the kind of
 # code where a stale-index bug reads garbage instead of crashing.
 cmake -B build-asan -S . -DKLOTSKI_SANITIZE=address
-cmake --build build-asan -j"${JOBS}" --target test_traffic test_sim
+cmake --build build-asan -j"${JOBS}" --target test_traffic test_sim test_core test_util
 ./build-asan/tests/test_traffic \
   --gtest_filter='EcmpEquivalence.*:EcmpParallel*'
 # Chaos engine under ASan: fault scripts mutate live capacities, tear
 # blocks mid-apply, and resume from checkpoints — prime territory for
 # stale-pointer and overrun bugs that a plain run reads right through.
 KLOTSKI_CHAOS_SEEDS=10 ./build-asan/tests/test_sim
+# Search arena under ASan: the SoA planner hands out raw row pointers into
+# chunked pools and compaction slides rows with memcpy + index remaps —
+# exactly where an off-by-one reads the neighboring node without crashing.
+# The equivalence and budget suites drive every compaction/eviction path.
+./build-asan/tests/test_util --gtest_filter='PodPool.*:StridedPool.*'
+./build-asan/tests/test_core \
+  --gtest_filter='SoAEquivalence.*:MemBudget.*:StateHasher.*:SatCache.*'
 
 # Observability smoke: plan a small preset with --metrics-out/--trace-out at
 # --threads=1 and --threads=4, check both artifacts re-parse with the
@@ -88,6 +95,29 @@ if ./build/tools/klotski_plan --npd="${OBS_TMP}/a.npd.json" --threads=abc \
   echo "tier1: FAIL — --threads=abc was not rejected" >&2
   exit 1
 fi
+
+# bench_scale smoke: the largest preset that fits CI comfortably, core mode
+# (planner-dominant, sub-second), with a budget below the sweep's tracked
+# peak so the compaction + provenance path runs end to end outside the unit
+# tests (open-list eviction needs a frontier wider than the minimum beam —
+# tests/core/mem_budget_test.cpp covers that; HGRID frontiers stay narrow).
+# The JSON must re-parse and carry a budgeted row that compacted and still
+# planned. Numbers from this smoke are NOT recorded — BENCH_core.json comes
+# from bench/bench_to_json.sh on a Release build.
+./build/bench/bench_scale --mode=core --presets=C --budget-mb=1 \
+  --deadline=120 --json="${OBS_TMP}/bench_scale_smoke.json"
+python3 - "${OBS_TMP}/bench_scale_smoke.json" <<'EOF'
+import json, sys
+with open(sys.argv[1], encoding="utf-8") as f:
+    doc = json.load(f)
+assert doc.get("schema") == "klotski.bench_scale.v1", doc.get("schema")
+rows = doc.get("rows", [])
+assert any(r.get("found") and not r.get("budget_mb") for r in rows), rows
+budgeted = [r for r in rows if r.get("budget_mb")]
+assert budgeted and all(r.get("found") for r in budgeted), rows
+assert all(r.get("compactions", 0) > 0 for r in budgeted), budgeted
+print("bench_scale smoke: %d rows ok" % len(rows))
+EOF
 
 # Opt-in perf gate: export KLOTSKI_BENCH_BASELINE=path/to/baseline.json to
 # rebuild the Release bench suite (bench/bench_to_json.sh) and fail tier-1

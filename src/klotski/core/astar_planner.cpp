@@ -1,12 +1,29 @@
+// Klotski-A* (§4.4) over the struct-of-arrays search arena.
+//
+// Nodes are 32-bit indices into SearchArena columns; duplicate detection
+// goes through DedupTable keyed on the incremental Zobrist state hash, so
+// the per-expansion work is a handful of O(1) probes plus one |V|-int row
+// copy per accepted successor — no per-node heap allocation anywhere.
+//
+// With PlannerOptions::mem_budget_mb set, the search tracks its exact
+// footprint (arena + dedup table + open list + satisfiability cache). On
+// exceeding the budget it evicts the worst half of the open list (keeping
+// at least kMinBeamWidth entries — this is the degradation to beam search),
+// compacts the arena to the surviving nodes plus their parent chains, and
+// rebuilds the dedup table from the survivors. Closed ancestors keep their
+// dedup entries through the rebuild, which caps re-expansion: a
+// re-generated state is only re-opened on a strictly better g. Without a
+// budget the search is bit-identical to the reference implementation
+// (tests/core/soa_equivalence_test.cpp holds the old representation to
+// that claim).
 #include "klotski/core/astar_planner.h"
 
 #include <algorithm>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "klotski/core/cost_model.h"
 #include "klotski/core/parallel_evaluator.h"
+#include "klotski/core/search_arena.h"
 #include "klotski/core/state_evaluator.h"
 #include "klotski/obs/trace.h"
 #include "klotski/util/timer.h"
@@ -15,18 +32,11 @@ namespace klotski::core {
 
 namespace {
 
-struct Node {
-  CountVector counts;
-  std::int32_t last = -1;
-  double g = 0.0;
-  std::int32_t parent = -1;
-};
-
 struct QueueEntry {
   double f = 0.0;
   std::int32_t finished = 0;  // secondary priority: more finished first
   long long seq = 0;          // FIFO tie break for determinism
-  std::int32_t node = -1;
+  std::uint32_t node = SearchArena::kNoNode;
 };
 
 struct QueueCompare {
@@ -36,6 +46,57 @@ struct QueueCompare {
     return a.seq > b.seq;                                   // FIFO
   }
 };
+
+// The open list: an explicit binary heap (same push_heap/pop_heap protocol
+// std::priority_queue uses, so the pop order is unchanged) whose storage is
+// accessible for budget eviction.
+class OpenList {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  std::size_t allocated_bytes() const {
+    return heap_.capacity() * sizeof(QueueEntry);
+  }
+
+  void push(const QueueEntry& e) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), QueueCompare{});
+  }
+
+  QueueEntry pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), QueueCompare{});
+    const QueueEntry e = heap_.back();
+    heap_.pop_back();
+    return e;
+  }
+
+  /// Keeps the `keep` best entries (by the queue order), drops the rest,
+  /// and restores the heap property. Returns the number dropped.
+  std::size_t evict_worst(std::size_t keep) {
+    if (heap_.size() <= keep) return 0;
+    // QueueCompare is a greater-than for the heap; best-first ascending
+    // order is its negation.
+    std::nth_element(heap_.begin(),
+                     heap_.begin() + static_cast<std::ptrdiff_t>(keep),
+                     heap_.end(), [](const QueueEntry& a, const QueueEntry& b) {
+                       return QueueCompare{}(b, a);
+                     });
+    const std::size_t dropped = heap_.size() - keep;
+    heap_.resize(keep);
+    heap_.shrink_to_fit();
+    std::make_heap(heap_.begin(), heap_.end(), QueueCompare{});
+    return dropped;
+  }
+
+  std::vector<QueueEntry>& entries() { return heap_; }
+
+ private:
+  std::vector<QueueEntry> heap_;
+};
+
+// Smallest open list the budget may evict down to; below this the search
+// would degenerate to near-greedy and eviction overhead would dominate.
+constexpr std::size_t kMinBeamWidth = 1024;
 
 }  // namespace
 
@@ -57,6 +118,21 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
   const auto num_types = static_cast<std::int32_t>(target.size());
   const CostModel cost(options.alpha, options.type_weights);
 
+  const auto budget_bytes = static_cast<std::size_t>(
+      options.mem_budget_mb > 0.0 ? options.mem_budget_mb * 1024.0 * 1024.0
+                                  : 0.0);
+  plan.provenance.mem_budget_mb = options.mem_budget_mb;
+  if (options.sat_cache_max_entries > 0) {
+    evaluator.set_cache_capacity(options.sat_cache_max_entries);
+  } else if (budget_bytes > 0) {
+    // Keep the verdict cache to roughly a quarter of the budget (entries
+    // cost ~16 bytes of slot + 4|V| bytes of key across two generations).
+    evaluator.set_cache_capacity(std::max<std::size_t>(
+        1024, budget_bytes / (8 * (sizeof(std::int32_t) *
+                                       static_cast<std::size_t>(num_types) +
+                                   16))));
+  }
+
   auto finish = [&](Plan&& p) {
     task.reset_to_original();
     p.stats.sat_checks = evaluator.sat_checks();
@@ -65,7 +141,7 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
     p.stats.delta_applies = evaluator.delta_applies();
     p.stats.full_replays = evaluator.full_replays();
     p.stats.wall_seconds = stopwatch.elapsed_seconds();
-    publish_planner_metrics(name(), p.stats);
+    publish_planner_metrics(name(), p.stats, &p.provenance);
     return std::move(p);
   };
 
@@ -86,20 +162,29 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
     plan.failure = "target topology violates constraints";
     return finish(std::move(plan));
   }
+  const std::int32_t target_total = total_actions(target);
 
-  std::vector<Node> nodes;
-  nodes.push_back(Node{origin, -1, 0.0, -1});
+  SearchArena arena(num_types);
+  const std::uint32_t root =
+      arena.push_root(origin.data(), StateHasher::hash(origin));
 
-  std::unordered_map<SearchState, double, SearchStateHash> best_g;
-  best_g.emplace(SearchState{origin, -1}, 0.0);
+  DedupTable table(arena);
+  table.upsert(arena.state_hash(root), root, 0.0);
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, QueueCompare> open;
+  OpenList open;
   long long seq = 0;
-  open.push(QueueEntry{cost.heuristic(origin, target, -1), 0, seq++, 0});
+  open.push(QueueEntry{cost.heuristic(origin, target, -1), 0, seq++, root});
+
+  // Total nodes ever pushed; monotone even across compactions, so the
+  // max_states guard keeps its pre-arena meaning and also bounds budget-
+  // induced re-expansion.
+  long long total_pushed = 1;
 
   // Expansion trace (Figure 6 view); parallel vector of node ids so the
-  // final-path flag can be set during reconstruction.
-  std::vector<std::int32_t> trace_nodes;
+  // final-path flag can be set during reconstruction. Compaction remaps the
+  // ids (kNoNode for nodes that were dropped — they cannot be on the final
+  // path, which only ever walks live parent chains).
+  std::vector<std::uint32_t> trace_nodes;
 
   // Speculative prefetch (options.num_threads > 1): when a node is pushed,
   // its topology's feasibility will be wanted at its own expansion (the
@@ -115,56 +200,113 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
     parallel_eval = std::make_unique<ParallelEvaluator>(
         evaluator, options.checker_factory, options.num_threads);
   }
-  std::vector<CountVector> prefetch_batch;
+  StateBatch prefetch_batch(static_cast<std::size_t>(num_types));
+
+  // Budget bookkeeping. Compaction scratch lives outside the loop so the
+  // enforcement passes reuse it.
+  std::vector<std::uint8_t> live;
+  std::vector<std::uint32_t> remap;
+  std::size_t arena_size_at_compaction = 0;
+
+  const auto tracked_bytes = [&] {
+    return arena.allocated_bytes() + table.allocated_bytes() +
+           open.allocated_bytes() + evaluator.cache_bytes();
+  };
+
+  const auto enforce_budget = [&] {
+    const std::size_t keep =
+        std::max(kMinBeamWidth, open.size() - open.size() / 2);
+    const std::size_t dropped = open.evict_worst(keep);
+    if (dropped > 0) {
+      plan.provenance.beam_degraded = true;
+      plan.provenance.evicted_states += static_cast<long long>(dropped);
+    }
+    live.assign(arena.size(), 0);
+    for (const QueueEntry& e : open.entries()) live[e.node] = 1;
+    arena.compact(live, remap);
+    for (QueueEntry& e : open.entries()) e.node = remap[e.node];
+    for (std::uint32_t& t : trace_nodes) {
+      t = t == SearchArena::kNoNode ? t : remap[t];
+    }
+    table.rebuild();
+    ++plan.provenance.compactions;
+    arena_size_at_compaction = arena.size();
+  };
+
+  CountVector child(static_cast<std::size_t>(num_types));
 
   while (!open.empty()) {
-    if (plan.stats.visited_states % 64 == 0 && deadline.expired()) {
-      plan.failure = "timeout";
-      return finish(std::move(plan));
+    if (plan.stats.visited_states % 64 == 0) {
+      if (deadline.expired()) {
+        plan.failure = "timeout";
+        return finish(std::move(plan));
+      }
+      if (budget_bytes > 0) {
+        const std::size_t bytes = tracked_bytes();
+        if (static_cast<long long>(bytes) >
+            plan.provenance.peak_tracked_bytes) {
+          plan.provenance.peak_tracked_bytes = static_cast<long long>(bytes);
+        }
+        // Only enforce once the arena has grown meaningfully since the last
+        // compaction; otherwise a budget just above the live-set size would
+        // compact on every check.
+        if (bytes > budget_bytes &&
+            arena.size() > arena_size_at_compaction + kMinBeamWidth) {
+          enforce_budget();
+        }
+      }
     }
 
     if (static_cast<long long>(open.size()) > plan.stats.frontier_peak) {
       plan.stats.frontier_peak = static_cast<long long>(open.size());
     }
-    const QueueEntry entry = open.top();
-    open.pop();
-    const Node node = nodes[static_cast<std::size_t>(entry.node)];
+    const QueueEntry entry = open.pop();
+    const std::uint32_t node = entry.node;
+    const std::int32_t* node_counts = arena.counts(node);
+    const std::int32_t node_last = arena.last(node);
+    const double node_g = arena.g(node);
 
     // Skip stale queue entries (a cheaper path to this state was found
     // after this entry was pushed).
-    const auto it = best_g.find(SearchState{node.counts, node.last});
-    if (it == best_g.end() || node.g > it->second) continue;
+    const DedupTable::View best =
+        table.find(arena.state_hash(node), node_counts, node_last);
+    if (!best.found || node_g > best.g) continue;
 
     ++plan.stats.visited_states;
 
     if (options.record_trace) {
       TraceEntry t;
-      t.counts = node.counts;
-      t.last_type = node.last;
-      t.g = node.g;
-      t.h = cost.heuristic(node.counts, target, node.last);
+      t.counts.assign(node_counts, node_counts + num_types);
+      t.last_type = node_last;
+      t.g = node_g;
+      t.h = cost.heuristic(node_counts, target, node_last);
       plan.trace.push_back(std::move(t));
-      trace_nodes.push_back(entry.node);
+      trace_nodes.push_back(node);
     }
 
-    if (node.counts == target) {
+    if (arena.finished(node) == target_total) {
       plan.found = true;
-      plan.cost = node.g;
+      plan.cost = node_g;
       // Reconstruct by walking the parent chain.
       std::vector<PlannedAction> reversed;
-      std::unordered_map<std::int32_t, bool> on_path;
-      for (std::int32_t at = entry.node; at != -1;
-           at = nodes[static_cast<std::size_t>(at)].parent) {
-        on_path[at] = true;
-        const Node& n = nodes[static_cast<std::size_t>(at)];
-        if (n.parent != -1) {
-          reversed.push_back(PlannedAction{n.last, n.counts[n.last] - 1});
+      std::vector<std::uint32_t> on_path;
+      for (std::uint32_t at = node; at != SearchArena::kNoNode;
+           at = arena.parent(at)) {
+        on_path.push_back(at);
+        if (arena.parent(at) != SearchArena::kNoNode) {
+          const std::int32_t last = arena.last(at);
+          reversed.push_back(PlannedAction{
+              last, arena.counts(at)[static_cast<std::size_t>(last)] - 1});
         }
       }
       plan.actions.assign(reversed.rbegin(), reversed.rend());
       if (options.record_trace) {
+        std::sort(on_path.begin(), on_path.end());
         for (std::size_t i = 0; i < trace_nodes.size(); ++i) {
-          plan.trace[i].on_final_path = on_path.count(trace_nodes[i]) > 0;
+          plan.trace[i].on_final_path =
+              trace_nodes[i] != SearchArena::kNoNode &&
+              std::binary_search(on_path.begin(), on_path.end(),
+                                 trace_nodes[i]);
         }
       }
       return finish(std::move(plan));
@@ -180,39 +322,44 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
     if (parallel_eval != nullptr) prefetch_batch.clear();
 
     for (std::int32_t a = 0; a < num_types; ++a) {
-      if (node.counts[a] >= target[a]) continue;
+      const auto ia = static_cast<std::size_t>(a);
+      if (node_counts[ia] >= target[ia]) continue;
       ++plan.stats.generated_states;
 
-      CountVector next = node.counts;
-      ++next[a];
-      const double g = node.g + cost.transition_cost(node.last, a);
+      std::copy(node_counts, node_counts + num_types, child.begin());
+      ++child[ia];
+      const double g = node_g + cost.transition_cost(node_last, a);
+      const std::uint64_t child_hash =
+          StateHasher::update(arena.hash(node), a, node_counts[ia],
+                              node_counts[ia] + 1);
+      const std::uint64_t child_state_hash =
+          StateHasher::with_last(child_hash, a);
 
-      const SearchState key{next, a};
-      const auto found = best_g.find(key);
-      if (found != best_g.end() && found->second <= g) continue;
+      const DedupTable::View found =
+          table.find(child_state_hash, child.data(), a);
+      if (found.found && found.g <= g) continue;
 
-      if (a != node.last) {
+      if (a != node_last) {
         if (!boundary_known) {
-          boundary_ok = evaluator.feasible(node.counts);
+          boundary_ok = evaluator.feasible(node_counts, arena.hash(node));
           boundary_known = true;
         }
         if (!boundary_ok) continue;
       }
 
-      best_g[key] = g;
-      const auto index = static_cast<std::int32_t>(nodes.size());
-      nodes.push_back(Node{std::move(next), a, g, entry.node});
+      const std::uint32_t index = arena.push_child(node, a, g);
+      ++total_pushed;
+      table.upsert(child_state_hash, index, g);
 
       double h = 0.0;
       if (options.use_astar_heuristic) {
         h = options.use_paper_literal_heuristic
-                ? cost.heuristic_paper_literal(nodes.back().counts, target)
-                : cost.heuristic(nodes.back().counts, target, a);
+                ? cost.heuristic_paper_literal(child.data(), target)
+                : cost.heuristic(child.data(), target, a);
       }
-      open.push(QueueEntry{g + h, total_actions(nodes.back().counts), seq++,
-                           index});
+      open.push(QueueEntry{g + h, arena.finished(index), seq++, index});
       if (parallel_eval != nullptr) {
-        prefetch_batch.push_back(nodes.back().counts);
+        prefetch_batch.push(child.data(), child_hash);
       }
     }
 
@@ -220,7 +367,7 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
       parallel_eval->evaluate_batch(prefetch_batch);
     }
 
-    if (static_cast<long long>(nodes.size()) > options.max_states) {
+    if (total_pushed > options.max_states) {
       plan.failure = "state space too large";
       return finish(std::move(plan));
     }

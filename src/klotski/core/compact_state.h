@@ -8,6 +8,7 @@
 // a handful of small integers instead of an O(|S|+|C|) graph.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -23,8 +24,47 @@ std::int32_t total_actions(const CountVector& counts);
 /// True iff counts == target componentwise.
 bool is_target(const CountVector& counts, const CountVector& target);
 
-/// Hash functor for cache tables keyed on V.
-using CountVectorHash = util::VectorHash<std::int32_t>;
+/// Incremental Zobrist hash over a count vector: the hash is the XOR of one
+/// util::zobrist_key per (type, count) slot plus an arity term, so applying
+/// or unapplying a single action updates it in O(1) instead of rehashing
+/// all of V. Every structure keyed on V (sat cache, A* dedup table, DP
+/// odometer) uses this one definition, so hashes computed incrementally
+/// along a search path agree bit-for-bit with from-scratch hashes.
+struct StateHasher {
+  static std::uint64_t hash(const std::int32_t* counts, std::size_t n) {
+    std::uint64_t h = util::mix64(0x5DEECE66DULL ^ n);
+    for (std::size_t t = 0; t < n; ++t) {
+      h ^= util::zobrist_key(static_cast<std::int32_t>(t), counts[t]);
+    }
+    return h;
+  }
+  static std::uint64_t hash(const CountVector& counts) {
+    return hash(counts.data(), counts.size());
+  }
+
+  /// O(1) re-hash after counts[type] changes from `from` to `to`.
+  static constexpr std::uint64_t update(std::uint64_t h, std::int32_t type,
+                                        std::int32_t from, std::int32_t to) {
+    return h ^ util::zobrist_key(type, from) ^ util::zobrist_key(type, to);
+  }
+
+  /// Search-state hash: the count hash folded with the last action type
+  /// (-1 before any action), for duplicate detection keyed on (V, last).
+  static constexpr std::uint64_t with_last(std::uint64_t count_hash,
+                                           std::int32_t last_type) {
+    return util::hash_combine(count_hash,
+                              static_cast<std::uint64_t>(last_type + 1));
+  }
+};
+
+/// Hash functor for generic cache tables keyed on V. Hot paths (planners,
+/// sat cache) carry StateHasher values incrementally instead of calling
+/// this per probe.
+struct CountVectorHash {
+  std::size_t operator()(const CountVector& v) const {
+    return static_cast<std::size_t>(StateHasher::hash(v));
+  }
+};
 
 /// A search state: the compact representation plus the last action type
 /// (needed by the cost function; -1 before any action).
@@ -37,10 +77,40 @@ struct SearchState {
 
 struct SearchStateHash {
   std::size_t operator()(const SearchState& s) const {
-    return static_cast<std::size_t>(util::hash_combine(
-        util::hash_span(s.counts.data(), s.counts.size()),
-        static_cast<std::uint64_t>(s.last_type + 1)));
+    return static_cast<std::size_t>(
+        StateHasher::with_last(StateHasher::hash(s.counts), s.last_type));
   }
+};
+
+/// A flat batch of count vectors with their precomputed hashes: what the
+/// planners hand to ParallelEvaluator. One contiguous buffer instead of a
+/// vector-of-vectors, so refilling it every expansion allocates nothing.
+class StateBatch {
+ public:
+  explicit StateBatch(std::size_t stride) : stride_(stride) {}
+
+  std::size_t stride() const { return stride_; }
+  std::size_t size() const { return hashes_.size(); }
+  bool empty() const { return hashes_.empty(); }
+  void clear() {
+    data_.clear();
+    hashes_.clear();
+  }
+
+  void push(const std::int32_t* counts, std::uint64_t hash) {
+    data_.insert(data_.end(), counts, counts + stride_);
+    hashes_.push_back(hash);
+  }
+
+  const std::int32_t* counts(std::size_t i) const {
+    return data_.data() + i * stride_;
+  }
+  std::uint64_t hash(std::size_t i) const { return hashes_[i]; }
+
+ private:
+  std::size_t stride_;
+  std::vector<std::int32_t> data_;
+  std::vector<std::uint64_t> hashes_;
 };
 
 }  // namespace klotski::core

@@ -26,11 +26,11 @@ double CostModel::sequence_cost(const std::vector<std::int32_t>& types) const {
   return cost;
 }
 
-double CostModel::heuristic(const CountVector& counts,
+double CostModel::heuristic(const std::int32_t* counts,
                             const CountVector& target,
                             std::int32_t last_type) const {
   double h = 0.0;
-  for (std::size_t a = 0; a < counts.size(); ++a) {
+  for (std::size_t a = 0; a < target.size(); ++a) {
     const std::int32_t remaining = target[a] - counts[a];
     if (remaining <= 0) continue;
     const double w = weight(static_cast<std::int32_t>(a));
@@ -44,10 +44,10 @@ double CostModel::heuristic(const CountVector& counts,
   return h;
 }
 
-double CostModel::heuristic_paper_literal(const CountVector& counts,
+double CostModel::heuristic_paper_literal(const std::int32_t* counts,
                                           const CountVector& target) const {
   double h = 0.0;
-  for (std::size_t a = 0; a < counts.size(); ++a) {
+  for (std::size_t a = 0; a < target.size(); ++a) {
     const std::int32_t remaining = target[a] - counts[a];
     if (remaining <= 0) continue;
     h += weight(static_cast<std::int32_t>(a)) *

@@ -55,6 +55,12 @@ class CostModel {
 
   /// Admissible, consistent cost-to-go lower bound given remaining counts.
   double heuristic(const CountVector& counts, const CountVector& target,
+                   std::int32_t last_type) const {
+    return heuristic(counts.data(), target, last_type);
+  }
+  /// Span form for the SoA planners (counts must have target.size()
+  /// entries).
+  double heuristic(const std::int32_t* counts, const CountVector& target,
                    std::int32_t last_type) const;
 
   /// The paper's Eq. 9 applied literally: sums w*(1 + alpha*(N_a-1)) over
@@ -62,6 +68,10 @@ class CostModel {
   /// Overestimates in that case — kept for the heuristic ablation, where it
   /// demonstrably costs A* its optimality guarantee.
   double heuristic_paper_literal(const CountVector& counts,
+                                 const CountVector& target) const {
+    return heuristic_paper_literal(counts.data(), target);
+  }
+  double heuristic_paper_literal(const std::int32_t* counts,
                                  const CountVector& target) const;
 
  private:

@@ -34,6 +34,20 @@ Plan DpPlanner::plan(migration::MigrationTask& task,
   const auto num_types = static_cast<std::int32_t>(target.size());
   const CostModel cost(options.alpha, options.type_weights);
 
+  // The DP table is dense and pre-sized, so the memory budget only governs
+  // the satisfiability cache here; the A* planner owns open-list eviction.
+  plan.provenance.mem_budget_mb = options.mem_budget_mb;
+  if (options.sat_cache_max_entries > 0) {
+    evaluator.set_cache_capacity(options.sat_cache_max_entries);
+  } else if (options.mem_budget_mb > 0.0) {
+    const auto budget_bytes = static_cast<std::size_t>(
+        options.mem_budget_mb * 1024.0 * 1024.0);
+    evaluator.set_cache_capacity(std::max<std::size_t>(
+        1024, budget_bytes / (8 * (sizeof(std::int32_t) *
+                                       static_cast<std::size_t>(num_types) +
+                                   16))));
+  }
+
   auto finish = [&](Plan&& p) {
     task.reset_to_original();
     p.stats.sat_checks = evaluator.sat_checks();
@@ -42,7 +56,7 @@ Plan DpPlanner::plan(migration::MigrationTask& task,
     p.stats.delta_applies = evaluator.delta_applies();
     p.stats.full_replays = evaluator.full_replays();
     p.stats.wall_seconds = stopwatch.elapsed_seconds();
-    publish_planner_metrics(name(), p.stats);
+    publish_planner_metrics(name(), p.stats, &p.provenance);
     return std::move(p);
   };
 
@@ -101,19 +115,25 @@ Plan DpPlanner::plan(migration::MigrationTask& task,
     parallel_eval = std::make_unique<ParallelEvaluator>(
         evaluator, options.checker_factory, options.num_threads);
   }
-  std::vector<CountVector> batch;
+  StateBatch batch(static_cast<std::size_t>(num_types));
   std::vector<long long> batch_pidx;
 
   CountVector counts(static_cast<std::size_t>(num_types), 0);
   CountVector scratch(static_cast<std::size_t>(num_types), 0);
+  // The count hash rides the odometer: each digit change is one O(1)
+  // StateHasher::update, so predecessor probes below never rehash V.
+  std::uint64_t counts_hash = StateHasher::hash(counts);
   for (long long idx = 1; idx < num_states; ++idx) {
     // Advance the odometer to match idx.
     for (std::int32_t a = 0; a < num_types; ++a) {
+      const std::int32_t before = counts[static_cast<std::size_t>(a)];
       if (++counts[static_cast<std::size_t>(a)] <=
           target[static_cast<std::size_t>(a)]) {
+        counts_hash = StateHasher::update(counts_hash, a, before, before + 1);
         break;
       }
       counts[static_cast<std::size_t>(a)] = 0;
+      counts_hash = StateHasher::update(counts_hash, a, before, 0);
     }
 
     if ((idx & 127) == 0 && deadline.expired()) {
@@ -144,7 +164,10 @@ Plan DpPlanner::plan(migration::MigrationTask& task,
         if (!needed) continue;
         scratch = counts;
         --scratch[static_cast<std::size_t>(a)];
-        batch.push_back(scratch);
+        batch.push(scratch.data(),
+                   StateHasher::update(counts_hash, a,
+                                       counts[static_cast<std::size_t>(a)],
+                                       scratch[static_cast<std::size_t>(a)]));
         batch_pidx.push_back(pidx);
       }
       if (!batch.empty()) {
@@ -177,7 +200,13 @@ Plan DpPlanner::plan(migration::MigrationTask& task,
               scratch = counts;
               --scratch[static_cast<std::size_t>(a)];
               safe[static_cast<std::size_t>(pidx)] =
-                  evaluator.feasible(scratch) ? 1 : 0;
+                  evaluator.feasible(
+                      scratch.data(),
+                      StateHasher::update(
+                          counts_hash, a, counts[static_cast<std::size_t>(a)],
+                          scratch[static_cast<std::size_t>(a)]))
+                      ? 1
+                      : 0;
             }
             if (safe[static_cast<std::size_t>(pidx)] == 0) continue;
           }

@@ -50,7 +50,9 @@ void ParallelEvaluator::worker_loop(std::size_t widx) {
     for (;;) {
       const std::size_t k = next_.fetch_add(1, std::memory_order_relaxed);
       if (k >= njobs_) break;
-      job_results_[k] = ctx.evaluator->feasible(*pending_[k]) ? 1 : 0;
+      job_results_[k] =
+          ctx.evaluator->feasible(pending_[k].counts, pending_[k].hash) ? 1
+                                                                        : 0;
     }
 
     lock.lock();
@@ -62,17 +64,28 @@ void ParallelEvaluator::worker_loop(std::size_t widx) {
 
 const std::vector<std::uint8_t>& ParallelEvaluator::evaluate_batch(
     const std::vector<CountVector>& batch) {
+  scratch_batch_ = std::make_unique<StateBatch>(
+      shared_.target().size());
+  for (const CountVector& counts : batch) {
+    scratch_batch_->push(counts.data(), StateHasher::hash(counts));
+  }
+  return evaluate_batch(*scratch_batch_);
+}
+
+const std::vector<std::uint8_t>& ParallelEvaluator::evaluate_batch(
+    const StateBatch& batch) {
   results_.assign(batch.size(), 0);
   pending_.clear();
   pending_index_.clear();
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (shared_.use_cache()) {
-      if (const auto cached = shared_.cache_lookup(batch[i])) {
+      if (const auto cached =
+              shared_.cache_lookup(batch.counts(i), batch.hash(i))) {
         results_[i] = *cached ? 1 : 0;
         continue;
       }
     }
-    pending_.push_back(&batch[i]);
+    pending_.push_back(Job{batch.counts(i), batch.hash(i)});
     pending_index_.push_back(i);
   }
   if (pending_.empty()) return results_;
@@ -82,7 +95,8 @@ const std::vector<std::uint8_t>& ParallelEvaluator::evaluate_batch(
   // cache store and stat accounting — exactly the serial code path.
   if (!parallel() || pending_.size() == 1) {
     for (std::size_t k = 0; k < pending_.size(); ++k) {
-      results_[pending_index_[k]] = shared_.feasible(*pending_[k]) ? 1 : 0;
+      results_[pending_index_[k]] =
+          shared_.feasible(pending_[k].counts, pending_[k].hash) ? 1 : 0;
     }
     return results_;
   }
@@ -107,7 +121,9 @@ const std::vector<std::uint8_t>& ParallelEvaluator::evaluate_batch(
   // touched here, so they need no synchronization.
   for (std::size_t k = 0; k < pending_.size(); ++k) {
     const bool ok = job_results_[k] != 0;
-    if (shared_.use_cache()) shared_.cache_store(*pending_[k], ok);
+    if (shared_.use_cache()) {
+      shared_.cache_store(pending_[k].counts, pending_[k].hash, ok);
+    }
     results_[pending_index_[k]] = ok ? 1 : 0;
   }
   shared_.absorb_external(static_cast<long long>(pending_.size()), 0);

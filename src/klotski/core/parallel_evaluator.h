@@ -63,6 +63,11 @@ class ParallelEvaluator {
   const std::vector<std::uint8_t>& evaluate_batch(
       const std::vector<CountVector>& batch);
 
+  /// Flat-batch form: count spans plus their precomputed StateHasher
+  /// hashes, so the shared-cache probe and store never rehash V. The
+  /// planners' hot paths fill one reused StateBatch per expansion.
+  const std::vector<std::uint8_t>& evaluate_batch(const StateBatch& batch);
+
  private:
   struct WorkerContext {
     std::unique_ptr<topo::Topology> topo;
@@ -88,10 +93,15 @@ class ParallelEvaluator {
   int active_ = 0;
   std::size_t njobs_ = 0;
   std::atomic<std::size_t> next_{0};
-  std::vector<const CountVector*> pending_;   // jobs (not in shared cache)
+  struct Job {
+    const std::int32_t* counts;
+    std::uint64_t hash;
+  };
+  std::vector<Job> pending_;                  // jobs (not in shared cache)
   std::vector<std::uint8_t> job_results_;     // aligned with pending_
   std::vector<std::size_t> pending_index_;    // job -> batch position
   std::vector<std::uint8_t> results_;         // aligned with batch
+  std::unique_ptr<StateBatch> scratch_batch_;  // legacy-overload staging
 };
 
 }  // namespace klotski::core

@@ -6,7 +6,8 @@
 namespace klotski::core {
 
 void publish_planner_metrics(const std::string& planner,
-                             const PlannerStats& stats) {
+                             const PlannerStats& stats,
+                             const SearchProvenance* provenance) {
   if (!obs::metrics_enabled()) return;
   obs::Registry& reg = obs::Registry::global();
   reg.counter("planner.runs").inc();
@@ -21,6 +22,15 @@ void publish_planner_metrics(const std::string& planner,
   reg.counter("evaluator.delta_applies").inc(stats.delta_applies);
   reg.counter("evaluator.full_replays").inc(stats.full_replays);
   reg.histogram("planner.wall_seconds").observe(stats.wall_seconds);
+  if (provenance != nullptr && provenance->mem_budget_mb > 0.0) {
+    reg.counter("planner.evicted_states").inc(provenance->evicted_states);
+    reg.counter("planner.compactions").inc(provenance->compactions);
+    if (provenance->beam_degraded) {
+      reg.counter("planner.beam_degraded_runs").inc();
+    }
+    reg.gauge("planner.peak_tracked_bytes")
+        .set_max(static_cast<double>(provenance->peak_tracked_bytes));
+  }
 }
 
 std::vector<Phase> Plan::phases() const {

@@ -38,6 +38,18 @@ struct PlannerStats {
   double wall_seconds = 0.0;
 };
 
+/// How the memory-budgeted search behaved (PlannerOptions::mem_budget_mb).
+/// beam_degraded means open-list entries were evicted, so the plan is a
+/// beam-search result: still audited end to end, but the cost-optimality
+/// guarantee no longer holds.
+struct SearchProvenance {
+  double mem_budget_mb = 0.0;       // 0 = search ran unbounded
+  bool beam_degraded = false;       // open-list eviction happened
+  long long evicted_states = 0;     // open entries dropped by the budget
+  long long compactions = 0;        // arena compaction passes
+  long long peak_tracked_bytes = 0;  // high-water of the budgeted footprint
+};
+
 /// Publishes one run's stats into the global obs registry (no-op while
 /// metrics are disabled): planner.* and evaluator.* counters, the
 /// planner.frontier_peak gauge, and a planner.wall_seconds histogram
@@ -45,7 +57,8 @@ struct PlannerStats {
 /// invariant under PlannerOptions::num_threads (the evaluation counts are
 /// logical — what the serial search does — not per-worker physical work).
 void publish_planner_metrics(const std::string& planner,
-                             const PlannerStats& stats);
+                             const PlannerStats& stats,
+                             const SearchProvenance* provenance = nullptr);
 
 /// One A* expansion, recorded when PlannerOptions::record_trace is set —
 /// the Figure 6 search-process view: which state was popped, its priority
@@ -65,6 +78,7 @@ struct Plan {
   std::vector<PlannedAction> actions;
   double cost = 0.0;
   PlannerStats stats;
+  SearchProvenance provenance;
   /// Non-empty only when the search ran with record_trace (A* planner).
   std::vector<TraceEntry> trace;
 

@@ -44,6 +44,18 @@ struct PlannerOptions {
   /// Safety valve for the exhaustive planners: give up (found = false,
   /// failure = "state space too large") beyond this many compact states.
   long long max_states = 200'000'000;
+  /// Memory budget for the search structures (node arena, dedup table,
+  /// open list, satisfiability cache) in MB; 0 = unbounded. When the
+  /// tracked footprint exceeds the budget, the A* planner evicts the worst
+  /// half of the open list and compacts the arena — degrading to beam
+  /// search instead of OOMing. The degradation (and the loss of the
+  /// optimality guarantee) is recorded in Plan::provenance. The baseline
+  /// process footprint (topology, demands, routers) is outside the budget.
+  double mem_budget_mb = 0.0;
+  /// Per-generation entry cap for the satisfiability cache; 0 = the
+  /// SatCache default (1M entries/generation). mem_budget_mb derives a
+  /// tighter cap automatically when this is unset.
+  std::size_t sat_cache_max_entries = 0;
   /// Worker threads for batched feasibility evaluation (DP inner loop, A*
   /// successor prefetch). 1 = serial, bit-identical to the pre-threading
   /// planners. Values > 1 require checker_factory.

@@ -1,14 +1,115 @@
 #include "klotski/core/sat_cache.h"
 
+#include <cstring>
+
+#include "klotski/obs/metrics.h"
+
 namespace klotski::core {
 
-std::size_t SatCache::approx_memory_bytes() const {
-  std::size_t bytes = table_.bucket_count() * sizeof(void*);
-  for (const auto& [key, value] : table_) {
-    (void)value;
-    bytes += sizeof(std::int32_t) * key.capacity() + 3 * sizeof(void*) + 8;
+namespace {
+constexpr std::size_t kInitialSlots = 64;
+}
+
+SatCache::Slot* SatCache::find(Gen& gen, const std::int32_t* counts,
+                               std::size_t n, std::uint64_t hash) {
+  if (gen.slots.empty()) return nullptr;
+  for (std::size_t i = hash & gen.mask;; i = (i + 1) & gen.mask) {
+    Slot& s = gen.slots[i];
+    if (s.state == 0) return nullptr;
+    if (s.state == 1 && s.hash == hash && s.key_len == n &&
+        std::memcmp(gen.keys.data() + s.key_pos, counts,
+                    n * sizeof(std::int32_t)) == 0) {
+      return &s;
+    }
   }
-  return bytes;
+}
+
+void SatCache::grow(Gen& gen) {
+  std::vector<Slot> old = std::move(gen.slots);
+  gen.slots.assign(old.empty() ? kInitialSlots : old.size() * 2, Slot{});
+  gen.mask = gen.slots.size() - 1;
+  for (const Slot& s : old) {
+    if (s.state != 1) continue;
+    for (std::size_t i = s.hash & gen.mask;; i = (i + 1) & gen.mask) {
+      if (gen.slots[i].state == 0) {
+        gen.slots[i] = s;
+        break;
+      }
+    }
+  }
+}
+
+void SatCache::rotate() {
+  const auto dropped = static_cast<long long>(old_.size);
+  if (dropped > 0) {
+    evictions_ += dropped;
+    if (obs::metrics_enabled()) {
+      obs::Registry::global()
+          .counter("evaluator.sat_cache_evictions")
+          .inc(dropped);
+    }
+  }
+  old_ = std::move(cur_);
+  cur_ = Gen{};
+}
+
+void SatCache::insert_current(const std::int32_t* counts, std::size_t n,
+                              std::uint64_t hash, bool satisfiable) {
+  if (cur_.size >= max_entries_) rotate();
+  // Load factor cap 7/10; tombstones never occur in cur_ (promotion only
+  // tombstones old_), so live entries alone drive the occupancy.
+  if (cur_.slots.empty() || (cur_.size + 1) * 10 >= cur_.slots.size() * 7) {
+    grow(cur_);
+  }
+  for (std::size_t i = hash & cur_.mask;; i = (i + 1) & cur_.mask) {
+    Slot& s = cur_.slots[i];
+    if (s.state != 0) continue;
+    s.hash = hash;
+    s.key_pos = static_cast<std::uint32_t>(cur_.keys.size());
+    s.key_len = static_cast<std::uint16_t>(n);
+    s.state = 1;
+    s.verdict = satisfiable ? 1 : 0;
+    cur_.keys.insert(cur_.keys.end(), counts, counts + n);
+    ++cur_.size;
+    return;
+  }
+}
+
+std::optional<bool> SatCache::lookup(const std::int32_t* counts,
+                                     std::size_t n, std::uint64_t hash) {
+  if (Slot* s = find(cur_, counts, n, hash)) return s->verdict != 0;
+  if (Slot* s = find(old_, counts, n, hash)) {
+    // Second chance: promote into the current generation so entries in
+    // active use survive the next rotation.
+    const bool verdict = s->verdict != 0;
+    s->state = 2;
+    --old_.size;
+    insert_current(counts, n, hash, verdict);
+    return verdict;
+  }
+  return std::nullopt;
+}
+
+void SatCache::store(const std::int32_t* counts, std::size_t n,
+                     std::uint64_t hash, bool satisfiable) {
+  // The verdict of a topology never changes, so a duplicate store is a
+  // no-op rather than an overwrite (first store wins).
+  if (find(cur_, counts, n, hash) != nullptr) return;
+  if (find(old_, counts, n, hash) != nullptr) return;
+  insert_current(counts, n, hash, satisfiable);
+}
+
+void SatCache::clear() {
+  cur_ = Gen{};
+  old_ = Gen{};
+}
+
+std::size_t SatCache::approx_memory_bytes() const {
+  const auto gen_bytes = [](const Gen& gen) {
+    return gen.slots.capacity() * sizeof(Slot) +
+           gen.keys.capacity() * sizeof(std::int32_t);
+  };
+  return gen_bytes(cur_) + gen_bytes(old_);
 }
 
 }  // namespace klotski::core

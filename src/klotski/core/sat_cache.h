@@ -3,11 +3,25 @@
 // Keys are compact topology representations; values are check verdicts.
 // Indexing a handful of int32 counters is what makes caching affordable at
 // O(10,000)-switch scale — storing whole topologies would not be.
+//
+// Storage is an open-addressing table keyed by the incremental Zobrist hash
+// (StateHasher), with key payloads packed into one flat int32 pool: a probe
+// touches one 16-byte slot and compares the count span only on a full
+// 64-bit hash match, so lookups never rehash V and the footprint is exact.
+//
+// Growth is bounded: the cache holds at most max_entries() live entries per
+// *generation* and rotates generations when the current one fills — the
+// previous old generation (the coldest ~half of the cache) is dropped in
+// O(1) and counted as evictions. A hit in the old generation promotes the
+// entry into the current one, so recently-used verdicts survive rotation
+// (LRU-ish second-chance semantics without per-entry bookkeeping). Verdicts
+// are immutable, so dropping entries only costs re-checks, never
+// correctness; duplicate stores keep the first verdict.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "klotski/core/compact_state.h"
 
@@ -15,25 +29,65 @@ namespace klotski::core {
 
 class SatCache {
  public:
-  std::optional<bool> lookup(const CountVector& counts) const {
-    const auto it = table_.find(counts);
-    if (it == table_.end()) return std::nullopt;
-    return it->second;
-  }
+  /// Per-generation entry cap; total live entries stay under 2x this.
+  static constexpr std::size_t kDefaultMaxEntries = std::size_t{1} << 20;
 
+  std::optional<bool> lookup(const std::int32_t* counts, std::size_t n,
+                             std::uint64_t hash);
+  void store(const std::int32_t* counts, std::size_t n, std::uint64_t hash,
+             bool satisfiable);
+
+  std::optional<bool> lookup(const CountVector& counts) {
+    return lookup(counts.data(), counts.size(), StateHasher::hash(counts));
+  }
   void store(const CountVector& counts, bool satisfiable) {
-    table_.emplace(counts, satisfiable);
+    store(counts.data(), counts.size(), StateHasher::hash(counts),
+          satisfiable);
   }
 
-  std::size_t size() const { return table_.size(); }
-  void clear() { table_.clear(); }
+  /// Caps live entries per generation; takes effect on the next store.
+  /// Shrinking below the current fill rotates lazily, it does not flush.
+  void set_max_entries(std::size_t cap) { max_entries_ = cap ? cap : 1; }
+  std::size_t max_entries() const { return max_entries_; }
 
-  /// Approximate resident bytes (table nodes + key payloads); the compact
-  /// representation makes this a few dozen bytes per state.
+  std::size_t size() const { return cur_.size + old_.size; }
+  void clear();
+
+  /// Entries dropped by generation rotation since construction.
+  long long evictions() const { return evictions_; }
+
+  /// Approximate resident bytes (slot tables + key pools), exact up to the
+  /// vector headers; the compact representation makes this a few dozen
+  /// bytes per state.
   std::size_t approx_memory_bytes() const;
 
  private:
-  std::unordered_map<CountVector, bool, CountVectorHash> table_;
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t key_pos = 0;  // offset into Gen::keys
+    std::uint16_t key_len = 0;
+    std::uint8_t state = 0;  // 0 empty, 1 live, 2 tombstone (promoted away)
+    std::uint8_t verdict = 0;
+  };
+
+  struct Gen {
+    std::vector<Slot> slots;
+    std::vector<std::int32_t> keys;  // flat key payloads
+    std::size_t size = 0;
+    std::size_t mask = 0;
+  };
+
+  Slot* find(Gen& gen, const std::int32_t* counts, std::size_t n,
+             std::uint64_t hash);
+  void insert_current(const std::int32_t* counts, std::size_t n,
+                      std::uint64_t hash, bool satisfiable);
+  void rotate();
+  static void grow(Gen& gen);
+
+  Gen cur_;
+  Gen old_;
+  std::size_t max_entries_ = kDefaultMaxEntries;
+  long long evictions_ = 0;
 };
 
 }  // namespace klotski::core

@@ -1,0 +1,152 @@
+#include "klotski/core/search_arena.h"
+
+#include <cstring>
+
+namespace klotski::core {
+
+SearchArena::SearchArena(std::int32_t num_types)
+    : num_types_(num_types),
+      counts_(static_cast<std::size_t>(num_types)) {}
+
+std::uint32_t SearchArena::push_root(const std::int32_t* counts,
+                                     std::uint64_t hash) {
+  const std::size_t i = counts_.push_row(counts);
+  last_.push_back(-1);
+  parent_.push_back(kNoNode);
+  g_.push_back(0.0);
+  hash_.push_back(hash);
+  std::int32_t total = 0;
+  for (std::int32_t t = 0; t < num_types_; ++t) {
+    total += counts[static_cast<std::size_t>(t)];
+  }
+  finished_.push_back(total);
+  return static_cast<std::uint32_t>(i);
+}
+
+std::uint32_t SearchArena::push_child(std::uint32_t parent, std::int32_t type,
+                                      double g) {
+  const std::size_t i = counts_.push_row_uninit();
+  std::int32_t* row = counts_.row(i);
+  const std::int32_t* prow = counts_.row(parent);
+  std::memcpy(row, prow, static_cast<std::size_t>(num_types_) *
+                             sizeof(std::int32_t));
+  const std::int32_t c = row[static_cast<std::size_t>(type)]++;
+  last_.push_back(type);
+  parent_.push_back(parent);
+  g_.push_back(g);
+  hash_.push_back(StateHasher::update(hash_[parent], type, c, c + 1));
+  finished_.push_back(finished_[parent] + 1);
+  return static_cast<std::uint32_t>(i);
+}
+
+std::size_t SearchArena::allocated_bytes() const {
+  return counts_.allocated_bytes() + last_.allocated_bytes() +
+         parent_.allocated_bytes() + g_.allocated_bytes() +
+         hash_.allocated_bytes() + finished_.allocated_bytes();
+}
+
+void SearchArena::compact(std::vector<std::uint8_t>& live,
+                          std::vector<std::uint32_t>& remap) {
+  const std::size_t n = size();
+  // Close the mark set over parent chains; parents precede children, so a
+  // single descending pass reaches every ancestor.
+  for (std::size_t i = n; i-- > 0;) {
+    if (live[i] && parent_[i] != kNoNode) live[parent_[i]] = 1;
+  }
+  remap.assign(n, kNoNode);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!live[i]) continue;
+    remap[i] = static_cast<std::uint32_t>(out);
+    if (out != i) {
+      std::memcpy(counts_.row(out), counts_.row(i),
+                  static_cast<std::size_t>(num_types_) * sizeof(std::int32_t));
+      last_[out] = last_[i];
+      parent_[out] = parent_[i] == kNoNode ? kNoNode : remap[parent_[i]];
+      g_[out] = g_[i];
+      hash_[out] = hash_[i];
+      finished_[out] = finished_[i];
+    } else if (parent_[i] != kNoNode) {
+      parent_[out] = remap[parent_[i]];
+    }
+    ++out;
+  }
+  counts_.truncate(out);
+  last_.truncate(out);
+  parent_.truncate(out);
+  g_.truncate(out);
+  hash_.truncate(out);
+  finished_.truncate(out);
+}
+
+DedupTable::DedupTable(const SearchArena& arena) : arena_(arena) {
+  slots_.resize(1024);
+  mask_ = slots_.size() - 1;
+}
+
+bool DedupTable::slot_matches(const Slot& s, std::uint64_t state_hash,
+                              const std::int32_t* counts,
+                              std::int32_t last) const {
+  if (s.hash != state_hash) return false;
+  if (arena_.last(s.node) != last) return false;
+  return std::memcmp(arena_.counts(s.node), counts,
+                     static_cast<std::size_t>(arena_.num_types()) *
+                         sizeof(std::int32_t)) == 0;
+}
+
+DedupTable::View DedupTable::find(std::uint64_t state_hash,
+                                  const std::int32_t* counts,
+                                  std::int32_t last) const {
+  for (std::size_t i = state_hash & mask_;; i = (i + 1) & mask_) {
+    const Slot& s = slots_[i];
+    if (s.node == SearchArena::kNoNode) return View{};
+    if (slot_matches(s, state_hash, counts, last)) return View{true, s.g};
+  }
+}
+
+void DedupTable::upsert(std::uint64_t state_hash, std::uint32_t node,
+                        double g) {
+  if ((size_ + 1) * 10 >= slots_.size() * 7) grow();
+  for (std::size_t i = state_hash & mask_;; i = (i + 1) & mask_) {
+    Slot& s = slots_[i];
+    if (s.node == SearchArena::kNoNode) {
+      s = Slot{state_hash, node, g};
+      ++size_;
+      return;
+    }
+    if (slot_matches(s, state_hash, arena_.counts(node), arena_.last(node))) {
+      s.node = node;
+      s.g = g;
+      return;
+    }
+  }
+}
+
+void DedupTable::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.node == SearchArena::kNoNode) continue;
+    for (std::size_t i = s.hash & mask_;; i = (i + 1) & mask_) {
+      if (slots_[i].node == SearchArena::kNoNode) {
+        slots_[i] = s;
+        break;
+      }
+    }
+  }
+}
+
+void DedupTable::rebuild() {
+  std::size_t cap = slots_.size();
+  while (cap > 1024 && arena_.size() * 10 < (cap / 2) * 7) cap /= 2;
+  slots_.assign(cap, Slot{});
+  slots_.shrink_to_fit();
+  mask_ = cap - 1;
+  size_ = 0;
+  for (std::uint32_t n = 0; n < arena_.size(); ++n) {
+    upsert(arena_.state_hash(n), n, arena_.g(n));
+  }
+}
+
+}  // namespace klotski::core

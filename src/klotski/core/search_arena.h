@@ -1,0 +1,125 @@
+// Struct-of-arrays storage for planner search nodes, plus the open-address
+// duplicate-detection table that replaces the unordered_map keyed on full
+// SearchState values.
+//
+// A node is a 32-bit index into parallel columns (counts row, last type,
+// parent, g, count hash, finished total) owned by a per-search arena built
+// on util::PodPool / util::StridedPool chunks. Pushing a successor touches
+// no allocator in the steady state and copies |V| ints once — the per-node
+// std::vector allocations (and their destructor sweeps) of the old
+// representation are gone, and the arena can report its exact footprint for
+// the --mem-budget-mb accounting.
+//
+// The arena also supports *compaction* for the budgeted search: given a
+// liveness mark over nodes (the open list), it closes the marks over parent
+// chains (a parent always has a smaller index than its children, so one
+// descending pass suffices), slides live rows down in place, frees the tail
+// chunks, and reports the old->new index remap so queue entries and traces
+// can be rewritten.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "klotski/core/compact_state.h"
+#include "klotski/util/arena.h"
+
+namespace klotski::core {
+
+class SearchArena {
+ public:
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+
+  explicit SearchArena(std::int32_t num_types);
+
+  std::size_t size() const { return last_.size(); }
+  std::int32_t num_types() const { return num_types_; }
+
+  /// Appends the root node (no parent, g = 0, last = -1).
+  std::uint32_t push_root(const std::int32_t* counts, std::uint64_t hash);
+
+  /// Appends the successor of `parent` that applies one `type` action:
+  /// counts = parent counts with [type] incremented, hash updated in O(1).
+  std::uint32_t push_child(std::uint32_t parent, std::int32_t type, double g);
+
+  const std::int32_t* counts(std::uint32_t n) const { return counts_.row(n); }
+  std::int32_t last(std::uint32_t n) const { return last_[n]; }
+  std::uint32_t parent(std::uint32_t n) const { return parent_[n]; }
+  double g(std::uint32_t n) const { return g_[n]; }
+  std::uint64_t hash(std::uint32_t n) const { return hash_[n]; }
+  std::int32_t finished(std::uint32_t n) const { return finished_[n]; }
+
+  /// Search-state dedup hash of node n: count hash folded with last type.
+  std::uint64_t state_hash(std::uint32_t n) const {
+    return StateHasher::with_last(hash_[n], last_[n]);
+  }
+
+  std::size_t allocated_bytes() const;
+
+  /// Compacts the arena to the nodes marked in `live` (sized size()) plus
+  /// every ancestor of a marked node, preserving index order. On return
+  /// `remap` (resized to the old size) maps old indices to new ones, with
+  /// kNoNode for dropped nodes, and `live` reflects the closed mark set.
+  void compact(std::vector<std::uint8_t>& live,
+               std::vector<std::uint32_t>& remap);
+
+ private:
+  std::int32_t num_types_;
+  util::StridedPool<std::int32_t> counts_;
+  util::PodPool<std::int32_t> last_;
+  util::PodPool<std::uint32_t> parent_;
+  util::PodPool<double> g_;
+  util::PodPool<std::uint64_t> hash_;
+  util::PodPool<std::int32_t> finished_;
+};
+
+/// Open-addressing map from search state (counts, last) to its best-known
+/// node and g. Keys live in the arena: an entry stores only (hash, node, g)
+/// and equality re-checks the arena row on the rare full-hash collision, so
+/// the table itself is 24 bytes per entry regardless of |V|.
+class DedupTable {
+ public:
+  explicit DedupTable(const SearchArena& arena);
+
+  struct View {
+    bool found = false;
+    double g = 0.0;
+  };
+
+  /// Looks up (counts, last) by its precomputed state hash.
+  View find(std::uint64_t state_hash, const std::int32_t* counts,
+            std::int32_t last) const;
+
+  /// Inserts or overwrites the entry for the state of `node`. Callers only
+  /// upsert on strict improvement, so overwrite == "new best".
+  void upsert(std::uint64_t state_hash, std::uint32_t node, double g);
+
+  std::size_t size() const { return size_; }
+  std::size_t allocated_bytes() const {
+    return slots_.capacity() * sizeof(Slot);
+  }
+
+  /// Rebuilds the table from the (compacted) arena: every node re-registers
+  /// in index order. Later nodes of the same state always carry a strictly
+  /// better g (they were only pushed on improvement), so last-wins keeps
+  /// the best entry.
+  void rebuild();
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t node = SearchArena::kNoNode;  // kNoNode = empty slot
+    double g = 0.0;
+  };
+
+  bool slot_matches(const Slot& s, std::uint64_t state_hash,
+                    const std::int32_t* counts, std::int32_t last) const;
+  void grow();
+
+  const SearchArena& arena_;
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace klotski::core

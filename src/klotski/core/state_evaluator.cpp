@@ -56,11 +56,8 @@ StateEvaluator::StateEvaluator(migration::MigrationTask& task,
   circuit_stamp_.assign(task.topo->num_circuits(), 0);
 }
 
-void StateEvaluator::validate_counts(const CountVector& counts) const {
-  if (counts.size() != task_.blocks.size()) {
-    throw std::invalid_argument("StateEvaluator: count vector arity mismatch");
-  }
-  for (std::size_t t = 0; t < counts.size(); ++t) {
+void StateEvaluator::validate_counts(const std::int32_t* counts) const {
+  for (std::size_t t = 0; t < task_.blocks.size(); ++t) {
     if (counts[t] < 0 ||
         static_cast<std::size_t>(counts[t]) > task_.blocks[t].size()) {
       throw std::out_of_range("StateEvaluator: count exceeds block count");
@@ -68,9 +65,9 @@ void StateEvaluator::validate_counts(const CountVector& counts) const {
   }
 }
 
-void StateEvaluator::full_materialize(const CountVector& counts) {
+void StateEvaluator::full_materialize(const std::int32_t* counts) {
   task_.reset_to_original();
-  for (std::size_t t = 0; t < counts.size(); ++t) {
+  for (std::size_t t = 0; t < task_.blocks.size(); ++t) {
     const auto done = static_cast<std::size_t>(counts[t]);
     for (std::size_t i = 0; i < done; ++i) {
       task_.blocks[t][i].apply(*task_.topo);
@@ -79,7 +76,7 @@ void StateEvaluator::full_materialize(const CountVector& counts) {
 }
 
 void StateEvaluator::resolve_switch(topo::SwitchId id,
-                                    const CountVector& counts) {
+                                    const std::int32_t* counts) {
   const auto& list = switch_ops_[static_cast<std::size_t>(id)];
   for (std::size_t i = list.size(); i-- > 0;) {
     const OpRef& ref = list[i];
@@ -93,7 +90,7 @@ void StateEvaluator::resolve_switch(topo::SwitchId id,
 }
 
 void StateEvaluator::resolve_circuit(topo::CircuitId id,
-                                     const CountVector& counts) {
+                                     const std::int32_t* counts) {
   const auto& list = circuit_ops_[static_cast<std::size_t>(id)];
   for (std::size_t i = list.size(); i-- > 0;) {
     const OpRef& ref = list[i];
@@ -106,14 +103,14 @@ void StateEvaluator::resolve_circuit(topo::CircuitId id,
       id, task_.original_state.circuit_states[static_cast<std::size_t>(id)]);
 }
 
-void StateEvaluator::delta_materialize(const CountVector& counts) {
+void StateEvaluator::delta_materialize(const std::int32_t* counts) {
   // Pass 1: toggle overlap-free blocks directly; collect the elements of
   // shared blocks for resolution. The resolution below reads only `counts`
   // and per-element op lists, so pass order does not matter.
   ++stamp_epoch_;
   dirty_switches_.clear();
   dirty_circuits_.clear();
-  for (std::size_t t = 0; t < counts.size(); ++t) {
+  for (std::size_t t = 0; t < task_.blocks.size(); ++t) {
     const std::int32_t cur = current_[t];
     const std::int32_t req = counts[t];
     if (cur == req) continue;
@@ -156,6 +153,13 @@ void StateEvaluator::delta_materialize(const CountVector& counts) {
 }
 
 void StateEvaluator::materialize(const CountVector& counts) {
+  if (counts.size() != task_.blocks.size()) {
+    throw std::invalid_argument("StateEvaluator: count vector arity mismatch");
+  }
+  materialize_span(counts.data());
+}
+
+void StateEvaluator::materialize_span(const std::int32_t* counts) {
   validate_counts(counts);
   const bool delta_ok = incremental_ && current_valid_ &&
                         task_.topo->state_version() == current_version_;
@@ -166,23 +170,32 @@ void StateEvaluator::materialize(const CountVector& counts) {
     full_materialize(counts);
     ++full_replays_;
   }
-  current_ = counts;
+  current_.assign(counts, counts + task_.blocks.size());
   current_valid_ = true;
   current_version_ = task_.topo->state_version();
 }
 
 bool StateEvaluator::feasible(const CountVector& counts) {
+  if (counts.size() != task_.blocks.size()) {
+    throw std::invalid_argument("StateEvaluator: count vector arity mismatch");
+  }
+  return feasible(counts.data(), StateHasher::hash(counts));
+}
+
+bool StateEvaluator::feasible(const std::int32_t* counts,
+                              std::uint64_t hash) {
   ++evaluations_;
+  const std::size_t n = target_.size();
   if (use_cache_) {
-    if (const auto cached = cache_.lookup(counts)) {
+    if (const auto cached = cache_.lookup(counts, n, hash)) {
       ++cache_hits_;
       return *cached;
     }
   }
-  materialize(counts);
+  materialize_span(counts);
   ++sat_checks_;
   const bool ok = checker_.check(*task_.topo).satisfied;
-  if (use_cache_) cache_.store(counts, ok);
+  if (use_cache_) cache_.store(counts, n, hash, ok);
   return ok;
 }
 

@@ -40,6 +40,12 @@ class StateEvaluator {
   /// is needed afterwards.
   bool feasible(const CountVector& counts);
 
+  /// Span form for planners that carry the count hash incrementally
+  /// (StateHasher::update along search edges): the cache probe reuses
+  /// `hash` instead of rehashing V. `counts` must have target().size()
+  /// entries and `hash` must equal StateHasher::hash over them.
+  bool feasible(const std::int32_t* counts, std::uint64_t hash);
+
   /// Applies `counts` onto the topology and leaves it there (inspection /
   /// audit / phase export).
   void materialize(const CountVector& counts);
@@ -56,12 +62,26 @@ class StateEvaluator {
   /// worker clones are merged back through these, keeping the stats
   /// consistent with the serial accounting.
   bool use_cache() const { return use_cache_; }
-  std::optional<bool> cache_lookup(const CountVector& counts) const {
+  std::optional<bool> cache_lookup(const std::int32_t* counts,
+                                   std::uint64_t hash) {
+    return cache_.lookup(counts, target_.size(), hash);
+  }
+  void cache_store(const std::int32_t* counts, std::uint64_t hash, bool ok) {
+    cache_.store(counts, target_.size(), hash, ok);
+  }
+  std::optional<bool> cache_lookup(const CountVector& counts) {
     return cache_.lookup(counts);
   }
   void cache_store(const CountVector& counts, bool ok) {
     cache_.store(counts, ok);
   }
+
+  /// Caps the satisfiability cache (SatCache::set_max_entries); the
+  /// budgeted planners derive this from --mem-budget-mb.
+  void set_cache_capacity(std::size_t max_entries) {
+    cache_.set_max_entries(max_entries);
+  }
+  std::size_t cache_bytes() const { return cache_.approx_memory_bytes(); }
   /// Merges verdict counts computed on worker clones into this evaluator's
   /// accounting. The delta/full split is *logical*: it mirrors what this
   /// evaluator's own materialize() would have decided for each of the
@@ -91,11 +111,12 @@ class StateEvaluator {
     topo::ElementState to;
   };
 
-  void validate_counts(const CountVector& counts) const;
-  void full_materialize(const CountVector& counts);
-  void delta_materialize(const CountVector& counts);
-  void resolve_switch(topo::SwitchId id, const CountVector& counts);
-  void resolve_circuit(topo::CircuitId id, const CountVector& counts);
+  void validate_counts(const std::int32_t* counts) const;
+  void materialize_span(const std::int32_t* counts);
+  void full_materialize(const std::int32_t* counts);
+  void delta_materialize(const std::int32_t* counts);
+  void resolve_switch(topo::SwitchId id, const std::int32_t* counts);
+  void resolve_circuit(topo::CircuitId id, const std::int32_t* counts);
 
   migration::MigrationTask& task_;
   constraints::CompositeChecker& checker_;

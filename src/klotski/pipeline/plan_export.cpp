@@ -38,6 +38,22 @@ json::Value plan_to_json(const migration::MigrationTask& task,
   stats["wall_seconds"] = plan.stats.wall_seconds;
   root["stats"] = Value(std::move(stats));
 
+  // Search provenance is emitted only for budgeted runs, keeping the
+  // unbudgeted document (and the golden corpus) unchanged. beam_degraded
+  // is the audit-relevant bit: the plan is safe but possibly suboptimal.
+  if (plan.provenance.mem_budget_mb > 0.0) {
+    Object prov;
+    prov["mem_budget_mb"] = plan.provenance.mem_budget_mb;
+    prov["beam_degraded"] = plan.provenance.beam_degraded;
+    prov["evicted_states"] =
+        static_cast<std::int64_t>(plan.provenance.evicted_states);
+    prov["compactions"] =
+        static_cast<std::int64_t>(plan.provenance.compactions);
+    prov["peak_tracked_bytes"] =
+        static_cast<std::int64_t>(plan.provenance.peak_tracked_bytes);
+    root["provenance"] = Value(std::move(prov));
+  }
+
   Array phases;
   for (const core::Phase& phase : plan.phases()) {
     Object o;
@@ -101,6 +117,17 @@ core::Plan plan_from_json(const migration::MigrationTask& task,
     return plan;
   }
   plan.cost = value.at("cost").as_double();
+  if (value.as_object().contains("provenance")) {
+    const json::Value& prov = value.at("provenance");
+    plan.provenance.mem_budget_mb = prov.get_double("mem_budget_mb", 0.0);
+    plan.provenance.beam_degraded = prov.get_bool("beam_degraded", false);
+    plan.provenance.evicted_states =
+        static_cast<long long>(prov.get_double("evicted_states", 0.0));
+    plan.provenance.compactions =
+        static_cast<long long>(prov.get_double("compactions", 0.0));
+    plan.provenance.peak_tracked_bytes =
+        static_cast<long long>(prov.get_double("peak_tracked_bytes", 0.0));
+  }
 
   // Resolve labels: action-type label -> id, block label -> (type, index).
   std::unordered_map<std::string, std::int32_t> type_of;

@@ -1,0 +1,137 @@
+// Chunked pod pools: append-only columnar storage for search structures.
+//
+// The planner's struct-of-arrays node store needs three properties a plain
+// std::vector cannot give simultaneously: stable element addresses while
+// growing (A* holds pointers into the count column across pushes), precise
+// byte accounting for the memory budget (no 2x growth spikes that double
+// the apparent footprint at the worst moment), and the ability to *return*
+// memory after a compaction pass (vector::shrink_to_fit reallocates and
+// copies; truncate here just frees whole tail chunks).
+//
+// Elements are trivially copyable and never destroyed individually; a pool
+// is a bump allocator over fixed-size chunks plus an index.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace klotski::util {
+
+/// Append-only pool of trivially-copyable elements in fixed 2^kLog2-element
+/// chunks. Indexing splits into (chunk, offset) with shift/mask.
+template <typename T, unsigned kLog2 = 14>
+class PodPool {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  static constexpr std::size_t kChunkElems = std::size_t{1} << kLog2;
+  static constexpr std::size_t kMask = kChunkElems - 1;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::size_t push_back(const T& value) {
+    const std::size_t i = size_++;
+    if ((i >> kLog2) == chunks_.size()) {
+      chunks_.push_back(std::make_unique<T[]>(kChunkElems));
+    }
+    chunks_[i >> kLog2][i & kMask] = value;
+    return i;
+  }
+
+  T& operator[](std::size_t i) { return chunks_[i >> kLog2][i & kMask]; }
+  const T& operator[](std::size_t i) const {
+    return chunks_[i >> kLog2][i & kMask];
+  }
+
+  /// Drops elements at index >= n and frees the chunks they occupied.
+  void truncate(std::size_t n) {
+    if (n >= size_) return;
+    size_ = n;
+    const std::size_t needed = (n + kChunkElems - 1) >> kLog2;
+    chunks_.resize(needed);
+  }
+
+  void clear() {
+    size_ = 0;
+    chunks_.clear();
+    chunks_.shrink_to_fit();
+  }
+
+  std::size_t allocated_bytes() const {
+    return chunks_.size() * kChunkElems * sizeof(T) +
+           chunks_.capacity() * sizeof(chunks_[0]);
+  }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::size_t size_ = 0;
+};
+
+/// Pool of fixed-stride rows (the count-vector column): row i occupies
+/// `stride` consecutive elements inside one chunk, so a row is addressable
+/// as a plain pointer and rows never straddle chunk boundaries.
+template <typename T, unsigned kRowsLog2 = 12>
+class StridedPool {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  static constexpr std::size_t kChunkRows = std::size_t{1} << kRowsLog2;
+  static constexpr std::size_t kMask = kChunkRows - 1;
+
+  explicit StridedPool(std::size_t stride) : stride_(stride) {}
+
+  std::size_t stride() const { return stride_; }
+  std::size_t size() const { return size_; }
+
+  /// Appends a row copied from `src` (stride elements); returns its index.
+  std::size_t push_row(const T* src) {
+    const std::size_t i = push_row_uninit();
+    std::memcpy(row(i), src, stride_ * sizeof(T));
+    return i;
+  }
+
+  /// Appends an uninitialized row the caller fills via row(i).
+  std::size_t push_row_uninit() {
+    const std::size_t i = size_++;
+    if ((i >> kRowsLog2) == chunks_.size()) {
+      chunks_.push_back(std::make_unique<T[]>(kChunkRows * stride_));
+    }
+    return i;
+  }
+
+  T* row(std::size_t i) {
+    return chunks_[i >> kRowsLog2].get() + (i & kMask) * stride_;
+  }
+  const T* row(std::size_t i) const {
+    return chunks_[i >> kRowsLog2].get() + (i & kMask) * stride_;
+  }
+
+  void truncate(std::size_t n) {
+    if (n >= size_) return;
+    size_ = n;
+    const std::size_t needed = (n + kChunkRows - 1) >> kRowsLog2;
+    chunks_.resize(needed);
+  }
+
+  void clear() {
+    size_ = 0;
+    chunks_.clear();
+    chunks_.shrink_to_fit();
+  }
+
+  std::size_t allocated_bytes() const {
+    return chunks_.size() * kChunkRows * stride_ * sizeof(T) +
+           chunks_.capacity() * sizeof(chunks_[0]);
+  }
+
+ private:
+  std::size_t stride_;
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace klotski::util

@@ -44,6 +44,17 @@ std::uint64_t hash_span(const Int* data, std::size_t size) {
   return h;
 }
 
+/// Zobrist-style key for "slot s holds value v". A state hash is the XOR of
+/// one key per slot, which makes it *incrementally updatable*: changing one
+/// slot from `from` to `to` is h ^ key(s, from) ^ key(s, to), O(1) whatever
+/// the state width. mix64 over a (slot, value) pack plays the role of the
+/// classic precomputed random table — no table, no bound on values.
+constexpr std::uint64_t zobrist_key(std::int32_t slot, std::int32_t value) {
+  return mix64(((static_cast<std::uint64_t>(static_cast<std::uint32_t>(slot)) +
+                 1) << 32) ^
+               static_cast<std::uint32_t>(value));
+}
+
 template <typename Int>
 struct VectorHash {
   std::size_t operator()(const std::vector<Int>& v) const {

@@ -1,0 +1,201 @@
+// The pre-arena A* implementation, preserved verbatim as a test oracle.
+//
+// This is the planner exactly as it stood before the struct-of-arrays
+// rewrite: per-node CountVector allocations, an unordered_map<SearchState>
+// for duplicate detection, std::priority_queue for the open list. The
+// equivalence suite runs it head to head against the production planner and
+// asserts bit-identical results (actions, cost, stats, trace) whenever no
+// memory budget is in play — which is what makes the SoA representation a
+// pure storage change rather than an algorithmic one.
+#pragma once
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "klotski/constraints/composite.h"
+#include "klotski/core/cost_model.h"
+#include "klotski/core/plan.h"
+#include "klotski/core/planner.h"
+#include "klotski/core/state_evaluator.h"
+#include "klotski/util/timer.h"
+
+namespace klotski::testing {
+
+inline core::Plan reference_astar_plan(migration::MigrationTask& task,
+                                       constraints::CompositeChecker& checker,
+                                       const core::PlannerOptions& options) {
+  using namespace core;
+
+  struct Node {
+    CountVector counts;
+    std::int32_t last = -1;
+    double g = 0.0;
+    std::int32_t parent = -1;
+  };
+
+  struct QueueEntry {
+    double f = 0.0;
+    std::int32_t finished = 0;
+    long long seq = 0;
+    std::int32_t node = -1;
+  };
+
+  struct QueueCompare {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.f != b.f) return a.f > b.f;
+      if (a.finished != b.finished) return a.finished < b.finished;
+      return a.seq > b.seq;
+    }
+  };
+
+  util::Stopwatch stopwatch;
+  const util::Deadline deadline =
+      options.deadline_seconds > 0.0
+          ? util::Deadline::after_seconds(options.deadline_seconds)
+          : util::Deadline::unlimited();
+
+  Plan plan;
+  plan.planner = "astar";
+
+  StateEvaluator evaluator(task, checker, options.use_satisfiability_cache);
+  const CountVector& target = evaluator.target();
+  const auto num_types = static_cast<std::int32_t>(target.size());
+  const CostModel cost(options.alpha, options.type_weights);
+
+  auto finish = [&](Plan&& p) {
+    task.reset_to_original();
+    p.stats.sat_checks = evaluator.sat_checks();
+    p.stats.cache_hits = evaluator.cache_hits();
+    p.stats.evaluations = evaluator.evaluations();
+    p.stats.delta_applies = evaluator.delta_applies();
+    p.stats.full_replays = evaluator.full_replays();
+    p.stats.wall_seconds = stopwatch.elapsed_seconds();
+    return std::move(p);
+  };
+
+  const CountVector origin(static_cast<std::size_t>(num_types), 0);
+  if (!evaluator.feasible(origin)) {
+    plan.failure = "original topology violates constraints";
+    return finish(std::move(plan));
+  }
+  if (origin == target) {
+    plan.found = true;
+    return finish(std::move(plan));
+  }
+  if (!evaluator.feasible(target)) {
+    plan.failure = "target topology violates constraints";
+    return finish(std::move(plan));
+  }
+
+  std::vector<Node> nodes;
+  nodes.push_back(Node{origin, -1, 0.0, -1});
+
+  std::unordered_map<SearchState, double, SearchStateHash> best_g;
+  best_g.emplace(SearchState{origin, -1}, 0.0);
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, QueueCompare> open;
+  long long seq = 0;
+  open.push(QueueEntry{cost.heuristic(origin, target, -1), 0, seq++, 0});
+
+  std::vector<std::int32_t> trace_nodes;
+
+  while (!open.empty()) {
+    if (plan.stats.visited_states % 64 == 0 && deadline.expired()) {
+      plan.failure = "timeout";
+      return finish(std::move(plan));
+    }
+
+    if (static_cast<long long>(open.size()) > plan.stats.frontier_peak) {
+      plan.stats.frontier_peak = static_cast<long long>(open.size());
+    }
+    const QueueEntry entry = open.top();
+    open.pop();
+    const Node node = nodes[static_cast<std::size_t>(entry.node)];
+
+    const auto it = best_g.find(SearchState{node.counts, node.last});
+    if (it == best_g.end() || node.g > it->second) continue;
+
+    ++plan.stats.visited_states;
+
+    if (options.record_trace) {
+      TraceEntry t;
+      t.counts = node.counts;
+      t.last_type = node.last;
+      t.g = node.g;
+      t.h = cost.heuristic(node.counts, target, node.last);
+      plan.trace.push_back(std::move(t));
+      trace_nodes.push_back(entry.node);
+    }
+
+    if (node.counts == target) {
+      plan.found = true;
+      plan.cost = node.g;
+      std::vector<PlannedAction> reversed;
+      std::unordered_map<std::int32_t, bool> on_path;
+      for (std::int32_t at = entry.node; at != -1;
+           at = nodes[static_cast<std::size_t>(at)].parent) {
+        on_path[at] = true;
+        const Node& n = nodes[static_cast<std::size_t>(at)];
+        if (n.parent != -1) {
+          reversed.push_back(PlannedAction{n.last, n.counts[n.last] - 1});
+        }
+      }
+      plan.actions.assign(reversed.rbegin(), reversed.rend());
+      if (options.record_trace) {
+        for (std::size_t i = 0; i < trace_nodes.size(); ++i) {
+          plan.trace[i].on_final_path = on_path.count(trace_nodes[i]) > 0;
+        }
+      }
+      return finish(std::move(plan));
+    }
+
+    bool boundary_known = false;
+    bool boundary_ok = false;
+
+    for (std::int32_t a = 0; a < num_types; ++a) {
+      if (node.counts[a] >= target[a]) continue;
+      ++plan.stats.generated_states;
+
+      CountVector next = node.counts;
+      ++next[a];
+      const double g = node.g + cost.transition_cost(node.last, a);
+
+      const SearchState key{next, a};
+      const auto found = best_g.find(key);
+      if (found != best_g.end() && found->second <= g) continue;
+
+      if (a != node.last) {
+        if (!boundary_known) {
+          boundary_ok = evaluator.feasible(node.counts);
+          boundary_known = true;
+        }
+        if (!boundary_ok) continue;
+      }
+
+      best_g[key] = g;
+      const auto index = static_cast<std::int32_t>(nodes.size());
+      nodes.push_back(Node{std::move(next), a, g, entry.node});
+
+      double h = 0.0;
+      if (options.use_astar_heuristic) {
+        h = options.use_paper_literal_heuristic
+                ? cost.heuristic_paper_literal(nodes.back().counts, target)
+                : cost.heuristic(nodes.back().counts, target, a);
+      }
+      open.push(QueueEntry{g + h, total_actions(nodes.back().counts), seq++,
+                           index});
+    }
+
+    if (static_cast<long long>(nodes.size()) > options.max_states) {
+      plan.failure = "state space too large";
+      return finish(std::move(plan));
+    }
+  }
+
+  plan.failure = "no feasible action sequence exists";
+  return finish(std::move(plan));
+}
+
+}  // namespace klotski::testing

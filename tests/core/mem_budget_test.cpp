@@ -1,0 +1,177 @@
+// Memory-bounded A*: a task wide enough that the search arena outgrows a
+// small --mem-budget-mb must trigger open-list eviction and arena compaction,
+// degrade to beam search, record all of it in the plan provenance — and still
+// return a valid plan instead of growing without bound.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../test_helpers.h"
+#include "astar_reference.h"
+#include "klotski/constraints/composite.h"
+#include "klotski/core/astar_planner.h"
+#include "klotski/pipeline/audit.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/pipeline/plan_export.h"
+
+namespace klotski::core {
+namespace {
+
+// A synthetic three-type migration over a tiny topology: `width` no-op
+// blocks per type. The planner sees a (width+1)^3 count lattice whose
+// frontier grows quadratically — wide enough to exceed the minimum beam
+// width and need real memory — while every state stays trivially feasible
+// under an empty checker, so the test exercises pure search mechanics.
+struct WideCase {
+  static constexpr std::int32_t kTypes = 3;
+
+  klotski::testing::Diamond diamond;
+  migration::MigrationTask task;
+
+  explicit WideCase(int width) {
+    task.name = "wide-synthetic";
+    task.topo = &diamond.topo;
+    task.original_state = topo::TopologyState::capture(diamond.topo);
+    task.target_state = task.original_state;
+    task.blocks.resize(kTypes);
+    for (std::int32_t t = 0; t < kTypes; ++t) {
+      migration::ActionType type;
+      type.id = t;
+      type.label = "synthetic-" + std::to_string(t);
+      type.op = t % 2 == 0 ? migration::OpKind::kDrain
+                           : migration::OpKind::kUndrain;
+      task.action_types.push_back(type);
+      for (int b = 0; b < width; ++b) {
+        migration::OperationBlock block;
+        block.id = b;
+        block.type = t;
+        block.label = type.label + "/" + std::to_string(b);
+        task.blocks[static_cast<std::size_t>(t)].push_back(std::move(block));
+      }
+    }
+  }
+};
+
+// Uniform action cost and no heuristic: the search walks the full lattice,
+// which is the worst case for frontier growth.
+PlannerOptions lattice_options() {
+  PlannerOptions options;
+  options.alpha = 1.0;
+  options.use_astar_heuristic = false;
+  return options;
+}
+
+TEST(MemBudget, SmallBudgetDegradesToBeamAndStillFindsAPlan) {
+  WideCase wide(50);
+  constraints::CompositeChecker checker;
+
+  PlannerOptions options = lattice_options();
+  options.mem_budget_mb = 2.0;
+
+  const Plan plan = AStarPlanner().plan(wide.task, checker, options);
+  ASSERT_TRUE(plan.found) << plan.failure;
+
+  // Provenance must record the degradation.
+  EXPECT_EQ(plan.provenance.mem_budget_mb, 2.0);
+  EXPECT_TRUE(plan.provenance.beam_degraded);
+  EXPECT_GT(plan.provenance.evicted_states, 0);
+  EXPECT_GT(plan.provenance.compactions, 0);
+  EXPECT_GT(plan.provenance.peak_tracked_bytes, 0);
+
+  // Every action cost 1 (alpha=1), so any complete plan is optimal: the beam
+  // may change which path is taken but not its cost.
+  EXPECT_EQ(plan.actions.size(), 150u);
+  EXPECT_DOUBLE_EQ(plan.cost, 150.0);
+  EXPECT_DOUBLE_EQ(plan.cost, plan.recompute_cost(options.alpha));
+
+  // The plan survives the independent audit.
+  const pipeline::AuditReport report =
+      pipeline::audit_plan(wide.task, checker, plan);
+  EXPECT_TRUE(report.ok) << (report.issues.empty() ? "" : report.issues[0]);
+}
+
+TEST(MemBudget, UnbudgetedRunReportsNoDegradation) {
+  WideCase wide(20);
+  constraints::CompositeChecker checker;
+
+  const Plan plan = AStarPlanner().plan(wide.task, checker, lattice_options());
+  ASSERT_TRUE(plan.found) << plan.failure;
+  EXPECT_EQ(plan.provenance.mem_budget_mb, 0.0);
+  EXPECT_FALSE(plan.provenance.beam_degraded);
+  EXPECT_EQ(plan.provenance.evicted_states, 0);
+  EXPECT_EQ(plan.provenance.compactions, 0);
+}
+
+TEST(MemBudget, GenerousBudgetMatchesUnbudgetedRunExactly) {
+  // A budget the search never reaches must leave the result bit-identical to
+  // the unbudgeted planner (and to the reference implementation): the budget
+  // machinery only changes behavior once eviction actually fires.
+  migration::MigrationCase mig = klotski::testing::small_hgrid_case();
+  migration::MigrationTask& task = mig.task;
+
+  PlannerOptions unbudgeted;
+  Plan reference;
+  {
+    pipeline::CheckerBundle bundle = pipeline::make_standard_checker(task, {});
+    reference =
+        klotski::testing::reference_astar_plan(task, *bundle.checker,
+                                               unbudgeted);
+  }
+
+  PlannerOptions budgeted;
+  budgeted.mem_budget_mb = 512.0;
+  Plan plan;
+  {
+    pipeline::CheckerBundle bundle = pipeline::make_standard_checker(task, {});
+    plan = AStarPlanner().plan(task, *bundle.checker, budgeted);
+  }
+
+  ASSERT_TRUE(plan.found);
+  EXPECT_EQ(plan.cost, reference.cost);
+  ASSERT_EQ(plan.actions.size(), reference.actions.size());
+  for (std::size_t i = 0; i < plan.actions.size(); ++i) {
+    EXPECT_EQ(plan.actions[i].type, reference.actions[i].type);
+    EXPECT_EQ(plan.actions[i].block_index, reference.actions[i].block_index);
+  }
+  EXPECT_EQ(plan.stats.visited_states, reference.stats.visited_states);
+  EXPECT_EQ(plan.stats.generated_states, reference.stats.generated_states);
+  EXPECT_FALSE(plan.provenance.beam_degraded);
+  EXPECT_EQ(plan.provenance.evicted_states, 0);
+  EXPECT_GT(plan.provenance.peak_tracked_bytes, 0);
+}
+
+TEST(MemBudget, ProvenanceRoundTripsThroughJson) {
+  WideCase wide(50);
+  constraints::CompositeChecker checker;
+
+  PlannerOptions options = lattice_options();
+  options.mem_budget_mb = 2.0;
+  const Plan plan = AStarPlanner().plan(wide.task, checker, options);
+  ASSERT_TRUE(plan.found) << plan.failure;
+  ASSERT_TRUE(plan.provenance.beam_degraded);
+
+  const json::Value doc = pipeline::plan_to_json(wide.task, plan);
+  ASSERT_TRUE(doc.as_object().contains("provenance"));
+
+  const Plan parsed = pipeline::plan_from_json(wide.task, doc);
+  EXPECT_EQ(parsed.provenance.mem_budget_mb, plan.provenance.mem_budget_mb);
+  EXPECT_EQ(parsed.provenance.beam_degraded, plan.provenance.beam_degraded);
+  EXPECT_EQ(parsed.provenance.evicted_states, plan.provenance.evicted_states);
+  EXPECT_EQ(parsed.provenance.compactions, plan.provenance.compactions);
+  EXPECT_EQ(parsed.provenance.peak_tracked_bytes,
+            plan.provenance.peak_tracked_bytes);
+}
+
+TEST(MemBudget, UnbudgetedPlansOmitProvenanceFromJson) {
+  migration::MigrationCase mig = klotski::testing::small_hgrid_case();
+  pipeline::CheckerBundle bundle =
+      pipeline::make_standard_checker(mig.task, {});
+  const Plan plan = AStarPlanner().plan(mig.task, *bundle.checker, {});
+  ASSERT_TRUE(plan.found);
+  const json::Value doc = pipeline::plan_to_json(mig.task, plan);
+  EXPECT_FALSE(doc.as_object().contains("provenance"));
+}
+
+}  // namespace
+}  // namespace klotski::core

@@ -60,5 +60,59 @@ TEST(SatCache, MemoryFootprintIsCompact) {
   EXPECT_LT(cache.approx_memory_bytes(), 2u * 1024 * 1024);
 }
 
+TEST(SatCache, EntryCapBoundsSizeAndCountsEvictions) {
+  SatCache cache;
+  cache.set_max_entries(100);
+  for (std::int32_t i = 0; i < 1000; ++i) {
+    cache.store({i, 0}, true);
+  }
+  // Two generations of at most max_entries each: size can never exceed 2x
+  // the cap no matter how many distinct states are stored.
+  EXPECT_LE(cache.size(), 200u);
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_EQ(cache.evictions() + cache.size(), 1000u);
+}
+
+TEST(SatCache, RecentlyTouchedEntriesSurviveRotation) {
+  // Generational eviction is LRU-ish: an old-generation hit promotes the
+  // entry to the current generation, so states the search keeps probing
+  // outlive rotations that drop cold entries.
+  SatCache cache;
+  cache.set_max_entries(64);
+  cache.store({-1, -1}, false);
+  for (std::int32_t i = 0; i < 1000; ++i) {
+    cache.store({i, 7}, true);
+    // Touch the hot key on every store so it is always promoted before its
+    // generation is dropped.
+    ASSERT_TRUE(cache.lookup({-1, -1}).has_value()) << "lost after " << i;
+  }
+  ASSERT_TRUE(cache.lookup({-1, -1}).has_value());
+  EXPECT_FALSE(*cache.lookup({-1, -1}));
+  // A key stored early and never touched again was evicted long ago.
+  EXPECT_FALSE(cache.lookup({0, 7}).has_value());
+}
+
+TEST(SatCache, FirstStoreWinsAcrossGenerations) {
+  SatCache cache;
+  cache.set_max_entries(4);
+  cache.store({9, 9}, true);
+  // Push enough distinct keys to rotate {9, 9} into the old generation,
+  // then try to overwrite it: the original verdict must survive.
+  for (std::int32_t i = 0; i < 4; ++i) cache.store({i, 1}, false);
+  cache.store({9, 9}, false);
+  ASSERT_TRUE(cache.lookup({9, 9}).has_value());
+  EXPECT_TRUE(*cache.lookup({9, 9}));
+}
+
+TEST(SatCache, CapOfOneStillServesHits) {
+  SatCache cache;
+  cache.set_max_entries(1);
+  cache.store({5}, true);
+  ASSERT_TRUE(cache.lookup({5}).has_value());
+  cache.store({6}, false);
+  ASSERT_TRUE(cache.lookup({6}).has_value());
+  EXPECT_FALSE(*cache.lookup({6}));
+}
+
 }  // namespace
 }  // namespace klotski::core

@@ -1,0 +1,166 @@
+// Randomized equivalence: the SoA + incremental-hash A* must be bit-identical
+// to the pre-refactor implementation (preserved in astar_reference.h) on every
+// observable — found/cost/actions/trace and all search statistics — whenever
+// no memory budget is configured. The storage rewrite is a representation
+// change only; any divergence here is a bug, not a tolerance issue.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../test_helpers.h"
+#include "astar_reference.h"
+#include "klotski/core/astar_planner.h"
+#include "klotski/pipeline/edp.h"
+#include "klotski/util/rng.h"
+
+namespace klotski::core {
+namespace {
+
+using klotski::testing::reference_astar_plan;
+using klotski::testing::small_dmag_case;
+using klotski::testing::small_hgrid_case;
+using klotski::testing::small_ssw_case;
+
+migration::MigrationCase build_case(int kind) {
+  if (kind == 0) return small_hgrid_case();
+  if (kind == 1) return small_ssw_case();
+  return small_dmag_case();
+}
+
+void expect_identical(const Plan& reference, const Plan& actual,
+                      const std::string& label) {
+  ASSERT_EQ(actual.found, reference.found)
+      << label << ": " << actual.failure << " vs " << reference.failure;
+  EXPECT_EQ(actual.failure, reference.failure) << label;
+
+  // Bit-identical cost, not approximately equal: both planners must take the
+  // same additions in the same order.
+  EXPECT_EQ(actual.cost, reference.cost) << label;
+
+  ASSERT_EQ(actual.actions.size(), reference.actions.size()) << label;
+  for (std::size_t i = 0; i < actual.actions.size(); ++i) {
+    EXPECT_EQ(actual.actions[i].type, reference.actions[i].type)
+        << label << " action " << i;
+    EXPECT_EQ(actual.actions[i].block_index, reference.actions[i].block_index)
+        << label << " action " << i;
+  }
+
+  // The full stats block: identical expansion order implies identical
+  // counters, including cache behavior and the frontier high-water mark.
+  EXPECT_EQ(actual.stats.visited_states, reference.stats.visited_states)
+      << label;
+  EXPECT_EQ(actual.stats.generated_states, reference.stats.generated_states)
+      << label;
+  EXPECT_EQ(actual.stats.sat_checks, reference.stats.sat_checks) << label;
+  EXPECT_EQ(actual.stats.cache_hits, reference.stats.cache_hits) << label;
+  EXPECT_EQ(actual.stats.evaluations, reference.stats.evaluations) << label;
+  EXPECT_EQ(actual.stats.delta_applies, reference.stats.delta_applies)
+      << label;
+  EXPECT_EQ(actual.stats.full_replays, reference.stats.full_replays) << label;
+  EXPECT_EQ(actual.stats.frontier_peak, reference.stats.frontier_peak)
+      << label;
+
+  ASSERT_EQ(actual.trace.size(), reference.trace.size()) << label;
+  for (std::size_t i = 0; i < actual.trace.size(); ++i) {
+    EXPECT_EQ(actual.trace[i].counts, reference.trace[i].counts)
+        << label << " trace " << i;
+    EXPECT_EQ(actual.trace[i].last_type, reference.trace[i].last_type)
+        << label << " trace " << i;
+    EXPECT_EQ(actual.trace[i].g, reference.trace[i].g)
+        << label << " trace " << i;
+    EXPECT_EQ(actual.trace[i].h, reference.trace[i].h)
+        << label << " trace " << i;
+    EXPECT_EQ(actual.trace[i].on_final_path, reference.trace[i].on_final_path)
+        << label << " trace " << i;
+  }
+}
+
+TEST(SoAEquivalence, RandomizedConfigsMatchReferenceImplementation) {
+  util::Rng rng(0x50A50A);
+  const double thetas[] = {0.55, 0.65, 0.75, 0.85, 0.95};
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const int kind = static_cast<int>(rng.index(3));
+    migration::MigrationCase mig = build_case(kind);
+    migration::MigrationTask& task = mig.task;
+
+    pipeline::CheckerConfig config;
+    config.demand.max_utilization = thetas[rng.index(5)];
+
+    PlannerOptions options;
+    options.alpha = rng.uniform_real(0.0, 1.0);
+    options.use_astar_heuristic = rng.chance(0.7);
+    options.use_paper_literal_heuristic = rng.chance(0.3);
+    options.use_satisfiability_cache = rng.chance(0.8);
+    options.record_trace = rng.chance(0.5);
+
+    const std::string label =
+        "trial " + std::to_string(trial) + " kind " + std::to_string(kind) +
+        " theta " + std::to_string(config.demand.max_utilization) +
+        " alpha " + std::to_string(options.alpha) +
+        (options.use_astar_heuristic ? " h" : " ucs") +
+        (options.use_paper_literal_heuristic ? " lit" : "") +
+        (options.use_satisfiability_cache ? " cache" : "") +
+        (options.record_trace ? " trace" : "");
+
+    Plan reference;
+    {
+      pipeline::CheckerBundle bundle =
+          pipeline::make_standard_checker(task, config);
+      reference = reference_astar_plan(task, *bundle.checker, options);
+    }
+    Plan actual;
+    {
+      pipeline::CheckerBundle bundle =
+          pipeline::make_standard_checker(task, config);
+      actual = AStarPlanner().plan(task, *bundle.checker, options);
+    }
+    expect_identical(reference, actual, label);
+  }
+}
+
+TEST(SoAEquivalence, InfeasibleOriginMatchesReference) {
+  migration::MigrationCase mig = small_hgrid_case();
+  migration::MigrationTask& task = mig.task;
+  pipeline::CheckerConfig config;
+  config.demand.max_utilization = 0.01;
+
+  Plan reference;
+  {
+    pipeline::CheckerBundle bundle =
+        pipeline::make_standard_checker(task, config);
+    reference = reference_astar_plan(task, *bundle.checker, {});
+  }
+  Plan actual;
+  {
+    pipeline::CheckerBundle bundle =
+        pipeline::make_standard_checker(task, config);
+    actual = AStarPlanner().plan(task, *bundle.checker, {});
+  }
+  expect_identical(reference, actual, "infeasible origin");
+  EXPECT_FALSE(actual.found);
+}
+
+TEST(SoAEquivalence, MaxStatesFailureMatchesReference) {
+  migration::MigrationCase mig = small_hgrid_case();
+  migration::MigrationTask& task = mig.task;
+  PlannerOptions options;
+  options.max_states = 4;
+
+  Plan reference;
+  {
+    pipeline::CheckerBundle bundle = pipeline::make_standard_checker(task, {});
+    reference = reference_astar_plan(task, *bundle.checker, options);
+  }
+  Plan actual;
+  {
+    pipeline::CheckerBundle bundle = pipeline::make_standard_checker(task, {});
+    actual = AStarPlanner().plan(task, *bundle.checker, options);
+  }
+  expect_identical(reference, actual, "max_states");
+  EXPECT_FALSE(actual.found);
+}
+
+}  // namespace
+}  // namespace klotski::core

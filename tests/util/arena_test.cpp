@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "klotski/util/arena.h"
+
+namespace klotski::util {
+namespace {
+
+TEST(PodPool, PushIndexRoundTrip) {
+  PodPool<std::int64_t> pool;
+  for (std::int64_t i = 0; i < 100'000; ++i) {
+    EXPECT_EQ(pool.push_back(i * 3), static_cast<std::size_t>(i));
+  }
+  EXPECT_EQ(pool.size(), 100'000u);
+  for (std::int64_t i = 0; i < 100'000; ++i) {
+    EXPECT_EQ(pool[static_cast<std::size_t>(i)], i * 3);
+  }
+}
+
+TEST(PodPool, AddressesAreStableAcrossGrowth) {
+  PodPool<double> pool;
+  pool.push_back(42.0);
+  const double* first = &pool[0];
+  for (int i = 0; i < 200'000; ++i) pool.push_back(static_cast<double>(i));
+  EXPECT_EQ(first, &pool[0]);
+  EXPECT_EQ(*first, 42.0);
+}
+
+TEST(PodPool, TruncateFreesTailChunks) {
+  PodPool<std::int32_t> pool;
+  for (std::int32_t i = 0; i < 1 << 18; ++i) pool.push_back(i);
+  const std::size_t full_bytes = pool.allocated_bytes();
+  pool.truncate(100);
+  EXPECT_EQ(pool.size(), 100u);
+  EXPECT_LT(pool.allocated_bytes(), full_bytes / 4);
+  EXPECT_EQ(pool[99], 99);
+  // The pool keeps accepting pushes after a truncate.
+  EXPECT_EQ(pool.push_back(7), 100u);
+  EXPECT_EQ(pool[100], 7);
+}
+
+TEST(PodPool, ClearReleasesEverything) {
+  PodPool<std::int32_t> pool;
+  for (std::int32_t i = 0; i < 100'000; ++i) pool.push_back(i);
+  pool.clear();
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.allocated_bytes(), 0u);
+}
+
+TEST(StridedPool, RowsRoundTripAndStayStable) {
+  StridedPool<std::int32_t> pool(3);
+  std::vector<std::int32_t> row = {1, 2, 3};
+  EXPECT_EQ(pool.push_row(row.data()), 0u);
+  const std::int32_t* first = pool.row(0);
+  for (std::int32_t i = 0; i < 50'000; ++i) {
+    std::int32_t r[3] = {i, i + 1, i + 2};
+    pool.push_row(r);
+  }
+  EXPECT_EQ(first, pool.row(0));
+  EXPECT_EQ(first[0], 1);
+  EXPECT_EQ(pool.row(50'000)[2], 50'001);
+}
+
+TEST(StridedPool, UninitRowIsWritable) {
+  StridedPool<std::int32_t> pool(2);
+  const std::size_t i = pool.push_row_uninit();
+  pool.row(i)[0] = 5;
+  pool.row(i)[1] = 6;
+  EXPECT_EQ(pool.row(i)[0], 5);
+  EXPECT_EQ(pool.row(i)[1], 6);
+}
+
+TEST(StridedPool, TruncateFreesTailChunks) {
+  StridedPool<std::int32_t> pool(4);
+  std::int32_t r[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 1 << 16; ++i) pool.push_row(r);
+  const std::size_t full_bytes = pool.allocated_bytes();
+  pool.truncate(10);
+  EXPECT_EQ(pool.size(), 10u);
+  EXPECT_LT(pool.allocated_bytes(), full_bytes / 4);
+}
+
+}  // namespace
+}  // namespace klotski::util

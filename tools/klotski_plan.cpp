@@ -12,6 +12,13 @@
 //   --routing      ecmp | wcmp                           (default ecmp)
 //   --funneling    funneling margin >= 0                 (default 0)
 //   --deadline     planner budget in seconds, 0 = none   (default 0)
+//   --mem-budget-mb  cap on the planner's search-structure memory (node
+//                  arena, dedup table, open list, verdict cache) in MB;
+//                  0 = unbounded. On reaching the cap the A* search evicts
+//                  the worst open nodes and degrades to beam search: the
+//                  plan stays audited but may be suboptimal, and the
+//                  degradation is recorded under "provenance" in the plan
+//                  JSON. (default 0)
 //   --threads      worker threads for frontier evaluation (default 1;
 //                  plans are identical at any value)
 //   --router-threads  worker threads inside each satisfiability check:
@@ -103,6 +110,11 @@ int run(const klotski::util::Flags& flags) {
     core::PlannerOptions planner_options;
     planner_options.alpha = flags.get_double("alpha", 0.0);
     planner_options.deadline_seconds = flags.get_double("deadline", 0.0);
+    planner_options.mem_budget_mb = flags.get_double("mem-budget-mb", 0.0);
+    if (planner_options.mem_budget_mb < 0.0) {
+      std::cerr << "klotski_plan: --mem-budget-mb must be >= 0\n";
+      return 2;
+    }
     planner_options.num_threads =
         static_cast<int>(flags.get_int("threads", 1));
     if (planner_options.num_threads < 1) {
