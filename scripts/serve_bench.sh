@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Serve throughput bench: boots klotski_served on both transports and runs
+# an uncapped (qps=0) mixed plan/ping/stats workload over the unix socket
+# and over TCP loopback with many connections, writing one consolidated
+# report ("klotski.serve-bench.v1") with a row per transport — p50/p90/p99
+# latency and achieved QPS per row.
+#
+# The TCP row is the fleet-front-door acceptance gate: it must sustain at
+# least ${KLOTSKI_BENCH_MIN_QPS:-2000} requests/s of mixed cache-hit/miss
+# traffic on loopback, or the script fails.
+#
+# Usage: scripts/serve_bench.sh [build-dir] [out-json]
+#   build-dir  tree with the built tools   (default: build)
+#   out-json   consolidated report path    (default: BENCH_serve.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_serve.json}"
+MIN_QPS="${KLOTSKI_BENCH_MIN_QPS:-2000}"
+REQUESTS="${KLOTSKI_BENCH_REQUESTS:-6000}"
+
+TMP="$(mktemp -d)"
+SOCK="/tmp/kbench-$$.sock"
+cleanup() {
+  [[ -n "${SERVED_PID:-}" ]] && kill -9 "${SERVED_PID}" 2>/dev/null || true
+  rm -rf "${TMP}" "${SOCK}"
+}
+trap cleanup EXIT
+
+"./${BUILD}/tools/klotski_synth" --preset=A --scale=reduced \
+  --out="${TMP}/a.npd.json" > /dev/null
+
+"./${BUILD}/tools/klotski_served" --socket="${SOCK}" \
+  --listen=127.0.0.1:0 --endpoint-out="${TMP}/tcp.endpoint" \
+  --workers=4 --max-queue=64 --cache-capacity=64 --cache-shards=8 \
+  2> "${TMP}/served.log" &
+SERVED_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "${SOCK}" && -s "${TMP}/tcp.endpoint" ]] && break
+  sleep 0.05
+done
+[[ -S "${SOCK}" && -s "${TMP}/tcp.endpoint" ]] || {
+  echo "serve_bench: daemon never came up" >&2
+  cat "${TMP}/served.log" >&2; exit 1; }
+TCP_EP="$(cat "${TMP}/tcp.endpoint")"
+
+# Warm the plan variants once so both measured runs see the same
+# steady-state mix of cache hits and misses.
+"./${BUILD}/tools/klotski_loadgen" --connect="${SOCK}" \
+  --npd="${TMP}/a.npd.json" --requests=40 --qps=0 --connections=4 \
+  --report="${TMP}/warm.json" 2> /dev/null
+
+"./${BUILD}/tools/klotski_loadgen" --connect="${SOCK}" \
+  --npd="${TMP}/a.npd.json" --requests="${REQUESTS}" --qps=0 \
+  --connections=16 --report="${TMP}/unix.json" \
+  2> "${TMP}/loadgen-unix.log"
+"./${BUILD}/tools/klotski_loadgen" --connect="${TCP_EP}" \
+  --npd="${TMP}/a.npd.json" --requests="${REQUESTS}" --qps=0 \
+  --connections=32 --report="${TMP}/tcp.json" \
+  2> "${TMP}/loadgen-tcp.log"
+
+kill -TERM "${SERVED_PID}"
+wait "${SERVED_PID}" || { echo "serve_bench: drain failed" >&2; exit 1; }
+SERVED_PID=""
+
+qps_of() {
+  sed -n 's/.*"achieved_qps": \([0-9.eE+-]*\).*/\1/p' "$1" | head -1
+}
+TCP_QPS="$(qps_of "${TMP}/tcp.json")"
+UNIX_QPS="$(qps_of "${TMP}/unix.json")"
+
+{
+  printf '{\n  "schema": "klotski.serve-bench.v1",\n'
+  printf '  "generated_by": "scripts/serve_bench.sh",\n'
+  printf '  "requests_per_row": %s,\n' "${REQUESTS}"
+  printf '  "rows": [\n'
+  sed 's/^/    /' "${TMP}/unix.json" | sed '$s/$/,/'
+  sed 's/^/    /' "${TMP}/tcp.json"
+  printf '  ]\n}\n'
+} > "${OUT}"
+echo "serve_bench: unix ${UNIX_QPS} qps, tcp ${TCP_QPS} qps -> ${OUT}"
+
+awk -v got="${TCP_QPS}" -v want="${MIN_QPS}" \
+  'BEGIN { exit (got + 0 >= want + 0) ? 0 : 1 }' || {
+  echo "serve_bench: FAIL — TCP loopback sustained ${TCP_QPS} qps" \
+       "(< ${MIN_QPS})" >&2
+  exit 1
+}

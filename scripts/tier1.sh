@@ -26,10 +26,20 @@ CHAOS_SEEDS="${KLOTSKI_CHAOS_SEEDS:-25}"
 ./build/tools/klotski_chaos --preset=b --seeds="${CHAOS_SEEDS}" \
   --threads="${JOBS}"
 
-# Serve smoke gate: daemon up, served-vs-CLI byte identity (cold + cache
-# hit), mixed loadgen workload, graceful SIGTERM drain with flushed metrics
+# Serve smoke gate: daemon up on both transports (unix socket + TCP
+# loopback), served-vs-CLI byte identity (cold + cache hit), cross-transport
+# content-hash identity, servectl against the TCP endpoint, mixed loadgen
+# over each transport, graceful SIGTERM drain with flushed metrics
 # (DESIGN.md §9).
 scripts/serve_smoke.sh build
+
+# Serve throughput gate: uncapped mixed workload over TCP loopback with many
+# connections must sustain >= 2000 qps (the fleet-front-door acceptance
+# bar); writes the consolidated per-transport report to a scratch path —
+# the checked-in BENCH_serve.json comes from a quiet machine.
+SERVE_BENCH_TMP="$(mktemp -d)"
+scripts/serve_bench.sh build "${SERVE_BENCH_TMP}/BENCH_serve.json"
+rm -rf "${SERVE_BENCH_TMP}"
 
 cmake -B build-tsan -S . -DKLOTSKI_SANITIZE=thread
 cmake --build build-tsan -j"${JOBS}" --target test_core test_obs test_traffic test_sim test_serve
@@ -44,8 +54,9 @@ cmake --build build-tsan -j"${JOBS}" --target test_core test_obs test_traffic te
 # is the verdict vector and the obs counters — TSan checks that claim.
 KLOTSKI_CHAOS_SEEDS=10 ./build-tsan/tests/test_sim \
   --gtest_filter='ChaosInvariants.SweepVerdictsAreIdenticalAcrossThreadCounts'
-# Plan service under TSan: single-flight cache, worker pool, drain, and the
-# socket server's connection threads all exercise cross-thread handoffs.
+# Plan service under TSan: sharded single-flight cache, worker pool, drain,
+# both transports' connection threads, the periodic reaper, and the
+# disconnect-cancel path all exercise cross-thread handoffs.
 ./build-tsan/tests/test_serve
 
 # AddressSanitizer over the randomized ECMP equivalence suite: the flat-path

@@ -1,57 +1,56 @@
 #include "klotski/serve/client.h"
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace klotski::serve {
 
-Client::Client(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("serve client: socket path too long: " +
-                             socket_path);
-  }
-  std::strncpy(addr.sun_path, socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error(std::string("serve client: socket: ") +
-                             std::strerror(errno));
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("serve client: connect " + socket_path + ": " +
-                             std::strerror(err));
-  }
+Client::Client(const Endpoint& endpoint) : endpoint_(endpoint) {
+  fd_ = connect_endpoint(endpoint_);
 }
+
+Client::Client(const std::string& spec) : Client(Endpoint::parse(spec)) {}
 
 Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    : endpoint_(std::move(other.endpoint_)),
+      fd_(other.fd_),
+      buffer_(std::move(other.buffer_)) {
   other.fd_ = -1;
 }
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
+    endpoint_ = std::move(other.endpoint_);
     fd_ = other.fd_;
     buffer_ = std::move(other.buffer_);
     other.fd_ = -1;
   }
   return *this;
+}
+
+Client Client::connect_with_retry(const Endpoint& endpoint, int attempts,
+                                  long long backoff_ms) {
+  long long sleep_ms = backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return Client(endpoint);
+    } catch (const std::exception&) {
+      if (attempt >= attempts) throw;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    sleep_ms *= 2;
+  }
 }
 
 Response Client::call(const Request& request) {
@@ -96,6 +95,42 @@ Response Client::call(const std::string& method, json::Value params,
   req.method = method;
   req.params = std::move(params);
   return call(req);
+}
+
+Response Client::submit_and_wait(const std::string& method,
+                                 json::Value params, const std::string& id,
+                                 long long wait_slice_ms) {
+  json::Object submit;
+  submit["method"] = method;
+  submit["params"] = std::move(params);
+  Response submitted = call("submit", json::Value(std::move(submit)), id);
+  if (!submitted.ok()) return submitted;  // overloaded / draining / error
+  const std::string job_id = submitted.result.get_string("job_id", "");
+  if (job_id.empty()) {
+    throw std::runtime_error("serve client: submit returned no job_id");
+  }
+
+  for (;;) {
+    json::Object wait;
+    wait["job_id"] = job_id;
+    wait["timeout_ms"] = static_cast<std::int64_t>(wait_slice_ms);
+    const Response waited = call("wait", json::Value(std::move(wait)));
+    if (!waited.ok()) {
+      Response out = waited;
+      out.id = id;
+      return out;
+    }
+    if (waited.result.get_bool("timed_out", false)) continue;
+
+    const json::Value* inner = waited.result.as_object().find("response");
+    if (inner == nullptr) {
+      throw std::runtime_error(
+          "serve client: job terminal without a response document");
+    }
+    Response out = Response::parse(json::dump(*inner));
+    out.id = id;
+    return out;
+  }
 }
 
 }  // namespace klotski::serve

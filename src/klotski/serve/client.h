@@ -1,26 +1,50 @@
-// Blocking client for the klotski.serve.v1 protocol: one connection, one
-// request in flight (the protocol is strict request/response lockstep).
-// Used by klotski_loadgen, the serve smoke gate, and the tests; also a
-// reference implementation for external callers.
+// Client library for the klotski.serve.v1 protocol, over both transports
+// (AF_UNIX and TCP — see endpoint.h for the spec grammar). One connection,
+// strict request/response per call; the daemon additionally answers
+// pipelined lines in order, but this client never leaves a response
+// unread, so call() can be used back to back without resyncing.
+//
+// Used by klotski_loadgen, klotski_servectl, klotski_chaos --connect, the
+// serve smoke/bench gates and the tests; also the reference implementation
+// for external callers — tools never hand-roll the wire protocol.
+//
+// Layers:
+//   Client(endpoint)            one blocking connection
+//   Client::connect_with_retry  dial with exponential backoff (daemons
+//                               that are still booting, fleet restarts)
+//   call(...)                   one request, one response
+//   submit_and_wait(...)        async job helper: submit, then re-issue
+//                               bounded waits until the job is terminal,
+//                               and unwrap the job's inner response
 #pragma once
 
 #include <string>
 
+#include "klotski/serve/endpoint.h"
 #include "klotski/serve/protocol.h"
 
 namespace klotski::serve {
 
 class Client {
  public:
-  /// Connects to the daemon's unix socket; throws std::runtime_error when
-  /// the daemon is not there.
-  explicit Client(const std::string& socket_path);
+  /// Connects to a daemon; throws std::runtime_error when it is not there.
+  explicit Client(const Endpoint& endpoint);
+  /// Convenience: parses `spec` (unix:PATH | tcp:HOST:PORT | /path |
+  /// HOST:PORT) and connects.
+  explicit Client(const std::string& spec);
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
+
+  /// Dials with exponential backoff: `attempts` tries, sleeping
+  /// `backoff_ms` after the first failure and doubling each retry. Throws
+  /// the last connect error when every attempt fails.
+  static Client connect_with_retry(const Endpoint& endpoint,
+                                   int attempts = 5,
+                                   long long backoff_ms = 50);
 
   /// Sends one request and blocks for its response. Throws
   /// std::runtime_error when the connection drops mid-call (e.g. the
@@ -31,7 +55,20 @@ class Client {
   Response call(const std::string& method, json::Value params,
                 const std::string& id = "");
 
+  /// Submits `method` as an async job and blocks until it is terminal,
+  /// re-issuing bounded `wait` requests (the daemon caps a single wait so
+  /// one client cannot pin a connection thread). Returns the job's inner
+  /// response with `id` applied. Admission rejections ("overloaded" /
+  /// "draining") and a cancelled job come back as-is for the caller's
+  /// retry policy.
+  Response submit_and_wait(const std::string& method, json::Value params,
+                           const std::string& id = "",
+                           long long wait_slice_ms = 30'000);
+
+  const Endpoint& endpoint() const { return endpoint_; }
+
  private:
+  Endpoint endpoint_;
   int fd_ = -1;
   std::string buffer_;  // bytes read past the previous response line
 };

@@ -1,0 +1,142 @@
+#include "klotski/serve/endpoint.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace klotski::serve {
+
+namespace {
+
+Endpoint parse_host_port(const std::string& spec, const std::string& rest) {
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == rest.size()) {
+    throw std::invalid_argument("endpoint '" + spec +
+                                "': tcp form is HOST:PORT");
+  }
+  Endpoint out;
+  out.kind = Endpoint::Kind::kTcp;
+  out.host = rest.substr(0, colon);
+  const std::string port_text = rest.substr(colon + 1);
+  std::size_t consumed = 0;
+  unsigned long port = 0;
+  try {
+    port = std::stoul(port_text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != port_text.size() || port > 65535) {
+    throw std::invalid_argument("endpoint '" + spec + "': bad port '" +
+                                port_text + "'");
+  }
+  out.port = static_cast<std::uint16_t>(port);
+  return out;
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  if (spec.empty()) throw std::invalid_argument("endpoint spec is empty");
+  if (spec.rfind("unix:", 0) == 0) {
+    Endpoint out;
+    out.kind = Kind::kUnix;
+    out.path = spec.substr(5);
+    if (out.path.empty()) {
+      throw std::invalid_argument("endpoint '" + spec + "': empty path");
+    }
+    return out;
+  }
+  if (spec.rfind("tcp:", 0) == 0) return parse_host_port(spec, spec.substr(4));
+  if (spec.find('/') != std::string::npos) {
+    Endpoint out;
+    out.kind = Kind::kUnix;
+    out.path = spec;
+    return out;
+  }
+  if (spec.find(':') != std::string::npos) return parse_host_port(spec, spec);
+  throw std::invalid_argument(
+      "endpoint '" + spec +
+      "': want unix:PATH, tcp:HOST:PORT, a /path, or HOST:PORT");
+}
+
+std::string Endpoint::describe() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+void set_tcp_nodelay(int fd) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return;
+  }
+  if (addr.ss_family != AF_INET && addr.ss_family != AF_INET6) return;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int connect_endpoint(const Endpoint& endpoint) {
+  if (endpoint.is_unix()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("endpoint: socket path too long: " +
+                               endpoint.path);
+    }
+    std::strncpy(addr.sun_path, endpoint.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error(std::string("endpoint: socket: ") +
+                               std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("endpoint: connect " + endpoint.describe() +
+                               ": " + std::strerror(err));
+    }
+    return fd;
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const std::string port_text = std::to_string(endpoint.port);
+  const int rc =
+      ::getaddrinfo(endpoint.host.c_str(), port_text.c_str(), &hints, &found);
+  if (rc != 0) {
+    throw std::runtime_error("endpoint: resolve " + endpoint.describe() +
+                             ": " + ::gai_strerror(rc));
+  }
+  int last_errno = ECONNREFUSED;
+  for (addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(found);
+      set_tcp_nodelay(fd);
+      return fd;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(found);
+  throw std::runtime_error("endpoint: connect " + endpoint.describe() + ": " +
+                           std::strerror(last_errno));
+}
+
+}  // namespace klotski::serve

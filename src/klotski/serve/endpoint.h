@@ -1,0 +1,49 @@
+// Transport endpoints of the plan service: where a daemon listens and a
+// client connects, independent of the wire protocol (protocol.h) spoken on
+// top. Two transports carry the same NDJSON byte stream:
+//
+//   AF_UNIX   "unix:/tmp/k.sock" or any spec containing '/'
+//             — one box, filesystem permissions as access control
+//   TCP       "tcp:HOST:PORT" or plain "HOST:PORT"
+//             — the fleet front door; HOST may be a name (getaddrinfo) or a
+//             numeric address, PORT 0 asks the kernel for an ephemeral port
+//             (servers report the bound port via Server::tcp_endpoint())
+//
+// parse() is shared by every tool flag (--connect / --listen) so the two
+// sides can never disagree about what a spec means. TCP sockets get
+// TCP_NODELAY on both ends: the protocol is short request/response lines
+// and Nagle would serialize them behind delayed ACKs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace klotski::serve {
+
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;  // kUnix: socket path
+  std::string host;  // kTcp: hostname or numeric address
+  std::uint16_t port = 0;
+
+  /// Parses an endpoint spec (see file comment for the accepted forms).
+  /// Throws std::invalid_argument on malformed specs.
+  static Endpoint parse(const std::string& spec);
+
+  /// Canonical spec string ("unix:/path" / "tcp:host:port").
+  std::string describe() const;
+
+  bool is_unix() const { return kind == Kind::kUnix; }
+  bool is_tcp() const { return kind == Kind::kTcp; }
+};
+
+/// Connects a blocking stream socket to the endpoint; returns the fd.
+/// Throws std::runtime_error (with the spec and errno text) on failure.
+int connect_endpoint(const Endpoint& endpoint);
+
+/// Enables TCP_NODELAY on a TCP socket; no-op for other address families.
+void set_tcp_nodelay(int fd);
+
+}  // namespace klotski::serve

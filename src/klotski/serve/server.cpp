@@ -1,5 +1,7 @@
 #include "klotski/serve/server.h"
 
+#include <netdb.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -7,6 +9,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -17,6 +20,14 @@
 namespace klotski::serve {
 
 namespace {
+
+/// Poll tick of the accept loop: finished connection threads are reaped at
+/// this cadence even when no new client ever connects.
+constexpr int kReapIntervalMs = 250;
+
+/// Poll tick of a sync work request's wait loop: how quickly a vanished
+/// peer is noticed and its job cancelled.
+constexpr long long kSyncWaitTickMs = 50;
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
@@ -42,34 +53,109 @@ bool is_work_method(const std::string& method) {
          method == "replan";
 }
 
+/// True when the peer is fully gone (close()/RST — POLLERR or POLLHUP), as
+/// opposed to a half-close (shutdown(SHUT_WR)), which only reads as EOF and
+/// still expects its responses. Reliable for AF_UNIX; for TCP a plain FIN
+/// is indistinguishable from a half-close until a write elicits an RST.
+bool peer_vanished(int fd) {
+  pollfd probe{fd, 0, 0};
+  if (::poll(&probe, 1, 0) < 0) return false;
+  return (probe.revents & (POLLERR | POLLHUP)) != 0;
+}
+
+int listen_tcp(const std::string& spec, std::string& host_out,
+               std::uint16_t& port_out) {
+  const Endpoint endpoint = Endpoint::parse(
+      spec.find(':') == std::string::npos ? spec : "tcp:" + spec);
+  if (!endpoint.is_tcp()) {
+    throw std::runtime_error("serve: --listen wants HOST:PORT, got '" +
+                             spec + "'");
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* found = nullptr;
+  const std::string port_text = std::to_string(endpoint.port);
+  const int rc = ::getaddrinfo(endpoint.host.c_str(), port_text.c_str(),
+                               &hints, &found);
+  if (rc != 0) {
+    throw std::runtime_error("serve: resolve " + spec + ": " +
+                             ::gai_strerror(rc));
+  }
+  int fd = -1;
+  int last_errno = EADDRNOTAVAIL;
+  for (addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(found);
+  if (fd < 0) {
+    throw std::runtime_error("serve: bind " + spec + ": " +
+                             std::strerror(last_errno));
+  }
+  if (::listen(fd, 128) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("serve: listen " + spec + ": " +
+                             std::strerror(err));
+  }
+  sockaddr_storage bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    if (bound.ss_family == AF_INET) {
+      port_out = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      port_out = ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+  host_out = endpoint.host;
+  return fd;
+}
+
 }  // namespace
 
 Server::Server(const Options& options)
     : options_(options),
       service_(options.service),
       jobs_(options.jobs) {
-  if (options_.socket_path.empty()) {
-    throw std::runtime_error("serve: socket_path is required");
+  if (options_.socket_path.empty() && options_.listen.empty()) {
+    throw std::runtime_error(
+        "serve: a unix socket_path or a tcp listen spec is required");
   }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("serve: socket path too long: " +
-                             options_.socket_path);
-  }
-  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-
   if (::pipe(drain_pipe_) != 0) throw_errno("serve: pipe");
 
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw_errno("serve: socket");
-  ::unlink(options_.socket_path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    throw_errno("serve: bind " + options_.socket_path);
+  if (!options_.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("serve: socket path too long: " +
+                               options_.socket_path);
+    }
+    std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("serve: socket");
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw_errno("serve: bind " + options_.socket_path);
+    }
+    if (::listen(listen_fd_, 64) != 0) throw_errno("serve: listen");
   }
-  if (::listen(listen_fd_, 64) != 0) throw_errno("serve: listen");
+  if (!options_.listen.empty()) {
+    tcp_listen_fd_ = listen_tcp(options_.listen, tcp_host_, tcp_port_);
+  }
 }
 
 Server::~Server() {
@@ -77,6 +163,7 @@ Server::~Server() {
   // (constructor succeeded, run() never called / threw).
   request_drain();
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (const auto& conn : conns_) {
@@ -93,7 +180,9 @@ Server::~Server() {
   }
   ::close(drain_pipe_[0]);
   ::close(drain_pipe_[1]);
-  ::unlink(options_.socket_path.c_str());
+  if (!options_.socket_path.empty()) {
+    ::unlink(options_.socket_path.c_str());
+  }
 }
 
 void Server::request_drain() {
@@ -112,50 +201,85 @@ std::size_t Server::active_connections() const {
   return active;
 }
 
+std::size_t Server::tracked_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
+std::string Server::tcp_endpoint() const {
+  if (tcp_listen_fd_ < 0) return std::string();
+  return "tcp:" + tcp_host_ + ":" + std::to_string(tcp_port_);
+}
+
+void Server::accept_one(int listen_fd) {
+  sockaddr_storage peer{};
+  socklen_t peer_len = sizeof(peer);
+  const int fd =
+      ::accept(listen_fd, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return;
+    throw_errno("serve: accept");
+  }
+  set_tcp_nodelay(fd);
+
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  reap_finished_locked();
+  if (conns_.size() >=
+      static_cast<std::size_t>(std::max(1, options_.max_connections))) {
+    write_all(fd, Response::make_status("", "overloaded").to_line());
+    ::close(fd);
+    obs::Registry::global().counter("serve.rejected_connections").inc();
+    return;
+  }
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  conns_.push_back(conn);
+  conn->thread = std::thread([this, conn] { handle_connection(conn); });
+  obs::Registry::global().counter("serve.connections").inc();
+}
+
 void Server::run() {
   for (;;) {
-    pollfd fds[2];
-    fds[0] = {drain_pipe_[0], POLLIN, 0};
-    fds[1] = {listen_fd_, POLLIN, 0};
-    const int ready = ::poll(fds, 2, -1);
+    pollfd fds[3];
+    nfds_t nfds = 0;
+    fds[nfds++] = {drain_pipe_[0], POLLIN, 0};
+    const int unix_slot = listen_fd_ >= 0 ? static_cast<int>(nfds) : -1;
+    if (listen_fd_ >= 0) fds[nfds++] = {listen_fd_, POLLIN, 0};
+    const int tcp_slot = tcp_listen_fd_ >= 0 ? static_cast<int>(nfds) : -1;
+    if (tcp_listen_fd_ >= 0) fds[nfds++] = {tcp_listen_fd_, POLLIN, 0};
+
+    // Finite timeout: the reap below runs even when no client ever
+    // connects again, so finished handler threads are joined and their
+    // fds closed without waiting for the next accept.
+    const int ready = ::poll(fds, nfds, kReapIntervalMs);
     if (ready < 0) {
       if (errno == EINTR) continue;
       throw_errno("serve: poll");
     }
     if (fds[0].revents != 0) break;  // drain requested
-    if ((fds[1].revents & POLLIN) == 0) continue;
-
-    sockaddr_un peer{};
-    socklen_t peer_len = sizeof(peer);
-    const int fd = ::accept(
-        listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("serve: accept");
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      reap_finished_locked();
     }
-
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    reap_finished_locked();
-    if (conns_.size() >= static_cast<std::size_t>(
-                             std::max(1, options_.max_connections))) {
-      write_all(fd, Response::make_status("", "overloaded").to_line());
-      ::close(fd);
-      obs::Registry::global()
-          .counter("serve.rejected_connections")
-          .inc();
-      continue;
+    if (ready == 0) continue;  // reap tick only
+    if (unix_slot >= 0 && (fds[unix_slot].revents & POLLIN) != 0) {
+      accept_one(listen_fd_);
     }
-    auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
-    conns_.push_back(conn);
-    conn->thread = std::thread([this, conn] { handle_connection(conn); });
-    obs::Registry::global().counter("serve.connections").inc();
+    if (tcp_slot >= 0 && (fds[tcp_slot].revents & POLLIN) != 0) {
+      accept_one(tcp_listen_fd_);
+    }
   }
 
   // --- drain sequence ---
   draining_.store(true, std::memory_order_relaxed);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
 
   // Finish (or checkpoint) every admitted job. Connection threads keep
   // serving during this: in-flight sync requests harvest their results,
@@ -181,10 +305,24 @@ void Server::run() {
 }
 
 void Server::handle_connection(const std::shared_ptr<Connection>& conn) {
+  using Clock = std::chrono::steady_clock;
   std::string buffer;
   char chunk[4096];
+  Clock::time_point last_activity = Clock::now();
   for (;;) {
     const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos && newline > options_.max_request_bytes) {
+      // The whole oversized line arrived in one read; same verdict as the
+      // never-sends-'\n' case below.
+      obs::Registry::global().counter("serve.oversized_requests").inc();
+      write_all(conn->fd,
+                Response::make_error(
+                    "", "request line exceeds " +
+                            std::to_string(options_.max_request_bytes) +
+                            " bytes")
+                    .to_line());
+      break;
+    }
     if (newline != std::string::npos) {
       const std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
@@ -193,38 +331,76 @@ void Server::handle_connection(const std::shared_ptr<Connection>& conn) {
       Response resp;
       try {
         const Request req = parse_request(line);
-        resp = dispatch(req);
+        resp = dispatch(conn, req);
       } catch (const std::exception& e) {
         resp = Response::make_error("", e.what());
       }
       if (!write_all(conn->fd, resp.to_line())) break;
+      last_activity = Clock::now();
       continue;
     }
 
+    // A peer that streams bytes without ever sending '\n' would otherwise
+    // grow the buffer without bound; answer once, loudly, and hang up.
+    if (buffer.size() > options_.max_request_bytes) {
+      obs::Registry::global().counter("serve.oversized_requests").inc();
+      write_all(conn->fd,
+                Response::make_error(
+                    "", "request line exceeds " +
+                            std::to_string(options_.max_request_bytes) +
+                            " bytes")
+                    .to_line());
+      break;
+    }
+
+    pollfd probe{conn->fd, POLLIN, 0};
+    const int ready = ::poll(&probe, 1, kReapIntervalMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      if (options_.idle_timeout_ms > 0 &&
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              Clock::now() - last_activity)
+                  .count() >= options_.idle_timeout_ms) {
+        obs::Registry::global().counter("serve.idle_timeouts").inc();
+        break;
+      }
+      continue;
+    }
     const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if (n == 0) break;  // EOF (or shutdown() during drain)
+    if (n == 0) {
+      // EOF. A half-closed peer may still have a buffered request without
+      // its newline — nothing more can complete it, so hang up; complete
+      // buffered lines were already answered above.
+      break;
+    }
     buffer.append(chunk, static_cast<std::size_t>(n));
+    last_activity = Clock::now();
   }
   conn->done.store(true, std::memory_order_relaxed);
 }
 
-Response Server::dispatch(const Request& request) {
+Response Server::dispatch(const std::shared_ptr<Connection>& conn,
+                          const Request& request) {
   if (request.method == "ping") return handle_ping(request);
   if (request.method == "stats") return handle_stats(request);
   if (request.method == "submit") return handle_submit(request);
   if (request.method == "poll") return handle_poll(request);
   if (request.method == "wait") return handle_wait(request);
   if (request.method == "cancel") return handle_cancel(request);
-  if (is_work_method(request.method)) return run_sync_work(request);
+  if (is_work_method(request.method)) return run_sync_work(conn, request);
   return Response::make_error(request.id,
                               "unknown method '" + request.method + "'");
 }
 
-Response Server::run_sync_work(const Request& request) {
+Response Server::run_sync_work(const std::shared_ptr<Connection>& conn,
+                               const Request& request) {
   // Sync = submit + wait + forget: the planner only ever runs on worker
   // threads, so concurrency is bounded by --workers and a full queue is an
   // immediate, explicit rejection.
@@ -235,12 +411,27 @@ Response Server::run_sync_work(const Request& request) {
   if (!submitted.ok()) {
     return Response::make_status(request.id, submitted.rejected);
   }
-  const std::optional<JobManager::JobView> view =
-      jobs_.wait(submitted.job_id);
-  jobs_.forget(submitted.job_id);
-  if (!view) {
-    return Response::make_error(request.id, "job vanished");
+  // Wait in short ticks and watch the peer: a client that fully closed its
+  // connection can no longer receive the result, so its job is cancelled
+  // (queued jobs outright, running jobs via the cooperative stop flag)
+  // instead of pinning a worker slot. Draining overrides the probe — the
+  // drain sequence shuts down every connection fd, which reads as
+  // POLLHUP, yet admitted jobs must still be harvested.
+  std::optional<JobManager::JobView> view;
+  for (;;) {
+    view = jobs_.wait(submitted.job_id, kSyncWaitTickMs);
+    if (view) break;
+    if (!draining_.load(std::memory_order_relaxed) &&
+        peer_vanished(conn->fd)) {
+      jobs_.cancel(submitted.job_id);
+      jobs_.forget(submitted.job_id);
+      obs::Registry::global().counter("serve.sync_disconnect_cancels").inc();
+      // The peer is gone; this response is never written.
+      return Response::make_error(request.id,
+                                  "client disconnected; job cancelled");
+    }
   }
+  jobs_.forget(submitted.job_id);
   Response resp = view->result;
   resp.id = request.id;
   return resp;
@@ -354,6 +545,9 @@ Response Server::handle_stats(const Request& request) {
   cache_out["evictions"] = static_cast<std::int64_t>(cache.evictions);
   cache_out["spill_hits"] = static_cast<std::int64_t>(cache.spill_hits);
   cache_out["spill_writes"] = static_cast<std::int64_t>(cache.spill_writes);
+  cache_out["spill_corrupt"] =
+      static_cast<std::int64_t>(cache.spill_corrupt);
+  cache_out["shards"] = static_cast<std::int64_t>(cache.shards);
   cache_out["entries"] = cache.entries;
   cache_out["in_flight"] = cache.in_flight;
 

@@ -261,6 +261,19 @@ Response PlanService::run_chaos(const Request& request,
   chaos.max_phase_retries =
       static_cast<int>(params.get_int("retries", 6));
   chaos.checkpoint_self_test = params.get_bool("resume_check", true);
+  // Fault-script knobs, same names and defaults as klotski_chaos — the
+  // remote mode (klotski_chaos --connect) forwards its flags verbatim.
+  chaos.faults.circuit_degrades =
+      static_cast<int>(params.get_int("degrades", 2));
+  chaos.faults.circuit_failures =
+      static_cast<int>(params.get_int("circuit_failures", 1));
+  chaos.faults.switch_drains =
+      static_cast<int>(params.get_int("drains", 1));
+  chaos.faults.step_failures =
+      static_cast<int>(params.get_int("step_failures", 2));
+  chaos.faults.demand_events = static_cast<int>(params.get_int("surges", 1));
+  chaos.faults.forecast_errors =
+      static_cast<int>(params.get_int("forecast_errors", 1));
 
   const std::uint64_t first_seed =
       static_cast<std::uint64_t>(params.get_int("first_seed", 0));

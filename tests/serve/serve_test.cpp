@@ -222,7 +222,8 @@ TEST(PlanCacheTest, FailedFlightPropagatesAndRecomputes) {
 }
 
 TEST(PlanCacheTest, LruEvictionRespectsTouchOrder) {
-  PlanCache cache(PlanCache::Options{2, ""});
+  // shards = 1: global LRU order is only defined within one shard.
+  PlanCache cache(PlanCache::Options{2, "", 1});
   auto put = [&](const std::string& key) {
     PlanCache::Lookup lookup = cache.acquire(key);
     ASSERT_EQ(lookup.outcome, PlanCache::Outcome::kOwner) << key;
@@ -245,7 +246,7 @@ TEST(PlanCacheTest, EvictedEntriesServeFromSpill) {
           .string();
   std::filesystem::remove_all(dir);
   {
-    PlanCache cache(PlanCache::Options{1, dir});
+    PlanCache cache(PlanCache::Options{1, dir, 1});
     auto put = [&](const std::string& key) {
       PlanCache::Lookup lookup = cache.acquire(key);
       ASSERT_EQ(lookup.outcome, PlanCache::Outcome::kOwner) << key;

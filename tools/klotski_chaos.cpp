@@ -31,14 +31,20 @@
 //   --surges / --forecast-errors    fault-script event counts
 //   --no-resume-check   skip the checkpoint kill/resume self-test
 //   --trajectory   print per-phase trajectories (single seed only)
+//   --connect      run the sweep remotely: submit one chaos job to a
+//                  klotski_served daemon (unix:PATH | tcp:HOST:PORT) via
+//                  the serve client library and report its verdicts; the
+//                  daemon's admission control applies (an "overloaded"
+//                  answer exits 3 so sweep drivers can back off)
 //   --metrics-out  write the metrics registry JSON here
 //   --trace-out    write Chrome trace_event JSON here
 //
 // Exit status: 0 all seeds passed; 1 failures (every failing seed is
-// listed); 2 usage error.
+// listed); 2 usage error; 3 daemon rejected the job (--connect only).
 #include <iostream>
 #include <string>
 
+#include "klotski/serve/client.h"
 #include "klotski/sim/chaos.h"
 #include "klotski/util/flags.h"
 #include "common/tool_runner.h"
@@ -143,6 +149,70 @@ int run(const util::Flags& flags) {
 
   const bool single = num_seeds == 1;
   const bool trajectory = flags.get_bool("trajectory", false) && single;
+
+  // Remote mode: the sweep runs inside a klotski_served worker as one
+  // cooperative-stop-aware job; this process only speaks the protocol.
+  const std::string connect = flags.get_string("connect", "");
+  if (!connect.empty()) {
+    json::Object params_json;
+    params_json["preset"] = flags.get_string("preset", "a");
+    params_json["scale"] = scale;
+    params_json["planner"] = params.planner;
+    params_json["theta"] = params.checker.demand.max_utilization;
+    params_json["growth"] = params.growth_per_step;
+    params_json["max_replans"] = params.max_replans;
+    params_json["retries"] = params.max_phase_retries;
+    params_json["resume_check"] = params.checkpoint_self_test;
+    params_json["degrades"] = params.faults.circuit_degrades;
+    params_json["circuit_failures"] = params.faults.circuit_failures;
+    params_json["drains"] = params.faults.switch_drains;
+    params_json["step_failures"] = params.faults.step_failures;
+    params_json["surges"] = params.faults.demand_events;
+    params_json["forecast_errors"] = params.faults.forecast_errors;
+    params_json["first_seed"] = static_cast<std::int64_t>(first_seed);
+    params_json["seeds"] = num_seeds;
+
+    serve::Client client = serve::Client::connect_with_retry(
+        serve::Endpoint::parse(connect), /*attempts=*/5);
+    const serve::Response resp = client.submit_and_wait(
+        "chaos", json::Value(std::move(params_json)), "chaos-sweep");
+    if (resp.status == "overloaded" || resp.status == "draining") {
+      std::cerr << "klotski_chaos: daemon " << resp.status << "\n";
+      return 3;
+    }
+    if (!resp.ok()) {
+      std::cerr << "klotski_chaos: remote sweep failed: " << resp.error
+                << "\n";
+      return 2;
+    }
+    const long long seeds_run = resp.result.get_int("seeds_run", 0);
+    const long long failures = resp.result.get_int("failures", 0);
+    std::vector<std::int64_t> failing;
+    if (const json::Value* verdicts =
+            resp.result.as_object().find("verdicts")) {
+      for (const json::Value& v : verdicts->as_array()) {
+        if (!v.get_bool("passed", false)) {
+          failing.push_back(v.get_int("seed", -1));
+          std::cout << "seed " << v.get_int("seed", -1) << ": FAIL ("
+                    << v.get_string("failure", "") << ")\n";
+        }
+      }
+    }
+    std::cout << "chaos sweep (remote via " << connect << "): "
+              << (seeds_run - failures) << "/" << seeds_run
+              << " seeds passed";
+    if (resp.result.get_bool("stopped", false)) {
+      std::cout << " (stopped early by daemon drain)";
+    }
+    std::cout << "\n";
+    if (failures > 0) {
+      std::cout << "failing seeds:";
+      for (const std::int64_t s : failing) std::cout << " " << s;
+      std::cout << "\n";
+      return 1;
+    }
+    return 0;
+  }
 
   const sim::ChaosSweepResult sweep =
       sim::run_chaos_sweep(first_seed, num_seeds, threads, params);

@@ -3,16 +3,18 @@
 // Two modes:
 //
 //   # one plan request, plan text to a file (byte-identity smoke checks)
-//   klotski_loadgen --socket=/tmp/k.sock --once --npd=region.npd.json \
+//   klotski_loadgen --connect=/tmp/k.sock --once --npd=region.npd.json \
 //                   --result-out=plan.json
 //
-//   # mixed workload at a target rate, latency percentile report
-//   klotski_loadgen --socket=/tmp/k.sock --npd=region.npd.json \
-//                   --requests=200 --qps=50 --connections=4 \
+//   # mixed workload at a target rate over TCP, many connections
+//   klotski_loadgen --connect=tcp:127.0.0.1:7077 --npd=region.npd.json \
+//                   --requests=5000 --qps=0 --connections=32 \
 //                   --report=BENCH_serve.json
 //
 // Flags:
-//   --socket       daemon unix socket (required)
+//   --connect      daemon endpoint: unix:PATH | tcp:HOST:PORT | /path |
+//                  HOST:PORT (required; --socket is an alias kept for
+//                  unix-path callers)
 //   --npd          NPD JSON document for plan requests (required)
 //   --once         single synchronous plan request; exit 0 iff status ok
 //   --result-out   (--once) write the returned plan text here; the bytes
@@ -124,8 +126,14 @@ double percentile(const std::vector<double>& sorted, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+std::string endpoint_spec(const util::Flags& flags) {
+  const std::string spec = flags.get_string("connect", "");
+  if (!spec.empty()) return spec;
+  return flags.get_string("socket", "");
+}
+
 int run_once(const util::Flags& flags, const json::Value& npd) {
-  serve::Client client(flags.get_string("socket", ""));
+  serve::Client client(endpoint_spec(flags));
   const serve::Response resp =
       client.call("plan", plan_params(flags, npd, 0), "once");
   if (!resp.ok()) {
@@ -161,7 +169,8 @@ struct Tally {
 };
 
 int run_mix(const util::Flags& flags, const json::Value& npd) {
-  const std::string socket = flags.get_string("socket", "");
+  const serve::Endpoint endpoint =
+      serve::Endpoint::parse(endpoint_spec(flags));
   const long long requests = flags.get_int("requests", 100);
   const double qps = flags.get_double("qps", 50.0);
   const int connections =
@@ -182,7 +191,8 @@ int run_mix(const util::Flags& flags, const json::Value& npd) {
   const Clock::time_point start = Clock::now();
 
   auto worker = [&] {
-    serve::Client client(socket);
+    serve::Client client =
+        serve::Client::connect_with_retry(endpoint, /*attempts=*/5);
     for (;;) {
       const long long i = next_index.fetch_add(1);
       if (i >= requests) return;
@@ -250,6 +260,8 @@ int run_mix(const util::Flags& flags, const json::Value& npd) {
 
   json::Object report;
   report["schema"] = "klotski.loadgen-report.v1";
+  report["endpoint"] = endpoint.describe();
+  report["transport"] = endpoint.is_tcp() ? "tcp" : "unix";
   report["requests"] = static_cast<std::int64_t>(requests);
   report["completed"] =
       static_cast<std::int64_t>(tally.latencies_ms.size());
@@ -287,8 +299,8 @@ int run_mix(const util::Flags& flags, const json::Value& npd) {
 }
 
 int run(const util::Flags& flags) {
-  if (flags.get_string("socket", "").empty()) {
-    std::cerr << "klotski_loadgen: --socket=PATH is required\n";
+  if (endpoint_spec(flags).empty()) {
+    std::cerr << "klotski_loadgen: --connect=ENDPOINT is required\n";
     return 2;
   }
   const std::string npd_path = flags.get_string("npd", "");

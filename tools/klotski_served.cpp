@@ -1,31 +1,48 @@
 // klotski_served — the Klotski plan service daemon.
 //
+//   # one box: unix socket only
 //   klotski_served --socket=/tmp/k.sock --workers=4 --cache-capacity=64 \
 //                  --spill-dir=/var/cache/klotski
 //
+//   # fleet front door: TCP beside (or instead of) the unix socket
+//   klotski_served --socket=/tmp/k.sock --listen=0.0.0.0:7077 --workers=8 \
+//                  --cache-shards=16 --idle-timeout-ms=60000
+//
 // Serves the klotski.serve.v1 protocol (newline-delimited JSON over a unix
-// socket; see src/klotski/serve/protocol.h and README "Plan service"):
-// plan / audit / chaos / replan work methods, sync or submitted as async
-// jobs, behind a bounded worker pool with explicit admission control and a
-// content-addressed single-flight plan cache.
+// socket and/or TCP; see src/klotski/serve/protocol.h and README "Plan
+// service"): plan / audit / chaos / replan work methods, sync or submitted
+// as async jobs, behind a bounded worker pool with explicit admission
+// control and a content-addressed single-flight plan cache, sharded so
+// concurrent cache hits on different keys never contend on one lock.
 //
 // Flags:
-//   --socket        unix socket path (required; kept short — sun_path caps
-//                   at ~100 bytes)
+//   --socket        unix socket path (kept short — sun_path caps at ~100
+//                   bytes); optional when --listen is given
+//   --listen        TCP listen spec HOST:PORT; port 0 binds an ephemeral
+//                   port (see --endpoint-out)        (default: none)
+//   --endpoint-out  write the bound TCP endpoint ("tcp:host:port" with the
+//                   real port) to this file once listening — scripts wait
+//                   for the file instead of parsing logs
 //   --workers       worker threads executing jobs       (default 2)
 //   --max-queue     queued jobs before new work is rejected with
 //                   {"status":"overloaded"}             (default 64)
 //   --cache-capacity  completed plans held in memory    (default 128)
+//   --cache-shards  cache lock shards                   (default 8)
 //   --spill-dir     directory for evicted plans; doubles as a warm cache
 //                   across daemon restarts              (default: none)
+//   --max-request-bytes  request-line cap; longer lines are answered with
+//                   status:"error" and the connection is closed
+//                                                       (default 1 MiB)
+//   --idle-timeout-ms  close connections idle this long; 0 disables
+//                                                       (default 60000)
 //   --threads       total planner thread budget, split across the workers
 //                   by the shared oversubscription rule (default: one per
 //                   worker)
 //   --router-threads  intra-check budget per planner    (default 1)
 //   --max-connections  concurrent client connections    (default 64)
-//   --ready-fd      write one byte to this fd once the socket is listening
-//                   (scripts: open a pipe, wait for the byte instead of
-//                   polling)
+//   --ready-fd      write one byte to this fd once the sockets are
+//                   listening (scripts: open a pipe, wait for the byte
+//                   instead of polling)
 //   --metrics-out   write the metrics registry JSON here on drain
 //   --trace-out     write Chrome trace_event JSON here on drain
 //
@@ -40,6 +57,7 @@
 #include <unistd.h>
 
 #include "klotski/serve/server.h"
+#include "klotski/util/file.h"
 #include "klotski/util/flags.h"
 #include "klotski/util/thread_budget.h"
 #include "common/tool_runner.h"
@@ -61,8 +79,10 @@ void on_signal(int) {
 int run(const util::Flags& flags) {
   serve::Server::Options options;
   options.socket_path = flags.get_string("socket", "");
-  if (options.socket_path.empty()) {
-    std::cerr << "klotski_served: --socket=PATH is required\n";
+  options.listen = flags.get_string("listen", "");
+  if (options.socket_path.empty() && options.listen.empty()) {
+    std::cerr << "klotski_served: --socket=PATH and/or --listen=HOST:PORT "
+                 "is required\n";
     return 2;
   }
   options.jobs.workers = static_cast<int>(flags.get_int("workers", 2));
@@ -75,7 +95,22 @@ int run(const util::Flags& flags) {
       static_cast<int>(flags.get_int("max-connections", 64));
   options.service.cache.capacity =
       static_cast<std::size_t>(flags.get_int("cache-capacity", 128));
+  options.service.cache.shards =
+      static_cast<int>(flags.get_int("cache-shards", 8));
+  if (options.service.cache.shards < 1) {
+    std::cerr << "klotski_served: --cache-shards must be >= 1\n";
+    return 2;
+  }
   options.service.cache.spill_dir = flags.get_string("spill-dir", "");
+  const long long max_request_bytes =
+      flags.get_int("max-request-bytes", 1 << 20);
+  if (max_request_bytes < 1024) {
+    std::cerr << "klotski_served: --max-request-bytes must be >= 1024\n";
+    return 2;
+  }
+  options.max_request_bytes =
+      static_cast<std::size_t>(max_request_bytes);
+  options.idle_timeout_ms = flags.get_int("idle-timeout-ms", 60'000);
 
   // The planner thread budget is split across the workers so a fully busy
   // pool keeps ~--threads threads running, not workers * --threads.
@@ -97,6 +132,14 @@ int run(const util::Flags& flags) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGPIPE, SIG_IGN);  // dead clients surface as write errors
 
+  const std::string endpoint_out = flags.get_string("endpoint-out", "");
+  if (!endpoint_out.empty()) {
+    if (server.tcp_endpoint().empty()) {
+      std::cerr << "klotski_served: --endpoint-out needs --listen\n";
+      return 2;
+    }
+    util::write_file(endpoint_out, server.tcp_endpoint() + "\n");
+  }
   const long long ready_fd = flags.get_int("ready-fd", -1);
   if (ready_fd >= 0) {
     const char byte = 'r';
@@ -104,9 +147,15 @@ int run(const util::Flags& flags) {
         ::write(static_cast<int>(ready_fd), &byte, 1);
     ::close(static_cast<int>(ready_fd));
   }
-  std::cerr << "klotski_served: listening on " << server.socket_path()
-            << " (" << options.jobs.workers << " workers, queue "
-            << options.jobs.max_queue << ")\n";
+  std::cerr << "klotski_served: listening on ";
+  if (!server.socket_path().empty()) {
+    std::cerr << "unix:" << server.socket_path();
+    if (!server.tcp_endpoint().empty()) std::cerr << " + ";
+  }
+  if (!server.tcp_endpoint().empty()) std::cerr << server.tcp_endpoint();
+  std::cerr << " (" << options.jobs.workers << " workers, queue "
+            << options.jobs.max_queue << ", "
+            << options.service.cache.shards << " cache shards)\n";
 
   server.run();  // returns after the graceful drain
 
