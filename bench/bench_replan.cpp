@@ -1,0 +1,250 @@
+// bench_replan — warm-start replanning latency (DESIGN.md §11).
+//
+// Runs the same seeded chaos sweep twice — once with warm repair enabled
+// and once forced cold — and compares per-round replanning latency. Every
+// planning round after a seed's initial plan is a "replan"; in the warm
+// configuration a replan is either a suffix repair (no search at all) or a
+// fallback full search after the repair gates declined. The headline
+// comparison is the median latency of warm-repaired rounds against the
+// median replan latency of the all-cold sweep, at byte-identical safety:
+// both sweeps must pass and fail the exact same seeds.
+//
+// Fault scripts, presets and the driver configuration are identical across
+// the two sweeps (same seeds, checkpoint self-test off so the measurement
+// is the replan path, not the resume oracle), so every latency difference
+// is attributable to the warm-start machinery.
+//
+// Usage:
+//   bench_replan [--preset=b] [--seeds=1000] [--first-seed=0]
+//                [--threads=N] [--slack=1.25] [--json=out.json]
+//
+// The JSON document (schema klotski.bench_replan.v1) carries one row per
+// configuration (replan_scratch / replan_warm); bench/bench_to_json.sh
+// folds it into BENCH_core.json under "bench_replan" and
+// scripts/bench_compare.py gates both the row presence and the speedup.
+//
+// Exit status: 0 ok; 1 the two sweeps diverged in safety (different
+// verdicts) or the warm sweep never repaired anything; 2 usage error.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "klotski/json/json.h"
+#include "klotski/sim/chaos.h"
+#include "klotski/util/flags.h"
+#include "klotski/util/string_util.h"
+#include "klotski/util/table.h"
+
+namespace {
+
+using namespace klotski;
+
+bool parse_preset(const std::string& text, topo::PresetId& out) {
+  if (text == "a") out = topo::PresetId::kA;
+  else if (text == "b") out = topo::PresetId::kB;
+  else if (text == "c") out = topo::PresetId::kC;
+  else if (text == "d") out = topo::PresetId::kD;
+  else if (text == "e") out = topo::PresetId::kE;
+  else return false;
+  return true;
+}
+
+struct LatencyStats {
+  std::size_t count = 0;
+  double median_ms = 0.0;
+  double mean_ms = 0.0;
+  double p90_ms = 0.0;
+};
+
+LatencyStats stats_of(std::vector<double> seconds) {
+  LatencyStats s;
+  s.count = seconds.size();
+  if (seconds.empty()) return s;
+  std::sort(seconds.begin(), seconds.end());
+  double sum = 0.0;
+  for (const double v : seconds) sum += v;
+  s.mean_ms = sum / static_cast<double>(seconds.size()) * 1e3;
+  s.median_ms = seconds[seconds.size() / 2] * 1e3;
+  s.p90_ms = seconds[std::min(seconds.size() - 1, seconds.size() * 9 / 10)] *
+             1e3;
+  return s;
+}
+
+struct SweepSummary {
+  int passed = 0;
+  int warm_attempts = 0;
+  int warm_wins = 0;
+  int fallback_full = 0;
+  double total_cost = 0.0;  // executed cost summed over passing seeds
+  std::vector<double> replan_seconds;  // every round after the initial plan
+  std::vector<double> repair_seconds;  // the warm-repaired subset
+  std::vector<std::uint64_t> failing;
+};
+
+SweepSummary summarize(const sim::ChaosSweepResult& sweep) {
+  SweepSummary out;
+  for (const sim::ChaosVerdict& v : sweep.verdicts) {
+    if (v.passed()) {
+      ++out.passed;
+      out.total_cost += v.executed_cost;
+    } else {
+      out.failing.push_back(v.seed);
+    }
+    out.warm_attempts += v.warm_attempts;
+    out.warm_wins += v.warm_wins;
+    out.fallback_full += v.fallback_full;
+    for (std::size_t i = 1; i < v.rounds.size(); ++i) {
+      out.replan_seconds.push_back(v.rounds[i].seconds);
+      if (v.rounds[i].warm) out.repair_seconds.push_back(v.rounds[i].seconds);
+    }
+  }
+  return out;
+}
+
+json::Value row_json(const std::string& name, const SweepSummary& s,
+                     const LatencyStats& replans, int seeds) {
+  json::Object row;
+  row["name"] = name;
+  row["seeds"] = seeds;
+  row["passed"] = s.passed;
+  row["replans"] = static_cast<std::int64_t>(replans.count);
+  row["median_ms"] = replans.median_ms;
+  row["mean_ms"] = replans.mean_ms;
+  row["p90_ms"] = replans.p90_ms;
+  row["warm_attempts"] = s.warm_attempts;
+  row["warm_wins"] = s.warm_wins;
+  row["fallback_full"] = s.fallback_full;
+  row["total_cost"] = s.total_cost;
+  return json::Value(std::move(row));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  for (const std::string& name : flags.names()) {
+    if (name != "preset" && name != "seeds" && name != "first-seed" &&
+        name != "threads" && name != "slack" && name != "json") {
+      std::cerr << "bench_replan: unknown flag --" << name << "\n";
+      return 2;
+    }
+  }
+
+  sim::ChaosParams params;
+  if (!parse_preset(flags.get_string("preset", "b"), params.preset)) {
+    std::cerr << "bench_replan: unknown --preset (want a..e)\n";
+    return 2;
+  }
+  const int seeds = static_cast<int>(flags.get_int("seeds", 1000));
+  const auto first_seed =
+      static_cast<std::uint64_t>(flags.get_int("first-seed", 0));
+  const int threads = static_cast<int>(flags.get_int(
+      "threads",
+      static_cast<long long>(std::max(1u, std::thread::hardware_concurrency()))));
+  params.repair_cost_slack = flags.get_double("slack", 1.25);
+  // The resume oracle re-executes half of every run — latency noise, not
+  // signal, for a replan-path benchmark (tier-1 covers it).
+  params.checkpoint_self_test = false;
+  if (seeds < 1 || threads < 1) {
+    std::cerr << "bench_replan: --seeds and --threads must be >= 1\n";
+    return 2;
+  }
+
+  params.warm_repair = false;
+  const sim::ChaosSweepResult cold =
+      sim::run_chaos_sweep(first_seed, seeds, threads, params);
+  params.warm_repair = true;
+  const sim::ChaosSweepResult warm =
+      sim::run_chaos_sweep(first_seed, seeds, threads, params);
+
+  const SweepSummary cold_sum = summarize(cold);
+  const SweepSummary warm_sum = summarize(warm);
+  const LatencyStats cold_replans = stats_of(cold_sum.replan_seconds);
+  const LatencyStats warm_replans = stats_of(warm_sum.replan_seconds);
+  const LatencyStats repairs = stats_of(warm_sum.repair_seconds);
+
+  util::Table table({"Config", "Passed", "Replans", "Median(ms)", "Mean(ms)",
+                     "p90(ms)", "WarmWins"});
+  table.set_title("Warm-start replanning, preset " +
+                  std::string(topo::to_string(params.preset)) + ", " +
+                  std::to_string(seeds) + " seeds");
+  table.add_row({"scratch", std::to_string(cold_sum.passed),
+                 std::to_string(cold_replans.count),
+                 util::format_double(cold_replans.median_ms, 3),
+                 util::format_double(cold_replans.mean_ms, 3),
+                 util::format_double(cold_replans.p90_ms, 3), "-"});
+  table.add_row({"warm", std::to_string(warm_sum.passed),
+                 std::to_string(warm_replans.count),
+                 util::format_double(warm_replans.median_ms, 3),
+                 util::format_double(warm_replans.mean_ms, 3),
+                 util::format_double(warm_replans.p90_ms, 3),
+                 std::to_string(warm_sum.warm_wins) + "/" +
+                     std::to_string(warm_sum.warm_attempts)});
+  table.add_row({"warm (repaired rounds)", "-", std::to_string(repairs.count),
+                 util::format_double(repairs.median_ms, 3),
+                 util::format_double(repairs.mean_ms, 3),
+                 util::format_double(repairs.p90_ms, 3), "-"});
+  table.print(std::cout);
+
+  // Equal safety is the precondition for any latency claim: warm and cold
+  // sweeps must reach the same verdict on every seed.
+  const bool same_safety = cold_sum.failing == warm_sum.failing &&
+                           cold_sum.passed == warm_sum.passed;
+  const double speedup_repair =
+      repairs.median_ms > 0.0 ? cold_replans.median_ms / repairs.median_ms
+                              : 0.0;
+  const double speedup_overall =
+      warm_replans.median_ms > 0.0
+          ? cold_replans.median_ms / warm_replans.median_ms
+          : 0.0;
+  std::cout << "\nsafety parity: " << (same_safety ? "ok" : "BROKEN")
+            << "  repair speedup (median): "
+            << util::format_double(speedup_repair, 2)
+            << "x  overall replan speedup (median): "
+            << util::format_double(speedup_overall, 2) << "x\n";
+
+  const std::string json_out = flags.get_string("json", "");
+  if (!json_out.empty()) {
+    json::Object doc;
+    doc["schema"] = "klotski.bench_replan.v1";
+    doc["preset"] = std::string(topo::to_string(params.preset));
+    doc["seeds"] = seeds;
+    doc["repair_cost_slack"] = params.repair_cost_slack;
+    doc["safety_parity"] = same_safety;
+    json::Array rows;
+    rows.push_back(row_json("replan_scratch", cold_sum, cold_replans, seeds));
+    {
+      json::Value warm_row = row_json("replan_warm", warm_sum, warm_replans,
+                                      seeds);
+      warm_row.as_object()["repair_median_ms"] = repairs.median_ms;
+      warm_row.as_object()["repair_mean_ms"] = repairs.mean_ms;
+      warm_row.as_object()["repair_p90_ms"] = repairs.p90_ms;
+      warm_row.as_object()["repairs"] =
+          static_cast<std::int64_t>(repairs.count);
+      warm_row.as_object()["speedup_repair_median"] = speedup_repair;
+      warm_row.as_object()["speedup_overall_median"] = speedup_overall;
+      rows.push_back(std::move(warm_row));
+    }
+    doc["rows"] = json::Value(std::move(rows));
+    std::ofstream out(json_out);
+    out << json::dump(json::Value(std::move(doc)), 2) << "\n";
+    if (!out) {
+      std::cerr << "bench_replan: cannot write " << json_out << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_out << "\n";
+  }
+
+  if (!same_safety) {
+    std::cerr << "bench_replan: FAIL — warm and cold sweeps diverged\n";
+    return 1;
+  }
+  if (warm_sum.warm_wins == 0) {
+    std::cerr << "bench_replan: FAIL — warm sweep never repaired a suffix\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Runs the micro_core google-benchmark suite plus the bench_scale preset
-# sweep and writes the combined results as JSON (BENCH_core.json by default)
-# for regression tracking. The bench_scale rows land under a top-level
-# "bench_scale" key (schema klotski.bench_scale.v1) carrying states/sec and
-# peak-RSS per preset, which scripts/bench_compare.py gates alongside
-# cpu_time.
+# sweep and the bench_replan warm-start sweep, and writes the combined
+# results as JSON (BENCH_core.json by default) for regression tracking. The
+# bench_scale rows land under a top-level "bench_scale" key (schema
+# klotski.bench_scale.v1) carrying states/sec and peak-RSS per preset; the
+# bench_replan rows land under "bench_replan" (klotski.bench_replan.v1)
+# carrying warm vs scratch replan latency. scripts/bench_compare.py gates
+# both alongside cpu_time.
 #
 # KLOTSKI_BENCH_SCALE_ARGS overrides the sweep arguments (default: core+plan
 # modes over presets A..E with a 48 MB budgeted row on E); set it to e.g.
 # "--mode=core --presets=ABC --budget-mb=0" for a quicker capture.
+# KLOTSKI_BENCH_REPLAN_ARGS likewise overrides the bench_replan arguments
+# (default: the acceptance configuration — preset B, 1000 seeds).
 #
 # Benchmark JSON is only meaningful from an optimized binary, so this script
 # owns its build: it configures and builds a Release (-O2 -DNDEBUG) tree in
@@ -44,11 +48,13 @@ case "${BUILD_TYPE}" in
     ;;
 esac
 
-cmake --build "${BUILD_DIR}" --target micro_core bench_scale -j"$(nproc)"
+cmake --build "${BUILD_DIR}" --target micro_core bench_scale bench_replan \
+  -j"$(nproc)"
 
 TMP="$(mktemp "${OUT}.XXXXXX")"
 SCALE_TMP="$(mktemp "${OUT}.scale.XXXXXX")"
-trap 'rm -f "${TMP}" "${SCALE_TMP}"' EXIT
+REPLAN_TMP="$(mktemp "${OUT}.replan.XXXXXX")"
+trap 'rm -f "${TMP}" "${SCALE_TMP}" "${REPLAN_TMP}"' EXIT
 
 "${BIN}" \
   --benchmark_min_time=0.2 \
@@ -66,19 +72,25 @@ fi
 "${BUILD_DIR}/bench/bench_scale" ${KLOTSKI_BENCH_SCALE_ARGS:-} \
   --json="${SCALE_TMP}"
 
-python3 - "${TMP}" "${SCALE_TMP}" <<'EOF'
+# shellcheck disable=SC2086
+"${BUILD_DIR}/bench/bench_replan" ${KLOTSKI_BENCH_REPLAN_ARGS:-} \
+  --json="${REPLAN_TMP}"
+
+python3 - "${TMP}" "${SCALE_TMP}" "${REPLAN_TMP}" <<'EOF'
 import json, sys
-bench_path, scale_path = sys.argv[1], sys.argv[2]
+bench_path, scale_path, replan_path = sys.argv[1], sys.argv[2], sys.argv[3]
 with open(bench_path, encoding="utf-8") as f:
     doc = json.load(f)
 with open(scale_path, encoding="utf-8") as f:
     doc["bench_scale"] = json.load(f)
+with open(replan_path, encoding="utf-8") as f:
+    doc["bench_replan"] = json.load(f)
 with open(bench_path, "w", encoding="utf-8") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 EOF
 
 mv "${TMP}" "${OUT}"
-rm -f "${SCALE_TMP}"
+rm -f "${SCALE_TMP}" "${REPLAN_TMP}"
 trap - EXIT
 echo "wrote ${OUT}"

@@ -15,6 +15,12 @@ Two sections are compared:
   fails — and peak_rss_mb, where a *growth* beyond --rss-threshold fails.
   Files without a bench_scale section skip this comparison, so old baselines
   keep working.
+* bench_replan rows ("bench_replan.rows", klotski.bench_replan.v1): when
+  the BASELINE carries the section the CURRENT file must too (the
+  replan_scratch and replan_warm rows cannot silently disappear), median_ms
+  growth beyond the threshold fails, safety parity must hold, and the warm
+  row's repaired-round median must stay >= 3x faster than scratch (the
+  warm-start acceptance bar).
 
 Exits non-zero on any regression. Stdlib only — usable from tier1.sh as an
 opt-in perf gate without any package installs.
@@ -127,6 +133,59 @@ def compare_scale(base, curr, sps_threshold, rss_threshold):
     return len(shared), regressions
 
 
+def load_replan_rows(doc):
+    """Returns (section dict, {row name: row dict}) for bench_replan."""
+    section = doc.get("bench_replan") or {}
+    return section, {row.get("name", "?"): row
+                     for row in section.get("rows", [])}
+
+
+MIN_REPAIR_SPEEDUP = 3.0
+
+
+def compare_replan(base_doc, curr_doc, threshold):
+    """Gates bench_replan row presence, latency and the repair speedup."""
+    base_section, base = load_replan_rows(base_doc)
+    curr_section, curr = load_replan_rows(curr_doc)
+    if not base_section:
+        return 0, []  # pre-warm-start baseline: nothing to hold curr to
+    regressions = []
+    if not curr_section:
+        print("\nbench_replan: section missing from current file")
+        return 0, [("bench_replan section", float("inf"))]
+    for name in ("replan_scratch", "replan_warm"):
+        if name in base and name not in curr:
+            regressions.append((f"bench_replan {name} row", float("inf")))
+    if not curr_section.get("safety_parity", False):
+        regressions.append(("bench_replan safety_parity", float("inf")))
+    shared = sorted(set(base) & set(curr))
+    if shared:
+        width = max(len(n) for n in shared)
+        print(f"\n{'bench_replan row':<{width}}  {'med base':>10}  "
+              f"{'med curr':>10}")
+        for name in shared:
+            b_med = float(base[name].get("median_ms", 0.0))
+            c_med = float(curr[name].get("median_ms", 0.0))
+            flag = ""
+            if b_med > 0 and (c_med - b_med) / b_med > threshold:
+                regressions.append((f"bench_replan {name} median_ms",
+                                    (c_med - b_med) / b_med))
+                flag = "  REGRESSED"
+            print(f"{name:<{width}}  {b_med:>8.3f}ms  {c_med:>8.3f}ms{flag}")
+    warm = curr.get("replan_warm", {})
+    speedup = float(warm.get("speedup_repair_median", 0.0))
+    if speedup < MIN_REPAIR_SPEEDUP:
+        regressions.append(
+            (f"bench_replan repair speedup {speedup:.2f}x < "
+             f"{MIN_REPAIR_SPEEDUP:.0f}x", float("inf")))
+    else:
+        print(f"bench_replan repair speedup: {speedup:.2f}x (>= "
+              f"{MIN_REPAIR_SPEEDUP:.0f}x required)")
+    if int(warm.get("warm_wins", 0)) <= 0:
+        regressions.append(("bench_replan warm_wins == 0", float("inf")))
+    return len(shared), regressions
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two benchmark JSON files (cpu_time, states/sec, "
@@ -153,6 +212,9 @@ def main():
         load_scale_rows(base_doc), load_scale_rows(curr_doc),
         args.threshold, args.rss_threshold)
     regressions += scale_regressions
+    n_replan, replan_regressions = compare_replan(
+        base_doc, curr_doc, args.threshold)
+    regressions += replan_regressions
 
     if regressions:
         print(f"\n{len(regressions)} metric(s) regressed past the "
@@ -161,7 +223,8 @@ def main():
             print(f"  {name}: {delta:+.1%}", file=sys.stderr)
         return 1
     print(f"\nok: no regression past {args.threshold:.0%} "
-          f"({n_cpu} cpu_time, {n_scale} bench_scale rows compared)")
+          f"({n_cpu} cpu_time, {n_scale} bench_scale, {n_replan} "
+          f"bench_replan rows compared)")
     return 0
 
 

@@ -9,6 +9,11 @@
 # least ${KLOTSKI_BENCH_MIN_QPS:-2000} requests/s of mixed cache-hit/miss
 # traffic on loopback, or the script fails.
 #
+# A third row ("serve_replan") measures warm-start replanning through the
+# daemon: a remote klotski_chaos sweep submitted over the unix socket, with
+# the per-epoch replan latency the daemon reports (DESIGN.md §11). Sweep
+# size via KLOTSKI_BENCH_REPLAN_SEEDS (default 25).
+#
 # Usage: scripts/serve_bench.sh [build-dir] [out-json]
 #   build-dir  tree with the built tools   (default: build)
 #   out-json   consolidated report path    (default: BENCH_serve.json)
@@ -19,6 +24,7 @@ BUILD="${1:-build}"
 OUT="${2:-BENCH_serve.json}"
 MIN_QPS="${KLOTSKI_BENCH_MIN_QPS:-2000}"
 REQUESTS="${KLOTSKI_BENCH_REQUESTS:-6000}"
+REPLAN_SEEDS="${KLOTSKI_BENCH_REPLAN_SEEDS:-25}"
 
 TMP="$(mktemp -d)"
 SOCK="/tmp/kbench-$$.sock"
@@ -60,6 +66,30 @@ TCP_EP="$(cat "${TMP}/tcp.endpoint")"
   --connections=32 --report="${TMP}/tcp.json" \
   2> "${TMP}/loadgen-tcp.log"
 
+# Remote replan bench: one chaos sweep submitted as a daemon job; the
+# summary line carries the warm-repair tallies and the median per-epoch
+# replan latency measured inside the serve worker.
+"./${BUILD}/tools/klotski_chaos" --connect="${SOCK}" --preset=a \
+  --seeds="${REPLAN_SEEDS}" | tee "${TMP}/replan.txt"
+REPLAN_SUMMARY="$(grep 'median replan' "${TMP}/replan.txt")"
+REPLAN_MS="$(sed -n 's/.*median replan \([0-9.eE+-]*\) ms.*/\1/p' \
+  <<< "${REPLAN_SUMMARY}")"
+WARM_WINS="$(sed -n 's/.*warm \([0-9]*\)\/[0-9]*.*/\1/p' \
+  <<< "${REPLAN_SUMMARY}")"
+WARM_ATTEMPTS="$(sed -n 's/.*warm [0-9]*\/\([0-9]*\).*/\1/p' \
+  <<< "${REPLAN_SUMMARY}")"
+[[ -n "${REPLAN_MS}" && -n "${WARM_ATTEMPTS}" ]] || {
+  echo "serve_bench: FAIL — could not parse the remote replan summary" >&2
+  exit 1
+}
+printf '{\n  "name": "serve_replan",\n  "transport": "unix",\n' \
+  > "${TMP}/replan.json"
+printf '  "preset": "a",\n  "seeds": %s,\n' "${REPLAN_SEEDS}" \
+  >> "${TMP}/replan.json"
+printf '  "warm_wins": %s,\n  "warm_attempts": %s,\n' \
+  "${WARM_WINS}" "${WARM_ATTEMPTS}" >> "${TMP}/replan.json"
+printf '  "median_replan_ms": %s\n}\n' "${REPLAN_MS}" >> "${TMP}/replan.json"
+
 kill -TERM "${SERVED_PID}"
 wait "${SERVED_PID}" || { echo "serve_bench: drain failed" >&2; exit 1; }
 SERVED_PID=""
@@ -76,10 +106,12 @@ UNIX_QPS="$(qps_of "${TMP}/unix.json")"
   printf '  "requests_per_row": %s,\n' "${REQUESTS}"
   printf '  "rows": [\n'
   sed 's/^/    /' "${TMP}/unix.json" | sed '$s/$/,/'
-  sed 's/^/    /' "${TMP}/tcp.json"
+  sed 's/^/    /' "${TMP}/tcp.json" | sed '$s/$/,/'
+  sed 's/^/    /' "${TMP}/replan.json"
   printf '  ]\n}\n'
 } > "${OUT}"
-echo "serve_bench: unix ${UNIX_QPS} qps, tcp ${TCP_QPS} qps -> ${OUT}"
+echo "serve_bench: unix ${UNIX_QPS} qps, tcp ${TCP_QPS} qps," \
+     "remote replan ${REPLAN_MS} ms -> ${OUT}"
 
 awk -v got="${TCP_QPS}" -v want="${MIN_QPS}" \
   'BEGIN { exit (got + 0 >= want + 0) ? 0 : 1 }' || {

@@ -21,10 +21,35 @@ cmake --build build -j"${JOBS}"
 # exits non-zero listing every failing seed; reproduce one with
 #   ./build/tools/klotski_chaos --preset=X --seed=N --trajectory
 CHAOS_SEEDS="${KLOTSKI_CHAOS_SEEDS:-25}"
-./build/tools/klotski_chaos --preset=a --seeds="${CHAOS_SEEDS}" \
-  --threads="${JOBS}"
-./build/tools/klotski_chaos --preset=b --seeds="${CHAOS_SEEDS}" \
-  --threads="${JOBS}"
+# Each preset sweeps twice — warm repair on (the default) and forced cold —
+# and the verdicts must match seed for seed: warm-start replanning is a
+# latency optimization, never a behavior change (DESIGN.md §11). The warm
+# run also writes its metrics so klotski_metrics_check can cross-check the
+# replan.warm_attempts == warm_wins + fallback_full identity.
+CHAOS_TMP="$(mktemp -d)"
+for preset in a b; do
+  ./build/tools/klotski_chaos --preset="${preset}" --seeds="${CHAOS_SEEDS}" \
+    --threads="${JOBS}" \
+    --metrics-out="${CHAOS_TMP}/chaos-${preset}-warm-metrics.json" \
+    | tee "${CHAOS_TMP}/chaos-${preset}-warm.txt"
+  ./build/tools/klotski_chaos --preset="${preset}" --seeds="${CHAOS_SEEDS}" \
+    --threads="${JOBS}" --no-warm-repair \
+    | tee "${CHAOS_TMP}/chaos-${preset}-cold.txt"
+  for run in warm cold; do
+    sed -E -e 's/, warm [0-9]+\/[0-9]+, median replan [0-9.e+-]+ ms//' \
+      -e 's/ warm=[0-9]+\/[0-9]+//' \
+      "${CHAOS_TMP}/chaos-${preset}-${run}.txt" \
+      > "${CHAOS_TMP}/chaos-${preset}-${run}-verdicts.txt"
+  done
+  if ! diff -u "${CHAOS_TMP}/chaos-${preset}-warm-verdicts.txt" \
+      "${CHAOS_TMP}/chaos-${preset}-cold-verdicts.txt"; then
+    echo "tier1: FAIL — warm and cold chaos verdicts differ (preset ${preset})" >&2
+    exit 1
+  fi
+  ./build/tools/klotski_metrics_check \
+    --metrics="${CHAOS_TMP}/chaos-${preset}-warm-metrics.json"
+done
+rm -rf "${CHAOS_TMP}"
 
 # Serve smoke gate: daemon up on both transports (unix socket + TCP
 # loopback), served-vs-CLI byte identity (cold + cache hit), cross-transport
@@ -63,7 +88,7 @@ KLOTSKI_CHAOS_SEEDS=10 ./build-tsan/tests/test_sim \
 # engine's epoch stamping / sparse slot bookkeeping is exactly the kind of
 # code where a stale-index bug reads garbage instead of crashing.
 cmake -B build-asan -S . -DKLOTSKI_SANITIZE=address
-cmake --build build-asan -j"${JOBS}" --target test_traffic test_sim test_core test_util
+cmake --build build-asan -j"${JOBS}" --target test_traffic test_sim test_core test_util test_migration
 ./build-asan/tests/test_traffic \
   --gtest_filter='EcmpEquivalence.*:EcmpParallel*'
 # Chaos engine under ASan: fault scripts mutate live capacities, tear
@@ -77,6 +102,11 @@ KLOTSKI_CHAOS_SEEDS=10 ./build-asan/tests/test_sim
 ./build-asan/tests/test_util --gtest_filter='PodPool.*:StridedPool.*'
 ./build-asan/tests/test_core \
   --gtest_filter='SoAEquivalence.*:MemBudget.*:StateHasher.*:SatCache.*'
+# Incremental symmetry under ASan: the randomized journal-mutation suite
+# drives the dirty-set recomputation over hundreds of topology edits —
+# stale class indices or an under-sized scratch vector would read garbage
+# here long before a plain run noticed.
+./build-asan/tests/test_migration --gtest_filter='SymmetryIncremental.*'
 
 # Observability smoke: plan a small preset with --metrics-out/--trace-out at
 # --threads=1 and --threads=4, check both artifacts re-parse with the

@@ -118,6 +118,19 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
   const auto num_types = static_cast<std::int32_t>(target.size());
   const CostModel cost(options.alpha, options.type_weights);
 
+  // Warm start, part 1: adopt the shared verdict cache before the first
+  // evaluation. Carried entries hold verdicts identical to a fresh check
+  // (the caller's invalidation rules guarantee it), so adoption changes
+  // latency, never the plan.
+  if (options.warm != nullptr && options.use_satisfiability_cache &&
+      options.warm->sat_cache != nullptr) {
+    plan.provenance.sat_carried =
+        static_cast<long long>(options.warm->sat_cache->size());
+    // An empty shared cache is a harvest vehicle, not a warm start.
+    if (plan.provenance.sat_carried > 0) plan.provenance.warm_start = true;
+    evaluator.adopt_cache(options.warm->sat_cache);
+  }
+
   const auto budget_bytes = static_cast<std::size_t>(
       options.mem_budget_mb > 0.0 ? options.mem_budget_mb * 1024.0 * 1024.0
                                   : 0.0);
@@ -179,6 +192,45 @@ Plan AStarPlanner::plan(migration::MigrationTask& task,
   // max_states guard keeps its pre-arena meaning and also bounds budget-
   // induced re-expansion.
   long long total_pushed = 1;
+
+  // Warm start, part 2: replay the surviving suffix of the previous plan as
+  // an arena chain so the old plan's corridor starts on the open list. Each
+  // seed action must target the next block of its type; a type change
+  // closes a run, so the boundary state is checked for feasibility and the
+  // replay stops at the first violation. Seeded entries carry true g values
+  // and the admissible heuristic, so A* keeps its optimality guarantee —
+  // the corridor only saves re-discovery work when it is (near-)right.
+  if (options.warm != nullptr && !options.warm->seed_actions.empty()) {
+    plan.provenance.warm_start = true;
+    std::uint32_t at = root;
+    std::int32_t at_last = -1;
+    CountVector cur(origin);
+    for (const PlannedAction& action : options.warm->seed_actions) {
+      const std::int32_t a = action.type;
+      if (a < 0 || a >= num_types) break;
+      const auto ia = static_cast<std::size_t>(a);
+      if (cur[ia] >= target[ia] || action.block_index != cur[ia]) break;
+      if (a != at_last && at != root &&
+          !evaluator.feasible(arena.counts(at), arena.hash(at))) {
+        break;
+      }
+      const double g = arena.g(at) + cost.transition_cost(at_last, a);
+      const std::uint32_t index = arena.push_child(at, a, g);
+      ++total_pushed;
+      ++cur[ia];
+      table.upsert(arena.state_hash(index), index, g);
+      double h = 0.0;
+      if (options.use_astar_heuristic) {
+        h = options.use_paper_literal_heuristic
+                ? cost.heuristic_paper_literal(cur.data(), target)
+                : cost.heuristic(cur.data(), target, a);
+      }
+      open.push(QueueEntry{g + h, arena.finished(index), seq++, index});
+      ++plan.provenance.warm_seeded_nodes;
+      at = index;
+      at_last = a;
+    }
+  }
 
   // Expansion trace (Figure 6 view); parallel vector of node ids so the
   // final-path flag can be set during reconstruction. Compaction remaps the

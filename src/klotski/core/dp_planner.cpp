@@ -34,6 +34,18 @@ Plan DpPlanner::plan(migration::MigrationTask& task,
   const auto num_types = static_cast<std::int32_t>(target.size());
   const CostModel cost(options.alpha, options.type_weights);
 
+  // Warm start: adopt the shared verdict cache before the first evaluation
+  // (the DP sweep visits every lattice cell regardless, so the arena-seed
+  // half of WarmStart does not apply — only the carried verdicts do).
+  if (options.warm != nullptr && options.use_satisfiability_cache &&
+      options.warm->sat_cache != nullptr) {
+    plan.provenance.sat_carried =
+        static_cast<long long>(options.warm->sat_cache->size());
+    // An empty shared cache is a harvest vehicle, not a warm start.
+    if (plan.provenance.sat_carried > 0) plan.provenance.warm_start = true;
+    evaluator.adopt_cache(options.warm->sat_cache);
+  }
+
   // The DP table is dense and pre-sized, so the memory budget only governs
   // the satisfiability cache here; the A* planner owns open-list eviction.
   plan.provenance.mem_budget_mb = options.mem_budget_mb;

@@ -22,6 +22,11 @@ void publish_planner_metrics(const std::string& planner,
   reg.counter("evaluator.delta_applies").inc(stats.delta_applies);
   reg.counter("evaluator.full_replays").inc(stats.full_replays);
   reg.histogram("planner.wall_seconds").observe(stats.wall_seconds);
+  if (provenance != nullptr && provenance->warm_start) {
+    reg.counter("planner.warm_starts").inc();
+    reg.counter("planner.warm_seeded_nodes").inc(provenance->warm_seeded_nodes);
+    reg.counter("planner.sat_carried").inc(provenance->sat_carried);
+  }
   if (provenance != nullptr && provenance->mem_budget_mb > 0.0) {
     reg.counter("planner.evicted_states").inc(provenance->evicted_states);
     reg.counter("planner.compactions").inc(provenance->compactions);

@@ -48,6 +48,16 @@ struct SearchProvenance {
   long long evicted_states = 0;     // open entries dropped by the budget
   long long compactions = 0;        // arena compaction passes
   long long peak_tracked_bytes = 0;  // high-water of the budgeted footprint
+
+  // Warm-start replanning (DESIGN.md §11). warm_repair means no search ran
+  // at all: the plan is the previous plan's surviving suffix, revalidated
+  // from scratch and accepted under the repair cost slack. warm_start means
+  // a search ran but was seeded (arena corridor and/or carried verdict
+  // cache) — its result is identical to a cold search, only faster.
+  bool warm_start = false;
+  bool warm_repair = false;
+  long long warm_seeded_nodes = 0;  // arena nodes seeded from the suffix
+  long long sat_carried = 0;        // carried verdict-cache entries adopted
 };
 
 /// Publishes one run's stats into the global obs registry (no-op while

@@ -7,6 +7,7 @@
 
 #include "klotski/constraints/composite.h"
 #include "klotski/core/plan.h"
+#include "klotski/core/sat_cache.h"
 #include "klotski/migration/task.h"
 
 namespace klotski::core {
@@ -19,6 +20,26 @@ namespace klotski::core {
 /// see pipeline::make_standard_checker_factory).
 using CheckerFactory = std::function<std::shared_ptr<constraints::CompositeChecker>(
     migration::MigrationTask& task)>;
+
+/// Warm-start input for re-planning (pipeline/replan.cpp, DESIGN.md §11):
+/// state salvaged from the previous planning epoch. Both members are pure
+/// accelerators — a warm search returns the same plan a cold one would,
+/// only faster — which is what lets the chaos resume oracle hold across
+/// warm runs.
+struct WarmStart {
+  /// The surviving suffix of the previous plan, rebased into the new task's
+  /// coordinates (per-type block indices renumbered from zero). The A*
+  /// planner replays it into the search arena so the old plan's corridor
+  /// starts on the open list; actions are validated at type boundaries
+  /// during seeding and the replay stops at the first infeasibility — seeds
+  /// are hints, never commitments.
+  std::vector<PlannedAction> seed_actions;
+  /// Verdict cache shared with (or carried from) the caller; adopted by the
+  /// planner's evaluator, so it is both pre-seeded input and harvestable
+  /// output. Carried entries must be provably still valid (the caller owns
+  /// the invalidation rules — see SatCache::carried). nullptr = none.
+  std::shared_ptr<SatCache> sat_cache;
+};
 
 struct PlannerOptions {
   /// Cost-function alpha (§5); 0 recovers Eq. 1.
@@ -62,6 +83,9 @@ struct PlannerOptions {
   int num_threads = 1;
   /// Worker constraint-stack builder; ignored when num_threads <= 1.
   CheckerFactory checker_factory;
+  /// Warm-start state from a previous planning epoch; nullptr = cold start.
+  /// Not owned; must outlive the plan() call.
+  const WarmStart* warm = nullptr;
 };
 
 class Planner {

@@ -104,6 +104,38 @@ void SatCache::clear() {
   old_ = Gen{};
 }
 
+SatCache SatCache::carried(const std::int32_t* delta, std::size_t n,
+                           bool keep_sat, bool keep_unsat) const {
+  SatCache out;
+  out.max_entries_ = max_entries_;
+  if (!keep_sat && !keep_unsat) return out;
+  std::vector<std::int32_t> shifted(n);
+  const auto carry_gen = [&](const Gen& gen) {
+    for (const Slot& s : gen.slots) {
+      if (s.state != 1 || s.key_len != n) continue;
+      const bool verdict = s.verdict != 0;
+      if (verdict ? !keep_sat : !keep_unsat) continue;
+      bool in_range = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        shifted[i] = gen.keys[s.key_pos + i] - delta[i];
+        if (shifted[i] < 0) {
+          in_range = false;
+          break;
+        }
+      }
+      if (!in_range) continue;
+      // Keys are unique across both generations (store() checks both and
+      // promotion tombstones the old copy) and the shift is injective, so a
+      // plain insert suffices.
+      out.insert_current(shifted.data(), n,
+                         StateHasher::hash(shifted.data(), n), verdict);
+    }
+  };
+  carry_gen(cur_);
+  carry_gen(old_);
+  return out;
+}
+
 std::size_t SatCache::approx_memory_bytes() const {
   const auto gen_bytes = [](const Gen& gen) {
     return gen.slots.capacity() * sizeof(Slot) +

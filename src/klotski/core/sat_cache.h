@@ -53,6 +53,26 @@ class SatCache {
   std::size_t size() const { return cur_.size + old_.size; }
   void clear();
 
+  /// Cross-epoch carry for warm-start replanning (DESIGN.md §11): builds a
+  /// fresh cache whose entries are this cache's live entries re-keyed into
+  /// the next planning epoch's coordinates. `delta` (length n) is the
+  /// per-type count of blocks executed between the epochs; an entry keyed
+  /// (v_i) becomes (v_i - delta_i) and is dropped when any component would
+  /// go negative (the state precedes the new origin). keep_sat / keep_unsat
+  /// select which verdicts the caller proved still valid under the new
+  /// epoch's demands and capacities (pipeline/replan.cpp owns the
+  /// monotonicity rules); carried verdicts must be *provably identical* to
+  /// a fresh check, so seeding a planner with them cannot change its
+  /// output, only its latency. Entries with a different arity are dropped.
+  SatCache carried(const std::int32_t* delta, std::size_t n, bool keep_sat,
+                   bool keep_unsat) const;
+
+  /// Opaque tag identifying the planning epoch this cache was filled in
+  /// (the replan driver stamps the topology state-version); serialized into
+  /// checkpoints as warm-state provenance.
+  void set_epoch_key(std::uint64_t key) { epoch_key_ = key; }
+  std::uint64_t epoch_key() const { return epoch_key_; }
+
   /// Entries dropped by generation rotation since construction.
   long long evictions() const { return evictions_; }
 
@@ -88,6 +108,7 @@ class SatCache {
   Gen old_;
   std::size_t max_entries_ = kDefaultMaxEntries;
   long long evictions_ = 0;
+  std::uint64_t epoch_key_ = 0;
 };
 
 }  // namespace klotski::core

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "klotski/constraints/composite.h"
@@ -64,24 +65,34 @@ class StateEvaluator {
   bool use_cache() const { return use_cache_; }
   std::optional<bool> cache_lookup(const std::int32_t* counts,
                                    std::uint64_t hash) {
-    return cache_.lookup(counts, target_.size(), hash);
+    return cache_->lookup(counts, target_.size(), hash);
   }
   void cache_store(const std::int32_t* counts, std::uint64_t hash, bool ok) {
-    cache_.store(counts, target_.size(), hash, ok);
+    cache_->store(counts, target_.size(), hash, ok);
   }
   std::optional<bool> cache_lookup(const CountVector& counts) {
-    return cache_.lookup(counts);
+    return cache_->lookup(counts);
   }
   void cache_store(const CountVector& counts, bool ok) {
-    cache_.store(counts, ok);
+    cache_->store(counts, ok);
   }
+
+  /// Warm-start plumbing (PlannerOptions::warm): replaces the verdict cache
+  /// with a shared instance — carried over from a previous planning epoch,
+  /// and harvestable by the caller after the search. Every carried entry
+  /// must hold a verdict identical to what a fresh check would produce for
+  /// this evaluator's task; call before the first evaluation.
+  void adopt_cache(std::shared_ptr<SatCache> cache) {
+    if (cache != nullptr) cache_ = std::move(cache);
+  }
+  const std::shared_ptr<SatCache>& shared_cache() const { return cache_; }
 
   /// Caps the satisfiability cache (SatCache::set_max_entries); the
   /// budgeted planners derive this from --mem-budget-mb.
   void set_cache_capacity(std::size_t max_entries) {
-    cache_.set_max_entries(max_entries);
+    cache_->set_max_entries(max_entries);
   }
-  std::size_t cache_bytes() const { return cache_.approx_memory_bytes(); }
+  std::size_t cache_bytes() const { return cache_->approx_memory_bytes(); }
   /// Merges verdict counts computed on worker clones into this evaluator's
   /// accounting. The delta/full split is *logical*: it mirrors what this
   /// evaluator's own materialize() would have decided for each of the
@@ -96,7 +107,7 @@ class StateEvaluator {
   long long evaluations() const { return evaluations_; }
   long long delta_applies() const { return delta_applies_; }
   long long full_replays() const { return full_replays_; }
-  const SatCache& cache() const { return cache_; }
+  const SatCache& cache() const { return *cache_; }
   migration::MigrationTask& task() { return task_; }
   constraints::CompositeChecker& checker() { return checker_; }
 
@@ -122,7 +133,7 @@ class StateEvaluator {
   constraints::CompositeChecker& checker_;
   bool use_cache_;
   bool incremental_ = true;
-  SatCache cache_;
+  std::shared_ptr<SatCache> cache_ = std::make_shared<SatCache>();
   CountVector target_;
   long long sat_checks_ = 0;
   long long cache_hits_ = 0;

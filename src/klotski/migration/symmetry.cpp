@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "klotski/util/hash.h"
 
@@ -15,20 +16,97 @@ using topo::Topology;
 namespace {
 
 /// Initial coloring: everything a constraint can see locally on the switch
-/// itself.
-std::vector<std::int32_t> initial_colors(const Topology& topo) {
-  std::map<std::tuple<int, int, int, int>, std::int32_t> color_of_key;
-  std::vector<std::int32_t> colors(topo.num_switches());
-  for (const topo::Switch& s : topo.switches()) {
-    const auto key = std::make_tuple(static_cast<int>(s.role),
-                                     static_cast<int>(s.gen),
-                                     static_cast<int>(s.state), s.max_ports);
-    const auto [it, unused] = color_of_key.emplace(
-        key, static_cast<std::int32_t>(color_of_key.size()));
-    (void)unused;
-    colors[static_cast<std::size_t>(s.id)] = it->second;
+/// itself, hashed so an attribute edit recolors only that switch.
+std::uint64_t initial_color(const topo::Switch& s) {
+  std::uint64_t h = util::hash_combine(0x9E3779B97F4A7C15ULL,
+                                       static_cast<std::uint64_t>(s.role));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(s.gen));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(s.state));
+  return util::hash_combine(h, static_cast<std::uint64_t>(
+                                   static_cast<std::uint32_t>(s.max_ports)));
+}
+
+/// Edge signature: capacity and circuit state matter to constraints.
+std::uint64_t edge_signature(const topo::Circuit& c) {
+  return util::hash_combine(static_cast<std::uint64_t>(c.capacity_tbps * 1e6),
+                            static_cast<std::uint64_t>(c.state));
+}
+
+/// One switch's refined color: hash of its previous color and the sorted
+/// multiset of (edge signature, previous neighbor color) over all incident
+/// circuits. `scratch` avoids per-call allocation.
+std::uint64_t refine_one(const Topology& topo, SwitchId sw,
+                         const std::vector<std::uint64_t>& edge_sigs,
+                         const std::vector<std::uint64_t>& prev,
+                         std::vector<std::uint64_t>& scratch) {
+  scratch.clear();
+  for (const CircuitId c : topo.incident(sw)) {
+    const topo::Circuit& circuit = topo.circuits()[static_cast<std::size_t>(c)];
+    const SwitchId other = circuit.a == sw ? circuit.b : circuit.a;
+    scratch.push_back(util::hash_combine(
+        edge_sigs[static_cast<std::size_t>(c)],
+        prev[static_cast<std::size_t>(other)]));
   }
-  return colors;
+  std::sort(scratch.begin(), scratch.end());
+  return util::hash_combine(prev[static_cast<std::size_t>(sw)],
+                            util::hash_span(scratch.data(), scratch.size()));
+}
+
+std::size_t distinct_colors(const std::vector<std::uint64_t>& colors) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(colors.size() * 2);
+  for (const std::uint64_t c : colors) seen.insert(c);
+  return seen.size();
+}
+
+/// Full refinement to the fixed point. Appends the initial colors and every
+/// refined round to `rounds`; the back() is the fixed-point coloring. The
+/// class count is strictly increasing, so at most |S| rounds. Colors are
+/// hashes — two switches share a color iff they are 1-WL equivalent (up to
+/// a 2^-64 collision, the same bet the planner's state hashing makes).
+void run_refinement(const Topology& topo,
+                    const std::vector<std::uint64_t>& edge_sigs,
+                    std::vector<std::vector<std::uint64_t>>& rounds) {
+  const std::size_t n = topo.num_switches();
+  rounds.clear();
+  rounds.emplace_back(n);
+  for (const topo::Switch& s : topo.switches()) {
+    rounds.back()[static_cast<std::size_t>(s.id)] = initial_color(s);
+  }
+  std::size_t num_colors = distinct_colors(rounds.back());
+
+  std::vector<std::uint64_t> scratch;
+  while (true) {
+    const std::vector<std::uint64_t>& prev = rounds.back();
+    std::vector<std::uint64_t> next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = refine_one(topo, static_cast<SwitchId>(i), edge_sigs, prev,
+                           scratch);
+    }
+    const std::size_t next_colors = distinct_colors(next);
+    rounds.push_back(std::move(next));
+    if (next_colors == num_colors) break;  // fixed point
+    num_colors = next_colors;
+  }
+}
+
+/// Dense class numbering by first occurrence in switch-id order — the same
+/// numbering the historical per-round renumbering produced.
+SymmetryPartition build_partition(const std::vector<std::uint64_t>& colors) {
+  const std::size_t n = colors.size();
+  SymmetryPartition partition;
+  partition.class_of.assign(n, -1);
+  std::unordered_map<std::uint64_t, std::int32_t> class_of_color;
+  class_of_color.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [it, inserted] = class_of_color.emplace(
+        colors[i], static_cast<std::int32_t>(class_of_color.size()));
+    if (inserted) partition.blocks.emplace_back();
+    partition.class_of[i] = it->second;
+    partition.blocks[static_cast<std::size_t>(it->second)].push_back(
+        static_cast<SwitchId>(i));
+  }
+  return partition;
 }
 
 }  // namespace
@@ -47,68 +125,222 @@ SymmetryPartition::size_histogram() const {
 }
 
 SymmetryPartition compute_symmetry(const Topology& topo) {
-  const std::size_t n = topo.num_switches();
-  std::vector<std::int32_t> colors = initial_colors(topo);
-
-  // Color refinement: a switch's new color is (old color, sorted multiset
-  // of (edge signature, neighbor color)). Iterate to the fixed point; the
-  // class count is strictly increasing, so at most |S| rounds.
-  std::vector<std::uint64_t> signature(n);
-  std::vector<std::vector<std::uint64_t>> neighbor_sigs(n);
-  std::size_t num_colors = 0;
-  for (const std::int32_t c : colors) {
-    num_colors = std::max(num_colors, static_cast<std::size_t>(c) + 1);
+  std::vector<std::uint64_t> edge_sigs(topo.num_circuits());
+  for (std::size_t c = 0; c < topo.num_circuits(); ++c) {
+    edge_sigs[c] = edge_signature(topo.circuits()[c]);
   }
-
-  while (true) {
-    for (std::size_t i = 0; i < n; ++i) neighbor_sigs[i].clear();
-    for (const topo::Circuit& c : topo.circuits()) {
-      // Edge signature: capacity and circuit state matter to constraints.
-      const std::uint64_t edge = util::hash_combine(
-          static_cast<std::uint64_t>(c.capacity_tbps * 1e6),
-          static_cast<std::uint64_t>(c.state));
-      neighbor_sigs[static_cast<std::size_t>(c.a)].push_back(
-          util::hash_combine(edge, static_cast<std::uint64_t>(
-                                       colors[static_cast<std::size_t>(c.b)])));
-      neighbor_sigs[static_cast<std::size_t>(c.b)].push_back(
-          util::hash_combine(edge, static_cast<std::uint64_t>(
-                                       colors[static_cast<std::size_t>(c.a)])));
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      std::sort(neighbor_sigs[i].begin(), neighbor_sigs[i].end());
-      signature[i] = util::hash_combine(
-          static_cast<std::uint64_t>(colors[i]),
-          util::hash_span(neighbor_sigs[i].data(), neighbor_sigs[i].size()));
-    }
-
-    std::unordered_map<std::uint64_t, std::int32_t> color_of_signature;
-    std::vector<std::int32_t> next(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto [it, unused] = color_of_signature.emplace(
-          signature[i],
-          static_cast<std::int32_t>(color_of_signature.size()));
-      (void)unused;
-      next[i] = it->second;
-    }
-    const std::size_t next_colors = color_of_signature.size();
-    colors.swap(next);
-    if (next_colors == num_colors) break;  // fixed point
-    num_colors = next_colors;
-  }
-
-  SymmetryPartition partition;
-  partition.class_of = std::move(colors);
-  partition.blocks.resize(num_colors);
-  for (std::size_t i = 0; i < n; ++i) {
-    partition.blocks[static_cast<std::size_t>(partition.class_of[i])]
-        .push_back(static_cast<SwitchId>(i));
-  }
-  return partition;
+  std::vector<std::vector<std::uint64_t>> rounds;
+  run_refinement(topo, edge_sigs, rounds);
+  return build_partition(rounds.back());
 }
 
 bool equivalent(const SymmetryPartition& partition, SwitchId a, SwitchId b) {
   return partition.class_of[static_cast<std::size_t>(a)] ==
          partition.class_of[static_cast<std::size_t>(b)];
+}
+
+void IncrementalSymmetry::diff_dirty(
+    const Topology& topo, std::vector<SwitchId>& dirty_switches,
+    std::vector<CircuitId>& dirty_circuits) const {
+  // The cached round-0 colors are a pure hash of each switch's attributes,
+  // so they double as the attribute snapshot; likewise edge_sigs_ for
+  // circuits. Comparing against them filters journal entries that changed
+  // and changed back, and replaces the journal entirely when coverage was
+  // lost (bump_state_version restarts it).
+  const std::vector<std::uint64_t>& initial = rounds_.front();
+  for (const topo::Switch& s : topo.switches()) {
+    if (initial_color(s) != initial[static_cast<std::size_t>(s.id)]) {
+      dirty_switches.push_back(s.id);
+    }
+  }
+  for (std::size_t c = 0; c < topo.num_circuits(); ++c) {
+    if (edge_signature(topo.circuits()[c]) != edge_sigs_[c]) {
+      dirty_circuits.push_back(static_cast<CircuitId>(c));
+    }
+  }
+}
+
+void IncrementalSymmetry::compute_changed(const SymmetryPartition& before) {
+  // A switch's interchangeability context changed iff its old class and new
+  // class differ as member sets. Old blocks partition the switches, and
+  // block member lists are ascending, so one vector compare per old block
+  // covers every switch in O(|S|) total.
+  changed_switches_.clear();
+  if (before.class_of.size() != partition_.class_of.size()) {
+    for (std::size_t i = 0; i < partition_.class_of.size(); ++i) {
+      changed_switches_.push_back(static_cast<SwitchId>(i));
+    }
+    return;
+  }
+  for (const std::vector<SwitchId>& old_block : before.blocks) {
+    if (old_block.empty()) continue;
+    const auto new_class = static_cast<std::size_t>(
+        partition_.class_of[static_cast<std::size_t>(old_block.front())]);
+    if (old_block != partition_.blocks[new_class]) {
+      changed_switches_.insert(changed_switches_.end(), old_block.begin(),
+                               old_block.end());
+    }
+  }
+  std::sort(changed_switches_.begin(), changed_switches_.end());
+}
+
+const SymmetryPartition& IncrementalSymmetry::refresh(const Topology& topo) {
+  const std::size_t n = topo.num_switches();
+  const std::size_t m = topo.num_circuits();
+
+  const bool reusable = topo_ == &topo && !rounds_.empty() &&
+                        rounds_.front().size() == n && edge_sigs_.size() == m;
+  if (!reusable) {
+    ++full_refreshes_;
+    topo_ = &topo;
+    edge_sigs_.resize(m);
+    for (std::size_t c = 0; c < m; ++c) {
+      edge_sigs_[c] = edge_signature(topo.circuits()[c]);
+    }
+    run_refinement(topo, edge_sigs_, rounds_);
+    const SymmetryPartition before = std::move(partition_);
+    partition_ = build_partition(rounds_.back());
+    compute_changed(before);
+    version_ = topo.state_version();
+    return partition_;
+  }
+
+  // Exact dirty sets: journal when it still covers (since, now], snapshot
+  // diff otherwise. Journal entries are only candidates — the snapshot
+  // comparison drops elements whose attributes ended up unchanged.
+  std::vector<SwitchId> dirty_switches;
+  std::vector<CircuitId> dirty_circuits;
+  std::vector<Topology::StateChange> journal;
+  if (topo.changes_since(version_, journal)) {
+    const std::vector<std::uint64_t>& initial = rounds_.front();
+    for (const Topology::StateChange e : journal) {
+      if (Topology::change_is_switch(e)) {
+        const SwitchId sw = Topology::change_switch(e);
+        if (initial_color(topo.sw(sw)) !=
+            initial[static_cast<std::size_t>(sw)]) {
+          dirty_switches.push_back(sw);
+        }
+      } else {
+        const CircuitId c = Topology::change_circuit(e);
+        if (edge_signature(topo.circuit(c)) !=
+            edge_sigs_[static_cast<std::size_t>(c)]) {
+          dirty_circuits.push_back(c);
+        }
+      }
+    }
+    std::sort(dirty_switches.begin(), dirty_switches.end());
+    dirty_switches.erase(
+        std::unique(dirty_switches.begin(), dirty_switches.end()),
+        dirty_switches.end());
+    std::sort(dirty_circuits.begin(), dirty_circuits.end());
+    dirty_circuits.erase(
+        std::unique(dirty_circuits.begin(), dirty_circuits.end()),
+        dirty_circuits.end());
+  } else {
+    diff_dirty(topo, dirty_switches, dirty_circuits);
+  }
+
+  version_ = topo.state_version();
+  if (dirty_switches.empty() && dirty_circuits.empty()) {
+    ++incremental_refreshes_;
+    changed_switches_.clear();
+    return partition_;
+  }
+  ++incremental_refreshes_;
+
+  for (const CircuitId c : dirty_circuits) {
+    edge_sigs_[static_cast<std::size_t>(c)] =
+        edge_signature(topo.circuit(c));
+  }
+
+  // Round 0: re-hash only the attribute-dirty switches.
+  std::vector<std::vector<std::uint64_t>> new_rounds;
+  new_rounds.push_back(rounds_.front());
+  std::vector<SwitchId> changed_prev;
+  for (const SwitchId sw : dirty_switches) {
+    const std::uint64_t color = initial_color(topo.sw(sw));
+    if (color != new_rounds[0][static_cast<std::size_t>(sw)]) {
+      new_rounds[0][static_cast<std::size_t>(sw)] = color;
+      changed_prev.push_back(sw);
+    }
+  }
+  std::size_t num_colors = distinct_colors(new_rounds[0]);
+
+  // Endpoints of attribute-dirty circuits must be re-signed every round —
+  // their edge term changed for good, not just transitively.
+  std::vector<SwitchId> circuit_endpoints;
+  for (const CircuitId c : dirty_circuits) {
+    circuit_endpoints.push_back(topo.circuit(c).a);
+    circuit_endpoints.push_back(topo.circuit(c).b);
+  }
+
+  std::vector<std::uint8_t> in_frontier(n, 0);
+  std::vector<SwitchId> frontier;
+  std::vector<std::uint64_t> scratch;
+
+  for (std::size_t r = 1;; ++r) {
+    const std::vector<std::uint64_t>& prev = new_rounds[r - 1];
+    std::vector<std::uint64_t> next;
+
+    if (r < rounds_.size()) {
+      // Frontier: switches whose previous-round color changed, their
+      // neighbors, and dirty-circuit endpoints. Everything else gets the
+      // cached signature — its inputs (own prev color, every neighbor's
+      // prev color, every incident edge signature) are all unchanged.
+      frontier.clear();
+      std::fill(in_frontier.begin(), in_frontier.end(), 0);
+      const auto add = [&](SwitchId sw) {
+        if (!in_frontier[static_cast<std::size_t>(sw)]) {
+          in_frontier[static_cast<std::size_t>(sw)] = 1;
+          frontier.push_back(sw);
+        }
+      };
+      for (const SwitchId sw : circuit_endpoints) add(sw);
+      for (const SwitchId sw : changed_prev) {
+        add(sw);
+        for (const CircuitId c : topo.incident(sw)) {
+          const topo::Circuit& circuit =
+              topo.circuits()[static_cast<std::size_t>(c)];
+          add(circuit.a == sw ? circuit.b : circuit.a);
+        }
+      }
+
+      next = rounds_[r];
+      changed_prev.clear();
+      for (const SwitchId sw : frontier) {
+        const std::uint64_t color =
+            refine_one(topo, sw, edge_sigs_, prev, scratch);
+        if (color != next[static_cast<std::size_t>(sw)]) {
+          next[static_cast<std::size_t>(sw)] = color;
+          changed_prev.push_back(sw);
+        }
+      }
+      std::sort(changed_prev.begin(), changed_prev.end());
+    } else {
+      // Past the cached fixed point: the new run needs more rounds than the
+      // old one had — refine everything (no cache to diff against).
+      next.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        next[i] = refine_one(topo, static_cast<SwitchId>(i), edge_sigs_,
+                             prev, scratch);
+      }
+      changed_prev.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        changed_prev.push_back(static_cast<SwitchId>(i));
+      }
+    }
+
+    const std::size_t next_colors = distinct_colors(next);
+    new_rounds.push_back(std::move(next));
+    if (next_colors == num_colors) break;  // fixed point, same rule as full
+    num_colors = next_colors;
+  }
+
+  rounds_ = std::move(new_rounds);
+  const SymmetryPartition before = std::move(partition_);
+  partition_ = build_partition(rounds_.back());
+  compute_changed(before);
+  return partition_;
 }
 
 }  // namespace klotski::migration

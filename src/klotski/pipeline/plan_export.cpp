@@ -38,19 +38,33 @@ json::Value plan_to_json(const migration::MigrationTask& task,
   stats["wall_seconds"] = plan.stats.wall_seconds;
   root["stats"] = Value(std::move(stats));
 
-  // Search provenance is emitted only for budgeted runs, keeping the
-  // unbudgeted document (and the golden corpus) unchanged. beam_degraded
-  // is the audit-relevant bit: the plan is safe but possibly suboptimal.
-  if (plan.provenance.mem_budget_mb > 0.0) {
+  // Search provenance is emitted only for budgeted or warm runs, keeping
+  // the plain cold document (and the golden corpus) unchanged.
+  // beam_degraded is the audit-relevant bit for budgeted runs: the plan is
+  // safe but possibly suboptimal. warm_repair/warm_start record how much of
+  // the previous epoch the planner reused (DESIGN.md §11).
+  const bool warm =
+      plan.provenance.warm_start || plan.provenance.warm_repair;
+  if (plan.provenance.mem_budget_mb > 0.0 || warm) {
     Object prov;
-    prov["mem_budget_mb"] = plan.provenance.mem_budget_mb;
-    prov["beam_degraded"] = plan.provenance.beam_degraded;
-    prov["evicted_states"] =
-        static_cast<std::int64_t>(plan.provenance.evicted_states);
-    prov["compactions"] =
-        static_cast<std::int64_t>(plan.provenance.compactions);
-    prov["peak_tracked_bytes"] =
-        static_cast<std::int64_t>(plan.provenance.peak_tracked_bytes);
+    if (plan.provenance.mem_budget_mb > 0.0) {
+      prov["mem_budget_mb"] = plan.provenance.mem_budget_mb;
+      prov["beam_degraded"] = plan.provenance.beam_degraded;
+      prov["evicted_states"] =
+          static_cast<std::int64_t>(plan.provenance.evicted_states);
+      prov["compactions"] =
+          static_cast<std::int64_t>(plan.provenance.compactions);
+      prov["peak_tracked_bytes"] =
+          static_cast<std::int64_t>(plan.provenance.peak_tracked_bytes);
+    }
+    if (warm) {
+      prov["warm_start"] = plan.provenance.warm_start;
+      prov["warm_repair"] = plan.provenance.warm_repair;
+      prov["warm_seeded_nodes"] =
+          static_cast<std::int64_t>(plan.provenance.warm_seeded_nodes);
+      prov["sat_carried"] =
+          static_cast<std::int64_t>(plan.provenance.sat_carried);
+    }
     root["provenance"] = Value(std::move(prov));
   }
 
@@ -127,6 +141,12 @@ core::Plan plan_from_json(const migration::MigrationTask& task,
         static_cast<long long>(prov.get_double("compactions", 0.0));
     plan.provenance.peak_tracked_bytes =
         static_cast<long long>(prov.get_double("peak_tracked_bytes", 0.0));
+    plan.provenance.warm_start = prov.get_bool("warm_start", false);
+    plan.provenance.warm_repair = prov.get_bool("warm_repair", false);
+    plan.provenance.warm_seeded_nodes =
+        static_cast<long long>(prov.get_double("warm_seeded_nodes", 0.0));
+    plan.provenance.sat_carried =
+        static_cast<long long>(prov.get_double("sat_carried", 0.0));
   }
 
   // Resolve labels: action-type label -> id, block label -> (type, index).

@@ -6,8 +6,10 @@
 
 #include "klotski/core/cost_model.h"
 #include "klotski/core/state_evaluator.h"
+#include "klotski/migration/symmetry.h"
 #include "klotski/obs/metrics.h"
 #include "klotski/obs/trace.h"
+#include "klotski/util/timer.h"
 
 namespace klotski::pipeline {
 
@@ -144,6 +146,29 @@ bool remaining_plan_safe(migration::MigrationTask& task,
   return true;
 }
 
+/// The unexecuted suffix of `plan` (phases [from_phase..end)) rebased into
+/// the coordinates of the remaining task: planners emit each type's blocks
+/// in their fixed order, so the surviving blocks of a type renumber densely
+/// from zero. The result is exactly the action list a planner would have to
+/// produce for remaining_task(task, done) to keep executing the old plan
+/// unchanged.
+std::vector<core::PlannedAction> surviving_suffix(const core::Plan& plan,
+                                                  std::size_t from_phase,
+                                                  std::size_t num_types) {
+  std::vector<core::PlannedAction> suffix;
+  std::vector<std::int32_t> next(num_types, 0);
+  const std::vector<core::Phase> phases = plan.phases();
+  for (std::size_t p = from_phase; p < phases.size(); ++p) {
+    const auto t = static_cast<std::size_t>(phases[p].type);
+    if (t >= num_types) return {};
+    for (std::size_t i = 0; i < phases[p].block_indices.size(); ++i) {
+      suffix.push_back(core::PlannedAction{phases[p].type, next[t]});
+      ++next[t];
+    }
+  }
+  return suffix;
+}
+
 bool contains(const std::vector<int>& items, int value) {
   return std::find(items.begin(), items.end(), value) != items.end();
 }
@@ -156,7 +181,7 @@ bool contains(const std::vector<int>& items, int value) {
 
 json::Value ReplanCheckpoint::to_json() const {
   json::Object root;
-  root["schema"] = "klotski.replan-checkpoint.v1";
+  root["schema"] = "klotski.replan-checkpoint.v2";
   root["phases_executed"] = phases_executed;
   root["step"] = step;
   root["next_phase"] = next_phase;
@@ -185,6 +210,15 @@ json::Value ReplanCheckpoint::to_json() const {
     plan["actions"] = json::Value(std::move(actions));
     root["plan"] = json::Value(std::move(plan));
   }
+  root["replan_pending"] = replan_pending;
+  {
+    json::Object warm;
+    warm["attempts"] = warm_attempts;
+    warm["wins"] = warm_wins;
+    warm["fallback_full"] = fallback_full;
+    warm["sat_generation"] = static_cast<std::int64_t>(sat_generation);
+    root["warm"] = json::Value(std::move(warm));
+  }
   json::Array consumed;
   for (const int v : consumed_failures) consumed.push_back(json::Value(v));
   root["consumed_failures"] = json::Value(std::move(consumed));
@@ -193,9 +227,10 @@ json::Value ReplanCheckpoint::to_json() const {
 
 ReplanCheckpoint ReplanCheckpoint::from_json(const json::Value& value) {
   if (!value.is_object()) checkpoint_fail("document is not an object");
-  if (value.get_string("schema", "") != "klotski.replan-checkpoint.v1") {
-    checkpoint_fail("unknown schema '" + value.get_string("schema", "") +
-                    "'");
+  const std::string schema = value.get_string("schema", "");
+  if (schema != "klotski.replan-checkpoint.v2" &&
+      schema != "klotski.replan-checkpoint.v1") {
+    checkpoint_fail("unknown schema '" + schema + "'");
   }
   ReplanCheckpoint cp;
   cp.phases_executed = static_cast<int>(value.at("phases_executed").as_int());
@@ -223,6 +258,19 @@ ReplanCheckpoint ReplanCheckpoint::from_json(const json::Value& value) {
     action.type = static_cast<migration::ActionTypeId>(pair[0].as_int());
     action.block_index = static_cast<std::int32_t>(pair[1].as_int());
     cp.plan_actions.push_back(action);
+  }
+  // v2 warm-state provenance. A v1 document predates warm-start replanning,
+  // so the zero defaults are exact — and replan_pending stays false (v1
+  // never stored a plan when a re-plan was pending, so a stored plan always
+  // meant "resume executing it").
+  cp.replan_pending = value.get_bool("replan_pending", false);
+  if (value.as_object().contains("warm")) {
+    const json::Value& warm = value.at("warm");
+    cp.warm_attempts = static_cast<int>(warm.get_int("attempts", 0));
+    cp.warm_wins = static_cast<int>(warm.get_int("wins", 0));
+    cp.fallback_full = static_cast<int>(warm.get_int("fallback_full", 0));
+    cp.sat_generation =
+        static_cast<std::uint64_t>(warm.get_int("sat_generation", 0));
   }
   for (const json::Value& v : value.at("consumed_failures").as_array()) {
     cp.consumed_failures.push_back(static_cast<int>(v.as_int()));
@@ -265,6 +313,275 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
   std::size_t start_phase = 0;
   bool have_plan = false;
 
+  // ---- Warm-start replanning state (DESIGN.md §11) ----
+  const std::size_t num_types = task.blocks.size();
+  // The surviving suffix of the plan that was executing when the last
+  // re-plan triggered, rebased into remaining-task coordinates. One-shot:
+  // the next planning round consumes it (repair attempt and/or arena seed).
+  std::vector<core::PlannedAction> warm_seed;
+  // The verdict cache harvested from the last planning round together with
+  // the scenario it was computed under. Carried into the next round only
+  // when the guards in carried_cache() prove every surviving entry would
+  // reproduce verbatim (see SatCache::carried). Never checkpointed: carried
+  // entries change latency, not outcomes, so a resume without the cache
+  // replays the identical trajectory.
+  struct WarmCarry {
+    std::shared_ptr<core::SatCache> cache;
+    core::CountVector done_at;
+    std::uint64_t base_signature = 0;
+    std::vector<double> capacities;
+    traffic::DemandSet demands;
+    bool valid = false;
+  } carry;
+  // Incremental symmetry for the repair gate; persists across rounds so
+  // each refresh only reprocesses the dirty frontier of the refinement.
+  migration::IncrementalSymmetry warm_symmetry;
+
+  auto snapshot_capacities = [&]() {
+    std::vector<double> caps;
+    caps.reserve(task.topo->num_circuits());
+    for (const topo::Circuit& c : task.topo->circuits()) {
+      caps.push_back(c.capacity_tbps);
+    }
+    return caps;
+  };
+
+  // Decides whether (and how much of) the carried verdict cache is provably
+  // still exact for a round planning `rest` from the current `done` prefix.
+  // Rules (DESIGN.md §11): any reuse requires the executed prefix and the
+  // post-overlay base state to be unchanged — only then does a count vector
+  // still materialize the identical topology. On top of that, SAT entries
+  // survive only a completely unchanged scenario, while UNSAT entries also
+  // survive demand growth and, under equal-split routing (routes ignore
+  // capacity, so load ratios only rise), capacity loss. Anything else drops
+  // the carry.
+  auto carried_cache = [&](const migration::MigrationTask& rest)
+      -> std::shared_ptr<core::SatCache> {
+    if (!carry.valid) return nullptr;
+    if (carry.done_at != done) return nullptr;
+    if (rest.original_state.signature() != carry.base_signature) {
+      return nullptr;
+    }
+    const std::vector<topo::Circuit>& circuits = task.topo->circuits();
+    if (carry.capacities.size() != circuits.size()) return nullptr;
+    bool caps_equal = true;
+    bool caps_le = true;
+    for (std::size_t i = 0; i < circuits.size(); ++i) {
+      if (circuits[i].capacity_tbps != carry.capacities[i]) {
+        caps_equal = false;
+      }
+      if (circuits[i].capacity_tbps > carry.capacities[i]) caps_le = false;
+    }
+    bool dem_equal = rest.demands.size() == carry.demands.size();
+    bool dem_ge = dem_equal;
+    for (std::size_t i = 0; dem_ge && i < rest.demands.size(); ++i) {
+      const traffic::Demand& now = rest.demands[i];
+      const traffic::Demand& then = carry.demands[i];
+      if (now.kind != then.kind || now.sources != then.sources ||
+          now.targets != then.targets) {
+        dem_equal = false;
+        dem_ge = false;
+        break;
+      }
+      if (now.volume_tbps != then.volume_tbps) dem_equal = false;
+      if (now.volume_tbps < then.volume_tbps) dem_ge = false;
+    }
+    const bool keep_sat = dem_equal && caps_equal;
+    const bool keep_unsat =
+        dem_ge &&
+        (caps_equal || (caps_le && options.checker.routing ==
+                                       traffic::SplitMode::kEqualSplit));
+    if (keep_sat && keep_unsat) return carry.cache;  // scenario unchanged
+    if (!keep_sat && !keep_unsat) return nullptr;
+    const core::CountVector zeros(done.size(), 0);
+    auto filtered = std::make_shared<core::SatCache>(carry.cache->carried(
+        zeros.data(), zeros.size(), keep_sat, keep_unsat));
+    if (filtered->size() == 0) return nullptr;
+    filtered->set_epoch_key(carry.cache->epoch_key());
+    return filtered;
+  };
+
+  // The prefix-preserving repair (DESIGN.md §11): keep executing the
+  // surviving suffix of the previous plan when it (a) only operates switches
+  // whose symmetry classes the disruption left alone, (b) passes a
+  // from-scratch revalidation at every action-type boundary under the
+  // current forecast (and under measured demand when the forecast is
+  // biased), and (c) costs at most repair_cost_slack times an admissible
+  // lower bound of the from-scratch optimum. On acceptance `plan` holds the
+  // suffix and the verdict carry is re-harvested; on decline `reason` says
+  // why and the caller falls back to a (still warm-seeded) full search.
+  auto try_suffix_repair = [&](const Overlay& overlay,
+                               std::string& reason) -> bool {
+    migration::MigrationTask rest = remaining_task(task, done);
+    rest.demands = forecaster.forecast_at_step(step);
+    rest.original_state = with_overlay(std::move(rest.original_state),
+                                       options.maintenance, overlay);
+
+    // The suffix must cover exactly the remaining blocks of every type.
+    core::CountVector rest_target;
+    for (const auto& blocks : rest.blocks) {
+      rest_target.push_back(static_cast<std::int32_t>(blocks.size()));
+    }
+    core::CountVector suffix_total(num_types, 0);
+    for (const core::PlannedAction& a : warm_seed) {
+      const auto t = static_cast<std::size_t>(a.type);
+      if (t >= num_types) {
+        reason = "suffix references an unknown action type";
+        return false;
+      }
+      ++suffix_total[t];
+    }
+    if (suffix_total != rest_target) {
+      reason = "suffix does not cover the remaining blocks";
+      return false;
+    }
+
+    // Symmetry gate: compare the equivalence classes of the current
+    // executed prefix under the fault/maintenance state the plan was built
+    // against with the classes under the current state. A suffix operating
+    // a switch whose interchangeability set changed is quality-suspect (its
+    // blocks were formed under the old classes), so prefer a full re-plan.
+    // This is a quality heuristic only — safety is decided by the
+    // revalidation below, which assumes nothing about interchangeability.
+    {
+      obs::Span symmetry_span("replan/repair_symmetry");
+      // Fast path: an identical active-maintenance set and an identical
+      // fault epoch (which fingerprints drains and capacity degradations
+      // alike — capacities are a pure function of the active event set)
+      // mean the plan-time and current comparison states materialize the
+      // identical topology, so the refinement cannot have moved and the
+      // two refreshes below would diff nothing.
+      const bool same_world =
+          active_maintenance(options.maintenance, last_plan_step) ==
+              overlay.maintenance &&
+          (options.injector == nullptr ||
+           options.injector->fault_epoch(last_plan_step) ==
+               overlay.fault_epoch);
+      if (!same_world) {
+        Overlay plan_overlay = overlay_at(last_plan_step, options, *task.topo);
+        materialize_done(task, done);
+        drain_overlay(*task.topo, options.maintenance, plan_overlay);
+        warm_symmetry.refresh(*task.topo);
+        overlay_at(step, options, *task.topo);  // restore this step's faults
+        materialize_done(task, done);
+        drain_overlay(*task.topo, options.maintenance, overlay);
+        warm_symmetry.refresh(*task.topo);
+        const std::vector<topo::SwitchId>& changed =
+            warm_symmetry.changed_switches();
+        bool hit = false;
+        if (!changed.empty()) {
+          std::vector<std::uint8_t> is_changed(task.topo->num_switches(), 0);
+          for (const topo::SwitchId s : changed) {
+            is_changed[static_cast<std::size_t>(s)] = 1;
+          }
+          for (const auto& blocks : rest.blocks) {
+            for (const migration::OperationBlock& block : blocks) {
+              for (const migration::ElementOp& op : block.ops) {
+                if (op.kind == migration::ElementOp::Kind::kSwitch) {
+                  hit = is_changed[static_cast<std::size_t>(op.id)] != 0;
+                } else {
+                  const topo::Circuit& c = task.topo->circuit(op.id);
+                  hit = is_changed[static_cast<std::size_t>(c.a)] != 0 ||
+                        is_changed[static_cast<std::size_t>(c.b)] != 0;
+                }
+                if (hit) break;
+              }
+              if (hit) break;
+            }
+            if (hit) break;
+          }
+        }
+        task.reset_to_original();
+        if (hit) {
+          reason = "symmetry classes changed under the suffix";
+          return false;
+        }
+      }
+    }
+
+    // From-scratch revalidation of every boundary state (Eq. 4-6) the
+    // suffix visits, under the current forecast. The evaluator adopts the
+    // carried verdict cache when the guards prove it exact — verdicts are
+    // identical either way, only faster.
+    obs::Span revalidate_span("replan/repair_revalidate");
+    CheckerBundle bundle = make_standard_checker(rest, options.checker);
+    core::StateEvaluator evaluator(rest, *bundle.checker, true);
+    std::shared_ptr<core::SatCache> repair_cache = carried_cache(rest);
+    if (repair_cache == nullptr) {
+      repair_cache = std::make_shared<core::SatCache>();
+    }
+    evaluator.adopt_cache(repair_cache);
+
+    double suffix_cost = 0.0;
+    bool safe = true;
+    {
+      core::CountVector cur(num_types, 0);
+      std::int32_t last = -1;
+      if (!evaluator.feasible(cur)) safe = false;
+      for (std::size_t i = 0; safe && i < warm_seed.size(); ++i) {
+        const core::PlannedAction& a = warm_seed[i];
+        if (a.type != last && last != -1 && !evaluator.feasible(cur)) {
+          safe = false;
+          break;
+        }
+        suffix_cost += cost.transition_cost(last, a.type);
+        ++cur[static_cast<std::size_t>(a.type)];
+        last = a.type;
+      }
+      if (safe && !evaluator.feasible(cur)) safe = false;
+    }
+    task.reset_to_original();
+    if (!safe) {
+      reason = "suffix violates constraints under the current forecast";
+      return false;
+    }
+
+    // Cost gate: the heuristic at the all-zero state is an admissible lower
+    // bound of the optimal from-scratch cost, so accepting under
+    // repair_cost_slack bounds the suboptimality of keeping the suffix.
+    const core::CountVector zeros(num_types, 0);
+    const double bound = cost.heuristic(zeros, rest_target, -1);
+    if (suffix_cost > options.repair_cost_slack * bound) {
+      reason = "suffix cost " + std::to_string(suffix_cost) +
+               " exceeds slack x lower bound " +
+               std::to_string(options.repair_cost_slack * bound);
+      return false;
+    }
+
+    // A suffix kept under a biased forecast must also be safe under the
+    // demands actually measured right now (mirrors the full path's biased
+    // re-validation).
+    if (forecaster.biased_at(step)) {
+      core::Plan probe;
+      probe.actions = warm_seed;
+      if (!remaining_plan_safe(task, probe, 0, done, forecaster.at_step(step),
+                               with_overlay(task.original_state,
+                                            options.maintenance, overlay),
+                               options.checker)) {
+        reason = "suffix violates measured demand (biased forecast)";
+        return false;
+      }
+    }
+
+    core::Plan repaired;
+    repaired.found = true;
+    repaired.planner = plan.planner;
+    if (repaired.planner.empty()) repaired.planner = planner.name();
+    repaired.actions = warm_seed;
+    repaired.cost = suffix_cost;
+    repaired.provenance.warm_repair = true;
+    plan = std::move(repaired);
+
+    repair_cache->set_epoch_key(task.topo->state_version());
+    carry.cache = std::move(repair_cache);
+    carry.done_at = done;
+    carry.base_signature = rest.original_state.signature();
+    carry.capacities = snapshot_capacities();
+    carry.demands = std::move(rest.demands);
+    carry.valid = true;
+    return true;
+  };
+
   if (options.resume != nullptr) {
     const ReplanCheckpoint& cp = *options.resume;
     if (cp.done.size() != done.size()) {
@@ -283,13 +600,24 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
     fallback_plans = cp.fallback_plans;
     consumed_failures = cp.consumed_failures;
     result.used_fallback = fallback_active;
+    result.warm_attempts = cp.warm_attempts;
+    result.warm_wins = cp.warm_wins;
+    result.fallback_full = cp.fallback_full;
     if (!cp.plan_actions.empty()) {
       plan.found = true;
       plan.planner = cp.plan_planner;
       plan.cost = cp.plan_cost;
       plan.actions = cp.plan_actions;
-      have_plan = true;
-      start_phase = static_cast<std::size_t>(cp.next_phase);
+      if (cp.replan_pending) {
+        // The interrupted run was about to re-plan: reconstruct the warm
+        // seed it would have carried instead of resuming execution, so the
+        // resumed trajectory makes the same repair-vs-search decision.
+        warm_seed = surviving_suffix(
+            plan, static_cast<std::size_t>(cp.next_phase), num_types);
+      } else {
+        have_plan = true;
+        start_phase = static_cast<std::size_t>(cp.next_phase);
+      }
     }
     result.log.push_back(
         "resumed from checkpoint: " + std::to_string(cp.phases_executed) +
@@ -303,6 +631,41 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
     Overlay overlay = overlay_at(step, options, *task.topo);
 
     if (!have_plan) {
+      util::Stopwatch round_watch;
+      bool round_warm = false;
+      bool round_seeded = false;
+
+      // Repair-first (DESIGN.md §11): try to keep the surviving suffix
+      // before paying for a search. Skipped under the fallback planner
+      // (degradation means the primary's plans are no longer trusted) and
+      // once the re-plan budget is exhausted (the full path must degrade).
+      if (options.warm_repair && !warm_seed.empty() && !fallback_active &&
+          !(options.max_replans > 0 &&
+            planning_runs >= options.max_replans)) {
+        obs::Span repair_span("replan/repair_attempt");
+        ++result.warm_attempts;
+        obs::Registry::global().counter("replan.warm_attempts").inc();
+        std::string reason;
+        if (try_suffix_repair(overlay, reason)) {
+          round_warm = true;
+          ++result.warm_wins;
+          obs::Registry::global().counter("replan.warm_wins").inc();
+          ++planning_runs;
+          obs::Registry::global().counter("replan.planning_runs").inc();
+          last_plan_step = step;
+          result.log.push_back(
+              "warm repair kept " + std::to_string(plan.actions.size()) +
+              " surviving actions (cost " + std::to_string(plan.cost) +
+              ") at step " + std::to_string(step));
+        } else {
+          ++result.fallback_full;
+          obs::Registry::global().counter("replan.fallback_full").inc();
+          result.log.push_back("warm repair declined (" + reason +
+                               "); planning from scratch");
+        }
+      }
+
+      if (!round_warm) {
       // (Re-)plan from the current intermediate topology with the freshest
       // forecast and the active maintenance/fault drains applied. Bounded
       // retry-with-backoff when planning fails under an active fault (the
@@ -310,6 +673,7 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
       // and graceful degradation to the fallback planner after max_replans.
       bool use_truth = false;
       int plan_attempt = 0;
+      core::WarmStart warm_start;
       for (;;) {
         migration::MigrationTask rest = remaining_task(task, done);
         const bool biased = !use_truth && forecaster.biased_at(step);
@@ -338,11 +702,29 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
         core::Planner& active_planner =
             fallback_active ? *fallback : planner;
 
+        // Warm search (DESIGN.md §11): seed the arena with the surviving
+        // suffix and adopt the carried verdict cache when provably exact.
+        // Both are pure accelerators — the planner's result is identical to
+        // a cold run — and the shared cache doubles as the harvest vehicle
+        // for the next epoch's carry. The fallback planner always runs
+        // cold: its plans must not depend on the primary's artifacts.
+        core::PlannerOptions round_options = options.planner_options;
+        if (options.warm_repair && !fallback_active) {
+          warm_start = core::WarmStart{};
+          warm_start.seed_actions = warm_seed;
+          warm_start.sat_cache = carried_cache(rest);
+          if (warm_start.sat_cache == nullptr) {
+            warm_start.sat_cache = std::make_shared<core::SatCache>();
+          }
+          round_options.warm = &warm_start;
+          round_seeded = !warm_start.seed_actions.empty() ||
+                         warm_start.sat_cache->size() > 0;
+        }
+
         CheckerBundle bundle = make_standard_checker(rest, options.checker);
         {
           obs::Span span("replan/plan_round");
-          plan = active_planner.plan(rest, *bundle.checker,
-                                     options.planner_options);
+          plan = active_planner.plan(rest, *bundle.checker, round_options);
         }
         ++planning_runs;
         if (fallback_active) ++fallback_plans;
@@ -390,11 +772,31 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
           use_truth = true;
           continue;
         }
+
+        // Harvest this round's verdicts as the next epoch's carry. The
+        // cache is shared with the planner's evaluator, so it already holds
+        // every verdict the search derived; the scenario snapshot lets
+        // carried_cache() decide later how much of it survives.
+        if (round_options.warm != nullptr) {
+          warm_start.sat_cache->set_epoch_key(task.topo->state_version());
+          carry.cache = warm_start.sat_cache;
+          carry.done_at = done;
+          carry.base_signature = rest.original_state.signature();
+          carry.capacities = snapshot_capacities();
+          carry.demands = std::move(rest.demands);
+          carry.valid = true;
+        }
         break;
       }
       result.log.push_back("planned " + std::to_string(plan.actions.size()) +
                            " actions (cost " + std::to_string(plan.cost) +
                            ") at step " + std::to_string(step));
+      }  // !round_warm
+
+      warm_seed.clear();
+      result.rounds.push_back(ReplanRound{last_plan_step, round_warm,
+                                          round_seeded,
+                                          round_watch.elapsed_seconds()});
       start_phase = 0;
     }
     have_plan = false;
@@ -468,6 +870,9 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
                                " steps before retry " +
                                std::to_string(retry_count));
         }
+        // The failed phase never executed, so the surviving suffix for the
+        // warm repair starts at the failed phase itself.
+        warm_seed = surviving_suffix(plan, p, num_types);
         need_replan = true;
         break;
       }
@@ -539,6 +944,11 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
             need_replan = true;
           }
         }
+        if (need_replan) {
+          // Executed phases [..p]; the rest of the plan survives as the
+          // warm-repair seed for the round the trigger just scheduled.
+          warm_seed = surviving_suffix(plan, p + 1, num_types);
+        }
       }
 
       if (options.checkpoint_sink) {
@@ -555,11 +965,19 @@ ReplanResult execute_with_replanning(migration::MigrationTask& task,
         cp.state_version = task.topo->state_version();
         cp.done = done;
         cp.consumed_failures = consumed_failures;
-        if (!need_replan && done != target && p + 1 < phases.size()) {
+        cp.warm_attempts = result.warm_attempts;
+        cp.warm_wins = result.warm_wins;
+        cp.fallback_full = result.fallback_full;
+        cp.sat_generation = carry.valid ? carry.cache->epoch_key() : 0;
+        // v2 stores the plan even when a re-plan is pending: the resume
+        // rebuilds the warm-repair seed from its suffix, keeping the
+        // resumed trajectory identical to the uninterrupted one.
+        if (done != target && p + 1 < phases.size()) {
           cp.next_phase = static_cast<int>(p) + 1;
           cp.plan_actions = plan.actions;
           cp.plan_cost = plan.cost;
           cp.plan_planner = plan.planner;
+          cp.replan_pending = need_replan;
         }
         options.checkpoint_sink(cp);
       }

@@ -94,8 +94,9 @@ struct PhaseObservation {
 
 /// Everything a killed run needs to restart bit-identically: the executed
 /// counters, the active plan and the position inside it, and the consumed
-/// failure injections. Serialized as "klotski.replan-checkpoint.v1" JSON
-/// (see DESIGN.md "Chaos engine").
+/// failure injections. Serialized as "klotski.replan-checkpoint.v2" JSON
+/// (see DESIGN.md "Chaos engine" and §11); v1 documents still load, with
+/// the v2-only warm-state fields defaulting to zero.
 struct ReplanCheckpoint {
   int phases_executed = 0;
   int step = 0;             // forecast step == topology journal position
@@ -109,12 +110,24 @@ struct ReplanCheckpoint {
   double executed_cost = 0.0;
   std::uint64_t state_version = 0;  // diagnostic: journal position at save
   core::CountVector done;
-  /// The plan being executed; empty when the driver was about to re-plan
-  /// anyway (the resume then starts with a fresh planning round, exactly
-  /// like the uninterrupted run would have).
+  /// The plan being executed (or, with replan_pending, the plan whose
+  /// surviving suffix seeds the next round's warm repair); empty when there
+  /// is nothing to carry — the resume then starts with a cold planning
+  /// round, exactly like the uninterrupted run would have.
   std::vector<core::PlannedAction> plan_actions;
   double plan_cost = 0.0;
   std::string plan_planner;
+  /// v2: the driver decided to re-plan right after this phase. On resume
+  /// the stored plan is not executed; its suffix from next_phase becomes
+  /// the warm-repair seed, reproducing the uninterrupted run's decision.
+  bool replan_pending = false;
+  /// v2 warm-state provenance: repair/fallback counters so a resumed run's
+  /// totals match the uninterrupted run, and the carried SatCache's epoch
+  /// key (generation id; diagnostic — verdicts are re-derived, not stored).
+  int warm_attempts = 0;
+  int warm_wins = 0;
+  int fallback_full = 0;
+  std::uint64_t sat_generation = 0;
   /// Failure injections already consumed (ReplanOptions::failing_phases
   /// entries must fire at most once per phase index).
   std::vector<int> consumed_failures;
@@ -154,6 +167,18 @@ struct ReplanOptions {
   /// Fallback planner name for make_planner (a baselines planner).
   std::string fallback_planner = "mrc";
 
+  /// Warm-start repair (DESIGN.md §11). When a re-plan triggers, the driver
+  /// first tries to keep executing the surviving suffix of the current plan:
+  /// the suffix is revalidated from scratch (fresh checker, current
+  /// forecast/topology/overlay) and accepted when its cost stays within
+  /// repair_cost_slack times an admissible lower bound of the from-scratch
+  /// optimum. On rejection the full planning round still runs warm — arena
+  /// seeds from the suffix plus the carried verdict cache — so either path
+  /// beats a cold restart. false = every re-plan is cold (the
+  /// --no-warm-repair ablation; also what checkpoint-v1 era behavior was).
+  bool warm_repair = true;
+  double repair_cost_slack = 1.25;
+
   /// Chaos hook; nullptr = no injected faults.
   FaultInjector* injector = nullptr;
   /// Invoked after every executed phase with the materialized intermediate
@@ -173,6 +198,15 @@ struct ReplanOptions {
   const ReplanCheckpoint* resume = nullptr;
 };
 
+/// One planning round's latency record (bench_replan aggregates these).
+/// Not checkpointed: determinism covers decisions, not timings.
+struct ReplanRound {
+  int step = 0;            // forecast step the round planned at
+  bool warm = false;        // suffix repair won — no search ran
+  bool warm_seeded = false;  // a full search ran, but warm-seeded
+  double seconds = 0.0;     // wall clock of the whole round
+};
+
 struct ReplanResult {
   bool completed = false;
   /// True when the run ended because ReplanOptions::stop_requested asked it
@@ -185,6 +219,13 @@ struct ReplanResult {
   int phase_retries = 0;       // failed attempts that were retried
   int fallback_plans = 0;      // planning rounds served by the fallback
   bool used_fallback = false;
+  /// Warm-repair accounting: attempts == wins + fallback_full (the
+  /// metrics-check identity). Resumed runs restore these from the
+  /// checkpoint, so totals match the uninterrupted run.
+  int warm_attempts = 0;
+  int warm_wins = 0;
+  int fallback_full = 0;
+  std::vector<ReplanRound> rounds;  // one entry per planning round
   std::vector<std::string> log;
 };
 

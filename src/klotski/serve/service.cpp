@@ -1,5 +1,6 @@
 #include "klotski/serve/service.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -245,6 +246,20 @@ Response PlanService::run_audit(const Request& request) {
   return Response::make_ok(request.id, json::Value(std::move(result)));
 }
 
+namespace {
+
+/// Median planning-round latency in milliseconds; 0 when no rounds ran.
+double median_round_ms(std::vector<double> seconds) {
+  if (seconds.empty()) return 0.0;
+  const std::size_t mid = seconds.size() / 2;
+  std::nth_element(seconds.begin(),
+                   seconds.begin() + static_cast<std::ptrdiff_t>(mid),
+                   seconds.end());
+  return seconds[mid] * 1e3;
+}
+
+}  // namespace
+
 Response PlanService::run_chaos(const Request& request,
                                 const std::atomic<bool>& stop) {
   const json::Value& params = request.params;
@@ -261,6 +276,8 @@ Response PlanService::run_chaos(const Request& request,
   chaos.max_phase_retries =
       static_cast<int>(params.get_int("retries", 6));
   chaos.checkpoint_self_test = params.get_bool("resume_check", true);
+  chaos.warm_repair = !params.get_bool("no_warm_repair", false);
+  chaos.repair_cost_slack = params.get_double("repair_cost_slack", 1.25);
   // Fault-script knobs, same names and defaults as klotski_chaos — the
   // remote mode (klotski_chaos --connect) forwards its flags verbatim.
   chaos.faults.circuit_degrades =
@@ -290,6 +307,10 @@ Response PlanService::run_chaos(const Request& request,
   int failures = 0;
   int seeds_run = 0;
   bool stopped = false;
+  int warm_attempts = 0;
+  int warm_wins = 0;
+  int fallback_full = 0;
+  std::vector<double> round_seconds;
   for (int i = 0; i < num_seeds; ++i) {
     if (stop.load(std::memory_order_relaxed)) {
       stopped = true;
@@ -300,12 +321,19 @@ Response PlanService::run_chaos(const Request& request,
                             chaos);
     ++seeds_run;
     if (!v.passed()) ++failures;
+    warm_attempts += v.warm_attempts;
+    warm_wins += v.warm_wins;
+    fallback_full += v.fallback_full;
+    for (const pipeline::ReplanRound& round : v.rounds) {
+      round_seconds.push_back(round.seconds);
+    }
     json::Object verdict;
     verdict["seed"] = static_cast<std::int64_t>(v.seed);
     verdict["passed"] = v.passed();
     verdict["phases"] = v.phases;
     verdict["replans"] = v.replans;
     verdict["retries"] = v.phase_retries;
+    verdict["warm_wins"] = v.warm_wins;
     if (!v.passed()) verdict["failure"] = v.failure;
     verdicts.push_back(json::Value(std::move(verdict)));
   }
@@ -314,6 +342,10 @@ Response PlanService::run_chaos(const Request& request,
   result["seeds_run"] = seeds_run;
   result["failures"] = failures;
   if (stopped) result["stopped"] = true;
+  result["warm_attempts"] = warm_attempts;
+  result["warm_wins"] = warm_wins;
+  result["fallback_full"] = fallback_full;
+  result["median_replan_ms"] = median_round_ms(std::move(round_seconds));
   result["verdicts"] = std::move(verdicts);
   return Response::make_ok(request.id, json::Value(std::move(result)));
 }
@@ -338,6 +370,9 @@ Response PlanService::run_replan(const Request& request,
       static_cast<int>(params.get_int("max_phase_retries", 3));
   options.max_replans = static_cast<int>(params.get_int("max_replans", 0));
   options.fallback_planner = params.get_string("fallback", "mrc");
+  options.warm_repair = !params.get_bool("no_warm_repair", false);
+  options.repair_cost_slack =
+      params.get_double("repair_cost_slack", 1.25);
   if (const json::Value* failing = params.as_object().find("failing_phases")) {
     for (const json::Value& phase : failing->as_array()) {
       options.failing_phases.push_back(static_cast<int>(phase.as_int()));
@@ -376,6 +411,17 @@ Response PlanService::run_replan(const Request& request,
   result["fallback_plans"] = replan.fallback_plans;
   result["used_fallback"] = replan.used_fallback;
   result["executed_cost"] = replan.executed_cost;
+  result["warm_attempts"] = replan.warm_attempts;
+  result["warm_wins"] = replan.warm_wins;
+  result["fallback_full"] = replan.fallback_full;
+  {
+    std::vector<double> round_seconds;
+    round_seconds.reserve(replan.rounds.size());
+    for (const pipeline::ReplanRound& round : replan.rounds) {
+      round_seconds.push_back(round.seconds);
+    }
+    result["median_replan_ms"] = median_round_ms(std::move(round_seconds));
+  }
   if (replan.stopped && have_checkpoint) {
     result["checkpoint"] = last_checkpoint.to_json();
   }

@@ -59,6 +59,8 @@ RunOutput run_once(migration::MigrationTask& task, const ChaosParams& params,
   options.max_backoff_steps = params.max_backoff_steps;
   options.max_replans = params.max_replans;
   options.fallback_planner = params.fallback_planner;
+  options.warm_repair = params.warm_repair;
+  options.repair_cost_slack = params.repair_cost_slack;
   options.injector = &injector;
 
   InvariantChecker invariants(task, options.checker, options.planner_options);
@@ -128,6 +130,10 @@ ChaosVerdict run_seed_impl(std::uint64_t seed, const ChaosParams& params) {
   verdict.phase_retries = run.result.phase_retries;
   verdict.fallback_plans = run.result.fallback_plans;
   verdict.executed_cost = run.result.executed_cost;
+  verdict.warm_attempts = run.result.warm_attempts;
+  verdict.warm_wins = run.result.warm_wins;
+  verdict.fallback_full = run.result.fallback_full;
+  verdict.rounds = run.result.rounds;
 
   // Kill-and-resume oracle: round-trip a mid-run checkpoint through JSON,
   // re-execute from it in a fresh world (fresh topology, forecaster,
@@ -159,7 +165,11 @@ ChaosVerdict run_seed_impl(std::uint64_t seed, const ChaosParams& params) {
         resumed.result.completed && resumed.violations.empty() &&
         resumed.result.phases_executed == run.result.phases_executed &&
         resumed.result.executed_cost == run.result.executed_cost &&
-        resumed.result.replans == run.result.replans && suffix_matches;
+        resumed.result.replans == run.result.replans &&
+        resumed.result.warm_attempts == run.result.warm_attempts &&
+        resumed.result.warm_wins == run.result.warm_wins &&
+        resumed.result.fallback_full == run.result.fallback_full &&
+        suffix_matches;
     if (!verdict.resume_ok && verdict.failure.empty()) {
       verdict.failure = "checkpoint resume diverged from uninterrupted run";
     }

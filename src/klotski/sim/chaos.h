@@ -43,6 +43,12 @@ struct ChaosParams {
   int max_replans = 0;  // 0 = never degrade to the fallback
   std::string fallback_planner = "mrc";
 
+  /// Warm-start replanning knobs (ReplanOptions; DESIGN.md §11). Warm runs
+  /// must produce the same pass/fail verdicts as cold runs — tier-1 sweeps
+  /// both settings and compares.
+  bool warm_repair = true;
+  double repair_cost_slack = 1.25;
+
   pipeline::CheckerConfig checker;
   core::PlannerOptions planner_options;
 
@@ -70,6 +76,12 @@ struct ChaosVerdict {
   int phase_retries = 0;
   int fallback_plans = 0;
   double executed_cost = 0.0;
+
+  /// Warm-repair accounting + per-round planning latencies (ReplanResult).
+  int warm_attempts = 0;
+  int warm_wins = 0;
+  int fallback_full = 0;
+  std::vector<pipeline::ReplanRound> rounds;
 
   bool passed() const { return completed && invariants_ok && resume_ok; }
 };

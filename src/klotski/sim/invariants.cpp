@@ -118,6 +118,19 @@ void InvariantChecker::observe(const pipeline::PhaseObservation& observation) {
     }
   }
 
+  // 5. Incremental symmetry equals a full recompute on the executed state.
+  {
+    const migration::SymmetryPartition& incremental =
+        persistent_symmetry_.refresh(topo);
+    const migration::SymmetryPartition fresh =
+        migration::compute_symmetry(topo);
+    if (incremental.class_of != fresh.class_of ||
+        incremental.blocks != fresh.blocks) {
+      violation(observation,
+                "incremental symmetry diverged from full recompute");
+    }
+  }
+
   // 2b. Packed liveness words match the per-circuit predicate.
   {
     std::vector<std::uint64_t> words;
@@ -158,6 +171,14 @@ void InvariantChecker::finish(const pipeline::ReplanResult& result) {
         prev_phases_, prev_step_,
         "result.executed_cost " + exact(result.executed_cost) +
             " != observed " + exact(expected_cost_)});
+  }
+  if (result.warm_attempts != result.warm_wins + result.fallback_full) {
+    violations_.push_back(InvariantViolation{
+        prev_phases_, prev_step_,
+        "warm accounting broken: attempts " +
+            std::to_string(result.warm_attempts) + " != wins " +
+            std::to_string(result.warm_wins) + " + full fallbacks " +
+            std::to_string(result.fallback_full)});
   }
 }
 

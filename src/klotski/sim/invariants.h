@@ -17,7 +17,12 @@
 //     executed phase's block count in its type; steps never go backwards.
 //  4. Cost accounting: the driver's running executed_cost equals an
 //     independent re-accumulation through the CostModel, bit-for-bit, and
-//     the final ReplanResult totals match the observed stream.
+//     the final ReplanResult totals match the observed stream (including
+//     the warm-repair identity attempts == wins + full fallbacks).
+//  5. Incremental symmetry: an IncrementalSymmetry instance that has lived
+//     through the whole trajectory (journal / snapshot-diff refresh) yields
+//     exactly compute_symmetry on every executed state — the warm-repair
+//     gate never sees a stale partition.
 //
 // The checker doubles as the trajectory recorder: one line per executed
 // phase (type, blocks, step, state signature, cost) whose byte-equality
@@ -28,6 +33,7 @@
 #include <vector>
 
 #include "klotski/core/cost_model.h"
+#include "klotski/migration/symmetry.h"
 #include "klotski/pipeline/edp.h"
 #include "klotski/pipeline/replan.h"
 #include "klotski/traffic/ecmp.h"
@@ -75,6 +81,7 @@ class InvariantChecker {
   pipeline::CheckerConfig config_;
   core::CostModel cost_;
   traffic::EcmpRouter persistent_router_;
+  migration::IncrementalSymmetry persistent_symmetry_;
 
   // Accounting state mirrored from the driver.
   core::CountVector prev_done_;

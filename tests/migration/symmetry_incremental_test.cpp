@@ -1,0 +1,154 @@
+// Randomized equivalence suite for IncrementalSymmetry (DESIGN.md §11):
+// across hundreds of seeded journal mutations — element state flips,
+// capacity edits with out-of-band version bumps, journal-overflowing bursts
+// and full state restores — every refresh() must equal a from-scratch
+// compute_symmetry() bit for bit, and changed_switches() must equal the
+// brute-force diff of class membership sets between consecutive partitions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "../test_helpers.h"
+#include "klotski/migration/symmetry.h"
+#include "klotski/topo/presets.h"
+
+namespace klotski::migration {
+namespace {
+
+void expect_same_partition(const SymmetryPartition& incremental,
+                           const SymmetryPartition& fresh, int mutation) {
+  ASSERT_EQ(incremental.class_of, fresh.class_of)
+      << "class_of diverged after mutation " << mutation;
+  ASSERT_EQ(incremental.blocks, fresh.blocks)
+      << "blocks diverged after mutation " << mutation;
+}
+
+/// Brute force: s changed iff the set of switches sharing s's class differs
+/// between the two partitions.
+std::vector<topo::SwitchId> changed_by_membership(
+    const SymmetryPartition& before, const SymmetryPartition& after) {
+  std::vector<topo::SwitchId> changed;
+  for (std::size_t s = 0; s < after.class_of.size(); ++s) {
+    const auto& now =
+        after.blocks[static_cast<std::size_t>(after.class_of[s])];
+    if (s >= before.class_of.size()) {
+      changed.push_back(static_cast<topo::SwitchId>(s));
+      continue;
+    }
+    const auto& then =
+        before.blocks[static_cast<std::size_t>(before.class_of[s])];
+    if (now != then) changed.push_back(static_cast<topo::SwitchId>(s));
+  }
+  return changed;
+}
+
+TEST(SymmetryIncremental, FirstRefreshEqualsFullComputeAndListsEverything) {
+  const topo::Region region =
+      topo::build_preset(topo::PresetId::kA, topo::PresetScale::kFull);
+  IncrementalSymmetry inc;
+  const SymmetryPartition& got = inc.refresh(region.topo);
+  expect_same_partition(got, compute_symmetry(region.topo), 0);
+  EXPECT_EQ(inc.changed_switches().size(), region.topo.num_switches());
+  EXPECT_EQ(inc.full_refreshes(), 1);
+}
+
+TEST(SymmetryIncremental, NoChangeRefreshChangesNothing) {
+  topo::Region region =
+      topo::build_preset(topo::PresetId::kA, topo::PresetScale::kFull);
+  IncrementalSymmetry inc;
+  inc.refresh(region.topo);
+  const SymmetryPartition& again = inc.refresh(region.topo);
+  expect_same_partition(again, compute_symmetry(region.topo), 1);
+  EXPECT_TRUE(inc.changed_switches().empty());
+}
+
+TEST(SymmetryIncremental, RandomizedJournalMutationsMatchFullRecompute) {
+  topo::Region region =
+      topo::build_preset(topo::PresetId::kB, topo::PresetScale::kReduced);
+  topo::Topology& topo = region.topo;
+  const topo::TopologyState original = topo::TopologyState::capture(topo);
+  const std::size_t num_switches = topo.num_switches();
+  const std::size_t num_circuits = topo.num_circuits();
+  ASSERT_GT(num_switches, 0u);
+  ASSERT_GT(num_circuits, 0u);
+
+  std::mt19937_64 rng(20260807);
+  IncrementalSymmetry inc;
+  SymmetryPartition before = inc.refresh(topo);
+
+  for (int mutation = 1; mutation <= 200; ++mutation) {
+    switch (rng() % 6) {
+      case 0: {  // flip a switch through the journal
+        const auto s = static_cast<topo::SwitchId>(rng() % num_switches);
+        topo.set_switch_state(s, topo.sw(s).state == topo::ElementState::kActive
+                                     ? topo::ElementState::kDrained
+                                     : topo::ElementState::kActive);
+        break;
+      }
+      case 1: {  // flip a circuit through the journal
+        const auto c = static_cast<topo::CircuitId>(rng() % num_circuits);
+        topo.set_circuit_state(c,
+                               topo.circuit(c).state ==
+                                       topo::ElementState::kActive
+                                   ? topo::ElementState::kDrained
+                                   : topo::ElementState::kActive);
+        break;
+      }
+      case 2: {  // out-of-band capacity edit: journal knows nothing, the
+                 // version bump forces the snapshot-diff fallback
+        const auto c = static_cast<topo::CircuitId>(rng() % num_circuits);
+        topo.circuit(c).capacity_tbps =
+            topo.circuit(c).capacity_tbps > 1.0 ? 1.0 : 2.0;
+        topo.bump_state_version();
+        break;
+      }
+      case 3: {  // burst of flips — overflows short journals
+        for (int i = 0; i < 40; ++i) {
+          const auto s = static_cast<topo::SwitchId>(rng() % num_switches);
+          topo.set_switch_state(
+              s, topo.sw(s).state == topo::ElementState::kActive
+                     ? topo::ElementState::kDrained
+                     : topo::ElementState::kActive);
+        }
+        break;
+      }
+      case 4: {  // restore everything (versioned bulk rewrite)
+        original.restore(topo);
+        break;
+      }
+      default:  // refresh with no change at all
+        break;
+    }
+
+    const SymmetryPartition& got = inc.refresh(topo);
+    const SymmetryPartition fresh = compute_symmetry(topo);
+    expect_same_partition(got, fresh, mutation);
+
+    const std::vector<topo::SwitchId> expected =
+        changed_by_membership(before, fresh);
+    ASSERT_EQ(inc.changed_switches(), expected)
+        << "changed_switches diverged after mutation " << mutation;
+    before = fresh;
+  }
+  // The suite must actually exercise the incremental path, not fall back to
+  // full recomputes throughout.
+  EXPECT_GT(inc.incremental_refreshes(), 0);
+}
+
+TEST(SymmetryIncremental, SwitchingTopologyObjectsRunsFull) {
+  topo::Region a =
+      topo::build_preset(topo::PresetId::kA, topo::PresetScale::kFull);
+  topo::Region b =
+      topo::build_preset(topo::PresetId::kB, topo::PresetScale::kReduced);
+  IncrementalSymmetry inc;
+  inc.refresh(a.topo);
+  const SymmetryPartition& got = inc.refresh(b.topo);
+  expect_same_partition(got, compute_symmetry(b.topo), 1);
+  EXPECT_EQ(inc.changed_switches().size(), b.topo.num_switches());
+  EXPECT_EQ(inc.full_refreshes(), 2);
+}
+
+}  // namespace
+}  // namespace klotski::migration

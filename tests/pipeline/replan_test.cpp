@@ -343,5 +343,164 @@ TEST(Replan, PartialBlockApplicationIsRolledBackAndRetried) {
               topo::TopologyState::capture(*mig.task.topo));
 }
 
+// ---- Warm-start replanning (DESIGN.md §11) ----
+
+namespace {
+
+/// A surge window wide enough to trigger at least one drift re-plan
+/// mid-migration (mirrors SurgeMidMigrationHandled).
+traffic::Forecaster surging_forecaster(const migration::MigrationTask& task) {
+  traffic::Forecaster forecaster(task.demands, 0.0);
+  traffic::SurgeEvent surge;
+  surge.kind = traffic::DemandKind::kEgress;
+  surge.start_step = 1;
+  surge.end_step = 3;
+  surge.factor = 1.3;
+  forecaster.add_surge(surge);
+  return forecaster;
+}
+
+}  // namespace
+
+TEST(ReplanWarm, AccountingIdentityAndRoundLedgerHold) {
+  migration::MigrationCase mig = small_hgrid_case();
+  traffic::Forecaster forecaster = surging_forecaster(mig.task);
+  core::AStarPlanner planner;
+  const ReplanResult result =
+      execute_with_replanning(mig.task, planner, forecaster, {});
+  ASSERT_TRUE(result.completed) << result.failure;
+  ASSERT_GE(result.replans, 1);
+  // Every warm attempt either repairs the suffix or falls back — never
+  // both, never neither.
+  EXPECT_EQ(result.warm_attempts, result.warm_wins + result.fallback_full);
+  // One ledger row per planning round: the initial plan plus each re-plan,
+  // and exactly the repaired rounds are flagged warm.
+  ASSERT_EQ(result.rounds.size(),
+            static_cast<std::size_t>(result.replans) + 1);
+  int warm_rounds = 0;
+  for (const ReplanRound& round : result.rounds) {
+    EXPECT_GE(round.seconds, 0.0);
+    if (round.warm) ++warm_rounds;
+  }
+  EXPECT_FALSE(result.rounds.front().warm);  // nothing to repair yet
+  EXPECT_EQ(warm_rounds, result.warm_wins);
+}
+
+TEST(ReplanWarm, DisabledNeverAttemptsRepair) {
+  migration::MigrationCase mig = small_hgrid_case();
+  traffic::Forecaster forecaster = surging_forecaster(mig.task);
+  core::AStarPlanner planner;
+  ReplanOptions options;
+  options.warm_repair = false;
+  const ReplanResult result =
+      execute_with_replanning(mig.task, planner, forecaster, options);
+  ASSERT_TRUE(result.completed) << result.failure;
+  ASSERT_GE(result.replans, 1);
+  EXPECT_EQ(result.warm_attempts, 0);
+  EXPECT_EQ(result.warm_wins, 0);
+  EXPECT_EQ(result.fallback_full, 0);
+  for (const ReplanRound& round : result.rounds) {
+    EXPECT_FALSE(round.warm);
+    EXPECT_FALSE(round.warm_seeded);
+  }
+}
+
+TEST(ReplanWarm, ZeroSlackDeclinesEveryRepair) {
+  // With no slack, a non-empty suffix (positive cost) can never beat the
+  // admissible lower bound times zero, so the cost gate declines every
+  // attempt and all of them show up as full fallbacks.
+  migration::MigrationCase mig = small_hgrid_case();
+  traffic::Forecaster forecaster = surging_forecaster(mig.task);
+  core::AStarPlanner planner;
+  ReplanOptions options;
+  options.repair_cost_slack = 0.0;
+  const ReplanResult result =
+      execute_with_replanning(mig.task, planner, forecaster, options);
+  ASSERT_TRUE(result.completed) << result.failure;
+  EXPECT_EQ(result.warm_wins, 0);
+  EXPECT_EQ(result.fallback_full, result.warm_attempts);
+}
+
+TEST(ReplanWarm, WarmAndColdReachTheSameOutcome) {
+  migration::MigrationCase warm_case = small_hgrid_case();
+  traffic::Forecaster warm_forecaster = surging_forecaster(warm_case.task);
+  core::AStarPlanner planner;
+  const ReplanResult warm = execute_with_replanning(
+      warm_case.task, planner, warm_forecaster, {});
+
+  migration::MigrationCase cold_case = small_hgrid_case();
+  traffic::Forecaster cold_forecaster = surging_forecaster(cold_case.task);
+  ReplanOptions cold_options;
+  cold_options.warm_repair = false;
+  const ReplanResult cold = execute_with_replanning(
+      cold_case.task, planner, cold_forecaster, cold_options);
+
+  EXPECT_EQ(warm.completed, cold.completed);
+  EXPECT_EQ(warm.phases_executed > 0, cold.phases_executed > 0);
+}
+
+TEST(ReplanCheckpointV2, RoundTripPreservesWarmState) {
+  ReplanCheckpoint cp;
+  cp.done = core::CountVector{2, 1};
+  cp.phases_executed = 3;
+  cp.step = 7;
+  cp.next_phase = 2;
+  cp.planning_runs = 4;
+  cp.last_plan_step = 5;
+  cp.last_type = 1;
+  cp.executed_cost = 3.5;
+  cp.plan_planner = "astar";
+  cp.plan_cost = 6.0;
+  cp.plan_actions = {core::PlannedAction{0, 2}, core::PlannedAction{1, 1}};
+  cp.replan_pending = true;
+  cp.warm_attempts = 5;
+  cp.warm_wins = 3;
+  cp.fallback_full = 2;
+  cp.sat_generation = 42;
+
+  const json::Value doc = json::parse(json::dump(cp.to_json()));
+  EXPECT_EQ(doc.get_string("schema", ""), "klotski.replan-checkpoint.v2");
+  const ReplanCheckpoint back = ReplanCheckpoint::from_json(doc);
+  EXPECT_EQ(back.done, cp.done);
+  EXPECT_EQ(back.replan_pending, true);
+  EXPECT_EQ(back.warm_attempts, 5);
+  EXPECT_EQ(back.warm_wins, 3);
+  EXPECT_EQ(back.fallback_full, 2);
+  EXPECT_EQ(back.sat_generation, 42u);
+  EXPECT_EQ(back.plan_actions.size(), 2u);
+}
+
+TEST(ReplanCheckpointV2, LoadsV1DocumentsWithZeroWarmDefaults) {
+  ReplanCheckpoint cp;
+  cp.done = core::CountVector{1};
+  cp.phases_executed = 1;
+  cp.step = 2;
+  cp.next_phase = 1;
+  cp.executed_cost = 1.0;
+  cp.warm_attempts = 9;  // must NOT survive the downgrade below
+  cp.replan_pending = true;
+
+  // Downgrade the emitted v2 document to its v1 shape: the old schema
+  // string, no "warm" object, no "replan_pending" key.
+  const json::Value v2 = cp.to_json();
+  json::Object v1;
+  for (const auto& [key, value] : v2.as_object()) {
+    if (key == "warm" || key == "replan_pending") continue;
+    v1[key] = key == "schema"
+                  ? json::Value("klotski.replan-checkpoint.v1")
+                  : value;
+  }
+
+  const ReplanCheckpoint back =
+      ReplanCheckpoint::from_json(json::Value(std::move(v1)));
+  EXPECT_EQ(back.phases_executed, 1);
+  EXPECT_EQ(back.step, 2);
+  EXPECT_FALSE(back.replan_pending);
+  EXPECT_EQ(back.warm_attempts, 0);
+  EXPECT_EQ(back.warm_wins, 0);
+  EXPECT_EQ(back.fallback_full, 0);
+  EXPECT_EQ(back.sat_generation, 0u);
+}
+
 }  // namespace
 }  // namespace klotski::pipeline

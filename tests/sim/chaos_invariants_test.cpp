@@ -150,6 +150,44 @@ TEST(ChaosInvariants, InjectorRestoresCapacitiesAfterRun) {
   }
 }
 
+TEST(ChaosInvariants, WarmRepairIsSafetyNeutralAcrossTheSweep) {
+  // Warm-start replanning (DESIGN.md §11) is a latency optimization: every
+  // seed must reach the same verdict — pass/fail, invariants, trajectory,
+  // executed cost — whether re-plans repair the surviving suffix or start
+  // cold. This is the unit-test twin of the tier1.sh warm/cold parity gate.
+  const int seeds = std::min(20, seeds_from_env(20));
+  sim::ChaosParams warm_params;
+  sim::ChaosParams cold_params;
+  cold_params.warm_repair = false;
+  const sim::ChaosSweepResult warm =
+      sim::run_chaos_sweep(0, seeds, 2, warm_params);
+  const sim::ChaosSweepResult cold =
+      sim::run_chaos_sweep(0, seeds, 2, cold_params);
+  ASSERT_EQ(warm.verdicts.size(), cold.verdicts.size());
+  int warm_wins = 0;
+  for (std::size_t i = 0; i < warm.verdicts.size(); ++i) {
+    const sim::ChaosVerdict& w = warm.verdicts[i];
+    const sim::ChaosVerdict& c = cold.verdicts[i];
+    ASSERT_EQ(w.seed, c.seed);
+    EXPECT_EQ(w.passed(), c.passed()) << "seed " << w.seed;
+    EXPECT_EQ(w.invariants_ok, c.invariants_ok) << "seed " << w.seed;
+    EXPECT_EQ(w.trajectory, c.trajectory) << "seed " << w.seed;
+    EXPECT_EQ(w.executed_cost, c.executed_cost) << "seed " << w.seed;
+    // Cold runs must not report warm activity; warm accounting must be
+    // internally consistent on every seed.
+    EXPECT_EQ(c.warm_attempts, 0) << "seed " << c.seed;
+    EXPECT_EQ(c.warm_wins, 0) << "seed " << c.seed;
+    EXPECT_LE(w.warm_wins, w.warm_attempts) << "seed " << w.seed;
+    if (w.warm_wins > 0) {
+      EXPECT_TRUE(w.invariants_ok) << "seed " << w.seed;
+      ++warm_wins;
+    }
+  }
+  // The sweep must actually exercise the repair path somewhere, otherwise
+  // this parity check is vacuous.
+  EXPECT_GT(warm_wins, 0);
+}
+
 TEST(ChaosInvariants, CheckpointJsonRejectsMalformedDocuments) {
   pipeline::ReplanCheckpoint cp;
   cp.done = core::CountVector{1, 2};

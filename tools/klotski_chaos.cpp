@@ -30,6 +30,11 @@
 //   --degrades / --circuit-failures / --drains / --step-failures /
 //   --surges / --forecast-errors    fault-script event counts
 //   --no-resume-check   skip the checkpoint kill/resume self-test
+//   --no-warm-repair    every re-plan is a cold search (warm-start
+//                       ablation; DESIGN.md §11)
+//   --repair-cost-slack accept a surviving plan suffix when its cost is
+//                       within this factor of the from-scratch lower
+//                       bound (default 1.25)
 //   --trajectory   print per-phase trajectories (single seed only)
 //   --connect      run the sweep remotely: submit one chaos job to a
 //                  klotski_served daemon (unix:PATH | tcp:HOST:PORT) via
@@ -41,6 +46,7 @@
 //
 // Exit status: 0 all seeds passed; 1 failures (every failing seed is
 // listed); 2 usage error; 3 daemon rejected the job (--connect only).
+#include <algorithm>
 #include <iostream>
 #include <string>
 
@@ -63,13 +69,30 @@ bool parse_preset(const std::string& text, topo::PresetId& out) {
   return true;
 }
 
+/// Median planning-round latency (ms) across every round of a verdict set;
+/// 0 when no rounds ran.
+double median_replan_ms(const std::vector<sim::ChaosVerdict>& verdicts) {
+  std::vector<double> seconds;
+  for (const sim::ChaosVerdict& v : verdicts) {
+    for (const pipeline::ReplanRound& round : v.rounds) {
+      seconds.push_back(round.seconds);
+    }
+  }
+  if (seconds.empty()) return 0.0;
+  const std::size_t mid = seconds.size() / 2;
+  std::nth_element(seconds.begin(),
+                   seconds.begin() + static_cast<std::ptrdiff_t>(mid),
+                   seconds.end());
+  return seconds[mid] * 1e3;
+}
+
 void print_verdict(const sim::ChaosVerdict& v, bool verbose,
                    bool trajectory) {
   std::cout << "seed " << v.seed << ": "
             << (v.passed() ? "PASS" : "FAIL") << " phases=" << v.phases
             << " replans=" << v.replans << " retries=" << v.phase_retries
-            << " fallback=" << v.fallback_plans << " cost="
-            << v.executed_cost;
+            << " fallback=" << v.fallback_plans << " warm=" << v.warm_wins
+            << "/" << v.warm_attempts << " cost=" << v.executed_cost;
   if (!v.passed()) std::cout << " (" << v.failure << ")";
   std::cout << "\n";
   if (verbose) {
@@ -110,6 +133,8 @@ int run(const util::Flags& flags) {
   params.faults.forecast_errors =
       static_cast<int>(flags.get_int("forecast-errors", 1));
   params.checkpoint_self_test = !flags.get_bool("no-resume-check", false);
+  params.warm_repair = !flags.get_bool("no-warm-repair", false);
+  params.repair_cost_slack = flags.get_double("repair-cost-slack", 1.25);
 
   const int threads = static_cast<int>(flags.get_int("threads", 1));
   if (threads < 1) {
@@ -163,6 +188,8 @@ int run(const util::Flags& flags) {
     params_json["max_replans"] = params.max_replans;
     params_json["retries"] = params.max_phase_retries;
     params_json["resume_check"] = params.checkpoint_self_test;
+    params_json["no_warm_repair"] = !params.warm_repair;
+    params_json["repair_cost_slack"] = params.repair_cost_slack;
     params_json["degrades"] = params.faults.circuit_degrades;
     params_json["circuit_failures"] = params.faults.circuit_failures;
     params_json["drains"] = params.faults.switch_drains;
@@ -200,7 +227,11 @@ int run(const util::Flags& flags) {
     }
     std::cout << "chaos sweep (remote via " << connect << "): "
               << (seeds_run - failures) << "/" << seeds_run
-              << " seeds passed";
+              << " seeds passed, warm "
+              << resp.result.get_int("warm_wins", 0) << "/"
+              << resp.result.get_int("warm_attempts", 0)
+              << ", median replan "
+              << resp.result.get_double("median_replan_ms", 0.0) << " ms";
     if (resp.result.get_bool("stopped", false)) {
       std::cout << " (stopped early by daemon drain)";
     }
@@ -220,8 +251,16 @@ int run(const util::Flags& flags) {
     if (single || !v.passed()) print_verdict(v, single, trajectory);
   }
 
+  int warm_attempts = 0;
+  int warm_wins = 0;
+  for (const sim::ChaosVerdict& v : sweep.verdicts) {
+    warm_attempts += v.warm_attempts;
+    warm_wins += v.warm_wins;
+  }
   std::cout << "chaos sweep: " << (num_seeds - sweep.failures) << "/"
-            << num_seeds << " seeds passed\n";
+            << num_seeds << " seeds passed, warm " << warm_wins << "/"
+            << warm_attempts << ", median replan "
+            << median_replan_ms(sweep.verdicts) << " ms\n";
   if (sweep.failures > 0) {
     std::cout << "failing seeds:";
     for (const std::uint64_t s : sweep.failing_seeds()) {

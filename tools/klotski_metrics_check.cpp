@@ -19,6 +19,9 @@
 //   * schema == "klotski.metrics.v1"
 //   * evaluator.sat_cache_hits + evaluator.sat_cache_misses ==
 //     evaluator.evaluations (when any of the three is present)
+//   * replan.warm_wins + replan.fallback_full == replan.warm_attempts
+//     (when any of the three is present — every warm-repair attempt either
+//     wins or falls back to a full replan, never both or neither)
 //
 // Exit status: 0 all checks passed, 1 a check failed, 2 usage/input error.
 #include <iostream>
@@ -79,6 +82,25 @@ int run(const klotski::util::Flags& flags) {
       }
       std::cout << "ok: " << hits << " hits + " << misses
                 << " misses == " << evals << " evaluations\n";
+    }
+
+    // Warm-repair accounting: an attempt either repairs the surviving
+    // suffix (a win) or declines and runs a full replan (a fallback).
+    if (has_counter(metrics, "replan.warm_attempts") ||
+        has_counter(metrics, "replan.warm_wins") ||
+        has_counter(metrics, "replan.fallback_full")) {
+      const long long attempts =
+          counter_value(metrics, "replan.warm_attempts");
+      const long long wins = counter_value(metrics, "replan.warm_wins");
+      const long long fallbacks =
+          counter_value(metrics, "replan.fallback_full");
+      if (wins + fallbacks != attempts) {
+        std::cerr << "FAIL: warm_wins (" << wins << ") + fallback_full ("
+                  << fallbacks << ") != warm_attempts (" << attempts << ")\n";
+        return 1;
+      }
+      std::cout << "ok: " << wins << " warm wins + " << fallbacks
+                << " full fallbacks == " << attempts << " warm attempts\n";
     }
 
     const std::string trace_path = flags.get_string("trace", "");
