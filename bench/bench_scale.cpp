@@ -18,8 +18,13 @@
 //
 // Usage:
 //   bench_scale [--mode=all|plan|core] [--presets=ABCDE] [--scale=full]
-//               [--json=out.json] [--budget-mb=48] [--deadline=600]
+//               [--families=clos,flat,reconf] [--json=out.json]
+//               [--budget-mb=48] [--deadline=600]
 //               [--plan-block-scale=4] [--core-block-scale=16]
+//
+// Non-Clos families run the same selected presets; their rows are keyed
+// "flat-B" / "reconf-B" in the preset column so bench_compare.py gates them
+// independently of the Clos rows.
 //
 // The largest selected preset additionally gets a budgeted core row
 // (--budget-mb, 0 disables) whose provenance and optimality gap against the
@@ -33,6 +38,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,8 +51,10 @@
 #include "klotski/constraints/composite.h"
 #include "klotski/core/astar_planner.h"
 #include "klotski/json/json.h"
+#include "klotski/migration/family_tasks.h"
 #include "klotski/migration/task_builder.h"
 #include "klotski/pipeline/edp.h"
+#include "klotski/pipeline/experiments.h"
 #include "klotski/topo/presets.h"
 #include "klotski/util/flags.h"
 #include "klotski/util/string_util.h"
@@ -65,7 +73,17 @@ struct RowSpec {
   double deadline_seconds = 0.0;
   topo::PresetScale scale = topo::PresetScale::kFull;
   bool reference = false;
+  topo::TopologyFamily family = topo::TopologyFamily::kClos;
 };
+
+/// Row label for the "preset" column/JSON key: Clos keeps the bare letter
+/// (stable against pre-family baselines); other families are prefixed.
+std::string preset_label(const RowSpec& spec) {
+  if (spec.family == topo::TopologyFamily::kClos) {
+    return topo::to_string(spec.preset);
+  }
+  return topo::to_string(spec.family) + "-" + topo::to_string(spec.preset);
+}
 
 /// Resets the process peak-RSS counter so VmHWM measures only what follows.
 void reset_peak_rss() {
@@ -92,10 +110,32 @@ double peak_rss_mb() {
 json::Value run_row(const RowSpec& spec) {
   reset_peak_rss();
 
-  migration::HgridMigrationParams params;
-  params.policy.block_scale = spec.block_scale;
-  migration::MigrationCase mig = migration::build_hgrid_migration(
-      topo::preset_params(spec.preset, spec.scale), params);
+  migration::MigrationCase mig;
+  switch (spec.family) {
+    case topo::TopologyFamily::kClos: {
+      migration::HgridMigrationParams params;
+      params.policy.block_scale = spec.block_scale;
+      mig = migration::build_hgrid_migration(
+          topo::preset_params(spec.preset, spec.scale), params);
+      break;
+    }
+    case topo::TopologyFamily::kFlat: {
+      migration::FlatMigrationParams params =
+          pipeline::flat_migration_params_for(spec.preset, spec.scale);
+      params.policy.block_scale = spec.block_scale;
+      mig = migration::build_flat_migration(
+          topo::flat_params(spec.preset, spec.scale), params);
+      break;
+    }
+    case topo::TopologyFamily::kReconf: {
+      migration::ReconfMigrationParams params =
+          pipeline::reconf_migration_params_for(spec.preset, spec.scale);
+      params.policy.block_scale = spec.block_scale;
+      mig = migration::build_reconf_migration(
+          topo::reconf_params(spec.preset, spec.scale), params);
+      break;
+    }
+  }
   migration::MigrationTask& task = mig.task;
 
   core::PlannerOptions options;
@@ -114,7 +154,7 @@ json::Value run_row(const RowSpec& spec) {
   }
 
   json::Object row;
-  row["preset"] = topo::to_string(spec.preset);
+  row["preset"] = preset_label(spec);
   row["mode"] = spec.mode;
   row["block_scale"] = spec.block_scale;
   row["actions"] = static_cast<std::int64_t>(task.total_actions());
@@ -199,7 +239,7 @@ std::optional<json::Value> run_row_forked(const RowSpec& spec) {
   int status = 0;
   waitpid(pid, &status, 0);
   if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 || payload.empty()) {
-    std::cerr << "bench_scale: row " << topo::to_string(spec.preset) << "/"
+    std::cerr << "bench_scale: row " << preset_label(spec) << "/"
               << spec.mode << " failed (status " << status << ")\n";
     return std::nullopt;
   }
@@ -216,9 +256,9 @@ int main(int argc, char** argv) {
   const util::Flags flags = util::Flags::parse(argc, argv);
   for (const std::string& name : flags.names()) {
     if (name != "mode" && name != "presets" && name != "scale" &&
-        name != "json" && name != "budget-mb" && name != "deadline" &&
-        name != "plan-block-scale" && name != "core-block-scale" &&
-        name != "reference") {
+        name != "families" && name != "json" && name != "budget-mb" &&
+        name != "deadline" && name != "plan-block-scale" &&
+        name != "core-block-scale" && name != "reference") {
       std::cerr << "bench_scale: unknown flag --" << name << "\n";
       return 2;
     }
@@ -237,31 +277,58 @@ int main(int argc, char** argv) {
                                       ? topo::PresetScale::kReduced
                                       : topo::PresetScale::kFull;
 
+  std::vector<topo::TopologyFamily> families;
+  {
+    const std::string families_arg = flags.get_string("families", "clos");
+    for (const std::string& token : util::split(families_arg, ',')) {
+      try {
+        families.push_back(
+            topo::family_from_string(std::string(util::trim(token))));
+      } catch (const std::invalid_argument&) {
+        std::cerr << "bench_scale: unknown family '" << token
+                  << "' (want clos|flat|reconf)\n";
+        return 2;
+      }
+    }
+  }
+
   std::vector<RowSpec> specs;
   topo::PresetId largest = topo::PresetId::kA;
   bool any = false;
-  for (const topo::PresetId id : topo::all_presets()) {
-    if (presets.find(topo::to_string(id)) == std::string::npos) continue;
-    largest = id;
-    any = true;
-    if (mode == "all" || mode == "plan") {
-      specs.push_back({id, "plan", plan_bs, 0.0, deadline, scale, false});
-    }
-    if (mode == "all" || mode == "core") {
-      specs.push_back({id, "core", core_bs, 0.0, deadline, scale, reference});
+  for (const topo::TopologyFamily family : families) {
+    for (const topo::PresetId id : topo::all_presets()) {
+      if (presets.find(topo::to_string(id)) == std::string::npos) continue;
+      if (family == topo::TopologyFamily::kClos) largest = id;
+      any = true;
+      if (mode == "all" || mode == "plan") {
+        specs.push_back(
+            {id, "plan", plan_bs, 0.0, deadline, scale, false, family});
+      }
+      if (mode == "all" || mode == "core") {
+        // The reference A/B re-run only accompanies Clos rows: one slow
+        // pre-arena pass per sweep is plenty for the same-machine ratio.
+        specs.push_back({id, "core", core_bs, 0.0, deadline, scale,
+                         reference && family == topo::TopologyFamily::kClos,
+                         family});
+      }
     }
   }
   if (!any || (mode != "all" && mode != "plan" && mode != "core")) {
     std::cerr << "usage: bench_scale [--mode=all|plan|core] "
-                 "[--presets=ABCDE] [--scale=full|reduced] [--json=out.json] "
+                 "[--presets=ABCDE] [--scale=full|reduced] "
+                 "[--families=clos,flat,reconf] [--json=out.json] "
                  "[--budget-mb=48] [--deadline=600] [--reference=0|1]\n";
     return 2;
   }
-  // Budgeted core row on the largest selected preset: exercises eviction at
-  // the scale where it matters and records the degradation provenance.
-  if (budget_mb > 0.0 && (mode == "all" || mode == "core")) {
-    specs.push_back(
-        {largest, "core", core_bs, budget_mb, deadline, scale, false});
+  // Budgeted core row on the largest selected Clos preset: exercises
+  // eviction at the scale where it matters and records the degradation
+  // provenance.
+  const bool have_clos =
+      std::find(families.begin(), families.end(),
+                topo::TopologyFamily::kClos) != families.end();
+  if (budget_mb > 0.0 && have_clos && (mode == "all" || mode == "core")) {
+    specs.push_back({largest, "core", core_bs, budget_mb, deadline, scale,
+                     false, topo::TopologyFamily::kClos});
   }
 
   util::Table table({"Preset", "Mode", "Actions", "Found", "Cost", "Visited",
@@ -274,7 +341,8 @@ int main(int argc, char** argv) {
   for (const RowSpec& spec : specs) {
     std::optional<json::Value> row = run_row_forked(spec);
     if (!row.has_value()) continue;
-    if (spec.mode == "core" && spec.preset == largest) {
+    if (spec.mode == "core" && spec.preset == largest &&
+        spec.family == topo::TopologyFamily::kClos) {
       if (spec.budget_mb <= 0.0) {
         core_cost_of_largest = row->get_double("cost", -1.0);
       } else if (core_cost_of_largest > 0.0 &&

@@ -9,7 +9,9 @@
 # both alongside cpu_time.
 #
 # KLOTSKI_BENCH_SCALE_ARGS overrides the sweep arguments (default: core+plan
-# modes over presets A..E with a 48 MB budgeted row on E); set it to e.g.
+# modes over presets A..E in every topology family — clos, flat, reconf —
+# with a 48 MB budgeted row on Clos E; family rows are keyed "flat-B/core"
+# etc. so bench_compare.py gates them independently); set it to e.g.
 # "--mode=core --presets=ABC --budget-mb=0" for a quicker capture.
 # KLOTSKI_BENCH_REPLAN_ARGS likewise overrides the bench_replan arguments
 # (default: the acceptance configuration — preset B, 1000 seeds).
@@ -69,7 +71,8 @@ if ! grep -q '"klotski_build_type": "release"' "${TMP}"; then
 fi
 
 # shellcheck disable=SC2086  # word splitting of the args override is wanted
-"${BUILD_DIR}/bench/bench_scale" ${KLOTSKI_BENCH_SCALE_ARGS:-} \
+"${BUILD_DIR}/bench/bench_scale" \
+  ${KLOTSKI_BENCH_SCALE_ARGS:---families=clos,flat,reconf} \
   --json="${SCALE_TMP}"
 
 # shellcheck disable=SC2086

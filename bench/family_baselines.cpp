@@ -1,0 +1,74 @@
+// Planner-vs-baselines across topology families — Clos HGRID, flat fabric,
+// reconfigurable mesh (DESIGN.md §12).
+//
+// The Clos rows reproduce the familiar Figure 7/9 shape; the point of the
+// flat and reconf rows is that the baselines' structural assumptions break
+// on irregular graphs. Janus batches by symmetry classes, and a seeded flat
+// fabric has almost no symmetry left, so its batches collapse toward
+// one-action phases (cost blows up) when they stay feasible at all. MRC's
+// greedy max-residual-capacity ordering has no lookahead over the
+// port-slack coupling of the reconf rewire and deadlocks. Klotski plans
+// every family; brute force (<= 16 actions) anchors optimality on the tiny
+// preset-A tasks.
+#include "bench_common.h"
+
+int main() {
+  using namespace klotski;
+  bench::print_scale_banner(
+      "Family baselines — planner vs baselines per topology family");
+
+  util::Table cost_table({"Case", "Actions", "Brute", "MRC", "Janus",
+                          "Klotski-DP", "Klotski-A*"});
+  cost_table.set_title(
+      "Family baselines (a): plan cost normalized by the best known");
+  util::Table time_table(
+      {"Case", "MRC", "Janus", "Klotski-DP", "Klotski-A*", "A* seconds"});
+  time_table.set_title(
+      "Family baselines (b): planning time normalized by Klotski-A* (x)");
+
+  const topo::PresetScale scale = pipeline::bench_scale_from_env();
+  for (const topo::TopologyFamily family : topo::all_families()) {
+    for (const topo::PresetId preset : {topo::PresetId::kA,
+                                        topo::PresetId::kB}) {
+      migration::MigrationCase mig =
+          pipeline::build_family_experiment(family, preset, scale);
+      migration::MigrationTask& task = mig.task;
+      const std::string label =
+          topo::to_string(family) + "-" + topo::to_string(preset);
+
+      const bench::PlannerRun astar = bench::run_planner(task, "astar");
+      const bench::PlannerRun dp = bench::run_planner(task, "dp");
+      const bench::PlannerRun janus = bench::run_planner(task, "janus");
+      const bench::PlannerRun mrc = bench::run_planner(task, "mrc");
+      const bench::PlannerRun brute = bench::run_planner(task, "brute");
+
+      // Brute is exhaustive-optimal where it runs; A* is the anchor
+      // elsewhere.
+      const double best = brute.plan.found ? brute.plan.cost
+                          : astar.plan.found ? astar.plan.cost
+                                             : 0.0;
+      const double base = astar.plan.found ? astar.plan.stats.wall_seconds
+                                           : 0.0;
+
+      cost_table.add_row({label, std::to_string(task.total_actions()),
+                          bench::cost_cell(brute, best),
+                          bench::cost_cell(mrc, best),
+                          bench::cost_cell(janus, best),
+                          bench::cost_cell(dp, best),
+                          bench::cost_cell(astar, best)});
+      time_table.add_row({label, bench::time_cell(mrc, base),
+                          bench::time_cell(janus, base),
+                          bench::time_cell(dp, base),
+                          bench::time_cell(astar, base),
+                          util::format_double(base, 4)});
+    }
+  }
+
+  cost_table.print(std::cout);
+  std::cout << "\n";
+  time_table.print(std::cout);
+  std::cout << "\nPaper shape: the baselines' structural assumptions (Clos "
+               "symmetry, residual-capacity greedy) degrade or fail outside "
+               "Clos; Klotski plans every family.\n";
+  return 0;
+}

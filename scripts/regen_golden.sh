@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Regenerate the golden-plan regression corpus (tests/golden/plan-{a,b,c}.json)
-# with the real CLI binaries, so the corpus is exactly what
-#   klotski_synth --preset=X --scale=reduced | klotski_plan --planner=astar
+# Regenerate the golden-plan regression corpus
+# (tests/golden/plan-{a,b,c,flat,reconf}.json) with the real CLI binaries,
+# so the corpus is exactly what
+#   klotski_synth --family=F --preset=X --scale=reduced | klotski_plan
 # produces. Run after an *intentional* planner/checker/preset change, review
 # the diff, and commit the updated files.
 #
@@ -23,16 +24,22 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
 mkdir -p tests/golden
 
-for preset in A B C; do
-  lower="$(echo "${preset}" | tr '[:upper:]' '[:lower:]')"
-  "${SYNTH}" --preset="${preset}" --scale=reduced \
-    --migration=hgrid-v1-to-v2 --out="${TMP}/${lower}.npd.json"
-  "${PLAN}" --npd="${TMP}/${lower}.npd.json" --planner=astar \
-    --out="${TMP}/plan-${lower}.json"
+regen() {
+  local family="$1" preset="$2" out="$3"
+  "${SYNTH}" --family="${family}" --preset="${preset}" --scale=reduced \
+    --out="${TMP}/${out}.npd.json"
+  "${PLAN}" --npd="${TMP}/${out}.npd.json" --planner=astar \
+    --out="${TMP}/${out}.json"
   # wall_seconds is the one nondeterministic field; commit it as 0 so the
   # corpus is stable across regeneration runs (the golden test zeroes it on
   # both sides before comparing).
   sed -E 's/"wall_seconds": [0-9.eE+-]+/"wall_seconds": 0/' \
-    "${TMP}/plan-${lower}.json" > "tests/golden/plan-${lower}.json"
-  echo "regenerated tests/golden/plan-${lower}.json"
+    "${TMP}/${out}.json" > "tests/golden/${out}.json"
+  echo "regenerated tests/golden/${out}.json"
+}
+
+for preset in A B C; do
+  regen clos "${preset}" "plan-$(echo "${preset}" | tr '[:upper:]' '[:lower:]')"
 done
+regen flat A plan-flat
+regen reconf A plan-reconf

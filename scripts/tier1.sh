@@ -49,6 +49,14 @@ for preset in a b; do
   ./build/tools/klotski_metrics_check \
     --metrics="${CHAOS_TMP}/chaos-${preset}-warm-metrics.json"
 done
+# The non-Clos families ride the same gate: one reduced sweep per family
+# (preset A) proves the chaos driver, the invariant checkers, and the
+# checkpoint kill/resume path hold on irregular graphs too (DESIGN.md §12).
+for family in flat reconf; do
+  ./build/tools/klotski_chaos --family="${family}" --preset=a \
+    --seeds="${CHAOS_SEEDS}" --threads="${JOBS}" \
+    | tee "${CHAOS_TMP}/chaos-${family}-a.txt"
+done
 rm -rf "${CHAOS_TMP}"
 
 # Serve smoke gate: daemon up on both transports (unix socket + TCP

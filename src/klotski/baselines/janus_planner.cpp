@@ -7,6 +7,7 @@
 #include "klotski/baselines/mrc_planner.h"  // task_changes_topology_structure
 #include "klotski/core/cost_model.h"
 #include "klotski/core/state_evaluator.h"
+#include "klotski/migration/symmetry.h"
 #include "klotski/util/timer.h"
 
 namespace klotski::baselines {
@@ -17,8 +18,39 @@ using core::PlannedAction;
 using core::PlannerOptions;
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Whether Janus can template this block as (part of) a superblock step:
+/// every element it touches must belong to a symmetry class with at least
+/// two members, i.e. be interchangeable with something. Janus's batching
+/// comes from topological symmetry, not from locality: a block that
+/// operates elements the partition cannot pair with anything has no
+/// symmetry to exploit, so it becomes its own rollout step with its own
+/// safety validation. On a Clos fabric every chunk touches only large
+/// classes and batching matches Klotski's operation blocks; on an
+/// irregular flat fabric the partition is near-singleton and the plan
+/// degrades toward one step per action.
+bool block_templatable(const topo::Topology& topo,
+                       const migration::SymmetryPartition& part,
+                       const migration::OperationBlock& block) {
+  const auto interchangeable = [&](topo::SwitchId sw) {
+    const auto cls =
+        static_cast<std::size_t>(part.class_of[static_cast<std::size_t>(sw)]);
+    return part.blocks[cls].size() >= 2;
+  };
+  for (const migration::ElementOp& op : block.ops) {
+    if (op.kind == migration::ElementOp::Kind::kSwitch) {
+      if (!interchangeable(op.id)) return false;
+    } else {
+      const topo::Circuit& c = topo.circuit(op.id);
+      if (!interchangeable(c.a) || !interchangeable(c.b)) return false;
+    }
+  }
+  return true;
 }
+
+}  // namespace
 
 Plan JanusPlanner::plan(migration::MigrationTask& task,
                         constraints::CompositeChecker& checker,
@@ -57,6 +89,30 @@ Plan JanusPlanner::plan(migration::MigrationTask& task,
         "introduce a new layer";
     return finish(std::move(plan));
   }
+
+  // Superblock structure from the origin topology's symmetry partition
+  // (Janus assumes it does not change during the migration). Consecutive
+  // same-type actions fold into one superblock step — and skip the
+  // inter-step safety validation — only when both blocks are templatable
+  // over the partition.
+  task.reset_to_original();
+  const migration::SymmetryPartition partition =
+      migration::compute_symmetry(*task.topo);
+  std::vector<std::vector<char>> templatable(task.blocks.size());
+  for (std::size_t t = 0; t < task.blocks.size(); ++t) {
+    templatable[t].reserve(task.blocks[t].size());
+    for (const migration::OperationBlock& block : task.blocks[t]) {
+      templatable[t].push_back(
+          block_templatable(*task.topo, partition, block) ? 1 : 0);
+    }
+  }
+  auto batches_with_predecessor = [&](std::int32_t type,
+                                      std::int32_t block_index) {
+    const auto& type_flags = templatable[static_cast<std::size_t>(type)];
+    return block_index > 0 &&
+           type_flags[static_cast<std::size_t>(block_index)] != 0 &&
+           type_flags[static_cast<std::size_t>(block_index - 1)] != 0;
+  };
 
   const CountVector origin(static_cast<std::size_t>(num_types), 0);
   if (!evaluator.feasible(origin)) {
@@ -123,17 +179,23 @@ Plan JanusPlanner::plan(migration::MigrationTask& task,
       } else {
         CountVector pred = counts;
         --pred[static_cast<std::size_t>(a)];
+        const bool batchable = batches_with_predecessor(
+            a, counts[static_cast<std::size_t>(a)] - 1);
         for (std::int32_t ap = 0; ap < num_types; ++ap) {
           const double pf =
               f[static_cast<std::size_t>(pidx * num_types + ap)];
           if (pf == kInf) continue;
           ++plan.stats.generated_states;
-          // Type changes close a run: the predecessor topology must be
-          // safe. Janus re-validates per arc — without the compact
+          // Superblock boundaries close a rollout step: the predecessor
+          // topology must be safe. A same-type continuation stays inside
+          // the step only when the blocks share a symmetry signature.
+          // Janus re-validates per arc — without the compact
           // representation equivalent arrivals are not recognized as the
           // same state, so the satisfiability work is repeated.
-          if (ap != a && !evaluator.feasible(pred)) continue;
-          const double candidate = pf + cost.transition_cost(ap, a);
+          const bool batched = ap == a && batchable;
+          if (!batched && !evaluator.feasible(pred)) continue;
+          const double candidate =
+              pf + cost.transition_cost(batched ? a : -1, a);
           if (candidate < best) {
             best = candidate;
             best_parent = static_cast<std::int8_t>(ap);

@@ -2,8 +2,15 @@
 // *symmetry* of DCN topologies.
 //
 // Modeled faithfully to the paper's comparison setup:
-//  * Janus's superblocks are defined to be Klotski's operation blocks, so
-//    it searches the same pruned action space;
+//  * Janus's actions are Klotski's operation blocks, so it searches the
+//    same pruned action space — but it may fold consecutive same-type
+//    blocks into one superblock step (skipping the inter-step safety
+//    validation) only when they touch the same symmetry classes of the
+//    origin topology. On Clos fabrics the chunks of a grid are
+//    interchangeable and batch exactly like Klotski's runs; on an
+//    irregular flat fabric the partition is near-singleton, so every block
+//    is its own rollout step and the plan cost degrades toward one step
+//    per action (DESIGN.md §12);
 //  * Janus assumes the symmetry structure does not change during the
 //    migration, so it rejects migrations that introduce a new switch role
 //    (the DMAG layer);

@@ -96,4 +96,58 @@ std::vector<std::vector<topo::SwitchId>> chunk_switches(
   return out;
 }
 
+std::vector<std::vector<topo::CircuitId>> chunk_circuits(
+    const std::vector<topo::CircuitId>& items, int chunks) {
+  const int n = static_cast<int>(items.size());
+  const int k = std::clamp(chunks, 1, std::max(1, n));
+  std::vector<std::vector<topo::CircuitId>> out;
+  if (n == 0) return out;
+  out.reserve(static_cast<std::size_t>(k));
+  const int base = n / k;
+  const int extra = n % k;
+  int cursor = 0;
+  for (int i = 0; i < k; ++i) {
+    const int size = base + (i < extra ? 1 : 0);
+    if (size == 0) continue;
+    out.emplace_back(items.begin() + cursor, items.begin() + cursor + size);
+    cursor += size;
+  }
+  return out;
+}
+
+OperationBlock make_switch_block(const topo::Topology& topo, int id,
+                                 ActionTypeId type, std::string label,
+                                 const std::vector<topo::SwitchId>& switches,
+                                 topo::ElementState state) {
+  OperationBlock block;
+  block.id = id;
+  block.type = type;
+  block.label = std::move(label);
+  // Unlike add_switch_with_circuits, a multi-switch block lists a circuit
+  // shared by two of its switches only once.
+  std::unordered_set<topo::CircuitId> seen;
+  for (const topo::SwitchId sw : switches) {
+    block.ops.push_back(ElementOp{ElementOp::Kind::kSwitch, sw, state});
+    for (const topo::CircuitId cid : topo.incident(sw)) {
+      if (seen.insert(cid).second) {
+        block.ops.push_back(ElementOp{ElementOp::Kind::kCircuit, cid, state});
+      }
+    }
+  }
+  return block;
+}
+
+OperationBlock make_circuit_block(int id, ActionTypeId type, std::string label,
+                                  const std::vector<topo::CircuitId>& circuits,
+                                  topo::ElementState state) {
+  OperationBlock block;
+  block.id = id;
+  block.type = type;
+  block.label = std::move(label);
+  for (const topo::CircuitId cid : circuits) {
+    block.ops.push_back(ElementOp{ElementOp::Kind::kCircuit, cid, state});
+  }
+  return block;
+}
+
 }  // namespace klotski::migration

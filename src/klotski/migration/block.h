@@ -70,4 +70,20 @@ void add_switch_with_circuits(const topo::Topology& topo, topo::SwitchId sw,
 std::vector<std::vector<topo::SwitchId>> chunk_switches(
     const std::vector<topo::SwitchId>& items, int chunks);
 
+/// Same contiguous chunking over circuits.
+std::vector<std::vector<topo::CircuitId>> chunk_circuits(
+    const std::vector<topo::CircuitId>& items, int chunks);
+
+/// Builds one operation block that moves `switches` (and all their incident
+/// circuits) to `state`.
+OperationBlock make_switch_block(const topo::Topology& topo, int id,
+                                 ActionTypeId type, std::string label,
+                                 const std::vector<topo::SwitchId>& switches,
+                                 topo::ElementState state);
+
+/// Builds one circuit-only operation block.
+OperationBlock make_circuit_block(int id, ActionTypeId type, std::string label,
+                                  const std::vector<topo::CircuitId>& circuits,
+                                  topo::ElementState state);
+
 }  // namespace klotski::migration

@@ -1,0 +1,270 @@
+#include "klotski/migration/family_tasks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "klotski/migration/task_builder.h"
+#include "klotski/traffic/ecmp.h"
+#include "klotski/util/rng.h"
+
+namespace klotski::migration {
+
+using topo::CircuitId;
+using topo::ElementState;
+using topo::Generation;
+using topo::Region;
+using topo::SwitchId;
+using topo::SwitchRole;
+using topo::Topology;
+
+namespace {
+
+/// Max ECMP utilization of the demands on the topology's current element
+/// states, or 0 when the set is unroutable (the origin/target checks
+/// report those with a better message).
+double routed_max_utilization(const Topology& topo,
+                              const traffic::DemandSet& demands) {
+  traffic::EcmpRouter router(topo);
+  traffic::LoadVector loads;
+  if (!router.assign_all(demands, loads, nullptr)) return 0.0;
+  return traffic::max_utilization(topo, loads);
+}
+
+/// Uniformly rescales the task's demand volumes (downwards only) so the
+/// busiest circuit of both migration endpoints — the original topology and
+/// the target produced by applying every block — carries at most `cap`
+/// ECMP utilization. ECMP splits are volume-independent, so loads are
+/// linear in the scale factor and the cap is exact, not iterative. Must run
+/// after the blocks are built and with the topology in its original state;
+/// the element states are restored before returning. Intermediate states
+/// are deliberately NOT capped: squeezing the migration through those is
+/// the planner's job, and the pressure the calibration wants.
+void cap_endpoint_utilization(Topology& topo, MigrationTask& task,
+                              double cap) {
+  if (cap <= 0.0 || task.demands.empty()) return;
+  const topo::TopologyState original = topo::TopologyState::capture(topo);
+  double worst = routed_max_utilization(topo, task.demands);
+  for (const auto& type_blocks : task.blocks) {
+    for (const OperationBlock& block : type_blocks) block.apply(topo);
+  }
+  worst = std::max(worst, routed_max_utilization(topo, task.demands));
+  original.restore(topo);
+  if (worst <= cap) return;
+  const double scale = cap / worst;
+  for (traffic::Demand& d : task.demands) d.volume_tbps *= scale;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Flat partial forklift
+
+MigrationCase build_flat_migration(const topo::FlatParams& flat_params,
+                                   const FlatMigrationParams& params) {
+  if (params.upgrade_fraction <= 0.0 || params.upgrade_fraction > 1.0) {
+    throw std::invalid_argument(
+        "build_flat_migration: upgrade_fraction must be in (0, 1]");
+  }
+  if (params.v2_capacity_factor <= 0.0) {
+    throw std::invalid_argument(
+        "build_flat_migration: v2_capacity_factor must be > 0");
+  }
+  MigrationCase mig;
+  mig.region = std::make_unique<Region>(topo::build_flat(flat_params));
+  Region& region = *mig.region;
+  Topology& topo = region.topo;
+  MigrationTask& task = mig.task;
+  task.name = "flat-forklift";
+
+  task.demands = traffic::generate_mesh_demands(region, params.demand);
+
+  // Upgrade set: a seeded greedy maximal independent set, capped at the
+  // requested fraction. Independence guarantees every V2 mirror's circuits
+  // land on switches that stay active for the whole migration, and that the
+  // target graph is isomorphic to the original.
+  const int n = static_cast<int>(region.mesh_nodes.size());
+  const int want = std::max(
+      1, static_cast<int>(std::llround(params.upgrade_fraction * n)));
+  util::Rng rng(flat_params.seed ^ 0xC2B2AE3D27D4EB4FULL);
+  std::vector<SwitchId> order = region.mesh_nodes;
+  rng.shuffle(order);
+
+  std::vector<char> blocked(topo.num_switches(), 0);
+  std::vector<SwitchId> upgraded;
+  for (const SwitchId sw : order) {
+    if (static_cast<int>(upgraded.size()) >= want) break;
+    if (blocked[static_cast<std::size_t>(sw)]) continue;
+    upgraded.push_back(sw);
+    blocked[static_cast<std::size_t>(sw)] = 1;
+    for (const CircuitId cid : topo.incident(sw)) {
+      blocked[static_cast<std::size_t>(topo.circuit(cid).other(sw))] = 1;
+    }
+  }
+  // Ring order keeps the canonical per-type action order stable.
+  std::sort(upgraded.begin(), upgraded.end());
+
+  // Stage one V2 mirror per upgraded switch: same neighbors, higher
+  // capacity, absent until its undrain block runs.
+  constexpr std::int32_t kUnsizedPorts = 1 << 20;
+  std::vector<SwitchId> mirrors;
+  for (const SwitchId old_sw : upgraded) {
+    const SwitchId v2 = topo.add_switch(
+        SwitchRole::kFsw, Generation::kV2, topo.sw(old_sw).loc, kUnsizedPorts,
+        ElementState::kAbsent, topo.sw(old_sw).name + "v2");
+    mirrors.push_back(v2);
+    const std::vector<CircuitId> old_circuits = topo.incident(old_sw);
+    for (const CircuitId cid : old_circuits) {
+      const topo::Circuit& c = topo.circuit(cid);
+      if (c.state == ElementState::kAbsent) continue;
+      topo.add_circuit(v2, c.other(old_sw),
+                       c.capacity_tbps * params.v2_capacity_factor,
+                       ElementState::kAbsent);
+    }
+  }
+
+  task.action_types = {
+      ActionType{0, "drain-flat-v1", OpKind::kDrain, SwitchRole::kFsw,
+                 Generation::kV1},
+      ActionType{1, "undrain-flat-v2", OpKind::kUndrain, SwitchRole::kFsw,
+                 Generation::kV2},
+  };
+  task.blocks.resize(2);
+
+  const int chunks = policy_chunks(params.policy, params.switch_chunks,
+                                   static_cast<int>(upgraded.size()));
+  int next_id = 0;
+  int chunk_index = 0;
+  for (const auto& chunk : chunk_switches(upgraded, chunks)) {
+    task.blocks[0].push_back(make_switch_block(
+        topo, next_id++, 0,
+        "drain-v1/flat-chunk" + std::to_string(chunk_index++), chunk,
+        ElementState::kAbsent));
+  }
+  chunk_index = 0;
+  for (const auto& chunk : chunk_switches(mirrors, chunks)) {
+    task.blocks[1].push_back(make_switch_block(
+        topo, next_id++, 1,
+        "undrain-v2/flat-chunk" + std::to_string(chunk_index++), chunk,
+        ElementState::kActive));
+  }
+
+  cap_endpoint_utilization(topo, task, params.origin_utilization_cap);
+  finalize_migration_case(mig, region.params);
+  return mig;
+}
+
+// ---------------------------------------------------------------------------
+// Reconf rewire
+
+namespace {
+
+/// Partitions a stride class into `chunks` node-disjoint blocks: every
+/// switch appears in at most one circuit per block. This is what makes the
+/// rewire schedulable at port_slack 1 — a block's undrain claims one port
+/// per touched switch, not two — and it spreads each drain block evenly
+/// around the ring instead of cutting a contiguous arc (whose neighbors
+/// would absorb the whole detour and blow through theta). Circuits of a
+/// stride class conflict only with their ring neighbors at distance
+/// `stride`, so a greedy smallest-part-first pass stays balanced.
+std::vector<std::vector<CircuitId>> partition_node_disjoint(
+    const Topology& topo, const std::vector<CircuitId>& circuits,
+    int chunks) {
+  std::vector<std::vector<CircuitId>> parts(
+      static_cast<std::size_t>(chunks));
+  std::vector<std::unordered_set<SwitchId>> used(
+      static_cast<std::size_t>(chunks));
+  for (const CircuitId cid : circuits) {
+    const topo::Circuit& c = topo.circuit(cid);
+    int best = -1;
+    for (int k = 0; k < chunks; ++k) {
+      const auto ki = static_cast<std::size_t>(k);
+      if (used[ki].count(c.a) != 0 || used[ki].count(c.b) != 0) continue;
+      if (best < 0 ||
+          parts[ki].size() < parts[static_cast<std::size_t>(best)].size()) {
+        best = k;
+      }
+    }
+    if (best < 0) {
+      // Every part already touches an endpoint (possible only when chunks
+      // < 3 on an odd conflict cycle); fall back to the smallest part.
+      best = 0;
+      for (int k = 1; k < chunks; ++k) {
+        if (parts[static_cast<std::size_t>(k)].size() <
+            parts[static_cast<std::size_t>(best)].size()) {
+          best = k;
+        }
+      }
+    }
+    const auto bi = static_cast<std::size_t>(best);
+    parts[bi].push_back(cid);
+    used[bi].insert(c.a);
+    used[bi].insert(c.b);
+  }
+  parts.erase(std::remove_if(parts.begin(), parts.end(),
+                             [](const auto& p) { return p.empty(); }),
+              parts.end());
+  return parts;
+}
+
+}  // namespace
+
+MigrationCase build_reconf_migration(const topo::ReconfParams& reconf_params,
+                                     const ReconfMigrationParams& params) {
+  MigrationCase mig;
+  mig.region = std::make_unique<Region>(topo::build_reconf(reconf_params));
+  Region& region = *mig.region;
+  MigrationTask& task = mig.task;
+  task.name = "reconf-rewire";
+
+  task.demands = traffic::generate_mesh_demands(region, params.demand);
+
+  task.action_types = {
+      ActionType{0, "drain-reconf-v1", OpKind::kDrain, SwitchRole::kFsw,
+                 Generation::kV1},
+      ActionType{1, "undrain-reconf-v2", OpKind::kUndrain, SwitchRole::kFsw,
+                 Generation::kV2},
+  };
+  task.blocks.resize(2);
+
+  // Circuit-only blocks per rewired stride class, partitioned into
+  // node-disjoint chunks spread around the ring; without operation blocks
+  // every circuit is its own action (the "w/o OB" ablation).
+  int next_id = 0;
+  bool rewires = false;
+  for (const topo::MeshStrideCircuits& group : region.mesh_strides) {
+    if (group.shared) continue;
+    rewires = true;
+    const ActionTypeId type = group.gen == Generation::kV1 ? 0 : 1;
+    const ElementState state = group.gen == Generation::kV1
+                                   ? ElementState::kAbsent
+                                   : ElementState::kActive;
+    const char* tag = group.gen == Generation::kV1 ? "drain-v1/stride"
+                                                   : "undrain-v2/stride";
+    const int chunks = policy_chunks(params.policy, params.chunks_per_stride,
+                                     static_cast<int>(group.circuits.size()));
+    int chunk_index = 0;
+    for (const auto& chunk :
+         partition_node_disjoint(region.topo, group.circuits, chunks)) {
+      task.blocks[type].push_back(make_circuit_block(
+          next_id++, type,
+          std::string(tag) + std::to_string(group.stride) + "/c" +
+              std::to_string(chunk_index++),
+          chunk, state));
+    }
+  }
+  if (!rewires) {
+    throw std::invalid_argument(
+        "build_reconf_migration: v1 and v2 stride patterns are identical — "
+        "nothing to rewire");
+  }
+
+  cap_endpoint_utilization(region.topo, task,
+                           params.origin_utilization_cap);
+  finalize_migration_case(mig, region.params);
+  return mig;
+}
+
+}  // namespace klotski::migration

@@ -1,0 +1,67 @@
+// Migration task builders for the non-Clos topology families
+// (DESIGN.md §12).
+//
+//  * Flat partial forklift: upgrade a seeded independent subset of the flat
+//    fabric's switches to V2 hardware. Each upgraded switch gets a staged
+//    V2 mirror wired to the same (non-upgraded) neighbors at higher
+//    capacity; drain blocks retire the V1 switches, undrain blocks onboard
+//    the mirrors. Because every switch is also a demand endpoint, draining
+//    concentrates its group's volume on the surviving sources — the
+//    capacity cliff that forces batched plans. Restricting upgrades to an
+//    independent set guarantees no staged circuit ever lands on an absent
+//    endpoint and the target graph stays isomorphic to the original.
+//
+//  * Reconf rewire: the V2 target of a reconfigurable mesh has a different
+//    stride set, so operation blocks add and remove *circuits*, never
+//    switches: drain blocks retire the V1-only chords, undrain blocks
+//    onboard the staged V2-only chords. Tight port budgets (ReconfParams::
+//    port_slack) gate onboarding until the same switch sheds an old chord —
+//    the §2.3 decommission-before-onboard ordering at circuit granularity.
+#pragma once
+
+#include "klotski/migration/policy.h"
+#include "klotski/migration/task.h"
+#include "klotski/topo/families.h"
+#include "klotski/traffic/generator.h"
+
+namespace klotski::migration {
+
+struct FlatMigrationParams {
+  /// Fraction of switches to upgrade; the independent-set constraint may
+  /// cap the achieved fraction below this on dense graphs.
+  double upgrade_fraction = 0.5;
+  /// Capacity multiplier of the V2 mirrors' circuits.
+  double v2_capacity_factor = 1.5;
+  /// Base number of drain (and undrain) operation blocks.
+  int switch_chunks = 4;
+  /// Generated mesh demands are uniformly rescaled (downwards only) so the
+  /// busiest circuit of the *original* topology sits at this ECMP
+  /// utilization. Transit load on sparse graphs grows with path length, so
+  /// without the cap larger presets would start out above theta; with it
+  /// every preset begins with the same headroom and migration pressure
+  /// comes from the drains. 0 disables the cap.
+  double origin_utilization_cap = 0.55;
+
+  PolicyParams policy;
+  traffic::DemandGenParams demand;
+};
+
+struct ReconfMigrationParams {
+  /// Base operation blocks per rewired stride class.
+  int chunks_per_stride = 4;
+  /// See FlatMigrationParams::origin_utilization_cap.
+  double origin_utilization_cap = 0.55;
+
+  PolicyParams policy;
+  traffic::DemandGenParams demand;
+};
+
+MigrationCase build_flat_migration(const topo::FlatParams& flat_params,
+                                   const FlatMigrationParams& params = {});
+
+/// Throws std::invalid_argument when the V1 and V2 stride patterns are
+/// identical (nothing to rewire).
+MigrationCase build_reconf_migration(const topo::ReconfParams& reconf_params,
+                                     const ReconfMigrationParams& params = {});
+
+}  // namespace klotski::migration

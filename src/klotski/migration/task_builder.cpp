@@ -18,45 +18,8 @@ using topo::SwitchId;
 using topo::SwitchRole;
 using topo::Topology;
 
-namespace {
-
-/// Builds one operation block that moves `switches` (and all their incident
-/// circuits) to `state`.
-OperationBlock make_switch_block(const Topology& topo, int id,
-                                 ActionTypeId type, std::string label,
-                                 const std::vector<SwitchId>& switches,
-                                 ElementState state) {
-  OperationBlock block;
-  block.id = id;
-  block.type = type;
-  block.label = std::move(label);
-  std::unordered_set<CircuitId> seen;
-  for (const SwitchId sw : switches) {
-    block.ops.push_back(ElementOp{ElementOp::Kind::kSwitch, sw, state});
-    for (const CircuitId cid : topo.incident(sw)) {
-      if (seen.insert(cid).second) {
-        block.ops.push_back(ElementOp{ElementOp::Kind::kCircuit, cid, state});
-      }
-    }
-  }
-  return block;
-}
-
-/// Builds one circuit-only operation block.
-OperationBlock make_circuit_block(int id, ActionTypeId type, std::string label,
-                                  const std::vector<CircuitId>& circuits,
-                                  ElementState state) {
-  OperationBlock block;
-  block.id = id;
-  block.type = type;
-  block.label = std::move(label);
-  for (const CircuitId cid : circuits) {
-    block.ops.push_back(ElementOp{ElementOp::Kind::kCircuit, cid, state});
-  }
-  return block;
-}
-
-void finalize_task(MigrationCase& mig, const topo::RegionParams& rp) {
+void finalize_migration_case(MigrationCase& mig,
+                             const topo::RegionParams& rp) {
   MigrationTask& task = mig.task;
   task.topo = &mig.region->topo;
   task.original_state = topo::TopologyState::capture(*task.topo);
@@ -75,8 +38,6 @@ void finalize_task(MigrationCase& mig, const topo::RegionParams& rp) {
     throw std::logic_error("task builder produced invalid task: " + error);
   }
 }
-
-}  // namespace
 
 void tighten_port_budgets(MigrationTask& task,
                           const topo::RegionParams& rp) {
@@ -322,7 +283,7 @@ MigrationCase build_hgrid_migration(const topo::RegionParams& region_params,
     }
   }
 
-  finalize_task(mig, region_params);
+  finalize_migration_case(mig, region_params);
   return mig;
 }
 
@@ -422,7 +383,7 @@ MigrationCase build_ssw_forklift(const topo::RegionParams& region_params,
     }
   }
 
-  finalize_task(mig, region_params);
+  finalize_migration_case(mig, region_params);
   return mig;
 }
 
@@ -561,7 +522,7 @@ MigrationCase build_dmag_migration(const topo::RegionParams& region_params,
         ElementState::kAbsent));
   }
 
-  finalize_task(mig, region_params);
+  finalize_migration_case(mig, region_params);
   return mig;
 }
 

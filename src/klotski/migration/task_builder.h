@@ -82,6 +82,12 @@ MigrationCase build_ssw_forklift(const topo::RegionParams& region_params,
 MigrationCase build_dmag_migration(const topo::RegionParams& region_params,
                                    const DmagMigrationParams& params = {});
 
+/// Shared tail of every task builder: captures the original state, derives
+/// the target state by applying all staged blocks, re-tightens port budgets
+/// against `region_params`, and validates the task (throws on failure).
+void finalize_migration_case(MigrationCase& mig,
+                             const topo::RegionParams& region_params);
+
 /// Recomputes every switch's max_ports as
 ///   max(ports occupied in the original state, ports occupied in the target
 ///       state) + role slack,

@@ -10,6 +10,8 @@ std::string to_string(MigrationKind kind) {
     case MigrationKind::kHgridV1ToV2: return "hgrid-v1-to-v2";
     case MigrationKind::kSswForklift: return "ssw-forklift";
     case MigrationKind::kDmag: return "dmag";
+    case MigrationKind::kFlatForklift: return "flat-forklift";
+    case MigrationKind::kReconfRewire: return "reconf-rewire";
   }
   return "?";
 }
@@ -19,14 +21,56 @@ MigrationKind migration_kind_from_string(const std::string& text) {
   if (text == "hgrid-v1-to-v2") return MigrationKind::kHgridV1ToV2;
   if (text == "ssw-forklift") return MigrationKind::kSswForklift;
   if (text == "dmag") return MigrationKind::kDmag;
+  if (text == "flat-forklift") return MigrationKind::kFlatForklift;
+  if (text == "reconf-rewire") return MigrationKind::kReconfRewire;
   throw std::invalid_argument("unknown migration kind: " + text);
 }
 
+topo::TopologyFamily family_of(MigrationKind kind) {
+  switch (kind) {
+    case MigrationKind::kFlatForklift: return topo::TopologyFamily::kFlat;
+    case MigrationKind::kReconfRewire: return topo::TopologyFamily::kReconf;
+    default: return topo::TopologyFamily::kClos;
+  }
+}
+
+MigrationKind default_migration(topo::TopologyFamily family) {
+  switch (family) {
+    case topo::TopologyFamily::kFlat: return MigrationKind::kFlatForklift;
+    case topo::TopologyFamily::kReconf:
+      return MigrationKind::kReconfRewire;
+    case topo::TopologyFamily::kClos: break;
+  }
+  return MigrationKind::kHgridV1ToV2;
+}
+
+namespace {
+
+/// A mismatched document (e.g. a Clos fabric asking for a mesh rewire) is
+/// rejected up front.
+void check_family(const NpdDocument& doc) {
+  if (doc.migration == MigrationKind::kNone) return;
+  if (family_of(doc.migration) != doc.family) {
+    throw std::invalid_argument(
+        "npd: migration '" + to_string(doc.migration) +
+        "' does not apply to family '" + topo::to_string(doc.family) + "'");
+  }
+}
+
+}  // namespace
+
 topo::Region build_region(const NpdDocument& doc) {
+  switch (doc.family) {
+    case topo::TopologyFamily::kFlat: return topo::build_flat(doc.flat);
+    case topo::TopologyFamily::kReconf:
+      return topo::build_reconf(doc.reconf);
+    case topo::TopologyFamily::kClos: break;
+  }
   return topo::build_region(doc.region);
 }
 
 migration::MigrationCase build_case(const NpdDocument& doc) {
+  check_family(doc);
   switch (doc.migration) {
     case MigrationKind::kHgridV1ToV2: {
       auto params = doc.hgrid;
@@ -42,6 +86,16 @@ migration::MigrationCase build_case(const NpdDocument& doc) {
       auto params = doc.dmag;
       params.demand = doc.demand;
       return migration::build_dmag_migration(doc.region, params);
+    }
+    case MigrationKind::kFlatForklift: {
+      auto params = doc.flat_mig;
+      params.demand = doc.demand;
+      return migration::build_flat_migration(doc.flat, params);
+    }
+    case MigrationKind::kReconfRewire: {
+      auto params = doc.reconf_mig;
+      params.demand = doc.demand;
+      return migration::build_reconf_migration(doc.reconf, params);
     }
     case MigrationKind::kNone:
       break;

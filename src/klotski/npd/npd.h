@@ -14,29 +14,54 @@
 
 #include <string>
 
+#include "klotski/migration/family_tasks.h"
 #include "klotski/migration/task_builder.h"
 #include "klotski/topo/builder.h"
+#include "klotski/topo/families.h"
 #include "klotski/traffic/generator.h"
 
 namespace klotski::npd {
 
-enum class MigrationKind { kNone, kHgridV1ToV2, kSswForklift, kDmag };
+enum class MigrationKind {
+  kNone,
+  kHgridV1ToV2,
+  kSswForklift,
+  kDmag,
+  kFlatForklift,
+  kReconfRewire,
+};
 
 std::string to_string(MigrationKind kind);
 MigrationKind migration_kind_from_string(const std::string& text);
+
+/// The topology family a migration kind applies to (kNone maps to Clos);
+/// build_case rejects documents whose family disagrees.
+topo::TopologyFamily family_of(MigrationKind kind);
+
+/// The canonical migration kind of a family (HGRID V1->V2 for Clos, the
+/// partial forklift for flat, the mesh rewire for reconf).
+MigrationKind default_migration(topo::TopologyFamily family);
 
 struct NpdDocument {
   std::string name = "unnamed";
   int version = 1;
 
+  /// Topology family. Clos documents use the six structural parts below;
+  /// flat documents use the `flat` section; reconf documents `reconf`.
+  topo::TopologyFamily family = topo::TopologyFamily::kClos;
+
   /// The six structural parts, folded into the region parameters.
   topo::RegionParams region;
+  topo::FlatParams flat;
+  topo::ReconfParams reconf;
 
   /// Migration phase information.
   MigrationKind migration = MigrationKind::kNone;
   migration::HgridMigrationParams hgrid;
   migration::SswForkliftParams ssw;
   migration::DmagMigrationParams dmag;
+  migration::FlatMigrationParams flat_mig;
+  migration::ReconfMigrationParams reconf_mig;
 
   /// Forecasted traffic parameters.
   traffic::DemandGenParams demand;

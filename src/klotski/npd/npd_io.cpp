@@ -65,16 +65,69 @@ topo::MeshPattern mesh_from_string(const std::string& text) {
   fail("unknown mesh pattern '" + text + "'");
 }
 
+std::vector<int> strides_from_json(const Value& v, const char* key) {
+  std::vector<int> strides;
+  for (const Value& s : v.as_array()) {
+    strides.push_back(static_cast<int>(s.as_int()));
+  }
+  if (strides.empty()) fail(std::string(key) + " must not be empty");
+  return strides;
+}
+
+Value strides_to_json(const std::vector<int>& strides) {
+  Array a;
+  for (const int s : strides) a.push_back(Value(static_cast<std::int64_t>(s)));
+  return Value(std::move(a));
+}
+
 }  // namespace
 
 NpdDocument from_json(const Value& root) {
   check_keys(root, "(root)",
-             {"name", "version", "fabric", "hgrid", "ma", "eb", "dr", "bb",
-              "hardware", "migration", "demand"});
+             {"name", "version", "family", "fabric", "hgrid", "ma", "eb",
+              "dr", "bb", "flat", "reconf", "hardware", "migration",
+              "demand"});
   NpdDocument doc;
   doc.name = root.get_string("name", doc.name);
   doc.version = static_cast<int>(root.get_int("version", doc.version));
+  doc.family =
+      topo::family_from_string(root.get_string("family", "clos"));
   topo::RegionParams& rp = doc.region;
+
+  if (const Value* flat = root.as_object().find("flat")) {
+    check_keys(*flat, "flat",
+               {"switches", "degree", "extra_links", "max_chord_span",
+                "cap_tbps", "seed", "port_slack"});
+    topo::FlatParams& fp = doc.flat;
+    fp.switches = static_cast<int>(flat->get_int("switches", fp.switches));
+    fp.degree = static_cast<int>(flat->get_int("degree", fp.degree));
+    fp.extra_links =
+        static_cast<int>(flat->get_int("extra_links", fp.extra_links));
+    fp.max_chord_span =
+        static_cast<int>(flat->get_int("max_chord_span", fp.max_chord_span));
+    fp.cap_tbps = flat->get_double("cap_tbps", fp.cap_tbps);
+    fp.seed = static_cast<std::uint64_t>(
+        flat->get_int("seed", static_cast<std::int64_t>(fp.seed)));
+    fp.port_slack =
+        static_cast<int>(flat->get_int("port_slack", fp.port_slack));
+  }
+
+  if (const Value* reconf = root.as_object().find("reconf")) {
+    check_keys(*reconf, "reconf",
+               {"switches", "v1_strides", "v2_strides", "cap_tbps",
+                "port_slack"});
+    topo::ReconfParams& cp = doc.reconf;
+    cp.switches = static_cast<int>(reconf->get_int("switches", cp.switches));
+    if (const Value* v1 = reconf->as_object().find("v1_strides")) {
+      cp.v1_strides = strides_from_json(*v1, "reconf.v1_strides");
+    }
+    if (const Value* v2 = reconf->as_object().find("v2_strides")) {
+      cp.v2_strides = strides_from_json(*v2, "reconf.v2_strides");
+    }
+    cp.cap_tbps = reconf->get_double("cap_tbps", cp.cap_tbps);
+    cp.port_slack =
+        static_cast<int>(reconf->get_int("port_slack", cp.port_slack));
+  }
 
   if (const Value* fabric = root.as_object().find("fabric")) {
     check_keys(*fabric, "fabric", {"dcs", "buildings"});
@@ -154,7 +207,9 @@ NpdDocument from_json(const Value& root) {
                {"type", "v2_grids", "v2_fadus_per_grid_per_dc",
                 "v2_fauus_per_grid", "fadu_chunks_per_grid_dc",
                 "fauu_chunks_per_grid", "dc", "v2_capacity_factor",
-                "blocks_per_plane", "ma_per_eb", "block_scale",
+                "blocks_per_plane", "ma_per_eb", "upgrade_fraction",
+                "switch_chunks", "chunks_per_stride",
+                "origin_utilization_cap", "block_scale",
                 "use_operation_blocks"});
     doc.migration =
         migration_kind_from_string(mig->get_string("type", "none"));
@@ -186,12 +241,28 @@ NpdDocument from_json(const Value& root) {
     doc.dmag.ma_per_eb =
         static_cast<int>(mig->get_int("ma_per_eb", doc.dmag.ma_per_eb));
     doc.dmag.policy = policy;
+
+    doc.flat_mig.upgrade_fraction =
+        mig->get_double("upgrade_fraction", doc.flat_mig.upgrade_fraction);
+    doc.flat_mig.v2_capacity_factor = mig->get_double(
+        "v2_capacity_factor", doc.flat_mig.v2_capacity_factor);
+    doc.flat_mig.switch_chunks = static_cast<int>(
+        mig->get_int("switch_chunks", doc.flat_mig.switch_chunks));
+    doc.flat_mig.origin_utilization_cap = mig->get_double(
+        "origin_utilization_cap", doc.flat_mig.origin_utilization_cap);
+    doc.flat_mig.policy = policy;
+
+    doc.reconf_mig.chunks_per_stride = static_cast<int>(
+        mig->get_int("chunks_per_stride", doc.reconf_mig.chunks_per_stride));
+    doc.reconf_mig.origin_utilization_cap = mig->get_double(
+        "origin_utilization_cap", doc.reconf_mig.origin_utilization_cap);
+    doc.reconf_mig.policy = policy;
   }
 
   if (const Value* demand = root.as_object().find("demand")) {
     check_keys(*demand, "demand",
                {"egress_frac", "ingress_frac", "east_west_frac",
-                "intra_dc_frac"});
+                "intra_dc_frac", "mesh_group_frac", "mesh_groups"});
     doc.demand.egress_frac =
         demand->get_double("egress_frac", doc.demand.egress_frac);
     doc.demand.ingress_frac =
@@ -200,6 +271,10 @@ NpdDocument from_json(const Value& root) {
         demand->get_double("east_west_frac", doc.demand.east_west_frac);
     doc.demand.intra_dc_frac =
         demand->get_double("intra_dc_frac", doc.demand.intra_dc_frac);
+    doc.demand.mesh_group_frac =
+        demand->get_double("mesh_group_frac", doc.demand.mesh_group_frac);
+    doc.demand.mesh_groups = static_cast<int>(
+        demand->get_int("mesh_groups", doc.demand.mesh_groups));
   }
 
   return doc;
@@ -214,8 +289,30 @@ json::Value to_json(const NpdDocument& doc) {
   Object root;
   root["name"] = doc.name;
   root["version"] = doc.version;
+  root["family"] = std::string(topo::to_string(doc.family));
 
-  {
+  if (doc.family == topo::TopologyFamily::kFlat) {
+    Object flat;
+    flat["switches"] = doc.flat.switches;
+    flat["degree"] = doc.flat.degree;
+    flat["extra_links"] = doc.flat.extra_links;
+    flat["max_chord_span"] = doc.flat.max_chord_span;
+    flat["cap_tbps"] = doc.flat.cap_tbps;
+    flat["seed"] = static_cast<std::int64_t>(doc.flat.seed);
+    flat["port_slack"] = doc.flat.port_slack;
+    root["flat"] = Value(std::move(flat));
+  }
+  if (doc.family == topo::TopologyFamily::kReconf) {
+    Object reconf;
+    reconf["switches"] = doc.reconf.switches;
+    reconf["v1_strides"] = strides_to_json(doc.reconf.v1_strides);
+    reconf["v2_strides"] = strides_to_json(doc.reconf.v2_strides);
+    reconf["cap_tbps"] = doc.reconf.cap_tbps;
+    reconf["port_slack"] = doc.reconf.port_slack;
+    root["reconf"] = Value(std::move(reconf));
+  }
+
+  if (doc.family == topo::TopologyFamily::kClos) {
     Object fabric;
     fabric["dcs"] = rp.dcs;
     Array buildings;
@@ -225,7 +322,7 @@ json::Value to_json(const NpdDocument& doc) {
     fabric["buildings"] = Value(std::move(buildings));
     root["fabric"] = Value(std::move(fabric));
   }
-  {
+  if (doc.family == topo::TopologyFamily::kClos) {
     Object hgrid;
     hgrid["grids"] = rp.grids;
     hgrid["fadus_per_grid_per_dc"] = rp.fadus_per_grid_per_dc;
@@ -233,24 +330,16 @@ json::Value to_json(const NpdDocument& doc) {
     hgrid["generation"] = std::string(topo::to_string(rp.hgrid_gen));
     hgrid["mesh"] = mesh_to_string(rp.mesh);
     root["hgrid"] = Value(std::move(hgrid));
-  }
-  root["ma"] = Value(Object{});
-  {
+    root["ma"] = Value(Object{});
     Object eb;
     eb["count"] = rp.ebs;
     root["eb"] = Value(std::move(eb));
-  }
-  {
     Object dr;
     dr["count"] = rp.drs;
     root["dr"] = Value(std::move(dr));
-  }
-  {
     Object bb;
     bb["ebbs"] = rp.ebbs;
     root["bb"] = Value(std::move(bb));
-  }
-  {
     Object caps;
     caps["rsw_fsw"] = rp.cap_rsw_fsw;
     caps["fsw_ssw"] = rp.cap_fsw_ssw;
@@ -296,6 +385,23 @@ json::Value to_json(const NpdDocument& doc) {
         mig["block_scale"] = doc.dmag.policy.block_scale;
         mig["use_operation_blocks"] = doc.dmag.policy.use_operation_blocks;
         break;
+      case MigrationKind::kFlatForklift:
+        mig["upgrade_fraction"] = doc.flat_mig.upgrade_fraction;
+        mig["v2_capacity_factor"] = doc.flat_mig.v2_capacity_factor;
+        mig["switch_chunks"] = doc.flat_mig.switch_chunks;
+        mig["origin_utilization_cap"] = doc.flat_mig.origin_utilization_cap;
+        mig["block_scale"] = doc.flat_mig.policy.block_scale;
+        mig["use_operation_blocks"] =
+            doc.flat_mig.policy.use_operation_blocks;
+        break;
+      case MigrationKind::kReconfRewire:
+        mig["chunks_per_stride"] = doc.reconf_mig.chunks_per_stride;
+        mig["origin_utilization_cap"] =
+            doc.reconf_mig.origin_utilization_cap;
+        mig["block_scale"] = doc.reconf_mig.policy.block_scale;
+        mig["use_operation_blocks"] =
+            doc.reconf_mig.policy.use_operation_blocks;
+        break;
       case MigrationKind::kNone:
         break;
     }
@@ -307,6 +413,8 @@ json::Value to_json(const NpdDocument& doc) {
     demand["ingress_frac"] = doc.demand.ingress_frac;
     demand["east_west_frac"] = doc.demand.east_west_frac;
     demand["intra_dc_frac"] = doc.demand.intra_dc_frac;
+    demand["mesh_group_frac"] = doc.demand.mesh_group_frac;
+    demand["mesh_groups"] = doc.demand.mesh_groups;
     root["demand"] = Value(std::move(demand));
   }
   return Value(std::move(root));

@@ -1,5 +1,6 @@
 #include "klotski/pipeline/experiments.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "klotski/util/flags.h"
@@ -96,6 +97,95 @@ migration::MigrationCase build_experiment(ExperimentId id,
           topo::preset_params(PresetId::kE, scale), ssw_params_for(scale));
   }
   throw std::invalid_argument("build_experiment: unknown experiment");
+}
+
+migration::FlatMigrationParams flat_migration_params_for(PresetId id,
+                                                         PresetScale scale) {
+  migration::FlatMigrationParams p;
+  if (scale == PresetScale::kFull) {
+    const int switches = topo::flat_params(id, scale).switches;
+    p.switch_chunks = std::max(4, switches / 16);
+  } else {
+    p.switch_chunks = 3;
+  }
+  return p;
+}
+
+migration::ReconfMigrationParams reconf_migration_params_for(
+    PresetId id, PresetScale scale) {
+  migration::ReconfMigrationParams p;
+  const topo::ReconfParams rp = topo::reconf_params(id, scale);
+  // All rewired stride classes migrate concurrently, so with R classes in
+  // flight the worst intermediate state is missing up to R/chunks of the
+  // mesh capacity; chunks must grow with R to keep that fraction bounded.
+  // Preset E's 3-class rewire deadlocks at reduced scale below 6 chunks:
+  // the final drain overshoots theta exactly while the final undrain still
+  // waits on the port that drain would free.
+  int rewired = 0;
+  for (const int s : rp.v1_strides) {
+    if (std::find(rp.v2_strides.begin(), rp.v2_strides.end(), s) ==
+        rp.v2_strides.end()) {
+      ++rewired;
+    }
+  }
+  if (scale == PresetScale::kFull) {
+    p.chunks_per_stride = std::max({4, rp.switches / 12, 2 * rewired});
+  } else {
+    p.chunks_per_stride = std::max(3, 2 * rewired);
+  }
+  return p;
+}
+
+migration::MigrationCase build_family_experiment(topo::TopologyFamily family,
+                                                 topo::PresetId preset,
+                                                 PresetScale scale) {
+  switch (family) {
+    case topo::TopologyFamily::kClos:
+      return build_experiment(static_cast<ExperimentId>(preset), scale);
+    case topo::TopologyFamily::kFlat:
+      return migration::build_flat_migration(
+          topo::flat_params(preset, scale),
+          flat_migration_params_for(preset, scale));
+    case topo::TopologyFamily::kReconf:
+      return migration::build_reconf_migration(
+          topo::reconf_params(preset, scale),
+          reconf_migration_params_for(preset, scale));
+  }
+  throw std::invalid_argument("build_family_experiment: unknown family");
+}
+
+npd::NpdDocument synth_document(topo::TopologyFamily family,
+                                topo::PresetId preset, PresetScale scale,
+                                npd::MigrationKind migration) {
+  if (migration != npd::MigrationKind::kNone &&
+      npd::family_of(migration) != family) {
+    throw std::invalid_argument("synth_document: migration '" +
+                                npd::to_string(migration) +
+                                "' does not apply to family '" +
+                                topo::to_string(family) + "'");
+  }
+  npd::NpdDocument doc;
+  doc.family = family;
+  doc.migration = migration;
+  doc.name = topo::to_string(family) + "-preset-" + topo::to_string(preset) +
+             (scale == PresetScale::kFull ? "/full" : "/reduced");
+  switch (family) {
+    case topo::TopologyFamily::kClos:
+      doc.region = topo::preset_params(preset, scale);
+      doc.hgrid = hgrid_params_for(preset, scale);
+      doc.ssw = ssw_params_for(scale);
+      doc.dmag = dmag_params_for(scale);
+      break;
+    case topo::TopologyFamily::kFlat:
+      doc.flat = topo::flat_params(preset, scale);
+      doc.flat_mig = flat_migration_params_for(preset, scale);
+      break;
+    case topo::TopologyFamily::kReconf:
+      doc.reconf = topo::reconf_params(preset, scale);
+      doc.reconf_mig = reconf_migration_params_for(preset, scale);
+      break;
+  }
+  return doc;
 }
 
 PresetScale bench_scale_from_env() {

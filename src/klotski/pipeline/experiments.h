@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "klotski/migration/family_tasks.h"
 #include "klotski/migration/task_builder.h"
+#include "klotski/npd/npd.h"
 #include "klotski/topo/presets.h"
 
 namespace klotski::pipeline {
@@ -44,6 +46,28 @@ migration::DmagMigrationParams dmag_params_for(topo::PresetScale scale);
 /// Builds the migration case for an experiment.
 migration::MigrationCase build_experiment(ExperimentId id,
                                           topo::PresetScale scale);
+
+/// Canonical task parameters for the non-Clos families at a preset size.
+migration::FlatMigrationParams flat_migration_params_for(
+    topo::PresetId id, topo::PresetScale scale);
+migration::ReconfMigrationParams reconf_migration_params_for(
+    topo::PresetId id, topo::PresetScale scale);
+
+/// Builds the canonical migration case of any family at a preset size:
+/// Clos runs the HGRID V1->V2 experiment, flat the partial forklift,
+/// reconf the mesh rewire.
+migration::MigrationCase build_family_experiment(topo::TopologyFamily family,
+                                                 topo::PresetId preset,
+                                                 topo::PresetScale scale);
+
+/// NPD document for a family preset with the canonical experiment
+/// parameters baked in; `migration` must agree with the family (or be
+/// kNone). klotski_synth, klotski_plan --preset and the golden-plan tests
+/// share this so they all describe the same region.
+npd::NpdDocument synth_document(topo::TopologyFamily family,
+                                topo::PresetId preset,
+                                topo::PresetScale scale,
+                                npd::MigrationKind migration);
 
 /// Scale selected by the KLOTSKI_BENCH_FULL environment variable.
 topo::PresetScale bench_scale_from_env();

@@ -264,6 +264,8 @@ Response PlanService::run_chaos(const Request& request,
                                 const std::atomic<bool>& stop) {
   const json::Value& params = request.params;
   sim::ChaosParams chaos;
+  chaos.family =
+      topo::family_from_string(params.get_string("family", "clos"));
   chaos.preset = preset_from(params);
   if (params.get_string("scale", "reduced") == "full") {
     chaos.scale = topo::PresetScale::kFull;

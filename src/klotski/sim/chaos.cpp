@@ -15,17 +15,6 @@ namespace klotski::sim {
 
 namespace {
 
-pipeline::ExperimentId experiment_for(topo::PresetId preset) {
-  switch (preset) {
-    case topo::PresetId::kA: return pipeline::ExperimentId::kA;
-    case topo::PresetId::kB: return pipeline::ExperimentId::kB;
-    case topo::PresetId::kC: return pipeline::ExperimentId::kC;
-    case topo::PresetId::kD: return pipeline::ExperimentId::kD;
-    case topo::PresetId::kE: return pipeline::ExperimentId::kE;
-  }
-  throw std::invalid_argument("unknown preset");
-}
-
 struct RunOutput {
   pipeline::ReplanResult result;
   std::vector<std::string> trajectory;
@@ -101,8 +90,8 @@ ChaosVerdict run_seed_impl(std::uint64_t seed, const ChaosParams& params) {
   ChaosVerdict verdict;
   verdict.seed = seed;
 
-  migration::MigrationCase mcase =
-      pipeline::build_experiment(experiment_for(params.preset), params.scale);
+  migration::MigrationCase mcase = pipeline::build_family_experiment(
+      params.family, params.preset, params.scale);
   migration::MigrationTask& task = mcase.task;
 
   FaultScriptParams fault_params = params.faults;
@@ -147,8 +136,8 @@ ChaosVerdict run_seed_impl(std::uint64_t seed, const ChaosParams& params) {
         pipeline::ReplanCheckpoint::from_json(
             json::parse(json::dump(mid.to_json())));
 
-    migration::MigrationCase mcase2 = pipeline::build_experiment(
-        experiment_for(params.preset), params.scale);
+    migration::MigrationCase mcase2 = pipeline::build_family_experiment(
+        params.family, params.preset, params.scale);
     const FaultScript script2 =
         make_fault_script(seed, mcase2.task, fault_params);
     const RunOutput resumed =

@@ -26,6 +26,10 @@
 namespace klotski::sim {
 
 struct ChaosParams {
+  /// Topology family and preset: Clos runs the preset's HGRID experiment,
+  /// flat the partial forklift, reconf the mesh rewire (see
+  /// pipeline::build_family_experiment).
+  topo::TopologyFamily family = topo::TopologyFamily::kClos;
   topo::PresetId preset = topo::PresetId::kA;
   topo::PresetScale scale = topo::PresetScale::kReduced;
   std::string planner = "astar";

@@ -30,6 +30,18 @@ void validate_params(const RegionParams& p) {
   require(p.ebs >= 1, "ebs must be >= 1");
   require(p.drs >= 1, "drs must be >= 1");
   require(p.ebbs >= 1, "ebbs must be >= 1");
+  // Degenerate hardware parameters produce regions that only fail deep
+  // inside the demand checker ("no path" / zero-capacity layers); reject
+  // them here with a nameable cause instead.
+  require(p.cap_rsw_fsw > 0.0 && p.cap_fsw_ssw > 0.0 &&
+              p.cap_ssw_fadu > 0.0 && p.cap_fadu_fauu > 0.0 &&
+              p.cap_fauu_eb > 0.0 && p.cap_fauu_dr > 0.0 &&
+              p.cap_eb_ebb > 0.0 && p.cap_dr_ebb > 0.0,
+          "circuit capacities must all be > 0");
+  require(p.port_slack_fabric >= 0 && p.port_slack_ssw >= 0 &&
+              p.port_slack_agg >= 0 && p.port_slack_eb >= 0 &&
+              p.port_slack_ebb >= 0,
+          "port slacks must all be >= 0");
 }
 
 }  // namespace

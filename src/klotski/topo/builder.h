@@ -23,6 +23,15 @@
 
 namespace klotski::topo {
 
+/// Topology family of a synthesized region. Clos is the paper's Meta-style
+/// hierarchy; flat and reconf are the non-Clos families of DESIGN.md §12
+/// (RNG-style random flat fabrics and reconfigurable circulant meshes).
+enum class TopologyFamily : std::uint8_t { kClos, kFlat, kReconf };
+
+std::string to_string(TopologyFamily family);
+TopologyFamily family_from_string(const std::string& text);
+std::vector<TopologyFamily> all_families();
+
 /// How FADUs mesh with the spine planes (Figure 2(c)).
 enum class MeshPattern : std::uint8_t {
   /// FADU k serves exactly plane (k mod planes): one-to-one plane mapping.
@@ -80,11 +89,22 @@ struct RegionParams {
   int port_slack_ebb = 8;
 };
 
+/// One stride class of a reconfigurable mesh: all circuits i -> (i+stride)
+/// mod N, in ring-index order. `shared` strides belong to both the V1 and
+/// the V2 wiring pattern and are never operated by the rewire migration.
+struct MeshStrideCircuits {
+  int stride = 0;
+  Generation gen = Generation::kV1;  // kV2 = staged target-only chords
+  bool shared = false;
+  std::vector<CircuitId> circuits;
+};
+
 /// A built region: the topology plus the index structures the traffic
 /// generator and the migration task builders navigate by.
 struct Region {
   Topology topo;
   RegionParams params;
+  TopologyFamily family = TopologyFamily::kClos;
 
   // Fabric indexes. rsws[dc], fsws[dc], ssws[dc][plane] -> switch ids.
   std::vector<std::vector<SwitchId>> rsws;
@@ -102,6 +122,12 @@ struct Region {
   // Circuits between FAUUs and EBs, grouped by EB (the DMAG migration
   // drains these; grouping by EB mirrors the §5 organization policy).
   std::vector<std::vector<CircuitId>> fauu_eb_circuits_by_eb;
+
+  // Non-Clos family annotations (families.h); empty for Clos regions.
+  // mesh_nodes lists the family's switches in ring order (flat + reconf);
+  // mesh_strides records the reconf wiring pattern per stride class.
+  std::vector<SwitchId> mesh_nodes;
+  std::vector<MeshStrideCircuits> mesh_strides;
 
   /// Fabric parameters effective for a DC (after replication).
   const FabricParams& fabric(int dc) const;

@@ -1,0 +1,75 @@
+// Non-Clos topology families (DESIGN.md §12).
+//
+// Two synthesizer families live beside the Clos presets:
+//
+//  * Flat (RNG-style, "Flat Datacenter Networks at Scale"): a seeded
+//    random fabric of identical FSW-role switches — a Hamiltonian ring for
+//    guaranteed connectivity plus random chord matchings up to the target
+//    degree, with optional extra links (degree irregularity) and a chord
+//    span limit (diameter knob). No hierarchy, no planes, no pods: the 1-WL
+//    symmetry partition is near-trivial, which is what defeats
+//    symmetry-only planners (§8).
+//
+//  * Reconf (Avin & Schmid-style reconfigurable mesh): a circulant graph
+//    over a fixed switch ring whose wiring pattern is a set of strides.
+//    The migration *rewires* the mesh — the V2 target has a different
+//    stride set — so operation blocks add and remove circuits rather than
+//    forklift switch layers. Target-only chords are staged absent at build
+//    time; shared strides (always including the ring) are never operated.
+//
+// Both builders reuse topo::Region: every switch lands in fsws[0] /
+// mesh_nodes, so role-driven machinery (fault scripts, port slack classes)
+// works unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "klotski/topo/builder.h"
+
+namespace klotski::topo {
+
+/// Parameters of the flat random fabric.
+struct FlatParams {
+  int switches = 24;
+  /// Target average degree: the ring contributes 2, each chord matching
+  /// round roughly 1. Must be >= 2 (the ring itself); higher degree lowers
+  /// the diameter (~log_(d-1) N for unrestricted chords).
+  int degree = 4;
+  /// Extra seeded random chords on top of the matchings; these create the
+  /// degree irregularity that shrinks symmetry blocks.
+  int extra_links = 2;
+  /// When > 0, chords only connect switches within this ring distance: the
+  /// diameter knob (span s keeps the diameter near N / (2s)).
+  int max_chord_span = 0;
+  double cap_tbps = 0.4;
+  std::uint64_t seed = 1;
+  /// Spare ports per switch beyond initial occupancy; gates how much V2
+  /// hardware can onboard before V1 decommissions (§2.3).
+  int port_slack = 2;
+};
+
+/// Parameters of the reconfigurable circulant mesh. The V1 pattern is the
+/// built (active) wiring; the V2 pattern is staged absent so the rewire
+/// migration can undrain it. Strides present in both patterns are shared
+/// and never operated. Stride 1 (the ring) should normally be in both —
+/// validation only requires each pattern to be connected on its own.
+struct ReconfParams {
+  int switches = 24;
+  std::vector<int> v1_strides = {1, 2};
+  std::vector<int> v2_strides = {1, 3};
+  double cap_tbps = 0.4;
+  /// Spare ports per switch; 0 forces strict remove-before-add ordering.
+  int port_slack = 1;
+};
+
+/// Builds a flat region; throws std::invalid_argument on degenerate
+/// parameters (zero/one-degree graphs, non-positive capacity, ...).
+Region build_flat(const FlatParams& params);
+
+/// Builds a reconf region; throws std::invalid_argument on degenerate
+/// parameters or when either stride pattern yields a disconnected graph
+/// (e.g. {2} on an even ring).
+Region build_reconf(const ReconfParams& params);
+
+}  // namespace klotski::topo

@@ -206,4 +206,95 @@ Region build_preset(PresetId id, PresetScale scale) {
   return build_region(preset_params(id, scale));
 }
 
+FlatParams flat_params(PresetId id, PresetScale scale) {
+  FlatParams p;
+  // Seeds differ per preset so the A..E ladder samples different graphs.
+  p.seed = static_cast<std::uint64_t>(id) + 1;
+  switch (id) {
+    case PresetId::kA:
+      p.switches = 16;
+      p.degree = 4;
+      p.extra_links = 2;
+      break;
+    case PresetId::kB:
+      p.switches = 32;
+      p.degree = 4;
+      p.extra_links = 3;
+      break;
+    case PresetId::kC:
+      p.switches = 64;
+      p.degree = 5;
+      p.extra_links = 4;
+      // Span-limited chords: the high-diameter point of the ladder.
+      p.max_chord_span = 16;
+      break;
+    case PresetId::kD:
+      p.switches = 128;
+      p.degree = 6;
+      p.extra_links = 6;
+      break;
+    case PresetId::kE:
+      p.switches = 256;
+      p.degree = 6;
+      p.extra_links = 8;
+      break;
+  }
+  if (scale == PresetScale::kReduced) {
+    p.switches = std::max(12, p.switches / 4);
+    if (p.max_chord_span > 0) {
+      p.max_chord_span = std::max(2, p.max_chord_span / 4);
+    }
+  }
+  return p;
+}
+
+ReconfParams reconf_params(PresetId id, PresetScale scale) {
+  ReconfParams p;
+  switch (id) {
+    case PresetId::kA:
+      p.switches = 12;
+      p.v1_strides = {1, 2};
+      p.v2_strides = {1, 3};
+      break;
+    case PresetId::kB:
+      p.switches = 24;
+      p.v1_strides = {1, 2};
+      p.v2_strides = {1, 3};
+      break;
+    case PresetId::kC:
+      p.switches = 48;
+      p.v1_strides = {1, 2, 5};
+      p.v2_strides = {1, 3, 7};
+      break;
+    case PresetId::kD:
+      p.switches = 96;
+      p.v1_strides = {1, 2, 5};
+      p.v2_strides = {1, 3, 7};
+      break;
+    case PresetId::kE:
+      p.switches = 192;
+      p.v1_strides = {1, 2, 5, 11};
+      p.v2_strides = {1, 3, 7, 13};
+      break;
+  }
+  if (scale == PresetScale::kReduced) {
+    p.switches = std::max(10, p.switches / 4);
+    // Keep every stride meaningful on the smaller ring.
+    for (int& s : p.v1_strides) s = std::min(s, p.switches / 2);
+    for (int& s : p.v2_strides) s = std::min(s, p.switches / 2);
+  }
+  return p;
+}
+
+Region build_family_preset(TopologyFamily family, PresetId id,
+                           PresetScale scale) {
+  switch (family) {
+    case TopologyFamily::kClos: return build_preset(id, scale);
+    case TopologyFamily::kFlat: return build_flat(flat_params(id, scale));
+    case TopologyFamily::kReconf:
+      return build_reconf(reconf_params(id, scale));
+  }
+  throw std::invalid_argument("build_family_preset: unknown family");
+}
+
 }  // namespace klotski::topo

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "klotski/topo/builder.h"
+#include "klotski/topo/families.h"
 
 namespace klotski::topo {
 
@@ -32,5 +33,16 @@ RegionParams preset_params(PresetId id, PresetScale scale);
 
 /// Convenience: build the region directly.
 Region build_preset(PresetId id, PresetScale scale);
+
+/// Non-Clos family presets, sized A..E alongside the Clos scales (flat
+/// switch counts track the preset's fabric size; reconf meshes stay small
+/// enough that the rewire search is comparable to the Clos action counts).
+FlatParams flat_params(PresetId id, PresetScale scale);
+ReconfParams reconf_params(PresetId id, PresetScale scale);
+
+/// Builds a region of any family at a preset size. Clos falls back to
+/// build_preset.
+Region build_family_preset(TopologyFamily family, PresetId id,
+                           PresetScale scale);
 
 }  // namespace klotski::topo

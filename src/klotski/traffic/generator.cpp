@@ -1,6 +1,8 @@
 #include "klotski/traffic/generator.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace klotski::traffic {
@@ -64,6 +66,57 @@ double dc_spine_capacity(const Region& region, int dc) {
     if (fsw.loc.dc == dc) total += c.capacity_tbps;
   }
   return total;
+}
+
+DemandSet generate_mesh_demands(const Region& region,
+                                const DemandGenParams& params) {
+  if (region.mesh_nodes.empty()) {
+    throw std::invalid_argument(
+        "generate_mesh_demands: region has no mesh nodes (not a flat/reconf "
+        "region)");
+  }
+  const int n = static_cast<int>(region.mesh_nodes.size());
+  const int groups = std::max(2, std::min(params.mesh_groups, n / 2));
+
+  // Incident active capacity per node: the reference each group's ingress
+  // volume is calibrated against.
+  std::vector<double> incident(region.topo.num_switches(), 0.0);
+  for (const topo::Circuit& c : region.topo.circuits()) {
+    if (!c.present()) continue;
+    incident[static_cast<std::size_t>(c.a)] += c.capacity_tbps;
+    incident[static_cast<std::size_t>(c.b)] += c.capacity_tbps;
+  }
+
+  // Ring-contiguous groups, sized as evenly as possible.
+  std::vector<std::vector<SwitchId>> members(static_cast<std::size_t>(groups));
+  std::vector<double> group_capacity(static_cast<std::size_t>(groups), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const auto g = static_cast<std::size_t>(
+        static_cast<std::int64_t>(i) * groups / n);
+    const SwitchId id = region.mesh_nodes[static_cast<std::size_t>(i)];
+    members[g].push_back(id);
+    group_capacity[g] += incident[static_cast<std::size_t>(id)];
+  }
+
+  DemandSet demands;
+  for (int dst = 0; dst < groups; ++dst) {
+    // Half the group's port capacity enters it, split across the sources.
+    const double per_peer = params.mesh_group_frac *
+                            group_capacity[static_cast<std::size_t>(dst)] /
+                            2.0 / static_cast<double>(groups - 1);
+    if (per_peer <= 0.0) continue;
+    for (int src = 0; src < groups; ++src) {
+      if (src == dst) continue;
+      Demand d;
+      d.name = "mesh/g" + std::to_string(src) + "-to-g" + std::to_string(dst);
+      d.kind = DemandKind::kEastWest;
+      d.sources = members[static_cast<std::size_t>(src)];
+      d.targets = members[static_cast<std::size_t>(dst)];
+      d.volume_tbps = per_peer;
+      demands.push_back(std::move(d));
+    }
+  }
+  return demands;
 }
 
 DemandSet generate_demands(const Region& region,

@@ -27,6 +27,14 @@ struct DemandGenParams {
   /// (stresses the spine; relevant for the SSW forklift migration).
   /// Requires >= 2 pods; skipped otherwise.
   double intra_dc_frac = 0.18;
+
+  /// Non-Clos (flat/reconf) regions only: group-to-group volume entering
+  /// each ring-contiguous node group, as a fraction of the group's incident
+  /// circuit capacity. Calibrated like the Clos fracs: bulk draining
+  /// violates the default theta, batched draining is safe.
+  double mesh_group_frac = 0.30;
+  /// Number of ring-contiguous groups the mesh demands run between.
+  int mesh_groups = 4;
 };
 
 /// Uplink (SSW->FADU) capacity of one DC in the region, Tbps one direction.
@@ -45,5 +53,13 @@ double dc_bottleneck_capacity(const topo::Region& region, int dc);
 /// Builds the demand set for a region.
 DemandSet generate_demands(const topo::Region& region,
                            const DemandGenParams& params = {});
+
+/// Builds the demand set for a non-Clos mesh region (flat/reconf): the
+/// switches are split into mesh_groups ring-contiguous groups and every
+/// ordered group pair carries an east-west demand, so draining any switch
+/// both removes transit capacity and concentrates its group's volume on
+/// the surviving sources. Requires region.mesh_nodes to be non-empty.
+DemandSet generate_mesh_demands(const topo::Region& region,
+                                const DemandGenParams& params = {});
 
 }  // namespace klotski::traffic

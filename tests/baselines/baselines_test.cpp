@@ -107,6 +107,30 @@ TEST(Janus, OptimalOnStructurePreservingTasks) {
   }
 }
 
+TEST(Janus, DegradesOnIrregularFlatFabrics) {
+  // A seeded flat fabric has a near-singleton symmetry partition, so
+  // Janus's superblocks collapse to per-block rollout steps while Klotski
+  // still batches by locality — the plan cost visibly degrades.
+  migration::MigrationCase mig = klotski::testing::small_flat_case();
+  const core::Plan janus = run(mig.task, "janus");
+  const core::Plan optimal = run(mig.task, "astar");
+  ASSERT_TRUE(janus.found) << janus.failure;
+  ASSERT_TRUE(optimal.found);
+  EXPECT_GT(janus.cost, optimal.cost);
+}
+
+TEST(Janus, OptimalOnVertexTransitiveReconfMesh) {
+  // The circulant mesh is vertex-transitive (one symmetry class), so
+  // Janus's batching assumption holds and it matches the optimum — the
+  // contrast case to the flat fabric above.
+  migration::MigrationCase mig = klotski::testing::small_reconf_case();
+  const core::Plan janus = run(mig.task, "janus");
+  const core::Plan optimal = run(mig.task, "astar");
+  ASSERT_TRUE(janus.found) << janus.failure;
+  ASSERT_TRUE(optimal.found);
+  EXPECT_DOUBLE_EQ(janus.cost, optimal.cost);
+}
+
 TEST(Janus, RejectsDmag) {
   migration::MigrationCase mig = small_dmag_case();
   const core::Plan plan = run(mig.task, "janus");

@@ -19,13 +19,17 @@ namespace {
 
 using klotski::testing::reference_astar_plan;
 using klotski::testing::small_dmag_case;
+using klotski::testing::small_flat_case;
 using klotski::testing::small_hgrid_case;
+using klotski::testing::small_reconf_case;
 using klotski::testing::small_ssw_case;
 
 migration::MigrationCase build_case(int kind) {
   if (kind == 0) return small_hgrid_case();
   if (kind == 1) return small_ssw_case();
-  return small_dmag_case();
+  if (kind == 2) return small_dmag_case();
+  if (kind == 3) return small_flat_case();
+  return small_reconf_case();
 }
 
 void expect_identical(const Plan& reference, const Plan& actual,
@@ -80,8 +84,8 @@ TEST(SoAEquivalence, RandomizedConfigsMatchReferenceImplementation) {
   util::Rng rng(0x50A50A);
   const double thetas[] = {0.55, 0.65, 0.75, 0.85, 0.95};
 
-  for (int trial = 0; trial < 20; ++trial) {
-    const int kind = static_cast<int>(rng.index(3));
+  for (int trial = 0; trial < 30; ++trial) {
+    const int kind = static_cast<int>(rng.index(5));
     migration::MigrationCase mig = build_case(kind);
     migration::MigrationTask& task = mig.task;
 

@@ -12,6 +12,7 @@
 
 #include "../test_helpers.h"
 #include "klotski/migration/symmetry.h"
+#include "klotski/topo/families.h"
 #include "klotski/topo/presets.h"
 
 namespace klotski::migration {
@@ -64,9 +65,12 @@ TEST(SymmetryIncremental, NoChangeRefreshChangesNothing) {
   EXPECT_TRUE(inc.changed_switches().empty());
 }
 
-TEST(SymmetryIncremental, RandomizedJournalMutationsMatchFullRecompute) {
-  topo::Region region =
-      topo::build_preset(topo::PresetId::kB, topo::PresetScale::kReduced);
+/// The randomized journal-mutation property: across `mutations` seeded
+/// mutations of every flavor, refresh() must equal compute_symmetry() bit
+/// for bit and changed_switches() must equal the brute-force membership
+/// diff. Shared by the per-family suites below.
+void run_randomized_mutations(topo::Region& region, std::uint64_t seed,
+                              int mutations) {
   topo::Topology& topo = region.topo;
   const topo::TopologyState original = topo::TopologyState::capture(topo);
   const std::size_t num_switches = topo.num_switches();
@@ -74,11 +78,11 @@ TEST(SymmetryIncremental, RandomizedJournalMutationsMatchFullRecompute) {
   ASSERT_GT(num_switches, 0u);
   ASSERT_GT(num_circuits, 0u);
 
-  std::mt19937_64 rng(20260807);
+  std::mt19937_64 rng(seed);
   IncrementalSymmetry inc;
   SymmetryPartition before = inc.refresh(topo);
 
-  for (int mutation = 1; mutation <= 200; ++mutation) {
+  for (int mutation = 1; mutation <= mutations; ++mutation) {
     switch (rng() % 6) {
       case 0: {  // flip a switch through the journal
         const auto s = static_cast<topo::SwitchId>(rng() % num_switches);
@@ -135,6 +139,36 @@ TEST(SymmetryIncremental, RandomizedJournalMutationsMatchFullRecompute) {
   // The suite must actually exercise the incremental path, not fall back to
   // full recomputes throughout.
   EXPECT_GT(inc.incremental_refreshes(), 0);
+}
+
+TEST(SymmetryIncremental, RandomizedJournalMutationsMatchFullRecompute) {
+  topo::Region region =
+      topo::build_preset(topo::PresetId::kB, topo::PresetScale::kReduced);
+  run_randomized_mutations(region, 20260807, 200);
+}
+
+TEST(SymmetryIncremental, RandomizedMutationsMatchFullRecomputeFlat) {
+  topo::Region region = topo::build_flat(
+      topo::flat_params(topo::PresetId::kB, topo::PresetScale::kReduced));
+  run_randomized_mutations(region, 20260808, 200);
+}
+
+TEST(SymmetryIncremental, RandomizedMutationsMatchFullRecomputeReconf) {
+  topo::Region region = topo::build_reconf(
+      topo::reconf_params(topo::PresetId::kB, topo::PresetScale::kReduced));
+  run_randomized_mutations(region, 20260809, 200);
+}
+
+TEST(SymmetryIncremental, FlatIrregularityShrinksSymmetryBlocks) {
+  // Flat fabrics are intentionally irregular: the extra seeded chords must
+  // break the ring automorphisms, so the partition has many more classes
+  // than the role-uniform Clos layers would suggest.
+  const topo::Region region = topo::build_flat(
+      topo::flat_params(topo::PresetId::kB, topo::PresetScale::kReduced));
+  const SymmetryPartition part = compute_symmetry(region.topo);
+  EXPECT_GT(part.blocks.size(), region.topo.num_switches() / 4)
+      << "flat fabric collapsed into a few symmetry classes; the chord "
+         "seeding no longer produces degree irregularity";
 }
 
 TEST(SymmetryIncremental, SwitchingTopologyObjectsRunsFull) {

@@ -42,7 +42,9 @@ TEST_P(ShippedNpdFiles, ParsesRoundTripsAndPlans) {
 INSTANTIATE_TEST_SUITE_P(Files, ShippedNpdFiles,
                          ::testing::Values("region-b-hgrid.npd.json",
                                            "region-c-ssw-forklift.npd.json",
-                                           "region-c-dmag.npd.json"),
+                                           "region-c-dmag.npd.json",
+                                           "flat-b-forklift.npd.json",
+                                           "reconf-b-rewire.npd.json"),
                          [](const auto& info) {
                            std::string name = info.param;
                            for (char& c : name) {

@@ -22,10 +22,23 @@ NpdDocument sample_doc() {
 TEST(MigrationKind, RoundTrip) {
   for (const auto kind :
        {MigrationKind::kNone, MigrationKind::kHgridV1ToV2,
-        MigrationKind::kSswForklift, MigrationKind::kDmag}) {
+        MigrationKind::kSswForklift, MigrationKind::kDmag,
+        MigrationKind::kFlatForklift, MigrationKind::kReconfRewire}) {
     EXPECT_EQ(migration_kind_from_string(to_string(kind)), kind);
   }
   EXPECT_THROW(migration_kind_from_string("warp"), std::invalid_argument);
+}
+
+TEST(MigrationKind, FamilyOfAndDefaultMigrationAgree) {
+  for (const auto family : topo::all_families()) {
+    EXPECT_EQ(family_of(default_migration(family)), family);
+  }
+  EXPECT_EQ(family_of(MigrationKind::kSswForklift),
+            topo::TopologyFamily::kClos);
+  EXPECT_EQ(family_of(MigrationKind::kFlatForklift),
+            topo::TopologyFamily::kFlat);
+  EXPECT_EQ(family_of(MigrationKind::kReconfRewire),
+            topo::TopologyFamily::kReconf);
 }
 
 TEST(NpdIo, RoundTripPreservesDocument) {
@@ -115,6 +128,105 @@ TEST(Npd, BuildCaseDispatchesOnMigrationKind) {
   EXPECT_EQ(build_case(doc).task.name, "dmag");
   doc.migration = MigrationKind::kNone;
   EXPECT_THROW(build_case(doc), std::invalid_argument);
+}
+
+TEST(NpdIo, FlatDocumentRoundTrips) {
+  NpdDocument doc;
+  doc.name = "flat-region";
+  doc.family = topo::TopologyFamily::kFlat;
+  doc.migration = MigrationKind::kFlatForklift;
+  doc.flat.switches = 20;
+  doc.flat.degree = 6;
+  doc.flat.extra_links = 3;
+  doc.flat.max_chord_span = 7;
+  doc.flat.seed = 42;
+  doc.flat_mig.upgrade_fraction = 0.4;
+  doc.flat_mig.switch_chunks = 5;
+  doc.flat_mig.origin_utilization_cap = 0.6;
+  const NpdDocument round = parse_npd(dump_npd(doc));
+  EXPECT_EQ(round.family, topo::TopologyFamily::kFlat);
+  EXPECT_EQ(round.migration, MigrationKind::kFlatForklift);
+  EXPECT_EQ(round.flat.switches, 20);
+  EXPECT_EQ(round.flat.degree, 6);
+  EXPECT_EQ(round.flat.extra_links, 3);
+  EXPECT_EQ(round.flat.max_chord_span, 7);
+  EXPECT_EQ(round.flat.seed, 42u);
+  EXPECT_DOUBLE_EQ(round.flat_mig.upgrade_fraction, 0.4);
+  EXPECT_EQ(round.flat_mig.switch_chunks, 5);
+  EXPECT_DOUBLE_EQ(round.flat_mig.origin_utilization_cap, 0.6);
+}
+
+TEST(NpdIo, ReconfDocumentRoundTrips) {
+  NpdDocument doc;
+  doc.name = "reconf-region";
+  doc.family = topo::TopologyFamily::kReconf;
+  doc.migration = MigrationKind::kReconfRewire;
+  doc.reconf.switches = 14;
+  doc.reconf.v1_strides = {1, 2};
+  doc.reconf.v2_strides = {1, 5};
+  doc.reconf_mig.chunks_per_stride = 4;
+  doc.reconf_mig.origin_utilization_cap = 0.45;
+  const NpdDocument round = parse_npd(dump_npd(doc));
+  EXPECT_EQ(round.family, topo::TopologyFamily::kReconf);
+  EXPECT_EQ(round.migration, MigrationKind::kReconfRewire);
+  EXPECT_EQ(round.reconf.switches, 14);
+  EXPECT_EQ(round.reconf.v1_strides, (std::vector<int>{1, 2}));
+  EXPECT_EQ(round.reconf.v2_strides, (std::vector<int>{1, 5}));
+  EXPECT_EQ(round.reconf_mig.chunks_per_stride, 4);
+  EXPECT_DOUBLE_EQ(round.reconf_mig.origin_utilization_cap, 0.45);
+}
+
+TEST(NpdIo, NonClosDocumentsOmitClosSections) {
+  NpdDocument doc;
+  doc.name = "flat-region";
+  doc.family = topo::TopologyFamily::kFlat;
+  doc.migration = MigrationKind::kFlatForklift;
+  const std::string text = dump_npd(doc);
+  EXPECT_EQ(text.find("\"fabric\""), std::string::npos);
+  EXPECT_EQ(text.find("\"hgrid\""), std::string::npos);
+  EXPECT_NE(text.find("\"flat\""), std::string::npos);
+}
+
+TEST(Npd, BuildCaseRejectsFamilyMismatchedMigration) {
+  NpdDocument doc;
+  doc.family = topo::TopologyFamily::kFlat;
+  doc.migration = MigrationKind::kHgridV1ToV2;
+  try {
+    build_case(doc);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("does not apply"),
+              std::string::npos);
+  }
+
+  doc.family = topo::TopologyFamily::kClos;
+  doc.migration = MigrationKind::kReconfRewire;
+  EXPECT_THROW(build_case(doc), std::invalid_argument);
+}
+
+TEST(Npd, BuildCaseDispatchesOnFamily) {
+  NpdDocument doc;
+  doc.family = topo::TopologyFamily::kFlat;
+  doc.migration = MigrationKind::kFlatForklift;
+  EXPECT_EQ(build_case(doc).task.name, "flat-forklift");
+
+  doc.family = topo::TopologyFamily::kReconf;
+  doc.migration = MigrationKind::kReconfRewire;
+  EXPECT_EQ(build_case(doc).task.name, "reconf-rewire");
+}
+
+TEST(Npd, BuildRegionDispatchesOnFamily) {
+  NpdDocument doc;
+  doc.family = topo::TopologyFamily::kFlat;
+  const topo::Region flat = build_region(doc);
+  const topo::Region direct = topo::build_flat(doc.flat);
+  EXPECT_EQ(flat.topo.num_switches(), direct.topo.num_switches());
+  EXPECT_EQ(flat.topo.num_circuits(), direct.topo.num_circuits());
+
+  doc.family = topo::TopologyFamily::kReconf;
+  const topo::Region reconf = build_region(doc);
+  EXPECT_EQ(reconf.topo.num_switches(),
+            static_cast<std::size_t>(doc.reconf.switches));
 }
 
 TEST(Npd, DemandParamsFlowIntoBuildCase) {

@@ -1,8 +1,9 @@
-// Golden-plan regression corpus: for presets A-C (reduced scale) the
-// default pipeline (klotski_synth | klotski_plan --planner=astar) must
-// reproduce the committed plan JSON byte-for-byte. Any intentional change
-// to the planner, the checker, the preset parameters, or the JSON encoder
-// shows up as a readable diff; regenerate with scripts/regen_golden.sh.
+// Golden-plan regression corpus: for Clos presets A-C plus the flat and
+// reconf preset-A cases (all reduced scale) the default pipeline
+// (klotski_synth | klotski_plan --planner=astar) must reproduce the
+// committed plan JSON byte-for-byte. Any intentional change to the
+// planner, the checker, the preset parameters, or the JSON encoder shows
+// up as a readable diff; regenerate with scripts/regen_golden.sh.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -18,31 +19,27 @@ namespace klotski {
 namespace {
 
 struct GoldenCase {
+  topo::TopologyFamily family;
   topo::PresetId preset;
-  const char* name;  // preset letter, upper case
-  const char* file;  // golden file name under tests/golden/
+  const char* label;  // test-name suffix
+  const char* file;   // golden file name under tests/golden/
 };
 
 class GoldenPlan : public ::testing::TestWithParam<GoldenCase> {};
 
 /// The exact document klotski_synth emits for
-///   --preset=<X> --scale=reduced --migration=hgrid-v1-to-v2
+///   --family=<F> --preset=<X> --scale=reduced
 /// including the serialize/parse round trip the file I/O performs.
-npd::NpdDocument synth_document(const GoldenCase& gc) {
-  npd::NpdDocument doc;
-  doc.name = std::string("preset-") + gc.name + "/reduced";
-  doc.region = topo::preset_params(gc.preset, topo::PresetScale::kReduced);
-  doc.migration = npd::MigrationKind::kHgridV1ToV2;
-  doc.hgrid =
-      pipeline::hgrid_params_for(gc.preset, topo::PresetScale::kReduced);
-  doc.ssw = pipeline::ssw_params_for(topo::PresetScale::kReduced);
-  doc.dmag = pipeline::dmag_params_for(topo::PresetScale::kReduced);
+npd::NpdDocument golden_document(const GoldenCase& gc) {
+  const npd::NpdDocument doc = pipeline::synth_document(
+      gc.family, gc.preset, topo::PresetScale::kReduced,
+      npd::default_migration(gc.family));
   return npd::parse_npd(npd::dump_npd(doc));
 }
 
 TEST_P(GoldenPlan, DefaultPipelineOutputIsByteExact) {
   const GoldenCase& gc = GetParam();
-  migration::MigrationCase mig = npd::build_case(synth_document(gc));
+  migration::MigrationCase mig = npd::build_case(golden_document(gc));
 
   // klotski_plan defaults: theta 0.75, ecmp, alpha 0, single thread.
   const pipeline::CheckerConfig checker_config;
@@ -72,12 +69,20 @@ TEST_P(GoldenPlan, DefaultPipelineOutputIsByteExact) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    PresetsAToC, GoldenPlan,
-    ::testing::Values(GoldenCase{topo::PresetId::kA, "A", "plan-a.json"},
-                      GoldenCase{topo::PresetId::kB, "B", "plan-b.json"},
-                      GoldenCase{topo::PresetId::kC, "C", "plan-c.json"}),
+    FamilyPresets, GoldenPlan,
+    ::testing::Values(
+        GoldenCase{topo::TopologyFamily::kClos, topo::PresetId::kA, "ClosA",
+                   "plan-a.json"},
+        GoldenCase{topo::TopologyFamily::kClos, topo::PresetId::kB, "ClosB",
+                   "plan-b.json"},
+        GoldenCase{topo::TopologyFamily::kClos, topo::PresetId::kC, "ClosC",
+                   "plan-c.json"},
+        GoldenCase{topo::TopologyFamily::kFlat, topo::PresetId::kA, "FlatA",
+                   "plan-flat.json"},
+        GoldenCase{topo::TopologyFamily::kReconf, topo::PresetId::kA,
+                   "ReconfA", "plan-reconf.json"}),
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
-      return std::string("Preset") + info.param.name;
+      return info.param.label;
     });
 
 }  // namespace

@@ -53,6 +53,56 @@ TEST(ChaosInvariants, PresetBSweepPassesWithZeroViolations) {
   EXPECT_EQ(sweep.failures, 0);
 }
 
+/// Family sweep: every seed must complete, hold the invariants, and pass
+/// the baked-in checkpoint-resume self-test, exactly as the Clos sweeps do.
+void run_family_sweep(topo::TopologyFamily family, int seeds) {
+  sim::ChaosParams params;
+  params.family = family;
+  params.preset = topo::PresetId::kA;
+  const sim::ChaosSweepResult sweep =
+      sim::run_chaos_sweep(0, seeds, 2, params);
+  ASSERT_EQ(sweep.failures, 0) << "failing seeds: "
+                               << [&] {
+                                    std::string s;
+                                    for (auto v : sweep.failing_seeds()) {
+                                      s += std::to_string(v) + " ";
+                                    }
+                                    return s;
+                                  }();
+  for (const sim::ChaosVerdict& v : sweep.verdicts) {
+    EXPECT_TRUE(v.completed) << "seed " << v.seed << ": " << v.failure;
+    EXPECT_TRUE(v.invariants_ok) << "seed " << v.seed << ": " << v.failure;
+    EXPECT_TRUE(v.resume_ok) << "seed " << v.seed << ": " << v.failure;
+    EXPECT_FALSE(v.trajectory.empty()) << "seed " << v.seed;
+  }
+}
+
+TEST(ChaosInvariants, FlatSweepPassesWithZeroViolations) {
+  run_family_sweep(topo::TopologyFamily::kFlat,
+                   std::min(50, seeds_from_env(50)));
+}
+
+TEST(ChaosInvariants, ReconfSweepPassesWithZeroViolations) {
+  run_family_sweep(topo::TopologyFamily::kReconf,
+                   std::min(50, seeds_from_env(50)));
+}
+
+TEST(ChaosInvariants, FamilySeedsReproduceByteIdenticalTrajectories) {
+  for (const auto family :
+       {topo::TopologyFamily::kFlat, topo::TopologyFamily::kReconf}) {
+    sim::ChaosParams params;
+    params.family = family;
+    params.preset = topo::PresetId::kA;
+    const sim::ChaosVerdict first = sim::run_chaos_seed(7, params);
+    const sim::ChaosVerdict second = sim::run_chaos_seed(7, params);
+    EXPECT_EQ(first.trajectory, second.trajectory)
+        << topo::to_string(family);
+    EXPECT_EQ(first.executed_cost, second.executed_cost)
+        << topo::to_string(family);
+    EXPECT_EQ(first.phases, second.phases) << topo::to_string(family);
+  }
+}
+
 TEST(ChaosInvariants, SweepVerdictsAreIdenticalAcrossThreadCounts) {
   sim::ChaosParams params;
   const int seeds = std::min(20, seeds_from_env(20));
@@ -150,14 +200,18 @@ TEST(ChaosInvariants, InjectorRestoresCapacitiesAfterRun) {
   }
 }
 
-TEST(ChaosInvariants, WarmRepairIsSafetyNeutralAcrossTheSweep) {
-  // Warm-start replanning (DESIGN.md §11) is a latency optimization: every
-  // seed must reach the same verdict — pass/fail, invariants, trajectory,
-  // executed cost — whether re-plans repair the surviving suffix or start
-  // cold. This is the unit-test twin of the tier1.sh warm/cold parity gate.
-  const int seeds = std::min(20, seeds_from_env(20));
+// Warm-start replanning (DESIGN.md §11) is a latency optimization: every
+// seed must reach the same verdict — pass/fail, invariants, trajectory,
+// executed cost — whether re-plans repair the surviving suffix or start
+// cold. This is the unit-test twin of the tier1.sh warm/cold parity gate.
+// `require_warm_win` additionally demands that at least one seed actually
+// exercised the repair path, so the parity check is not vacuous.
+void run_warm_cold_parity(topo::TopologyFamily family, int seeds,
+                          bool require_warm_win) {
   sim::ChaosParams warm_params;
-  sim::ChaosParams cold_params;
+  warm_params.family = family;
+  warm_params.preset = topo::PresetId::kA;
+  sim::ChaosParams cold_params = warm_params;
   cold_params.warm_repair = false;
   const sim::ChaosSweepResult warm =
       sim::run_chaos_sweep(0, seeds, 2, warm_params);
@@ -183,9 +237,25 @@ TEST(ChaosInvariants, WarmRepairIsSafetyNeutralAcrossTheSweep) {
       ++warm_wins;
     }
   }
-  // The sweep must actually exercise the repair path somewhere, otherwise
-  // this parity check is vacuous.
-  EXPECT_GT(warm_wins, 0);
+  if (require_warm_win) EXPECT_GT(warm_wins, 0);
+}
+
+TEST(ChaosInvariants, WarmRepairIsSafetyNeutralAcrossTheSweep) {
+  run_warm_cold_parity(topo::TopologyFamily::kClos,
+                       std::min(20, seeds_from_env(20)),
+                       /*require_warm_win=*/true);
+}
+
+TEST(ChaosInvariants, WarmRepairIsSafetyNeutralOnFlatFabrics) {
+  run_warm_cold_parity(topo::TopologyFamily::kFlat,
+                       std::min(20, seeds_from_env(20)),
+                       /*require_warm_win=*/false);
+}
+
+TEST(ChaosInvariants, WarmRepairIsSafetyNeutralOnReconfMeshes) {
+  run_warm_cold_parity(topo::TopologyFamily::kReconf,
+                       std::min(20, seeds_from_env(20)),
+                       /*require_warm_win=*/false);
 }
 
 TEST(ChaosInvariants, CheckpointJsonRejectsMalformedDocuments) {

@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "klotski/migration/family_tasks.h"
 #include "klotski/migration/task_builder.h"
 #include "klotski/pipeline/edp.h"
 #include "klotski/topo/presets.h"
@@ -60,6 +61,18 @@ inline migration::MigrationCase small_ssw_case() {
 inline migration::MigrationCase small_dmag_case() {
   return migration::build_dmag_migration(
       topo::preset_params(topo::PresetId::kA, topo::PresetScale::kFull), {});
+}
+
+/// Non-Clos counterparts: the flat partial forklift and the reconfigurable
+/// mesh rewire at preset A full scale.
+inline migration::MigrationCase small_flat_case() {
+  return migration::build_flat_migration(
+      topo::flat_params(topo::PresetId::kA, topo::PresetScale::kFull), {});
+}
+
+inline migration::MigrationCase small_reconf_case() {
+  return migration::build_reconf_migration(
+      topo::reconf_params(topo::PresetId::kA, topo::PresetScale::kFull), {});
 }
 
 }  // namespace klotski::testing

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "klotski/topo/families.h"
+#include "klotski/topo/presets.h"
+
+namespace klotski::topo {
+namespace {
+
+// BFS over active circuits only.
+int active_component_size(const Topology& topo, SwitchId start) {
+  std::vector<char> seen(topo.num_switches(), 0);
+  std::queue<SwitchId> frontier;
+  frontier.push(start);
+  seen[static_cast<std::size_t>(start)] = 1;
+  int count = 0;
+  while (!frontier.empty()) {
+    const SwitchId sw = frontier.front();
+    frontier.pop();
+    ++count;
+    for (const CircuitId cid : topo.incident(sw)) {
+      const Circuit& c = topo.circuit(cid);
+      if (c.state != ElementState::kActive) continue;
+      const SwitchId next = c.other(sw);
+      if (seen[static_cast<std::size_t>(next)]) continue;
+      seen[static_cast<std::size_t>(next)] = 1;
+      frontier.push(next);
+    }
+  }
+  return count;
+}
+
+TEST(FamilyNames, RoundTrip) {
+  for (const TopologyFamily f : all_families()) {
+    EXPECT_EQ(family_from_string(to_string(f)), f);
+  }
+  EXPECT_THROW(family_from_string("torus"), std::invalid_argument);
+}
+
+TEST(FlatFamily, BuildsValidConnectedFswOnlyFabric) {
+  const Region region = build_flat({});
+  EXPECT_EQ(region.family, TopologyFamily::kFlat);
+  EXPECT_EQ(region.topo.validate(), "");
+  EXPECT_EQ(region.mesh_nodes.size(), 24u);
+  for (const Switch& s : region.topo.switches()) {
+    EXPECT_EQ(s.role, SwitchRole::kFsw);
+    EXPECT_EQ(s.state, ElementState::kActive);
+  }
+  EXPECT_EQ(active_component_size(region.topo, region.mesh_nodes[0]), 24);
+}
+
+TEST(FlatFamily, DeterministicPerSeedAndSensitiveToSeed) {
+  FlatParams p;
+  const Region a = build_flat(p);
+  const Region b = build_flat(p);
+  ASSERT_EQ(a.topo.num_circuits(), b.topo.num_circuits());
+  for (std::size_t i = 0; i < a.topo.num_circuits(); ++i) {
+    const auto id = static_cast<CircuitId>(i);
+    EXPECT_EQ(a.topo.circuit(id).a, b.topo.circuit(id).a);
+    EXPECT_EQ(a.topo.circuit(id).b, b.topo.circuit(id).b);
+  }
+  p.seed = 99;
+  const Region c = build_flat(p);
+  bool differs = c.topo.num_circuits() != a.topo.num_circuits();
+  for (std::size_t i = 0; !differs && i < a.topo.num_circuits(); ++i) {
+    const auto id = static_cast<CircuitId>(i);
+    differs = a.topo.circuit(id).a != c.topo.circuit(id).a ||
+              a.topo.circuit(id).b != c.topo.circuit(id).b;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FlatFamily, DegreeKnobRaisesEdgeCount) {
+  FlatParams lo, hi;
+  lo.degree = 2;
+  lo.extra_links = 0;
+  hi.degree = 6;
+  hi.extra_links = 0;
+  const Region a = build_flat(lo);
+  const Region b = build_flat(hi);
+  // Degree 2 is exactly the ring; each extra matching round adds chords.
+  EXPECT_EQ(a.topo.num_circuits(), 24u);
+  EXPECT_GT(b.topo.num_circuits(), a.topo.num_circuits());
+}
+
+TEST(FlatFamily, ChordSpanBoundsRingDistance) {
+  FlatParams p;
+  p.switches = 32;
+  p.max_chord_span = 4;
+  const Region region = build_flat(p);
+  const int n = p.switches;
+  for (const Circuit& c : region.topo.circuits()) {
+    const int a = region.topo.sw(c.a).loc.pod;
+    const int b = region.topo.sw(c.b).loc.pod;
+    const int d = std::min((a - b + n) % n, (b - a + n) % n);
+    EXPECT_LE(d, p.max_chord_span);
+  }
+}
+
+TEST(FlatFamily, NoParallelEdges) {
+  FlatParams p;
+  p.extra_links = 8;
+  const Region region = build_flat(p);
+  std::set<std::pair<SwitchId, SwitchId>> seen;
+  for (const Circuit& c : region.topo.circuits()) {
+    const auto key = std::minmax(c.a, c.b);
+    EXPECT_TRUE(seen.insert(key).second)
+        << "parallel edge " << c.a << "-" << c.b;
+  }
+}
+
+TEST(FlatFamily, RejectsDegenerateParams) {
+  auto with = [](auto mutate) {
+    FlatParams p;
+    mutate(p);
+    return p;
+  };
+  EXPECT_THROW(build_flat(with([](FlatParams& p) { p.switches = 3; })),
+               std::invalid_argument);
+  // The satellite bugfix: zero-degree flat graphs are rejected with a clear
+  // message instead of silently building a disconnected fabric.
+  try {
+    build_flat(with([](FlatParams& p) { p.degree = 0; }));
+    FAIL() << "degree 0 must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("disconnected"), std::string::npos);
+  }
+  EXPECT_THROW(build_flat(with([](FlatParams& p) { p.degree = 24; })),
+               std::invalid_argument);
+  EXPECT_THROW(build_flat(with([](FlatParams& p) { p.extra_links = -1; })),
+               std::invalid_argument);
+  EXPECT_THROW(build_flat(with([](FlatParams& p) { p.max_chord_span = 1; })),
+               std::invalid_argument);
+  EXPECT_THROW(build_flat(with([](FlatParams& p) { p.max_chord_span = 13; })),
+               std::invalid_argument);
+  EXPECT_THROW(build_flat(with([](FlatParams& p) { p.cap_tbps = 0.0; })),
+               std::invalid_argument);
+  EXPECT_THROW(build_flat(with([](FlatParams& p) { p.port_slack = -1; })),
+               std::invalid_argument);
+}
+
+TEST(ReconfFamily, BuildsSharedActiveAndStagedAbsentStrides) {
+  const Region region = build_reconf({});  // v1 {1,2}, v2 {1,3}, n = 24
+  EXPECT_EQ(region.family, TopologyFamily::kReconf);
+  EXPECT_EQ(region.topo.validate(), "");
+  ASSERT_EQ(region.mesh_strides.size(), 3u);
+
+  const MeshStrideCircuits& ring = region.mesh_strides[0];
+  EXPECT_EQ(ring.stride, 1);
+  EXPECT_TRUE(ring.shared);
+
+  const MeshStrideCircuits& v1_only = region.mesh_strides[1];
+  EXPECT_EQ(v1_only.stride, 2);
+  EXPECT_FALSE(v1_only.shared);
+  EXPECT_EQ(v1_only.gen, Generation::kV1);
+  for (const CircuitId cid : v1_only.circuits) {
+    EXPECT_EQ(region.topo.circuit(cid).state, ElementState::kActive);
+  }
+
+  const MeshStrideCircuits& v2_only = region.mesh_strides[2];
+  EXPECT_EQ(v2_only.stride, 3);
+  EXPECT_FALSE(v2_only.shared);
+  EXPECT_EQ(v2_only.gen, Generation::kV2);
+  for (const CircuitId cid : v2_only.circuits) {
+    EXPECT_EQ(region.topo.circuit(cid).state, ElementState::kAbsent);
+  }
+
+  // Both endpoints of the rewire are connected on their own.
+  EXPECT_EQ(active_component_size(region.topo, region.mesh_nodes[0]), 24);
+}
+
+TEST(ReconfFamily, HalfRingStrideEmitsEachCircuitOnce) {
+  ReconfParams p;
+  p.switches = 8;
+  p.v1_strides = {1};
+  p.v2_strides = {1, 4};
+  const Region region = build_reconf(p);
+  ASSERT_EQ(region.mesh_strides.size(), 2u);
+  EXPECT_EQ(region.mesh_strides[1].stride, 4);
+  EXPECT_EQ(region.mesh_strides[1].circuits.size(), 4u);
+}
+
+TEST(ReconfFamily, RejectsDisconnectedAndMalformedPatterns) {
+  auto with = [](auto mutate) {
+    ReconfParams p;
+    mutate(p);
+    return p;
+  };
+  // {2} on a 24-ring splits into two disjoint 12-cycles (gcd 2); the
+  // satellite bugfix rejects it with a clear message.
+  try {
+    build_reconf(with([](ReconfParams& p) { p.v1_strides = {2}; }));
+    FAIL() << "disconnected v1 pattern must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("disconnected"), std::string::npos);
+  }
+  EXPECT_THROW(
+      build_reconf(with([](ReconfParams& p) { p.v2_strides = {3, 6}; })),
+      std::invalid_argument);
+  EXPECT_THROW(build_reconf(with([](ReconfParams& p) { p.v1_strides = {}; })),
+               std::invalid_argument);
+  EXPECT_THROW(
+      build_reconf(with([](ReconfParams& p) { p.v1_strides = {1, 1}; })),
+      std::invalid_argument);
+  EXPECT_THROW(
+      build_reconf(with([](ReconfParams& p) { p.v1_strides = {1, 13}; })),
+      std::invalid_argument);
+  EXPECT_THROW(build_reconf(with([](ReconfParams& p) { p.cap_tbps = -1; })),
+               std::invalid_argument);
+}
+
+class FamilyPresetTest : public ::testing::TestWithParam<PresetId> {};
+
+TEST_P(FamilyPresetTest, FlatAndReconfPresetsBuildAtBothScales) {
+  for (const PresetScale scale :
+       {PresetScale::kReduced, PresetScale::kFull}) {
+    const Region flat =
+        build_family_preset(TopologyFamily::kFlat, GetParam(), scale);
+    EXPECT_EQ(flat.topo.validate(), "");
+    EXPECT_EQ(active_component_size(flat.topo, flat.mesh_nodes[0]),
+              static_cast<int>(flat.mesh_nodes.size()));
+    const Region reconf =
+        build_family_preset(TopologyFamily::kReconf, GetParam(), scale);
+    EXPECT_EQ(reconf.topo.validate(), "");
+    EXPECT_EQ(active_component_size(reconf.topo, reconf.mesh_nodes[0]),
+              static_cast<int>(reconf.mesh_nodes.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, FamilyPresetTest,
+                         ::testing::ValuesIn(all_presets()),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(FamilyPresets, FlatSizesAscendAtoE) {
+  std::size_t previous = 0;
+  for (const PresetId id : all_presets()) {
+    const FlatParams p = flat_params(id, PresetScale::kFull);
+    EXPECT_GT(static_cast<std::size_t>(p.switches), previous);
+    previous = static_cast<std::size_t>(p.switches);
+  }
+}
+
+}  // namespace
+}  // namespace klotski::topo

@@ -58,9 +58,11 @@ AssignResult run_assign(traffic::EcmpRouter& router,
   return r;
 }
 
-TEST(EcmpEquivalence, RandomizedMutationsMatchFreshRouter) {
-  migration::MigrationCase mig = pipeline::build_experiment(
-      pipeline::ExperimentId::kB, topo::PresetScale::kReduced);
+/// Drives a migration case through kSteps random mutations, holding the
+/// bound incremental router to bit-identical loads against a from-scratch
+/// router after every step. Shared by the per-family tests below.
+void run_fresh_router_equivalence(migration::MigrationCase mig,
+                                  std::uint64_t seed) {
   topo::Topology& topo = *mig.task.topo;
   const traffic::DemandSet& demands = mig.task.demands;
   ASSERT_FALSE(demands.empty());
@@ -68,7 +70,7 @@ TEST(EcmpEquivalence, RandomizedMutationsMatchFreshRouter) {
   traffic::EcmpRouter incremental(topo);
   incremental.bind_demands(demands);
 
-  util::Rng rng(20260806);
+  util::Rng rng(seed);
   for (int step = 0; step < kSteps; ++step) {
     mutate(topo, rng, step);
 
@@ -106,11 +108,34 @@ TEST(EcmpEquivalence, RandomizedMutationsMatchFreshRouter) {
   }
 }
 
-// Named EcmpParallel* so tier1.sh can run exactly the threaded tests under
-// TSan (gtest_filter=EcmpParallel*).
-TEST(EcmpParallelEquivalence, WorkersMatchSerialBitForBit) {
-  migration::MigrationCase mig = pipeline::build_experiment(
-      pipeline::ExperimentId::kB, topo::PresetScale::kReduced);
+TEST(EcmpEquivalence, RandomizedMutationsMatchFreshRouter) {
+  run_fresh_router_equivalence(
+      pipeline::build_experiment(pipeline::ExperimentId::kB,
+                                 topo::PresetScale::kReduced),
+      20260806);
+}
+
+TEST(EcmpEquivalence, RandomizedMutationsMatchFreshRouterFlat) {
+  run_fresh_router_equivalence(
+      pipeline::build_family_experiment(topo::TopologyFamily::kFlat,
+                                        topo::PresetId::kB,
+                                        topo::PresetScale::kReduced),
+      20260810);
+}
+
+TEST(EcmpEquivalence, RandomizedMutationsMatchFreshRouterReconf) {
+  run_fresh_router_equivalence(
+      pipeline::build_family_experiment(topo::TopologyFamily::kReconf,
+                                        topo::PresetId::kB,
+                                        topo::PresetScale::kReduced),
+      20260811);
+}
+
+/// Serial-vs-workers bit-identity over kSteps random mutations; shared by
+/// the per-family EcmpParallel* tests (tier1.sh runs exactly those under
+/// TSan via gtest_filter=EcmpParallel*).
+void run_workers_match_serial(migration::MigrationCase mig,
+                              std::uint64_t seed) {
   topo::Topology& topo = *mig.task.topo;
   const traffic::DemandSet& demands = mig.task.demands;
 
@@ -126,7 +151,7 @@ TEST(EcmpParallelEquivalence, WorkersMatchSerialBitForBit) {
   EXPECT_EQ(2, two.num_workers());
   EXPECT_EQ(4, four.num_workers());
 
-  util::Rng rng(777);
+  util::Rng rng(seed);
   for (int step = 0; step < kSteps; ++step) {
     mutate(topo, rng, step);
 
@@ -148,6 +173,29 @@ TEST(EcmpParallelEquivalence, WorkersMatchSerialBitForBit) {
           << "step " << step;
     }
   }
+}
+
+TEST(EcmpParallelEquivalence, WorkersMatchSerialBitForBit) {
+  run_workers_match_serial(
+      pipeline::build_experiment(pipeline::ExperimentId::kB,
+                                 topo::PresetScale::kReduced),
+      777);
+}
+
+TEST(EcmpParallelEquivalence, WorkersMatchSerialBitForBitFlat) {
+  run_workers_match_serial(
+      pipeline::build_family_experiment(topo::TopologyFamily::kFlat,
+                                        topo::PresetId::kB,
+                                        topo::PresetScale::kReduced),
+      778);
+}
+
+TEST(EcmpParallelEquivalence, WorkersMatchSerialBitForBitReconf) {
+  run_workers_match_serial(
+      pipeline::build_family_experiment(topo::TopologyFamily::kReconf,
+                                        topo::PresetId::kB,
+                                        topo::PresetScale::kReduced),
+      779);
 }
 
 TEST(EcmpParallelEquivalence, WorkerPoolResizeAndReuse) {

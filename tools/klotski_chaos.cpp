@@ -19,6 +19,7 @@
 //   --seed         run exactly one seed, verbosely
 //   --threads      worker threads; verdicts are identical at any value
 //                  (default 1)
+//   --family       clos | flat | reconf                (default clos)
 //   --preset       a | b | c | d | e                   (default a)
 //   --scale        reduced | full                      (default reduced)
 //   --planner      astar | dp | mrc | janus | brute    (default astar)
@@ -105,6 +106,13 @@ void print_verdict(const sim::ChaosVerdict& v, bool verbose,
 
 int run(const util::Flags& flags) {
   sim::ChaosParams params;
+  try {
+    params.family =
+        topo::family_from_string(flags.get_string("family", "clos"));
+  } catch (const std::invalid_argument&) {
+    std::cerr << "klotski_chaos: unknown --family (want clos|flat|reconf)\n";
+    return 2;
+  }
   if (!parse_preset(flags.get_string("preset", "a"), params.preset)) {
     std::cerr << "klotski_chaos: unknown --preset (want a..e)\n";
     return 2;
@@ -180,6 +188,7 @@ int run(const util::Flags& flags) {
   const std::string connect = flags.get_string("connect", "");
   if (!connect.empty()) {
     json::Object params_json;
+    params_json["family"] = topo::to_string(params.family);
     params_json["preset"] = flags.get_string("preset", "a");
     params_json["scale"] = scale;
     params_json["planner"] = params.planner;

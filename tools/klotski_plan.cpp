@@ -3,9 +3,15 @@
 //
 //   klotski_plan --npd=region.npd.json --planner=astar --theta=0.75 \
 //                --out=plan.json
+//   klotski_plan --family=flat --preset=B --out=plan.json
 //
 // Flags:
-//   --npd          NPD JSON document (required)
+//   --npd          NPD JSON document; alternatively build a canonical
+//                  preset in-process with --family/--preset/--scale
+//   --family       clos | flat | reconf                  (default clos)
+//   --preset       A..E, builds the family's canonical experiment with its
+//                  default migration (no NPD file needed)
+//   --scale        reduced | full for --preset           (default reduced)
 //   --planner      astar | dp | mrc | janus | brute     (default astar)
 //   --theta        utilization bound in (0, 1]           (default 0.75)
 //   --alpha        cost-function alpha in [0, 1]         (default 0)
@@ -45,6 +51,7 @@
 #include "klotski/npd/npd_io.h"
 #include "klotski/pipeline/audit.h"
 #include "klotski/pipeline/edp.h"
+#include "klotski/pipeline/experiments.h"
 #include "klotski/pipeline/plan_export.h"
 #include "klotski/pipeline/risk.h"
 #include "klotski/pipeline/schedule.h"
@@ -60,13 +67,47 @@ int run(const klotski::util::Flags& flags) {
   using namespace klotski;
 
   const std::string npd_path = flags.get_string("npd", "");
-  if (npd_path.empty()) {
-    std::cerr << "klotski_plan: --npd=FILE is required\n";
+  const std::string preset_name = flags.get_string("preset", "");
+  if (npd_path.empty() == preset_name.empty()) {
+    std::cerr << "klotski_plan: exactly one of --npd=FILE or --preset=A..E "
+                 "is required\n";
     return 2;
   }
 
   {
-    const npd::NpdDocument doc = npd::parse_npd(util::read_file(npd_path));
+    npd::NpdDocument doc;
+    if (!npd_path.empty()) {
+      doc = npd::parse_npd(util::read_file(npd_path));
+    } else {
+      topo::PresetId preset;
+      if (preset_name == "A") preset = topo::PresetId::kA;
+      else if (preset_name == "B") preset = topo::PresetId::kB;
+      else if (preset_name == "C") preset = topo::PresetId::kC;
+      else if (preset_name == "D") preset = topo::PresetId::kD;
+      else if (preset_name == "E") preset = topo::PresetId::kE;
+      else {
+        std::cerr << "klotski_plan: unknown preset '" << preset_name
+                  << "'\n";
+        return 2;
+      }
+      const std::string scale_name = flags.get_string("scale", "reduced");
+      if (scale_name != "reduced" && scale_name != "full") {
+        std::cerr << "klotski_plan: unknown scale '" << scale_name << "'\n";
+        return 2;
+      }
+      const topo::PresetScale scale = scale_name == "full"
+                                          ? topo::PresetScale::kFull
+                                          : topo::PresetScale::kReduced;
+      try {
+        const topo::TopologyFamily family =
+            topo::family_from_string(flags.get_string("family", "clos"));
+        doc = pipeline::synth_document(family, preset, scale,
+                                       npd::default_migration(family));
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "klotski_plan: " << e.what() << "\n";
+        return 2;
+      }
+    }
 
     // Build the migration case; optionally swap in an operator-provided
     // demand matrix (endpoints resolved by switch name).

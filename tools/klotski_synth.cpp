@@ -1,14 +1,17 @@
 // klotski_synth — generate an NPD document for one of the Table 3 presets
-// and a migration type.
+// and a migration type, in any topology family.
 //
 //   klotski_synth --preset=E --scale=reduced --migration=hgrid-v1-to-v2 \
 //                 --out=region-e.npd.json
+//   klotski_synth --family=flat --preset=B --out=flat-b.npd.json
 //
 // Flags:
+//   --family     clos | flat | reconf                    (default clos)
 //   --preset     A | B | C | D | E                       (default B)
 //   --scale      reduced | full                          (default reduced)
-//   --migration  hgrid-v1-to-v2 | ssw-forklift | dmag | none
-//                                                        (default hgrid-v1-to-v2)
+//   --migration  hgrid-v1-to-v2 | ssw-forklift | dmag |
+//                flat-forklift | reconf-rewire | none
+//                (default: the family's canonical migration)
 //   --out        output path                             (default: stdout)
 #include <iostream>
 
@@ -22,9 +25,10 @@ namespace {
 
 int fail_usage(const std::string& message) {
   std::cerr << "klotski_synth: " << message << "\n"
-            << "usage: klotski_synth [--preset=A..E] [--scale=reduced|full] "
-               "[--migration=hgrid-v1-to-v2|ssw-forklift|dmag|none] "
-               "[--out=FILE]\n";
+            << "usage: klotski_synth [--family=clos|flat|reconf] "
+               "[--preset=A..E] [--scale=reduced|full] "
+               "[--migration=hgrid-v1-to-v2|ssw-forklift|dmag|"
+               "flat-forklift|reconf-rewire|none] [--out=FILE]\n";
   return 2;
 }
 
@@ -47,18 +51,18 @@ int run(const klotski::util::Flags& flags) {
   else return fail_usage("unknown scale '" + scale_name + "'");
 
   npd::NpdDocument doc;
-  doc.name = "preset-" + preset_name + "/" + scale_name;
-  doc.region = topo::preset_params(preset, scale);
   try {
-    doc.migration = npd::migration_kind_from_string(
-        flags.get_string("migration", "hgrid-v1-to-v2"));
+    const topo::TopologyFamily family =
+        topo::family_from_string(flags.get_string("family", "clos"));
+    npd::MigrationKind migration = npd::default_migration(family);
+    if (flags.has("migration")) {
+      migration =
+          npd::migration_kind_from_string(flags.get_string("migration", ""));
+    }
+    doc = pipeline::synth_document(family, preset, scale, migration);
   } catch (const std::invalid_argument& e) {
     return fail_usage(e.what());
   }
-  // Canonical experiment parameters for the preset (Table 3 granularity).
-  doc.hgrid = pipeline::hgrid_params_for(preset, scale);
-  doc.ssw = pipeline::ssw_params_for(scale);
-  doc.dmag = pipeline::dmag_params_for(scale);
 
   const std::string text = npd::dump_npd(doc) + "\n";
   const std::string out = flags.get_string("out", "");
