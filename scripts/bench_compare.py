@@ -21,6 +21,15 @@ Two sections are compared:
   growth beyond the threshold fails, safety parity must hold, and the warm
   row's repaired-round median must stay >= 3x faster than scratch (the
   warm-start acceptance bar).
+* serve-bench rows (klotski.serve-bench.v1, either as the whole file —
+  BENCH_serve.json — or nested under "serve_bench"): loadgen rows gate
+  achieved_qps drops, the whatif_batch row gates trajectories_per_sec
+  drops, and a whatif_batch row in the baseline may not disappear from the
+  current file.
+
+A file missing any particular section simply skips that comparison, so
+BENCH_core.json and BENCH_serve.json both work as inputs; comparing two
+files with no overlapping sections at all is an error.
 
 Exits non-zero on any regression. Stdlib only — usable from tier1.sh as an
 opt-in perf gate without any package installs.
@@ -39,8 +48,9 @@ def load_doc(path):
         sys.exit(f"bench_compare: cannot read {path}: {e}")
 
 
-def load_benchmarks(doc, path):
-    """Returns {name: (cpu_time, time_unit)} for non-aggregate rows."""
+def load_benchmarks(doc):
+    """Returns {name: (cpu_time, time_unit)} for non-aggregate rows, or {}
+    for files without a google-benchmark section (e.g. BENCH_serve.json)."""
     out = {}
     for row in doc.get("benchmarks", []):
         if row.get("run_type") == "aggregate":
@@ -50,8 +60,6 @@ def load_benchmarks(doc, path):
         if name is None or cpu is None:
             continue
         out[name] = (float(cpu), row.get("time_unit", "ns"))
-    if not out:
-        sys.exit(f"bench_compare: no benchmark rows in {path}")
     return out
 
 
@@ -68,6 +76,8 @@ def load_scale_rows(doc):
 
 
 def compare_cpu_time(base, curr, threshold):
+    if not base and not curr:
+        return 0, []
     shared = sorted(set(base) & set(curr))
     only_base = sorted(set(base) - set(curr))
     only_curr = sorted(set(curr) - set(base))
@@ -186,6 +196,54 @@ def compare_replan(base_doc, curr_doc, threshold):
     return len(shared), regressions
 
 
+def load_serve_rows(doc):
+    """Returns {row key: row dict} for serve-bench rows, or {}.
+
+    Accepts the report as the whole file (BENCH_serve.json) or nested under
+    "serve_bench". Loadgen rows carry no "name", so they key by transport.
+    """
+    if doc.get("schema") == "klotski.serve-bench.v1":
+        section = doc
+    else:
+        section = doc.get("serve_bench") or {}
+    out = {}
+    for row in section.get("rows", []):
+        key = row.get("name") or "loadgen/{}".format(
+            row.get("transport", "?"))
+        out[key] = row
+    return out
+
+
+def compare_serve(base, curr, threshold):
+    """Gates achieved_qps / trajectories_per_sec drops per serve row."""
+    if not base:
+        return 0, []  # baseline has no serve section: nothing to hold to
+    regressions = []
+    if "whatif_batch" in base and "whatif_batch" not in curr:
+        # The batch workload row cannot silently disappear once recorded.
+        regressions.append(("serve whatif_batch row", float("inf")))
+    shared = sorted(set(base) & set(curr))
+    if shared:
+        width = max(len(n) for n in shared)
+        print(f"\n{'serve row':<{width}}  {'baseline':>12}  {'current':>12}"
+              "  (qps or traj/s)")
+    for key in shared:
+        b, c = base[key], curr[key]
+        # Each row type carries exactly one throughput figure.
+        b_rate = float(b.get("achieved_qps",
+                             b.get("trajectories_per_sec", 0.0)))
+        c_rate = float(c.get("achieved_qps",
+                             c.get("trajectories_per_sec", 0.0)))
+        flag = ""
+        if b_rate > 0:
+            drop = (b_rate - c_rate) / b_rate
+            if drop > threshold:
+                regressions.append((f"serve {key} throughput", -drop))
+                flag = "  SLOWER"
+        print(f"{key:<{width}}  {b_rate:>12.1f}  {c_rate:>12.1f}{flag}")
+    return len(shared), regressions
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two benchmark JSON files (cpu_time, states/sec, "
@@ -206,8 +264,8 @@ def main():
     curr_doc = load_doc(args.current)
 
     n_cpu, regressions = compare_cpu_time(
-        load_benchmarks(base_doc, args.baseline),
-        load_benchmarks(curr_doc, args.current), args.threshold)
+        load_benchmarks(base_doc), load_benchmarks(curr_doc),
+        args.threshold)
     n_scale, scale_regressions = compare_scale(
         load_scale_rows(base_doc), load_scale_rows(curr_doc),
         args.threshold, args.rss_threshold)
@@ -215,7 +273,14 @@ def main():
     n_replan, replan_regressions = compare_replan(
         base_doc, curr_doc, args.threshold)
     regressions += replan_regressions
+    n_serve, serve_regressions = compare_serve(
+        load_serve_rows(base_doc), load_serve_rows(curr_doc),
+        args.threshold)
+    regressions += serve_regressions
 
+    if n_cpu + n_scale + n_replan + n_serve == 0 and not regressions:
+        sys.exit("bench_compare: the two files share no comparable "
+                 "benchmark sections")
     if regressions:
         print(f"\n{len(regressions)} metric(s) regressed past the "
               f"threshold:", file=sys.stderr)
@@ -224,7 +289,7 @@ def main():
         return 1
     print(f"\nok: no regression past {args.threshold:.0%} "
           f"({n_cpu} cpu_time, {n_scale} bench_scale, {n_replan} "
-          f"bench_replan rows compared)")
+          f"bench_replan, {n_serve} serve rows compared)")
     return 0
 
 

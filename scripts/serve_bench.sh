@@ -14,6 +14,13 @@
 # the per-epoch replan latency the daemon reports (DESIGN.md §11). Sweep
 # size via KLOTSKI_BENCH_REPLAN_SEEDS (default 25).
 #
+# A fourth row ("whatif_batch") measures the what-if engine as a batch
+# workload (DESIGN.md §13): one cold Monte Carlo robustness sweep submitted
+# over the unix socket — trajectories/s of end-to-end job latency — plus
+# the latency of the identical repeated request, which must be answered
+# from the content-addressed cache. Sweep size via KLOTSKI_BENCH_WHATIF_TRAJ
+# (default 200).
+#
 # Usage: scripts/serve_bench.sh [build-dir] [out-json]
 #   build-dir  tree with the built tools   (default: build)
 #   out-json   consolidated report path    (default: BENCH_serve.json)
@@ -25,6 +32,7 @@ OUT="${2:-BENCH_serve.json}"
 MIN_QPS="${KLOTSKI_BENCH_MIN_QPS:-2000}"
 REQUESTS="${KLOTSKI_BENCH_REQUESTS:-6000}"
 REPLAN_SEEDS="${KLOTSKI_BENCH_REPLAN_SEEDS:-25}"
+WHATIF_TRAJ="${KLOTSKI_BENCH_WHATIF_TRAJ:-200}"
 
 TMP="$(mktemp -d)"
 SOCK="/tmp/kbench-$$.sock"
@@ -90,6 +98,42 @@ printf '  "warm_wins": %s,\n  "warm_attempts": %s,\n' \
   "${WARM_WINS}" "${WARM_ATTEMPTS}" >> "${TMP}/replan.json"
 printf '  "median_replan_ms": %s\n}\n' "${REPLAN_MS}" >> "${TMP}/replan.json"
 
+# What-if batch bench: a cold robustness sweep as one daemon job, then the
+# identical request again — the repeat must be a cache hit, so its latency
+# is the serve/cache overhead floor for batch results.
+"./${BUILD}/tools/klotski_plan" --npd="${TMP}/a.npd.json" \
+  --out="${TMP}/a.plan.json" > /dev/null 2> /dev/null
+wall_s() {  # wall seconds of "$@", via the shell's epoch-nanosecond clock
+  local t0 t1
+  t0="$(date +%s%N)"
+  "$@"
+  t1="$(date +%s%N)"
+  awk -v a="${t0}" -v b="${t1}" 'BEGIN { printf "%.6f", (b - a) / 1e9 }'
+}
+WHATIF_COLD_S="$(wall_s "./${BUILD}/tools/klotski_whatif" \
+  --npd="${TMP}/a.npd.json" --plan="${TMP}/a.plan.json" \
+  --trajectories="${WHATIF_TRAJ}" --seed=17 --connect="${SOCK}" \
+  --out="${TMP}/whatif-cold.json" 2> /dev/null)"
+WHATIF_HIT_S="$(wall_s "./${BUILD}/tools/klotski_whatif" \
+  --npd="${TMP}/a.npd.json" --plan="${TMP}/a.plan.json" \
+  --trajectories="${WHATIF_TRAJ}" --seed=17 --connect="${SOCK}" \
+  --out="${TMP}/whatif-hit.json" 2> /dev/null)"
+cmp "${TMP}/whatif-cold.json" "${TMP}/whatif-hit.json" || {
+  echo "serve_bench: FAIL — repeated whatif request returned different" \
+       "bytes" >&2
+  exit 1
+}
+WHATIF_TPS="$(awk -v n="${WHATIF_TRAJ}" -v s="${WHATIF_COLD_S}" \
+  'BEGIN { printf "%.1f", n / s }')"
+printf '{\n  "name": "whatif_batch",\n  "transport": "unix",\n' \
+  > "${TMP}/whatif.json"
+printf '  "trajectories": %s,\n  "cold_seconds": %s,\n' \
+  "${WHATIF_TRAJ}" "${WHATIF_COLD_S}" >> "${TMP}/whatif.json"
+printf '  "trajectories_per_sec": %s,\n' "${WHATIF_TPS}" \
+  >> "${TMP}/whatif.json"
+printf '  "cache_hit_seconds": %s\n}\n' "${WHATIF_HIT_S}" \
+  >> "${TMP}/whatif.json"
+
 kill -TERM "${SERVED_PID}"
 wait "${SERVED_PID}" || { echo "serve_bench: drain failed" >&2; exit 1; }
 SERVED_PID=""
@@ -107,11 +151,13 @@ UNIX_QPS="$(qps_of "${TMP}/unix.json")"
   printf '  "rows": [\n'
   sed 's/^/    /' "${TMP}/unix.json" | sed '$s/$/,/'
   sed 's/^/    /' "${TMP}/tcp.json" | sed '$s/$/,/'
-  sed 's/^/    /' "${TMP}/replan.json"
+  sed 's/^/    /' "${TMP}/replan.json" | sed '$s/$/,/'
+  sed 's/^/    /' "${TMP}/whatif.json"
   printf '  ]\n}\n'
 } > "${OUT}"
 echo "serve_bench: unix ${UNIX_QPS} qps, tcp ${TCP_QPS} qps," \
-     "remote replan ${REPLAN_MS} ms -> ${OUT}"
+     "remote replan ${REPLAN_MS} ms," \
+     "whatif ${WHATIF_TPS} traj/s -> ${OUT}"
 
 awk -v got="${TCP_QPS}" -v want="${MIN_QPS}" \
   'BEGIN { exit (got + 0 >= want + 0) ? 0 : 1 }' || {

@@ -74,8 +74,58 @@ SERVE_BENCH_TMP="$(mktemp -d)"
 scripts/serve_bench.sh build "${SERVE_BENCH_TMP}/BENCH_serve.json"
 rm -rf "${SERVE_BENCH_TMP}"
 
+# What-if robustness gate (DESIGN.md §13): a Monte Carlo sweep over the
+# preset-A plan must produce byte-identical klotski.whatif.v1 reports at
+# --threads=1 and --threads=N, and the same sweep submitted to a daemon
+# must come back byte-identical to the local run — the report is a pure
+# function of (inputs, seed, N), never of the execution venue.
+WHATIF_TMP="$(mktemp -d)"
+WHATIF_SOCK="/tmp/kwhatif-$$.sock"
+./build/tools/klotski_synth --preset=A --scale=reduced \
+  --out="${WHATIF_TMP}/a.npd.json"
+./build/tools/klotski_plan --npd="${WHATIF_TMP}/a.npd.json" \
+  --out="${WHATIF_TMP}/plan.json" > /dev/null
+./build/tools/klotski_whatif --npd="${WHATIF_TMP}/a.npd.json" \
+  --plan="${WHATIF_TMP}/plan.json" --trajectories=40 --seed=11 \
+  --threads=1 --out="${WHATIF_TMP}/report-t1.json"
+./build/tools/klotski_whatif --npd="${WHATIF_TMP}/a.npd.json" \
+  --plan="${WHATIF_TMP}/plan.json" --trajectories=40 --seed=11 \
+  --threads="${JOBS}" --out="${WHATIF_TMP}/report-tN.json"
+cmp "${WHATIF_TMP}/report-t1.json" "${WHATIF_TMP}/report-tN.json" || {
+  echo "tier1: FAIL — whatif report differs across thread counts" >&2
+  exit 1
+}
+./build/tools/klotski_served --socket="${WHATIF_SOCK}" --workers=2 \
+  2> "${WHATIF_TMP}/served.log" &
+WHATIF_SERVED_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "${WHATIF_SOCK}" ]] && break
+  sleep 0.05
+done
+[[ -S "${WHATIF_SOCK}" ]] || {
+  echo "tier1: FAIL — whatif daemon never bound ${WHATIF_SOCK}" >&2
+  cat "${WHATIF_TMP}/served.log" >&2; exit 1; }
+# Cold remote run, then an identical one that must be answered from the
+# daemon's content-addressed cache — same bytes both times, same bytes as
+# the local sweep.
+for run in remote cached; do
+  ./build/tools/klotski_whatif --npd="${WHATIF_TMP}/a.npd.json" \
+    --plan="${WHATIF_TMP}/plan.json" --trajectories=40 --seed=11 \
+    --connect="${WHATIF_SOCK}" --out="${WHATIF_TMP}/report-${run}.json"
+done
+for run in remote cached; do
+  cmp "${WHATIF_TMP}/report-t1.json" "${WHATIF_TMP}/report-${run}.json" || {
+    echo "tier1: FAIL — ${run} whatif report differs from the local run" >&2
+    exit 1
+  }
+done
+kill -TERM "${WHATIF_SERVED_PID}"
+wait "${WHATIF_SERVED_PID}" || {
+  echo "tier1: FAIL — whatif daemon drain failed" >&2; exit 1; }
+rm -rf "${WHATIF_TMP}" "${WHATIF_SOCK}"
+
 cmake -B build-tsan -S . -DKLOTSKI_SANITIZE=thread
-cmake --build build-tsan -j"${JOBS}" --target test_core test_obs test_traffic test_sim test_serve
+cmake --build build-tsan -j"${JOBS}" --target test_core test_obs test_traffic test_sim test_whatif test_serve
 # Run the binaries directly: only these targets are built in the TSan tree,
 # and ctest would trip over the undiscovered sibling test targets.
 ./build-tsan/tests/test_core \
@@ -87,6 +137,11 @@ cmake --build build-tsan -j"${JOBS}" --target test_core test_obs test_traffic te
 # is the verdict vector and the obs counters — TSan checks that claim.
 KLOTSKI_CHAOS_SEEDS=10 ./build-tsan/tests/test_sim \
   --gtest_filter='ChaosInvariants.SweepVerdictsAreIdenticalAcrossThreadCounts'
+# What-if sweep worker pool: workers claim trajectory indices from one
+# atomic counter and store outcomes by index — TSan checks that the only
+# sharing really is that counter plus the indexed slots.
+./build-tsan/tests/test_whatif \
+  --gtest_filter='WhatIf.ReportIsInvariantToThreadCount'
 # Plan service under TSan: sharded single-flight cache, worker pool, drain,
 # both transports' connection threads, the periodic reaper, and the
 # disconnect-cancel path all exercise cross-thread handoffs.
@@ -96,7 +151,7 @@ KLOTSKI_CHAOS_SEEDS=10 ./build-tsan/tests/test_sim \
 # engine's epoch stamping / sparse slot bookkeeping is exactly the kind of
 # code where a stale-index bug reads garbage instead of crashing.
 cmake -B build-asan -S . -DKLOTSKI_SANITIZE=address
-cmake --build build-asan -j"${JOBS}" --target test_traffic test_sim test_core test_util test_migration
+cmake --build build-asan -j"${JOBS}" --target test_traffic test_sim test_core test_util test_migration test_whatif
 ./build-asan/tests/test_traffic \
   --gtest_filter='EcmpEquivalence.*:EcmpParallel*'
 # Chaos engine under ASan: fault scripts mutate live capacities, tear
@@ -110,6 +165,12 @@ KLOTSKI_CHAOS_SEEDS=10 ./build-asan/tests/test_sim
 ./build-asan/tests/test_util --gtest_filter='PodPool.*:StridedPool.*'
 ./build-asan/tests/test_core \
   --gtest_filter='SoAEquivalence.*:MemBudget.*:StateHasher.*:SatCache.*'
+# What-if engine under ASan: every trajectory rebuilds a private case,
+# mutates its demand volumes in place, and walks cumulative phase states —
+# a stale demand pointer or an off-by-one phase index reads garbage here
+# without crashing a plain run.
+./build-asan/tests/test_whatif \
+  --gtest_filter='WhatIf.AggressiveDemandKnobsSurfaceUnsafeFutures:AllFamilies/*'
 # Incremental symmetry under ASan: the randomized journal-mutation suite
 # drives the dirty-set recomputation over hundreds of topology edits —
 # stale class indices or an under-sized scratch vector would read garbage

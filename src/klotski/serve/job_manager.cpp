@@ -20,6 +20,21 @@ const char* JobManager::state_name(State state) {
   return "unknown";
 }
 
+JobManager::Priority JobManager::priority_for(const std::string& method) {
+  if (method == "whatif" || method == "chaos" || method == "replan") {
+    return Priority::kBatch;
+  }
+  return Priority::kInteractive;
+}
+
+const char* JobManager::priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
 JobManager::JobManager(const Options& options) : options_(options) {
   const int workers = util::split_thread_budget(options_.workers, 1).outer;
   workers_.reserve(static_cast<std::size_t>(workers));
@@ -34,11 +49,13 @@ JobManager::~JobManager() {
     shutdown_ = true;
     // Abandoned queued jobs: the process is going away; flag them so any
     // waiter unblocks with a terminal state.
-    for (const std::shared_ptr<Job>& job : queue_) {
-      job->state = State::kCancelled;
-      job->result = Response::make_error(std::string(), "server shut down");
+    for (std::deque<std::shared_ptr<Job>>* queue : {&interactive_, &batch_}) {
+      for (const std::shared_ptr<Job>& job : *queue) {
+        job->state = State::kCancelled;
+        job->result = Response::make_error(std::string(), "server shut down");
+      }
+      queue->clear();
     }
-    queue_.clear();
   }
   queue_cv_.notify_all();
   finished_cv_.notify_all();
@@ -58,8 +75,11 @@ JobManager::Submitted JobManager::submit(const std::string& method,
       out.rejected = "draining";
       return out;
     }
-    if (queue_.size() >= static_cast<std::size_t>(
-                             std::max(0, options_.max_queue))) {
+    // One bound over both classes: admission answers "does the daemon have
+    // room", not "is this class busy" — a full queue of batch sweeps must
+    // still refuse interactive work explicitly rather than queue silently.
+    const std::size_t depth = interactive_.size() + batch_.size();
+    if (depth >= static_cast<std::size_t>(std::max(0, options_.max_queue))) {
       rejected_overloaded_.fetch_add(1, std::memory_order_relaxed);
       obs::Registry::global().counter("serve.rejected_overloaded").inc();
       out.rejected = "overloaded";
@@ -68,12 +88,14 @@ JobManager::Submitted JobManager::submit(const std::string& method,
     auto job = std::make_shared<Job>();
     job->id = "j-" + std::to_string(next_id_++);
     job->method = method;
+    job->priority = priority_for(method);
     job->work = std::move(work);
     jobs_[job->id] = job;
-    queue_.push_back(job);
+    (job->priority == Priority::kBatch ? batch_ : interactive_)
+        .push_back(job);
     obs::Registry::global()
         .gauge("serve.queue_depth_max")
-        .set_max(static_cast<double>(queue_.size()));
+        .set_max(static_cast<double>(depth + 1));
     out.job_id = job->id;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -124,8 +146,9 @@ std::optional<JobManager::State> JobManager::cancel(
     observed = job->state;
     job->stop.store(true, std::memory_order_relaxed);
     if (job->state == State::kQueued) {
-      queue_.erase(std::remove(queue_.begin(), queue_.end(), job),
-                   queue_.end());
+      std::deque<std::shared_ptr<Job>>& queue =
+          job->priority == Priority::kBatch ? batch_ : interactive_;
+      queue.erase(std::remove(queue.begin(), queue.end(), job), queue.end());
       job->state = State::kCancelled;
       job->result = Response::make_error(std::string(), "cancelled");
       finished_order_.push_back(job->id);
@@ -158,12 +181,14 @@ void JobManager::drain() {
   }
   // Admitted work runs to completion (or to its stop-flag checkpoint).
   std::unique_lock<std::mutex> lock(mu_);
-  finished_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+  finished_cv_.wait(lock, [&] {
+    return interactive_.empty() && batch_.empty() && running_ == 0;
+  });
 }
 
 std::size_t JobManager::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return interactive_.size() + batch_.size();
 }
 
 JobManager::Stats JobManager::stats() const {
@@ -173,9 +198,40 @@ JobManager::Stats JobManager::stats() const {
   stats.rejected_overloaded =
       rejected_overloaded_.load(std::memory_order_relaxed);
   stats.completed = completed_.load(std::memory_order_relaxed);
-  stats.queued = queue_.size();
+  stats.starvation_promotions = starvation_promotions_;
+  stats.queued_interactive = interactive_.size();
+  stats.queued_batch = batch_.size();
+  stats.queued = stats.queued_interactive + stats.queued_batch;
   stats.running = running_;
   return stats;
+}
+
+std::shared_ptr<JobManager::Job> JobManager::pop_locked() {
+  // Interactive first, except when the starvation bound trips: a steady
+  // interactive stream may take at most `starvation_bound` consecutive
+  // dispatches while a batch job waits, then the oldest batch job runs.
+  const bool batch_waiting = !batch_.empty();
+  const bool prefer_interactive =
+      !interactive_.empty() &&
+      (!batch_waiting || interactive_streak_ < options_.starvation_bound);
+  std::shared_ptr<Job> job;
+  if (prefer_interactive) {
+    job = interactive_.front();
+    interactive_.pop_front();
+    interactive_streak_ = batch_waiting ? interactive_streak_ + 1 : 0;
+  } else {
+    job = batch_.front();
+    batch_.pop_front();
+    if (!interactive_.empty()) {
+      // The bound, not an empty interactive queue, forced this dispatch.
+      ++starvation_promotions_;
+      obs::Registry::global()
+          .counter("serve.starvation_promotions")
+          .inc();
+    }
+    interactive_streak_ = 0;
+  }
+  return job;
 }
 
 void JobManager::worker_loop() {
@@ -183,10 +239,13 @@ void JobManager::worker_loop() {
     std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      job = queue_.front();
-      queue_.pop_front();
+      queue_cv_.wait(lock, [&] {
+        return shutdown_ || !interactive_.empty() || !batch_.empty();
+      });
+      if (interactive_.empty() && batch_.empty()) {
+        return;  // shutdown with drained queues
+      }
+      job = pop_locked();
       job->state = State::kRunning;
       ++running_;
     }
@@ -215,11 +274,30 @@ void JobManager::worker_loop() {
   }
 }
 
+std::size_t JobManager::queued_behind_locked(const Job& job) const {
+  const auto position = [&](const std::deque<std::shared_ptr<Job>>& queue) {
+    std::size_t ahead = 0;
+    for (const std::shared_ptr<Job>& queued : queue) {
+      if (queued.get() == &job) break;
+      ++ahead;
+    }
+    return ahead;
+  };
+  if (job.priority == Priority::kInteractive) return position(interactive_);
+  // Dispatch prefers interactive work, so every queued interactive job is
+  // ordered ahead of a queued batch job (modulo the starvation bound).
+  return interactive_.size() + position(batch_);
+}
+
 JobManager::JobView JobManager::view_locked(const Job& job) const {
   JobView view;
   view.id = job.id;
   view.method = job.method;
+  view.priority = job.priority;
   view.state = job.state;
+  if (job.state == State::kQueued) {
+    view.queued_behind = queued_behind_locked(job);
+  }
   view.result = job.result;
   return view;
 }

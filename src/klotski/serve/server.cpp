@@ -50,7 +50,7 @@ bool write_all(int fd, const std::string& text) {
 
 bool is_work_method(const std::string& method) {
   return method == "plan" || method == "audit" || method == "chaos" ||
-         method == "replan";
+         method == "replan" || method == "whatif";
 }
 
 /// True when the peer is fully gone (close()/RST — POLLERR or POLLHUP), as
@@ -473,7 +473,13 @@ json::Value job_view_to_json(const JobManager::JobView& view) {
   json::Object out;
   out["job_id"] = view.id;
   out["method"] = view.method;
+  out["priority"] = JobManager::priority_name(view.priority);
   out["state"] = JobManager::state_name(view.state);
+  if (view.state == JobManager::State::kQueued) {
+    // Jobs currently ordered ahead (a batch job counts queued interactive
+    // work, which dispatch prefers) — progress indicator, not a promise.
+    out["queued_behind"] = static_cast<std::int64_t>(view.queued_behind);
+  }
   if (view.state == JobManager::State::kDone ||
       view.state == JobManager::State::kError ||
       view.state == JobManager::State::kCancelled) {
@@ -556,6 +562,10 @@ Response Server::handle_stats(const Request& request) {
   jobs_out["rejected_overloaded"] = static_cast<std::int64_t>(jobs.rejected_overloaded);
   jobs_out["completed"] = static_cast<std::int64_t>(jobs.completed);
   jobs_out["queued"] = jobs.queued;
+  jobs_out["queued_interactive"] = jobs.queued_interactive;
+  jobs_out["queued_batch"] = jobs.queued_batch;
+  jobs_out["starvation_promotions"] =
+      static_cast<std::int64_t>(jobs.starvation_promotions);
   jobs_out["running"] = jobs.running;
   jobs_out["workers"] = jobs_.workers();
 

@@ -18,6 +18,7 @@
 #include "klotski/traffic/demand_io.h"
 #include "klotski/traffic/forecast.h"
 #include "klotski/util/thread_budget.h"
+#include "klotski/whatif/whatif.h"
 
 namespace klotski::serve {
 
@@ -80,6 +81,31 @@ migration::MigrationCase case_from_params(const json::Value& params) {
   return mig;
 }
 
+/// Sampling knobs of the whatif method, same names and defaults as the
+/// klotski_whatif flags (the remote mode forwards them verbatim). Thread
+/// counts are deliberately absent: reports are thread-invariant, so the
+/// daemon supplies its own budget and the cache key stays portable.
+whatif::WhatIfParams whatif_params_from(const json::Value& params) {
+  whatif::WhatIfParams out;
+  out.trajectories = static_cast<int>(params.get_int("trajectories", 100));
+  out.seed = static_cast<std::uint64_t>(params.get_int("seed", 0));
+  out.growth_min = params.get_double("growth_min", 0.0);
+  out.growth_max = params.get_double("growth_max", 0.004);
+  out.surges = static_cast<int>(params.get_int("surges", 1));
+  out.forecast_errors =
+      static_cast<int>(params.get_int("forecast_errors", 1));
+  out.surge_factor_min = params.get_double("surge_factor_min", 0.8);
+  out.surge_factor_max = params.get_double("surge_factor_max", 1.5);
+  out.bias_factor_min = params.get_double("bias_factor_min", 0.85);
+  out.bias_factor_max = params.get_double("bias_factor_max", 1.2);
+  out.margin_iterations =
+      static_cast<int>(params.get_int("margin_iterations", 16));
+  out.margin_max = params.get_double("margin_max", 4.0);
+  const PlanKnobs knobs = parse_knobs(params);
+  out.checker = checker_config_for(knobs, 1);
+  return out;
+}
+
 topo::PresetId preset_from(const json::Value& params) {
   const std::string text = params.get_string("preset", "a");
   if (text == "a") return topo::PresetId::kA;
@@ -111,6 +137,36 @@ json::Value plan_cache_key_doc(const json::Value& params) {
   return json::Value(std::move(key));
 }
 
+json::Value whatif_cache_key_doc(const json::Value& params) {
+  const whatif::WhatIfParams wp = whatif_params_from(params);
+  const PlanKnobs knobs = parse_knobs(params);
+  json::Object key;
+  // The schema string participates in the content hash, so whatif keys can
+  // never collide with plan keys inside the shared PlanCache.
+  key["schema"] = "klotski.serve.whatif-key.v1";
+  key["npd"] = npd::to_json(npd::from_json(require_object(params, "npd")));
+  key["plan"] = require_object(params, "plan");
+  key["theta"] = knobs.theta;
+  key["routing"] = knobs.routing;
+  key["funneling"] = knobs.funneling;
+  key["trajectories"] = wp.trajectories;
+  key["seed"] = static_cast<std::int64_t>(wp.seed);
+  key["growth_min"] = wp.growth_min;
+  key["growth_max"] = wp.growth_max;
+  key["surges"] = wp.surges;
+  key["forecast_errors"] = wp.forecast_errors;
+  key["surge_factor_min"] = wp.surge_factor_min;
+  key["surge_factor_max"] = wp.surge_factor_max;
+  key["bias_factor_min"] = wp.bias_factor_min;
+  key["bias_factor_max"] = wp.bias_factor_max;
+  key["margin_iterations"] = wp.margin_iterations;
+  key["margin_max"] = wp.margin_max;
+  if (const json::Value* demands = params.as_object().find("demands")) {
+    key["demands"] = *demands;
+  }
+  return json::Value(std::move(key));
+}
+
 PlanService::PlanService(const Options& options)
     : options_(options), cache_(options.cache) {}
 
@@ -121,6 +177,7 @@ Response PlanService::execute(const Request& request,
     if (request.method == "audit") return run_audit(request);
     if (request.method == "chaos") return run_chaos(request, stop);
     if (request.method == "replan") return run_replan(request, stop);
+    if (request.method == "whatif") return run_whatif(request, stop);
     return Response::make_error(
         request.id, "unknown method '" + request.method + "'");
   } catch (const std::exception& e) {
@@ -428,6 +485,82 @@ Response PlanService::run_replan(const Request& request,
     result["checkpoint"] = last_checkpoint.to_json();
   }
   return Response::make_ok(request.id, json::Value(std::move(result)));
+}
+
+std::string PlanService::compute_whatif_text(const json::Value& params,
+                                             const std::atomic<bool>& stop,
+                                             bool& stopped) {
+  whatif::WhatIfParams wparams = whatif_params_from(params);
+  wparams.threads = util::split_thread_budget(options_.plan_threads, 1).outer;
+  wparams.checker.router_threads = options_.router_threads;
+
+  // Each sweep worker gets its own private case (trajectories mutate
+  // topology state), rebuilt from the request params.
+  const whatif::CaseFactory factory = [&params] {
+    return case_from_params(params);
+  };
+  migration::MigrationCase reference = case_from_params(params);
+  const core::Plan plan = pipeline::plan_from_json(
+      reference.task, require_object(params, "plan"));
+
+  obs::Registry::global().counter("serve.whatif_runs").inc();
+  whatif::WhatIfReport report;
+  {
+    obs::Span span("serve.whatif_run");
+    report = whatif::run_whatif(factory, plan, wparams, &stop);
+  }
+  stopped = report.stopped;
+  return whatif::report_text(report, wparams);
+}
+
+Response PlanService::run_whatif(const Request& request,
+                                 const std::atomic<bool>& stop) {
+  const std::string key =
+      json::content_hash(whatif_cache_key_doc(request.params));
+
+  PlanCache::Lookup lookup = cache_.acquire(key);
+  std::string text;
+  bool cached = true;
+  switch (lookup.outcome) {
+    case PlanCache::Outcome::kHit:
+      text = lookup.text;
+      break;
+    case PlanCache::Outcome::kWait:
+      text = cache_.wait(lookup.entry);
+      break;
+    case PlanCache::Outcome::kOwner: {
+      // Failures are delivered to this flight's waiters and never cached —
+      // and neither is a stopped (partial) report, which would otherwise
+      // satisfy later full-sweep requests with a truncated result.
+      bool stopped = false;
+      try {
+        text = compute_whatif_text(request.params, stop, stopped);
+      } catch (const std::exception& e) {
+        cache_.fail(lookup.entry, e.what());
+        throw;
+      } catch (...) {
+        cache_.fail(lookup.entry, "unknown error");
+        throw;
+      }
+      if (stopped) {
+        cache_.fail(lookup.entry,
+                    "whatif sweep stopped before completion");
+      } else {
+        cache_.fulfill(lookup.entry, text);
+      }
+      cached = false;
+      break;
+    }
+  }
+
+  json::Object result;
+  result["cache_key"] = key;
+  // The exact bytes klotski_whatif would write, as a parsed document: a
+  // client re-dumping result.report at indent 2 plus a trailing newline
+  // recovers them byte-for-byte (dump∘parse∘dump is stable).
+  result["report"] = json::parse(text);
+  return Response::make_ok(request.id, json::Value(std::move(result)),
+                           cached);
 }
 
 }  // namespace klotski::serve

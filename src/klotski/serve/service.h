@@ -1,5 +1,5 @@
 // PlanService: the work methods of the serve protocol (plan / audit /
-// chaos / replan), independent of any transport.
+// chaos / replan / whatif), independent of any transport.
 //
 // The plan method is content-addressed: the request is normalized (NPD
 // parsed and re-serialized so formatting and defaulted fields cannot change
@@ -12,10 +12,18 @@
 // when the planner actually executes, which is what the single-flight test
 // asserts.
 //
+// whatif rides the same machinery in a distinct key namespace (the key
+// document's schema field participates in the content hash, so a whatif key
+// can never collide with a plan key): the cached value is the exact
+// klotski.whatif.v1 report text klotski_whatif would write — reports are
+// bit-identical at any thread count — and serve.whatif_runs increments only
+// when a sweep actually executes.
+//
 // chaos and replan are long-running and honor the job's cooperative stop
 // flag: chaos finishes the current seed and reports a partial sweep; replan
 // checkpoints after the current phase (ReplanOptions::stop_requested) and
-// returns the checkpoint as a resume token.
+// returns the checkpoint as a resume token. whatif polls the flag between
+// trajectories, but a stopped (partial) report is never cached.
 #pragma once
 
 #include <atomic>
@@ -39,8 +47,8 @@ class PlanService {
 
   explicit PlanService(const Options& options);
 
-  /// Executes one work request (method plan | audit | chaos | replan).
-  /// Never throws: malformed params and planner failures become
+  /// Executes one work request (method plan | audit | chaos | replan |
+  /// whatif). Never throws: malformed params and planner failures become
   /// status:"error" responses. `stop` is the owning job's cooperative stop
   /// flag.
   Response execute(const Request& request, const std::atomic<bool>& stop);
@@ -53,6 +61,14 @@ class PlanService {
   Response run_audit(const Request& request);
   Response run_chaos(const Request& request, const std::atomic<bool>& stop);
   Response run_replan(const Request& request, const std::atomic<bool>& stop);
+  Response run_whatif(const Request& request, const std::atomic<bool>& stop);
+
+  /// The exact klotski.whatif.v1 report text klotski_whatif would write.
+  /// Sets `stopped` when the sweep quit early on the stop flag (partial
+  /// reports must not be cached). Throws on malformed params.
+  std::string compute_whatif_text(const json::Value& params,
+                                  const std::atomic<bool>& stop,
+                                  bool& stopped);
 
   /// The exact plan text klotski_plan would write for these params, running
   /// the planner + pre-emit audit. Throws std::runtime_error on no-plan or
@@ -68,5 +84,10 @@ class PlanService {
 /// on-disk format: spill files from one daemon generation must stay valid
 /// for the next).
 json::Value plan_cache_key_doc(const json::Value& params);
+
+/// The whatif request's cache identity ("klotski.serve.whatif-key.v1"):
+/// normalized NPD + plan + every sampling knob, thread counts excluded
+/// (reports are thread-invariant). Same PlanCache, disjoint namespace.
+json::Value whatif_cache_key_doc(const json::Value& params);
 
 }  // namespace klotski::serve

@@ -3,6 +3,19 @@
 // "unexpected traffic surge"). The forecaster produces the demand set
 // expected at a future migration step; the pipeline re-plans whenever the
 // forecast moves enough to matter.
+//
+// Composition rule (load-bearing; do not "simplify"): overlapping windows
+// compose multiplicatively, in a pinned operation order. at_step folds
+// growth^step and every active surge factor into ONE per-demand factor
+// (insertion order) and applies it with a single multiply; forecast_at_step
+// takes that output and applies each active bias as its OWN multiply, in
+// bias insertion order — ((value * b1) * b2), never value * (b1 * b2).
+// Floating-point association is part of the contract: seeded chaos and
+// what-if sweeps assert byte-identical trajectories, so refactoring the
+// rounding sequence (e.g. folding biases into one factor) is a behavior
+// change even though it is algebraically neutral. Zero-length windows
+// (start_step == end_step) are valid and never active; [start, end) with
+// end < start is rejected at add time.
 #pragma once
 
 #include <string>
@@ -49,7 +62,8 @@ class Forecaster {
   DemandSet at_step(int step) const;
 
   /// What the forecasting pipeline *predicts* for `step`: at_step with the
-  /// active ForecastBias factors applied. Equal to at_step when no bias is
+  /// active ForecastBias factors applied sequentially in insertion order
+  /// (see the composition rule above). Equal to at_step when no bias is
   /// active at that step.
   DemandSet forecast_at_step(int step) const;
 

@@ -377,6 +377,176 @@ TEST(JobManagerTest, DrainFinishesAdmittedWorkThenRejects) {
             "draining");
 }
 
+// --- two-class priority dispatch -----------------------------------------
+
+/// Appends each job's tag to a shared completion log as it runs; the log
+/// order IS the dispatch order (single worker).
+struct CompletionLog {
+  std::mutex mu;
+  std::vector<std::string> order;
+  JobManager::Work work(const std::string& tag) {
+    return [this, tag](const std::atomic<bool>&) {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(tag);
+      return Response::make_ok("", json::Value(json::Object{}));
+    };
+  }
+};
+
+TEST(JobManagerTest, MethodClassification) {
+  EXPECT_EQ(JobManager::priority_for("plan"),
+            JobManager::Priority::kInteractive);
+  EXPECT_EQ(JobManager::priority_for("audit"),
+            JobManager::Priority::kInteractive);
+  EXPECT_EQ(JobManager::priority_for("whatif"),
+            JobManager::Priority::kBatch);
+  EXPECT_EQ(JobManager::priority_for("chaos"), JobManager::Priority::kBatch);
+  EXPECT_EQ(JobManager::priority_for("replan"),
+            JobManager::Priority::kBatch);
+  // Unknown methods answer fast (their result is an error anyway).
+  EXPECT_EQ(JobManager::priority_for("no-such-method"),
+            JobManager::Priority::kInteractive);
+}
+
+TEST(JobManagerTest, InteractiveDispatchesAheadOfEarlierBatchWork) {
+  // One worker, saturated: a blocker pins the worker while the queues
+  // fill, so dispatch order is fully determined by the two-class policy.
+  JobManager jobs(JobManager::Options{1, 32, 16});
+  Blocker gate;
+  CompletionLog log;
+  ASSERT_TRUE(jobs.submit("plan", gate.work()).ok());
+  while (jobs.queue_depth() > 0) std::this_thread::yield();
+
+  std::vector<std::string> ids;
+  ids.push_back(jobs.submit("whatif", log.work("b1")).job_id);
+  ids.push_back(jobs.submit("chaos", log.work("b2")).job_id);
+  ids.push_back(jobs.submit("plan", log.work("i1")).job_id);
+  ids.push_back(jobs.submit("audit", log.work("i2")).job_id);
+
+  const JobManager::Stats queued_stats = jobs.stats();
+  EXPECT_EQ(queued_stats.queued_interactive, 2u);
+  EXPECT_EQ(queued_stats.queued_batch, 2u);
+
+  gate.release();
+  for (const std::string& id : ids) {
+    EXPECT_EQ(jobs.wait(id)->state, JobManager::State::kDone);
+  }
+  // Both interactive jobs ran before either batch job, despite the batch
+  // jobs being submitted first.
+  EXPECT_EQ(log.order,
+            (std::vector<std::string>{"i1", "i2", "b1", "b2"}));
+}
+
+TEST(JobManagerTest, StarvationBoundGuaranteesBatchProgress) {
+  // starvation_bound = 1: at most one consecutive interactive dispatch
+  // while batch work waits, so the batch job runs second, not last.
+  JobManager jobs(JobManager::Options{1, 32, 16, 1});
+  Blocker gate;
+  CompletionLog log;
+  ASSERT_TRUE(jobs.submit("plan", gate.work()).ok());
+  while (jobs.queue_depth() > 0) std::this_thread::yield();
+
+  std::vector<std::string> ids;
+  ids.push_back(jobs.submit("whatif", log.work("b")).job_id);
+  for (int i = 1; i <= 4; ++i) {
+    ids.push_back(
+        jobs.submit("plan", log.work("i" + std::to_string(i))).job_id);
+  }
+  gate.release();
+  for (const std::string& id : ids) {
+    EXPECT_EQ(jobs.wait(id)->state, JobManager::State::kDone);
+  }
+  EXPECT_EQ(log.order,
+            (std::vector<std::string>{"i1", "b", "i2", "i3", "i4"}));
+  EXPECT_GE(jobs.stats().starvation_promotions, 1);
+}
+
+TEST(JobManagerTest, QueuedBatchJobsReportJobsOrderedAhead) {
+  JobManager jobs(JobManager::Options{1, 32, 16});
+  Blocker gate;
+  ASSERT_TRUE(jobs.submit("plan", gate.work()).ok());
+  while (jobs.queue_depth() > 0) std::this_thread::yield();
+
+  const std::string b1 = jobs.submit("whatif", gate.work()).job_id;
+  const std::string i1 = jobs.submit("plan", gate.work()).job_id;
+  const std::string b2 = jobs.submit("replan", gate.work()).job_id;
+
+  // The interactive job is next in line; each batch job counts every
+  // queued interactive job plus earlier batch work.
+  EXPECT_EQ(jobs.poll(i1)->queued_behind, 0u);
+  EXPECT_EQ(jobs.poll(i1)->priority, JobManager::Priority::kInteractive);
+  EXPECT_EQ(jobs.poll(b1)->queued_behind, 1u);
+  EXPECT_EQ(jobs.poll(b1)->priority, JobManager::Priority::kBatch);
+  EXPECT_EQ(jobs.poll(b2)->queued_behind, 2u);
+
+  gate.release();
+  for (const std::string& id : {b1, i1, b2}) {
+    const JobManager::JobView view = *jobs.wait(id);
+    EXPECT_EQ(view.state, JobManager::State::kDone);
+    EXPECT_EQ(view.queued_behind, 0u);  // meaningful only while queued
+  }
+}
+
+// --- whatif service method -----------------------------------------------
+
+TEST(PlanServiceWhatIf, SecondIdenticalRequestIsServedFromCache) {
+  MetricsOn metrics;
+  PlanService service(service_options());
+  std::atomic<bool> stop{false};
+
+  const Response planned = service.execute(plan_request(), stop);
+  ASSERT_TRUE(planned.ok()) << planned.error;
+
+  Request req;
+  req.method = "whatif";
+  json::Object params;
+  params["npd"] = preset_npd_json();
+  params["plan"] = planned.result.at("plan");
+  params["trajectories"] = 10;
+  req.params = json::Value(std::move(params));
+
+  const Response first = service.execute(req, stop);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_FALSE(first.cached);
+  const Response second = service.execute(req, stop);
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_TRUE(second.cached);
+
+  // One sweep execution; the repeat was answered from the shared cache
+  // with byte-identical report text, and no planner run was charged.
+  EXPECT_EQ(obs::Registry::global().counter("serve.whatif_runs").value(), 1);
+  EXPECT_EQ(obs::Registry::global().counter("serve.plan_runs").value(), 1);
+  EXPECT_EQ(json::dump(first.result.at("report"), 2),
+            json::dump(second.result.at("report"), 2));
+  EXPECT_EQ(first.result.at("report").get_string("schema", ""),
+            "klotski.whatif.v1");
+  EXPECT_EQ(first.result.at("report").get_int("trajectories_run", -1), 10);
+}
+
+TEST(PlanServiceWhatIf, KeyNamespaceIsDisjointFromPlanKeys) {
+  json::Object params;
+  params["npd"] = preset_npd_json();
+  params["plan"] = json::Value(json::Object{});
+  const json::Value doc(std::move(params));
+  // Same params document, different method → the schema field keeps the
+  // content hashes apart even inside the shared PlanCache.
+  EXPECT_NE(json::content_hash(whatif_cache_key_doc(doc)),
+            json::content_hash(plan_cache_key_doc(doc)));
+}
+
+TEST(PlanServiceWhatIf, MalformedParamsBecomeErrorResponses) {
+  PlanService service(service_options());
+  std::atomic<bool> stop{false};
+  Request req;
+  req.method = "whatif";
+  json::Object params;
+  params["npd"] = preset_npd_json();
+  // No plan document at all.
+  req.params = json::Value(std::move(params));
+  const Response resp = service.execute(req, stop);
+  EXPECT_EQ(resp.status, "error");
+}
+
 // --- server round trip ---------------------------------------------------
 
 class ServerRoundTrip : public ::testing::Test {

@@ -82,5 +82,55 @@ TEST(Forecast, MaxRelativeChangeSeesSurges) {
   EXPECT_NEAR(f.max_relative_change(0, 1), 0.6, 1e-9);
 }
 
+// --- composition-rule pins (forecast.h) -------------------------------
+// These assert EXACT equality against expressions written in the pinned
+// operation order. If a refactor folds factors differently, the doubles
+// round differently and these fail — which is the point: seeded chaos and
+// what-if sweeps depend on this association staying put.
+
+TEST(Forecast, OverlappingBiasesComposeSequentiallyInInsertionOrder) {
+  Forecaster f(base_demands(), 0.1);
+  f.add_bias(ForecastBias{"b1", DemandKind::kEgress, 0, 5, 1.3});
+  f.add_bias(ForecastBias{"b2", DemandKind::kEgress, 0, 5, 0.7});
+  // at_step applies growth as one multiply; each bias is then its own
+  // multiply, in insertion order.
+  const double grown = 10.0 * std::pow(1.1, 2);
+  EXPECT_EQ(f.forecast_at_step(2)[0].volume_tbps, (grown * 1.3) * 0.7);
+  // Ground truth is untouched by biases.
+  EXPECT_EQ(f.at_step(2)[0].volume_tbps, grown);
+}
+
+TEST(Forecast, BiasAndSurgeOnTheSameStepFoldSurgeFirst) {
+  Forecaster f(base_demands(), 0.05);
+  f.add_surge(SurgeEvent{"s", DemandKind::kEgress, 1, 3, 1.5});
+  f.add_bias(ForecastBias{"b", DemandKind::kEgress, 1, 3, 1.2});
+  // The surge folds into at_step's single per-demand factor
+  // (growth * surge, one multiply onto the base); the bias multiplies the
+  // result afterwards.
+  const double actual = 10.0 * (std::pow(1.05, 2) * 1.5);
+  EXPECT_EQ(f.at_step(2)[0].volume_tbps, actual);
+  EXPECT_EQ(f.forecast_at_step(2)[0].volume_tbps, actual * 1.2);
+  EXPECT_TRUE(f.biased_at(2));
+  EXPECT_FALSE(f.biased_at(3));  // end exclusive
+}
+
+TEST(Forecast, ZeroLengthWindowsAreValidAndNeverActive) {
+  Forecaster f(base_demands(), 0.0);
+  // start == end is an empty [start, end) window, not an error …
+  f.add_surge(SurgeEvent{"s", DemandKind::kEgress, 2, 2, 5.0});
+  f.add_bias(ForecastBias{"b", DemandKind::kEgress, 2, 2, 5.0});
+  for (int step = 0; step <= 3; ++step) {
+    EXPECT_EQ(f.at_step(step)[0].volume_tbps, 10.0) << "step " << step;
+    EXPECT_EQ(f.forecast_at_step(step)[0].volume_tbps, 10.0)
+        << "step " << step;
+    EXPECT_FALSE(f.biased_at(step)) << "step " << step;
+  }
+  // … while an inverted window still is one.
+  EXPECT_THROW(f.add_bias(ForecastBias{"bad", DemandKind::kEgress, 3, 2, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(f.add_bias(ForecastBias{"bad", DemandKind::kEgress, 0, 2, 0.0}),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace klotski::traffic

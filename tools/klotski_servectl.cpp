@@ -16,8 +16,11 @@
 // Commands (one positional argument):
 //   ping | stats           control methods, result printed as JSON
 //   call                   run --method sync (plan | audit | chaos |
-//                          replan); the connection blocks until done
+//                          replan | whatif); the connection blocks until done
 //   submit                 enqueue --method async; prints {"job_id": ...}
+//   whatif                 sugar for submit --method=whatif + wait: enqueue
+//                          the robustness sweep as a batch job and block
+//                          until its report comes back
 //   poll | wait | cancel   job lifecycle for a --job id
 //
 // Params come from --params-file=FILE or inline --params=JSON (default {}).
@@ -74,7 +77,7 @@ int run(const util::Flags& flags) {
   }
   if (flags.positional().size() != 1) {
     std::cerr << "klotski_servectl: exactly one command (ping|stats|call|"
-                 "submit|poll|wait|cancel)\n";
+                 "submit|whatif|poll|wait|cancel)\n";
     return 2;
   }
   const std::string command = flags.positional().front();
@@ -87,11 +90,15 @@ int run(const util::Flags& flags) {
     return print_response(
         client.call(command, json::Value(json::Object{})));
   }
+  if (command == "whatif") {
+    return print_response(client.submit_and_wait(
+        "whatif", params_from_flags(flags), "whatif"));
+  }
   if (command == "call" || command == "submit") {
     const std::string method = flags.get_string("method", "");
     if (method.empty()) {
-      std::cerr << "klotski_servectl: --method=plan|audit|chaos|replan is "
-                   "required\n";
+      std::cerr << "klotski_servectl: --method=plan|audit|chaos|replan|"
+                   "whatif is required\n";
       return 2;
     }
     if (command == "call") {
